@@ -1,0 +1,23 @@
+// Reproduces paper Figure 2: relative change in active runtime, energy and
+// power when switching from the default (705 MHz) to the 614 MHz
+// configuration, as per-suite box stats over all program-input pairs.
+//
+// Paper expectations: compute-bound codes slow ~15%, memory-bound codes
+// barely move; energy decreases slightly for almost everything; power
+// drops 3-10% at the median with outliers past -15% (NB: -22%).
+#include <iostream>
+
+#include "figcommon.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace repro;
+  suites::register_all_workloads();
+  core::Study study;
+  std::cout << "Figure 2: default -> 614 (core clock -13%, memory clock "
+               "unchanged)\n\n";
+  bench::run_ratio_figure(study, sim::config_by_name("default"),
+                          sim::config_by_name("614"), 0.7, 1.3);
+  return 0;
+}

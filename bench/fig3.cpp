@@ -1,0 +1,23 @@
+// Reproduces paper Figure 3: relative change in active runtime, energy and
+// power when switching from the 614 to the 324 configuration (core /1.9,
+// memory /8). Programs without sufficient power samples at 324 are dropped
+// - the paper's own exclusion rule; the dropped entries are listed.
+//
+// Paper expectations: everything slows >= 1.9x (memory-bound codes up to
+// 7.75x - LBM); energy rises for two-thirds of the programs (LBM +100%);
+// power falls to about half across the board.
+#include <iostream>
+
+#include "figcommon.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace repro;
+  suites::register_all_workloads();
+  core::Study study;
+  std::cout << "Figure 3: 614 -> 324 (core clock /1.9, memory clock /8)\n\n";
+  bench::run_ratio_figure(study, sim::config_by_name("614"),
+                          sim::config_by_name("324"), 0.3, 9.0);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces paper Figure 4: relative change in active runtime, energy and
+// power when enabling ECC at default clocks.
+//
+// Paper expectations: medians ~1.0 everywhere; memory-bound codes (some
+// Rodinia/Parboil) slow up to ~12.5% with matching energy increases;
+// LonestarGPU's energy rises MORE than its runtime (uncoalesced accesses
+// exercise the ECC machinery); NB's energy anomalously drops.
+#include <iostream>
+
+#include "figcommon.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace repro;
+  suites::register_all_workloads();
+  core::Study study;
+  std::cout << "Figure 4: default -> ECC (705 MHz / 2.6 GHz, ECC on)\n\n";
+  bench::run_ratio_figure(study, sim::config_by_name("default"),
+                          sim::config_by_name("ecc"), 0.85, 1.35);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Figure 5: relative power draw when switching from one
+// program input to another on the default configuration (values > 1.0 =
+// larger input draws more power).
+//
+// Paper expectations: power rises toward larger inputs for most programs
+// (BH, LBM, MUM, NB, NW, NSP, PTA rise >20%); some irregular codes move
+// the other way because the input changes their whole behaviour.
+#include <iostream>
+
+#include "core/study.hpp"
+#include "sim/gpuconfig.hpp"
+#include "util/tablefmt.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace repro;
+  suites::register_all_workloads();
+  core::Study study;
+  const sim::GpuConfig& config = sim::config_by_name("default");
+
+  std::cout << "Figure 5: power ratio of each input relative to the first "
+               "(default config)\n\n";
+  util::TextTable table({"program", "input", "power [W]", "ratio vs input 1"});
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    if (!w->variant().empty()) continue;
+    const auto inputs = w->inputs();
+    if (inputs.size() < 2) continue;  // single-input programs not in Fig. 5
+    const core::ExperimentResult& base = study.measure(*w, 0, config);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const core::ExperimentResult& r = study.measure(*w, i, config);
+      std::string ratio = "-";
+      if (r.usable && base.usable && base.power_w > 0.0) {
+        ratio = util::format_ratio(r.power_w / base.power_w);
+      }
+      table.row()
+          .add(std::string(w->name()))
+          .add(inputs[i].name)
+          .add(r.usable ? util::format_fixed(r.power_w, 1) : "-")
+          .add(ratio);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

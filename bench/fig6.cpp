@@ -1,0 +1,50 @@
+// Reproduces paper Figure 6: the range of ABSOLUTE average power draw of
+// each benchmark suite under each GPU configuration.
+//
+// Paper expectations: large best-to-worst spans (60% to >3x) per suite;
+// many Parboil/Rodinia/SHOC codes under ~52 W; compute-bound SDK codes
+// ~100 W average, peaking above 160 W; LonestarGPU substantially above the
+// regular memory-bound codes; 324 reduces power strongly everywhere.
+#include <iostream>
+
+#include "core/aggregate.hpp"
+#include "core/study.hpp"
+#include "figcommon.hpp"
+#include "sim/gpuconfig.hpp"
+#include "util/stats.hpp"
+#include "util/tablefmt.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace repro;
+  suites::register_all_workloads();
+  core::Study study;
+
+  std::cout << "Figure 6: range of average power consumption [W]\n\n";
+  for (const sim::GpuConfig& config : sim::standard_configs()) {
+    std::cout << "-- configuration: " << config.name << " --\n";
+    util::TextTable table(
+        {"suite", "n", "min", "q1", "median", "q3", "max", "box [20 .. 180 W]"});
+    for (const std::string& suite : bench::suite_order()) {
+      const auto powers = core::suite_powers(study, suite, config);
+      if (powers.empty()) {
+        table.row().add(suite).add(0ll).add("-").add("-").add("-").add("-").add(
+            "-").add("(no usable entries)");
+        continue;
+      }
+      const util::BoxStats s = util::box_stats(powers);
+      table.row()
+          .add(suite)
+          .add(static_cast<long long>(powers.size()))
+          .add(s.min, 1)
+          .add(s.q1, 1)
+          .add(s.median, 1)
+          .add(s.q3, 1)
+          .add(s.max, 1)
+          .add(util::ascii_box(s.min, s.q1, s.median, s.q3, s.max, 20.0, 180.0, 48));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared rendering for the box-plot figures (Figs. 2-4, 6).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hpp"
+#include "core/study.hpp"
+#include "util/tablefmt.hpp"
+
+namespace repro::bench {
+
+inline const std::vector<std::string>& suite_order() {
+  static const std::vector<std::string> order{
+      "CUDA SDK", "LonestarGPU", "Parboil", "Rodinia", "SHOC"};
+  return order;
+}
+
+/// Prints one metric's per-suite box stats (ratio figures).
+inline void print_ratio_boxes(
+    std::ostream& os, const std::string& metric,
+    const std::vector<core::SuiteRatioBox>& boxes,
+    double lo, double hi,
+    const std::vector<util::BoxStats core::SuiteRatioBox::*>& /*unused*/ = {}) {
+  os << "-- " << metric << " (ratio; >1.0 = increase) --\n";
+  util::TextTable table({"suite", "n", "min", "q1", "median", "q3", "max",
+                         "box [" + util::format_ratio(lo) + " .. " +
+                             util::format_ratio(hi) + "]"});
+  for (const core::SuiteRatioBox& b : boxes) {
+    const util::BoxStats& s = metric == "active runtime" ? b.time
+                              : metric == "energy"       ? b.energy
+                                                         : b.power;
+    if (b.entries == 0) {
+      table.row().add(b.suite).add(0ll).add("-").add("-").add("-").add("-").add(
+          "-").add("(no usable entries)");
+      continue;
+    }
+    table.row()
+        .add(b.suite)
+        .add(static_cast<long long>(b.entries))
+        .add(s.min)
+        .add(s.q1)
+        .add(s.median)
+        .add(s.q3)
+        .add(s.max)
+        .add(util::ascii_box(s.min, s.q1, s.median, s.q3, s.max, lo, hi, 48));
+  }
+  table.print(os);
+  os << "\n";
+}
+
+/// Runs a ratio figure (config B relative to config A) and prints all
+/// three metrics plus the per-entry detail.
+inline void run_ratio_figure(core::Study& study, const sim::GpuConfig& a,
+                             const sim::GpuConfig& b, double lo, double hi,
+                             bool print_entries = true) {
+  std::vector<core::SuiteRatioBox> boxes;
+  std::vector<core::EntryRatio> all_entries;
+  for (const std::string& suite : suite_order()) {
+    const auto entries = core::suite_ratios(study, suite, a, b);
+    boxes.push_back(core::summarize(suite, entries));
+    all_entries.insert(all_entries.end(), entries.begin(), entries.end());
+  }
+  for (const char* metric : {"active runtime", "energy", "power"}) {
+    print_ratio_boxes(std::cout, metric, boxes, lo, hi);
+  }
+  if (!print_entries) return;
+  std::cout << "-- per-entry detail --\n";
+  util::TextTable table({"program", "input", "time", "energy", "power"});
+  for (const core::EntryRatio& e : all_entries) {
+    if (!e.ratio.usable) {
+      table.row().add(e.program).add(e.input).add("-").add("-").add(
+          "(insufficient samples)");
+      continue;
+    }
+    table.row()
+        .add(e.program)
+        .add(e.input)
+        .add(e.ratio.time)
+        .add(e.ratio.energy)
+        .add(e.ratio.power);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace repro::bench

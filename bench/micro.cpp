@@ -1,0 +1,121 @@
+// google-benchmark microbenchmarks of the simulator substrates themselves:
+// how fast can we time kernels, run cache/coalescing analyses, sample
+// sensors and analyze runs. Useful to keep the full-study benches quick.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "k20power/analyze.hpp"
+#include "power/model.hpp"
+#include "sensor/sampler.hpp"
+#include "sensor/waveform.hpp"
+#include "sim/cache.hpp"
+#include "sim/coalesce.hpp"
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+#include "sim/timing.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace repro;
+
+void BM_TimeKernel(benchmark::State& state) {
+  workloads::KernelLaunch k;
+  k.blocks = 1e6;
+  k.threads_per_block = 256;
+  k.mix.fp32 = 100.0;
+  k.mix.global_loads = 8.0;
+  const auto& config = sim::config_by_name("default");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::time_kernel(sim::k20c(), config, k));
+  }
+}
+BENCHMARK(BM_TimeKernel);
+
+void BM_RunTrace(benchmark::State& state) {
+  workloads::LaunchTrace trace;
+  for (int i = 0; i < state.range(0); ++i) {
+    workloads::KernelLaunch k;
+    k.name = "k" + std::to_string(i % 4);
+    k.blocks = 1000.0;
+    k.mix.fp32 = 50.0;
+    k.mix.global_loads = 4.0;
+    trace.push_back(std::move(k));
+  }
+  const auto& config = sim::config_by_name("default");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_trace(sim::k20c(), config, trace));
+  }
+}
+BENCHMARK(BM_RunTrace)->Arg(100)->Arg(1000);
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::SetAssocCache cache{1280 * 1024, 128, 16};
+  util::Rng rng{1};
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.uniform_index(8 * 1024 * 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addrs[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_CoalesceWarp(benchmark::State& state) {
+  sim::CoalescingAnalyzer analyzer;
+  util::Rng rng{2};
+  std::vector<std::uint64_t> addrs(32);
+  for (auto& a : addrs) a = rng.uniform_index(1 << 20) * 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.warp_access(addrs));
+  }
+}
+BENCHMARK(BM_CoalesceWarp);
+
+void BM_SensorRecord(benchmark::State& state) {
+  std::vector<sensor::Segment> segs{{0.0, 2.0, 25.0, 25.0},
+                                    {2.0, 12.0, 110.0, 110.0},
+                                    {12.0, 16.0, 25.0, 25.0}};
+  const sensor::Waveform w{std::move(segs)};
+  const sensor::Sensor sensor;
+  util::Rng rng{3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sensor.record(w, rng));
+  }
+}
+BENCHMARK(BM_SensorRecord);
+
+void BM_K20PowerAnalyze(benchmark::State& state) {
+  std::vector<sensor::Sample> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back({i * 0.1, i > 20 && i < 150 ? 110.0 : 25.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k20power::analyze(samples));
+  }
+}
+BENCHMARK(BM_K20PowerAnalyze);
+
+void BM_TopologyBfs(benchmark::State& state) {
+  const graph::CsrGraph g = graph::roadmap(60, 60, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::topology_bfs(g, 0, 0.5, 7));
+  }
+}
+BENCHMARK(BM_TopologyBfs);
+
+void BM_Boruvka(benchmark::State& state) {
+  const graph::CsrGraph g = graph::roadmap(60, 60, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::boruvka(g));
+  }
+}
+BENCHMARK(BM_Boruvka);
+
+}  // namespace
+
+BENCHMARK_MAIN();

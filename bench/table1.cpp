@@ -1,0 +1,44 @@
+// Reproduces paper Table 1: program names, number of global kernels, and
+// inputs, plus our classification and simulation-scale notes.
+#include <iostream>
+
+#include "util/tablefmt.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace repro;
+  suites::register_all_workloads();
+
+  std::cout << "Table 1: Program names, number of global kernels (#K), and inputs\n\n";
+  util::TextTable table({"suite", "program", "#K", "class", "inputs"});
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    if (!w->variant().empty()) continue;
+    std::string inputs;
+    for (const auto& in : w->inputs()) {
+      if (!inputs.empty()) inputs += "; ";
+      inputs += in.name;
+    }
+    const char* cls =
+        w->boundedness() == workloads::Boundedness::kCompute   ? "compute"
+        : w->boundedness() == workloads::Boundedness::kMemory ? "memory"
+                                                              : "balanced";
+    table.row()
+        .add(std::string(w->suite()))
+        .add(std::string(w->name()))
+        .add(static_cast<long long>(w->num_global_kernels()))
+        .add(std::string(cls) + (w->regularity() == workloads::Regularity::kIrregular
+                                     ? "/irregular"
+                                     : "/regular"))
+        .add(inputs);
+  }
+  table.print(std::cout);
+  std::cout << "\nAlternate implementations (paper §V.B.1): ";
+  bool first = true;
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    if (w->variant().empty()) continue;
+    std::cout << (first ? "" : ", ") << w->name();
+    first = false;
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Table 2: maximum and average run-to-run measurement
+// variability (relative spread of 3 repetitions) per benchmark suite, for
+// active runtime and energy, pooled over the default/614/ecc
+// configurations (324 runs are mostly unusable, as in the paper).
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/study.hpp"
+#include "sim/gpuconfig.hpp"
+#include "util/stats.hpp"
+#include "util/tablefmt.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace repro;
+  suites::register_all_workloads();
+  core::Study study;
+
+  struct Spreads {
+    std::vector<double> time, energy;
+  };
+  std::map<std::string, Spreads> by_suite;
+  Spreads overall;
+
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    if (!w->variant().empty()) continue;
+    const auto inputs = w->inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      for (const char* cfg : {"default", "614", "ecc"}) {
+        const core::ExperimentResult& r =
+            study.measure(*w, i, sim::config_by_name(cfg));
+        if (!r.usable) continue;
+        auto& s = by_suite[std::string(w->suite())];
+        s.time.push_back(r.time_spread);
+        s.energy.push_back(r.energy_spread);
+        overall.time.push_back(r.time_spread);
+        overall.energy.push_back(r.energy_spread);
+      }
+    }
+  }
+
+  std::cout << "Table 2: Maximum and average measurement variability\n"
+            << "(relative spread of 3 repetitions; paper values: overall max "
+               "8.7% time / 7.2% energy, avg 1.4% / 2.0%)\n\n";
+  util::TextTable table(
+      {"suite", "max time", "max energy", "avg time", "avg energy"});
+  const auto emit = [&](const std::string& name, const Spreads& s) {
+    if (s.time.empty()) return;
+    table.row()
+        .add(name)
+        .add(util::format_fixed(100.0 * *std::max_element(s.time.begin(), s.time.end()), 1) + "%")
+        .add(util::format_fixed(100.0 * *std::max_element(s.energy.begin(), s.energy.end()), 1) + "%")
+        .add(util::format_fixed(100.0 * util::mean(s.time), 1) + "%")
+        .add(util::format_fixed(100.0 * util::mean(s.energy), 1) + "%");
+  };
+  for (const auto& [suite, spreads] : by_suite) emit(suite, spreads);
+  emit("Overall", overall);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces paper Table 3: effects of the alternate L-BFS and SSSP
+// implementations, as ratios variant/default of active runtime, energy and
+// power on the USA road map, under all four configurations.
+//
+// Paper values (USA input):
+//   L-BFS atomic/default: time ~0.29-0.32, energy ~0.26-0.27, power ~0.85-0.89
+//   L-BFS wla/default:    time ~0.39-0.68, energy ~0.27-0.36, power ~0.54-0.68
+//   SSSP  wlc/default:    time ~0.55-0.70, energy ~0.54-0.67, power ~0.95-0.99
+//   SSSP  wln/default:    time ~1.92-2.38, energy ~1.83-2.21, power ~0.91-0.95
+#include <iostream>
+
+#include "core/study.hpp"
+#include "sim/gpuconfig.hpp"
+#include "util/tablefmt.hpp"
+#include "workloads/registry.hpp"
+
+int main() {
+  using namespace repro;
+  suites::register_all_workloads();
+  core::Study study;
+  const workloads::Registry& reg = workloads::Registry::instance();
+  constexpr std::size_t kUsa = 2;  // input index of the USA road map
+
+  const auto compare = [&](const char* base_name, const char* variant_name) {
+    const workloads::Workload* base = reg.find(base_name);
+    const workloads::Workload* variant = reg.find(variant_name);
+    std::cout << variant_name << " / " << base_name << " (USA input)\n";
+    util::TextTable table({"config", "time", "energy", "power"});
+    for (const char* cfg : {"default", "324", "614", "ecc"}) {
+      const auto& config = sim::config_by_name(cfg);
+      const core::MetricRatios r = core::ratios(
+          study.measure(*variant, kUsa, config), study.measure(*base, kUsa, config));
+      if (r.usable) {
+        table.row().add(std::string(cfg) + " USA").add(r.time).add(r.energy).add(r.power);
+      } else {
+        table.row().add(std::string(cfg) + " USA").add("-").add("-").add(
+            "(insufficient samples)");
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  };
+
+  std::cout << "Table 3: effects of different implementations of L-BFS and "
+               "SSSP\n(values < 1.0: variant better than default)\n\n";
+  compare("L-BFS", "L-BFS-atomic");
+  compare("L-BFS", "L-BFS-wla");
+  compare("SSSP", "SSSP-wlc");
+  compare("SSSP", "SSSP-wln");
+
+  std::cout << "L-BFS-wlw / L-BFS-wlc: data-driven versions finish too fast "
+               "for the power sensor\n(paper §V.B.1); verifying:\n";
+  for (const char* name : {"L-BFS-wlw", "L-BFS-wlc"}) {
+    const auto& r = study.measure(*reg.find(name), kUsa,
+                                  sim::config_by_name("default"));
+    std::cout << "  " << name << ": "
+              << (r.usable ? "UNEXPECTEDLY USABLE" : "insufficient samples (as in the paper)")
+              << "\n";
+  }
+  return 0;
+}

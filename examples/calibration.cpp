@@ -1,0 +1,36 @@
+// Calibration dump: ground-truth active time plus measured time/energy/
+// power of every (program, input, config) experiment. Used to tune the
+// workload constants against the paper's magnitudes and to audit which
+// experiments the sensor pipeline rejects (the paper's 324 exclusions).
+//
+// Usage: calibration [program-name]
+#include <cstdio>
+#include <string>
+
+#include "core/study.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  suites::register_all_workloads();
+  const std::string filter = argc > 1 ? argv[1] : "";
+
+  core::Study study;
+  std::printf("%-14s %-38s %-8s %9s %9s %9s %8s %s\n", "program", "input",
+              "config", "true_s", "time_s", "energy_J", "power_W", "usable");
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    if (!filter.empty() && filter != w->name()) continue;
+    const auto inputs = w->inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      for (const sim::GpuConfig& config : sim::standard_configs()) {
+        const core::ExperimentResult& r = study.measure(*w, i, config);
+        std::printf("%-14s %-38.38s %-8s %9.2f %9.2f %9.1f %8.1f %s\n",
+                    std::string(w->name()).c_str(), inputs[i].name.c_str(),
+                    config.name.c_str(), r.true_active_s, r.time_s, r.energy_j,
+                    r.power_w, r.usable ? "yes" : "NO");
+      }
+    }
+  }
+  return 0;
+}

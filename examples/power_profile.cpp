@@ -1,0 +1,57 @@
+// Power-profile dump (paper Figure 1): records one run of a program with
+// the simulated on-board sensor and prints the sample stream plus the
+// K20Power analysis (idle level, threshold, active window) as CSV-ish
+// text, suitable for plotting.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/study.hpp"
+#include "k20power/analyze.hpp"
+#include "sensor/sampler.hpp"
+#include "sensor/waveform.hpp"
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  suites::register_all_workloads();
+
+  const char* program = argc > 1 ? argv[1] : "LBM";
+  const char* config_name = argc > 2 ? argv[2] : "default";
+  const workloads::Workload* workload =
+      workloads::Registry::instance().find(program);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown program '%s'\n", program);
+    return EXIT_FAILURE;
+  }
+  const sim::GpuConfig& config = sim::config_by_name(config_name);
+
+  workloads::ExecContext ctx;
+  ctx.core_mhz = config.core_mhz;
+  ctx.mem_mhz = config.mem_mhz;
+  ctx.ecc = config.ecc;
+  const auto trace = workload->trace(0, ctx);
+  const auto result = sim::run_trace(sim::k20c(), config, trace);
+
+  const power::PowerModel model;
+  const sensor::Waveform waveform = sensor::synthesize(result, config, model);
+  util::Rng rng{7};
+  const sensor::Sensor sensor;
+  const auto samples = sensor.record(waveform, rng);
+  const auto m = k20power::analyze(
+      samples, k20power::options_for_tail(model.tail_power_w(config)));
+
+  std::printf("# %s @ %s: idle=%.1fW threshold=%.1fW peak=%.1fW\n", program,
+              config_name, m.idle_w, m.threshold_w, m.peak_w);
+  std::printf("# active_time=%.2fs energy=%.1fJ avg_power=%.1fW usable=%s\n",
+              m.active_time_s, m.energy_j, m.avg_power_w,
+              m.usable ? "yes" : "no");
+  std::printf("time_s,power_w\n");
+  for (const sensor::Sample& s : samples) {
+    std::printf("%.1f,%.1f\n", s.t, s.w);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: measure one program under the four GPU configurations.
+//
+// Demonstrates the public API end to end: look a program up in the
+// registry, run the study harness (trace -> timing -> power -> sensor ->
+// K20Power analysis, median of 3 repetitions), and print active runtime,
+// energy and average power - the paper's three metrics.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/study.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  suites::register_all_workloads();
+
+  const char* program = argc > 1 ? argv[1] : "NB";
+  const workloads::Workload* workload =
+      workloads::Registry::instance().find(program);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown program '%s'; try e.g. NB, L-BFS, LBM\n",
+                 program);
+    return EXIT_FAILURE;
+  }
+
+  core::Study study;
+  const auto inputs = workload->inputs();
+  std::printf("%s (%s) - %zu input(s)\n\n", program,
+              std::string(workload->suite()).c_str(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::printf("input: %s\n", inputs[i].name.c_str());
+    std::printf("  %-8s %12s %12s %10s\n", "config", "time [s]", "energy [J]",
+                "power [W]");
+    for (const sim::GpuConfig& config : sim::standard_configs()) {
+      const core::ExperimentResult& r = study.measure(*workload, i, config);
+      if (r.usable) {
+        std::printf("  %-8s %12.2f %12.1f %10.1f\n", config.name.c_str(),
+                    r.time_s, r.energy_j, r.power_w);
+      } else {
+        std::printf("  %-8s %12s %12s %10s   (insufficient power samples)\n",
+                    config.name.c_str(), "-", "-", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

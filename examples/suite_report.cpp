@@ -1,0 +1,58 @@
+// Suite report: full characterization of one benchmark suite across all
+// four GPU configurations - the per-suite view behind the paper's figures.
+//
+// Usage: suite_report [suite-name]   (default: LonestarGPU)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/study.hpp"
+#include "sim/gpuconfig.hpp"
+#include "util/stats.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  suites::register_all_workloads();
+  const std::string suite = argc > 1 ? argv[1] : "LonestarGPU";
+  const auto programs = workloads::Registry::instance().by_suite(suite);
+  if (programs.empty()) {
+    std::fprintf(stderr,
+                 "unknown suite '%s'; one of: CUDA SDK, LonestarGPU, Parboil, "
+                 "Rodinia, SHOC\n",
+                 suite.c_str());
+    return 1;
+  }
+
+  core::Study study;
+  std::printf("%s characterization (median of 3 runs per experiment)\n\n", suite.c_str());
+  for (const workloads::Workload* w : programs) {
+    const char* variant_note = w->variant().empty() ? "" : "  [variant]";
+    std::printf("%s%s - %d global kernel(s), %s/%s\n",
+                std::string(w->name()).c_str(), variant_note,
+                w->num_global_kernels(),
+                w->boundedness() == workloads::Boundedness::kCompute ? "compute"
+                : w->boundedness() == workloads::Boundedness::kMemory
+                    ? "memory"
+                    : "balanced",
+                w->regularity() == workloads::Regularity::kIrregular
+                    ? "irregular"
+                    : "regular");
+    const auto inputs = w->inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      std::printf("  %s\n", inputs[i].name.c_str());
+      for (const sim::GpuConfig& config : sim::standard_configs()) {
+        const core::ExperimentResult& r = study.measure(*w, i, config);
+        if (r.usable) {
+          std::printf("    %-8s %8.2f s %9.1f J %7.1f W  (spread %.1f%%)\n",
+                      config.name.c_str(), r.time_s, r.energy_j, r.power_w,
+                      100.0 * r.time_spread);
+        } else {
+          std::printf("    %-8s insufficient power samples\n", config.name.c_str());
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

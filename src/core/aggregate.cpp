@@ -1,0 +1,61 @@
+#include "core/aggregate.hpp"
+
+namespace repro::core {
+
+std::vector<EntryRatio> suite_ratios(Study& study, std::string_view suite_name,
+                                     const sim::GpuConfig& config_a,
+                                     const sim::GpuConfig& config_b) {
+  std::vector<EntryRatio> out;
+  for (const workloads::Workload* w :
+       workloads::Registry::instance().by_suite(suite_name)) {
+    if (!w->variant().empty()) continue;  // alternate implementations: Table 3
+    const auto inputs = w->inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const ExperimentResult& a = study.measure(*w, i, config_a);
+      const ExperimentResult& b = study.measure(*w, i, config_b);
+      EntryRatio entry;
+      entry.program = std::string(w->name());
+      entry.input = inputs[i].name;
+      entry.ratio = ratios(b, a);
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+SuiteRatioBox summarize(std::string_view suite_name,
+                        const std::vector<EntryRatio>& entries) {
+  SuiteRatioBox box;
+  box.suite = std::string(suite_name);
+  std::vector<double> times, energies, powers;
+  for (const EntryRatio& e : entries) {
+    if (!e.ratio.usable) continue;
+    times.push_back(e.ratio.time);
+    energies.push_back(e.ratio.energy);
+    powers.push_back(e.ratio.power);
+  }
+  box.entries = static_cast<int>(times.size());
+  if (box.entries > 0) {
+    box.time = util::box_stats(times);
+    box.energy = util::box_stats(energies);
+    box.power = util::box_stats(powers);
+  }
+  return box;
+}
+
+std::vector<double> suite_powers(Study& study, std::string_view suite_name,
+                                 const sim::GpuConfig& config) {
+  std::vector<double> out;
+  for (const workloads::Workload* w :
+       workloads::Registry::instance().by_suite(suite_name)) {
+    if (!w->variant().empty()) continue;
+    const auto inputs = w->inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const ExperimentResult& r = study.measure(*w, i, config);
+      if (r.usable) out.push_back(r.power_w);
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::core

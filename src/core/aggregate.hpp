@@ -1,0 +1,50 @@
+// Suite-level aggregation for the paper's figures.
+//
+// Figures 2-4 show, per benchmark suite, box stats (median bar, quartile
+// box, min/max whiskers) of the relative change in active runtime, energy
+// and power between two GPU configurations, over all program-input
+// combinations that produced usable measurements under both. Figure 6
+// shows the box of absolute power per suite per configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "util/stats.hpp"
+
+namespace repro::core {
+
+/// One program-input entry of a suite aggregation.
+struct EntryRatio {
+  std::string program;
+  std::string input;
+  MetricRatios ratio;
+};
+
+struct SuiteRatioBox {
+  std::string suite;
+  int entries = 0;  // usable program-input pairs
+  util::BoxStats time;
+  util::BoxStats energy;
+  util::BoxStats power;
+};
+
+/// Computes config-B / config-A metric ratios for every primary program
+/// (variants excluded) and input of `suite_name`, skipping entries that are
+/// unusable under either configuration (the paper's 324 exclusions).
+std::vector<EntryRatio> suite_ratios(Study& study, std::string_view suite_name,
+                                     const sim::GpuConfig& config_a,
+                                     const sim::GpuConfig& config_b);
+
+/// Box stats over the usable entries. Returns entries == 0 when nothing
+/// survived.
+SuiteRatioBox summarize(std::string_view suite_name,
+                        const std::vector<EntryRatio>& entries);
+
+/// Absolute average power of every usable program-input pair of a suite
+/// under one configuration (Figure 6).
+std::vector<double> suite_powers(Study& study, std::string_view suite_name,
+                                 const sim::GpuConfig& config);
+
+}  // namespace repro::core

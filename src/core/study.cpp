@@ -1,0 +1,104 @@
+#include "core/study.hpp"
+
+#include <string>
+
+#include "core/variability.hpp"
+#include "sensor/sampler.hpp"
+#include "sensor/waveform.hpp"
+#include "sim/device.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace repro::core {
+
+Study::Study(Options options) : options_(options) {}
+
+namespace {
+
+std::string cache_key(const workloads::Workload& w, std::size_t input,
+                      const sim::GpuConfig& config) {
+  return std::string(w.name()) + "/" + std::to_string(input) + "/" + config.name;
+}
+
+}  // namespace
+
+const sim::TraceResult& Study::trace_result(const workloads::Workload& workload,
+                                            std::size_t input_index,
+                                            const sim::GpuConfig& config) {
+  const std::string key = cache_key(workload, input_index, config);
+  auto it = trace_cache_.find(key);
+  if (it != trace_cache_.end()) return it->second;
+
+  workloads::ExecContext ctx;
+  ctx.core_mhz = config.core_mhz;
+  ctx.mem_mhz = config.mem_mhz;
+  ctx.ecc = config.ecc;
+  ctx.structural_seed = options_.structural_seed;
+  const workloads::LaunchTrace trace = workload.trace(input_index, ctx);
+  sim::TraceResult result = sim::run_trace(sim::k20c(), config, trace);
+  return trace_cache_.emplace(key, std::move(result)).first->second;
+}
+
+const ExperimentResult& Study::measure(const workloads::Workload& workload,
+                                       std::size_t input_index,
+                                       const sim::GpuConfig& config) {
+  const std::string key = cache_key(workload, input_index, config);
+  auto it = result_cache_.find(key);
+  if (it != result_cache_.end()) return it->second;
+
+  const sim::TraceResult& ground_truth =
+      trace_result(workload, input_index, config);
+
+  ExperimentResult result;
+  result.true_active_s = ground_truth.active_time_s;
+
+  // One deterministic measurement stream per experiment.
+  util::Rng stream{util::mix64(options_.measurement_seed ^
+                               util::mix64(std::hash<std::string>{}(key)))};
+  const sensor::Sensor sensor;
+
+  std::vector<double> times, energies, powers;
+  for (int rep = 0; rep < options_.repetitions; ++rep) {
+    util::Rng rep_rng = stream.fork(static_cast<std::uint64_t>(rep) + 1);
+    const sim::TraceResult perturbed =
+        perturb(ground_truth, workload.regularity(), rep_rng);
+    const sensor::Waveform waveform =
+        sensor::synthesize(perturbed, config, power_model_,
+                           config.ecc ? workload.ecc_power_adjustment() : 1.0);
+    const auto samples = sensor.record(waveform, rep_rng);
+    k20power::Measurement m = k20power::analyze(
+        samples, k20power::options_for_tail(power_model_.tail_power_w(config)));
+    result.repetitions.push_back(m);
+    if (m.usable) {
+      times.push_back(m.active_time_s);
+      energies.push_back(m.energy_j);
+      powers.push_back(m.avg_power_w);
+    }
+  }
+
+  if (times.size() >= 2) {
+    result.usable = true;
+    result.time_s = util::median(times);
+    result.energy_j = util::median(energies);
+    result.power_w = util::median(powers);
+    result.time_spread = util::relative_spread(times);
+    result.energy_spread = util::relative_spread(energies);
+  }
+  return result_cache_.emplace(key, std::move(result)).first->second;
+}
+
+MetricRatios ratios(const ExperimentResult& numerator,
+                    const ExperimentResult& denominator) {
+  MetricRatios r;
+  if (!numerator.usable || !denominator.usable || denominator.time_s <= 0.0 ||
+      denominator.energy_j <= 0.0 || denominator.power_w <= 0.0) {
+    return r;
+  }
+  r.usable = true;
+  r.time = numerator.time_s / denominator.time_s;
+  r.energy = numerator.energy_j / denominator.energy_j;
+  r.power = numerator.power_w / denominator.power_w;
+  return r;
+}
+
+}  // namespace repro::core

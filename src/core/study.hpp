@@ -1,0 +1,83 @@
+// The study harness: end-to-end experiment execution (paper §IV).
+//
+// One experiment = (program, input, GPU configuration). Running it:
+//   workload trace  ->  timing engine  ->  variability perturbation
+//   ->  power model + waveform synthesis  ->  sensor sampling
+//   ->  K20Power analysis  ->  Measurement.
+// Each experiment is repeated (3x like the paper) and the medians of
+// active runtime, energy and average power are reported. Structural traces
+// are cached per (program, input, config) because repetitions only differ
+// in measurement noise, not algorithmic behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "k20power/analyze.hpp"
+#include "power/model.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/workload.hpp"
+
+namespace repro::core {
+
+/// Median-of-repetitions result of one experiment.
+struct ExperimentResult {
+  bool usable = false;          // enough sensor samples in >= 2 repetitions
+  double time_s = 0.0;          // median active runtime
+  double energy_j = 0.0;        // median energy
+  double power_w = 0.0;         // median average power
+  double true_active_s = 0.0;   // simulator ground truth (pre-sensor)
+  std::vector<k20power::Measurement> repetitions;
+
+  /// Relative spreads across repetitions (Table 2).
+  double time_spread = 0.0;
+  double energy_spread = 0.0;
+};
+
+class Study {
+ public:
+  struct Options {
+    int repetitions = 3;
+    std::uint64_t measurement_seed = 0xC0FFEE;
+    std::uint64_t structural_seed = 0x5eed;
+  };
+
+  Study() : Study(Options{}) {}
+  explicit Study(Options options);
+
+  /// Runs (or returns the cached result of) one experiment.
+  const ExperimentResult& measure(const workloads::Workload& workload,
+                                  std::size_t input_index,
+                                  const sim::GpuConfig& config);
+
+  /// Ground-truth trace execution without sensor/noise (for tests and the
+  /// per-item metrics of Table 4 where the paper normalizes by work).
+  const sim::TraceResult& trace_result(const workloads::Workload& workload,
+                                       std::size_t input_index,
+                                       const sim::GpuConfig& config);
+
+  const power::PowerModel& power_model() const noexcept { return power_model_; }
+
+ private:
+  Options options_;
+  power::PowerModel power_model_;
+  std::map<std::string, sim::TraceResult> trace_cache_;
+  std::map<std::string, ExperimentResult> result_cache_;
+};
+
+/// Ratio of two experiment metrics with usability propagation.
+struct MetricRatios {
+  bool usable = false;
+  double time = 0.0;
+  double energy = 0.0;
+  double power = 0.0;
+};
+
+MetricRatios ratios(const ExperimentResult& numerator,
+                    const ExperimentResult& denominator);
+
+}  // namespace repro::core

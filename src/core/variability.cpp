@@ -1,0 +1,50 @@
+#include "core/variability.hpp"
+
+#include <cmath>
+
+namespace repro::core {
+
+namespace {
+
+void scale_activity(sim::Activity& a, double s) {
+  a.warp_instructions *= s;
+  a.fp32_ops *= s;
+  a.fp64_ops *= s;
+  a.int_ops *= s;
+  a.sfu_ops *= s;
+  a.shared_accesses *= s;
+  a.l2_transactions *= s;
+  a.dram_transactions *= s;
+  a.dram_bus_bytes *= s;
+  a.atomic_ops *= s;
+}
+
+}  // namespace
+
+sim::TraceResult perturb(const sim::TraceResult& trace,
+                         workloads::Regularity regularity, util::Rng& rng,
+                         const VariabilityOptions& options) {
+  const double sigma_t = regularity == workloads::Regularity::kIrregular
+                             ? options.time_sigma_irregular
+                             : options.time_sigma_regular;
+  double run_jitter = rng.lognormal_jitter(sigma_t);
+  if (rng.bernoulli(options.outlier_probability)) {
+    run_jitter *= 1.0 + std::abs(rng.normal()) * options.outlier_scale;
+  }
+  const double activity_jitter = rng.lognormal_jitter(options.activity_sigma);
+
+  sim::TraceResult out = trace;
+  out.active_time_s = 0.0;
+  out.total_span_s = 0.0;
+  for (sim::Phase& phase : out.phases) {
+    const double phase_jitter = rng.lognormal_jitter(options.phase_sigma);
+    phase.duration_s *= run_jitter * phase_jitter;
+    scale_activity(phase.activity, activity_jitter);
+    out.active_time_s += phase.duration_s;
+    out.total_span_s += phase.duration_s + phase.host_gap_before_s;
+  }
+  scale_activity(out.total_activity, activity_jitter);
+  return out;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,32 @@
+// Run-to-run measurement variability model (paper Table 2).
+//
+// Real hardware runs differ by up to ~8.7% in active runtime between the
+// best and worst of three repetitions. The paper attributes this to timing
+// noise, sampling alignment and (controlled-away) temperature effects. We
+// model: (a) a global multiplicative runtime jitter per run, (b) small
+// independent per-phase jitter, (c) an occasional heavier-tailed outlier
+// run, and (d) activity jitter that decouples energy noise from time
+// noise. Sensor sampling-phase jitter comes from the sensor itself.
+#pragma once
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace repro::core {
+
+struct VariabilityOptions {
+  double time_sigma_regular = 0.005;
+  double time_sigma_irregular = 0.009;
+  double phase_sigma = 0.004;
+  double activity_sigma = 0.006;
+  double outlier_probability = 0.10;
+  double outlier_scale = 0.022;
+};
+
+/// Returns a perturbed copy of `trace` for one repetition.
+sim::TraceResult perturb(const sim::TraceResult& trace,
+                         workloads::Regularity regularity, util::Rng& rng,
+                         const VariabilityOptions& options = {});
+
+}  // namespace repro::core

@@ -1,0 +1,239 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace repro::graph {
+
+BfsProfile bfs(const CsrGraph& g, NodeId source) {
+  BfsProfile p;
+  p.levels.assign(g.num_nodes(), kUnreached);
+  std::vector<NodeId> frontier{source};
+  p.levels[source] = 0;
+  p.reached = 1;
+  while (!frontier.empty()) {
+    std::uint64_t edges = 0;
+    std::vector<NodeId> next;
+    for (const NodeId n : frontier) {
+      const auto nbrs = g.neighbors(n);
+      edges += nbrs.size();
+      for (const NodeId m : nbrs) {
+        if (p.levels[m] == kUnreached) {
+          p.levels[m] = p.levels[n] + 1;
+          next.push_back(m);
+        }
+      }
+    }
+    p.frontier_nodes.push_back(frontier.size());
+    p.frontier_edges.push_back(edges);
+    p.reached += next.size();
+    frontier = std::move(next);
+  }
+  p.depth = static_cast<std::uint32_t>(p.frontier_nodes.size());
+  return p;
+}
+
+NodeId best_source(const CsrGraph& g) {
+  NodeId best = 0;
+  EdgeId best_degree = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (g.degree(n) > best_degree) {
+      best_degree = g.degree(n);
+      best = n;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Shared driver for topology-driven fixpoints: every sweep visits all
+/// nodes and relaxes from neighbours. Sweep direction alternates
+/// (serpentine order), mimicking how GPU thread blocks are issued in
+/// varying order between grid launches. A neighbour value written earlier
+/// in the *same* sweep is seen with probability `visibility` (per-edge
+/// deterministic coin), otherwise the value from the previous sweep's
+/// snapshot is used. High visibility therefore approaches Gauss-Seidel
+/// propagation (few sweeps); zero visibility is pure Jacobi (sweep count
+/// equals the graph's value depth).
+SweepProfile topology_fixpoint(const CsrGraph& g, NodeId source, double visibility,
+                               std::uint64_t seed, bool weighted) {
+  SweepProfile prof;
+  std::vector<std::uint32_t> value(g.num_nodes(), kUnreached);
+  value[source] = 0;
+  std::vector<std::uint32_t> snapshot = value;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    snapshot = value;
+    std::uint64_t updates = 0;
+    const bool forward = (prof.sweeps % 2) == 0;
+    for (NodeId step_idx = 0; step_idx < g.num_nodes(); ++step_idx) {
+      const NodeId n = forward ? step_idx : g.num_nodes() - 1 - step_idx;
+      const auto nbrs = g.neighbors(n);
+      const auto wts = g.weights(n);
+      std::uint32_t best = value[n];
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId m = nbrs[i];
+        // "Earlier in this sweep" = visited before n in this direction;
+        // only then can the fresh value differ from the snapshot.
+        const bool earlier = forward ? m < n : m > n;
+        std::uint32_t seen = snapshot[m];
+        if (earlier && value[m] != snapshot[m]) {
+          const double coin = util::hash_unit(
+              n, m ^ (static_cast<std::uint64_t>(prof.sweeps) << 32), seed);
+          if (coin < visibility) seen = value[m];
+        }
+        if (seen == kUnreached) continue;
+        const std::uint32_t step = weighted ? wts[i] : 1u;
+        if (seen + step < best) best = seen + step;
+      }
+      if (best < value[n]) {
+        value[n] = best;
+        ++updates;
+        changed = true;
+      }
+    }
+    if (changed) {
+      prof.updates_per_sweep.push_back(updates);
+      ++prof.sweeps;
+    }
+    // Safety net: a monotone fixpoint on finite weights must converge, but
+    // cap sweeps defensively so a modelling bug cannot hang the harness.
+    if (prof.sweeps > 8 * g.num_nodes()) break;
+  }
+  prof.values = std::move(value);
+  return prof;
+}
+
+}  // namespace
+
+SweepProfile topology_bfs(const CsrGraph& g, NodeId source, double visibility,
+                          std::uint64_t seed) {
+  return topology_fixpoint(g, source, visibility, seed, /*weighted=*/false);
+}
+
+SweepProfile topology_sssp(const CsrGraph& g, NodeId source, double visibility,
+                           std::uint64_t seed) {
+  return topology_fixpoint(g, source, visibility, seed, /*weighted=*/true);
+}
+
+std::vector<std::uint64_t> dijkstra(const CsrGraph& g, NodeId source) {
+  constexpr auto kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> dist(g.num_nodes(), kInf);
+  using Item = std::pair<std::uint64_t, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, n] = pq.top();
+    pq.pop();
+    if (d != dist[n]) continue;
+    const auto nbrs = g.neighbors(n);
+    const auto wts = g.weights(n);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const std::uint64_t nd = d + wts[i];
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        pq.emplace(nd, nbrs[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<NodeId>(i);
+  }
+  NodeId find(NodeId x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(NodeId a, NodeId b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+BoruvkaProfile boruvka(const CsrGraph& g) {
+  BoruvkaProfile prof;
+  UnionFind uf{g.num_nodes()};
+  std::uint64_t components = connected_components(g) == 0
+                                 ? 0
+                                 : g.num_nodes();  // counts singletons too
+  // Track only components that can still merge; isolated nodes never do.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    prof.components_per_round.push_back(components);
+    // Find minimum outgoing edge per component (scans all edges, exactly
+    // like the benchmark's edge-relaxation kernels).
+    struct Best {
+      std::uint64_t weight = std::numeric_limits<std::uint64_t>::max();
+      NodeId src = 0, dst = 0;
+    };
+    std::vector<Best> best(g.num_nodes());
+    std::uint64_t scanned = 0;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      const NodeId cn = uf.find(n);
+      const auto nbrs = g.neighbors(n);
+      const auto wts = g.weights(n);
+      scanned += nbrs.size();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId cm = uf.find(nbrs[i]);
+        if (cn == cm) continue;
+        // Tie-break on (weight, src, dst) for determinism.
+        Best& b = best[cn];
+        const std::uint64_t w = wts[i];
+        if (w < b.weight || (w == b.weight && (n < b.src || (n == b.src && nbrs[i] < b.dst)))) {
+          b = Best{w, n, nbrs[i]};
+        }
+      }
+    }
+    prof.edges_scanned_per_round.push_back(scanned);
+    for (NodeId c = 0; c < g.num_nodes(); ++c) {
+      const Best& b = best[c];
+      if (b.weight == std::numeric_limits<std::uint64_t>::max()) continue;
+      if (uf.unite(b.src, b.dst)) {
+        prof.mst_weight += b.weight;
+        ++prof.mst_edges;
+        --components;
+        merged = true;
+      }
+    }
+  }
+  return prof;
+}
+
+std::uint64_t connected_components(const CsrGraph& g) {
+  if (g.num_nodes() == 0) return 0;
+  UnionFind uf{g.num_nodes()};
+  std::uint64_t components = g.num_nodes();
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (const NodeId m : g.neighbors(n)) {
+      if (uf.unite(n, m)) --components;
+    }
+  }
+  return components;
+}
+
+}  // namespace repro::graph

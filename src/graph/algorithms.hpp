@@ -1,0 +1,83 @@
+// Host graph algorithms.
+//
+// Two roles:
+//  1. Reference results for validating the workload implementations
+//     (BFS levels, shortest-path distances, MST weight).
+//  2. Execution *profiles* (per-iteration frontier/work sizes, sweep counts)
+//     that the graph workloads translate into kernel-launch traces. The
+//     topology-driven variants model the GPU's intra-sweep update
+//     visibility: on real hardware, whether a relaxation written by one
+//     thread is seen by others in the same grid sweep depends on timing,
+//     which is exactly the paper's explanation for why small frequency
+//     changes swing the runtime of irregular codes both ways (§V.A.1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace repro::graph {
+
+inline constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+/// Result of a data-driven (worklist) BFS: exact per-level frontier sizes
+/// and the number of edges examined per level.
+struct BfsProfile {
+  std::vector<std::uint32_t> levels;          // per node; kUnreached if not reached
+  std::vector<std::uint64_t> frontier_nodes;  // per level
+  std::vector<std::uint64_t> frontier_edges;  // per level
+  std::uint32_t depth = 0;                    // number of levels
+  std::uint64_t reached = 0;                  // nodes reached
+};
+
+BfsProfile bfs(const CsrGraph& g, NodeId source);
+
+/// A well-connected source node for traversal benchmarks: the
+/// highest-degree node (lowest id on ties). Benchmark inputs specify a
+/// source inside the giant component; on generated graphs node 0 can be
+/// isolated, so workloads use this instead.
+NodeId best_source(const CsrGraph& g);
+
+/// Profile of a topology-driven fixpoint computation: every sweep touches
+/// all nodes and all edges; the number of sweeps depends on how quickly
+/// updates propagate.
+struct SweepProfile {
+  std::uint32_t sweeps = 0;
+  std::vector<std::uint64_t> updates_per_sweep;  // nodes whose value changed
+  std::vector<std::uint32_t> values;             // final per-node values
+};
+
+/// Topology-driven BFS (one node per thread, all nodes every sweep).
+/// `visibility` in [0,1] is the probability that a value written earlier in
+/// the same sweep is already visible when read (1.0 = perfect Gauss-Seidel
+/// propagation, 0.0 = Jacobi double-buffering). `seed` fixes the per-edge
+/// visibility coin flips so a given (graph, visibility) pair is
+/// deterministic.
+SweepProfile topology_bfs(const CsrGraph& g, NodeId source, double visibility,
+                          std::uint64_t seed);
+
+/// Topology-driven SSSP (Bellman-Ford style sweeps) with the same
+/// visibility model. Values are path distances.
+SweepProfile topology_sssp(const CsrGraph& g, NodeId source, double visibility,
+                           std::uint64_t seed);
+
+/// Reference single-source shortest path distances (Dijkstra).
+std::vector<std::uint64_t> dijkstra(const CsrGraph& g, NodeId source);
+
+/// Profile of Boruvka's MST algorithm: per-round component counts and the
+/// number of edges scanned while looking for minimum outgoing edges.
+struct BoruvkaProfile {
+  std::vector<std::uint64_t> components_per_round;   // before each round
+  std::vector<std::uint64_t> edges_scanned_per_round;
+  std::uint64_t mst_weight = 0;
+  std::uint64_t mst_edges = 0;
+};
+
+BoruvkaProfile boruvka(const CsrGraph& g);
+
+/// Number of connected components (union-find reference).
+std::uint64_t connected_components(const CsrGraph& g);
+
+}  // namespace repro::graph

@@ -1,0 +1,61 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace repro::graph {
+
+CsrGraph CsrGraph::from_edges(NodeId num_nodes, std::span<const Edge> edges,
+                              bool symmetrize) {
+  CsrGraph g;
+  g.num_nodes_ = num_nodes;
+  g.row_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+
+  const auto count_edge = [&](NodeId src) {
+    assert(src < num_nodes);
+    ++g.row_offsets_[static_cast<std::size_t>(src) + 1];
+  };
+  for (const Edge& e : edges) {
+    count_edge(e.src);
+    if (symmetrize && e.src != e.dst) count_edge(e.dst);
+  }
+  for (std::size_t i = 1; i < g.row_offsets_.size(); ++i) {
+    g.row_offsets_[i] += g.row_offsets_[i - 1];
+  }
+
+  const EdgeId total = g.row_offsets_.back();
+  g.adjacency_.resize(total);
+  g.edge_weights_.resize(total);
+  std::vector<EdgeId> cursor(g.row_offsets_.begin(), g.row_offsets_.end() - 1);
+  const auto place = [&](NodeId src, NodeId dst, std::uint32_t w) {
+    const EdgeId slot = cursor[src]++;
+    g.adjacency_[slot] = dst;
+    g.edge_weights_[slot] = w;
+  };
+  for (const Edge& e : edges) {
+    place(e.src, e.dst, e.weight);
+    if (symmetrize && e.src != e.dst) place(e.dst, e.src, e.weight);
+  }
+  return g;
+}
+
+EdgeId CsrGraph::max_degree() const noexcept {
+  EdgeId best = 0;
+  for (NodeId n = 0; n < num_nodes_; ++n) best = std::max(best, degree(n));
+  return best;
+}
+
+double CsrGraph::degree_cv() const noexcept {
+  if (num_nodes_ == 0) return 0.0;
+  const double avg = average_degree();
+  if (avg == 0.0) return 0.0;
+  double ss = 0.0;
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    const double d = static_cast<double>(degree(n)) - avg;
+    ss += d * d;
+  }
+  return std::sqrt(ss / num_nodes_) / avg;
+}
+
+}  // namespace repro::graph

@@ -1,0 +1,72 @@
+// Compressed-sparse-row graph representation.
+//
+// All graph workloads (the five BFS implementations, SSSP variants, MST,
+// points-to analysis, survey propagation) operate on this structure, just
+// as the original benchmark suites share graph-file inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repro::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t weight = 1;
+};
+
+/// Immutable CSR adjacency structure with optional edge weights.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list. If `symmetrize` is set, every edge is also
+  /// inserted in the reverse direction (road networks and SHOC's random
+  /// graphs are undirected). Self-loops are kept; duplicate edges are kept
+  /// (benchmarks do not deduplicate either).
+  static CsrGraph from_edges(NodeId num_nodes, std::span<const Edge> edges,
+                             bool symmetrize);
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  EdgeId num_edges() const noexcept { return static_cast<EdgeId>(adjacency_.size()); }
+
+  std::span<const NodeId> neighbors(NodeId n) const noexcept {
+    return {adjacency_.data() + row_offsets_[n],
+            adjacency_.data() + row_offsets_[n + 1]};
+  }
+  std::span<const std::uint32_t> weights(NodeId n) const noexcept {
+    return {edge_weights_.data() + row_offsets_[n],
+            edge_weights_.data() + row_offsets_[n + 1]};
+  }
+
+  EdgeId degree(NodeId n) const noexcept {
+    return row_offsets_[n + 1] - row_offsets_[n];
+  }
+
+  std::span<const EdgeId> row_offsets() const noexcept { return row_offsets_; }
+
+  double average_degree() const noexcept {
+    return num_nodes_ == 0 ? 0.0
+                           : static_cast<double>(num_edges()) / num_nodes_;
+  }
+
+  /// Maximum out-degree; drives load-imbalance estimates for one-node-per-
+  /// thread kernels.
+  EdgeId max_degree() const noexcept;
+
+  /// Coefficient of variation of the degree distribution.
+  double degree_cv() const noexcept;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<EdgeId> row_offsets_;       // size num_nodes_ + 1
+  std::vector<NodeId> adjacency_;         // size num_edges
+  std::vector<std::uint32_t> edge_weights_;  // parallel to adjacency_
+};
+
+}  // namespace repro::graph

@@ -1,0 +1,109 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace repro::graph {
+
+using repro::util::Rng;
+
+CsrGraph roadmap(std::uint32_t width, std::uint32_t height, std::uint64_t seed) {
+  Rng rng{seed};
+  const NodeId n = width * height;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  const auto id = [width](std::uint32_t x, std::uint32_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  // A small fraction of "missing roads" keeps degrees irregular like real
+  // road networks (average degree ~2.5 rather than exactly 4).
+  constexpr double kDropProbability = 0.22;
+  constexpr double kDiagonalProbability = 0.06;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const auto weight = [&] {
+        return static_cast<std::uint32_t>(1 + rng.uniform_index(1000));
+      };
+      if (x + 1 < width && !rng.bernoulli(kDropProbability)) {
+        edges.push_back({id(x, y), id(x + 1, y), weight()});
+      }
+      if (y + 1 < height && !rng.bernoulli(kDropProbability)) {
+        edges.push_back({id(x, y), id(x, y + 1), weight()});
+      }
+      if (x + 1 < width && y + 1 < height && rng.bernoulli(kDiagonalProbability)) {
+        edges.push_back({id(x, y), id(x + 1, y + 1), weight()});
+      }
+    }
+  }
+  return CsrGraph::from_edges(n, edges, /*symmetrize=*/true);
+}
+
+CsrGraph random_kway(NodeId num_nodes, double k, std::uint64_t seed) {
+  Rng rng{seed};
+  // Undirected: each inserted edge contributes 2 to total degree.
+  const auto num_edges = static_cast<EdgeId>(k * num_nodes / 2.0);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    const auto a = static_cast<NodeId>(rng.uniform_index(num_nodes));
+    const auto b = static_cast<NodeId>(rng.uniform_index(num_nodes));
+    edges.push_back({a, b, static_cast<std::uint32_t>(1 + rng.uniform_index(100))});
+  }
+  return CsrGraph::from_edges(num_nodes, edges, /*symmetrize=*/true);
+}
+
+CsrGraph rmat(std::uint32_t scale, double edge_factor, std::uint64_t seed) {
+  Rng rng{seed};
+  const NodeId n = NodeId{1} << scale;
+  const auto num_edges = static_cast<EdgeId>(edge_factor * n);
+  constexpr double kA = 0.45, kB = 0.22, kC = 0.22;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    NodeId src = 0, dst = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      const bool src_hi = r >= kA + kB;            // quadrants c, d
+      const bool dst_hi = (r >= kA && r < kA + kB) // quadrant b
+                          || r >= kA + kB + kC;    // quadrant d
+      src = (src << 1) | NodeId{src_hi};
+      dst = (dst << 1) | NodeId{dst_hi};
+    }
+    edges.push_back({src, dst, static_cast<std::uint32_t>(1 + rng.uniform_index(100))});
+  }
+  return CsrGraph::from_edges(n, edges, /*symmetrize=*/false);
+}
+
+CsrGraph triangular_mesh(std::uint32_t width, std::uint32_t height,
+                         std::uint64_t seed) {
+  Rng rng{seed};
+  const NodeId n = width * height;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 3);
+  const auto id = [width](std::uint32_t x, std::uint32_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const auto weight = [&] {
+        return static_cast<std::uint32_t>(1 + rng.uniform_index(10));
+      };
+      if (x + 1 < width) edges.push_back({id(x, y), id(x + 1, y), weight()});
+      if (y + 1 < height) edges.push_back({id(x, y), id(x, y + 1), weight()});
+      // Alternate diagonal direction per row parity, as in a structured
+      // triangulation of a jittered grid.
+      if (x + 1 < width && y + 1 < height) {
+        if ((x + y) % 2 == 0) {
+          edges.push_back({id(x, y), id(x + 1, y + 1), weight()});
+        } else {
+          edges.push_back({id(x + 1, y), id(x, y + 1), weight()});
+        }
+      }
+    }
+  }
+  return CsrGraph::from_edges(n, edges, /*symmetrize=*/true);
+}
+
+}  // namespace repro::graph

@@ -1,0 +1,43 @@
+// Synthetic graph generators standing in for the paper's graph inputs.
+//
+// paper input                      -> generator (documented scale factor)
+// USA road maps (2.7M/6M/24M nodes)-> roadmap(): near-planar lattice with
+//                                     perturbed diagonals: avg degree ~2.5,
+//                                     huge diameter, uniform weights 1..1000
+// SHOC random k-way graph          -> random_kway(): uniform random edges,
+//                                     low diameter
+// R-BFS "random graphs 100k/1m"    -> random_kway() with k = 6
+// R-MAT-style skewed graphs        -> rmat(): power-law-ish degrees used by
+//                                     the points-to constraint generator
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace repro::graph {
+
+/// Road-network-like graph: w x h grid, 4-neighbour connectivity with a
+/// fraction of edges rewired to nearby diagonal nodes and a small fraction
+/// of nodes deleted, giving the low-degree high-diameter structure of the
+/// DIMACS road maps used by LonestarGPU. Undirected. Weights uniform in
+/// [1, 1000] like DIMACS travel times.
+CsrGraph roadmap(std::uint32_t width, std::uint32_t height, std::uint64_t seed);
+
+/// Uniform random undirected graph with `num_nodes` nodes and average
+/// degree `k` (SHOC's "undirected random k-way graph"; Rodinia's random
+/// graph inputs). Low diameter (~log n).
+CsrGraph random_kway(NodeId num_nodes, double k, std::uint64_t seed);
+
+/// R-MAT generator (a=0.45, b=0.22, c=0.22, d=0.11 fixed) with `scale`
+/// (2^scale nodes) and `edge_factor` edges per node. Directed. Produces the
+/// skewed degree distributions typical of constraint graphs (PTA) and the
+/// "suffix-tree-ish" fan-out used by MUM.
+CsrGraph rmat(std::uint32_t scale, double edge_factor, std::uint64_t seed);
+
+/// 2-D Delaunay-ish triangular mesh connectivity: jittered grid where each
+/// interior node links to 6 neighbours. Used by DMR's input meshes.
+CsrGraph triangular_mesh(std::uint32_t width, std::uint32_t height,
+                         std::uint64_t seed);
+
+}  // namespace repro::graph

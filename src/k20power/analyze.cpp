@@ -1,0 +1,96 @@
+#include "k20power/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace repro::k20power {
+
+Measurement analyze(std::span<const sensor::Sample> samples,
+                    const AnalyzeOptions& options) {
+  Measurement m;
+  if (samples.size() < 3) return m;
+
+  // Idle floor: the sensor records a short idle stretch before the run and
+  // after the driver tail decays. Long runs leave only a handful of idle
+  // samples, so estimate from the lowest few readings (robust against a
+  // single noise outlier) rather than a percentile of the whole stream.
+  std::vector<double> watts;
+  watts.reserve(samples.size());
+  for (const sensor::Sample& s : samples) watts.push_back(s.w);
+  std::vector<double> sorted = watts;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t low_n = std::min<std::size_t>(5, sorted.size());
+  double low_sum = 0.0;
+  for (std::size_t i = 0; i < low_n; ++i) low_sum += sorted[i];
+  m.idle_w = low_sum / static_cast<double>(low_n);
+  m.peak_w = sorted.back();
+
+  m.threshold_w = std::max(
+      {m.idle_w + options.threshold_fraction * (m.peak_w - m.idle_w),
+       m.idle_w + options.min_threshold_above_idle_w, options.min_threshold_w});
+
+  // Active window: first to last sample above the threshold.
+  std::size_t first = samples.size(), last = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].w > m.threshold_w) {
+      first = std::min(first, i);
+      last = std::max(last, i);
+    }
+  }
+  if (first >= samples.size() || last <= first) return m;
+
+  for (std::size_t i = first; i <= last; ++i) {
+    if (samples[i].w > m.threshold_w) ++m.active_samples;
+  }
+  if (m.active_samples < options.min_active_samples) return m;
+
+  // Require the sensor to have been in its active (10 Hz) mode for the
+  // bulk of the window: a 1 Hz stream cannot resolve the power profile
+  // (the paper's reason for dropping most 324 MHz runs).
+  if (last > first) {
+    std::vector<double> gaps;
+    gaps.reserve(last - first);
+    for (std::size_t i = first; i < last; ++i) {
+      gaps.push_back(samples[i + 1].t - samples[i].t);
+    }
+    std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+    if (gaps[gaps.size() / 2] > 0.15) return m;
+  }
+
+  // Lag compensation: the sensor reading r follows the true power p with
+  // dr/dt = (p - r)/tau, so p = r + tau * dr/dt. Central differences on the
+  // (non-uniform) sample grid.
+  const auto compensated = [&](std::size_t i) {
+    const std::size_t lo = i > 0 ? i - 1 : i;
+    const std::size_t hi = i + 1 < samples.size() ? i + 1 : i;
+    const double dt = samples[hi].t - samples[lo].t;
+    const double drdt = dt > 0.0 ? (samples[hi].w - samples[lo].w) / dt : 0.0;
+    return samples[i].w + options.lag_tau_s * drdt;
+  };
+
+  // Extend half a sample period on each side: the kernel started before the
+  // first above-threshold sample was taken.
+  const double lead = first > 0 ? 0.5 * (samples[first].t - samples[first - 1].t)
+                                : 0.0;
+  const double tail = last + 1 < samples.size()
+                          ? 0.5 * (samples[last + 1].t - samples[last].t)
+                          : 0.0;
+  m.active_time_s = (samples[last].t - samples[first].t) + lead + tail;
+
+  // Trapezoidal energy over the active window using compensated power.
+  double energy = 0.0;
+  for (std::size_t i = first; i < last; ++i) {
+    const double dt = samples[i + 1].t - samples[i].t;
+    energy += 0.5 * (compensated(i) + compensated(i + 1)) * dt;
+  }
+  // Edge half-periods at the window's boundary power levels.
+  energy += compensated(first) * lead + compensated(last) * tail;
+
+  m.energy_j = energy;
+  m.avg_power_w = m.active_time_s > 0.0 ? m.energy_j / m.active_time_s : 0.0;
+  m.usable = true;
+  return m;
+}
+
+}  // namespace repro::k20power

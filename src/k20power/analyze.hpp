@@ -1,0 +1,60 @@
+// Re-implementation of the K20Power measurement tool (Burtscher, Zecena &
+// Zong, GPGPU-7 2014) used by the paper (§IV.B-C, Fig. 1).
+//
+// Given the sensor's sample stream, the tool:
+//  1. estimates the idle floor,
+//  2. picks a dynamic activity threshold for this execution (the paper:
+//     "dynamically adjusted for each execution ... lower frequency settings
+//     require a lower threshold"),
+//  3. defines the ACTIVE RUNTIME as the span during which the reading stays
+//     above the threshold,
+//  4. compensates the sensor's capacitor-like lag (p = r + tau*dr/dt) and
+//     integrates the compensated power over the active window for energy,
+//  5. rejects the run if too few active samples were captured (the paper's
+//     exclusion rule for the 324 MHz configuration and for very fast
+//     codes such as L-BFS wlc/wlw).
+#pragma once
+
+#include <span>
+
+#include "sensor/sampler.hpp"
+
+namespace repro::k20power {
+
+struct AnalyzeOptions {
+  double lag_tau_s = 0.7;          // must match the sensor's time constant
+  double threshold_fraction = 0.25;  // idle + fraction * (peak - idle)
+  double min_threshold_above_idle_w = 5.5;
+  /// Floor for the threshold: the driver's tail power plus a margin, so
+  /// the tail after the last kernel is never counted as active runtime.
+  /// The caller knows the configuration and passes the expected tail level
+  /// (the paper: the threshold is "dynamically adjusted for each
+  /// execution ... lower frequency settings require a lower threshold").
+  double min_threshold_w = 0.0;
+  int min_active_samples = 12;     // below this, the run is unusable
+};
+
+/// Convenience: options with the tail guard set for a given expected tail
+/// power level.
+inline AnalyzeOptions options_for_tail(double tail_power_w) {
+  AnalyzeOptions opt;
+  opt.min_threshold_w = tail_power_w + 2.5;
+  return opt;
+}
+
+struct Measurement {
+  bool usable = false;
+  double active_time_s = 0.0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double idle_w = 0.0;
+  double threshold_w = 0.0;
+  double peak_w = 0.0;
+  int active_samples = 0;
+};
+
+/// Analyzes one recorded run.
+Measurement analyze(std::span<const sensor::Sample> samples,
+                    const AnalyzeOptions& options = {});
+
+}  // namespace repro::k20power

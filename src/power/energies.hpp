@@ -1,0 +1,50 @@
+// Per-event energy table (GPUWattch-style activity-based power modelling).
+//
+// All values are calibrated so that the K20c magnitudes of the paper come
+// out: ~25 W idle, ~45-55 W for occupancy-starved memory-bound kernels,
+// ~100 W for compute-saturated kernels, >160 W peak (MaxFlops), 225 W
+// board limit. Energies are at nominal voltage; the model scales dynamic
+// energy by (V/Vnom)^2.
+#pragma once
+
+namespace repro::power {
+
+struct EnergyTable {
+  // SM front-end: fetch/decode/schedule/operand-collect per warp
+  // instruction issue (including divergence replays).
+  double warp_issue_nj = 0.30;
+
+  // Execution lane-ops (includes register-file traffic).
+  double fp32_pj = 25.0;
+  double fp64_pj = 70.0;
+  double int_pj = 14.0;
+  double sfu_pj = 40.0;
+  double atomic_pj = 1500.0;  // L2-side read-modify-write per lane
+
+  // Memory hierarchy.
+  double shared_access_nj = 0.20;     // per warp-level shared access
+  double l2_transaction_nj = 1.20;    // per 128 B transaction
+  double dram_transaction_nj = 28.0;  // DRAM array + I/O per 128 B txn
+  double memctl_transaction_nj = 10.0; // controller/PHY per txn
+  double ecc_transaction_nj = 9.0;    // ECC generate/check per txn (ECC on)
+
+  // Static components.
+  double board_w = 10.0;        // fan, VRM losses, misc logic
+  double leakage_nominal_w = 12.0;  // at nominal core voltage
+  double leakage_voltage_exp = 1.6; // leakage ~ V^1.6
+  double dram_background_w_per_ghz = 1.1;  // refresh/clock tree vs mem clock
+
+  // Driver keeps the GPU in a raised power state between/after kernels:
+  // tail power = static floor + tail_boost_w scaled by the core clock and
+  // voltage (the driver parks at the configured clocks, not at P8).
+  double tail_boost_w = 17.0;
+  double tail_decay_s = 1.8;  // exponential decay back to idle
+};
+
+/// The calibrated table used across the study.
+inline const EnergyTable& default_energies() {
+  static const EnergyTable table{};
+  return table;
+}
+
+}  // namespace repro::power

@@ -1,0 +1,70 @@
+#include "power/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::power {
+
+double PowerModel::dynamic_energy_j(const sim::Activity& a,
+                                    const sim::GpuConfig& config) const {
+  const EnergyTable& t = *table_;
+  const double vc2 = config.core_voltage * config.core_voltage;
+  const double vm2 = config.mem_voltage * config.mem_voltage;
+
+  // Core-domain events.
+  double core_j = a.warp_instructions * t.warp_issue_nj * 1e-9;
+  core_j += a.fp32_ops * t.fp32_pj * 1e-12;
+  core_j += a.fp64_ops * t.fp64_pj * 1e-12;
+  core_j += a.int_ops * t.int_pj * 1e-12;
+  core_j += a.sfu_ops * t.sfu_pj * 1e-12;
+  core_j += a.shared_accesses * t.shared_access_nj * 1e-9;
+  core_j += a.l2_transactions * t.l2_transaction_nj * 1e-9;
+  core_j += a.atomic_ops * t.atomic_pj * 1e-12;
+
+  // Memory-domain events.
+  double mem_j =
+      a.dram_transactions * (t.dram_transaction_nj + t.memctl_transaction_nj) * 1e-9;
+  if (config.ecc) {
+    mem_j += a.dram_transactions * t.ecc_transaction_nj * 1e-9;
+  }
+
+  return core_j * vc2 + mem_j * vm2;
+}
+
+double PowerModel::static_power_w(const sim::GpuConfig& config) const {
+  const EnergyTable& t = *table_;
+  const double leak =
+      t.leakage_nominal_w * std::pow(config.core_voltage, t.leakage_voltage_exp);
+  const double dram_bg = t.dram_background_w_per_ghz * (config.mem_mhz / 1000.0);
+  return t.board_w + leak + dram_bg;
+}
+
+double PowerModel::tail_power_w(const sim::GpuConfig& config) const {
+  const double clock_frac = config.core_mhz / 705.0;
+  const double v2 = config.core_voltage * config.core_voltage;
+  return static_power_w(config) + table_->tail_boost_w * clock_frac * v2;
+}
+
+PhasePower PowerModel::phase_power(const sim::Activity& activity, double duration_s,
+                                   const sim::GpuConfig& config,
+                                   double ecc_adjust) const {
+  const EnergyTable& t = *table_;
+  PhasePower p;
+  p.board_w = t.board_w;
+  p.leakage_w =
+      t.leakage_nominal_w * std::pow(config.core_voltage, t.leakage_voltage_exp);
+  p.dram_background_w = t.dram_background_w_per_ghz * (config.mem_mhz / 1000.0);
+  const double duration = std::max(duration_s, 1e-12);
+  p.dynamic_w = dynamic_energy_j(activity, config) / duration;
+  // While kernels run the GPU sits in the raised clock state, so the floor
+  // under the dynamic power is the same level the driver holds between
+  // kernels (tail power). This is why even occupancy-starved kernels read
+  // ~48-52 W on a K20 (paper §V.C).
+  p.total_w = tail_power_w(config) + p.dynamic_w;
+  if (config.ecc) p.total_w *= ecc_adjust;
+  // K20 board power limit: the firmware clamps at the TDP.
+  p.total_w = std::min(p.total_w, 225.0);
+  return p;
+}
+
+}  // namespace repro::power

@@ -1,0 +1,62 @@
+// Activity-based GPU power model.
+//
+// P(phase) = board + leakage(Vcore) + DRAM background(f_mem)
+//          + dynamic_energy(activity, V) / duration.
+//
+// Dynamic event energies scale with the square of the supply voltage of
+// the clock domain the event belongs to (core-domain events with Vcore,
+// DRAM-side events with Vmem). This is the standard CMOS E ~ C V^2 model
+// and produces the paper's super-linear power reductions under DVFS.
+#pragma once
+
+#include "power/energies.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+
+namespace repro::power {
+
+struct PhasePower {
+  double total_w = 0.0;
+  double dynamic_w = 0.0;
+  double leakage_w = 0.0;
+  double board_w = 0.0;
+  double dram_background_w = 0.0;
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const EnergyTable& table = default_energies()) noexcept
+      : table_(&table) {}
+
+  /// Average power of one kernel phase under `config`.
+  /// `ecc_adjust` is the workload's documented ECC power anomaly factor
+  /// (1.0 for all but NB); applied only when ECC is enabled.
+  PhasePower phase_power(const sim::Activity& activity, double duration_s,
+                         const sim::GpuConfig& config,
+                         double ecc_adjust = 1.0) const;
+
+  /// Dynamic energy (joules) of an activity bundle under `config`,
+  /// independent of time.
+  double dynamic_energy_j(const sim::Activity& activity,
+                          const sim::GpuConfig& config) const;
+
+  /// Static floor while the GPU is powered and clocked (no kernel running):
+  /// board + leakage + DRAM background. This is also what the sensor reads
+  /// while the application idles under this configuration (the driver keeps
+  /// the configured clocks; at the default configuration this is ~25 W,
+  /// matching the paper's "idle power less than about 26 W").
+  double static_power_w(const sim::GpuConfig& config) const;
+
+  /// Raised power state the driver holds between/after kernels (paper
+  /// Fig. 1 "tail power"). Scales with the configured core clock/voltage.
+  double tail_power_w(const sim::GpuConfig& config) const;
+
+  double tail_decay_s() const noexcept { return table_->tail_decay_s; }
+
+  const EnergyTable& table() const noexcept { return *table_; }
+
+ private:
+  const EnergyTable* table_;
+};
+
+}  // namespace repro::power

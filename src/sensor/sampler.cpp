@@ -1,0 +1,35 @@
+#include "sensor/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::sensor {
+
+std::vector<Sample> Sensor::record(const Waveform& waveform, util::Rng& rng) const {
+  std::vector<Sample> samples;
+  const double end = waveform.duration();
+  if (end <= 0.0) return samples;
+
+  double reading = waveform.power_at(0.0);
+  double next_sample = rng.uniform() * opt_.idle_period_s;  // phase offset
+  const double dt = opt_.integration_dt_s;
+
+  for (double t = 0.0; t <= end; t += dt) {
+    // First-order lag toward the instantaneous true power.
+    const double p = waveform.power_at(t);
+    reading += (p - reading) * std::min(dt / opt_.lag_tau_s, 1.0);
+
+    if (t + 1e-12 >= next_sample) {
+      double reported = reading + rng.normal(0.0, opt_.noise_sigma_w);
+      reported = std::max(reported, 0.0);
+      reported = std::round(reported / opt_.quantum_w) * opt_.quantum_w;
+      samples.push_back({t, reported});
+      const double period =
+          reading >= opt_.gate_w ? opt_.active_period_s : opt_.idle_period_s;
+      next_sample = t + period;
+    }
+  }
+  return samples;
+}
+
+}  // namespace repro::sensor

@@ -1,0 +1,51 @@
+// On-board power-sensor simulation (paper §IV.B-C).
+//
+// The K20's sensor has two behaviours this module reproduces:
+//  1. A slow, capacitor-like response: the reading is a first-order
+//     low-pass of the true power (time constant ~0.7 s; K20Power
+//     compensates for it, see src/k20power).
+//  2. Adaptive sampling: 1 Hz while the reading is below an activity gate,
+//     10 Hz once it rises above. This is why low-power runs (notably most
+//     programs at the 324 MHz configuration) produce too few samples to
+//     analyze - the paper excludes them for exactly this reason.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sensor/waveform.hpp"
+#include "util/rng.hpp"
+
+namespace repro::sensor {
+
+struct Sample {
+  double t = 0.0;  // seconds since recording start
+  double w = 0.0;  // reported watts
+};
+
+struct SensorOptions {
+  double lag_tau_s = 0.7;        // first-order response time constant
+  double idle_period_s = 1.0;    // 1 Hz below the gate
+  double active_period_s = 0.1;  // 10 Hz above the gate
+  double gate_w = 31.0;          // reading level that switches to 10 Hz
+  double noise_sigma_w = 0.35;   // gaussian read noise
+  double quantum_w = 0.1;        // reporting quantization
+  double integration_dt_s = 0.01;  // lag-filter integration step
+};
+
+class Sensor {
+ public:
+  explicit Sensor(const SensorOptions& options = {}) noexcept : opt_(options) {}
+
+  /// Records a full run. `rng` drives read noise and the sampling phase
+  /// offset (the sampler is not aligned with kernel starts, a genuine
+  /// source of run-to-run variability for short runs).
+  std::vector<Sample> record(const Waveform& waveform, util::Rng& rng) const;
+
+  const SensorOptions& options() const noexcept { return opt_; }
+
+ private:
+  SensorOptions opt_;
+};
+
+}  // namespace repro::sensor

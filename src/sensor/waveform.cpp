@@ -1,0 +1,88 @@
+#include "sensor/waveform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace repro::sensor {
+
+Waveform::Waveform(std::vector<Segment> segments) : segments_(std::move(segments)) {
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < segments_.size(); ++i) {
+    assert(segments_[i].t0 >= segments_[i - 1].t0);
+  }
+#endif
+}
+
+double Waveform::power_at(double t) const {
+  if (segments_.empty()) return 0.0;
+  if (t <= segments_.front().t0) return segments_.front().w0;
+  if (t >= segments_.back().t1) return segments_.back().w1;
+  // Binary search for the segment containing t.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](double value, const Segment& s) { return value < s.t1; });
+  if (it == segments_.end()) return segments_.back().w1;
+  const Segment& s = *it;
+  const double span = s.t1 - s.t0;
+  if (span <= 0.0) return s.w0;
+  const double frac = std::clamp((t - s.t0) / span, 0.0, 1.0);
+  return s.w0 + frac * (s.w1 - s.w0);
+}
+
+double Waveform::energy_j(double a, double b) const {
+  if (b < a) std::swap(a, b);
+  double total = 0.0;
+  for (const Segment& s : segments_) {
+    const double lo = std::max(a, s.t0);
+    const double hi = std::min(b, s.t1);
+    if (hi <= lo) continue;
+    // Interpolate within this segment (power_at would resolve boundary
+    // points to the neighbouring segment).
+    const double span = s.t1 - s.t0;
+    const auto at = [&](double t) {
+      if (span <= 0.0) return s.w0;
+      return s.w0 + (t - s.t0) / span * (s.w1 - s.w0);
+    };
+    total += 0.5 * (at(lo) + at(hi)) * (hi - lo);
+  }
+  return total;
+}
+
+Waveform synthesize(const sim::TraceResult& trace, const sim::GpuConfig& config,
+                    const power::PowerModel& model, double ecc_adjust,
+                    const WaveformOptions& options) {
+  std::vector<Segment> segments;
+  segments.reserve(trace.phases.size() * 2 + 4);
+  const double idle = model.static_power_w(config);
+  const double gap_power = model.tail_power_w(config);
+
+  double t = 0.0;
+  const auto push = [&](double duration, double w0, double w1) {
+    if (duration <= 0.0) return;
+    segments.push_back({t, t + duration, w0, w1});
+    t += duration;
+  };
+
+  push(options.lead_in_idle_s, idle, idle);
+  push(options.init_phase_s, gap_power, gap_power);
+  for (const sim::Phase& phase : trace.phases) {
+    // Host gaps: the driver holds the GPU in a raised power state.
+    push(phase.host_gap_before_s, gap_power, gap_power);
+    const power::PhasePower p =
+        model.phase_power(phase.activity, phase.duration_s, config, ecc_adjust);
+    push(phase.duration_s, p.total_w, p.total_w);
+  }
+  // Driver tail: exponential decay approximated by three linear pieces.
+  const double tau = model.tail_decay_s();
+  double w = gap_power;
+  for (int i = 0; i < 3; ++i) {
+    const double next = idle + (w - idle) * std::exp(-1.0);
+    push(tau / 2.0, w, next);
+    w = next;
+  }
+  push(options.trail_idle_s, idle, idle);
+  return Waveform{std::move(segments)};
+}
+
+}  // namespace repro::sensor

@@ -1,0 +1,60 @@
+// True-power waveform synthesis.
+//
+// Builds the continuous power-draw timeline of one program run from the
+// simulator's phase list: an idle lead-in, one level per kernel phase,
+// driver "tail" power during host gaps and after the last kernel (the
+// driver keeps the GPU active for a while in case another kernel is
+// launched - paper §IV.C / Fig. 1), and a final idle stretch.
+#pragma once
+
+#include <vector>
+
+#include "power/model.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+
+namespace repro::sensor {
+
+/// Piecewise-linear power segment: power ramps w0 -> w1 over [t0, t1).
+struct Segment {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double w0 = 0.0;
+  double w1 = 0.0;
+};
+
+class Waveform {
+ public:
+  explicit Waveform(std::vector<Segment> segments);
+
+  /// Instantaneous true power at time t (clamped to the timeline ends).
+  double power_at(double t) const;
+
+  /// Integral of power over [a, b] in joules.
+  double energy_j(double a, double b) const;
+
+  double duration() const noexcept {
+    return segments_.empty() ? 0.0 : segments_.back().t1;
+  }
+
+  const std::vector<Segment>& segments() const noexcept { return segments_; }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+struct WaveformOptions {
+  double lead_in_idle_s = 2.0;   // idle before the program starts
+  /// CUDA context creation / allocations raise the clocks before the first
+  /// kernel; the sensor is already in its 10 Hz mode when kernels begin.
+  double init_phase_s = 0.9;
+  double trail_idle_s = 4.0;     // idle recorded after the tail decays
+};
+
+/// Builds the run waveform. `ecc_adjust` is the workload's ECC power
+/// anomaly factor (see Workload::ecc_power_adjustment).
+Waveform synthesize(const sim::TraceResult& trace, const sim::GpuConfig& config,
+                    const power::PowerModel& model, double ecc_adjust = 1.0,
+                    const WaveformOptions& options = {});
+
+}  // namespace repro::sensor

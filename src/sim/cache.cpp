@@ -1,0 +1,54 @@
+#include "sim/cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace repro::sim {
+
+SetAssocCache::SetAssocCache(std::uint64_t size_bytes, int line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  if (line_bytes <= 0 || ways <= 0) {
+    throw std::invalid_argument("cache geometry must be positive");
+  }
+  const std::uint64_t lines = size_bytes / static_cast<std::uint64_t>(line_bytes);
+  if (lines < static_cast<std::uint64_t>(ways)) {
+    throw std::invalid_argument("cache smaller than one set");
+  }
+  num_sets_ = static_cast<int>(lines / static_cast<std::uint64_t>(ways));
+  lines_.assign(static_cast<std::size_t>(num_sets_) * ways_, Line{});
+}
+
+bool SetAssocCache::access(std::uint64_t address) {
+  const std::uint64_t line_addr = address / static_cast<std::uint64_t>(line_bytes_);
+  const auto set = static_cast<int>(line_addr % static_cast<std::uint64_t>(num_sets_));
+  const std::uint64_t tag = line_addr / static_cast<std::uint64_t>(num_sets_);
+  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  ++stamp_;
+
+  Line* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = stamp_;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  ++misses_;
+  return false;
+}
+
+void SetAssocCache::reset() {
+  for (Line& line : lines_) line = Line{};
+  stamp_ = hits_ = misses_ = 0;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,49 @@
+// Set-associative LRU cache model.
+//
+// Workloads with non-trivial reuse patterns run sampled address streams
+// through an L2-sized instance of this model to derive their l2_hit_rate
+// instead of asserting one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace repro::sim {
+
+class SetAssocCache {
+ public:
+  /// size_bytes and line_bytes must be powers-of-two multiples such that
+  /// size_bytes / (line_bytes * ways) >= 1.
+  SetAssocCache(std::uint64_t size_bytes, int line_bytes, int ways);
+
+  /// Accesses a byte address; returns true on hit. Misses fill the line
+  /// (allocate-on-miss for both reads and writes, like the K20 L2).
+  bool access(std::uint64_t address);
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  void reset();
+
+  int num_sets() const noexcept { return num_sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~std::uint64_t{0};
+    std::uint64_t lru = 0;  // last-use stamp
+    bool valid = false;
+  };
+
+  int line_bytes_;
+  int ways_;
+  int num_sets_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Line> lines_;  // num_sets_ x ways_, row-major
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,32 @@
+#include "sim/coalesce.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace repro::sim {
+
+int CoalescingAnalyzer::warp_access(std::span<const std::uint64_t> addresses) {
+  if (addresses.empty()) return 0;
+  // Distinct aligned segments touched by the warp. 32 entries max, so a
+  // small sorted vector beats a hash set.
+  std::vector<std::uint64_t> segments;
+  segments.reserve(addresses.size());
+  for (const std::uint64_t addr : addresses) {
+    segments.push_back(addr / static_cast<std::uint64_t>(segment_bytes_));
+  }
+  std::sort(segments.begin(), segments.end());
+  segments.erase(std::unique(segments.begin(), segments.end()), segments.end());
+  ++stats_.warp_accesses;
+  stats_.transactions += segments.size();
+  return static_cast<int>(segments.size());
+}
+
+void CoalescingAnalyzer::access_stream(std::span<const std::uint64_t> addresses) {
+  constexpr std::size_t kWarp = 32;
+  for (std::size_t base = 0; base < addresses.size(); base += kWarp) {
+    const std::size_t count = std::min(kWarp, addresses.size() - base);
+    warp_access(addresses.subspan(base, count));
+  }
+}
+
+}  // namespace repro::sim

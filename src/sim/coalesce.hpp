@@ -1,0 +1,48 @@
+// Memory-coalescing analysis (paper §III).
+//
+// If the 32 threads of a warp access words within one aligned 128-byte
+// segment, the hardware merges them into a single transaction; accesses
+// spanning k segments issue k serial transactions. Workloads feed sampled
+// per-warp address streams through this analyzer to obtain their
+// transactions-per-access factor instead of guessing it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace repro::sim {
+
+struct CoalesceStats {
+  std::uint64_t warp_accesses = 0;
+  std::uint64_t transactions = 0;
+
+  double transactions_per_access() const noexcept {
+    return warp_accesses == 0
+               ? 1.0
+               : static_cast<double>(transactions) / static_cast<double>(warp_accesses);
+  }
+};
+
+class CoalescingAnalyzer {
+ public:
+  explicit CoalescingAnalyzer(int segment_bytes = 128) noexcept
+      : segment_bytes_(segment_bytes) {}
+
+  /// Analyzes one warp-wide access: `addresses` holds the byte address each
+  /// active lane touches (inactive lanes omitted; an empty span is a no-op).
+  /// Returns the number of 128-byte transactions generated.
+  int warp_access(std::span<const std::uint64_t> addresses);
+
+  /// Convenience: processes a flat per-thread address stream in warp-sized
+  /// chunks (final partial warp included).
+  void access_stream(std::span<const std::uint64_t> addresses);
+
+  const CoalesceStats& stats() const noexcept { return stats_; }
+  void reset() noexcept { stats_ = {}; }
+
+ private:
+  int segment_bytes_;
+  CoalesceStats stats_;
+};
+
+}  // namespace repro::sim

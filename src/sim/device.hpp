@@ -1,0 +1,85 @@
+// Architectural constants of the simulated GPU.
+//
+// Values follow the Tesla K20c (GK110, 13 SMX) described in paper §III.
+#pragma once
+
+#include <cstdint>
+
+namespace repro::sim {
+
+struct KeplerDevice {
+  // Compute resources (paper §III: 13 SMs x 192 PEs = 2496).
+  int num_sms = 13;
+  int fp32_lanes_per_sm = 192;
+  int fp64_lanes_per_sm = 64;
+  int sfu_per_sm = 32;
+  int int_lanes_per_sm = 160;   // GK110 integer throughput < fp32
+  int ldst_units_per_sm = 32;   // one warp-wide access per cycle
+  int warp_size = 32;
+  int schedulers_per_sm = 4;    // dual-issue quad scheduler
+  double issue_width = 6.0;     // sustained warp instructions / cycle / SM
+
+  // Occupancy limits.
+  int max_warps_per_sm = 64;
+  int max_blocks_per_sm = 16;
+  int max_threads_per_block = 1024;
+  std::uint32_t registers_per_sm = 65536;
+  std::uint32_t shared_bytes_per_sm = 48 * 1024;
+
+  // Memory hierarchy.
+  std::uint32_t l2_bytes = 1280 * 1024;  // 1.25 MB on K20
+  int l2_line_bytes = 128;
+  int l2_ways = 16;
+  int dram_segment_bytes = 128;          // coalescing granularity (§III)
+  int dram_bus_bytes_per_clock = 80;     // 320-bit GDDR5, DDR: 40 B x 2
+
+  // Latency model: DRAM round-trip in nanoseconds as a function of the
+  // memory clock (the controller/array runs slower at low clocks).
+  double dram_latency_base_ns = 350.0;
+  double dram_latency_clock_ns = 120.0;  // scaled by (2600 / mem_mhz)
+
+  // Per-launch driver/runtime overhead.
+  double kernel_launch_overhead_s = 6.0e-6;
+
+  // Pipeline-latency hiding: resident warps needed per SM for full
+  // arithmetic throughput.
+  double warps_for_full_throughput = 24.0;
+
+  double peak_fp32_lane_ops_per_s(double core_mhz) const noexcept {
+    return static_cast<double>(num_sms) * fp32_lanes_per_sm * core_mhz * 1e6;
+  }
+
+  double dram_latency_ns(double mem_mhz) const noexcept {
+    return dram_latency_base_ns + dram_latency_clock_ns * (2600.0 / mem_mhz);
+  }
+
+  /// Peak DRAM bandwidth in bytes/s at a given memory clock. At the
+  /// default 2600 MHz this is 208 GB/s, matching the K20c.
+  double peak_dram_bw(double mem_mhz) const noexcept {
+    return mem_mhz * 1e6 * dram_bus_bytes_per_clock / 1.0;
+  }
+};
+
+/// The device every experiment in the study runs on.
+inline const KeplerDevice& k20c() {
+  static const KeplerDevice device{};
+  return device;
+}
+
+/// Tesla K40 (GK110B, 15 SMX, 288 GB/s). The paper (§IV.B) repeated
+/// initial experiments on K20m/K20x/K40 and found the same results after
+/// scaling the absolute numbers; tests verify that relative effects are
+/// device-invariant here too.
+inline const KeplerDevice& k40() {
+  static const KeplerDevice device = [] {
+    KeplerDevice d;
+    d.num_sms = 15;
+    d.l2_bytes = 1536 * 1024;
+    // 384-bit GDDR5: 48 B x 2 per memory clock (3.0 GHz -> 288 GB/s).
+    d.dram_bus_bytes_per_clock = 96;
+    return d;
+  }();
+  return device;
+}
+
+}  // namespace repro::sim

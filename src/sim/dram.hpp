@@ -1,0 +1,66 @@
+// GDDR5 DRAM model with ECC (paper §III, §V.A.3).
+//
+// ECC is modeled where NVIDIA puts it on the K20: in-band in main memory.
+// Enabling ECC (a) reserves 12.5% of capacity, (b) costs extra bus traffic
+// for the ECC words, and (c) adds controller latency. Crucially, the ECC
+// traffic is charged *per transaction*: a scattered (uncoalesced) access
+// pattern that issues many sparsely-filled transactions pays the ECC tax
+// many times over, which is the paper's explanation for LonestarGPU's
+// energy increase exceeding its runtime increase under ECC.
+#pragma once
+
+#include "sim/device.hpp"
+#include "sim/gpuconfig.hpp"
+
+namespace repro::sim {
+
+class DramModel {
+ public:
+  DramModel(const KeplerDevice& device, const GpuConfig& config) noexcept
+      : device_(&device), config_(&config) {}
+
+  /// Achievable bandwidth in bytes/s: peak at the configured memory clock,
+  /// derated by a fixed controller efficiency and, with ECC, by the
+  /// bandwidth cost of in-band ECC.
+  double effective_bandwidth() const noexcept {
+    double bw = device_->peak_dram_bw(config_->mem_mhz) * kControllerEfficiency;
+    if (config_->ecc) bw *= kEccBandwidthDerate;
+    return bw;
+  }
+
+  /// Round-trip latency in seconds.
+  double latency_s() const noexcept {
+    double ns = device_->dram_latency_ns(config_->mem_mhz);
+    if (config_->ecc) ns += kEccLatencyNs;
+    return ns * 1e-9;
+  }
+
+  /// Bus bytes consumed by one 128-byte transaction, including in-band ECC
+  /// words when enabled. Independent of how many of the 128 bytes the warp
+  /// actually uses - that is what makes uncoalesced access expensive.
+  double bus_bytes_per_transaction() const noexcept {
+    double bytes = static_cast<double>(device_->dram_segment_bytes);
+    if (config_->ecc) bytes *= 1.0 + kEccBytesFraction;
+    return bytes;
+  }
+
+  /// Usable device memory in bytes (ECC reserves 12.5%).
+  double usable_memory_bytes() const noexcept {
+    constexpr double kTotal = 5.0 * 1024 * 1024 * 1024;  // 5 GB K20c
+    return config_->ecc ? kTotal * (1.0 - 0.125) : kTotal;
+  }
+
+  bool ecc_enabled() const noexcept { return config_->ecc; }
+
+  // Model constants, public so tests and DESIGN.md can reference them.
+  static constexpr double kControllerEfficiency = 0.80;
+  static constexpr double kEccBandwidthDerate = 0.95;
+  static constexpr double kEccBytesFraction = 0.125;   // 16 B per 128 B
+  static constexpr double kEccLatencyNs = 25.0;
+
+ private:
+  const KeplerDevice* device_;
+  const GpuConfig* config_;
+};
+
+}  // namespace repro::sim

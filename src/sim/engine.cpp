@@ -1,0 +1,34 @@
+#include "sim/engine.hpp"
+
+namespace repro::sim {
+
+TraceResult run_trace(const KeplerDevice& device, const GpuConfig& config,
+                      const workloads::LaunchTrace& trace) {
+  TraceResult result;
+  result.phases.reserve(trace.size());
+  for (const workloads::KernelLaunch& launch : trace) {
+    const KernelResult k = time_kernel(device, config, launch);
+    const bool mergeable = !result.phases.empty() &&
+                           result.phases.back().kernel_name == launch.name &&
+                           launch.host_gap_before_s <= 0.0;
+    if (mergeable) {
+      Phase& p = result.phases.back();
+      p.duration_s += k.time_s;
+      p.activity += k.activity;
+    } else {
+      Phase p;
+      p.kernel_name = launch.name;
+      p.host_gap_before_s = launch.host_gap_before_s;
+      p.duration_s = k.time_s;
+      p.activity = k.activity;
+      p.memory_bound = k.memory_bound();
+      result.phases.push_back(std::move(p));
+    }
+    result.active_time_s += k.time_s;
+    result.total_span_s += k.time_s + launch.host_gap_before_s;
+    result.total_activity += k.activity;
+  }
+  return result;
+}
+
+}  // namespace repro::sim

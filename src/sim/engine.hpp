@@ -1,0 +1,36 @@
+// Launch-trace executor: times every kernel of a trace and produces the
+// phase list (durations + activities + host gaps) that the power model and
+// sensor pipeline consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/timing.hpp"
+#include "workloads/kernel.hpp"
+
+namespace repro::sim {
+
+/// One GPU-busy phase (a kernel execution) of a program run.
+struct Phase {
+  std::string kernel_name;
+  double host_gap_before_s = 0.0;  // GPU idle (driver-active) before this phase
+  double duration_s = 0.0;
+  Activity activity;
+  bool memory_bound = false;
+};
+
+struct TraceResult {
+  std::vector<Phase> phases;
+  double active_time_s = 0.0;  // sum of kernel durations (ground truth)
+  double total_span_s = 0.0;   // incl. host gaps
+  Activity total_activity;
+};
+
+/// Runs a whole launch trace under `config`. Consecutive launches of the
+/// same kernel with no host gap are merged into one phase to keep sensor
+/// waveforms compact (the GPU sees back-to-back launches the same way).
+TraceResult run_trace(const KeplerDevice& device, const GpuConfig& config,
+                      const workloads::LaunchTrace& trace);
+
+}  // namespace repro::sim

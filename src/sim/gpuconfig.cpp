@@ -1,0 +1,31 @@
+#include "sim/gpuconfig.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace repro::sim {
+
+namespace {
+
+const std::array<GpuConfig, 4>& configs() {
+  static const std::array<GpuConfig, 4> kConfigs{{
+      {"default", 705.0, 2600.0, 1.00, 1.00, false},
+      {"614", 614.0, 2600.0, 0.93, 1.00, false},
+      {"324", 324.0, 324.0, 0.85, 0.88, false},
+      {"ecc", 705.0, 2600.0, 1.00, 1.00, true},
+  }};
+  return kConfigs;
+}
+
+}  // namespace
+
+std::span<const GpuConfig> standard_configs() { return configs(); }
+
+const GpuConfig& config_by_name(std::string_view name) {
+  for (const GpuConfig& c : configs()) {
+    if (c.name == name) return c;
+  }
+  throw std::invalid_argument("unknown GPU config: " + std::string(name));
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,32 @@
+// GPU operating configurations (paper §IV.B).
+//
+// The study uses four: default (705/2600), 614 (614/2600), 324 (324/324)
+// and ECC (705/2600 with ECC on). Each carries the DVFS voltages used by
+// the power model; lowering the clock also lowers the voltage, which is
+// why compute-bound codes can see super-linear power reductions (§V.A.1).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace repro::sim {
+
+struct GpuConfig {
+  std::string name;
+  double core_mhz = 705.0;
+  double mem_mhz = 2600.0;
+  double core_voltage = 1.00;  // relative to nominal
+  double mem_voltage = 1.00;
+  bool ecc = false;
+};
+
+/// The four configurations evaluated in the paper, in presentation order:
+/// default, 614, 324, ecc.
+std::span<const GpuConfig> standard_configs();
+
+/// Lookup by name ("default", "614", "324", "ecc"). Throws
+/// std::invalid_argument on unknown names.
+const GpuConfig& config_by_name(std::string_view name);
+
+}  // namespace repro::sim

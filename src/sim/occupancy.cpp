@@ -1,0 +1,49 @@
+#include "sim/occupancy.hpp"
+
+#include <algorithm>
+
+namespace repro::sim {
+
+Occupancy occupancy(const KeplerDevice& device, int threads_per_block,
+                    int regs_per_thread, int shared_bytes_per_block) {
+  threads_per_block = std::clamp(threads_per_block, 1, device.max_threads_per_block);
+  regs_per_thread = std::max(regs_per_thread, 1);
+  const int warps_per_block =
+      (threads_per_block + device.warp_size - 1) / device.warp_size;
+
+  Occupancy occ;
+  int limit = device.max_blocks_per_sm;
+  occ.limiter = Occupancy::Limiter::kBlocks;
+
+  const int by_warps = device.max_warps_per_sm / warps_per_block;
+  if (by_warps < limit) {
+    limit = by_warps;
+    occ.limiter = Occupancy::Limiter::kWarps;
+  }
+
+  const auto regs_per_block =
+      static_cast<std::uint32_t>(regs_per_thread) * threads_per_block;
+  const int by_regs = static_cast<int>(device.registers_per_sm / regs_per_block);
+  if (by_regs < limit) {
+    limit = by_regs;
+    occ.limiter = Occupancy::Limiter::kRegisters;
+  }
+
+  if (shared_bytes_per_block > 0) {
+    const int by_shared = static_cast<int>(
+        device.shared_bytes_per_sm / static_cast<std::uint32_t>(shared_bytes_per_block));
+    if (by_shared < limit) {
+      limit = by_shared;
+      occ.limiter = Occupancy::Limiter::kSharedMemory;
+    }
+  }
+
+  occ.blocks_per_sm = std::max(limit, 1);
+  occ.warps_per_sm = std::min(occ.blocks_per_sm * warps_per_block,
+                              device.max_warps_per_sm);
+  occ.fraction = static_cast<double>(occ.warps_per_sm) / device.max_warps_per_sm;
+  if (limit >= device.max_blocks_per_sm) occ.limiter = Occupancy::Limiter::kNone;
+  return occ;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,21 @@
+// CUDA-style occupancy calculation for the Kepler device.
+#pragma once
+
+#include "sim/device.hpp"
+
+namespace repro::sim {
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;       // resident warps
+  double fraction = 0.0;      // warps_per_sm / max_warps_per_sm
+  enum class Limiter { kBlocks, kWarps, kRegisters, kSharedMemory, kNone } limiter =
+      Limiter::kNone;
+};
+
+/// Resident blocks/warps per SM given a block's resource footprint.
+/// threads_per_block is clamped to [1, max_threads_per_block].
+Occupancy occupancy(const KeplerDevice& device, int threads_per_block,
+                    int regs_per_thread, int shared_bytes_per_block);
+
+}  // namespace repro::sim

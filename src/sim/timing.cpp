@@ -1,0 +1,125 @@
+#include "sim/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::sim {
+
+Activity& Activity::operator+=(const Activity& other) noexcept {
+  warp_instructions += other.warp_instructions;
+  fp32_ops += other.fp32_ops;
+  fp64_ops += other.fp64_ops;
+  int_ops += other.int_ops;
+  sfu_ops += other.sfu_ops;
+  shared_accesses += other.shared_accesses;
+  l2_transactions += other.l2_transactions;
+  dram_transactions += other.dram_transactions;
+  dram_bus_bytes += other.dram_bus_bytes;
+  atomic_ops += other.atomic_ops;
+  return *this;
+}
+
+KernelResult time_kernel(const KeplerDevice& device, const GpuConfig& config,
+                         const workloads::KernelLaunch& launch) {
+  const workloads::InstructionMix& mix = launch.mix;
+  const DramModel dram{device, config};
+
+  KernelResult r;
+  r.occ = occupancy(device, launch.threads_per_block, launch.regs_per_thread,
+                    launch.shared_bytes_per_block);
+
+  const double threads = std::max(launch.total_threads(), 1.0);
+  const double warps = threads / device.warp_size;
+  const double d = std::max(mix.divergence, 1.0);
+  const double alf = std::clamp(mix.active_lane_fraction, 0.01, 1.0);
+
+  // ---- Event counts (power inputs). Lane-ops are the operations actually
+  // executed; issue slots additionally pay for divergence replays.
+  Activity& act = r.activity;
+  act.fp32_ops = mix.fp32 * threads * alf;
+  act.fp64_ops = mix.fp64 * threads * alf;
+  act.int_ops = mix.int_alu * threads * alf;
+  act.sfu_ops = mix.sfu * threads * alf;
+  act.atomic_ops = mix.atomics * threads * alf;
+  act.shared_accesses = mix.shared_accesses * warps * mix.shared_conflict_factor * d;
+
+  const double load_txn = mix.global_loads * warps * mix.load_transactions_per_access;
+  const double store_txn =
+      mix.global_stores * warps * mix.store_transactions_per_access;
+  const double atomic_txn = mix.atomics * warps * std::max(mix.atomic_contention, 1.0);
+  const double global_txn = load_txn + store_txn;
+  act.l2_transactions = global_txn + atomic_txn;
+  act.dram_transactions = global_txn * (1.0 - std::clamp(mix.l2_hit_rate, 0.0, 1.0));
+  act.dram_bus_bytes = act.dram_transactions * dram.bus_bytes_per_transaction();
+
+  // Issue slots: FMA retires 2 FLOPs per slot, so FP slot counts divide by
+  // (1 + fma_fraction).
+  const double fma_issue = 1.0 + std::clamp(mix.fma_fraction, 0.0, 1.0);
+  const double arith_issues =
+      ((mix.fp32 + mix.fp64) / fma_issue + mix.int_alu + mix.sfu) * warps * d;
+  const double ldst_issues = global_txn + act.shared_accesses + atomic_txn;
+  const double sync_issues = mix.syncs * warps;
+  act.warp_instructions = arith_issues + ldst_issues + sync_issues;
+
+  // ---- Compute side: busiest pipeline per SM, in core cycles. FMA
+  // retires 2 FLOPs per issue slot.
+  const double fma = 1.0 + std::clamp(mix.fma_fraction, 0.0, 1.0);
+  const double per_sm = 1.0 / device.num_sms;
+  const double w = device.warp_size;
+  const double c_fp32 =
+      mix.fp32 / fma * warps * d * per_sm * w / device.fp32_lanes_per_sm;
+  const double c_fp64 =
+      mix.fp64 / fma * warps * d * per_sm * w / device.fp64_lanes_per_sm;
+  const double c_int = mix.int_alu * warps * d * per_sm * w / device.int_lanes_per_sm;
+  const double c_sfu = mix.sfu * warps * d * per_sm * w / device.sfu_per_sm;
+  const double c_ldst = ldst_issues * per_sm;  // one warp transaction / cycle
+  const double c_issue = act.warp_instructions * per_sm / device.issue_width;
+  double compute_cycles =
+      std::max({c_fp32, c_fp64, c_int, c_sfu, c_ldst, c_issue});
+
+  // A grid smaller than the machine leaves SMs partially filled: the
+  // resident warps per SM are bounded by what the launch actually provides.
+  const double grid_warps_per_sm =
+      std::ceil(warps / static_cast<double>(device.num_sms));
+  const double resident_warps =
+      std::min(static_cast<double>(r.occ.warps_per_sm),
+               std::max(grid_warps_per_sm, 1.0));
+
+  // Too few resident warps leave pipeline bubbles (can't hide ALU latency).
+  const double hide =
+      std::min(1.0, resident_warps / device.warps_for_full_throughput);
+  compute_cycles /= std::max(hide, 0.05);
+
+  const double core_hz = config.core_mhz * 1e6;
+  r.compute_time_s = compute_cycles / core_hz;
+
+  // ---- Memory side: DRAM bandwidth, DRAM latency (Little's law), L2.
+  const double t_bw = act.dram_bus_bytes / dram.effective_bandwidth();
+  const double concurrency =
+      std::max(1.0, resident_warps * device.num_sms * std::max(mix.mlp, 0.25));
+  const double t_lat = act.dram_transactions * dram.latency_s() / concurrency;
+  // GK110 L2: ~512 B/core-cycle aggregate.
+  const double l2_bw = 512.0 * core_hz;
+  const double t_l2 =
+      act.l2_transactions * device.dram_segment_bytes / l2_bw;
+  r.memory_time_s = std::max({t_bw, t_lat, t_l2});
+
+  // ---- Blend. High occupancy overlaps compute and memory well; low
+  // occupancy serializes part of them.
+  const double overlap = std::clamp(r.occ.fraction * 1.6, 0.35, 0.92);
+  double busy = std::max(r.compute_time_s, r.memory_time_s) +
+                (1.0 - overlap) * std::min(r.compute_time_s, r.memory_time_s);
+
+  // ---- Load imbalance, amortized over waves: a skewed block distribution
+  // only leaves SMs idle during the final wave.
+  const double waves =
+      std::max(1.0, launch.blocks / (static_cast<double>(r.occ.blocks_per_sm) *
+                                     device.num_sms));
+  const double imb = std::max(launch.imbalance, 1.0);
+  busy *= 1.0 + (imb - 1.0) / waves;
+
+  r.time_s = busy + device.kernel_launch_overhead_s;
+  return r;
+}
+
+}  // namespace repro::sim

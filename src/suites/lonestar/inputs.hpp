@@ -1,0 +1,41 @@
+// Shared LonestarGPU graph inputs.
+//
+// The paper's road-map inputs (paper Table 1) and our simulation-scale
+// stand-ins (DESIGN.md §6):
+//   Great Lakes region: 2.7M nodes /  7M edges  -> 120x120 lattice (14.4k)
+//   Western USA:        6.0M nodes / 15M edges  -> 160x160 lattice (25.6k)
+//   entire USA:          24M nodes / 58M edges  -> 220x220 lattice (48.4k)
+// The lattices preserve what matters for BFS/SSSP/MST behaviour: average
+// degree ~2.4, enormous diameter, near-planar locality.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace repro::suites::lonestar {
+
+enum class RoadMap { kGreatLakes = 0, kWesternUsa = 1, kUsa = 2 };
+
+struct RoadMapInput {
+  RoadMap which;
+  const char* name;
+  double paper_nodes;
+  double paper_edges;
+  std::uint32_t sim_width;
+  std::uint32_t sim_height;
+};
+
+inline constexpr RoadMapInput kRoadMaps[] = {
+    {RoadMap::kGreatLakes, "Great Lakes (2.7m nodes, 7m edges)", 2.7e6, 7e6, 120, 120},
+    {RoadMap::kWesternUsa, "Western USA (6m nodes, 15m edges)", 6e6, 15e6, 160, 160},
+    {RoadMap::kUsa, "USA (24m nodes, 58m edges)", 24e6, 58e6, 220, 220},
+};
+
+/// Cached simulation-scale road map (built once per process per input).
+const graph::CsrGraph& road_map(RoadMap which, std::uint64_t structural_seed);
+
+/// Node scale factor from simulation size to paper size.
+double node_scale(RoadMap which, std::uint64_t structural_seed);
+
+}  // namespace repro::suites::lonestar

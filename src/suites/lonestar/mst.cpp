@@ -1,0 +1,113 @@
+// LonestarGPU Minimum Spanning Tree (Boruvka) - paper §IV.A.1.d.
+//
+// Runs the real Boruvka algorithm on the road map (graph::boruvka) to get
+// the genuine per-round component counts and edge-scan volumes. On the
+// GPU, each round's minimum-edge search races concurrently-merging
+// components: relaxations that lose the race must retry. How often that
+// happens is timing-dependent, which is why MST shows the largest runtime
+// increase of all programs when the core clock drops to 614 MHz (paper
+// §V.A.1: +25% runtime from a 13% clock reduction). We model the retry
+// rate through the same visibility mechanism as the other irregular codes,
+// with a negative clock-ratio sensitivity.
+#include <algorithm>
+#include <memory>
+
+#include "graph/algorithms.hpp"
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+#include "suites/lonestar/inputs.hpp"
+
+namespace repro::suites {
+namespace {
+
+using lonestar::kRoadMaps;
+using lonestar::road_map;
+using lonestar::RoadMap;
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+constexpr double kRoundWork[3] = {290.0, 330.0, 152.0};
+
+class Mst : public SuiteWorkload {
+ public:
+  Mst()
+      : SuiteWorkload("MST", kLonestar, 7, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kIrregular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    std::vector<InputSpec> specs;
+    for (const auto& rm : kRoadMaps) {
+      specs.push_back({rm.name, "lattice stand-in, see DESIGN.md §6"});
+    }
+    return specs;
+  }
+
+  ItemCounts items(std::size_t input) const override {
+    return {kRoadMaps[input].paper_nodes, kRoadMaps[input].paper_edges};
+  }
+
+  LaunchTrace trace(std::size_t input, const ExecContext& ctx) const override {
+    const auto which = static_cast<RoadMap>(input);
+    const graph::CsrGraph& g = road_map(which, ctx.structural_seed);
+    const GraphKernelShape shape = graph_shape(g, ctx.structural_seed);
+    const graph::BoruvkaProfile profile = graph::boruvka(g);
+    const double scale =
+        lonestar::node_scale(which, ctx.structural_seed) * kRoundWork[input];
+
+    // Timing-dependent CAS retries: less intra-round visibility of merges
+    // means more stale minimum-edge candidates that must be recomputed.
+    const double visibility = ctx.visibility(0.55, -2.5);
+    const double retry_factor = 1.0 + 1.2 * (1.0 - visibility);
+
+    LaunchTrace trace;
+    const std::size_t rounds = profile.components_per_round.size();
+    for (std::size_t round = 0; round < rounds; ++round) {
+      const double components =
+          static_cast<double>(profile.components_per_round[round]) * scale;
+      const double edges_scanned =
+          static_cast<double>(profile.edges_scanned_per_round[round]) * scale *
+          retry_factor;
+
+      // Kernel 1: find minimum outgoing edge per node (scans adjacency).
+      KernelLaunch find = graph_node_kernel(
+          "mst_find_min", edges_scanned / std::max(shape.avg_degree, 0.5), shape,
+          /*loads_per_edge=*/2.2, /*stores_per_node=*/0.5,
+          /*int_per_edge=*/7.0);
+      trace.push_back(std::move(find));
+
+      // Kernel 2: component hooking via atomicCAS (union-find on device).
+      KernelLaunch hook;
+      hook.name = "mst_union";
+      hook.threads_per_block = 256;
+      hook.blocks = std::max(components, 256.0) / 256.0;
+      hook.mix.global_loads = 6.0;  // pointer chasing in union-find
+      hook.mix.global_stores = 1.0;
+      hook.mix.int_alu = 14.0;
+      hook.mix.atomics = 1.5 * retry_factor;
+      hook.mix.atomic_contention = 2.5;
+      hook.mix.load_transactions_per_access = 12.0;  // parent chains scatter
+      hook.mix.divergence = 2.2;
+      hook.mix.l2_hit_rate = 0.30;
+      hook.mix.mlp = 3.0;
+      hook.imbalance = shape.imbalance;
+      trace.push_back(std::move(hook));
+
+      // Kernel 3: graph contraction / edge filtering every other round.
+      if (round % 2 == 0) {
+        KernelLaunch compact = graph_node_kernel(
+            "mst_compact", components * shape.avg_degree, shape,
+            /*loads_per_edge=*/1.0, /*stores_per_node=*/1.0);
+        trace.push_back(std::move(compact));
+      }
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_mst(Registry& r) { r.add(std::make_unique<Mst>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,180 @@
+// LonestarGPU Survey Propagation (paper §IV.A.1.g).
+//
+// Heuristic SAT solver via Bayesian message passing on the factor graph of
+// a random k-SAT formula. We implement the real survey-propagation update
+// loop on the host: clause->variable surveys iterate until the maximum
+// message change drops below a tolerance, then the most-biased variable is
+// decimated (fixed) and the loop repeats. Per-iteration message volumes
+// drive the kernel sizes. The convergence path is genuinely data- and
+// order-dependent, so the clock-dependent visibility shifts iteration
+// counts like on real hardware.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+#include "util/rng.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+struct NspInput {
+  const char* name;
+  int clauses;
+  int literals;  // variables
+  int lits_per_clause;
+  double paper_scale;  // emitted-work multiplier
+};
+
+constexpr NspInput kInputs[] = {
+    {"16800 clauses, 4000 literals, 3 per clause", 2100, 500, 3, 42000.0},
+    {"42k clauses, 10k literals, 3 per clause", 5250, 1250, 3, 22000.0},
+    {"42k clauses, 10k literals, 5 per clause", 5250, 1250, 5, 15000.0},
+};
+
+struct Formula {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clause_vars;  // signed literals, 1-based
+};
+
+Formula random_ksat(const NspInput& in, std::uint64_t seed) {
+  util::Rng rng{seed};
+  Formula f;
+  f.num_vars = in.literals;
+  f.clause_vars.resize(in.clauses);
+  for (auto& clause : f.clause_vars) {
+    clause.reserve(in.lits_per_clause);
+    for (int k = 0; k < in.lits_per_clause; ++k) {
+      const int var = 1 + static_cast<int>(rng.uniform_index(in.literals));
+      clause.push_back(rng.bernoulli(0.5) ? var : -var);
+    }
+  }
+  return f;
+}
+
+struct SpProfile {
+  std::vector<int> iters_per_decimation;  // survey iterations per round
+  int total_iterations = 0;
+};
+
+/// Survey propagation: eta[c][k] messages, damped updates, decimation of
+/// the most biased variable each time the surveys converge.
+SpProfile survey_propagation(const Formula& f, double damping,
+                             std::uint64_t seed, int max_decimations) {
+  util::Rng rng{seed};
+  const int c = static_cast<int>(f.clause_vars.size());
+  std::vector<std::vector<double>> eta(c);
+  for (int i = 0; i < c; ++i) {
+    eta[i].assign(f.clause_vars[i].size(), rng.uniform(0.05, 0.95));
+  }
+  std::vector<char> fixed(static_cast<std::size_t>(f.num_vars) + 1, 0);
+
+  SpProfile prof;
+  for (int round = 0; round < max_decimations; ++round) {
+    int iters = 0;
+    double max_delta = 1.0;
+    while (max_delta > 1e-2 && iters < 200) {
+      max_delta = 0.0;
+      for (int i = 0; i < c; ++i) {
+        for (std::size_t k = 0; k < f.clause_vars[i].size(); ++k) {
+          const int lit = f.clause_vars[i][k];
+          const int var = std::abs(lit);
+          if (fixed[var]) continue;
+          // Product over the clause's other literals of their "warning"
+          // probabilities; a cheap but genuine SP-style coupling.
+          double prod = 1.0;
+          for (std::size_t j = 0; j < f.clause_vars[i].size(); ++j) {
+            if (j == k) continue;
+            prod *= 1.0 - eta[i][j] * 0.5;
+          }
+          const double next = damping * eta[i][k] + (1.0 - damping) * (1.0 - prod);
+          max_delta = std::max(max_delta, std::abs(next - eta[i][k]));
+          eta[i][k] = next;
+        }
+      }
+      ++iters;
+    }
+    prof.iters_per_decimation.push_back(iters);
+    prof.total_iterations += iters;
+    // Decimate: fix one variable (round-robin over a hash for determinism).
+    const int var =
+        1 + static_cast<int>(util::mix64(seed + round) % f.num_vars);
+    fixed[var] = 1;
+  }
+  return prof;
+}
+
+class Nsp : public SuiteWorkload {
+ public:
+  Nsp()
+      : SuiteWorkload("NSP", kLonestar, 3, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kIrregular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    std::vector<InputSpec> specs;
+    for (const NspInput& in : kInputs) {
+      specs.push_back({in.name, "reduced-scale random k-SAT, x8 clause scale"});
+    }
+    return specs;
+  }
+
+  LaunchTrace trace(std::size_t input, const ExecContext& ctx) const override {
+    const NspInput& in = kInputs[input];
+    const Formula f = random_ksat(in, ctx.structural_seed + input * 7);
+    // Damping plays the role of intra-iteration visibility: with updates
+    // visible sooner, surveys converge in fewer iterations.
+    const double visibility = ctx.visibility(0.5, 0.6);
+    const SpProfile profile = survey_propagation(
+        f, /*damping=*/1.0 - 0.5 * visibility, ctx.structural_seed, 24);
+
+    const double clause_threads = static_cast<double>(in.clauses) * in.paper_scale;
+    const double var_threads = static_cast<double>(in.literals) * in.paper_scale;
+
+    LaunchTrace trace;
+    for (const int iters : profile.iters_per_decimation) {
+      for (int i = 0; i < iters; ++i) {
+        // Kernel 1: clause -> variable survey update (bipartite gather).
+        KernelLaunch surveys;
+        surveys.name = "nsp_update_surveys";
+        surveys.threads_per_block = 192;
+        surveys.blocks = std::max(clause_threads, 192.0) / 192.0;
+        surveys.mix.global_loads = 3.0 * in.lits_per_clause;
+        surveys.mix.global_stores = static_cast<double>(in.lits_per_clause);
+        surveys.mix.fp32 = 9.0 * in.lits_per_clause;
+        surveys.mix.int_alu = 5.0 * in.lits_per_clause;
+        surveys.mix.load_transactions_per_access = 9.0;  // factor-graph scatter
+        surveys.mix.divergence = 1.8;
+        surveys.mix.l2_hit_rate = 0.3;
+        surveys.mix.mlp = 5.0;
+        trace.push_back(std::move(surveys));
+      }
+      // Kernel 2: variable bias computation. Kernel 3: decimation compact.
+      KernelLaunch bias;
+      bias.name = "nsp_update_bias";
+      bias.threads_per_block = 192;
+      bias.blocks = std::max(var_threads, 192.0) / 192.0;
+      bias.mix.global_loads = 2.0 * in.lits_per_clause;
+      bias.mix.global_stores = 1.0;
+      bias.mix.fp32 = 12.0;
+      bias.mix.sfu = 2.0;  // log/exp in the bias formula
+      bias.mix.load_transactions_per_access = 8.0;
+      bias.mix.divergence = 1.5;
+      bias.mix.l2_hit_rate = 0.3;
+      trace.push_back(std::move(bias));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_nsp(Registry& r) { r.add(std::make_unique<Nsp>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,67 @@
+// Parboil Distance-Cutoff Coulombic Potential (paper §IV.A.2.b).
+//
+// Short-range Coulombic potential on a 3-D lattice around the watbox
+// biomolecule. Compute-bound: each grid point accumulates contributions
+// from the charges binned within the cutoff radius - dominated by fused
+// multiply-adds and one rsqrt per interaction, with the atom bins staged
+// through shared memory.
+#include <algorithm>
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Cutcp : public SuiteWorkload {
+ public:
+  Cutcp()
+      : SuiteWorkload("CUTCP", kParboil, 1, workloads::Boundedness::kCompute,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"watbox.sl100.pqr", "as in the paper (~144k atoms)"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    // Lattice ~ 208^3 points; ~520 atoms fall within each point's cutoff
+    // sphere after binning. The kernel processes 8 points per thread.
+    constexpr double kLatticePoints = 208.0 * 208.0 * 208.0;
+    constexpr double kInteractionsPerPoint = 520.0;
+    constexpr double kPointsPerThread = 8.0;
+
+    constexpr int kRepeats = 380;  // benchmark timing loop
+    KernelLaunch k;
+    k.name = "cutcp_lattice";
+    k.threads_per_block = 128;
+    k.regs_per_thread = 40;
+    k.blocks = kLatticePoints / kPointsPerThread / 128.0;
+    const double inter = kInteractionsPerPoint * kPointsPerThread;
+    k.mix.fp32 = 9.0 * inter;          // dx,dy,dz, r2, weighted add (FMA-rich)
+    k.mix.sfu = 1.0 * inter;           // rsqrt
+    k.mix.int_alu = 2.0 * inter;
+    k.mix.shared_accesses = 0.35 * inter;  // staged atom bins
+    k.mix.global_loads = 0.08 * inter;     // bin refills
+    k.mix.global_stores = kPointsPerThread;
+    k.mix.load_transactions_per_access = 1.3;
+    k.mix.l2_hit_rate = 0.6;
+    k.mix.divergence = 1.1;  // cutoff test predication
+    k.mix.syncs = 16.0;
+    k.mix.fma_fraction = 0.7;
+    k.mix.mlp = 6.0;
+    LaunchTrace trace(kRepeats, k);
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_cutcp(Registry& r) { r.add(std::make_unique<Cutcp>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,95 @@
+// Parboil Saturating Histogram (paper §IV.A.2.c).
+//
+// 2-D histogram with a 255 saturation cap over a large input image. Four
+// kernels per pass: prescan, intermediate per-block histograms in shared
+// memory (bank-conflicted, atomic), merge, and saturate. Memory-bound with
+// contended atomics; the skewed bin distribution of the "20-4" input makes
+// the atomic contention genuinely input-dependent.
+#include <algorithm>
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Histo : public SuiteWorkload {
+ public:
+  Histo()
+      : SuiteWorkload("HISTO", kParboil, 4, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"image file, parameters 20-4", "as in the paper (996x1040 bins)"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kPixels = 4096.0 * 4096.0;
+    constexpr int kPasses = 9000;  // benchmark iterates the 4-kernel pipeline
+
+    LaunchTrace trace;
+    trace.reserve(kPasses * 4);
+    for (int pass = 0; pass < kPasses; ++pass) {
+      KernelLaunch prescan;
+      prescan.name = "histo_prescan";
+      prescan.threads_per_block = 512;
+      prescan.blocks = kPixels / 16.0 / 512.0;
+      prescan.mix.global_loads = 16.0;
+      prescan.mix.int_alu = 24.0;
+      prescan.mix.l2_hit_rate = 0.05;
+      prescan.mix.mlp = 10.0;
+      trace.push_back(std::move(prescan));
+
+      KernelLaunch main;
+      main.name = "histo_main";
+      main.threads_per_block = 512;
+      main.blocks = kPixels / 8.0 / 512.0;
+      main.mix.global_loads = 8.0;
+      main.mix.int_alu = 20.0;
+      main.mix.shared_accesses = 8.0;
+      main.mix.shared_conflict_factor = 3.0;  // bin hot spots
+      main.mix.atomics = 1.0;
+      main.mix.atomic_contention = 4.0;
+      main.mix.l2_hit_rate = 0.3;
+      main.mix.divergence = 1.3;  // saturation test
+      main.mix.mlp = 6.0;
+      trace.push_back(std::move(main));
+
+      KernelLaunch intermediates;
+      intermediates.name = "histo_intermediates";
+      intermediates.threads_per_block = 512;
+      intermediates.blocks = 1024.0;
+      intermediates.mix.global_loads = 24.0;
+      intermediates.mix.global_stores = 2.0;
+      intermediates.mix.int_alu = 30.0;
+      intermediates.mix.l2_hit_rate = 0.5;
+      intermediates.mix.mlp = 8.0;
+      trace.push_back(std::move(intermediates));
+
+      KernelLaunch final_k;
+      final_k.name = "histo_final";
+      final_k.threads_per_block = 512;
+      final_k.blocks = 996.0 * 1040.0 / 512.0;
+      final_k.mix.global_loads = 3.0;
+      final_k.mix.global_stores = 1.0;
+      final_k.mix.int_alu = 8.0;
+      final_k.mix.divergence = 1.2;
+      final_k.mix.l2_hit_rate = 0.4;
+      final_k.mix.mlp = 8.0;
+      trace.push_back(std::move(final_k));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_histo(Registry& r) { r.add(std::make_unique<Histo>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,77 @@
+// Parboil Magnetic Resonance Imaging - Q (paper §IV.A.2.e).
+//
+// Computes the Q matrix for non-Cartesian MRI reconstruction: for every
+// voxel, a sum of cos/sin-weighted contributions over all k-space samples.
+// Archetypal compute-bound code - dominated by special-function (sin/cos)
+// and FMA throughput with the sample coordinates streamed through
+// constant/shared memory.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Mriq : public SuiteWorkload {
+ public:
+  Mriq()
+      : SuiteWorkload("MRIQ", kParboil, 2, workloads::Boundedness::kCompute,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"64x64x64 matrix", "as in the paper (262k voxels, 147k samples)"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kVoxels = 64.0 * 64.0 * 64.0;
+    constexpr double kSamples = 147456.0;
+    constexpr int kRepeats = 270;  // benchmark timing loop
+
+    LaunchTrace trace;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      // Kernel 1: PhiMag over the k-space samples (tiny).
+      KernelLaunch phimag;
+      phimag.name = "mriq_phimag";
+      phimag.threads_per_block = 512;
+      phimag.blocks = kSamples / 512.0;
+      phimag.mix.global_loads = 2.0;
+      phimag.mix.global_stores = 1.0;
+      phimag.mix.fp32 = 3.0;
+      phimag.mix.mlp = 8.0;
+      trace.push_back(std::move(phimag));
+
+      // Kernel 2: Q - the heavy one. Each voxel-thread loops over the
+      // samples in tiles.
+      KernelLaunch q;
+      q.name = "mriq_computeQ";
+      q.threads_per_block = 256;
+      q.regs_per_thread = 26;
+      q.blocks = kVoxels / 256.0;
+      q.mix.fp32 = 10.0 * kSamples / 8.0;  // FMAs per sample tile per thread
+      q.mix.sfu = 2.0 * kSamples / 8.0;    // sin + cos
+      q.mix.int_alu = 1.0 * kSamples / 8.0;
+      q.mix.shared_accesses = 0.4 * kSamples / 8.0;
+      q.mix.global_loads = kSamples / 512.0;  // tile refills
+      q.mix.global_stores = 2.0;
+      q.mix.load_transactions_per_access = 1.1;
+      q.mix.l2_hit_rate = 0.7;
+      q.mix.syncs = kSamples / 1024.0;
+      q.mix.fma_fraction = 0.6;
+      q.mix.mlp = 6.0;
+      trace.push_back(std::move(q));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_mriq(Registry& r) { r.add(std::make_unique<Mriq>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,85 @@
+// Parboil Breadth-First Search (paper §IV.A.2.a).
+//
+// Queue-based data-driven BFS on the San Francisco Bay Area road map
+// (321k nodes, 800k edges). Runs the real worklist BFS on a reduced-scale
+// lattice and emits one (hierarchical-queue) kernel per level. Parboil's
+// implementation is latency-bound: small frontiers on a high-diameter
+// graph leave the GPU underoccupied, which is why its absolute power stays
+// below ~50 W (paper §V.C) and why it is 15x less vertex-efficient than
+// L-BFS (Table 4).
+#include <algorithm>
+#include <memory>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+constexpr double kPaperNodes = 321e3;
+constexpr double kPaperEdges = 800e3;
+constexpr std::uint32_t kSimGrid = 100;  // 10k-node lattice stand-in
+// Parboil re-runs the traversal many times and uses multi-kernel queue
+// management; the per-level work multiplier folds both in.
+constexpr double kLevelWork = 23000.0;
+
+class PBfs : public SuiteWorkload {
+ public:
+  PBfs()
+      : SuiteWorkload("P-BFS", kParboil, 3, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kIrregular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"SF Bay Area road map (321k nodes, 800k edges)",
+             "100x100 lattice stand-in"}};
+  }
+
+  ItemCounts items(std::size_t) const override { return {kPaperNodes, kPaperEdges}; }
+
+  LaunchTrace trace(std::size_t, const ExecContext& ctx) const override {
+    const graph::CsrGraph g =
+        graph::roadmap(kSimGrid, kSimGrid, ctx.structural_seed + 0x9b);
+    const GraphKernelShape shape = graph_shape(g, ctx.structural_seed);
+    const graph::BfsProfile profile = graph::bfs(g, graph::best_source(g));
+    const double scale =
+        (kPaperNodes / static_cast<double>(g.num_nodes())) * kLevelWork;
+
+    LaunchTrace trace;
+    trace.reserve(profile.depth);
+    for (std::uint32_t level = 0; level < profile.depth; ++level) {
+      const double frontier =
+          std::max(static_cast<double>(profile.frontier_nodes[level]) * scale, 64.0);
+      KernelLaunch k;
+      k.name = "pbfs_kernel";
+      k.threads_per_block = 512;
+      k.regs_per_thread = 48;  // occupancy-limited (queue bookkeeping)
+      k.blocks = frontier / 512.0;
+      k.mix.global_loads = 2.0 + shape.avg_degree * 1.2;
+      k.mix.global_stores = 1.5;
+      k.mix.int_alu = 10.0 + 5.0 * shape.avg_degree;
+      k.mix.load_transactions_per_access = shape.load_transactions_per_access;
+      k.mix.divergence = shape.divergence;
+      k.mix.atomics = 0.8;  // queue tail
+      k.mix.atomic_contention = 2.0;
+      k.mix.shared_accesses = 4.0;  // hierarchical local queues
+      k.mix.l2_hit_rate = shape.l2_hit_rate;
+      k.mix.mlp = 0.5;  // small frontiers: little memory parallelism
+      k.imbalance = shape.imbalance;
+      trace.push_back(std::move(k));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_pbfs(Registry& r) { r.add(std::make_unique<PBfs>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,80 @@
+// Parboil Sum of Absolute Differences (paper §IV.A.2.f).
+//
+// MPEG motion-estimation kernel: 16x16 SADs between a frame and a
+// reference, then hierarchical reduction to larger block sizes. Integer-
+// dominated with streaming reads that the texture path caches well;
+// moderately memory-bound.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Sad : public SuiteWorkload {
+ public:
+  Sad()
+      : SuiteWorkload("SAD", kParboil, 3, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"default input", "as in the paper (CIF frame, 33x33 search)"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kMacroblocks = (704.0 / 16.0) * (576.0 / 16.0);
+    constexpr double kSearchPositions = 33.0 * 33.0;
+    constexpr int kFrames = 26000;  // benchmark loops over frames
+
+    LaunchTrace trace;
+    trace.reserve(kFrames * 3);
+    for (int f = 0; f < kFrames; ++f) {
+      KernelLaunch sad4;
+      sad4.name = "sad_mb_calc";
+      sad4.threads_per_block = 128;
+      sad4.blocks = kMacroblocks * kSearchPositions / 8.0 / 128.0;
+      sad4.mix.global_loads = 34.0;  // ref window + current block (cached)
+      sad4.mix.global_stores = 2.0;
+      sad4.mix.int_alu = 96.0;       // |a-b| accumulate over 4x4 quads
+      sad4.mix.load_transactions_per_access = 2.0;
+      sad4.mix.l2_hit_rate = 0.75;   // heavy window overlap
+      sad4.mix.mlp = 8.0;
+      trace.push_back(std::move(sad4));
+
+      KernelLaunch sad8;
+      sad8.name = "sad_calc_8";
+      sad8.threads_per_block = 128;
+      sad8.blocks = kMacroblocks * kSearchPositions / 16.0 / 128.0;
+      sad8.mix.global_loads = 8.0;
+      sad8.mix.global_stores = 4.0;
+      sad8.mix.int_alu = 24.0;
+      sad8.mix.l2_hit_rate = 0.6;
+      sad8.mix.mlp = 8.0;
+      trace.push_back(std::move(sad8));
+
+      KernelLaunch sad16;
+      sad16.name = "sad_calc_16";
+      sad16.threads_per_block = 128;
+      sad16.blocks = kMacroblocks * kSearchPositions / 32.0 / 128.0;
+      sad16.mix.global_loads = 4.0;
+      sad16.mix.global_stores = 2.0;
+      sad16.mix.int_alu = 12.0;
+      sad16.mix.l2_hit_rate = 0.6;
+      sad16.mix.mlp = 8.0;
+      trace.push_back(std::move(sad16));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_sad(Registry& r) { r.add(std::make_unique<Sad>()); }
+
+}  // namespace repro::suites

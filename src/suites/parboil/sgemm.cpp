@@ -1,0 +1,63 @@
+// Parboil Dense Matrix Multiply (paper §IV.A.2.g).
+//
+// Register-tiled SGEMM (column-major A/C, transposed B). Compute-bound:
+// the inner product is pure FMA throughput with operand tiles staged
+// through shared memory; DRAM traffic is O(n^2) against O(n^3) flops.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Sgemm : public SuiteWorkload {
+ public:
+  Sgemm()
+      : SuiteWorkload("SGEMM", kParboil, 1, workloads::Boundedness::kCompute,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"small benchmark input", "as in the paper (1k x 1k matrices)"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kN = 1024.0;
+    constexpr double kTile = 16.0;     // 16x16 output tile per thread quad
+    constexpr int kRepeats = 5500;     // benchmark timing loop
+
+    LaunchTrace trace;
+    trace.reserve(kRepeats);
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      KernelLaunch k;
+      k.name = "sgemm_tiled";
+      k.threads_per_block = 128;
+      k.regs_per_thread = 48;  // register tile
+      k.blocks = (kN / kTile) * (kN / (kTile * 4.0));
+      // Each thread computes a 1x16 sliver: 2*N flops per output element.
+      k.mix.fp32 = 2.0 * kN * 16.0;
+      k.mix.int_alu = 0.5 * kN;
+      k.mix.shared_accesses = kN / 2.0;
+      k.mix.global_loads = kN / 8.0;   // tile loads, fully coalesced
+      k.mix.global_stores = 16.0;
+      k.mix.load_transactions_per_access = 1.0;
+      k.mix.l2_hit_rate = 0.55;
+      k.mix.fma_fraction = 0.85;
+      k.mix.syncs = kN / kTile;
+      k.mix.mlp = 6.0;
+      trace.push_back(std::move(k));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_sgemm(Registry& r) { r.add(std::make_unique<Sgemm>()); }
+
+}  // namespace repro::suites

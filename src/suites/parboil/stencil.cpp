@@ -1,0 +1,61 @@
+// Parboil 3-D Stencil (paper §IV.A.2.h).
+//
+// Iterative 7-point Jacobi on a regular 3-D grid. Memory-bound: ~2 words
+// of DRAM traffic per point per sweep once the vertical reuse is captured,
+// but the naive Parboil version is partially latency-limited (each thread
+// walks a z-column with dependent loads), keeping its power draw low -
+// one of the paper's "waiting for memory" Parboil codes (§V.C).
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Stencil : public SuiteWorkload {
+ public:
+  Stencil()
+      : SuiteWorkload("STEN", kParboil, 1, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"small benchmark input", "as in the paper (512x512x64, 8500 iters)"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kPoints = 512.0 * 512.0 * 64.0;
+    constexpr int kIterations = 8500;
+
+    LaunchTrace trace;
+    trace.reserve(kIterations);
+    for (int it = 0; it < kIterations; ++it) {
+      KernelLaunch k;
+      k.name = "stencil_jacobi7";
+      k.threads_per_block = 256;
+      k.regs_per_thread = 56;  // occupancy-limited
+      k.blocks = kPoints / 64.0 / 256.0;  // 64-deep z-walk per thread
+      k.mix.global_loads = 64.0 * 1.8;  // x/y neighbours miss L1, z reused
+      k.mix.global_stores = 64.0;
+      k.mix.fp32 = 64.0 * 8.0;
+      k.mix.int_alu = 64.0 * 6.0;
+      k.mix.load_transactions_per_access = 1.2;
+      k.mix.l2_hit_rate = 0.55;  // plane reuse
+      k.mix.mlp = 2.5;           // dependent column walk: low MLP
+      k.mix.divergence = 1.05;
+      trace.push_back(std::move(k));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_stencil(Registry& r) { r.add(std::make_unique<Stencil>()); }
+
+}  // namespace repro::suites

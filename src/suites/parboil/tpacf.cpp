@@ -1,0 +1,64 @@
+// Parboil Two-Point Angular Correlation Function (paper §IV.A.2.i).
+//
+// Correlates observed vs. random astronomical body catalogs: all-pairs
+// angular distances binned into a histogram. Compute-bound (dot products
+// plus acos per pair, shared-memory histograms), executed as a sequence of
+// per-catalog kernel launches with host-side catalog loads in between -
+// those gaps matter for how the power sensor sees the run.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Tpacf : public SuiteWorkload {
+ public:
+  Tpacf()
+      : SuiteWorkload("TPACF", kParboil, 1, workloads::Boundedness::kCompute,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"small benchmark input", "as in the paper (97k points, 240 random catalogs)"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kPoints = 97178.0;
+    constexpr int kCatalogs = 240;
+
+    LaunchTrace trace;
+    trace.reserve(kCatalogs);
+    for (int cat = 0; cat < kCatalogs; ++cat) {
+      KernelLaunch k;
+      k.name = "tpacf_gen_hists";
+      k.threads_per_block = 256;
+      k.blocks = kPoints / 4.0 / 256.0;
+      k.host_gap_before_s = 0.03;  // host loads the next random catalog
+      const double pairs = kPoints * 4.0;  // 4 points per thread vs. all points
+      k.mix.fp32 = 8.0 * pairs;      // 3-D dot product + binning compare
+      k.mix.sfu = 0.0;               // bin search avoids acos via precomputed
+      k.mix.int_alu = 6.0 * pairs;   // binary search over bin boundaries
+      k.mix.shared_accesses = 1.2 * pairs;
+      k.mix.shared_conflict_factor = 1.6;
+      k.mix.global_loads = 0.05 * pairs;
+      k.mix.load_transactions_per_access = 1.2;
+      k.mix.l2_hit_rate = 0.7;
+      k.mix.divergence = 1.5;  // bin-search branches
+      k.mix.mlp = 5.0;
+      trace.push_back(std::move(k));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_tpacf(Registry& r) { r.add(std::make_unique<Tpacf>()); }
+
+}  // namespace repro::suites

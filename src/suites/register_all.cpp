@@ -1,0 +1,56 @@
+#include "suites/factories.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro::suites {
+
+void register_all_workloads() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  Registry& r = workloads::Registry::instance();
+
+  // CUDA SDK (paper Table 1 order within suites; suites grouped).
+  register_estimate_pi(r);
+  register_nbody(r);
+  register_scan(r);
+
+  // LonestarGPU
+  register_barnes_hut(r);
+  register_lbfs(r);
+  register_dmr(r);
+  register_mst(r);
+  register_pta(r);
+  register_sssp(r);
+  register_nsp(r);
+
+  // Parboil
+  register_pbfs(r);
+  register_cutcp(r);
+  register_histo(r);
+  register_lbm(r);
+  register_mriq(r);
+  register_sad(r);
+  register_sgemm(r);
+  register_stencil(r);
+  register_tpacf(r);
+
+  // Rodinia
+  register_backprop(r);
+  register_rbfs(r);
+  register_gaussian(r);
+  register_mummer(r);
+  register_nn(r);
+  register_nw(r);
+  register_pathfinder(r);
+
+  // SHOC
+  register_sbfs(r);
+  register_fft(r);
+  register_maxflops(r);
+  register_md(r);
+  register_qtc(r);
+  register_sort(r);
+  register_stencil2d(r);
+}
+
+}  // namespace repro::suites

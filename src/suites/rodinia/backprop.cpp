@@ -1,0 +1,75 @@
+// Rodinia Back Propagation (paper §IV.A.3.a).
+//
+// Trains one hidden layer over a 2^17-unit input layer: a forward pass
+// (layerwise weighted sums, reduction in shared memory) and a weight-
+// adjustment pass. Both kernels stream the big weight matrix from DRAM
+// once per pass with almost no reuse - strongly memory-bound, which is why
+// BP is among the Rodinia codes hit hard by ECC (paper §V.A.3).
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Backprop : public SuiteWorkload {
+ public:
+  Backprop()
+      : SuiteWorkload("BP", kRodinia, 2, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"2^17 input elements", "as in the paper, x20k epochs to reach measurable runtime"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kInput = 131072.0;  // 2^17
+    constexpr double kHidden = 16.0;
+    constexpr int kEpochs = 20000;
+
+    LaunchTrace trace;
+    trace.reserve(kEpochs * 2);
+    for (int e = 0; e < kEpochs; ++e) {
+      KernelLaunch forward;
+      forward.name = "bp_layerforward";
+      forward.threads_per_block = 256;
+      forward.blocks = kInput * kHidden / 256.0;
+      forward.mix.global_loads = 2.0;  // weight + input unit
+      forward.mix.global_stores = 0.1;
+      forward.mix.fp32 = 4.0;
+      forward.mix.int_alu = 4.0;
+      forward.mix.shared_accesses = 2.5;  // reduction tree
+      forward.mix.syncs = 1.0;
+      forward.mix.load_transactions_per_access = 1.1;
+      forward.mix.l2_hit_rate = 0.08;  // weight matrix streams through
+      forward.mix.mlp = 9.0;
+      trace.push_back(std::move(forward));
+
+      KernelLaunch adjust;
+      adjust.name = "bp_adjust_weights";
+      adjust.threads_per_block = 256;
+      adjust.blocks = kInput * kHidden / 256.0;
+      adjust.mix.global_loads = 3.0;  // weight, delta, momentum
+      adjust.mix.global_stores = 2.0;
+      adjust.mix.fp32 = 6.0;
+      adjust.mix.int_alu = 4.0;
+      adjust.mix.load_transactions_per_access = 1.1;
+      adjust.mix.l2_hit_rate = 0.08;
+      adjust.mix.mlp = 9.0;
+      trace.push_back(std::move(adjust));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_backprop(Registry& r) { r.add(std::make_unique<Backprop>()); }
+
+}  // namespace repro::suites

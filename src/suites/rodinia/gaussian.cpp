@@ -1,0 +1,77 @@
+// Rodinia Gaussian Elimination (paper §IV.A.3.c).
+//
+// Solves a 2048x2048 linear system row by row: per row, Fan1 computes the
+// multiplier column and Fan2 updates the trailing submatrix. 2047 x 2
+// kernel launches whose grids shrink as elimination proceeds; the many
+// small launches keep occupancy and power low.
+#include <algorithm>
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Gaussian : public SuiteWorkload {
+ public:
+  Gaussian()
+      : SuiteWorkload("GE", kRodinia, 2, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"2048 x 2048 matrix", "as in the paper, x26 solve repetitions"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kN = 2048.0;
+    constexpr int kRepeats = 26;
+
+    LaunchTrace trace;
+    trace.reserve(static_cast<std::size_t>(kRepeats) * 2 * 128);
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      // Emit per-row launches in 16-row bundles to keep the trace compact;
+      // the engine merges back-to-back same-kernel launches anyway.
+      for (double row = 0.0; row + 16.0 <= kN; row += 16.0) {
+        const double remaining = kN - row;
+
+        KernelLaunch fan1;
+        fan1.name = "ge_fan1";
+        fan1.threads_per_block = 256;
+        fan1.blocks = 16.0 * std::max(remaining, 256.0) / 256.0;
+        fan1.mix.global_loads = 3.0;
+        fan1.mix.global_stores = 1.0;
+        fan1.mix.fp32 = 2.0;
+        fan1.mix.int_alu = 6.0;
+        fan1.mix.l2_hit_rate = 0.5;
+        fan1.mix.mlp = 1.0;
+        trace.push_back(std::move(fan1));
+
+        KernelLaunch fan2;
+        fan2.name = "ge_fan2";
+        fan2.threads_per_block = 256;
+        fan2.blocks = 16.0 * (remaining * remaining) / 256.0;
+        fan2.mix.global_loads = 3.0;  // m, row, pivot row
+        fan2.mix.global_stores = 1.0;
+        fan2.mix.fp32 = 2.0;
+        fan2.mix.int_alu = 8.0;
+        fan2.mix.load_transactions_per_access = 1.2;
+        fan2.mix.l2_hit_rate = 0.35;
+        fan2.mix.mlp = 1.2;
+        trace.push_back(std::move(fan2));
+      }
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_gaussian(Registry& r) { r.add(std::make_unique<Gaussian>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,87 @@
+// Rodinia MUMmerGPU (paper §IV.A.3.d).
+//
+// Aligns query sequences against a reference suffix tree. Each thread
+// walks its query down the tree: dependent, scattered pointer loads with
+// query-length-dependent divergence - the archetype of a memory-LATENCY-
+// bound irregular code. The 100bp queries walk ~4x deeper than the 25bp
+// ones, which changes both runtime and power (paper Fig. 5: MUM power
+// changes >20% across inputs).
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+struct MumInput {
+  const char* name;
+  double query_len;
+  double queries;
+};
+
+constexpr MumInput kInputs[] = {
+    {"100bp queries", 100.0, 1.6e6},
+    {"25bp queries", 25.0, 2.2e6},
+};
+
+class Mummer : public SuiteWorkload {
+ public:
+  Mummer()
+      : SuiteWorkload("MUM", kRodinia, 3, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kIrregular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{kInputs[0].name, "as in the paper"}, {kInputs[1].name, "as in the paper"}};
+  }
+
+  LaunchTrace trace(std::size_t input, const ExecContext&) const override {
+    const MumInput& in = kInputs[input];
+    const double depth = in.query_len * 0.9;  // suffix-tree walk length
+    constexpr int kPasses = 48;  // benchmark streams query batches
+
+    LaunchTrace trace;
+    for (int pass = 0; pass < kPasses; ++pass) {
+    KernelLaunch match;
+    match.name = "mum_mummergpu_kernel";
+    match.threads_per_block = 256;
+    match.regs_per_thread = 44;
+    match.blocks = in.queries / 256.0;
+    match.mix.global_loads = 3.0 * depth;  // node, children, edge label
+    match.mix.global_stores = 2.0;
+    match.mix.int_alu = 8.0 * depth;
+    match.mix.load_transactions_per_access = 18.0;  // tree nodes scatter
+    match.mix.divergence = 3.5;  // queries diverge at different tree depths
+    match.mix.l2_hit_rate = 0.55;  // top tree levels cache
+    match.mix.mlp = 0.4;           // dependent pointer chase
+    match.imbalance = 1.35;
+    trace.push_back(std::move(match));
+
+    KernelLaunch print;
+    print.name = "mum_printKernel";
+    print.threads_per_block = 256;
+    print.blocks = in.queries / 256.0;
+    print.mix.global_loads = 1.5 * depth / 4.0;
+    print.mix.global_stores = depth / 8.0;
+    print.mix.int_alu = 3.0 * depth / 4.0;
+    print.mix.load_transactions_per_access = 10.0;
+    print.mix.divergence = 2.5;
+    print.mix.l2_hit_rate = 0.4;
+    print.mix.mlp = 2.5;
+    trace.push_back(std::move(print));
+    }
+
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_mummer(Registry& r) { r.add(std::make_unique<Mummer>()); }
+
+}  // namespace repro::suites

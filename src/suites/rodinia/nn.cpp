@@ -1,0 +1,59 @@
+// Rodinia Nearest Neighbor (paper §IV.A.3.e).
+//
+// Finds the k nearest hurricanes to a target coordinate: one kernel that
+// streams all records and computes a euclidean distance each - trivially
+// parallel, bandwidth-fed, very low arithmetic intensity. The benchmark
+// loops over many queries to reach a measurable runtime.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Nn : public SuiteWorkload {
+ public:
+  Nn()
+      : SuiteWorkload("NN", kRodinia, 1, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"42k data points", "as in the paper, x5M query repetitions"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kRecords = 42764.0;
+    constexpr int kQueries = 5000000;
+    constexpr int kQueriesPerLaunch = 1000;
+
+    LaunchTrace trace;
+    trace.reserve(kQueries / kQueriesPerLaunch);
+    for (int q = 0; q < kQueries; q += kQueriesPerLaunch) {
+      KernelLaunch k;
+      k.name = "nn_euclid";
+      k.threads_per_block = 256;
+      k.blocks = kRecords * kQueriesPerLaunch / 256.0;
+      k.mix.global_loads = 2.0;  // lat, lng
+      k.mix.global_stores = 1.0;
+      k.mix.fp32 = 5.0;
+      k.mix.sfu = 1.0;  // sqrt
+      k.mix.int_alu = 3.0;
+      k.mix.l2_hit_rate = 0.85;  // 42k records fit in L2 across queries
+      k.mix.mlp = 8.0;
+      trace.push_back(std::move(k));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_nn(Registry& r) { r.add(std::make_unique<Nn>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,81 @@
+// Rodinia Needleman-Wunsch (paper §IV.A.3.f).
+//
+// Global DNA sequence alignment via dynamic programming: the score matrix
+// is processed in anti-diagonal waves of 16x16 tiles, two kernels per wave
+// (upper-left and lower-right sweeps). Early/late waves have few tiles, so
+// average occupancy is poor; within a tile the DP recurrence serializes on
+// shared memory. Memory-bound with ECC-visible traffic (the score matrix
+// is written once and read back).
+#include <algorithm>
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+struct NwInput {
+  const char* name;
+  double n;
+};
+
+constexpr NwInput kInputs[] = {
+    {"4096 items", 4096.0},
+    {"16384 items", 16384.0},
+};
+
+class Nw : public SuiteWorkload {
+ public:
+  Nw()
+      : SuiteWorkload("NW", kRodinia, 2, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{kInputs[0].name, "x800 repetitions"}, {kInputs[1].name, "x200 repetitions"}};
+  }
+
+  LaunchTrace trace(std::size_t input, const ExecContext&) const override {
+    const double n = kInputs[input].n;
+    const double tiles_per_side = n / 16.0;
+    const int kRepeats = input == 0 ? 1000 : 220;
+
+    LaunchTrace trace;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      // Anti-diagonal waves; bundle waves into groups of 16 to keep the
+      // trace compact while preserving the triangular grid-size profile.
+      for (double wave = 1.0; wave <= tiles_per_side; wave += 16.0) {
+        const double tiles = std::min(wave + 8.0, tiles_per_side);  // avg in bundle
+        for (int half = 0; half < 2; ++half) {
+          KernelLaunch k;
+          k.name = half == 0 ? "nw_kernel1" : "nw_kernel2";
+          k.threads_per_block = 16;  // one tile row per thread: tiny blocks
+          k.blocks = tiles * 16.0;
+          k.mix.global_loads = 3.0 * 16.0;  // tile edges + reference row
+          k.mix.global_stores = 16.0;
+          k.mix.int_alu = 10.0 * 16.0;      // max() recurrences
+          k.mix.shared_accesses = 3.0 * 16.0;
+          k.mix.shared_conflict_factor = 1.4;
+          k.mix.syncs = 32.0;
+          k.mix.load_transactions_per_access = 2.0;
+          k.mix.l2_hit_rate = 0.3;
+          k.mix.mlp = 0.8;  // wavefront dependency chain
+          k.mix.divergence = 1.3;
+          trace.push_back(std::move(k));
+        }
+      }
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_nw(Registry& r) { r.add(std::make_unique<Nw>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,76 @@
+// Rodinia PathFinder (paper §IV.A.3.g).
+//
+// Dynamic programming over a 2-D grid: each of `height` steps computes a
+// row of minimum accumulated weights from the previous row, processed in
+// pyramid-shaped tiles held in shared memory so several DP steps happen
+// per kernel. Streaming, memory-bound, regular.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+struct PfInput {
+  const char* name;
+  double cols;
+  double rows;
+  double pyramid;
+};
+
+constexpr PfInput kInputs[] = {
+    {"100k cols, 100 rows, pyramid 20", 100e3, 100.0, 20.0},
+    {"200k cols, 200 rows, pyramid 40", 200e3, 200.0, 40.0},
+};
+
+class Pathfinder : public SuiteWorkload {
+ public:
+  Pathfinder()
+      : SuiteWorkload("PF", kRodinia, 1, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{kInputs[0].name, "x9000 repetitions"}, {kInputs[1].name, "x4500 repetitions"}};
+  }
+
+  LaunchTrace trace(std::size_t input, const ExecContext&) const override {
+    const PfInput& in = kInputs[input];
+    const int kRepeats = input == 0 ? 24000 : 9000;
+    const auto steps = static_cast<int>(in.rows / in.pyramid);
+
+    LaunchTrace trace;
+    trace.reserve(static_cast<std::size_t>(kRepeats) * steps);
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      for (int s = 0; s < steps; ++s) {
+        KernelLaunch k;
+        k.name = "pf_dynproc";
+        k.threads_per_block = 256;
+        k.blocks = in.cols / 256.0;
+        k.mix.global_loads = 1.0 + in.pyramid;  // wall rows for the pyramid
+        k.mix.global_stores = 1.0;
+        k.mix.int_alu = 6.0 * in.pyramid;       // min() recurrences
+        k.mix.shared_accesses = 3.0 * in.pyramid;
+        k.mix.shared_conflict_factor = 1.2;
+        k.mix.syncs = in.pyramid;
+        k.mix.l2_hit_rate = 0.2;
+        k.mix.divergence = 1.15;  // halo threads drop out
+        k.mix.active_lane_fraction = 0.85;
+        k.mix.mlp = 8.0;
+        trace.push_back(std::move(k));
+      }
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_pathfinder(Registry& r) { r.add(std::make_unique<Pathfinder>()); }
+
+}  // namespace repro::suites

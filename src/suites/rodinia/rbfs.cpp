@@ -1,0 +1,102 @@
+// Rodinia Breadth-First Search (paper §IV.A.3.b).
+//
+// Rodinia's BFS scans ALL nodes every level (a frontier-flag array marks
+// active ones) using two kernels per level. On the low-diameter random
+// graphs it uses, most of each scan is wasted work - that is why R-BFS
+// costs ~26x more time per vertex than L-BFS (Table 4) despite the much
+// friendlier graph. Runs the real BFS to get the level structure.
+#include <algorithm>
+#include <memory>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+struct RbfsInput {
+  const char* name;
+  double paper_nodes;
+  graph::NodeId sim_nodes;
+};
+
+constexpr RbfsInput kInputs[] = {
+    {"random graph, 100k nodes", 100e3, 20000},
+    {"random graph, 1m nodes", 1e6, 50000},
+};
+constexpr double kAvgDegree = 10.0;
+constexpr double kRepeatPasses[2] = {13000.0, 4200.0};  // benchmark repetitions
+
+class RBfs : public SuiteWorkload {
+ public:
+  RBfs()
+      : SuiteWorkload("R-BFS", kRodinia, 2, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kIrregular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{kInputs[0].name, "20k-node stand-in, x5 scale"},
+            {kInputs[1].name, "50k-node stand-in, x20 scale"}};
+  }
+
+  ItemCounts items(std::size_t input) const override {
+    return {kInputs[input].paper_nodes, kInputs[input].paper_nodes * kAvgDegree};
+  }
+
+  LaunchTrace trace(std::size_t input, const ExecContext& ctx) const override {
+    const RbfsInput& in = kInputs[input];
+    const graph::CsrGraph g = graph::random_kway(in.sim_nodes, kAvgDegree,
+                                                 ctx.structural_seed + input);
+    const GraphKernelShape shape = graph_shape(g, ctx.structural_seed);
+    const graph::BfsProfile profile = graph::bfs(g, graph::best_source(g));
+    const double all_nodes =
+        in.paper_nodes * kRepeatPasses[input];  // every level scans every node
+
+    LaunchTrace trace;
+    trace.reserve(profile.depth * 2);
+    for (std::uint32_t level = 0; level < profile.depth; ++level) {
+      const double active_frac =
+          static_cast<double>(profile.frontier_nodes[level]) / g.num_nodes();
+
+      KernelLaunch visit;
+      visit.name = "rbfs_kernel1";
+      visit.threads_per_block = 512;
+      visit.blocks = all_nodes / 512.0;
+      visit.mix.global_loads = 1.0 + shape.avg_degree * active_frac * 2.0;
+      visit.mix.global_stores = 0.2 + active_frac * 2.0;
+      visit.mix.int_alu = 4.0 + shape.avg_degree * active_frac * 4.0;
+      visit.mix.load_transactions_per_access =
+          1.0 + (shape.load_transactions_per_access - 1.0) * std::min(1.0, active_frac * 3.0);
+      visit.mix.divergence = 1.0 + active_frac * 4.0;
+      visit.mix.l2_hit_rate = 0.2;
+      visit.mix.mlp = 7.0;
+      visit.imbalance = shape.imbalance;
+      trace.push_back(std::move(visit));
+
+      KernelLaunch update;
+      update.name = "rbfs_kernel2";
+      update.threads_per_block = 512;
+      update.blocks = all_nodes / 512.0;
+      update.mix.global_loads = 2.0;  // flags
+      update.mix.global_stores = 0.5;
+      update.mix.int_alu = 5.0;
+      update.mix.divergence = 1.2;
+      update.mix.l2_hit_rate = 0.15;
+      update.mix.mlp = 9.0;
+      trace.push_back(std::move(update));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_rbfs(Registry& r) { r.add(std::make_unique<RBfs>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,87 @@
+// CUDA SDK MC_EstimatePiInlineP (EIP) and MC_EstimatePiP (EP)
+// (paper §IV.A.5.a-b).
+//
+// Monte-Carlo estimation of Pi with a pseudo-random number generator.
+// EIP generates random numbers inline inside the estimation kernel; EP
+// generates batches of random numbers in a separate kernel first. Both are
+// compute-bound and run many short launches (one per Monte-Carlo batch)
+// with host-side reductions in between - the bursty waveform is why the
+// slow sensor cannot capture them at the 324 MHz configuration.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class EstimatePi : public SuiteWorkload {
+ public:
+  explicit EstimatePi(bool inline_variant)
+      : SuiteWorkload(inline_variant ? "EIP" : "EP", kSdk, 2,
+                      workloads::Boundedness::kCompute,
+                      workloads::Regularity::kRegular),
+        inline_(inline_variant) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"None", "SDK default: 150 Monte-Carlo batches"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr int kBatches = 150;
+    constexpr double kThreads = 2496.0 * 96.0;
+    constexpr double kSamplesPerThread = 60000.0;
+
+    LaunchTrace trace;
+    trace.reserve(kBatches * 2);
+    for (int b = 0; b < kBatches; ++b) {
+      if (!inline_) {
+        // EP: separate batched PRNG kernel writing random numbers out.
+        KernelLaunch prng;
+        prng.name = "ep_generate_batch";
+        prng.threads_per_block = 192;
+        prng.blocks = kThreads / 192.0;
+        prng.host_gap_before_s = b == 0 ? 0.0 : 0.012;
+        prng.mix.int_alu = 10.0 * kSamplesPerThread / 4.0;
+        prng.mix.fp32 = 2.0 * kSamplesPerThread / 4.0;
+        prng.mix.global_stores = kSamplesPerThread / 4.0 / 16.0;
+        prng.mix.mlp = 6.0;
+        trace.push_back(std::move(prng));
+      }
+
+      KernelLaunch estimate;
+      estimate.name = inline_ ? "eip_compute_value" : "ep_compute_value";
+      estimate.threads_per_block = 192;
+      estimate.blocks = kThreads / 192.0;
+      estimate.host_gap_before_s = (inline_ && b > 0) ? 0.012 : 0.0;
+      // Inside-circle test per sample: 2 random numbers, mul, add, cmp.
+      estimate.mix.fp32 = 5.0 * kSamplesPerThread;
+      estimate.mix.int_alu = (inline_ ? 10.0 : 2.0) * kSamplesPerThread;
+      estimate.mix.global_loads =
+          inline_ ? 2.0 : kSamplesPerThread / 16.0;  // EP reads the batch
+      estimate.mix.shared_accesses = 8.0;  // block reduction
+      estimate.mix.syncs = 6.0;
+      estimate.mix.l2_hit_rate = inline_ ? 0.3 : 0.2;
+      estimate.mix.mlp = 7.0;
+      trace.push_back(std::move(estimate));
+    }
+    return trace;
+  }
+
+ private:
+  bool inline_;
+};
+
+}  // namespace
+
+void register_estimate_pi(Registry& r) {
+  r.add(std::make_unique<EstimatePi>(/*inline_variant=*/true));
+  r.add(std::make_unique<EstimatePi>(/*inline_variant=*/false));
+}
+
+}  // namespace repro::suites

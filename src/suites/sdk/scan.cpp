@@ -1,0 +1,85 @@
+// CUDA SDK Scan (paper §IV.A.5.d).
+//
+// Work-efficient parallel prefix sum over 2^26 elements: per pass, a
+// block-local scan kernel (shared-memory heavy, bank-conflict-aware), a
+// scan of the block sums, and a uniform add. The benchmark loops the
+// 3-kernel pipeline many times. Bandwidth-fed but with a dense shared-
+// memory/integer core - like the other SDK codes it keeps the SMs busy
+// enough to draw ~100 W.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Scan : public SuiteWorkload {
+ public:
+  Scan()
+      : SuiteWorkload("SC", kSdk, 3, workloads::Boundedness::kBalanced,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"2^26 elements", "as in the paper, x1000 pipeline repetitions"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kElements = 67108864.0;  // 2^26
+    constexpr int kRepeats = 1000;
+
+    LaunchTrace trace;
+    trace.reserve(kRepeats * 3);
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      KernelLaunch local;
+      local.name = "scan_exclusive_shared";
+      local.threads_per_block = 256;
+      local.blocks = kElements / 4.0 / 256.0;  // 4 elements per thread
+      local.mix.global_loads = 4.0;
+      local.mix.global_stores = 4.0;
+      local.mix.int_alu = 34.0;        // up-sweep + down-sweep
+      local.mix.shared_accesses = 22.0;
+      local.mix.shared_conflict_factor = 1.3;
+      local.mix.syncs = 10.0;
+      local.mix.l2_hit_rate = 0.05;
+      local.mix.mlp = 9.0;
+      trace.push_back(std::move(local));
+
+      KernelLaunch block_sums;
+      block_sums.name = "scan_block_sums";
+      block_sums.threads_per_block = 256;
+      block_sums.blocks = kElements / 4.0 / 256.0 / 256.0;
+      block_sums.mix.global_loads = 4.0;
+      block_sums.mix.global_stores = 4.0;
+      block_sums.mix.int_alu = 34.0;
+      block_sums.mix.shared_accesses = 22.0;
+      block_sums.mix.syncs = 10.0;
+      block_sums.mix.l2_hit_rate = 0.7;
+      block_sums.mix.mlp = 8.0;
+      trace.push_back(std::move(block_sums));
+
+      KernelLaunch uniform;
+      uniform.name = "scan_uniform_update";
+      uniform.threads_per_block = 256;
+      uniform.blocks = kElements / 4.0 / 256.0;
+      uniform.mix.global_loads = 4.5;
+      uniform.mix.global_stores = 4.0;
+      uniform.mix.int_alu = 10.0;
+      uniform.mix.l2_hit_rate = 0.05;
+      uniform.mix.mlp = 10.0;
+      trace.push_back(std::move(uniform));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_scan(Registry& r) { r.add(std::make_unique<Scan>()); }
+
+}  // namespace repro::suites

@@ -1,0 +1,71 @@
+// SHOC Fast Fourier Transform (paper §IV.A.4.b).
+//
+// Batched 512-point radix-8 FFTs, single- and double-precision forward and
+// inverse passes. Each butterfly stage re-streams the signal: bandwidth-
+// heavy with a solid FP core in between - a balanced code.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Fft : public SuiteWorkload {
+ public:
+  Fft()
+      : SuiteWorkload("FFT", kShoc, 2, workloads::Boundedness::kBalanced,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"default benchmark input", "256 MB batched 512-pt FFTs, sp+dp, x1100 passes"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kElements = 32.0 * 1024.0 * 1024.0;  // complex points
+    constexpr int kPasses = 1100;
+
+    LaunchTrace trace;
+    trace.reserve(kPasses * 2);
+    for (int p = 0; p < kPasses; ++p) {
+      KernelLaunch sp;
+      sp.name = "fft_radix8_sp";
+      sp.threads_per_block = 64;
+      sp.blocks = kElements / 8.0 / 64.0;
+      sp.mix.global_loads = 16.0;   // 8 complex in
+      sp.mix.global_stores = 16.0;  // 8 complex out
+      sp.mix.fp32 = 135.0;          // radix-8 butterflies + twiddles
+      sp.mix.sfu = 6.0;
+      sp.mix.int_alu = 24.0;
+      sp.mix.shared_accesses = 24.0;  // transpose exchanges
+      sp.mix.shared_conflict_factor = 1.5;
+      sp.mix.syncs = 3.0;
+      sp.mix.load_transactions_per_access = 1.2;
+      sp.mix.l2_hit_rate = 0.15;
+      sp.mix.mlp = 8.0;
+      trace.push_back(std::move(sp));
+
+      KernelLaunch dp = trace.back();
+      dp.name = "fft_radix8_dp";
+      dp.blocks /= 2.0;  // half the batch in double precision
+      dp.mix.fp32 = 0.0;
+      dp.mix.fp64 = 135.0;
+      dp.mix.bytes_per_access = 8.0;
+      dp.mix.load_transactions_per_access = 2.2;
+      dp.mix.store_transactions_per_access = 2.2;
+      trace.push_back(std::move(dp));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_fft(Registry& r) { r.add(std::make_unique<Fft>()); }
+
+}  // namespace repro::suites

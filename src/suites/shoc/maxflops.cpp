@@ -1,0 +1,71 @@
+// SHOC MaxFlops (paper §IV.A.4.c).
+//
+// Peak-throughput microbenchmark: 20 kernel variants (sp/dp x add/mul/
+// madd/mul-madd mixes) of pure register arithmetic, each launched several
+// times with host-side bookkeeping in between. Draws the highest power of
+// the whole study (paper: SDK/compute codes peak >160 W; MF saves the most
+// energy at 614 because its runtime barely grows, §V.A.1).
+#include <memory>
+#include <string>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class MaxFlops : public SuiteWorkload {
+ public:
+  MaxFlops()
+      : SuiteWorkload("MF", kShoc, 20, workloads::Boundedness::kCompute,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"default benchmark input", "20 kernel variants x 2 repetitions"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr int kVariants = 20;
+    constexpr int kReps = 2;
+    constexpr double kThreads = 2496.0 * 256.0;  // saturate all SMs
+    constexpr double kIters = 1200000.0;         // unrolled arithmetic loop
+
+    LaunchTrace trace;
+    trace.reserve(kVariants * kReps);
+    for (int v = 0; v < kVariants; ++v) {
+      const bool dp = v >= 10;
+      const bool madd = (v % 2) == 1;  // FMA variants: 2 flops/op
+      for (int rep = 0; rep < kReps; ++rep) {
+        KernelLaunch k;
+        k.name = std::string(dp ? "mf_dp_" : "mf_sp_") + (madd ? "madd" : "add");
+        k.threads_per_block = 256;
+        k.blocks = kThreads / 256.0;
+        k.host_gap_before_s = 0.01;  // host-side verification between reps
+        const double flops = kIters * (madd ? 2.0 : 1.0) * (dp ? 0.5 : 1.0);
+        if (dp) {
+          k.mix.fp64 = flops;
+        } else {
+          k.mix.fp32 = flops;
+        }
+        k.mix.fma_fraction = madd ? 1.0 : 0.0;
+        k.mix.int_alu = 8.0;
+        k.mix.global_loads = 2.0;
+        k.mix.global_stores = 1.0;
+        k.mix.mlp = 4.0;
+        trace.push_back(std::move(k));
+      }
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_maxflops(Registry& r) { r.add(std::make_unique<MaxFlops>()); }
+
+}  // namespace repro::suites

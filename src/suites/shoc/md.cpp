@@ -1,0 +1,62 @@
+// SHOC Molecular Dynamics (paper §IV.A.4.d).
+//
+// Lennard-Jones force computation over neighbour lists: each atom-thread
+// loads its ~128 neighbours' positions (gathered, texture-cached) and
+// evaluates the 6-12 potential. Compute-leaning with a scattered gather.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Md : public SuiteWorkload {
+ public:
+  Md()
+      : SuiteWorkload("MD", kShoc, 1, workloads::Boundedness::kBalanced,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"default benchmark input", "73k atoms, 128 neighbours, x7000 passes"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kAtoms = 73728.0;
+    constexpr double kNeighbors = 128.0;
+    constexpr int kPasses = 7000;
+
+    LaunchTrace trace;
+    trace.reserve(kPasses);
+    for (int p = 0; p < kPasses; ++p) {
+      KernelLaunch k;
+      k.name = "md_lj_force";
+      k.threads_per_block = 256;
+      k.regs_per_thread = 38;
+      k.blocks = kAtoms / 256.0;
+      k.mix.global_loads = 1.0 + kNeighbors * 3.2;  // index + xyz gather
+      k.mix.global_stores = 3.0;
+      k.mix.fp32 = 22.0 * kNeighbors;  // r2, r^-6, r^-12, force accumulate
+      k.mix.sfu = 1.0 * kNeighbors;
+      k.mix.int_alu = 3.0 * kNeighbors;
+      k.mix.load_transactions_per_access = 3.2;  // spatially sorted atoms
+      k.mix.fma_fraction = 0.5;
+      k.mix.divergence = 1.2;  // cutoff predication
+      k.mix.l2_hit_rate = 0.72;
+      k.mix.mlp = 6.0;
+      trace.push_back(std::move(k));
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_md(Registry& r) { r.add(std::make_unique<Md>()); }
+
+}  // namespace repro::suites

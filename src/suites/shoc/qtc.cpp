@@ -1,0 +1,123 @@
+// SHOC Quality Threshold Clustering (paper §IV.A.4.e).
+//
+// Repeatedly grows a candidate cluster around every remaining point
+// (scanning the pairwise distance matrix) and commits the largest one.
+// The per-iteration work shrinks as points are clustered - a genuinely
+// iterative, mildly irregular compute/memory mix. We run the real greedy
+// QTC loop on sampled points to get the iteration structure.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+#include "util/rng.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+/// Greedy QTC on sampled 2-D points; returns remaining-point counts per
+/// committed cluster.
+std::vector<int> qtc_rounds(int n, double threshold, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<double> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, 100.0);
+    y[i] = rng.uniform(0.0, 100.0);
+  }
+  std::vector<char> used(n, 0);
+  std::vector<int> remaining_per_round;
+  int remaining = n;
+  while (remaining > 0) {
+    remaining_per_round.push_back(remaining);
+    // Largest cluster: for each seed point, count points within threshold.
+    int best_seed = -1, best_count = -1;
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      int count = 0;
+      for (int j = 0; j < n; ++j) {
+        if (used[j]) continue;
+        const double d = std::hypot(x[i] - x[j], y[i] - y[j]);
+        if (d <= threshold) ++count;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best_seed = i;
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      if (used[j]) continue;
+      if (std::hypot(x[best_seed] - x[j], y[best_seed] - y[j]) <= threshold) {
+        used[j] = 1;
+        --remaining;
+      }
+    }
+  }
+  return remaining_per_round;
+}
+
+class Qtc : public SuiteWorkload {
+ public:
+  Qtc()
+      : SuiteWorkload("QTC", kShoc, 6, workloads::Boundedness::kBalanced,
+                      workloads::Regularity::kIrregular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"default benchmark input", "26k points; 600-point host model for rounds"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext& ctx) const override {
+    constexpr double kPoints = 26000.0;
+    constexpr int kSample = 600;
+    const std::vector<int> rounds =
+        qtc_rounds(kSample, /*threshold=*/6.0, ctx.structural_seed + 0x91c);
+    const double scale = kPoints / kSample;
+
+    constexpr int kRepeats = 1300;  // benchmark timing passes
+    LaunchTrace trace;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+    for (const int remaining_sample : rounds) {
+      const double remaining = remaining_sample * scale;
+      KernelLaunch grow;
+      grow.name = "qtc_find_clusters";
+      grow.threads_per_block = 64;
+      grow.blocks = remaining / 64.0;
+      grow.mix.global_loads = remaining / 64.0;  // distance-matrix row tiles
+      grow.mix.fp32 = remaining / 12.0;
+      grow.mix.int_alu = remaining / 16.0;
+      grow.mix.shared_accesses = remaining / 48.0;
+      grow.mix.load_transactions_per_access = 1.6;
+      grow.mix.divergence = 1.6;
+      grow.mix.l2_hit_rate = 0.45;
+      grow.mix.mlp = 6.0;
+      grow.imbalance = 1.3;
+      trace.push_back(std::move(grow));
+
+      KernelLaunch reduce;
+      reduce.name = "qtc_reduce_commit";
+      reduce.threads_per_block = 256;
+      reduce.blocks = std::max(remaining, 256.0) / 256.0;
+      reduce.mix.global_loads = 3.0;
+      reduce.mix.global_stores = 1.0;
+      reduce.mix.int_alu = 10.0;
+      reduce.mix.atomics = 0.2;
+      reduce.mix.l2_hit_rate = 0.5;
+      reduce.mix.mlp = 6.0;
+      trace.push_back(std::move(reduce));
+    }
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_qtc(Registry& r) { r.add(std::make_unique<Qtc>()); }
+
+}  // namespace repro::suites

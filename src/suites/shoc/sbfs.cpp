@@ -1,0 +1,92 @@
+// SHOC Breadth-First Search (paper §IV.A.4.a).
+//
+// SHOC measures BFS on a small undirected random k-way graph and repeats
+// the traversal many times (with device-side result resets and verify
+// passes between runs). The combination of a tiny graph, whole-array
+// bookkeeping kernels per iteration and hundreds of repetitions makes it
+// by far the least efficient BFS per processed vertex (Table 4: ~2600x
+// worse than L-BFS). Runs the real BFS for the level structure.
+#include <algorithm>
+#include <memory>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+constexpr graph::NodeId kVertices = 10000;  // SHOC default-ish problem size
+constexpr double kDegree = 2.8;
+constexpr int kPasses = 4000;  // benchmark repetitions + verify traversals
+
+class SBfs : public SuiteWorkload {
+ public:
+  SBfs()
+      : SuiteWorkload("S-BFS", kShoc, 9, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kIrregular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"default benchmark input (random k-way graph)",
+             "10k vertices, 4000 measured passes"}};
+  }
+
+  ItemCounts items(std::size_t) const override {
+    // SHOC reports per distinct traversal, not per pass.
+    return {static_cast<double>(kVertices), static_cast<double>(kVertices) * kDegree};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext& ctx) const override {
+    const graph::CsrGraph g =
+        graph::random_kway(kVertices, kDegree, ctx.structural_seed + 0x5b);
+    const GraphKernelShape shape = graph_shape(g, ctx.structural_seed);
+    const graph::BfsProfile profile = graph::bfs(g, graph::best_source(g));
+
+    LaunchTrace trace;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      // Reset kernel over the whole cost array.
+      KernelLaunch reset;
+      reset.name = "sbfs_reset";
+      reset.threads_per_block = 256;
+      reset.blocks = static_cast<double>(kVertices) / 256.0;
+      reset.mix.global_stores = 1.0;
+      reset.mix.int_alu = 2.0;
+      reset.mix.mlp = 8.0;
+      if (pass > 0) reset.host_gap_before_s = 0.004;  // host-side verify
+      trace.push_back(std::move(reset));
+
+      for (std::uint32_t level = 0; level < profile.depth; ++level) {
+        // Vertex-parallel: every level launches one thread per vertex and
+        // lets inactive ones exit - most of the scan is wasted work.
+        KernelLaunch k;
+        k.name = "sbfs_frontier";
+        k.threads_per_block = 256;
+        k.regs_per_thread = 40;
+        k.blocks = static_cast<double>(kVertices) / 256.0;
+        k.mix.global_loads = 3.0 + shape.avg_degree * 8.0;  // frontier re-expansion
+        k.mix.global_stores = 2.0;
+        k.mix.int_alu = 12.0 + 6.0 * shape.avg_degree;
+        k.mix.atomics = 1.0;
+        k.mix.atomic_contention = 2.0;
+        k.mix.load_transactions_per_access = shape.load_transactions_per_access;
+        k.mix.divergence = shape.divergence;
+        k.mix.l2_hit_rate = 0.6;  // tiny graph caches, but latency dominates
+        k.mix.mlp = 0.4;          // dependent gathers, tiny machine fill
+        trace.push_back(std::move(k));
+      }
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_sbfs(Registry& r) { r.add(std::make_unique<SBfs>()); }
+
+}  // namespace repro::suites

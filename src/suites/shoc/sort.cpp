@@ -1,0 +1,85 @@
+// SHOC Sort (paper §IV.A.4.f).
+//
+// Radix sort of 32-bit key/value pairs: per 4-bit digit, a histogram
+// kernel, a scan of the block counters, and a scattering reorder pass.
+// The scatter writes are only segment-coalesced, making the reorder pass
+// the bandwidth hog.
+#include <memory>
+
+#include "suites/common.hpp"
+#include "suites/factories.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::InputSpec;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+
+class Sort : public SuiteWorkload {
+ public:
+  Sort()
+      : SuiteWorkload("ST", kShoc, 5, workloads::Boundedness::kMemory,
+                      workloads::Regularity::kRegular) {}
+
+  std::vector<InputSpec> inputs() const override {
+    return {{"default benchmark input", "96M key/value pairs, 8 digit passes x38 reps"}};
+  }
+
+  LaunchTrace trace(std::size_t, const ExecContext&) const override {
+    constexpr double kPairs = 96.0 * 1024.0 * 1024.0;
+    constexpr int kDigits = 8;  // 32 bits, 4 bits per pass
+    constexpr int kReps = 38;
+
+    LaunchTrace trace;
+    trace.reserve(static_cast<std::size_t>(kReps) * kDigits * 3);
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (int d = 0; d < kDigits; ++d) {
+        KernelLaunch hist;
+        hist.name = "sort_histogram";
+        hist.threads_per_block = 256;
+        hist.blocks = kPairs / 8.0 / 256.0;
+        hist.mix.global_loads = 8.0;
+        hist.mix.int_alu = 24.0;
+        hist.mix.shared_accesses = 8.0;
+        hist.mix.shared_conflict_factor = 1.8;
+        hist.mix.l2_hit_rate = 0.05;
+        hist.mix.mlp = 10.0;
+        trace.push_back(std::move(hist));
+
+        KernelLaunch scan;
+        scan.name = "sort_scan_counters";
+        scan.threads_per_block = 256;
+        scan.blocks = 256.0;
+        scan.mix.global_loads = 16.0;
+        scan.mix.global_stores = 16.0;
+        scan.mix.int_alu = 40.0;
+        scan.mix.shared_accesses = 20.0;
+        scan.mix.syncs = 8.0;
+        scan.mix.l2_hit_rate = 0.8;
+        scan.mix.mlp = 6.0;
+        trace.push_back(std::move(scan));
+
+        KernelLaunch reorder;
+        reorder.name = "sort_reorder";
+        reorder.threads_per_block = 256;
+        reorder.blocks = kPairs / 4.0 / 256.0;
+        reorder.mix.global_loads = 8.0;   // keys + values
+        reorder.mix.global_stores = 8.0;  // scattered by digit bucket
+        reorder.mix.int_alu = 20.0;
+        reorder.mix.store_transactions_per_access = 4.0;  // 16 buckets/warp
+        reorder.mix.l2_hit_rate = 0.1;
+        reorder.mix.mlp = 9.0;
+        trace.push_back(std::move(reorder));
+      }
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+void register_sort(Registry& r) { r.add(std::make_unique<Sort>()); }
+
+}  // namespace repro::suites

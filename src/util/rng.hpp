@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation for the whole project.
+//
+// Every stochastic component (workload data generation, run-to-run
+// variability, sensor noise) draws from an explicitly seeded Rng so that
+// experiments are reproducible bit-for-bit across runs and platforms.
+// We deliberately avoid std::mt19937 + std::*_distribution because their
+// outputs are not guaranteed identical across standard-library
+// implementations.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+namespace repro::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into stream state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix, handy for hashing (i, j, seed) tuples into
+/// reproducible per-element decisions without carrying generator state.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hash an (a, b) pair with a seed into a uniform double in [0, 1).
+inline double hash_unit(std::uint64_t a, std::uint64_t b, std::uint64_t seed) noexcept {
+  const std::uint64_t h = mix64(a * 0x9e3779b97f4a7c15ULL + mix64(b + seed));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// xoshiro256** — fast, high-quality, tiny state. Public-domain algorithm
+/// by Blackman & Vigna, re-implemented here.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection-free variant is overkill here;
+    // simple modulo bias is negligible for our n << 2^64 use-cases, but we
+    // still use the multiply-shift trick for speed and better uniformity.
+    return static_cast<std::uint64_t>((static_cast<__uint128_t>(next_u64()) * n) >> 64);
+  }
+
+  /// Standard normal via Box-Muller (deterministic across platforms).
+  double normal() noexcept {
+    double u1 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double sigma) noexcept { return mean + sigma * normal(); }
+
+  /// Log-normal multiplicative jitter with median 1.0.
+  double lognormal_jitter(double sigma) noexcept { return std::exp(sigma * normal()); }
+
+  /// Bernoulli draw.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child stream (for per-run / per-kernel streams).
+  Rng fork(std::uint64_t salt) noexcept {
+    return Rng{mix64(next_u64() ^ mix64(salt))};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace repro::util

@@ -1,0 +1,75 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace repro::util {
+
+double percentile(std::span<const double> values, double p) {
+  assert(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> values) { return percentile(values, 0.5); }
+
+double mean(std::span<const double> values) {
+  assert(!values.empty());
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (const double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+BoxStats box_stats(std::span<const double> values) {
+  assert(!values.empty());
+  BoxStats b;
+  b.min = percentile(values, 0.0);
+  b.q1 = percentile(values, 0.25);
+  b.median = percentile(values, 0.5);
+  b.q3 = percentile(values, 0.75);
+  b.max = percentile(values, 1.0);
+  return b;
+}
+
+double relative_spread(std::span<const double> values) {
+  assert(!values.empty());
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  if (*lo == 0.0) return 0.0;
+  return (*hi - *lo) / *lo;
+}
+
+std::size_t median_index(std::span<const double> values) {
+  assert(!values.empty());
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  return order[(order.size() - 1) / 2];
+}
+
+double geomean(std::span<const double> values) {
+  assert(!values.empty());
+  double log_sum = 0.0;
+  for (const double v : values) {
+    assert(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace repro::util

@@ -1,0 +1,51 @@
+// Order statistics and summary statistics used throughout the study.
+//
+// The paper reports medians of three repetitions, quartile boxes per
+// benchmark suite (Figs. 2-4, 6) and max/average run-to-run variability
+// (Table 2); these helpers implement exactly those reductions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace repro::util {
+
+/// Five-number summary used for the paper's box-and-whisker figures:
+/// whiskers at min/max, box at first/third quartile, bar at the median.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+/// Linear-interpolated percentile (R-7 / Excel convention) of a sample.
+/// `p` is in [0, 1]. Precondition: values is non-empty.
+double percentile(std::span<const double> values, double p);
+
+/// Median of a sample. Precondition: values is non-empty.
+double median(std::span<const double> values);
+
+double mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> values);
+
+/// Full five-number summary. Precondition: values is non-empty.
+BoxStats box_stats(std::span<const double> values);
+
+/// Relative spread of a repetition set: (max - min) / min.
+/// This is the paper's Table 2 "difference between the highest and the
+/// lowest of any set of three measurements".
+double relative_spread(std::span<const double> values);
+
+/// Index (into the original span) of the median element. For even sizes
+/// returns the lower-middle element's index. Used to pick the median *run*
+/// so that time/energy/power of one coherent run are reported together.
+std::size_t median_index(std::span<const double> values);
+
+/// Geometric mean. Precondition: values non-empty, all > 0.
+double geomean(std::span<const double> values);
+
+}  // namespace repro::util

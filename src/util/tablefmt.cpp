@@ -1,0 +1,96 @@
+#include "util/tablefmt.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace repro::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  assert(!rows_.empty());
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add(double value, int precision) {
+  return add(format_fixed(value, precision));
+}
+
+TextTable& TextTable::add(long long value) { return add(std::to_string(value)); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      } else {
+        os << "  " << std::right << std::setw(static_cast<int>(widths[c])) << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string format_ratio(double value) { return format_fixed(value, 2); }
+
+std::string ascii_box(double min, double q1, double med, double q3, double max,
+                      double lo, double hi, int width) {
+  assert(width >= 10);
+  std::string line(static_cast<std::size_t>(width), ' ');
+  const auto pos = [&](double v) {
+    if (hi <= lo) return 0;
+    double frac = (v - lo) / (hi - lo);
+    frac = std::clamp(frac, 0.0, 1.0);
+    return static_cast<int>(std::lround(frac * (width - 1)));
+  };
+  const int pmin = pos(min), pq1 = pos(q1), pmed = pos(med), pq3 = pos(q3),
+            pmax = pos(max);
+  for (int i = pmin; i <= pmax; ++i) line[static_cast<std::size_t>(i)] = '-';
+  for (int i = pq1; i <= pq3; ++i) line[static_cast<std::size_t>(i)] = '=';
+  line[static_cast<std::size_t>(pmin)] = '|';
+  line[static_cast<std::size_t>(pmax)] = '|';
+  line[static_cast<std::size_t>(pmed)] = '#';
+  return line;
+}
+
+}  // namespace repro::util

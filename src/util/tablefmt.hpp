@@ -1,0 +1,51 @@
+// Plain-text table and CSV emitters for bench/report output.
+//
+// The bench binaries regenerate the paper's tables and figure series as
+// aligned text (for eyeballing against the paper) and optionally CSV (for
+// downstream plotting).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace repro::util {
+
+/// Column-aligned text table. Rows are added as strings; numeric helpers
+/// format with fixed precision. Alignment: first column left, rest right.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent `add` calls append cells to it.
+  TextTable& row();
+  TextTable& add(std::string cell);
+  TextTable& add(double value, int precision = 2);
+  TextTable& add(long long value);
+
+  /// Renders the table with a header rule and column padding.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string format_fixed(double value, int precision);
+
+/// Formats a ratio like the paper's figures, e.g. "1.15" or "0.78".
+std::string format_ratio(double value);
+
+/// Renders an ASCII box-and-whisker line for a BoxStats-like quintuple in
+/// [lo, hi] over `width` characters; used by the figure benches to give a
+/// visual analogue of the paper's box plots in terminal output.
+std::string ascii_box(double min, double q1, double med, double q3, double max,
+                      double lo, double hi, int width = 60);
+
+}  // namespace repro::util

@@ -1,0 +1,46 @@
+// Execution context passed to workloads when they build a launch trace.
+//
+// Irregular codes need to know the GPU configuration because their
+// *algorithmic* behaviour is timing-dependent (paper §V.A.1): how far a
+// relaxation propagates within one topology-driven sweep depends on the
+// relative speed of compute and memory. Regular codes ignore everything
+// except the structural seed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace repro::workloads {
+
+struct ExecContext {
+  double core_mhz = 705.0;
+  double mem_mhz = 2600.0;
+  bool ecc = false;
+  /// Seed for data-structure generation (graph topologies, random inputs).
+  /// Identical across configs so all configs see the same input data.
+  std::uint64_t structural_seed = 0x5eedULL;
+
+  /// Memory-to-core clock ratio, normalized to 1.0 at the default
+  /// configuration (705 / 2600 MHz).
+  double mem_core_ratio() const noexcept {
+    constexpr double kDefaultRatio = 2600.0 / 705.0;
+    return (mem_mhz / core_mhz) / kDefaultRatio;
+  }
+
+  /// Intra-sweep update visibility for topology-driven fixpoints.
+  /// `base` is the workload's visibility at the default clocks and `gamma`
+  /// its sensitivity to the memory/core clock ratio: a positive gamma means
+  /// faster relative memory makes updates visible sooner (fewer sweeps).
+  /// Clamped away from 0/1 so fixpoints always terminate.
+  double visibility(double base, double gamma) const noexcept {
+    double v = base;
+    const double r = mem_core_ratio();
+    if (r > 0.0) {
+      v = base * std::pow(r, gamma);
+    }
+    return std::clamp(v, 0.02, 0.98);
+  }
+};
+
+}  // namespace repro::workloads

@@ -1,0 +1,55 @@
+// Kernel-launch descriptors and launch traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/mix.hpp"
+
+namespace repro::workloads {
+
+/// One GPU kernel launch. `blocks` is a double so that workloads can emit
+/// paper-scale grids derived from reduced-scale host runs.
+struct KernelLaunch {
+  std::string name;
+  double blocks = 1.0;
+  int threads_per_block = 256;
+  int regs_per_thread = 32;
+  int shared_bytes_per_block = 0;
+  InstructionMix mix;
+
+  /// Work skew across blocks: max block work / mean block work. 1.0 means
+  /// perfectly balanced. The timing engine amortizes this over waves.
+  double imbalance = 1.0;
+
+  /// Host (CPU) time spent before this launch; the GPU idles (at driver
+  /// "tail" power) during it.
+  double host_gap_before_s = 0.0;
+
+  double total_threads() const noexcept {
+    return blocks * static_cast<double>(threads_per_block);
+  }
+};
+
+using LaunchTrace = std::vector<KernelLaunch>;
+
+/// Convenience totals over a trace (used by tests and per-item metrics).
+struct TraceTotals {
+  double kernel_launches = 0.0;
+  double threads = 0.0;
+  double global_accesses = 0.0;
+  double arithmetic_ops = 0.0;
+};
+
+inline TraceTotals totals(const LaunchTrace& trace) {
+  TraceTotals t;
+  for (const KernelLaunch& k : trace) {
+    t.kernel_launches += 1.0;
+    t.threads += k.total_threads();
+    t.global_accesses += k.total_threads() * k.mix.global_accesses();
+    t.arithmetic_ops += k.total_threads() * k.mix.arithmetic_ops();
+  }
+  return t;
+}
+
+}  // namespace repro::workloads

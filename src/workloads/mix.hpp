@@ -1,0 +1,73 @@
+// Per-kernel instruction and memory-behaviour description.
+//
+// A workload summarizes each kernel launch by the *average dynamic
+// behaviour of one thread* plus warp-level effects (divergence, coalescing,
+// bank conflicts). The timing engine (src/sim) turns these into cycles and
+// the power model (src/power) turns the resulting event counts into watts.
+// Counts are doubles because workloads emit paper-scale grids from
+// reduced-scale host executions (see DESIGN.md §6).
+#pragma once
+
+namespace repro::workloads {
+
+struct InstructionMix {
+  // Arithmetic lane operations executed per thread.
+  double fp32 = 0.0;      // single-precision FLOPs (FMA counts as 2)
+  double fp64 = 0.0;      // double-precision FLOPs
+
+  // Fraction of floating-point work issued as fused multiply-adds: an FMA
+  // retires 2 FLOPs per issue slot, so throughput-bound time divides by
+  // (1 + fma_fraction) while the energy (per FLOP) does not - FMA-dense
+  // codes (MaxFlops, SGEMM) draw the highest power.
+  double fma_fraction = 0.0;
+  double int_alu = 0.0;   // integer/logic/address arithmetic
+  double sfu = 0.0;       // special-function ops (rsqrt, sin, exp, ...)
+
+  // Global-memory word accesses per thread (4-byte words unless a kernel
+  // states otherwise via bytes_per_access).
+  double global_loads = 0.0;
+  double global_stores = 0.0;
+  double bytes_per_access = 4.0;
+
+  // Coalescing: average number of 128-byte transactions generated per
+  // warp-level access (1.0 = perfectly coalesced, 32.0 = fully scattered).
+  double load_transactions_per_access = 1.0;
+  double store_transactions_per_access = 1.0;
+
+  // Fraction of global transactions served by the L2 cache.
+  double l2_hit_rate = 0.0;
+
+  // Shared-memory warp accesses per thread and the average replay factor
+  // due to bank conflicts (1.0 = conflict-free).
+  double shared_accesses = 0.0;
+  double shared_conflict_factor = 1.0;
+
+  // Global atomics per thread and their serialization factor (average
+  // number of conflicting lanes per atomic).
+  double atomics = 0.0;
+  double atomic_contention = 1.0;
+
+  // __syncthreads() per thread.
+  double syncs = 0.0;
+
+  // Branch divergence: average issue-replay multiplier (>= 1). A warp whose
+  // 32 threads split into 4 divergent subsets has factor ~4 on the
+  // divergent portion; workloads report the blended average.
+  double divergence = 1.0;
+
+  // Fraction of lanes doing useful work per issued instruction (predication
+  // and partial warps). Affects lane-op counts but not issue counts.
+  double active_lane_fraction = 1.0;
+
+  // Memory-level parallelism: average outstanding global transactions per
+  // resident warp; bounds latency-limited throughput.
+  double mlp = 4.0;
+
+  /// Total arithmetic lane-ops per thread.
+  double arithmetic_ops() const noexcept { return fp32 + fp64 + int_alu + sfu; }
+
+  /// Total global word accesses per thread.
+  double global_accesses() const noexcept { return global_loads + global_stores; }
+};
+
+}  // namespace repro::workloads

@@ -1,0 +1,48 @@
+#include "workloads/registry.hpp"
+
+#include <algorithm>
+
+namespace repro::workloads {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(std::unique_ptr<Workload> workload) {
+  workloads_.push_back(std::move(workload));
+}
+
+std::vector<const Workload*> Registry::all() const {
+  std::vector<const Workload*> out;
+  out.reserve(workloads_.size());
+  for (const auto& w : workloads_) out.push_back(w.get());
+  return out;
+}
+
+std::vector<const Workload*> Registry::by_suite(std::string_view suite) const {
+  std::vector<const Workload*> out;
+  for (const auto& w : workloads_) {
+    if (w->suite() == suite) out.push_back(w.get());
+  }
+  return out;
+}
+
+const Workload* Registry::find(std::string_view name) const {
+  for (const auto& w : workloads_) {
+    if (w->name() == name) return w.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> Registry::suites() const {
+  std::vector<std::string_view> out;
+  for (const auto& w : workloads_) {
+    if (std::find(out.begin(), out.end(), w->suite()) == out.end()) {
+      out.push_back(w->suite());
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::workloads

@@ -1,0 +1,49 @@
+// Global workload registry.
+//
+// Suites register their programs at static-initialization time (via the
+// RegisterWorkload helper); the study harness and the bench binaries look
+// programs up by name or enumerate whole suites.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace repro::workloads {
+
+class Registry {
+ public:
+  /// The process-wide registry instance.
+  static Registry& instance();
+
+  void add(std::unique_ptr<Workload> workload);
+
+  /// All workloads in registration order.
+  std::vector<const Workload*> all() const;
+
+  /// All workloads belonging to `suite`, in registration order.
+  std::vector<const Workload*> by_suite(std::string_view suite) const;
+
+  /// Lookup by program name; nullptr if absent.
+  const Workload* find(std::string_view name) const;
+
+  /// Distinct suite names in first-seen order.
+  std::vector<std::string_view> suites() const;
+
+  std::size_t size() const noexcept { return workloads_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Workload>> workloads_;
+};
+
+}  // namespace repro::workloads
+
+// Populates the global registry with all 34 programs. Defined in
+// src/suites/register_all.cpp (explicit registration instead of static
+// initializers, which static libraries would silently drop). Idempotent.
+namespace repro::suites {
+void register_all_workloads();
+}

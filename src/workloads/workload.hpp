@@ -1,0 +1,70 @@
+// Abstract benchmark-program interface.
+//
+// Each of the paper's 34 programs implements this interface in
+// src/suites/<suite>/. A workload owns its input descriptions (Table 1)
+// and, given an input index and an execution context, emits the kernel
+// launch trace the original CUDA binary would have produced.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/context.hpp"
+#include "workloads/kernel.hpp"
+
+namespace repro::workloads {
+
+/// The paper's behaviour classes (§V, §VI).
+enum class Boundedness { kCompute, kMemory, kBalanced };
+enum class Regularity { kRegular, kIrregular };
+
+/// A named program input (Table 1). `scale_note` documents the paper input
+/// and the simulation scale factor per DESIGN.md §6.
+struct InputSpec {
+  std::string name;
+  std::string scale_note;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Short program name as used in the paper's tables (e.g. "BH", "L-BFS").
+  virtual std::string_view name() const = 0;
+
+  /// Benchmark suite ("LonestarGPU", "Parboil", "Rodinia", "SHOC",
+  /// "CUDA SDK").
+  virtual std::string_view suite() const = 0;
+
+  /// Number of distinct global kernels (Table 1's #K column).
+  virtual int num_global_kernels() const = 0;
+
+  virtual Boundedness boundedness() const = 0;
+  virtual Regularity regularity() const = 0;
+
+  virtual std::vector<InputSpec> inputs() const = 0;
+
+  /// Non-empty for alternate implementations of another program (paper
+  /// §V.B.1, e.g. the "atomic"/"wla" variants of L-BFS). Variants are
+  /// excluded from the suite-level figures and compared in Table 3.
+  virtual std::string_view variant() const { return {}; }
+
+  /// Builds the launch trace for `input_index` under `ctx`. Deterministic
+  /// in (input_index, ctx).
+  virtual LaunchTrace trace(std::size_t input_index, const ExecContext& ctx) const = 0;
+
+  /// Optional multiplicative power adjustment applied when ECC is enabled;
+  /// 1.0 for all programs except documented anomalies (NB, see DESIGN.md §7).
+  virtual double ecc_power_adjustment() const { return 1.0; }
+
+  /// Items processed on a given input for per-item metrics (Table 4):
+  /// vertices/edges for graph codes, 0 when not applicable.
+  struct ItemCounts {
+    double vertices = 0.0;
+    double edges = 0.0;
+  };
+  virtual ItemCounts items(std::size_t /*input_index*/) const { return {}; }
+};
+
+}  // namespace repro::workloads

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace repro::graph {
+namespace {
+
+CsrGraph path3() {
+  // 0 - 1 - 2 with weights 5, 7.
+  const std::vector<Edge> edges{{0, 1, 5}, {1, 2, 7}};
+  return CsrGraph::from_edges(3, edges, /*symmetrize=*/true);
+}
+
+TEST(Csr, BuildSymmetric) {
+  const CsrGraph g = path3();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);  // both directions
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.weights(0)[0], 5u);
+}
+
+TEST(Csr, BuildDirected) {
+  const std::vector<Edge> edges{{0, 1, 1}, {0, 2, 1}};
+  const CsrGraph g = CsrGraph::from_edges(3, edges, /*symmetrize=*/false);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Csr, DegreeStats) {
+  const CsrGraph g = path3();
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_NEAR(g.average_degree(), 4.0 / 3.0, 1e-12);
+  EXPECT_GT(g.degree_cv(), 0.0);
+}
+
+TEST(Csr, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(0, {}, true);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Generators, RoadmapShape) {
+  const CsrGraph g = roadmap(40, 40, 1);
+  EXPECT_EQ(g.num_nodes(), 1600u);
+  // Road networks: average degree between 2 and 4.
+  EXPECT_GT(g.average_degree(), 2.0);
+  EXPECT_LT(g.average_degree(), 4.0);
+  EXPECT_LE(g.max_degree(), 10u);
+}
+
+TEST(Generators, RoadmapDeterministic) {
+  const CsrGraph a = roadmap(20, 20, 7);
+  const CsrGraph b = roadmap(20, 20, 7);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  const CsrGraph c = roadmap(20, 20, 8);
+  EXPECT_NE(a.num_edges(), c.num_edges());  // overwhelmingly likely
+}
+
+TEST(Generators, RandomKwayDegree) {
+  const CsrGraph g = random_kway(5000, 8.0, 3);
+  EXPECT_NEAR(g.average_degree(), 8.0, 0.2);
+}
+
+TEST(Generators, RmatSkewed) {
+  const CsrGraph g = rmat(12, 8.0, 5);
+  EXPECT_EQ(g.num_nodes(), 4096u);
+  // Power-law-ish: max degree far above the average.
+  EXPECT_GT(static_cast<double>(g.max_degree()), 8.0 * 5.0);
+  EXPECT_GT(g.degree_cv(), 1.0);
+}
+
+TEST(Generators, TriangularMeshDegree) {
+  const CsrGraph g = triangular_mesh(30, 30, 2);
+  // Interior nodes have ~6 neighbours.
+  EXPECT_GT(g.average_degree(), 4.5);
+  EXPECT_LT(g.average_degree(), 6.5);
+}
+
+TEST(Bfs, LevelsOnPath) {
+  const CsrGraph g = path3();
+  const BfsProfile p = bfs(g, 0);
+  EXPECT_EQ(p.levels[0], 0u);
+  EXPECT_EQ(p.levels[1], 1u);
+  EXPECT_EQ(p.levels[2], 2u);
+  EXPECT_EQ(p.depth, 3u);
+  EXPECT_EQ(p.reached, 3u);
+  ASSERT_EQ(p.frontier_nodes.size(), 3u);
+  EXPECT_EQ(p.frontier_nodes[0], 1u);
+}
+
+TEST(Bfs, FrontierEdgesSumToTouchedEdges) {
+  const CsrGraph g = random_kway(2000, 6.0, 11);
+  const BfsProfile p = bfs(g, 0);
+  std::uint64_t edges = 0;
+  for (const auto e : p.frontier_edges) edges += e;
+  // Every reached node's adjacency is scanned exactly once.
+  std::uint64_t expect = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (p.levels[n] != kUnreached) expect += g.degree(n);
+  }
+  EXPECT_EQ(edges, expect);
+}
+
+TEST(TopologyBfs, MatchesBfsLevels) {
+  // The fixpoint must converge to the true BFS levels regardless of the
+  // visibility parameter.
+  const CsrGraph g = roadmap(25, 25, 9);
+  const BfsProfile ref = bfs(g, 0);
+  for (const double vis : {0.0, 0.3, 0.7, 1.0}) {
+    const SweepProfile sp = topology_bfs(g, 0, vis, 17);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      EXPECT_EQ(sp.values[n], ref.levels[n]) << "node " << n << " vis " << vis;
+    }
+  }
+}
+
+TEST(TopologyBfs, HigherVisibilityFewerSweeps) {
+  const CsrGraph g = roadmap(40, 40, 13);
+  const SweepProfile lo = topology_bfs(g, 0, 0.1, 17);
+  const SweepProfile hi = topology_bfs(g, 0, 0.9, 17);
+  EXPECT_LT(hi.sweeps, lo.sweeps);
+  EXPECT_GE(lo.sweeps, 1u);
+}
+
+TEST(TopologySssp, MatchesDijkstra) {
+  const CsrGraph g = roadmap(20, 20, 21);
+  const auto ref = dijkstra(g, 0);
+  const SweepProfile sp = topology_sssp(g, 0, 0.5, 3);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (ref[n] == std::numeric_limits<std::uint64_t>::max()) {
+      EXPECT_EQ(sp.values[n], kUnreached);
+    } else {
+      EXPECT_EQ(static_cast<std::uint64_t>(sp.values[n]), ref[n]);
+    }
+  }
+}
+
+TEST(Boruvka, PathGraphWeight) {
+  const CsrGraph g = path3();
+  const BoruvkaProfile p = boruvka(g);
+  EXPECT_EQ(p.mst_weight, 12u);  // 5 + 7
+  EXPECT_EQ(p.mst_edges, 2u);
+}
+
+TEST(Boruvka, SpanningTreeEdgeCount) {
+  const CsrGraph g = roadmap(30, 30, 31);
+  const std::uint64_t components = connected_components(g);
+  const BoruvkaProfile p = boruvka(g);
+  EXPECT_EQ(p.mst_edges, g.num_nodes() - components);
+  // Boruvka halves components every round: logarithmic round count.
+  EXPECT_LE(p.components_per_round.size(), 22u);
+}
+
+TEST(Boruvka, MatchesKruskalOnSmallGraph) {
+  // Cross-check MST weight against a simple Kruskal implementation.
+  const CsrGraph g = random_kway(200, 4.0, 37);
+  const BoruvkaProfile p = boruvka(g);
+
+  struct E {
+    std::uint32_t w;
+    NodeId a, b;
+  };
+  std::vector<E> edges;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const auto nbrs = g.neighbors(n);
+    const auto wts = g.weights(n);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (n < nbrs[i]) edges.push_back({wts[i], n, nbrs[i]});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const E& x, const E& y) {
+    return std::tie(x.w, x.a, x.b) < std::tie(y.w, y.a, y.b);
+  });
+  std::vector<NodeId> parent(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) parent[i] = i;
+  const auto find = [&](NodeId x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  std::uint64_t weight = 0;
+  for (const E& e : edges) {
+    const NodeId ra = find(e.a), rb = find(e.b);
+    if (ra != rb) {
+      parent[rb] = ra;
+      weight += e.w;
+    }
+  }
+  EXPECT_EQ(p.mst_weight, weight);
+}
+
+TEST(ConnectedComponents, CountsIsolatedNodes) {
+  const std::vector<Edge> edges{{0, 1, 1}};
+  const CsrGraph g = CsrGraph::from_edges(4, edges, true);
+  EXPECT_EQ(connected_components(g), 3u);  // {0,1}, {2}, {3}
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  const std::vector<Edge> edges{{0, 1, 1}};
+  const CsrGraph g = CsrGraph::from_edges(3, edges, true);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[2], std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace repro::graph

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "power/model.hpp"
+#include "sim/gpuconfig.hpp"
+#include "sim/timing.hpp"
+
+namespace repro::power {
+namespace {
+
+using sim::Activity;
+using sim::config_by_name;
+
+/// Activity of one second of fully-saturated fp32 issue on the K20c.
+Activity saturated_fp32_second() {
+  Activity a;
+  a.fp32_ops = 2496.0 * 705e6;  // lanes x clock
+  a.warp_instructions = a.fp32_ops / 32.0;
+  return a;
+}
+
+/// One second of full-bandwidth DRAM streaming.
+Activity saturated_dram_second() {
+  Activity a;
+  a.dram_transactions = 208e9 * 0.8 / 128.0;
+  a.l2_transactions = a.dram_transactions;
+  a.dram_bus_bytes = a.dram_transactions * 128.0;
+  a.warp_instructions = a.dram_transactions;
+  return a;
+}
+
+TEST(PowerModel, IdleNearPaperValue) {
+  // Paper §IV.C: idle power is "less than about 26 W".
+  const PowerModel m;
+  const double idle = m.static_power_w(config_by_name("default"));
+  EXPECT_GT(idle, 20.0);
+  EXPECT_LT(idle, 26.0);
+}
+
+TEST(PowerModel, ComputeSaturatedNear100W) {
+  // Paper §V.C: compute-bound SDK codes draw ~100 W on average.
+  const PowerModel m;
+  const auto p = m.phase_power(saturated_fp32_second(), 1.0, config_by_name("default"));
+  EXPECT_GT(p.total_w, 85.0);
+  EXPECT_LT(p.total_w, 130.0);
+}
+
+TEST(PowerModel, BoardCapAt225W) {
+  const PowerModel m;
+  Activity a = saturated_fp32_second();
+  a.fp32_ops *= 10.0;
+  const auto p = m.phase_power(a, 1.0, config_by_name("default"));
+  EXPECT_LE(p.total_w, 225.0);
+}
+
+TEST(PowerModel, DvfsSuperlinearPowerDrop) {
+  // Paper §V.A.1: compute-bound codes can save MORE power than the 13%
+  // clock cut because the voltage drops too.
+  const PowerModel m;
+  Activity fast = saturated_fp32_second();
+  Activity slow = fast;
+  // Same kernel at 614 MHz: same total ops, longer duration.
+  const double t614 = 705.0 / 614.0;
+  const auto p_default =
+      m.phase_power(fast, 1.0, config_by_name("default"));
+  const auto p_614 = m.phase_power(slow, t614, config_by_name("614"));
+  const double ratio = p_614.total_w / p_default.total_w;
+  EXPECT_LT(ratio, 0.87);  // more than the 13% clock reduction
+  EXPECT_GT(ratio, 0.70);
+}
+
+TEST(PowerModel, PowerHalvesAt324ForComputeBound) {
+  // Paper §V.A.2: "power decreases quite uniformly to about half".
+  const PowerModel m;
+  const Activity a = saturated_fp32_second();
+  const auto p614 = m.phase_power(a, 705.0 / 614.0, config_by_name("614"));
+  const auto p324 = m.phase_power(a, 705.0 / 324.0, config_by_name("324"));
+  EXPECT_NEAR(p324.total_w / p614.total_w, 0.53, 0.10);
+}
+
+TEST(PowerModel, DramStreamingBetween70And110W) {
+  const PowerModel m;
+  const auto p = m.phase_power(saturated_dram_second(), 1.0, config_by_name("default"));
+  EXPECT_GT(p.total_w, 60.0);
+  EXPECT_LT(p.total_w, 110.0);
+}
+
+TEST(PowerModel, EccChargesPerTransaction) {
+  const PowerModel m;
+  const Activity a = saturated_dram_second();
+  const double e_plain = m.dynamic_energy_j(a, config_by_name("default"));
+  const double e_ecc = m.dynamic_energy_j(a, config_by_name("ecc"));
+  EXPECT_GT(e_ecc, e_plain * 1.05);
+}
+
+TEST(PowerModel, LeakageFallsWithVoltage) {
+  const PowerModel m;
+  EXPECT_LT(m.static_power_w(config_by_name("324")),
+            m.static_power_w(config_by_name("default")));
+}
+
+TEST(PowerModel, TailAboveIdleBelowActive) {
+  const PowerModel m;
+  const auto& cfg = config_by_name("default");
+  const double tail = m.tail_power_w(cfg);
+  EXPECT_GT(tail, m.static_power_w(cfg));
+  EXPECT_LT(tail, 60.0);  // paper Fig. 1: tail sits below the 55 W threshold
+}
+
+TEST(PowerModel, TailScalesWithClock) {
+  const PowerModel m;
+  EXPECT_LT(m.tail_power_w(config_by_name("324")),
+            m.tail_power_w(config_by_name("default")));
+}
+
+TEST(PowerModel, DynamicEnergyAdditive) {
+  const PowerModel m;
+  const auto& cfg = config_by_name("default");
+  Activity a = saturated_fp32_second();
+  Activity b = saturated_dram_second();
+  Activity ab = a;
+  ab += b;
+  EXPECT_NEAR(m.dynamic_energy_j(ab, cfg),
+              m.dynamic_energy_j(a, cfg) + m.dynamic_energy_j(b, cfg), 1e-6);
+}
+
+TEST(PowerModel, AtomicsCostEnergy) {
+  const PowerModel m;
+  const auto& cfg = config_by_name("default");
+  Activity a;
+  a.atomic_ops = 1e9;
+  EXPECT_GT(m.dynamic_energy_j(a, cfg), 0.5);
+}
+
+}  // namespace
+}  // namespace repro::power

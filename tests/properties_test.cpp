@@ -1,0 +1,271 @@
+// Property-based tests: invariants of the timing engine, the power model
+// and the measurement pipeline over parameter sweeps of randomized
+// kernels and waveforms, plus config-ordering laws over every registered
+// program. These are the "laws of physics" the characterization study
+// relies on; a model change that breaks one of them silently invalidates
+// the paper comparisons.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "k20power/analyze.hpp"
+#include "power/model.hpp"
+#include "sensor/sampler.hpp"
+#include "sensor/waveform.hpp"
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+#include "sim/timing.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro {
+namespace {
+
+using sim::config_by_name;
+using sim::k20c;
+using sim::time_kernel;
+using workloads::KernelLaunch;
+
+/// Deterministic randomized kernel for a given seed: covers the whole
+/// InstructionMix parameter space the workloads use.
+KernelLaunch random_kernel(std::uint64_t seed) {
+  util::Rng rng{seed};
+  KernelLaunch k;
+  k.name = "random";
+  k.blocks = 64.0 * std::pow(10.0, rng.uniform(0.0, 4.0));
+  k.threads_per_block = 32 << rng.uniform_index(6);  // 32..1024
+  k.regs_per_thread = 16 + static_cast<int>(rng.uniform_index(80));
+  k.shared_bytes_per_block = static_cast<int>(rng.uniform_index(3)) * 8192;
+  k.imbalance = 1.0 + rng.uniform() * 2.0;
+  auto& m = k.mix;
+  m.fp32 = rng.uniform() * 2000.0;
+  m.fp64 = rng.uniform() * 200.0;
+  m.int_alu = rng.uniform() * 1000.0;
+  m.sfu = rng.uniform() * 100.0;
+  m.fma_fraction = rng.uniform();
+  m.global_loads = rng.uniform() * 100.0;
+  m.global_stores = rng.uniform() * 50.0;
+  m.load_transactions_per_access = 1.0 + rng.uniform() * 16.0;
+  m.store_transactions_per_access = 1.0 + rng.uniform() * 16.0;
+  m.l2_hit_rate = rng.uniform();
+  m.shared_accesses = rng.uniform() * 100.0;
+  m.shared_conflict_factor = 1.0 + rng.uniform() * 4.0;
+  m.atomics = rng.uniform() * 4.0;
+  m.atomic_contention = 1.0 + rng.uniform() * 4.0;
+  m.divergence = 1.0 + rng.uniform() * 4.0;
+  m.active_lane_fraction = 0.2 + rng.uniform() * 0.8;
+  m.mlp = 0.25 + rng.uniform() * 10.0;
+  m.syncs = rng.uniform() * 10.0;
+  return k;
+}
+
+class TimingLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimingLaws, TimePositiveAndFinite) {
+  const KernelLaunch k = random_kernel(GetParam());
+  for (const auto& cfg : sim::standard_configs()) {
+    const auto r = time_kernel(k20c(), cfg, k);
+    EXPECT_GT(r.time_s, 0.0);
+    EXPECT_TRUE(std::isfinite(r.time_s));
+    EXPECT_TRUE(std::isfinite(r.activity.warp_instructions));
+  }
+}
+
+TEST_P(TimingLaws, LowerClocksNeverFaster) {
+  const KernelLaunch k = random_kernel(GetParam());
+  const auto def = time_kernel(k20c(), config_by_name("default"), k);
+  const auto c614 = time_kernel(k20c(), config_by_name("614"), k);
+  const auto c324 = time_kernel(k20c(), config_by_name("324"), k);
+  EXPECT_GE(c614.time_s, def.time_s * 0.999);
+  EXPECT_GE(c324.time_s, c614.time_s * 0.999);
+}
+
+TEST_P(TimingLaws, EccNeverFaster) {
+  const KernelLaunch k = random_kernel(GetParam());
+  const auto plain = time_kernel(k20c(), config_by_name("default"), k);
+  const auto ecc = time_kernel(k20c(), config_by_name("ecc"), k);
+  EXPECT_GE(ecc.time_s, plain.time_s * 0.999);
+  // And within the paper's expected bound for non-pathological kernels.
+  EXPECT_LE(ecc.time_s, plain.time_s * 1.35);
+}
+
+TEST_P(TimingLaws, MoreBlocksMoreTimeAndActivity) {
+  KernelLaunch k = random_kernel(GetParam());
+  const auto base = time_kernel(k20c(), config_by_name("default"), k);
+  k.blocks *= 4.0;
+  const auto bigger = time_kernel(k20c(), config_by_name("default"), k);
+  EXPECT_GT(bigger.time_s, base.time_s);
+  EXPECT_NEAR(bigger.activity.dram_transactions,
+              4.0 * base.activity.dram_transactions,
+              1e-6 * (1.0 + base.activity.dram_transactions));
+}
+
+TEST_P(TimingLaws, WorseCoalescingNeverFaster) {
+  KernelLaunch k = random_kernel(GetParam());
+  k.mix.global_loads = std::max(k.mix.global_loads, 4.0);
+  const auto base = time_kernel(k20c(), config_by_name("default"), k);
+  k.mix.load_transactions_per_access =
+      std::min(32.0, k.mix.load_transactions_per_access * 2.0);
+  const auto scattered = time_kernel(k20c(), config_by_name("default"), k);
+  EXPECT_GE(scattered.time_s, base.time_s * 0.999);
+  EXPECT_GE(scattered.activity.dram_bus_bytes, base.activity.dram_bus_bytes);
+}
+
+TEST_P(TimingLaws, BetterCachingNeverMoreDramTraffic) {
+  KernelLaunch k = random_kernel(GetParam());
+  const auto base = time_kernel(k20c(), config_by_name("default"), k);
+  k.mix.l2_hit_rate = std::min(1.0, k.mix.l2_hit_rate + 0.3);
+  const auto cached = time_kernel(k20c(), config_by_name("default"), k);
+  EXPECT_LE(cached.activity.dram_transactions,
+            base.activity.dram_transactions + 1e-9);
+  EXPECT_LE(cached.memory_time_s, base.memory_time_s * 1.001);
+}
+
+TEST_P(TimingLaws, PowerWithinPhysicalEnvelope) {
+  const KernelLaunch k = random_kernel(GetParam());
+  const power::PowerModel model;
+  for (const auto& cfg : sim::standard_configs()) {
+    const auto r = time_kernel(k20c(), cfg, k);
+    const auto p = model.phase_power(r.activity, r.time_s, cfg);
+    EXPECT_GE(p.total_w, model.static_power_w(cfg));
+    EXPECT_LE(p.total_w, 225.0);  // board cap
+  }
+}
+
+TEST_P(TimingLaws, EnergyAt614NeverBlowsUp) {
+  // Paper §V.A.1: when only the core clock drops, energy never rises
+  // anywhere near as much as the runtime. Model-level analogue: dynamic
+  // energy is duration-independent and voltage drops, so total energy can
+  // only grow via the static floor integrated over the longer runtime.
+  const KernelLaunch k = random_kernel(GetParam());
+  const power::PowerModel model;
+  const auto& def = config_by_name("default");
+  const auto& c614 = config_by_name("614");
+  const auto rd = time_kernel(k20c(), def, k);
+  const auto r6 = time_kernel(k20c(), c614, k);
+  const double e_def = model.phase_power(rd.activity, rd.time_s, def).total_w * rd.time_s;
+  const double e_614 = model.phase_power(r6.activity, r6.time_s, c614).total_w * r6.time_s;
+  const double time_ratio = r6.time_s / rd.time_s;
+  EXPECT_LE(e_614 / e_def, std::max(time_ratio * 0.97, 1.02));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomKernels, TimingLaws, ::testing::Range(1, 41));
+
+// ---- Measurement pipeline round-trip laws ---------------------------------
+
+struct BurstCase {
+  double watts;
+  double duration_s;
+};
+
+class MeasurementRoundTrip : public ::testing::TestWithParam<BurstCase> {};
+
+TEST_P(MeasurementRoundTrip, RecoversBurst) {
+  const BurstCase c = GetParam();
+  std::vector<sensor::Segment> segs{
+      {0.0, 3.0, 24.9, 24.9},
+      {3.0, 3.0 + c.duration_s, c.watts, c.watts},
+      {3.0 + c.duration_s, 3.0 + c.duration_s + 6.0, 24.9, 24.9}};
+  const sensor::Waveform w{std::move(segs)};
+  util::Rng rng{static_cast<std::uint64_t>(c.watts * 100 + c.duration_s)};
+  const sensor::Sensor sensor;
+  const auto samples = sensor.record(w, rng);
+  const auto m = k20power::analyze(samples, k20power::options_for_tail(30.0));
+  ASSERT_TRUE(m.usable) << c.watts << " W, " << c.duration_s << " s";
+  // Lag smearing biases short windows low; tolerance shrinks with length.
+  const double rel_tol = 0.08 + 0.45 / c.duration_s;
+  EXPECT_NEAR(m.active_time_s, c.duration_s, 0.15 * c.duration_s + 0.8);
+  EXPECT_NEAR(m.avg_power_w, c.watts, rel_tol * c.watts);
+  EXPECT_NEAR(m.energy_j, c.watts * c.duration_s,
+              (rel_tol + 0.05) * c.watts * c.duration_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bursts, MeasurementRoundTrip,
+    ::testing::Values(BurstCase{60.0, 5.0}, BurstCase{60.0, 20.0},
+                      BurstCase{90.0, 3.0}, BurstCase{90.0, 12.0},
+                      BurstCase{120.0, 5.0}, BurstCase{120.0, 40.0},
+                      BurstCase{160.0, 8.0}, BurstCase{200.0, 15.0}),
+    [](const ::testing::TestParamInfo<BurstCase>& info) {
+      return "w" + std::to_string(static_cast<int>(info.param.watts)) + "_s" +
+             std::to_string(static_cast<int>(info.param.duration_s));
+    });
+
+// ---- Whole-registry config-ordering laws ----------------------------------
+
+class ProgramLaws : public ::testing::TestWithParam<const workloads::Workload*> {};
+
+std::vector<const workloads::Workload*> primary_programs() {
+  suites::register_all_workloads();
+  std::vector<const workloads::Workload*> out;
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    if (w->variant().empty()) out.push_back(w);
+  }
+  return out;
+}
+
+TEST_P(ProgramLaws, GroundTruthTimeOrderingAcrossConfigs) {
+  const workloads::Workload* w = GetParam();
+  workloads::ExecContext ctx;
+  const auto run = [&](const char* name) {
+    const auto& cfg = config_by_name(name);
+    ctx.core_mhz = cfg.core_mhz;
+    ctx.mem_mhz = cfg.mem_mhz;
+    ctx.ecc = cfg.ecc;
+    return sim::run_trace(k20c(), cfg, w->trace(0, ctx)).active_time_s;
+  };
+  const double t_def = run("default");
+  const double t_614 = run("614");
+  const double t_324 = run("324");
+  const double t_ecc = run("ecc");
+  // Regular codes obey strict ordering; irregular codes may speed up at
+  // 614 (paper §V.A.1) but never by more than their timing sensitivity.
+  if (w->regularity() == workloads::Regularity::kRegular) {
+    EXPECT_GE(t_614, t_def * 0.999) << w->name();
+  } else {
+    EXPECT_GE(t_614, t_def * 0.70) << w->name();
+  }
+  EXPECT_GE(t_324, t_614 * 1.5) << w->name();  // paper: >= 1.9x w/ slack
+  EXPECT_GE(t_ecc, t_def * 0.999) << w->name();
+  EXPECT_LE(t_ecc, t_def * 1.40) << w->name();
+}
+
+TEST_P(ProgramLaws, EccOnlyAffectsMemoryTraffic) {
+  const workloads::Workload* w = GetParam();
+  workloads::ExecContext ctx;
+  const auto& def = config_by_name("default");
+  const auto& ecc = config_by_name("ecc");
+  const auto plain = sim::run_trace(k20c(), def, w->trace(0, ctx));
+  workloads::ExecContext ecc_ctx;
+  ecc_ctx.ecc = true;
+  const auto with_ecc = sim::run_trace(k20c(), ecc, w->trace(0, ecc_ctx));
+  // Arithmetic work is ECC-invariant (same algorithm); only DRAM-side
+  // counts and times change. Compare whichever arithmetic class the
+  // program actually uses; slack covers irregular iteration-count changes.
+  const double plain_arith = plain.total_activity.fp32_ops +
+                             plain.total_activity.fp64_ops +
+                             plain.total_activity.int_ops;
+  const double ecc_arith = with_ecc.total_activity.fp32_ops +
+                           with_ecc.total_activity.fp64_ops +
+                           with_ecc.total_activity.int_ops;
+  ASSERT_GT(plain_arith, 0.0) << w->name();
+  EXPECT_NEAR(ecc_arith / plain_arith, 1.0, 0.35) << w->name();
+  EXPECT_GE(with_ecc.total_activity.dram_bus_bytes,
+            plain.total_activity.dram_bus_bytes * 0.999)
+      << w->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrimaries, ProgramLaws,
+                         ::testing::ValuesIn(primary_programs()),
+                         [](const ::testing::TestParamInfo<const workloads::Workload*>& info) {
+                           std::string name(info.param->name());
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "power/model.hpp"
+#include "sensor/sampler.hpp"
+#include "sensor/waveform.hpp"
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+#include "util/rng.hpp"
+
+namespace repro::sensor {
+namespace {
+
+Waveform square_wave(double idle, double active, double start, double dur,
+                     double total) {
+  std::vector<Segment> segs{{0.0, start, idle, idle},
+                            {start, start + dur, active, active},
+                            {start + dur, total, idle, idle}};
+  return Waveform{std::move(segs)};
+}
+
+TEST(Waveform, PowerAtInterpolates) {
+  Waveform w{{{0.0, 1.0, 0.0, 10.0}}};
+  EXPECT_DOUBLE_EQ(w.power_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.power_at(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(w.power_at(1.5), 10.0);  // clamped past the end
+  EXPECT_DOUBLE_EQ(w.power_at(-1.0), 0.0);
+}
+
+TEST(Waveform, EnergyIntegralExact) {
+  const Waveform w = square_wave(25.0, 100.0, 2.0, 3.0, 10.0);
+  EXPECT_NEAR(w.energy_j(2.0, 5.0), 300.0, 1e-9);
+  EXPECT_NEAR(w.energy_j(0.0, 10.0), 25.0 * 7.0 + 300.0, 1e-9);
+}
+
+TEST(Waveform, EnergySwappedBounds) {
+  const Waveform w = square_wave(25.0, 100.0, 2.0, 3.0, 10.0);
+  EXPECT_NEAR(w.energy_j(5.0, 2.0), 300.0, 1e-9);
+}
+
+TEST(Synthesize, StructureLeadPhasesTail) {
+  using namespace repro;
+  sim::TraceResult trace;
+  sim::Phase phase;
+  phase.kernel_name = "k";
+  phase.duration_s = 5.0;
+  phase.activity.fp32_ops = 2496.0 * 705e6 * 5.0;
+  phase.activity.warp_instructions = phase.activity.fp32_ops / 32.0;
+  trace.phases.push_back(phase);
+  trace.active_time_s = 5.0;
+
+  const power::PowerModel model;
+  const auto& cfg = sim::config_by_name("default");
+  const Waveform w = synthesize(trace, cfg, model);
+
+  const double idle = model.static_power_w(cfg);
+  EXPECT_NEAR(w.power_at(0.5), idle, 1e-9);        // lead-in
+  EXPECT_GT(w.power_at(4.0), 85.0);                // kernel phase
+  EXPECT_NEAR(w.power_at(w.duration() - 0.1), idle, 1.5);  // settled tail
+  EXPECT_GT(w.duration(), 7.0);  // lead-in + kernel + tail + trail idle
+}
+
+TEST(Synthesize, HostGapsAtTailPower) {
+  using namespace repro;
+  sim::TraceResult trace;
+  sim::Phase a;
+  a.kernel_name = "a";
+  a.duration_s = 2.0;
+  trace.phases.push_back(a);
+  sim::Phase b = a;
+  b.kernel_name = "b";
+  b.host_gap_before_s = 1.0;
+  trace.phases.push_back(b);
+
+  const power::PowerModel model;
+  const auto& cfg = sim::config_by_name("default");
+  const Waveform w = synthesize(trace, cfg, model);
+  // The gap sits between the phases: 2.0 (lead) + 2.0 (a) + gap.
+  EXPECT_NEAR(w.power_at(4.5), model.tail_power_w(cfg), 1e-9);
+}
+
+TEST(Sensor, AdaptiveSamplingRates) {
+  // Below the gate: ~1 Hz. Above: ~10 Hz.
+  const Waveform w = square_wave(25.0, 100.0, 10.0, 10.0, 30.0);
+  util::Rng rng{3};
+  const Sensor sensor;
+  const auto samples = sensor.record(w, rng);
+  int idle_samples = 0, active_samples = 0;
+  for (const Sample& s : samples) {
+    if (s.t < 9.0) ++idle_samples;
+    if (s.t > 11.0 && s.t < 19.0) ++active_samples;
+  }
+  EXPECT_NEAR(idle_samples, 9, 2);     // ~1 Hz
+  EXPECT_NEAR(active_samples, 80, 10); // ~10 Hz
+}
+
+TEST(Sensor, LagSmoothsStep) {
+  const Waveform w = square_wave(25.0, 125.0, 5.0, 10.0, 25.0);
+  util::Rng rng{5};
+  SensorOptions opt;
+  opt.noise_sigma_w = 0.0;
+  const Sensor sensor{opt};
+  const auto samples = sensor.record(w, rng);
+  // Right after the step the reading must be well below the true level.
+  for (const Sample& s : samples) {
+    if (s.t > 5.0 && s.t < 5.3) {
+      EXPECT_LT(s.w, 80.0);
+    }
+    // And the reading converges near the top before the step ends.
+    if (s.t > 9.0 && s.t < 14.0) {
+      EXPECT_GT(s.w, 118.0);
+    }
+  }
+}
+
+TEST(Sensor, QuantizesToTenthWatt) {
+  const Waveform w = square_wave(25.0, 100.0, 2.0, 5.0, 12.0);
+  util::Rng rng{7};
+  const Sensor sensor;
+  for (const Sample& s : sensor.record(w, rng)) {
+    const double scaled = s.w * 10.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-6);
+  }
+}
+
+TEST(Sensor, DeterministicGivenSeed) {
+  const Waveform w = square_wave(25.0, 100.0, 2.0, 5.0, 12.0);
+  util::Rng rng1{11}, rng2{11};
+  const Sensor sensor;
+  const auto a = sensor.record(w, rng1);
+  const auto b = sensor.record(w, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].t, b[i].t);
+    EXPECT_DOUBLE_EQ(a[i].w, b[i].w);
+  }
+}
+
+TEST(Sensor, EmptyWaveform) {
+  util::Rng rng{1};
+  const Sensor sensor;
+  EXPECT_TRUE(sensor.record(Waveform{{}}, rng).empty());
+}
+
+}  // namespace
+}  // namespace repro::sensor

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/coalesce.hpp"
+#include "sim/device.hpp"
+#include "sim/dram.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+#include "sim/occupancy.hpp"
+#include "sim/timing.hpp"
+
+namespace repro::sim {
+namespace {
+
+using workloads::InstructionMix;
+using workloads::KernelLaunch;
+
+TEST(Device, K20cConstants) {
+  const KeplerDevice& d = k20c();
+  EXPECT_EQ(d.num_sms * d.fp32_lanes_per_sm, 2496);  // paper §IV.B
+  EXPECT_NEAR(d.peak_dram_bw(2600.0), 208e9, 1e6);   // K20c: 208 GB/s
+  // Paper: 324 config lowers memory bandwidth ~8x.
+  EXPECT_NEAR(d.peak_dram_bw(2600.0) / d.peak_dram_bw(324.0), 8.02, 0.05);
+}
+
+TEST(Config, StandardFour) {
+  const auto configs = standard_configs();
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0].name, "default");
+  EXPECT_FALSE(configs[0].ecc);
+  EXPECT_TRUE(config_by_name("ecc").ecc);
+  EXPECT_EQ(config_by_name("614").core_mhz, 614.0);
+  EXPECT_EQ(config_by_name("324").mem_mhz, 324.0);
+  EXPECT_THROW(config_by_name("999"), std::invalid_argument);
+}
+
+TEST(Config, VoltageScalesWithFrequency) {
+  // DVFS: lower clocks run at lower voltage (enables super-linear power
+  // reductions, paper §V.A.1).
+  EXPECT_LT(config_by_name("614").core_voltage,
+            config_by_name("default").core_voltage);
+  EXPECT_LT(config_by_name("324").core_voltage,
+            config_by_name("614").core_voltage);
+}
+
+TEST(Occupancy, WarpLimited) {
+  const Occupancy o = occupancy(k20c(), 1024, 16, 0);
+  EXPECT_EQ(o.warps_per_sm, 64);
+  EXPECT_DOUBLE_EQ(o.fraction, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const Occupancy o = occupancy(k20c(), 256, 128, 0);
+  // 256 threads x 128 regs = 32768 regs/block -> 2 blocks/SM.
+  EXPECT_EQ(o.blocks_per_sm, 2);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::kRegisters);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const Occupancy o = occupancy(k20c(), 128, 16, 24 * 1024);
+  EXPECT_EQ(o.blocks_per_sm, 2);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::kSharedMemory);
+}
+
+TEST(Occupancy, NeverZeroBlocks) {
+  const Occupancy o = occupancy(k20c(), 1024, 255, 48 * 1024);
+  EXPECT_GE(o.blocks_per_sm, 1);
+}
+
+TEST(Coalesce, FullyCoalescedWarp) {
+  CoalescingAnalyzer a;
+  std::vector<std::uint64_t> addrs;
+  for (int lane = 0; lane < 32; ++lane) addrs.push_back(1024 + lane * 4);
+  EXPECT_EQ(a.warp_access(addrs), 1);
+  EXPECT_DOUBLE_EQ(a.stats().transactions_per_access(), 1.0);
+}
+
+TEST(Coalesce, FullyScatteredWarp) {
+  CoalescingAnalyzer a;
+  std::vector<std::uint64_t> addrs;
+  for (int lane = 0; lane < 32; ++lane) addrs.push_back(lane * 4096);
+  EXPECT_EQ(a.warp_access(addrs), 32);
+}
+
+TEST(Coalesce, StridedAccess) {
+  // Stride-2 over 4-byte words: 32 lanes span 256 bytes = 2 segments.
+  CoalescingAnalyzer a;
+  std::vector<std::uint64_t> addrs;
+  for (int lane = 0; lane < 32; ++lane) addrs.push_back(lane * 8);
+  EXPECT_EQ(a.warp_access(addrs), 2);
+}
+
+TEST(Coalesce, StreamChunksIntoWarps) {
+  CoalescingAnalyzer a;
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 64; ++i) addrs.push_back(i * 4);
+  a.access_stream(addrs);
+  EXPECT_EQ(a.stats().warp_accesses, 2u);
+  EXPECT_EQ(a.stats().transactions, 2u);
+}
+
+TEST(Coalesce, EmptyAccessIgnored) {
+  CoalescingAnalyzer a;
+  EXPECT_EQ(a.warp_access({}), 0);
+  EXPECT_EQ(a.stats().warp_accesses, 0u);
+}
+
+TEST(Cache, HitsAfterFill) {
+  SetAssocCache c{1024, 128, 2};
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // same line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEviction) {
+  SetAssocCache c{2 * 128, 128, 2};  // 1 set, 2 ways
+  c.access(0);
+  c.access(128);
+  c.access(0);        // refresh line 0
+  c.access(2 * 128);  // evicts line 128 (LRU)
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(128));
+}
+
+TEST(Cache, StreamingMissRate) {
+  SetAssocCache c{64 * 1024, 128, 8};
+  for (std::uint64_t addr = 0; addr < 1 << 20; addr += 128) c.access(addr);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.0);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache(64, 128, 2), std::invalid_argument);
+}
+
+TEST(Dram, EccCostsBandwidthAndLatency) {
+  const DramModel plain{k20c(), config_by_name("default")};
+  const DramModel ecc{k20c(), config_by_name("ecc")};
+  EXPECT_LT(ecc.effective_bandwidth(), plain.effective_bandwidth());
+  EXPECT_GT(ecc.latency_s(), plain.latency_s());
+  EXPECT_GT(ecc.bus_bytes_per_transaction(), plain.bus_bytes_per_transaction());
+  EXPECT_NEAR(ecc.usable_memory_bytes() / plain.usable_memory_bytes(), 0.875,
+              1e-9);  // paper: ECC reserves 12.5%
+}
+
+TEST(Dram, LatencyGrowsAtLowClock) {
+  const DramModel fast{k20c(), config_by_name("default")};
+  const DramModel slow{k20c(), config_by_name("324")};
+  EXPECT_GT(slow.latency_s(), 2.0 * fast.latency_s());
+}
+
+// ---- Timing engine behaviour classes -------------------------------------
+
+KernelLaunch compute_kernel() {
+  KernelLaunch k;
+  k.name = "compute";
+  k.blocks = 4096;
+  k.threads_per_block = 256;
+  k.mix.fp32 = 20000.0;
+  k.mix.int_alu = 1000.0;
+  k.mix.global_loads = 8.0;
+  k.mix.global_stores = 4.0;
+  return k;
+}
+
+KernelLaunch memory_kernel() {
+  KernelLaunch k;
+  k.name = "memory";
+  k.blocks = 4096;
+  k.threads_per_block = 256;
+  k.mix.fp32 = 8.0;
+  k.mix.global_loads = 64.0;
+  k.mix.global_stores = 32.0;
+  k.mix.l2_hit_rate = 0.1;
+  k.mix.mlp = 10.0;
+  return k;
+}
+
+TEST(Timing, ComputeKernelScalesWithCoreClock) {
+  const auto base = time_kernel(k20c(), config_by_name("default"), compute_kernel());
+  const auto slow = time_kernel(k20c(), config_by_name("614"), compute_kernel());
+  EXPECT_FALSE(base.memory_bound());
+  // 705/614 = 1.148: compute-bound slowdown ~15% (paper §V.A.1).
+  EXPECT_NEAR(slow.time_s / base.time_s, 1.148, 0.02);
+}
+
+TEST(Timing, MemoryKernelIgnoresCoreClock) {
+  const auto base = time_kernel(k20c(), config_by_name("default"), memory_kernel());
+  const auto slow = time_kernel(k20c(), config_by_name("614"), memory_kernel());
+  EXPECT_TRUE(base.memory_bound());
+  EXPECT_NEAR(slow.time_s / base.time_s, 1.0, 0.03);
+}
+
+TEST(Timing, MemoryKernelTracksMemoryClock) {
+  const auto base = time_kernel(k20c(), config_by_name("614"), memory_kernel());
+  const auto slow = time_kernel(k20c(), config_by_name("324"), memory_kernel());
+  // Paper §V.A.2: bandwidth-bound codes slow down up to ~8x.
+  EXPECT_GT(slow.time_s / base.time_s, 6.0);
+  EXPECT_LT(slow.time_s / base.time_s, 9.0);
+}
+
+TEST(Timing, EverythingSlowsAtLeast1_9xAt324) {
+  // Paper §V.A.2: all programs slow by >= ~1.9x from 614 to 324.
+  for (const auto& make : {compute_kernel, memory_kernel}) {
+    const auto base = time_kernel(k20c(), config_by_name("614"), make());
+    const auto slow = time_kernel(k20c(), config_by_name("324"), make());
+    EXPECT_GE(slow.time_s / base.time_s, 1.85);
+  }
+}
+
+TEST(Timing, EccSlowsMemoryBoundOnly) {
+  const auto mem_plain = time_kernel(k20c(), config_by_name("default"), memory_kernel());
+  const auto mem_ecc = time_kernel(k20c(), config_by_name("ecc"), memory_kernel());
+  EXPECT_GT(mem_ecc.time_s / mem_plain.time_s, 1.05);
+  EXPECT_LT(mem_ecc.time_s / mem_plain.time_s, 1.30);  // paper: within ~12.5-28%
+
+  const auto cmp_plain = time_kernel(k20c(), config_by_name("default"), compute_kernel());
+  const auto cmp_ecc = time_kernel(k20c(), config_by_name("ecc"), compute_kernel());
+  EXPECT_NEAR(cmp_ecc.time_s / cmp_plain.time_s, 1.0, 0.01);
+}
+
+TEST(Timing, DivergenceSlowsKernel) {
+  KernelLaunch k = compute_kernel();
+  const auto base = time_kernel(k20c(), config_by_name("default"), k);
+  k.mix.divergence = 2.0;
+  const auto div = time_kernel(k20c(), config_by_name("default"), k);
+  EXPECT_NEAR(div.time_s / base.time_s, 2.0, 0.15);
+}
+
+TEST(Timing, UncoalescedCostsBandwidth) {
+  KernelLaunch k = memory_kernel();
+  const auto base = time_kernel(k20c(), config_by_name("default"), k);
+  k.mix.load_transactions_per_access = 8.0;
+  const auto scattered = time_kernel(k20c(), config_by_name("default"), k);
+  EXPECT_GT(scattered.time_s, 3.0 * base.time_s);
+  EXPECT_GT(scattered.activity.dram_transactions,
+            3.0 * base.activity.dram_transactions);
+}
+
+TEST(Timing, ImbalanceAmortizesOverWaves) {
+  KernelLaunch k = compute_kernel();
+  k.imbalance = 3.0;
+  k.blocks = 104;  // exactly one wave (8 resident blocks/SM x 13)
+  const auto one_wave = time_kernel(k20c(), config_by_name("default"), k);
+  KernelLaunch balanced = k;
+  balanced.imbalance = 1.0;
+  const auto flat = time_kernel(k20c(), config_by_name("default"), balanced);
+  EXPECT_NEAR(one_wave.time_s / flat.time_s, 3.0, 0.3);
+
+  k.blocks = 20800;  // 100 waves: skew amortizes
+  balanced.blocks = 20800;
+  const auto many = time_kernel(k20c(), config_by_name("default"), k);
+  const auto many_flat = time_kernel(k20c(), config_by_name("default"), balanced);
+  EXPECT_LT(many.time_s / many_flat.time_s, 1.05);
+}
+
+TEST(Timing, LaunchOverheadFloorsTinyKernels) {
+  KernelLaunch k;
+  k.blocks = 1;
+  k.threads_per_block = 32;
+  k.mix.int_alu = 1.0;
+  const auto r = time_kernel(k20c(), config_by_name("default"), k);
+  EXPECT_GE(r.time_s, k20c().kernel_launch_overhead_s);
+}
+
+TEST(Timing, ActivityCountsScaleWithThreads) {
+  KernelLaunch k = compute_kernel();
+  const auto base = time_kernel(k20c(), config_by_name("default"), k);
+  k.blocks *= 2.0;
+  const auto doubled = time_kernel(k20c(), config_by_name("default"), k);
+  EXPECT_NEAR(doubled.activity.fp32_ops / base.activity.fp32_ops, 2.0, 1e-9);
+  EXPECT_NEAR(doubled.activity.warp_instructions / base.activity.warp_instructions,
+              2.0, 1e-9);
+}
+
+TEST(Engine, MergesBackToBackSameKernel) {
+  workloads::LaunchTrace trace{compute_kernel(), compute_kernel(), memory_kernel()};
+  const TraceResult r = run_trace(k20c(), config_by_name("default"), trace);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_EQ(r.phases[0].kernel_name, "compute");
+  EXPECT_EQ(r.phases[1].kernel_name, "memory");
+  EXPECT_GT(r.active_time_s, 0.0);
+  EXPECT_NEAR(r.phases[0].duration_s + r.phases[1].duration_s, r.active_time_s,
+              1e-12);
+}
+
+TEST(Engine, HostGapsPreventMergingAndExtendSpan) {
+  KernelLaunch a = compute_kernel();
+  KernelLaunch b = compute_kernel();
+  b.host_gap_before_s = 0.5;
+  const TraceResult r = run_trace(k20c(), config_by_name("default"), {a, b});
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_NEAR(r.total_span_s - r.active_time_s, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace repro::sim

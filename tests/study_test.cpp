@@ -1,0 +1,189 @@
+// End-to-end tests of the study harness and the suite aggregation,
+// including the paper's headline directional claims on a few programs.
+#include <gtest/gtest.h>
+
+#include "core/aggregate.hpp"
+#include "core/study.hpp"
+#include "core/variability.hpp"
+#include "sim/gpuconfig.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro::core {
+namespace {
+
+using sim::config_by_name;
+using workloads::Registry;
+using workloads::Workload;
+
+const Workload& prog(const char* name) {
+  suites::register_all_workloads();
+  const Workload* w = Registry::instance().find(name);
+  EXPECT_NE(w, nullptr) << name;
+  return *w;
+}
+
+TEST(Study, MeasurementRoundTrip) {
+  Study study;
+  // The long NB input: sensor lag smearing is relatively small on it.
+  const ExperimentResult& r = study.measure(prog("NB"), 2, config_by_name("default"));
+  ASSERT_TRUE(r.usable);
+  EXPECT_GT(r.time_s, 1.0);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.power_w, 30.0);
+  EXPECT_LT(r.power_w, 225.0);
+  EXPECT_EQ(r.repetitions.size(), 3u);
+  // Sensor-based time tracks ground truth within sampling error.
+  EXPECT_NEAR(r.time_s / r.true_active_s, 1.0, 0.15);
+}
+
+TEST(Study, ResultsCached) {
+  Study study;
+  const ExperimentResult& a = study.measure(prog("NB"), 0, config_by_name("default"));
+  const ExperimentResult& b = study.measure(prog("NB"), 0, config_by_name("default"));
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Study, DeterministicAcrossInstances) {
+  Study s1, s2;
+  const ExperimentResult& a = s1.measure(prog("LBM"), 0, config_by_name("default"));
+  const ExperimentResult& b = s2.measure(prog("LBM"), 0, config_by_name("default"));
+  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+}
+
+TEST(Study, VariabilityWithinPaperTable2Range) {
+  // Paper Table 2: max spread 8.7%, average ~1-2%.
+  Study study;
+  for (const char* name : {"NB", "LBM", "SGEMM", "L-BFS"}) {
+    const ExperimentResult& r =
+        study.measure(prog(name), 0, config_by_name("default"));
+    ASSERT_TRUE(r.usable) << name;
+    EXPECT_LT(r.time_spread, 0.20) << name;
+    EXPECT_LT(r.energy_spread, 0.20) << name;
+  }
+}
+
+TEST(Study, ComputeBoundSlowsAt614MemoryBoundDoesNot) {
+  Study study;
+  const MetricRatios nb = ratios(study.measure(prog("NB"), 1, config_by_name("614")),
+                                 study.measure(prog("NB"), 1, config_by_name("default")));
+  ASSERT_TRUE(nb.usable);
+  EXPECT_GT(nb.time, 1.08);  // compute-bound: ~15% slower
+  EXPECT_LT(nb.power, 0.88); // super-linear power drop (paper: NB -22%)
+
+  const MetricRatios bp = ratios(study.measure(prog("BP"), 0, config_by_name("614")),
+                                 study.measure(prog("BP"), 0, config_by_name("default")));
+  ASSERT_TRUE(bp.usable);
+  EXPECT_LT(bp.time, 1.06);  // memory-bound: barely affected
+}
+
+TEST(Study, LbmCollapsesAt324) {
+  // Paper §V.A.2: LBM shows the largest runtime increase (7.75x).
+  Study study;
+  const MetricRatios r = ratios(study.measure(prog("LBM"), 0, config_by_name("324")),
+                                study.measure(prog("LBM"), 0, config_by_name("614")));
+  if (r.usable) {
+    EXPECT_GT(r.time, 6.0);
+    EXPECT_LT(r.time, 9.5);
+    EXPECT_GT(r.energy, 1.5);  // energy rises despite lower power
+    EXPECT_LT(r.power, 0.55);
+  }
+}
+
+TEST(Study, EccHurtsMemoryBoundNotComputeBound) {
+  Study study;
+  const MetricRatios bp = ratios(study.measure(prog("BP"), 0, config_by_name("ecc")),
+                                 study.measure(prog("BP"), 0, config_by_name("default")));
+  ASSERT_TRUE(bp.usable);
+  EXPECT_GT(bp.time, 1.05);
+  EXPECT_GT(bp.energy, 1.05);
+
+  const MetricRatios mriq =
+      ratios(study.measure(prog("MRIQ"), 0, config_by_name("ecc")),
+             study.measure(prog("MRIQ"), 0, config_by_name("default")));
+  ASSERT_TRUE(mriq.usable);
+  EXPECT_NEAR(mriq.time, 1.0, 0.04);
+}
+
+TEST(Study, DataDrivenBfsVariantsUnmeasurable) {
+  // Paper §V.B.1: wlc/wlw finish too fast for the power sensor.
+  Study study;
+  EXPECT_FALSE(study.measure(prog("L-BFS-wlw"), 2, config_by_name("default")).usable);
+  EXPECT_FALSE(study.measure(prog("L-BFS-wlc"), 2, config_by_name("default")).usable);
+}
+
+TEST(Ratios, UnusableProp) {
+  ExperimentResult bad;
+  ExperimentResult good;
+  good.usable = true;
+  good.time_s = good.energy_j = good.power_w = 1.0;
+  EXPECT_FALSE(ratios(bad, good).usable);
+  EXPECT_FALSE(ratios(good, bad).usable);
+  EXPECT_TRUE(ratios(good, good).usable);
+}
+
+TEST(Variability, PerturbPreservesStructure) {
+  sim::TraceResult base;
+  sim::Phase p;
+  p.kernel_name = "k";
+  p.duration_s = 2.0;
+  p.activity.fp32_ops = 100.0;
+  base.phases.push_back(p);
+  base.active_time_s = 2.0;
+  base.total_activity.fp32_ops = 100.0;
+
+  util::Rng rng{5};
+  const sim::TraceResult out = perturb(base, workloads::Regularity::kRegular, rng);
+  ASSERT_EQ(out.phases.size(), 1u);
+  EXPECT_NEAR(out.phases[0].duration_s, 2.0, 0.5);
+  EXPECT_NE(out.phases[0].duration_s, 2.0);
+  EXPECT_NEAR(out.active_time_s, out.phases[0].duration_s, 1e-12);
+}
+
+TEST(Variability, IrregularNoisier) {
+  sim::TraceResult base;
+  sim::Phase p;
+  p.kernel_name = "k";
+  p.duration_s = 1.0;
+  base.phases.push_back(p);
+
+  double reg_ss = 0.0, irr_ss = 0.0;
+  util::Rng rng{11};
+  for (int i = 0; i < 400; ++i) {
+    const auto reg = perturb(base, workloads::Regularity::kRegular, rng);
+    const auto irr = perturb(base, workloads::Regularity::kIrregular, rng);
+    reg_ss += (reg.phases[0].duration_s - 1.0) * (reg.phases[0].duration_s - 1.0);
+    irr_ss += (irr.phases[0].duration_s - 1.0) * (irr.phases[0].duration_s - 1.0);
+  }
+  EXPECT_GT(irr_ss, reg_ss);
+}
+
+TEST(Aggregate, SuiteRatiosSkipUnusableAndVariants) {
+  suites::register_all_workloads();
+  Study study;
+  const auto entries = suite_ratios(study, "CUDA SDK", config_by_name("default"),
+                                    config_by_name("614"));
+  // 4 SDK primaries: EIP, EP (1 input each), NB (3 inputs), SC (1 input).
+  EXPECT_EQ(entries.size(), 6u);
+  const SuiteRatioBox box = summarize("CUDA SDK", entries);
+  EXPECT_GT(box.entries, 0);
+  EXPECT_LE(box.time.min, box.time.median);
+  EXPECT_LE(box.time.median, box.time.max);
+  // Power must drop across the whole suite (paper §V.A.1).
+  EXPECT_LT(box.power.max, 1.02);
+}
+
+TEST(Aggregate, SuitePowersPlausible) {
+  suites::register_all_workloads();
+  Study study;
+  const auto powers = suite_powers(study, "CUDA SDK", config_by_name("default"));
+  ASSERT_FALSE(powers.empty());
+  for (const double p : powers) {
+    EXPECT_GT(p, 26.0);
+    EXPECT_LT(p, 225.0);
+  }
+}
+
+}  // namespace
+}  // namespace repro::core

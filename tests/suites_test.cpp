@@ -1,0 +1,361 @@
+// Behavioural tests for the benchmark-suite implementations: each
+// program family's trace must reflect its real algorithm's structure
+// (iteration counts, frontier profiles, convergence, input ordering) and
+// the paper's per-program observations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "suites/common.hpp"
+#include "util/rng.hpp"
+
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro::suites {
+namespace {
+
+using workloads::ExecContext;
+using workloads::KernelLaunch;
+using workloads::LaunchTrace;
+using workloads::Registry;
+using workloads::Workload;
+
+const Workload& prog(const char* name) {
+  register_all_workloads();
+  const Workload* w = Registry::instance().find(name);
+  EXPECT_NE(w, nullptr) << name;
+  return *w;
+}
+
+double true_time(const Workload& w, std::size_t input, const char* config) {
+  const auto& cfg = sim::config_by_name(config);
+  ExecContext ctx;
+  ctx.core_mhz = cfg.core_mhz;
+  ctx.mem_mhz = cfg.mem_mhz;
+  ctx.ecc = cfg.ecc;
+  return sim::run_trace(sim::k20c(), cfg, w.trace(input, ctx)).active_time_s;
+}
+
+std::set<std::string> kernel_names(const LaunchTrace& trace) {
+  std::set<std::string> names;
+  for (const KernelLaunch& k : trace) names.insert(k.name);
+  return names;
+}
+
+// ---- LonestarGPU -----------------------------------------------------------
+
+TEST(Lonestar, BfsVariantOrdering) {
+  // Paper Table 3: atomic and wla beat the default; wlw/wlc are fastest.
+  const double t_def = true_time(prog("L-BFS"), 2, "default");
+  const double t_atomic = true_time(prog("L-BFS-atomic"), 2, "default");
+  const double t_wla = true_time(prog("L-BFS-wla"), 2, "default");
+  const double t_wlw = true_time(prog("L-BFS-wlw"), 2, "default");
+  const double t_wlc = true_time(prog("L-BFS-wlc"), 2, "default");
+  EXPECT_LT(t_atomic, t_def * 0.6);
+  EXPECT_LT(t_wla, t_def * 0.85);
+  EXPECT_LT(t_wlw, t_def * 0.05);  // unmeasurably fast, as in the paper
+  EXPECT_LT(t_wlc, t_wlw * 1.5);   // Merrill's version is the fastest class
+}
+
+TEST(Lonestar, SsspVariantOrdering) {
+  const double t_def = true_time(prog("SSSP"), 2, "default");
+  const double t_wlc = true_time(prog("SSSP-wlc"), 2, "default");
+  const double t_wln = true_time(prog("SSSP-wln"), 2, "default");
+  EXPECT_LT(t_wlc, t_def * 0.75);
+  EXPECT_GT(t_wln, t_def * 1.7);  // paper: ~2.4x worse
+}
+
+TEST(Lonestar, RoadMapInputsScaleRuntime) {
+  // GL (2.7M) < W-USA (6M) < USA (24M) in runtime, for every road-map code.
+  for (const char* name : {"L-BFS", "SSSP", "MST"}) {
+    const double gl = true_time(prog(name), 0, "default");
+    const double w = true_time(prog(name), 1, "default");
+    const double usa = true_time(prog(name), 2, "default");
+    EXPECT_LT(gl, w) << name;
+    EXPECT_LT(w, usa) << name;
+  }
+}
+
+TEST(Lonestar, TopologyDrivenSweepStructure) {
+  // The L-BFS trace is one init kernel plus one kernel per sweep, all
+  // sweeps the same size (topology-driven codes touch every node).
+  const LaunchTrace trace = prog("L-BFS").trace(0, ExecContext{});
+  ASSERT_GT(trace.size(), 10u);
+  EXPECT_EQ(trace.front().name, "bfs_init");
+  for (std::size_t i = 2; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].name, "bfs_sweep");
+    EXPECT_DOUBLE_EQ(trace[i].blocks, trace[1].blocks);
+  }
+}
+
+TEST(Lonestar, MstEmitsBoruvkaRoundPipeline) {
+  const auto names = kernel_names(prog("MST").trace(0, ExecContext{}));
+  EXPECT_TRUE(names.count("mst_find_min"));
+  EXPECT_TRUE(names.count("mst_union"));
+  EXPECT_TRUE(names.count("mst_compact"));
+}
+
+TEST(Lonestar, MstRoundsShrink) {
+  // Boruvka halves the component count per round: the find-min kernels
+  // must shrink monotonically (modulo the retry factor).
+  const LaunchTrace trace = prog("MST").trace(0, ExecContext{});
+  double last = 1e300;
+  int rounds = 0;
+  for (const KernelLaunch& k : trace) {
+    if (k.name != "mst_union") continue;
+    EXPECT_LE(k.blocks, last * 1.01);
+    last = k.blocks;
+    ++rounds;
+  }
+  EXPECT_GE(rounds, 4);
+  EXPECT_LE(rounds, 40);  // logarithmic in nodes
+}
+
+TEST(Lonestar, DmrRefinementConverges) {
+  // dmr_refine kernels must eventually vanish (mesh reaches quality).
+  const LaunchTrace trace = prog("DMR").trace(0, ExecContext{});
+  bool saw_refine = false;
+  for (const KernelLaunch& k : trace) {
+    if (k.name == "dmr_refine") saw_refine = true;
+  }
+  EXPECT_TRUE(saw_refine);
+  EXPECT_EQ(trace.back().name, "dmr_check_bad");  // final clean check
+}
+
+TEST(Lonestar, DmrMeshGrowsMonotonically) {
+  const LaunchTrace trace = prog("DMR").trace(1, ExecContext{});
+  double last = 0.0;
+  for (const KernelLaunch& k : trace) {
+    if (k.name != "dmr_check_bad") continue;
+    EXPECT_GE(k.blocks, last * 0.999);  // refinement only adds triangles
+    last = k.blocks;
+  }
+}
+
+TEST(Lonestar, PtaInputDependentIterations) {
+  // Paper §VI rec. 5: PTA behaviour is strongly input-dependent.
+  const auto t_vim = prog("PTA").trace(0, ExecContext{});
+  const auto t_tshark = prog("PTA").trace(2, ExecContext{});
+  EXPECT_NE(t_vim.size(), t_tshark.size());
+}
+
+TEST(Lonestar, NspIterativeStructure) {
+  const auto names = kernel_names(prog("NSP").trace(0, ExecContext{}));
+  EXPECT_TRUE(names.count("nsp_update_surveys"));
+  EXPECT_TRUE(names.count("nsp_update_bias"));
+}
+
+TEST(Lonestar, BhTimestepPipeline) {
+  const LaunchTrace trace = prog("BH").trace(1, ExecContext{});
+  const auto names = kernel_names(trace);
+  for (const char* k : {"bh_bounding_box", "bh_build_tree", "bh_summarize",
+                        "bh_sort", "bh_force", "bh_integrate"}) {
+    EXPECT_TRUE(names.count(k)) << k;
+  }
+  // 10 timesteps x 6 kernels.
+  EXPECT_EQ(trace.size(), 60u);
+}
+
+TEST(Lonestar, BhForceDominatesCompute) {
+  const LaunchTrace trace = prog("BH").trace(1, ExecContext{});
+  double force_flops = 0.0, other_flops = 0.0;
+  for (const KernelLaunch& k : trace) {
+    const double flops = k.mix.fp32 * k.total_threads();
+    (k.name == "bh_force" ? force_flops : other_flops) += flops;
+  }
+  EXPECT_GT(force_flops, other_flops);
+}
+
+// ---- Parboil / Rodinia / SHOC structure ------------------------------------
+
+TEST(Parboil, PbfsLevelsMatchRoadmapDiameter) {
+  // Data-driven BFS: one kernel per level; a road map has a huge diameter.
+  const LaunchTrace trace = prog("P-BFS").trace(0, ExecContext{});
+  EXPECT_GT(trace.size(), 50u);
+}
+
+TEST(Parboil, LbmOneKernelPerTimestep) {
+  EXPECT_EQ(prog("LBM").trace(0, ExecContext{}).size(), 3000u);
+  EXPECT_EQ(prog("LBM").trace(1, ExecContext{}).size(), 100u);
+}
+
+TEST(Parboil, LbmIsDoublePrecisionStreaming) {
+  const LaunchTrace trace = prog("LBM").trace(0, ExecContext{});
+  const KernelLaunch& k = trace.front();
+  EXPECT_GT(k.mix.fp64, 0.0);
+  EXPECT_DOUBLE_EQ(k.mix.fp32, 0.0);
+  EXPECT_LT(k.mix.l2_hit_rate, 0.3);  // streaming
+}
+
+TEST(Parboil, HistoFourKernelPipeline) {
+  const auto names = kernel_names(prog("HISTO").trace(0, ExecContext{}));
+  EXPECT_EQ(names.size(), 4u);  // matches its Table 1 kernel count
+}
+
+TEST(Rodinia, GaussianGridsShrinkAcrossElimination) {
+  const LaunchTrace trace = prog("GE").trace(0, ExecContext{});
+  // fan2 kernels shrink as (n - row)^2.
+  double first = -1.0, last = -1.0;
+  for (const KernelLaunch& k : trace) {
+    if (k.name != "ge_fan2") continue;
+    if (first < 0.0) first = k.blocks;
+    last = k.blocks;
+  }
+  EXPECT_GT(first, last * 100.0);
+}
+
+TEST(Rodinia, NwWavefrontRampsUp) {
+  const LaunchTrace trace = prog("NW").trace(0, ExecContext{});
+  double first = -1.0, peak = 0.0;
+  for (const KernelLaunch& k : trace) {
+    if (k.name != "nw_kernel1") continue;
+    if (first < 0.0) first = k.blocks;
+    peak = std::max(peak, k.blocks);
+  }
+  EXPECT_GT(peak, first * 4.0);  // anti-diagonal waves grow then shrink
+}
+
+TEST(Rodinia, MumQueryLengthScalesWork) {
+  const auto t100 = prog("MUM").trace(0, ExecContext{});
+  const auto t25 = prog("MUM").trace(1, ExecContext{});
+  // 100bp queries walk ~4x deeper than 25bp ones.
+  EXPECT_NEAR(t100.front().mix.global_loads / t25.front().mix.global_loads,
+              4.0, 0.2);
+}
+
+TEST(Shoc, SbfsVertexParallelEveryLevel) {
+  // SHOC's BFS launches one thread per vertex every iteration - the root
+  // of its Table 4 inefficiency.
+  const LaunchTrace trace = prog("S-BFS").trace(0, ExecContext{});
+  double frontier_blocks = -1.0;
+  for (const KernelLaunch& k : trace) {
+    if (k.name != "sbfs_frontier") continue;
+    if (frontier_blocks < 0.0) frontier_blocks = k.blocks;
+    EXPECT_DOUBLE_EQ(k.blocks, frontier_blocks);  // grid never shrinks
+  }
+  EXPECT_GT(frontier_blocks, 0.0);
+}
+
+TEST(Shoc, MaxflopsVariantsCoverSpAndDp) {
+  const LaunchTrace trace = prog("MF").trace(0, ExecContext{});
+  bool saw_sp = false, saw_dp = false, saw_fma = false;
+  for (const KernelLaunch& k : trace) {
+    if (k.mix.fp32 > 0.0) saw_sp = true;
+    if (k.mix.fp64 > 0.0) saw_dp = true;
+    if (k.mix.fma_fraction > 0.5) saw_fma = true;
+    EXPECT_GT(k.host_gap_before_s, 0.0);  // host verify between reps
+  }
+  EXPECT_TRUE(saw_sp);
+  EXPECT_TRUE(saw_dp);
+  EXPECT_TRUE(saw_fma);
+}
+
+TEST(Shoc, QtcRoundsShrink) {
+  const LaunchTrace trace = prog("QTC").trace(0, ExecContext{});
+  // Within one repetition, each committed cluster removes points.
+  double first = -1.0, smallest = 1e300;
+  for (const KernelLaunch& k : trace) {
+    if (k.name != "qtc_find_clusters") continue;
+    if (first < 0.0) first = k.blocks;
+    smallest = std::min(smallest, k.blocks);
+  }
+  EXPECT_LT(smallest, first * 0.5);
+}
+
+TEST(Shoc, SortDigitPassPipeline) {
+  const auto names = kernel_names(prog("ST").trace(0, ExecContext{}));
+  EXPECT_TRUE(names.count("sort_histogram"));
+  EXPECT_TRUE(names.count("sort_scan_counters"));
+  EXPECT_TRUE(names.count("sort_reorder"));
+}
+
+// ---- CUDA SDK ---------------------------------------------------------------
+
+TEST(Sdk, EpGeneratesBatchesEipDoesNot) {
+  const auto eip = kernel_names(prog("EIP").trace(0, ExecContext{}));
+  const auto ep = kernel_names(prog("EP").trace(0, ExecContext{}));
+  EXPECT_FALSE(eip.count("ep_generate_batch"));
+  EXPECT_TRUE(ep.count("ep_generate_batch"));
+}
+
+TEST(Sdk, NbodyQuadraticWorkInBodies) {
+  const auto small = prog("NB").trace(0, ExecContext{});
+  const auto large = prog("NB").trace(2, ExecContext{});
+  // Per-thread interaction work scales with n (all-pairs).
+  EXPECT_NEAR(large.front().mix.fp32 / small.front().mix.fp32, 10.0, 0.5);
+}
+
+TEST(Sdk, ScanThreeKernelPipeline) {
+  const auto names = kernel_names(prog("SC").trace(0, ExecContext{}));
+  EXPECT_EQ(names.size(), 3u);
+}
+
+// ---- Cache-model-derived locality -------------------------------------------
+
+TEST(Common, L2HitRateSmallWorkingSetHitsAlways) {
+  // 64 KB working set revisited: everything after the first pass hits.
+  std::vector<std::uint64_t> stream;
+  for (int pass = 0; pass < 8; ++pass) {
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 128) stream.push_back(a);
+  }
+  EXPECT_GT(l2_hit_rate_from_stream(stream), 0.85);
+}
+
+TEST(Common, L2HitRateHugeRandomSetMostlyMisses) {
+  util::Rng rng{3};
+  std::vector<std::uint64_t> stream;
+  for (int i = 0; i < 200000; ++i) {
+    stream.push_back(rng.uniform_index(1ULL << 30));  // 1 GB footprint
+  }
+  EXPECT_LT(l2_hit_rate_from_stream(stream), 0.05);
+}
+
+TEST(Common, S2DUsesCacheDerivedHitRate) {
+  // The 9-point pattern with three resident rows must land well above the
+  // no-reuse floor (1/9 compulsory misses bounded by line granularity).
+  const LaunchTrace trace = prog("S2D").trace(0, ExecContext{});
+  EXPECT_GT(trace.front().mix.l2_hit_rate, 0.85);
+  EXPECT_LT(trace.front().mix.l2_hit_rate, 1.0);
+}
+
+// ---- Cross-device invariance (paper §IV.B) ----------------------------------
+
+TEST(CrossDevice, RelativeEffectsHoldOnK40) {
+  // The paper found identical findings on K20c/K20m/K20x/K40 after
+  // scaling. Check: the default->614 runtime ratio of a compute-bound and
+  // a memory-bound trace agree across devices within a few percent.
+  register_all_workloads();
+  const Workload& nb = prog("NB");
+  const Workload& lbm = prog("LBM");
+  const auto ratio = [](const sim::KeplerDevice& dev, const Workload& w) {
+    ExecContext ctx;
+    const auto& def = sim::config_by_name("default");
+    const auto& c614 = sim::config_by_name("614");
+    const double t_def = sim::run_trace(dev, def, w.trace(0, ctx)).active_time_s;
+    ExecContext ctx614;
+    ctx614.core_mhz = 614.0;
+    const double t_614 =
+        sim::run_trace(dev, c614, w.trace(0, ctx614)).active_time_s;
+    return t_614 / t_def;
+  };
+  EXPECT_NEAR(ratio(sim::k20c(), nb), ratio(sim::k40(), nb), 0.03);
+  EXPECT_NEAR(ratio(sim::k20c(), lbm), ratio(sim::k40(), lbm), 0.03);
+}
+
+TEST(CrossDevice, K40IsFaster) {
+  register_all_workloads();
+  ExecContext ctx;
+  const auto& def = sim::config_by_name("default");
+  const auto trace = prog("LBM").trace(0, ctx);
+  EXPECT_LT(sim::run_trace(sim::k40(), def, trace).active_time_s,
+            sim::run_trace(sim::k20c(), def, trace).active_time_s);
+}
+
+}  // namespace
+}  // namespace repro::suites

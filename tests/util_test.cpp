@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/tablefmt.hpp"
+
+namespace repro::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_index(17), 17u);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng{11};
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalJitterMedianNearOne) {
+  Rng rng{13};
+  std::vector<double> vals;
+  for (int i = 0; i < 10001; ++i) vals.push_back(rng.lognormal_jitter(0.01));
+  EXPECT_NEAR(median(vals), 1.0, 0.002);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent{5};
+  Rng child = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_NE(child.next_u64(), child2.next_u64());
+}
+
+TEST(HashUnit, DeterministicAndUniformish) {
+  EXPECT_EQ(hash_unit(1, 2, 3), hash_unit(1, 2, 3));
+  EXPECT_NE(hash_unit(1, 2, 3), hash_unit(2, 1, 3));
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < 1000; ++i) sum += hash_unit(i, i * 3, 42);
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Stats, MedianOddEven) {
+  std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  std::vector<double> v{5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(Stats, BoxStatsOrdering) {
+  std::vector<double> v{5.0, 1.0, 4.0, 2.0, 3.0, 9.0, 0.5};
+  const BoxStats b = box_stats(v);
+  EXPECT_LE(b.min, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.max);
+  EXPECT_DOUBLE_EQ(b.min, 0.5);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+}
+
+TEST(Stats, RelativeSpread) {
+  std::vector<double> v{10.0, 10.5, 10.2};
+  EXPECT_NEAR(relative_spread(v), 0.05, 1e-12);
+}
+
+TEST(Stats, MedianIndexPicksMiddleRun) {
+  std::vector<double> v{30.0, 10.0, 20.0};
+  EXPECT_EQ(median_index(v), 2u);  // 20.0 is the median
+}
+
+TEST(Stats, MeanStddev) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 0.001);
+}
+
+TEST(Stats, Geomean) {
+  std::vector<double> v{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+}
+
+TEST(TableFmt, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.row().add("a").add(1.5, 1);
+  t.row().add("bbbb").add(22.25, 2);
+  EXPECT_EQ(t.row_count(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("22.25"), std::string::npos);
+}
+
+TEST(TableFmt, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.row().add("x").add(2ll);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,2\n");
+}
+
+TEST(TableFmt, AsciiBoxMarkers) {
+  const std::string box = ascii_box(1.0, 2.0, 3.0, 4.0, 5.0, 0.0, 6.0, 60);
+  EXPECT_EQ(box.size(), 60u);
+  EXPECT_NE(box.find('#'), std::string::npos);
+  EXPECT_NE(box.find('='), std::string::npos);
+  EXPECT_NE(box.find('|'), std::string::npos);
+}
+
+TEST(TableFmt, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.005, 2), "1.00");  // note: banker's-ish, just sanity
+  EXPECT_EQ(format_fixed(2.5, 1), "2.5");
+  EXPECT_EQ(format_ratio(1.2345), "1.23");
+}
+
+}  // namespace
+}  // namespace repro::util

@@ -1,0 +1,264 @@
+// Registry-wide workload tests: a parameterized sweep over every
+// (program, input) pair checks the structural invariants every benchmark
+// implementation must satisfy, plus targeted tests for the paper's
+// specific behavioural claims.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro::workloads {
+namespace {
+
+struct Case {
+  const Workload* workload;
+  std::size_t input;
+  std::string label;
+};
+
+std::vector<Case> all_cases() {
+  suites::register_all_workloads();
+  std::vector<Case> cases;
+  for (const Workload* w : Registry::instance().all()) {
+    const auto inputs = w->inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      std::string label = std::string(w->name()) + "_in" + std::to_string(i);
+      for (char& c : label) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      cases.push_back({w, i, std::move(label)});
+    }
+  }
+  return cases;
+}
+
+ExecContext default_ctx() {
+  ExecContext ctx;
+  return ctx;
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadSweep, TraceNonEmptyAndSane) {
+  const Case& c = GetParam();
+  const LaunchTrace trace = c.workload->trace(c.input, default_ctx());
+  ASSERT_FALSE(trace.empty());
+  for (const KernelLaunch& k : trace) {
+    EXPECT_FALSE(k.name.empty());
+    EXPECT_GT(k.blocks, 0.0);
+    EXPECT_GT(k.threads_per_block, 0);
+    EXPECT_LE(k.threads_per_block, 1024);
+    EXPECT_GE(k.imbalance, 1.0);
+    EXPECT_GE(k.host_gap_before_s, 0.0);
+    const InstructionMix& m = k.mix;
+    EXPECT_GE(m.fp32, 0.0);
+    EXPECT_GE(m.fp64, 0.0);
+    EXPECT_GE(m.int_alu, 0.0);
+    EXPECT_GE(m.sfu, 0.0);
+    EXPECT_GE(m.global_loads, 0.0);
+    EXPECT_GE(m.global_stores, 0.0);
+    EXPECT_GE(m.load_transactions_per_access, 1.0);
+    EXPECT_LE(m.load_transactions_per_access, 32.0);
+    EXPECT_GE(m.store_transactions_per_access, 1.0);
+    EXPECT_LE(m.store_transactions_per_access, 32.0);
+    EXPECT_GE(m.l2_hit_rate, 0.0);
+    EXPECT_LE(m.l2_hit_rate, 1.0);
+    EXPECT_GE(m.divergence, 1.0);
+    EXPECT_GT(m.active_lane_fraction, 0.0);
+    EXPECT_LE(m.active_lane_fraction, 1.0);
+    EXPECT_GT(m.mlp, 0.0);
+    EXPECT_GE(m.shared_conflict_factor, 1.0);
+    EXPECT_GE(m.atomic_contention, 1.0);
+  }
+}
+
+TEST_P(WorkloadSweep, TraceDeterministic) {
+  const Case& c = GetParam();
+  const LaunchTrace a = c.workload->trace(c.input, default_ctx());
+  const LaunchTrace b = c.workload->trace(c.input, default_ctx());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].blocks, b[i].blocks);
+    EXPECT_DOUBLE_EQ(a[i].mix.fp32, b[i].mix.fp32);
+    EXPECT_DOUBLE_EQ(a[i].mix.global_loads, b[i].mix.global_loads);
+  }
+}
+
+TEST_P(WorkloadSweep, SimulatesToPositiveTime) {
+  const Case& c = GetParam();
+  const LaunchTrace trace = c.workload->trace(c.input, default_ctx());
+  const auto result =
+      sim::run_trace(sim::k20c(), sim::config_by_name("default"), trace);
+  EXPECT_GT(result.active_time_s, 0.0);
+  EXPECT_LT(result.active_time_s, 600.0) << "unreasonably long active runtime";
+  EXPECT_GT(result.total_activity.warp_instructions, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, WorkloadSweep,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return info.param.label;
+                         });
+
+// ---- Registry-level invariants --------------------------------------------
+
+TEST(Registry, Has34PrimaryProgramsIn5Suites) {
+  suites::register_all_workloads();
+  const Registry& r = Registry::instance();
+  int primaries = 0;
+  for (const Workload* w : r.all()) {
+    if (w->variant().empty()) ++primaries;
+  }
+  EXPECT_EQ(primaries, 34);  // paper abstract: 34 applications
+  EXPECT_EQ(r.suites().size(), 5u);
+}
+
+TEST(Registry, SuiteMembershipMatchesPaperTable1) {
+  suites::register_all_workloads();
+  const Registry& r = Registry::instance();
+  const auto count_primaries = [&](std::string_view suite) {
+    int n = 0;
+    for (const Workload* w : r.by_suite(suite)) {
+      if (w->variant().empty()) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_primaries("LonestarGPU"), 7);
+  EXPECT_EQ(count_primaries("Parboil"), 9);
+  EXPECT_EQ(count_primaries("Rodinia"), 7);
+  EXPECT_EQ(count_primaries("SHOC"), 7);
+  EXPECT_EQ(count_primaries("CUDA SDK"), 4);
+}
+
+TEST(Registry, NamesUniqueAndFindable) {
+  suites::register_all_workloads();
+  const Registry& r = Registry::instance();
+  std::set<std::string> names;
+  for (const Workload* w : r.all()) {
+    EXPECT_TRUE(names.insert(std::string(w->name())).second)
+        << "duplicate: " << w->name();
+    EXPECT_EQ(r.find(w->name()), w);
+  }
+  EXPECT_EQ(r.find("no-such-program"), nullptr);
+}
+
+TEST(Registry, RegisterAllIdempotent) {
+  suites::register_all_workloads();
+  const std::size_t n = Registry::instance().size();
+  suites::register_all_workloads();
+  EXPECT_EQ(Registry::instance().size(), n);
+}
+
+TEST(Registry, KernelCountsMatchPaperTable1) {
+  suites::register_all_workloads();
+  const Registry& r = Registry::instance();
+  const std::pair<const char*, int> expected[] = {
+      {"EIP", 2},  {"EP", 2},    {"NB", 1},    {"SC", 3},   {"BH", 9},
+      {"L-BFS", 5}, {"DMR", 4},  {"MST", 7},   {"PTA", 40}, {"SSSP", 2},
+      {"NSP", 3},  {"P-BFS", 3}, {"CUTCP", 1}, {"HISTO", 4}, {"LBM", 1},
+      {"MRIQ", 2}, {"SAD", 3},   {"SGEMM", 1}, {"STEN", 1}, {"TPACF", 1},
+      {"BP", 2},   {"R-BFS", 2}, {"GE", 2},    {"MUM", 3},  {"NN", 1},
+      {"NW", 2},   {"PF", 1},    {"S-BFS", 9}, {"FFT", 2},  {"MF", 20},
+      {"MD", 1},   {"QTC", 6},   {"ST", 5},    {"S2D", 1},
+  };
+  for (const auto& [name, kernels] : expected) {
+    const Workload* w = r.find(name);
+    ASSERT_NE(w, nullptr) << name;
+    EXPECT_EQ(w->num_global_kernels(), kernels) << name;
+  }
+}
+
+// ---- Paper-specific behavioural claims ------------------------------------
+
+TEST(IrregularBehaviour, VisibilityRespondsToClocks) {
+  ExecContext def;
+  ExecContext c614 = def;
+  c614.core_mhz = 614.0;
+  ExecContext c324 = def;
+  c324.core_mhz = 324.0;
+  c324.mem_mhz = 324.0;
+  // Positive gamma: relatively faster memory at 614 raises visibility.
+  EXPECT_GT(c614.visibility(0.5, 1.0), def.visibility(0.5, 1.0));
+  // Negative gamma flips the direction.
+  EXPECT_LT(c614.visibility(0.5, -1.0), def.visibility(0.5, -1.0));
+  // 324 lowers the memory/core ratio drastically.
+  EXPECT_LT(c324.visibility(0.5, 1.0), def.visibility(0.5, 1.0));
+  // Always clamped to a sane range.
+  EXPECT_GE(c324.visibility(0.9, 5.0), 0.02);
+  EXPECT_LE(c614.visibility(0.9, 5.0), 0.98);
+}
+
+TEST(IrregularBehaviour, TopologyBfsTraceChangesWithConfig) {
+  suites::register_all_workloads();
+  const Workload* lbfs = Registry::instance().find("L-BFS");
+  ASSERT_NE(lbfs, nullptr);
+  ExecContext def;
+  ExecContext c614 = def;
+  c614.core_mhz = 614.0;
+  const auto a = lbfs->trace(2, def);
+  const auto b = lbfs->trace(2, c614);
+  // Irregular codes change their sweep count with the clocks (paper
+  // §V.A.1); the traces must differ in length.
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(RegularBehaviour, RegularTraceConfigInvariant) {
+  suites::register_all_workloads();
+  for (const char* name : {"NB", "SGEMM", "LBM", "STEN"}) {
+    const Workload* w = Registry::instance().find(name);
+    ASSERT_NE(w, nullptr) << name;
+    ExecContext def;
+    ExecContext c324 = def;
+    c324.core_mhz = 324.0;
+    c324.mem_mhz = 324.0;
+    const auto a = w->trace(0, def);
+    const auto b = w->trace(0, c324);
+    ASSERT_EQ(a.size(), b.size()) << name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i].blocks, b[i].blocks) << name;
+    }
+  }
+}
+
+TEST(Variants, LBfsFamilyComplete) {
+  suites::register_all_workloads();
+  const Registry& r = Registry::instance();
+  EXPECT_EQ(r.find("L-BFS")->variant(), "");
+  EXPECT_EQ(r.find("L-BFS-atomic")->variant(), "atomic");
+  EXPECT_EQ(r.find("L-BFS-wla")->variant(), "wla");
+  EXPECT_EQ(r.find("L-BFS-wlw")->variant(), "wlw");
+  EXPECT_EQ(r.find("L-BFS-wlc")->variant(), "wlc");
+  EXPECT_EQ(r.find("SSSP-wln")->variant(), "wln");
+  EXPECT_EQ(r.find("SSSP-wlc")->variant(), "wlc");
+}
+
+TEST(Items, BfsImplementationsReportPaperScaleCounts) {
+  suites::register_all_workloads();
+  const Registry& r = Registry::instance();
+  const auto usa = r.find("L-BFS")->items(2);
+  EXPECT_DOUBLE_EQ(usa.vertices, 24e6);
+  EXPECT_DOUBLE_EQ(usa.edges, 58e6);
+  EXPECT_GT(r.find("P-BFS")->items(0).vertices, 0.0);
+  EXPECT_GT(r.find("R-BFS")->items(1).vertices, 0.0);
+  EXPECT_GT(r.find("S-BFS")->items(0).vertices, 0.0);
+}
+
+TEST(EccAnomaly, OnlyNbAdjustsPower) {
+  suites::register_all_workloads();
+  for (const Workload* w : Registry::instance().all()) {
+    if (w->name() == "NB") {
+      EXPECT_LT(w->ecc_power_adjustment(), 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(w->ecc_power_adjustment(), 1.0) << w->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::workloads
