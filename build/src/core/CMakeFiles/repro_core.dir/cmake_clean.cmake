@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/aggregate.cpp.o"
+  "CMakeFiles/repro_core.dir/aggregate.cpp.o.d"
+  "CMakeFiles/repro_core.dir/study.cpp.o"
+  "CMakeFiles/repro_core.dir/study.cpp.o.d"
+  "CMakeFiles/repro_core.dir/variability.cpp.o"
+  "CMakeFiles/repro_core.dir/variability.cpp.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/repro_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/repro_graph.dir/csr.cpp.o"
+  "CMakeFiles/repro_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/repro_graph.dir/generators.cpp.o"
+  "CMakeFiles/repro_graph.dir/generators.cpp.o.d"
+  "librepro_graph.a"
+  "librepro_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_k20power.dir/analyze.cpp.o"
+  "CMakeFiles/repro_k20power.dir/analyze.cpp.o.d"
+  "librepro_k20power.a"
+  "librepro_k20power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_k20power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

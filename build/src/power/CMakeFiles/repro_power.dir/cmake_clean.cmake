@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_power.dir/model.cpp.o"
+  "CMakeFiles/repro_power.dir/model.cpp.o.d"
+  "librepro_power.a"
+  "librepro_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

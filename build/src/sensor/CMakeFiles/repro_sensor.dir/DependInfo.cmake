@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensor/sampler.cpp" "src/sensor/CMakeFiles/repro_sensor.dir/sampler.cpp.o" "gcc" "src/sensor/CMakeFiles/repro_sensor.dir/sampler.cpp.o.d"
+  "/root/repo/src/sensor/waveform.cpp" "src/sensor/CMakeFiles/repro_sensor.dir/waveform.cpp.o" "gcc" "src/sensor/CMakeFiles/repro_sensor.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/repro_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/repro_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sensor.dir/sampler.cpp.o"
+  "CMakeFiles/repro_sensor.dir/sampler.cpp.o.d"
+  "CMakeFiles/repro_sensor.dir/waveform.cpp.o"
+  "CMakeFiles/repro_sensor.dir/waveform.cpp.o.d"
+  "librepro_sensor.a"
+  "librepro_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

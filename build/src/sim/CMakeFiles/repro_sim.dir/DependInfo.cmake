@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/repro_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/coalesce.cpp" "src/sim/CMakeFiles/repro_sim.dir/coalesce.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/coalesce.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/repro_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/gpuconfig.cpp" "src/sim/CMakeFiles/repro_sim.dir/gpuconfig.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/gpuconfig.cpp.o.d"
+  "/root/repo/src/sim/occupancy.cpp" "src/sim/CMakeFiles/repro_sim.dir/occupancy.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/sim/timing.cpp" "src/sim/CMakeFiles/repro_sim.dir/timing.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/repro_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sim.dir/cache.cpp.o"
+  "CMakeFiles/repro_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/coalesce.cpp.o"
+  "CMakeFiles/repro_sim.dir/coalesce.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/engine.cpp.o"
+  "CMakeFiles/repro_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/gpuconfig.cpp.o"
+  "CMakeFiles/repro_sim.dir/gpuconfig.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/occupancy.cpp.o"
+  "CMakeFiles/repro_sim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/timing.cpp.o"
+  "CMakeFiles/repro_sim.dir/timing.cpp.o.d"
+  "librepro_sim.a"
+  "librepro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

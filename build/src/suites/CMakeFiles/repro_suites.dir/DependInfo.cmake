@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suites/common.cpp" "src/suites/CMakeFiles/repro_suites.dir/common.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/common.cpp.o.d"
+  "/root/repo/src/suites/lonestar/barnes_hut.cpp" "src/suites/CMakeFiles/repro_suites.dir/lonestar/barnes_hut.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/lonestar/barnes_hut.cpp.o.d"
+  "/root/repo/src/suites/lonestar/bfs.cpp" "src/suites/CMakeFiles/repro_suites.dir/lonestar/bfs.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/lonestar/bfs.cpp.o.d"
+  "/root/repo/src/suites/lonestar/dmr.cpp" "src/suites/CMakeFiles/repro_suites.dir/lonestar/dmr.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/lonestar/dmr.cpp.o.d"
+  "/root/repo/src/suites/lonestar/inputs.cpp" "src/suites/CMakeFiles/repro_suites.dir/lonestar/inputs.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/lonestar/inputs.cpp.o.d"
+  "/root/repo/src/suites/lonestar/mst.cpp" "src/suites/CMakeFiles/repro_suites.dir/lonestar/mst.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/lonestar/mst.cpp.o.d"
+  "/root/repo/src/suites/lonestar/nsp.cpp" "src/suites/CMakeFiles/repro_suites.dir/lonestar/nsp.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/lonestar/nsp.cpp.o.d"
+  "/root/repo/src/suites/lonestar/pta.cpp" "src/suites/CMakeFiles/repro_suites.dir/lonestar/pta.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/lonestar/pta.cpp.o.d"
+  "/root/repo/src/suites/lonestar/sssp.cpp" "src/suites/CMakeFiles/repro_suites.dir/lonestar/sssp.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/lonestar/sssp.cpp.o.d"
+  "/root/repo/src/suites/parboil/cutcp.cpp" "src/suites/CMakeFiles/repro_suites.dir/parboil/cutcp.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/parboil/cutcp.cpp.o.d"
+  "/root/repo/src/suites/parboil/histo.cpp" "src/suites/CMakeFiles/repro_suites.dir/parboil/histo.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/parboil/histo.cpp.o.d"
+  "/root/repo/src/suites/parboil/lbm.cpp" "src/suites/CMakeFiles/repro_suites.dir/parboil/lbm.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/parboil/lbm.cpp.o.d"
+  "/root/repo/src/suites/parboil/mriq.cpp" "src/suites/CMakeFiles/repro_suites.dir/parboil/mriq.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/parboil/mriq.cpp.o.d"
+  "/root/repo/src/suites/parboil/pbfs.cpp" "src/suites/CMakeFiles/repro_suites.dir/parboil/pbfs.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/parboil/pbfs.cpp.o.d"
+  "/root/repo/src/suites/parboil/sad.cpp" "src/suites/CMakeFiles/repro_suites.dir/parboil/sad.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/parboil/sad.cpp.o.d"
+  "/root/repo/src/suites/parboil/sgemm.cpp" "src/suites/CMakeFiles/repro_suites.dir/parboil/sgemm.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/parboil/sgemm.cpp.o.d"
+  "/root/repo/src/suites/parboil/stencil.cpp" "src/suites/CMakeFiles/repro_suites.dir/parboil/stencil.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/parboil/stencil.cpp.o.d"
+  "/root/repo/src/suites/parboil/tpacf.cpp" "src/suites/CMakeFiles/repro_suites.dir/parboil/tpacf.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/parboil/tpacf.cpp.o.d"
+  "/root/repo/src/suites/register_all.cpp" "src/suites/CMakeFiles/repro_suites.dir/register_all.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/register_all.cpp.o.d"
+  "/root/repo/src/suites/rodinia/backprop.cpp" "src/suites/CMakeFiles/repro_suites.dir/rodinia/backprop.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/rodinia/backprop.cpp.o.d"
+  "/root/repo/src/suites/rodinia/gaussian.cpp" "src/suites/CMakeFiles/repro_suites.dir/rodinia/gaussian.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/rodinia/gaussian.cpp.o.d"
+  "/root/repo/src/suites/rodinia/mummer.cpp" "src/suites/CMakeFiles/repro_suites.dir/rodinia/mummer.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/rodinia/mummer.cpp.o.d"
+  "/root/repo/src/suites/rodinia/nn.cpp" "src/suites/CMakeFiles/repro_suites.dir/rodinia/nn.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/rodinia/nn.cpp.o.d"
+  "/root/repo/src/suites/rodinia/nw.cpp" "src/suites/CMakeFiles/repro_suites.dir/rodinia/nw.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/rodinia/nw.cpp.o.d"
+  "/root/repo/src/suites/rodinia/pathfinder.cpp" "src/suites/CMakeFiles/repro_suites.dir/rodinia/pathfinder.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/rodinia/pathfinder.cpp.o.d"
+  "/root/repo/src/suites/rodinia/rbfs.cpp" "src/suites/CMakeFiles/repro_suites.dir/rodinia/rbfs.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/rodinia/rbfs.cpp.o.d"
+  "/root/repo/src/suites/sdk/estimate_pi.cpp" "src/suites/CMakeFiles/repro_suites.dir/sdk/estimate_pi.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/sdk/estimate_pi.cpp.o.d"
+  "/root/repo/src/suites/sdk/nbody.cpp" "src/suites/CMakeFiles/repro_suites.dir/sdk/nbody.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/sdk/nbody.cpp.o.d"
+  "/root/repo/src/suites/sdk/scan.cpp" "src/suites/CMakeFiles/repro_suites.dir/sdk/scan.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/sdk/scan.cpp.o.d"
+  "/root/repo/src/suites/shoc/fft.cpp" "src/suites/CMakeFiles/repro_suites.dir/shoc/fft.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/shoc/fft.cpp.o.d"
+  "/root/repo/src/suites/shoc/maxflops.cpp" "src/suites/CMakeFiles/repro_suites.dir/shoc/maxflops.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/shoc/maxflops.cpp.o.d"
+  "/root/repo/src/suites/shoc/md.cpp" "src/suites/CMakeFiles/repro_suites.dir/shoc/md.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/shoc/md.cpp.o.d"
+  "/root/repo/src/suites/shoc/qtc.cpp" "src/suites/CMakeFiles/repro_suites.dir/shoc/qtc.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/shoc/qtc.cpp.o.d"
+  "/root/repo/src/suites/shoc/sbfs.cpp" "src/suites/CMakeFiles/repro_suites.dir/shoc/sbfs.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/shoc/sbfs.cpp.o.d"
+  "/root/repo/src/suites/shoc/sort.cpp" "src/suites/CMakeFiles/repro_suites.dir/shoc/sort.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/shoc/sort.cpp.o.d"
+  "/root/repo/src/suites/shoc/stencil2d.cpp" "src/suites/CMakeFiles/repro_suites.dir/shoc/stencil2d.cpp.o" "gcc" "src/suites/CMakeFiles/repro_suites.dir/shoc/stencil2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/repro_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/repro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

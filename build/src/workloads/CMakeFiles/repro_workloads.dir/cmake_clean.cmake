@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_workloads.dir/registry.cpp.o"
+  "CMakeFiles/repro_workloads.dir/registry.cpp.o.d"
+  "librepro_workloads.a"
+  "librepro_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_k20power.dir/k20power_test.cpp.o"
+  "CMakeFiles/test_k20power.dir/k20power_test.cpp.o.d"
+  "test_k20power"
+  "test_k20power.pdb"
+  "test_k20power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_k20power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

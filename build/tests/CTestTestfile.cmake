@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_sensor[1]_include.cmake")
+include("/root/repo/build/tests/test_k20power[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_study[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_suites[1]_include.cmake")
