@@ -17,6 +17,7 @@ int main() {
   core::Study study;
   std::cout << "Figure 2: default -> 614 (core clock -13%, memory clock "
                "unchanged)\n\n";
+  bench::prewarm(study, {"default", "614"});
   bench::run_ratio_figure(study, sim::config_by_name("default"),
                           sim::config_by_name("614"), 0.7, 1.3);
   return 0;

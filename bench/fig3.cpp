@@ -17,6 +17,7 @@ int main() {
   suites::register_all_workloads();
   core::Study study;
   std::cout << "Figure 3: 614 -> 324 (core clock /1.9, memory clock /8)\n\n";
+  bench::prewarm(study, {"614", "324"});
   bench::run_ratio_figure(study, sim::config_by_name("614"),
                           sim::config_by_name("324"), 0.3, 9.0);
   return 0;

@@ -16,6 +16,7 @@ int main() {
   suites::register_all_workloads();
   core::Study study;
   std::cout << "Figure 4: default -> ECC (705 MHz / 2.6 GHz, ECC on)\n\n";
+  bench::prewarm(study, {"default", "ecc"});
   bench::run_ratio_figure(study, sim::config_by_name("default"),
                           sim::config_by_name("ecc"), 0.85, 1.35);
   return 0;

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/study.hpp"
+#include "figcommon.hpp"
 #include "sim/gpuconfig.hpp"
 #include "util/tablefmt.hpp"
 #include "workloads/registry.hpp"
@@ -20,6 +21,7 @@ int main() {
 
   std::cout << "Figure 5: power ratio of each input relative to the first "
                "(default config)\n\n";
+  bench::prewarm(study, {"default"});
   util::TextTable table({"program", "input", "power [W]", "ratio vs input 1"});
   for (const workloads::Workload* w : workloads::Registry::instance().all()) {
     if (!w->variant().empty()) continue;

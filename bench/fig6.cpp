@@ -21,6 +21,7 @@ int main() {
   core::Study study;
 
   std::cout << "Figure 6: range of average power consumption [W]\n\n";
+  bench::prewarm(study, {"default", "614", "324", "ecc"});
   for (const sim::GpuConfig& config : sim::standard_configs()) {
     std::cout << "-- configuration: " << config.name << " --\n";
     util::TextTable table(

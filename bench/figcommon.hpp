@@ -1,4 +1,5 @@
-// Shared rendering for the box-plot figures (Figs. 2-4, 6).
+// Shared rendering for the box-plot figures (Figs. 2-4, 6) and the
+// parallel prewarm step every driver runs before rendering.
 #pragma once
 
 #include <iostream>
@@ -6,10 +7,28 @@
 #include <vector>
 
 #include "core/aggregate.hpp"
+#include "core/scheduler.hpp"
 #include "core/study.hpp"
 #include "util/tablefmt.hpp"
 
 namespace repro::bench {
+
+/// Runs the driver's whole experiment matrix (every registered program and
+/// input under `config_names`) through the work-stealing scheduler, then
+/// prints the batch metrics. The serial rendering code below each driver
+/// subsequently hits a warm cache, so its output — proven bit-identical to
+/// serial execution in tests/scheduler_test.cpp — is produced at parallel
+/// speed. Thread count: REPRO_THREADS env var, else hardware concurrency.
+inline void prewarm(core::Study& study,
+                    const std::vector<std::string>& config_names,
+                    bool include_variants = false) {
+  const std::vector<core::ExperimentJob> jobs =
+      core::registry_matrix(config_names, include_variants);
+  const core::Scheduler scheduler;
+  const core::BatchReport report = scheduler.run(study, jobs);
+  report.print(std::cout);
+  std::cout << "\n";
+}
 
 inline const std::vector<std::string>& suite_order() {
   static const std::vector<std::string> order{

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/study.hpp"
+#include "figcommon.hpp"
 #include "sim/gpuconfig.hpp"
 #include "util/stats.hpp"
 #include "workloads/registry.hpp"
@@ -37,6 +38,7 @@ struct Classified {
 int main() {
   suites::register_all_workloads();
   core::Study study;
+  bench::prewarm(study, {"default", "614", "324"});
   const auto& def = sim::config_by_name("default");
   const auto& c614 = sim::config_by_name("614");
   const auto& c324 = sim::config_by_name("324");

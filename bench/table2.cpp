@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/study.hpp"
+#include "figcommon.hpp"
 #include "sim/gpuconfig.hpp"
 #include "util/stats.hpp"
 #include "util/tablefmt.hpp"
@@ -17,6 +18,7 @@ int main() {
   using namespace repro;
   suites::register_all_workloads();
   core::Study study;
+  bench::prewarm(study, {"default", "614", "ecc"});
 
   struct Spreads {
     std::vector<double> time, energy;

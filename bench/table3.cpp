@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/study.hpp"
+#include "figcommon.hpp"
 #include "sim/gpuconfig.hpp"
 #include "util/tablefmt.hpp"
 #include "workloads/registry.hpp"
@@ -18,6 +19,10 @@ int main() {
   using namespace repro;
   suites::register_all_workloads();
   core::Study study;
+  // Variants included: Table 3 is exactly about the alternate
+  // implementations the suite-level figures exclude.
+  bench::prewarm(study, {"default", "324", "614", "ecc"},
+                 /*include_variants=*/true);
   const workloads::Registry& reg = workloads::Registry::instance();
   constexpr std::size_t kUsa = 2;  // input index of the USA road map
 

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "core/study.hpp"
+#include "figcommon.hpp"
 #include "sim/gpuconfig.hpp"
 #include "util/tablefmt.hpp"
 #include "workloads/registry.hpp"
@@ -19,6 +20,7 @@ int main() {
   using namespace repro;
   suites::register_all_workloads();
   core::Study study;
+  bench::prewarm(study, {"default"});
   const workloads::Registry& reg = workloads::Registry::instance();
   const auto& config = sim::config_by_name("default");
 

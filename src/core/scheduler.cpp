@@ -1,0 +1,223 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+namespace repro::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// One mutex-guarded deque per worker. A lock-free Chase-Lev deque would be
+// overkill: each job is a full measurement pipeline (milliseconds), so
+// queue operations are nowhere near the critical path.
+struct WorkQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> jobs;  // indices into the submitted batch
+
+  void push(std::size_t index) {
+    std::lock_guard lock(mutex);
+    jobs.push_back(index);
+  }
+  bool pop_back(std::size_t& index) {
+    std::lock_guard lock(mutex);
+    if (jobs.empty()) return false;
+    index = jobs.back();
+    jobs.pop_back();
+    return true;
+  }
+  bool steal_front(std::size_t& index) {
+    std::lock_guard lock(mutex);
+    if (jobs.empty()) return false;
+    index = jobs.front();
+    jobs.pop_front();
+    return true;
+  }
+};
+
+}  // namespace
+
+double BatchReport::busy_s() const {
+  double total = 0.0;
+  for (const WorkerMetrics& w : workers) total += w.busy_s;
+  return total;
+}
+
+double BatchReport::hit_rate() const {
+  const std::uint64_t lookups = stats.result_hits + stats.result_misses;
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(stats.result_hits) /
+                            static_cast<double>(lookups);
+}
+
+void BatchReport::print(std::ostream& os) const {
+  os << "-- experiment scheduler: " << jobs << " jobs on " << threads
+     << (threads == 1 ? " thread" : " threads") << " --\n";
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "   wall %.2f s, busy %.2f s; cache: %llu computed, %llu hits "
+                "(%.1f%% hit rate), %llu traces reused\n",
+                wall_s, busy_s(),
+                static_cast<unsigned long long>(stats.result_misses),
+                static_cast<unsigned long long>(stats.result_hits),
+                100.0 * hit_rate(),
+                static_cast<unsigned long long>(stats.trace_hits));
+  os << line;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerMetrics& w = workers[i];
+    std::snprintf(line, sizeof line,
+                  "   worker %2zu: %4llu jobs (%llu stolen), %.2f s busy (%.0f%%)\n",
+                  i, static_cast<unsigned long long>(w.jobs),
+                  static_cast<unsigned long long>(w.steals), w.busy_s,
+                  wall_s > 0.0 ? 100.0 * w.busy_s / wall_s : 0.0);
+    os << line;
+  }
+}
+
+Scheduler::Scheduler(Options options)
+    : threads_(resolve_threads(options.threads)) {}
+
+int Scheduler::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("REPRO_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+BatchReport Scheduler::run(Study& study,
+                           const std::vector<ExperimentJob>& jobs) const {
+  const int n = threads_;
+  BatchReport report;
+  report.threads = n;
+  report.jobs = jobs.size();
+  report.workers.resize(static_cast<std::size_t>(n));
+
+  const Study::CacheStats before = study.cache_stats();
+  const auto batch_start = Clock::now();
+
+  // Round-robin initial distribution; workers drain their own queue from
+  // the back and steal from other queues' fronts once empty. The batch is
+  // closed (no job spawns jobs), so a worker may exit after one full
+  // unsuccessful scan of every queue.
+  std::vector<WorkQueue> queues(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    queues[i % static_cast<std::size_t>(n)].push(i);
+  }
+
+  const auto worker_body = [&](int worker_id) {
+    WorkerMetrics& metrics = report.workers[static_cast<std::size_t>(worker_id)];
+    const auto run_job = [&](std::size_t index, bool stolen) {
+      const ExperimentJob& job = jobs[index];
+      const auto job_start = Clock::now();
+      study.measure(*job.workload, job.input_index, *job.config);
+      metrics.busy_s += seconds_since(job_start);
+      ++metrics.jobs;
+      if (stolen) ++metrics.steals;
+    };
+    for (;;) {
+      std::size_t index = 0;
+      if (queues[static_cast<std::size_t>(worker_id)].pop_back(index)) {
+        run_job(index, /*stolen=*/false);
+        continue;
+      }
+      bool stole = false;
+      for (int offset = 1; offset < n; ++offset) {
+        const int victim = (worker_id + offset) % n;
+        if (queues[static_cast<std::size_t>(victim)].steal_front(index)) {
+          run_job(index, /*stolen=*/true);
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) return;  // every queue empty: batch drained
+    }
+  };
+
+  if (n == 1) {
+    worker_body(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) workers.emplace_back(worker_body, i);
+    for (std::thread& t : workers) t.join();
+  }
+
+  report.wall_s = seconds_since(batch_start);
+  const Study::CacheStats after = study.cache_stats();
+  report.stats.trace_hits = after.trace_hits - before.trace_hits;
+  report.stats.trace_misses = after.trace_misses - before.trace_misses;
+  report.stats.result_hits = after.result_hits - before.result_hits;
+  report.stats.result_misses = after.result_misses - before.result_misses;
+
+  // Stable aggregation order: deduplicate by key and sort, independent of
+  // completion order, then resolve results from the (now warm) cache.
+  std::vector<std::pair<std::string, const ExperimentJob*>> keyed;
+  keyed.reserve(jobs.size());
+  for (const ExperimentJob& job : jobs) {
+    keyed.emplace_back(experiment_key(*job.workload, job.input_index, *job.config),
+                       &job);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  keyed.erase(std::unique(keyed.begin(), keyed.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          }),
+              keyed.end());
+  report.results.reserve(keyed.size());
+  for (auto& [key, job] : keyed) {
+    BatchEntry entry;
+    entry.result = &study.measure(*job->workload, job->input_index, *job->config);
+    entry.key = std::move(key);
+    entry.job = job;
+    report.results.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::vector<ExperimentJob> experiment_matrix(
+    const std::vector<const workloads::Workload*>& workloads,
+    const std::vector<const sim::GpuConfig*>& configs) {
+  std::vector<ExperimentJob> jobs;
+  for (const workloads::Workload* w : workloads) {
+    const std::size_t num_inputs = w->inputs().size();
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      for (const sim::GpuConfig* config : configs) {
+        jobs.push_back(ExperimentJob{w, i, config});
+      }
+    }
+  }
+  return jobs;
+}
+
+std::vector<ExperimentJob> registry_matrix(
+    const std::vector<std::string>& config_names, bool include_variants) {
+  std::vector<const sim::GpuConfig*> configs;
+  configs.reserve(config_names.size());
+  for (const std::string& name : config_names) {
+    configs.push_back(&sim::config_by_name(name));
+  }
+  std::vector<const workloads::Workload*> selected;
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    if (!include_variants && !w->variant().empty()) continue;
+    selected.push_back(w);
+  }
+  return experiment_matrix(selected, configs);
+}
+
+}  // namespace repro::core

@@ -1,0 +1,99 @@
+// Parallel experiment scheduler (the paper's §IV matrix, concurrently).
+//
+// The full experiment matrix (34 programs x 4 GPU configurations x 3
+// repetitions) is embarrassingly parallel: every experiment's measurement
+// stream is seeded purely from its cache key (core/study.hpp), so no RNG
+// state crosses experiment boundaries and execution order cannot change
+// any measured value. The scheduler exploits this with a work-stealing
+// thread pool over a shared, thread-safe Study, and guarantees:
+//
+//   1. bit-identical results to serial Study::measure for the same seeds
+//      (tests/scheduler_test.cpp proves this at several thread counts),
+//   2. deterministic output across invocations and thread counts, and
+//   3. stable aggregation order: BatchReport.results is sorted by
+//      experiment key regardless of completion order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace repro::core {
+
+/// One unit of schedulable work: a (program, input, config) experiment.
+struct ExperimentJob {
+  const workloads::Workload* workload = nullptr;
+  std::size_t input_index = 0;
+  const sim::GpuConfig* config = nullptr;
+};
+
+/// Per-worker execution metrics for the batch report.
+struct WorkerMetrics {
+  std::uint64_t jobs = 0;    // jobs this worker executed
+  std::uint64_t steals = 0;  // of which were taken from another worker's queue
+  double busy_s = 0.0;       // wall time spent inside Study::measure
+};
+
+/// One experiment of a finished batch, in stable (key-sorted) order.
+struct BatchEntry {
+  std::string key;
+  const ExperimentJob* job = nullptr;       // points into the submitted batch
+  const ExperimentResult* result = nullptr; // owned by the Study
+};
+
+/// Everything the scheduler knows about a finished batch.
+struct BatchReport {
+  int threads = 1;
+  std::size_t jobs = 0;        // submitted jobs (may contain duplicate keys)
+  double wall_s = 0.0;
+  Study::CacheStats stats;     // cache counter delta over this batch
+  std::vector<WorkerMetrics> workers;
+  std::vector<BatchEntry> results;  // deduplicated, sorted by key
+
+  double busy_s() const;
+  /// Fraction of result-cache lookups served without computing, in [0, 1].
+  double hit_rate() const;
+  /// The metrics surface printed at batch end: jobs done, cache hit rate,
+  /// per-worker busy time.
+  void print(std::ostream& os) const;
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    /// Worker count; <= 0 selects the REPRO_THREADS environment variable
+    /// if set, else std::thread::hardware_concurrency().
+    int threads = 0;
+  };
+
+  Scheduler() : Scheduler(Options{}) {}
+  explicit Scheduler(Options options);
+
+  /// Runs every job (deduplicated by the Study's cache) and blocks until
+  /// the batch is done. Safe to call repeatedly and from multiple
+  /// schedulers sharing one Study.
+  BatchReport run(Study& study, const std::vector<ExperimentJob>& jobs) const;
+
+  int threads() const noexcept { return threads_; }
+
+  /// Resolution rule documented on Options::threads.
+  static int resolve_threads(int requested);
+
+ private:
+  int threads_;
+};
+
+/// The cross product of `workloads` inputs and `configs` as a job batch.
+std::vector<ExperimentJob> experiment_matrix(
+    const std::vector<const workloads::Workload*>& workloads,
+    const std::vector<const sim::GpuConfig*>& configs);
+
+/// The registry-wide matrix over the named configurations; variants
+/// (alternate implementations, paper §V.B.1) are included only on request.
+std::vector<ExperimentJob> registry_matrix(
+    const std::vector<std::string>& config_names, bool include_variants = false);
+
+}  // namespace repro::core

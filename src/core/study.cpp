@@ -1,6 +1,8 @@
 #include "core/study.hpp"
 
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "core/variability.hpp"
 #include "sensor/sampler.hpp"
@@ -15,44 +17,83 @@ Study::Study(Options options) : options_(options) {}
 
 namespace {
 
-std::string cache_key(const workloads::Workload& w, std::size_t input,
-                      const sim::GpuConfig& config) {
-  return std::string(w.name()) + "/" + std::to_string(input) + "/" + config.name;
+// Percent-escapes the key separator so parts can never bleed into each
+// other: "x/0" + input 0 + config "y" and "x" + input 0 + config "0/y"
+// must produce different keys (they would alias with naive joining).
+void append_escaped(std::string& out, std::string_view part) {
+  for (const char c : part) {
+    if (c == '%') {
+      out += "%25";
+    } else if (c == '/') {
+      out += "%2F";
+    } else {
+      out += c;
+    }
+  }
 }
 
 }  // namespace
 
+std::string experiment_key(std::string_view program, std::size_t input_index,
+                           std::string_view config_name) {
+  std::string key;
+  key.reserve(program.size() + config_name.size() + 8);
+  append_escaped(key, program);
+  key += '/';
+  key += std::to_string(input_index);
+  key += '/';
+  append_escaped(key, config_name);
+  return key;
+}
+
+Study::Shard& Study::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShardCount];
+}
+
 const sim::TraceResult& Study::trace_result(const workloads::Workload& workload,
                                             std::size_t input_index,
                                             const sim::GpuConfig& config) {
-  const std::string key = cache_key(workload, input_index, config);
-  auto it = trace_cache_.find(key);
-  if (it != trace_cache_.end()) return it->second;
-
-  workloads::ExecContext ctx;
-  ctx.core_mhz = config.core_mhz;
-  ctx.mem_mhz = config.mem_mhz;
-  ctx.ecc = config.ecc;
-  ctx.structural_seed = options_.structural_seed;
-  const workloads::LaunchTrace trace = workload.trace(input_index, ctx);
-  sim::TraceResult result = sim::run_trace(sim::k20c(), config, trace);
-  return trace_cache_.emplace(key, std::move(result)).first->second;
+  const std::string key = experiment_key(workload, input_index, config);
+  Shard& shard = shard_for(key);
+  TraceCell* cell = nullptr;
+  {
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.traces.find(key);
+    if (it != shard.traces.end()) cell = &it->second;
+  }
+  if (cell == nullptr) {
+    std::unique_lock lock(shard.mutex);
+    cell = &shard.traces.try_emplace(key).first->second;
+  }
+  bool computed = false;
+  std::call_once(cell->once, [&] {
+    computed = true;
+    workloads::ExecContext ctx;
+    ctx.core_mhz = config.core_mhz;
+    ctx.mem_mhz = config.mem_mhz;
+    ctx.ecc = config.ecc;
+    ctx.structural_seed = options_.structural_seed;
+    const workloads::LaunchTrace trace = workload.trace(input_index, ctx);
+    cell->value = sim::run_trace(sim::k20c(), config, trace);
+  });
+  (computed ? trace_misses_ : trace_hits_).fetch_add(1, std::memory_order_relaxed);
+  return cell->value;
 }
 
-const ExperimentResult& Study::measure(const workloads::Workload& workload,
-                                       std::size_t input_index,
-                                       const sim::GpuConfig& config) {
-  const std::string key = cache_key(workload, input_index, config);
-  auto it = result_cache_.find(key);
-  if (it != result_cache_.end()) return it->second;
-
+ExperimentResult Study::compute_measurement(const workloads::Workload& workload,
+                                            std::size_t input_index,
+                                            const sim::GpuConfig& config,
+                                            const std::string& key) {
   const sim::TraceResult& ground_truth =
       trace_result(workload, input_index, config);
 
   ExperimentResult result;
   result.true_active_s = ground_truth.active_time_s;
 
-  // One deterministic measurement stream per experiment.
+  // One deterministic measurement stream per experiment, derived purely
+  // from the experiment key. This is what makes the parallel scheduler
+  // trivially equivalent to serial execution: no RNG state is shared
+  // between experiments, so execution order cannot influence results.
   util::Rng stream{util::mix64(options_.measurement_seed ^
                                util::mix64(std::hash<std::string>{}(key)))};
   const sensor::Sensor sensor;
@@ -84,7 +125,40 @@ const ExperimentResult& Study::measure(const workloads::Workload& workload,
     result.time_spread = util::relative_spread(times);
     result.energy_spread = util::relative_spread(energies);
   }
-  return result_cache_.emplace(key, std::move(result)).first->second;
+  return result;
+}
+
+const ExperimentResult& Study::measure(const workloads::Workload& workload,
+                                       std::size_t input_index,
+                                       const sim::GpuConfig& config) {
+  const std::string key = experiment_key(workload, input_index, config);
+  Shard& shard = shard_for(key);
+  ResultCell* cell = nullptr;
+  {
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.results.find(key);
+    if (it != shard.results.end()) cell = &it->second;
+  }
+  if (cell == nullptr) {
+    std::unique_lock lock(shard.mutex);
+    cell = &shard.results.try_emplace(key).first->second;
+  }
+  bool computed = false;
+  std::call_once(cell->once, [&] {
+    computed = true;
+    cell->value = compute_measurement(workload, input_index, config, key);
+  });
+  (computed ? result_misses_ : result_hits_).fetch_add(1, std::memory_order_relaxed);
+  return cell->value;
+}
+
+Study::CacheStats Study::cache_stats() const {
+  CacheStats stats;
+  stats.trace_hits = trace_hits_.load(std::memory_order_relaxed);
+  stats.trace_misses = trace_misses_.load(std::memory_order_relaxed);
+  stats.result_hits = result_hits_.load(std::memory_order_relaxed);
+  stats.result_misses = result_misses_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 MetricRatios ratios(const ExperimentResult& numerator,

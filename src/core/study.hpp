@@ -8,11 +8,25 @@
 // active runtime, energy and average power are reported. Structural traces
 // are cached per (program, input, config) because repetitions only differ
 // in measurement noise, not algorithmic behaviour.
+//
+// Thread safety: `measure` and `trace_result` may be called concurrently
+// from many threads (see core/scheduler.hpp). Both caches are sharded by
+// key hash; each shard is guarded by a std::shared_mutex that is only held
+// while locating or inserting a cache cell, never while computing. A
+// per-cell std::once_flag guarantees every experiment is computed exactly
+// once even when several threads request the same key simultaneously.
+// Returned references are stable for the lifetime of the Study (node-based
+// map storage).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "k20power/analyze.hpp"
@@ -38,6 +52,21 @@ struct ExperimentResult {
   double energy_spread = 0.0;
 };
 
+/// Canonical cache key of one experiment. The key doubles as the seed
+/// material of the experiment's measurement stream, so it must be
+/// injective: '/' and '%' inside the program or configuration name are
+/// percent-escaped so that distinct (program, input, config) triples can
+/// never alias (names in use today contain neither, keeping historical
+/// keys — and therefore all measured values — unchanged).
+std::string experiment_key(std::string_view program, std::size_t input_index,
+                           std::string_view config_name);
+
+inline std::string experiment_key(const workloads::Workload& workload,
+                                  std::size_t input_index,
+                                  const sim::GpuConfig& config) {
+  return experiment_key(workload.name(), input_index, config.name);
+}
+
 class Study {
  public:
   struct Options {
@@ -46,27 +75,68 @@ class Study {
     std::uint64_t structural_seed = 0x5eed;
   };
 
+  /// Monotone counters over both caches; readable concurrently.
+  struct CacheStats {
+    std::uint64_t trace_hits = 0;
+    std::uint64_t trace_misses = 0;
+    std::uint64_t result_hits = 0;
+    std::uint64_t result_misses = 0;
+  };
+
   Study() : Study(Options{}) {}
   explicit Study(Options options);
 
-  /// Runs (or returns the cached result of) one experiment.
+  Study(const Study&) = delete;
+  Study& operator=(const Study&) = delete;
+
+  /// Runs (or returns the cached result of) one experiment. Thread-safe.
   const ExperimentResult& measure(const workloads::Workload& workload,
                                   std::size_t input_index,
                                   const sim::GpuConfig& config);
 
   /// Ground-truth trace execution without sensor/noise (for tests and the
   /// per-item metrics of Table 4 where the paper normalizes by work).
+  /// Thread-safe.
   const sim::TraceResult& trace_result(const workloads::Workload& workload,
                                        std::size_t input_index,
                                        const sim::GpuConfig& config);
 
   const power::PowerModel& power_model() const noexcept { return power_model_; }
 
+  CacheStats cache_stats() const;
+
  private:
+  // One cache cell per experiment key. The once_flag serializes the first
+  // computation; `value` is immutable afterwards. std::map nodes never
+  // move, so references handed out stay valid.
+  struct TraceCell {
+    std::once_flag once;
+    sim::TraceResult value;
+  };
+  struct ResultCell {
+    std::once_flag once;
+    ExperimentResult value;
+  };
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, TraceCell> traces;
+    std::map<std::string, ResultCell> results;
+  };
+  static constexpr std::size_t kShardCount = 16;
+
+  Shard& shard_for(const std::string& key);
+  ExperimentResult compute_measurement(const workloads::Workload& workload,
+                                       std::size_t input_index,
+                                       const sim::GpuConfig& config,
+                                       const std::string& key);
+
   Options options_;
   power::PowerModel power_model_;
-  std::map<std::string, sim::TraceResult> trace_cache_;
-  std::map<std::string, ExperimentResult> result_cache_;
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<std::uint64_t> trace_hits_{0};
+  std::atomic<std::uint64_t> trace_misses_{0};
+  std::atomic<std::uint64_t> result_hits_{0};
+  std::atomic<std::uint64_t> result_misses_{0};
 };
 
 /// Ratio of two experiment metrics with usability propagation.

@@ -1,6 +1,7 @@
 #include "suites/lonestar/inputs.hpp"
 
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "graph/generators.hpp"
@@ -8,7 +9,12 @@
 namespace repro::suites::lonestar {
 
 const graph::CsrGraph& road_map(RoadMap which, std::uint64_t structural_seed) {
+  // Shared across workloads and scheduler worker threads; the mutex also
+  // covers generation so a map is only ever built once. Node-based map
+  // storage keeps returned references stable after the lock is released.
+  static std::mutex mutex;
   static std::map<std::pair<int, std::uint64_t>, graph::CsrGraph> cache;
+  std::lock_guard lock(mutex);
   const auto key = std::make_pair(static_cast<int>(which), structural_seed);
   auto it = cache.find(key);
   if (it == cache.end()) {

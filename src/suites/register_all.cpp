@@ -1,12 +1,13 @@
+#include <mutex>
+
 #include "suites/factories.hpp"
 #include "workloads/registry.hpp"
 
 namespace repro::suites {
 
-void register_all_workloads() {
-  static bool done = false;
-  if (done) return;
-  done = true;
+namespace {
+
+void register_all_workloads_impl() {
   Registry& r = workloads::Registry::instance();
 
   // CUDA SDK (paper Table 1 order within suites; suites grouped).
@@ -51,6 +52,15 @@ void register_all_workloads() {
   register_qtc(r);
   register_sort(r);
   register_stencil2d(r);
+}
+
+}  // namespace
+
+void register_all_workloads() {
+  // call_once instead of a plain bool: bench drivers hand the registry to
+  // scheduler worker threads, and tests may race registration.
+  static std::once_flag once;
+  std::call_once(once, register_all_workloads_impl);
 }
 
 }  // namespace repro::suites

@@ -1,0 +1,95 @@
+// Golden-result snapshot: median time/energy/power of a fixed
+// 10-experiment slice, compared exactly (full double precision) against
+// tests/golden/experiments.txt. Any refactor of the simulator, power
+// model, sensor or study harness that silently shifts results fails here
+// before it can corrupt the figure reproductions.
+//
+// To regenerate after an INTENTIONAL model change:
+//   REPRO_UPDATE_GOLDEN=1 ./test_golden
+// then review the diff of tests/golden/experiments.txt like any other
+// code change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/study.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+#ifndef REPRO_GOLDEN_DIR
+#error "REPRO_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace repro::core {
+namespace {
+
+struct SliceEntry {
+  const char* program;
+  std::size_t input;
+  const char* config;
+};
+
+// Fixed slice spanning all five suites, all four configurations, regular
+// and irregular codes, and one experiment that is unusable (the
+// data-driven L-BFS-wlc variant finishes too fast for the power sensor,
+// paper §V.B.1) so the snapshot also pins the unusable path.
+constexpr SliceEntry kSlice[10] = {
+    {"NB", 2, "default"},  {"LBM", 0, "614"},    {"SGEMM", 0, "default"},
+    {"TPACF", 0, "ecc"},   {"BP", 0, "default"}, {"L-BFS", 2, "324"},
+    {"FFT", 0, "default"}, {"MD", 0, "614"},     {"L-BFS-wlc", 2, "default"},
+    {"BH", 0, "default"},
+};
+
+// %.17g round-trips IEEE-754 doubles exactly, so string equality here is
+// value equality of the underlying bits (modulo -0.0, which never occurs:
+// all metrics are nonnegative).
+std::string format_line(const std::string& key, const ExperimentResult& r) {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%s usable=%d time_s=%.17g energy_j=%.17g power_w=%.17g\n",
+                key.c_str(), r.usable ? 1 : 0, r.time_s, r.energy_j, r.power_w);
+  return line;
+}
+
+std::string render_slice() {
+  suites::register_all_workloads();
+  Study study;
+  std::string out;
+  for (const SliceEntry& e : kSlice) {
+    const workloads::Workload* w = workloads::Registry::instance().find(e.program);
+    EXPECT_NE(w, nullptr) << e.program;
+    const sim::GpuConfig& config = sim::config_by_name(e.config);
+    const ExperimentResult& r = study.measure(*w, e.input, config);
+    out += format_line(experiment_key(*w, e.input, config), r);
+  }
+  return out;
+}
+
+TEST(Golden, ExperimentSliceMatchesSnapshot) {
+  const std::string path = std::string(REPRO_GOLDEN_DIR) + "/experiments.txt";
+  const std::string actual = render_slice();
+
+  if (std::getenv("REPRO_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with REPRO_UPDATE_GOLDEN=1)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), actual)
+      << "golden mismatch: a sim/power/sensor/study change shifted recorded "
+         "results; if intentional, regenerate with REPRO_UPDATE_GOLDEN=1 and "
+         "review the diff";
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -6,9 +6,12 @@
 // the paper comparisons.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "core/study.hpp"
 #include "k20power/analyze.hpp"
 #include "power/model.hpp"
 #include "sensor/sampler.hpp"
@@ -266,6 +269,88 @@ INSTANTIATE_TEST_SUITE_P(AllPrimaries, ProgramLaws,
                            }
                            return name;
                          });
+
+// --- Cache-key injectivity -------------------------------------------------
+//
+// The experiment key seeds the measurement stream, so two distinct
+// (program, input, config) triples aliasing to one key would silently
+// share results AND noise. These properties pin the escaping scheme in
+// core::experiment_key.
+
+TEST(ExperimentKey, NoCollisionAcrossRegistryMatrix) {
+  suites::register_all_workloads();
+  std::map<std::string, std::string> seen;  // key -> human description
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    const std::size_t num_inputs = w->inputs().size();
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      for (const sim::GpuConfig& config : sim::standard_configs()) {
+        const std::string key = core::experiment_key(*w, i, config);
+        const std::string desc = std::string(w->name()) + " input " +
+                                 std::to_string(i) + " @" + config.name;
+        const auto [it, inserted] = seen.emplace(key, desc);
+        EXPECT_TRUE(inserted) << "key '" << key << "' aliases '" << it->second
+                              << "' and '" << desc << "'";
+      }
+    }
+  }
+  EXPECT_GE(seen.size(), 34u * 4u);  // every paper program, all configs
+}
+
+TEST(ExperimentKey, SeparatorInNamesCannotAlias) {
+  // Naive joining would map both of these to "x/0/0/y".
+  EXPECT_NE(core::experiment_key("x/0", 0, "y"),
+            core::experiment_key("x", 0, "0/y"));
+  // Escape characters themselves must not create new aliases.
+  EXPECT_NE(core::experiment_key("x%2F", 0, "y"),
+            core::experiment_key("x/", 0, "y"));
+  EXPECT_NE(core::experiment_key("a%", 0, "b"),
+            core::experiment_key("a", 0, "%b"));
+  // A future suite-qualified name ("SHOC/FFT") stays distinct from a name
+  // that literally spells the escape sequence.
+  EXPECT_NE(core::experiment_key("SHOC/FFT", 1, "default"),
+            core::experiment_key("SHOC%2FFFT", 1, "default"));
+}
+
+TEST(ExperimentKey, FuzzedTriplesAreInjective) {
+  // Exhaustive small-alphabet fuzz over the characters that interact with
+  // the key format. Any collision between distinct triples fails.
+  const std::vector<std::string> parts = [] {
+    const char alphabet[] = {'a', '/', '%', '2', 'F'};
+    std::vector<std::string> out{""};
+    for (int len = 1; len <= 3; ++len) {
+      std::vector<std::string> next;
+      for (const std::string& prefix : out) {
+        if (prefix.size() != static_cast<std::size_t>(len - 1)) continue;
+        for (const char c : alphabet) next.push_back(prefix + c);
+      }
+      out.insert(out.end(), next.begin(), next.end());
+    }
+    return out;
+  }();
+  std::map<std::string, std::tuple<std::string, std::size_t, std::string>> seen;
+  for (const std::string& program : parts) {
+    for (const std::size_t input : {std::size_t{0}, std::size_t{1}, std::size_t{12}}) {
+      for (const std::string& config : parts) {
+        const std::string key = core::experiment_key(program, input, config);
+        const auto triple = std::make_tuple(program, input, config);
+        const auto [it, inserted] = seen.emplace(key, triple);
+        EXPECT_TRUE(inserted)
+            << "collision on '" << key << "': ('" << program << "', " << input
+            << ", '" << config << "') vs ('" << std::get<0>(it->second)
+            << "', " << std::get<1>(it->second) << ", '"
+            << std::get<2>(it->second) << "')";
+      }
+    }
+  }
+}
+
+TEST(ExperimentKey, UnescapedNamesKeepHistoricalFormat) {
+  // Names in use today contain no '/' or '%', so their keys — and hence
+  // every seeded measurement stream — are identical to the original
+  // name/input/config joining.
+  EXPECT_EQ(core::experiment_key("NB", 2, "default"), "NB/2/default");
+  EXPECT_EQ(core::experiment_key("L-BFS", 0, "324"), "L-BFS/0/324");
+}
 
 }  // namespace
 }  // namespace repro

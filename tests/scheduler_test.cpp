@@ -1,0 +1,224 @@
+// Parallel == serial proof for the experiment scheduler.
+//
+// Every experiment's measurement stream is seeded purely from its cache
+// key, so the work-stealing scheduler must produce byte-identical results
+// to serial Study::measure regardless of thread count, execution order or
+// repetition. These tests pin that guarantee: a model or scheduler change
+// that lets ordering leak into results fails here instead of silently
+// shifting every figure reproduction.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/study.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro::core {
+namespace {
+
+using sim::config_by_name;
+using workloads::Registry;
+using workloads::Workload;
+
+// A 6-workload x 4-config slice that spans suites, boundedness classes and
+// regularity, including an experiment that is unusable at 324 MHz.
+const std::vector<const char*>& slice_programs() {
+  static const std::vector<const char*> programs{"NB",    "LBM", "SGEMM",
+                                                 "L-BFS", "BP",  "TPACF"};
+  return programs;
+}
+
+std::vector<ExperimentJob> slice_jobs() {
+  suites::register_all_workloads();
+  std::vector<const Workload*> workloads;
+  for (const char* name : slice_programs()) {
+    const Workload* w = Registry::instance().find(name);
+    EXPECT_NE(w, nullptr) << name;
+    workloads.push_back(w);
+  }
+  std::vector<const sim::GpuConfig*> configs;
+  for (const char* cfg : {"default", "614", "324", "ecc"}) {
+    configs.push_back(&config_by_name(cfg));
+  }
+  // Restrict to input 0 to keep the slice at exactly 6 x 4 experiments.
+  std::vector<ExperimentJob> jobs;
+  for (const Workload* w : workloads) {
+    for (const sim::GpuConfig* c : configs) {
+      jobs.push_back(ExperimentJob{w, 0, c});
+    }
+  }
+  return jobs;
+}
+
+// Bit pattern of a double: EXPECT_EQ on doubles would already be exact,
+// but comparing the raw bits also distinguishes -0.0/0.0 and makes the
+// "byte-identical" claim literal.
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+struct Snapshot {
+  bool usable;
+  std::uint64_t time, energy, power, true_active;
+  std::size_t repetition_count;
+};
+
+std::map<std::string, Snapshot> snapshot(Study& study,
+                                         const std::vector<ExperimentJob>& jobs) {
+  std::map<std::string, Snapshot> out;
+  for (const ExperimentJob& job : jobs) {
+    const ExperimentResult& r =
+        study.measure(*job.workload, job.input_index, *job.config);
+    out[experiment_key(*job.workload, job.input_index, *job.config)] =
+        Snapshot{r.usable,         bits(r.time_s),        bits(r.energy_j),
+                 bits(r.power_w),  bits(r.true_active_s), r.repetitions.size()};
+  }
+  return out;
+}
+
+void expect_identical(const std::map<std::string, Snapshot>& a,
+                      const std::map<std::string, Snapshot>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, sa] : a) {
+    const auto it = b.find(key);
+    ASSERT_NE(it, b.end()) << key;
+    const Snapshot& sb = it->second;
+    EXPECT_EQ(sa.usable, sb.usable) << key;
+    EXPECT_EQ(sa.time, sb.time) << key;
+    EXPECT_EQ(sa.energy, sb.energy) << key;
+    EXPECT_EQ(sa.power, sb.power) << key;
+    EXPECT_EQ(sa.true_active, sb.true_active) << key;
+    EXPECT_EQ(sa.repetition_count, sb.repetition_count) << key;
+  }
+}
+
+class SchedulerEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerEquivalence, ParallelMatchesSerialBitwise) {
+  const std::vector<ExperimentJob> jobs = slice_jobs();
+
+  // Serial reference: plain Study::measure in submission order.
+  Study serial;
+  const auto expected = snapshot(serial, jobs);
+
+  // Parallel run on a fresh Study at the parameterized thread count.
+  Study parallel;
+  const Scheduler scheduler{Scheduler::Options{GetParam()}};
+  const BatchReport report = scheduler.run(parallel, jobs);
+  EXPECT_EQ(report.threads, GetParam());
+  EXPECT_EQ(report.jobs, jobs.size());
+  EXPECT_EQ(report.results.size(), jobs.size());  // all keys distinct here
+
+  const auto actual = snapshot(parallel, jobs);
+  expect_identical(expected, actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SchedulerEquivalence,
+                         ::testing::Values(2, 8));
+
+TEST(Scheduler, DeterministicAcrossInvocations) {
+  const std::vector<ExperimentJob> jobs = slice_jobs();
+  std::map<std::string, Snapshot> first;
+  for (int invocation = 0; invocation < 3; ++invocation) {
+    Study study;
+    const Scheduler scheduler{Scheduler::Options{8}};
+    scheduler.run(study, jobs);
+    const auto snap = snapshot(study, jobs);
+    if (invocation == 0) {
+      first = snap;
+    } else {
+      expect_identical(first, snap);
+    }
+  }
+}
+
+TEST(Scheduler, StableAggregationOrder) {
+  const std::vector<ExperimentJob> jobs = slice_jobs();
+  std::vector<ExperimentJob> reversed(jobs.rbegin(), jobs.rend());
+
+  Study a, b;
+  const Scheduler scheduler{Scheduler::Options{4}};
+  const BatchReport ra = scheduler.run(a, jobs);
+  const BatchReport rb = scheduler.run(b, reversed);
+  ASSERT_EQ(ra.results.size(), rb.results.size());
+  for (std::size_t i = 0; i < ra.results.size(); ++i) {
+    EXPECT_EQ(ra.results[i].key, rb.results[i].key);  // sorted, order-free
+    EXPECT_EQ(bits(ra.results[i].result->time_s),
+              bits(rb.results[i].result->time_s));
+  }
+  // Keys arrive sorted.
+  for (std::size_t i = 1; i < ra.results.size(); ++i) {
+    EXPECT_LT(ra.results[i - 1].key, ra.results[i].key);
+  }
+}
+
+TEST(Scheduler, DuplicateJobsComputeOnce) {
+  std::vector<ExperimentJob> jobs = slice_jobs();
+  const std::size_t unique = jobs.size();
+  jobs.insert(jobs.end(), jobs.begin(), jobs.begin() + 10);  // resubmit 10
+
+  Study study;
+  const Scheduler scheduler{Scheduler::Options{8}};
+  const BatchReport report = scheduler.run(study, jobs);
+  EXPECT_EQ(report.jobs, unique + 10);
+  EXPECT_EQ(report.results.size(), unique);
+  EXPECT_EQ(report.stats.result_misses, unique);
+  EXPECT_EQ(report.stats.result_hits, 10u);
+  std::uint64_t worker_jobs = 0;
+  for (const WorkerMetrics& w : report.workers) worker_jobs += w.jobs;
+  EXPECT_EQ(worker_jobs, jobs.size());
+}
+
+TEST(Scheduler, SharedStudyAcrossBatches) {
+  const std::vector<ExperimentJob> jobs = slice_jobs();
+  Study study;
+  const Scheduler scheduler{Scheduler::Options{4}};
+  const BatchReport cold = scheduler.run(study, jobs);
+  const BatchReport warm = scheduler.run(study, jobs);
+  EXPECT_EQ(cold.stats.result_misses, jobs.size());
+  EXPECT_EQ(warm.stats.result_misses, 0u);
+  EXPECT_EQ(warm.stats.result_hits, jobs.size());
+  EXPECT_DOUBLE_EQ(warm.hit_rate(), 1.0);
+}
+
+TEST(Scheduler, ReportPrintsMetricsSurface) {
+  Study study;
+  const Scheduler scheduler{Scheduler::Options{2}};
+  const BatchReport report = scheduler.run(study, slice_jobs());
+  std::ostringstream os;
+  report.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("24 jobs on 2 threads"), std::string::npos) << text;
+  EXPECT_NE(text.find("hit rate"), std::string::npos);
+  EXPECT_NE(text.find("worker  0"), std::string::npos);
+  EXPECT_NE(text.find("worker  1"), std::string::npos);
+  EXPECT_GE(report.busy_s(), 0.0);
+  EXPECT_GT(report.wall_s, 0.0);
+}
+
+TEST(Scheduler, ResolveThreadsPrefersRequestOverEnvironment) {
+  EXPECT_EQ(Scheduler::resolve_threads(3), 3);
+  EXPECT_GE(Scheduler::resolve_threads(0), 1);
+}
+
+TEST(Scheduler, RegistryMatrixCoversEveryInputAndConfig) {
+  suites::register_all_workloads();
+  const auto primaries = registry_matrix({"default", "614"});
+  const auto with_variants =
+      registry_matrix({"default", "614"}, /*include_variants=*/true);
+  EXPECT_GT(with_variants.size(), primaries.size());
+  std::size_t expected = 0;
+  for (const Workload* w : Registry::instance().all()) {
+    if (!w->variant().empty()) continue;
+    expected += w->inputs().size() * 2;
+  }
+  EXPECT_EQ(primaries.size(), expected);
+}
+
+}  // namespace
+}  // namespace repro::core
