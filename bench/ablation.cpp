@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/study.hpp"
+#include "figcommon.hpp"
 #include "power/model.hpp"
 #include "sim/device.hpp"
 #include "sim/engine.hpp"
@@ -53,7 +54,8 @@ TruthResult ground_truth(const workloads::Workload& w, std::size_t input,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  repro::bench::ObsGuard obs_guard(argc, argv);
   suites::register_all_workloads();
   const auto& reg = workloads::Registry::instance();
   const power::EnergyTable base_table = power::default_energies();

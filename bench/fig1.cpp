@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "figcommon.hpp"
 #include "k20power/analyze.hpp"
 #include "power/model.hpp"
 #include "sensor/sampler.hpp"
@@ -18,8 +19,9 @@
 #include "util/rng.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::ObsGuard obs_guard(argc, argv);
   suites::register_all_workloads();
   const workloads::Workload* w = workloads::Registry::instance().find("TPACF");
   const sim::GpuConfig& config = sim::config_by_name("default");

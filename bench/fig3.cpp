@@ -12,8 +12,9 @@
 #include "sim/gpuconfig.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::ObsGuard obs_guard(argc, argv);
   suites::register_all_workloads();
   core::Study study;
   std::cout << "Figure 3: 614 -> 324 (core clock /1.9, memory clock /8)\n\n";

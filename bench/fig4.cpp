@@ -11,8 +11,9 @@
 #include "sim/gpuconfig.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::ObsGuard obs_guard(argc, argv);
   suites::register_all_workloads();
   core::Study study;
   std::cout << "Figure 4: default -> ECC (705 MHz / 2.6 GHz, ECC on)\n\n";

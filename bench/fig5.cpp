@@ -13,8 +13,9 @@
 #include "util/tablefmt.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::ObsGuard obs_guard(argc, argv);
   suites::register_all_workloads();
   core::Study study;
   const sim::GpuConfig& config = sim::config_by_name("default");

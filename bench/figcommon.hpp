@@ -1,7 +1,12 @@
-// Shared rendering for the box-plot figures (Figs. 2-4, 6) and the
-// parallel prewarm step every driver runs before rendering.
+// Shared rendering for the box-plot figures (Figs. 2-4, 6), the parallel
+// prewarm step every driver runs before rendering, and the drivers' common
+// observability entry point (--obs / REPRO_OBS, DESIGN.md §9).
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -9,9 +14,105 @@
 #include "core/aggregate.hpp"
 #include "core/scheduler.hpp"
 #include "core/study.hpp"
+#include "obs/attribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/tablefmt.hpp"
 
 namespace repro::bench {
+
+/// Directory observability dumps are written to (REPRO_OBS_DIR, default
+/// the current directory).
+inline std::string obs_dir() {
+  const char* dir = std::getenv("REPRO_OBS_DIR");
+  return (dir != nullptr && *dir != '\0') ? std::string(dir)
+                                          : std::string(".");
+}
+
+/// Shared observability entry point of every bench driver: construct at
+/// the top of main with (argc, argv). `--obs` on the command line enables
+/// the observability layer (equivalent to REPRO_OBS=1); on destruction —
+/// i.e. at the end of the driver — the guard exports the Chrome trace
+/// (obs.trace.json, open in https://ui.perfetto.dev) and the metrics dump
+/// (obs.metrics.txt / obs.metrics.jsonl) into obs_dir().
+class ObsGuard {
+ public:
+  ObsGuard(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--obs") == 0) obs::set_enabled(true);
+    }
+  }
+  ObsGuard(const ObsGuard&) = delete;
+  ObsGuard& operator=(const ObsGuard&) = delete;
+  ~ObsGuard() { finish(); }
+
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (!obs::enabled()) return;
+    const std::string dir = obs_dir();
+    const std::string trace_path = dir + "/obs.trace.json";
+    {
+      std::ofstream out(trace_path, std::ios::trunc);
+      if (!out) {
+        std::cerr << "-- obs: cannot write to " << dir
+                  << " (does REPRO_OBS_DIR exist?); trace dropped\n";
+        return;
+      }
+      obs::Tracer::instance().export_chrome_json(out);
+    }
+    const std::string metrics_path = dir + "/obs.metrics.txt";
+    {
+      std::ofstream out(metrics_path, std::ios::trunc);
+      obs::Registry::instance().export_text(out);
+    }
+    const std::string jsonl_path = dir + "/obs.metrics.jsonl";
+    {
+      std::ofstream out(jsonl_path, std::ios::trunc);
+      obs::Registry::instance().export_jsonl(out);
+    }
+    std::cout << "-- obs: wrote " << trace_path << " ("
+              << obs::Tracer::instance().event_count() << " events), "
+              << metrics_path << ", " << jsonl_path << "\n";
+  }
+
+ private:
+  bool finished_ = false;
+};
+
+/// Writes the per-kernel energy attribution of every experiment of a
+/// finished batch to obs_dir()/obs.attribution.txt: for usable
+/// experiments the kernel energies are the model shares scaled to the
+/// measured energy (rows sum to ExperimentResult::energy_j); unusable
+/// experiments fall back to raw model energies and are flagged.
+inline void write_attribution(core::Study& study,
+                              const core::BatchReport& report) {
+  const std::string path = obs_dir() + "/obs.attribution.txt";
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::cerr << "-- obs: cannot write " << path << "; attribution dropped\n";
+    return;
+  }
+  char line[160];
+  for (const core::BatchEntry& entry : report.results) {
+    const core::ExperimentJob& job = *entry.job;
+    const core::ExperimentResult& result = *entry.result;
+    const obs::AttributionTable table = study.attribution(
+        *job.workload, job.input_index, *job.config);
+    os << "== " << entry.key
+       << (result.usable ? "" : "  (unusable: raw model energies, unscaled)")
+       << "\n";
+    std::snprintf(line, sizeof line,
+                  "   measured energy %.4f J, model energy %.4f J, "
+                  "true active %.4f s\n",
+                  result.energy_j, table.model_energy_j, result.true_active_s);
+    os << line;
+    obs::print(os, table);
+    os << "\n";
+  }
+  std::cout << "-- obs: wrote " << path << " (" << report.results.size()
+            << " experiments)\n";
+}
 
 /// Runs the driver's whole experiment matrix (every registered program and
 /// input under `config_names`) through the work-stealing scheduler, then
@@ -27,6 +128,7 @@ inline void prewarm(core::Study& study,
   const core::Scheduler scheduler;
   const core::BatchReport report = scheduler.run(study, jobs);
   report.print(std::cout);
+  if (obs::enabled()) write_attribution(study, report);
   std::cout << "\n";
 }
 

@@ -1,13 +1,24 @@
 // google-benchmark microbenchmarks of the simulator substrates themselves:
 // how fast can we time kernels, run cache/coalescing analyses, sample
 // sensors and analyze runs. Useful to keep the full-study benches quick.
+//
+// After the benchmark suite, main() runs the observability overhead check:
+// a full registry matrix batch with tracing enabled must finish within 5%
+// of the tracing-disabled runtime (DESIGN.md §9). The process exits
+// non-zero if the bound is violated.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <vector>
 
+#include "core/scheduler.hpp"
+#include "core/study.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "k20power/analyze.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "power/model.hpp"
 #include "sensor/sampler.hpp"
 #include "sensor/waveform.hpp"
@@ -116,6 +127,97 @@ void BM_Boruvka(benchmark::State& state) {
 }
 BENCHMARK(BM_Boruvka);
 
+// Per-span cost with tracing off: a single relaxed atomic load.
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    obs::Span span("bench-span");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+// Per-span cost with tracing on: clock reads + a buffered event append.
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::Tracer::instance().clear();
+  for (auto _ : state) {
+    obs::Span span("bench-span");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::set_enabled(false);
+  obs::Tracer::instance().clear();
+}
+BENCHMARK(BM_SpanEnabled);
+
+// ---------------------------------------------------------------------------
+// Observability overhead check (run after the benchmark suite).
+//
+// Runs the full primary registry matrix (every workload x every input x
+// {default, 614}) through the scheduler with tracing disabled and enabled,
+// on fresh Study instances so both sides do the identical cold-cache work,
+// and compares min-of-3 wall times. The tracing-enabled run also pays for
+// event buffering, metric updates and the post-batch stage summary, so this
+// is the end-to-end "does --obs make batches slower" number.
+
+double run_matrix_once(const std::vector<core::ExperimentJob>& jobs) {
+  core::Study study;
+  const core::Scheduler scheduler{core::Scheduler::Options{}};
+  const auto start = std::chrono::steady_clock::now();
+  scheduler.run(study, jobs);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double min_matrix_wall(const std::vector<core::ExperimentJob>& jobs,
+                       bool obs_on, int runs) {
+  double best = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    obs::set_enabled(obs_on);
+    obs::Tracer::instance().clear();
+    obs::Registry::instance().reset();
+    const double wall = run_matrix_once(jobs);
+    if (i == 0 || wall < best) best = wall;
+  }
+  obs::set_enabled(false);
+  obs::Tracer::instance().clear();
+  obs::Registry::instance().reset();
+  return best;
+}
+
+int obs_overhead_check() {
+  constexpr double kMaxOverhead = 0.05;  // DESIGN.md §9 budget
+  constexpr int kRuns = 3;
+  suites::register_all_workloads();
+  const std::vector<core::ExperimentJob> jobs =
+      core::registry_matrix({"default", "614"});
+
+  run_matrix_once(jobs);  // warm-up (page cache, allocator, thread pool)
+  const double off_s = min_matrix_wall(jobs, /*obs_on=*/false, kRuns);
+  const double on_s = min_matrix_wall(jobs, /*obs_on=*/true, kRuns);
+  const double overhead = off_s > 0.0 ? on_s / off_s - 1.0 : 0.0;
+
+  std::printf(
+      "\nobs overhead check: %zu-job matrix, min of %d runs\n"
+      "  tracing off  %.3f s\n"
+      "  tracing on   %.3f s  (%+.2f%%)\n",
+      jobs.size(), kRuns, off_s, on_s, 100.0 * overhead);
+  if (overhead > kMaxOverhead) {
+    std::printf("FAIL: overhead %.2f%% exceeds the %.0f%% budget\n",
+                100.0 * overhead, 100.0 * kMaxOverhead);
+    return 1;
+  }
+  std::printf("PASS: within the %.0f%% budget\n", 100.0 * kMaxOverhead);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return obs_overhead_check();
+}

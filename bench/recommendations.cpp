@@ -35,7 +35,8 @@ struct Classified {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsGuard obs_guard(argc, argv);
   suites::register_all_workloads();
   core::Study study;
   bench::prewarm(study, {"default", "614", "324"});

@@ -2,11 +2,13 @@
 // inputs, plus our classification and simulation-scale notes.
 #include <iostream>
 
+#include "figcommon.hpp"
 #include "util/tablefmt.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::ObsGuard obs_guard(argc, argv);
   suites::register_all_workloads();
 
   std::cout << "Table 1: Program names, number of global kernels (#K), and inputs\n\n";

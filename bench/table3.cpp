@@ -15,8 +15,9 @@
 #include "util/tablefmt.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::ObsGuard obs_guard(argc, argv);
   suites::register_all_workloads();
   core::Study study;
   // Variants included: Table 3 is exactly about the alternate

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI driver: build every CMake preset and run its test preset.
+#
+#   scripts/ci.sh            # default + tsan + asan
+#   scripts/ci.sh default    # just one preset
+#
+# The default preset runs the full suite; the sanitizer presets run the
+# label-filtered concurrency suite (scheduler + obs tests) where data
+# races and memory errors would actually hide. See CMakePresets.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default tsan asan)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure"
+  cmake --preset "$preset"
+  echo "=== [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] test"
+  ctest --preset "$preset" --output-on-failure
+done
+
+echo "=== all presets passed: ${presets[*]}"

@@ -1,14 +1,19 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <iterator>
 #include <mutex>
 #include <ostream>
 #include <thread>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace repro::core {
 
@@ -47,11 +52,30 @@ struct WorkQueue {
   }
 };
 
+// The pipeline stages whose per-batch wall time the report surfaces
+// (their histograms are fed by the stage spans, obs/trace.hpp).
+constexpr const char* kStageNames[] = {
+    "trace-build",     "timing",            "variability",
+    "power-synthesis", "sensor-sampling",   "k20power-analysis",
+};
+
 }  // namespace
 
 double BatchReport::busy_s() const {
   double total = 0.0;
   for (const WorkerMetrics& w : workers) total += w.busy_s;
+  return total;
+}
+
+std::uint64_t BatchReport::total_jobs() const {
+  std::uint64_t total = 0;
+  for (const WorkerMetrics& w : workers) total += w.jobs;
+  return total;
+}
+
+std::uint64_t BatchReport::total_steals() const {
+  std::uint64_t total = 0;
+  for (const WorkerMetrics& w : workers) total += w.steals;
   return total;
 }
 
@@ -75,14 +99,38 @@ void BatchReport::print(std::ostream& os) const {
                 100.0 * hit_rate(),
                 static_cast<unsigned long long>(stats.trace_hits));
   os << line;
+  const std::uint64_t executed = total_jobs();
+  std::snprintf(line, sizeof line,
+                "   executed %llu (%llu stolen, %.1f%%)\n",
+                static_cast<unsigned long long>(executed),
+                static_cast<unsigned long long>(total_steals()),
+                executed == 0 ? 0.0
+                              : 100.0 * static_cast<double>(total_steals()) /
+                                    static_cast<double>(executed));
+  os << line;
   for (std::size_t i = 0; i < workers.size(); ++i) {
     const WorkerMetrics& w = workers[i];
+    // Both per-worker averages are guarded: a zero-job batch (or an idle
+    // worker) must print zeros, not NaN.
+    const double avg_ms =
+        w.jobs == 0 ? 0.0 : 1e3 * w.busy_s / static_cast<double>(w.jobs);
     std::snprintf(line, sizeof line,
-                  "   worker %2zu: %4llu jobs (%llu stolen), %.2f s busy (%.0f%%)\n",
+                  "   worker %2zu: %4llu jobs (%llu stolen), %.2f s busy "
+                  "(%.0f%%), %.1f ms/job\n",
                   i, static_cast<unsigned long long>(w.jobs),
                   static_cast<unsigned long long>(w.steals), w.busy_s,
-                  wall_s > 0.0 ? 100.0 * w.busy_s / wall_s : 0.0);
+                  wall_s > 0.0 ? 100.0 * w.busy_s / wall_s : 0.0, avg_ms);
     os << line;
+  }
+  if (!stage_timing.empty()) {
+    os << "   stage timing (obs):\n";
+    for (const StageTiming& s : stage_timing) {
+      std::snprintf(line, sizeof line,
+                    "     %-18s n=%6llu  total %8.3f s  mean %8.3f ms\n",
+                    s.stage.c_str(), static_cast<unsigned long long>(s.count),
+                    s.total_s, 1e3 * s.mean_s());
+      os << line;
+    }
   }
 }
 
@@ -110,6 +158,32 @@ BatchReport Scheduler::run(Study& study,
   const Study::CacheStats before = study.cache_stats();
   const auto batch_start = Clock::now();
 
+  // Observability wiring (inert unless REPRO_OBS/--obs): a batch span,
+  // counters and an outstanding-jobs gauge resolved once up front, plus a
+  // before-snapshot of the stage histograms so the report can show this
+  // batch's per-stage timing delta.
+  const bool obs_on = obs::enabled();
+  obs::Span batch_span("batch", "scheduler");
+  batch_span.arg("jobs", static_cast<std::uint64_t>(jobs.size()))
+      .arg("threads", static_cast<std::uint64_t>(n));
+  obs::Counter* jobs_counter = nullptr;
+  obs::Counter* steals_counter = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  std::atomic<std::int64_t> outstanding{static_cast<std::int64_t>(jobs.size())};
+  std::vector<obs::HistogramSnapshot> stage_before;
+  if (obs_on) {
+    obs::Registry& registry = obs::Registry::instance();
+    jobs_counter = &registry.counter("scheduler.jobs");
+    steals_counter = &registry.counter("scheduler.steals");
+    queue_depth = &registry.gauge("scheduler.queue_depth");
+    queue_depth->set(static_cast<double>(jobs.size()));
+    for (const char* stage : kStageNames) {
+      stage_before.push_back(
+          registry.histogram_snapshot(std::string("stage.") + stage +
+                                      ".wall_s"));
+    }
+  }
+
   // Round-robin initial distribution; workers drain their own queue from
   // the back and steal from other queues' fronts once empty. The batch is
   // closed (no job spawns jobs), so a worker may exit after one full
@@ -121,13 +195,33 @@ BatchReport Scheduler::run(Study& study,
 
   const auto worker_body = [&](int worker_id) {
     WorkerMetrics& metrics = report.workers[static_cast<std::size_t>(worker_id)];
+    obs::Span worker_span("worker", "scheduler");
+    worker_span.arg("worker", static_cast<std::uint64_t>(worker_id));
     const auto run_job = [&](std::size_t index, bool stolen) {
       const ExperimentJob& job = jobs[index];
       const auto job_start = Clock::now();
-      study.measure(*job.workload, job.input_index, *job.config);
+      {
+        obs::Span job_span("job", "scheduler");
+        if (job_span.active()) {
+          job_span
+              .arg("key", experiment_key(*job.workload, job.input_index,
+                                         *job.config))
+              .arg("stolen", static_cast<std::uint64_t>(stolen ? 1 : 0));
+        }
+        study.measure(*job.workload, job.input_index, *job.config);
+      }
       metrics.busy_s += seconds_since(job_start);
       ++metrics.jobs;
       if (stolen) ++metrics.steals;
+      if (jobs_counter != nullptr) {
+        jobs_counter->add();
+        if (stolen) {
+          steals_counter->add();
+          obs::instant("steal");
+        }
+        queue_depth->set(static_cast<double>(
+            outstanding.fetch_sub(1, std::memory_order_relaxed) - 1));
+      }
     };
     for (;;) {
       std::size_t index = 0;
@@ -158,6 +252,18 @@ BatchReport Scheduler::run(Study& study,
   }
 
   report.wall_s = seconds_since(batch_start);
+  if (obs_on) {
+    obs::Registry& registry = obs::Registry::instance();
+    for (std::size_t i = 0; i < std::size(kStageNames); ++i) {
+      const obs::HistogramSnapshot now = registry.histogram_snapshot(
+          std::string("stage.") + kStageNames[i] + ".wall_s");
+      StageTiming timing;
+      timing.stage = kStageNames[i];
+      timing.count = now.count - stage_before[i].count;
+      timing.total_s = now.sum - stage_before[i].sum;
+      report.stage_timing.push_back(std::move(timing));
+    }
+  }
   const Study::CacheStats after = study.cache_stats();
   report.stats.trace_hits = after.trace_hits - before.trace_hits;
   report.stats.trace_misses = after.trace_misses - before.trace_misses;

@@ -44,6 +44,19 @@ struct BatchEntry {
   const ExperimentResult* result = nullptr; // owned by the Study
 };
 
+/// Wall-time spent in one pipeline stage over a batch (delta of the
+/// observability layer's per-stage histograms, DESIGN.md §9). Only
+/// populated while obs is enabled (REPRO_OBS=1 / --obs).
+struct StageTiming {
+  std::string stage;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+
+  double mean_s() const {
+    return count == 0 ? 0.0 : total_s / static_cast<double>(count);
+  }
+};
+
 /// Everything the scheduler knows about a finished batch.
 struct BatchReport {
   int threads = 1;
@@ -52,12 +65,18 @@ struct BatchReport {
   Study::CacheStats stats;     // cache counter delta over this batch
   std::vector<WorkerMetrics> workers;
   std::vector<BatchEntry> results;  // deduplicated, sorted by key
+  std::vector<StageTiming> stage_timing;  // empty unless obs was enabled
 
   double busy_s() const;
+  /// Total jobs / steals over all workers.
+  std::uint64_t total_jobs() const;
+  std::uint64_t total_steals() const;
   /// Fraction of result-cache lookups served without computing, in [0, 1].
+  /// 0 for an empty batch (no lookups).
   double hit_rate() const;
   /// The metrics surface printed at batch end: jobs done, cache hit rate,
-  /// per-worker busy time.
+  /// per-worker busy time and steals, per-stage timing when obs is on.
+  /// Every ratio is guarded against zero-job batches (see DESIGN.md §8).
   void print(std::ostream& os) const;
 };
 

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "core/variability.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sensor/sampler.hpp"
 #include "sensor/waveform.hpp"
 #include "sim/device.hpp"
@@ -73,10 +75,21 @@ const sim::TraceResult& Study::trace_result(const workloads::Workload& workload,
     ctx.mem_mhz = config.mem_mhz;
     ctx.ecc = config.ecc;
     ctx.structural_seed = options_.structural_seed;
-    const workloads::LaunchTrace trace = workload.trace(input_index, ctx);
+    workloads::LaunchTrace trace;
+    {
+      obs::Span span("trace-build");
+      span.arg("key", key);
+      trace = workload.trace(input_index, ctx);
+    }
     cell->value = sim::run_trace(sim::k20c(), config, trace);
   });
   (computed ? trace_misses_ : trace_hits_).fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::Registry::instance()
+        .counter(computed ? "study.trace_cache.misses"
+                          : "study.trace_cache.hits")
+        .add();
+  }
   return cell->value;
 }
 
@@ -84,6 +97,9 @@ ExperimentResult Study::compute_measurement(const workloads::Workload& workload,
                                             std::size_t input_index,
                                             const sim::GpuConfig& config,
                                             const std::string& key) {
+  obs::Span span("experiment", "experiment");
+  span.arg("key", key);
+
   const sim::TraceResult& ground_truth =
       trace_result(workload, input_index, config);
 
@@ -100,9 +116,14 @@ ExperimentResult Study::compute_measurement(const workloads::Workload& workload,
 
   std::vector<double> times, energies, powers;
   for (int rep = 0; rep < options_.repetitions; ++rep) {
+    obs::Span rep_span("repetition");
+    rep_span.arg("rep", static_cast<std::uint64_t>(rep));
     util::Rng rep_rng = stream.fork(static_cast<std::uint64_t>(rep) + 1);
-    const sim::TraceResult perturbed =
-        perturb(ground_truth, workload.regularity(), rep_rng);
+    sim::TraceResult perturbed;
+    {
+      obs::Span variability_span("variability");
+      perturbed = perturb(ground_truth, workload.regularity(), rep_rng);
+    }
     const sensor::Waveform waveform =
         sensor::synthesize(perturbed, config, power_model_,
                            config.ecc ? workload.ecc_power_adjustment() : 1.0);
@@ -149,7 +170,23 @@ const ExperimentResult& Study::measure(const workloads::Workload& workload,
     cell->value = compute_measurement(workload, input_index, config, key);
   });
   (computed ? result_misses_ : result_hits_).fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::Registry::instance()
+        .counter(computed ? "study.result_cache.misses"
+                          : "study.result_cache.hits")
+        .add();
+  }
   return cell->value;
+}
+
+obs::AttributionTable Study::attribution(const workloads::Workload& workload,
+                                         std::size_t input_index,
+                                         const sim::GpuConfig& config) {
+  const sim::TraceResult& trace = trace_result(workload, input_index, config);
+  const ExperimentResult& result = measure(workload, input_index, config);
+  return obs::attribute(trace, config, power_model_,
+                        workload.ecc_power_adjustment(),
+                        result.usable ? result.energy_j : 0.0);
 }
 
 Study::CacheStats Study::cache_stats() const {

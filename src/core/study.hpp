@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "k20power/analyze.hpp"
+#include "obs/attribution.hpp"
 #include "power/model.hpp"
 #include "sim/engine.hpp"
 #include "sim/gpuconfig.hpp"
@@ -102,6 +103,14 @@ class Study {
                                        const sim::GpuConfig& config);
 
   const power::PowerModel& power_model() const noexcept { return power_model_; }
+
+  /// Per-kernel energy/runtime breakdown of one experiment (observability
+  /// layer, DESIGN.md §9): the model's energy shares over the structural
+  /// trace, scaled to the measured energy when the experiment is usable.
+  /// Thread-safe (runs or reuses the cached trace and measurement).
+  obs::AttributionTable attribution(const workloads::Workload& workload,
+                                    std::size_t input_index,
+                                    const sim::GpuConfig& config);
 
   CacheStats cache_stats() const;
 

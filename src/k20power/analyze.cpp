@@ -4,10 +4,14 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace repro::k20power {
 
 Measurement analyze(std::span<const sensor::Sample> samples,
                     const AnalyzeOptions& options) {
+  obs::Span span("k20power-analysis");
+  span.arg("samples", static_cast<std::uint64_t>(samples.size()));
   Measurement m;
   if (samples.size() < 3) return m;
 

@@ -1,0 +1,71 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+namespace repro::obs {
+
+AttributionTable attribute(const sim::TraceResult& trace,
+                           const sim::GpuConfig& config,
+                           const power::PowerModel& model, double ecc_adjust,
+                           double measured_energy_j) {
+  AttributionTable table;
+  const double adjust = config.ecc ? ecc_adjust : 1.0;
+
+  std::map<std::string, KernelAttribution> by_kernel;
+  for (const sim::Phase& phase : trace.phases) {
+    KernelAttribution& k = by_kernel[phase.kernel_name];
+    if (k.kernel.empty()) k.kernel = phase.kernel_name;
+    const power::PhasePower p =
+        model.phase_power(phase.activity, phase.duration_s, config, adjust);
+    ++k.phases;
+    k.time_s += phase.duration_s;
+    k.model_energy_j += p.total_w * phase.duration_s;
+  }
+
+  table.kernels.reserve(by_kernel.size());
+  for (auto& [name, k] : by_kernel) {
+    table.total_time_s += k.time_s;
+    table.model_energy_j += k.model_energy_j;
+    table.kernels.push_back(std::move(k));
+  }
+
+  const bool scale = measured_energy_j > 0.0 && table.model_energy_j > 0.0;
+  for (KernelAttribution& k : table.kernels) {
+    k.avg_power_w = k.time_s > 0.0 ? k.model_energy_j / k.time_s : 0.0;
+    k.energy_share = table.model_energy_j > 0.0
+                         ? k.model_energy_j / table.model_energy_j
+                         : 0.0;
+    k.energy_j = scale ? k.energy_share * measured_energy_j : k.model_energy_j;
+    table.attributed_energy_j += k.energy_j;
+  }
+
+  std::sort(table.kernels.begin(), table.kernels.end(),
+            [](const KernelAttribution& a, const KernelAttribution& b) {
+              if (a.energy_j != b.energy_j) return a.energy_j > b.energy_j;
+              return a.kernel < b.kernel;  // deterministic tie-break
+            });
+  return table;
+}
+
+void print(std::ostream& os, const AttributionTable& table) {
+  os << "   kernel                         phases   time [s]  energy [J]"
+        "  power [W]   share\n";
+  char line[192];
+  for (const KernelAttribution& k : table.kernels) {
+    std::snprintf(line, sizeof line,
+                  "   %-30s %6d %10.4f %11.4f %10.2f  %5.1f%%\n",
+                  k.kernel.c_str(), k.phases, k.time_s, k.energy_j,
+                  k.avg_power_w, 100.0 * k.energy_share);
+    os << line;
+  }
+  std::snprintf(line, sizeof line,
+                "   total                          %6zu %10.4f %11.4f\n",
+                table.kernels.size(), table.total_time_s,
+                table.attributed_energy_j);
+  os << line;
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,63 @@
+// Per-kernel energy and runtime attribution (observability layer,
+// DESIGN.md §9).
+//
+// The measurement pipeline reports whole-program metrics, like the paper.
+// This module answers "which kernel burned the joules": it evaluates the
+// activity-based power model over every phase of a structural trace
+// (sim::TraceResult::phases), aggregates phases by kernel name, and
+// produces each kernel's share of the model's active energy — attribution
+// below whole-program granularity in the spirit of Arafa et al.
+// (instruction-level energy measurement, PAPERS.md).
+//
+// Because the *measured* energy additionally carries sensor lag, noise
+// and threshold effects, a kernel's measured joules cannot be observed
+// directly. We therefore attribute the model's energy *shares* to the
+// measured total: scaled_energy_j(kernel) = share(kernel) * measured. By
+// construction the per-kernel values sum to the measured energy (within
+// floating-point tolerance of the summation), which tests/obs_test.cpp
+// pins.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "power/model.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+
+namespace repro::obs {
+
+/// One kernel's aggregated contribution over a whole trace.
+struct KernelAttribution {
+  std::string kernel;
+  int phases = 0;              // merged launch phases of this kernel
+  double time_s = 0.0;         // summed phase durations (model ground truth)
+  double model_energy_j = 0.0; // model: phase power * duration, summed
+  double avg_power_w = 0.0;    // model_energy_j / time_s
+  double energy_share = 0.0;   // model_energy_j / total model energy
+  double energy_j = 0.0;       // energy_share * measured total (or model
+                               // energy when no measured total was given)
+};
+
+struct AttributionTable {
+  std::vector<KernelAttribution> kernels;  // sorted by descending energy
+  double total_time_s = 0.0;
+  double model_energy_j = 0.0;     // total model active energy
+  double attributed_energy_j = 0.0;  // what energy_j columns sum to
+};
+
+/// Builds the per-kernel table for one trace under `config`. When
+/// `measured_energy_j > 0` (a usable ExperimentResult::energy_j), kernel
+/// energies are the model shares scaled to that total; otherwise they are
+/// the raw model energies.
+AttributionTable attribute(const sim::TraceResult& trace,
+                           const sim::GpuConfig& config,
+                           const power::PowerModel& model,
+                           double ecc_adjust = 1.0,
+                           double measured_energy_j = 0.0);
+
+/// Renders the table: one row per kernel (time, energy, power, share).
+void print(std::ostream& os, const AttributionTable& table);
+
+}  // namespace repro::obs

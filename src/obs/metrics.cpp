@@ -1,0 +1,219 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+
+#include "obs/trace.hpp"  // append_json_escaped
+
+namespace repro::obs {
+
+namespace {
+
+// Relaxed CAS update loops for the double-valued aggregates. Relaxed
+// ordering is enough: readers only consume snapshots after the writers
+// have been joined (batch end / export), and TSan sees the atomics.
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v < current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v > current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_of(double v) noexcept {
+  if (!(v > 0.0)) return 0;
+  const int exponent = std::ilogb(v);  // v in [2^exponent, 2^(exponent+1))
+  const int index = exponent + 1 + kZeroBucket;
+  return index < 0 ? 0 : index >= kBuckets ? kBuckets - 1 : index;
+}
+
+double Histogram::bucket_upper_bound(int i) noexcept {
+  return std::ldexp(1.0, i - kZeroBucket);
+}
+
+void Histogram::observe(double v) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) {
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry;  // never destroyed, see trace.cpp
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] =
+      counters_.try_emplace(std::string(name), nullptr);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = gauges_.try_emplace(std::string(name), nullptr);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = histograms_.try_emplace(std::string(name), nullptr);
+  if (inserted) it->second = std::make_unique<Histogram>();
+  return *it->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+HistogramSnapshot Registry::histogram_snapshot(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramSnapshot empty;
+    empty.min = 0.0;
+    return empty;
+  }
+  return it->second->snapshot();
+}
+
+void Registry::reset() {
+  std::unique_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::export_text(std::ostream& os) const {
+  std::shared_lock lock(mutex_);
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof line, "counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    os << line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof line, "gauge %s %.9g\n", name.c_str(),
+                  g->value());
+    os << line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    std::snprintf(line, sizeof line,
+                  "histogram %s count=%llu sum=%.9g min=%.9g max=%.9g "
+                  "mean=%.9g\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.sum, s.count == 0 ? 0.0 : s.min, s.max, s.mean());
+    os << line;
+  }
+}
+
+void Registry::export_jsonl(std::ostream& os) const {
+  std::shared_lock lock(mutex_);
+  std::string line;
+  const auto emit_name = [&](std::string_view type, const std::string& name) {
+    line = "{\"type\":\"";
+    line += type;
+    line += "\",\"name\":\"";
+    append_json_escaped(line, name);
+    line += "\"";
+  };
+  char number[96];
+  for (const auto& [name, c] : counters_) {
+    emit_name("counter", name);
+    std::snprintf(number, sizeof number, ",\"value\":%llu}",
+                  static_cast<unsigned long long>(c->value()));
+    os << line << number << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    emit_name("gauge", name);
+    std::snprintf(number, sizeof number, ",\"value\":%.9g}", g->value());
+    os << line << number << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    emit_name("histogram", name);
+    std::snprintf(number, sizeof number,
+                  ",\"count\":%llu,\"sum\":%.9g,\"min\":%.9g,\"max\":%.9g",
+                  static_cast<unsigned long long>(s.count), s.sum,
+                  s.count == 0 ? 0.0 : s.min, s.max);
+    line += number;
+    line += ",\"buckets\":[";
+    bool first = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = s.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      if (!first) line += ',';
+      first = false;
+      std::snprintf(number, sizeof number, "[%.9g,%llu]",
+                    Histogram::bucket_upper_bound(i),
+                    static_cast<unsigned long long>(n));
+      line += number;
+    }
+    line += "]}";
+    os << line << "\n";
+  }
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,126 @@
+// Process-wide metrics registry (observability layer, DESIGN.md §9).
+//
+// Named counters, gauges and duration histograms, updated lock-free with
+// relaxed atomics so instrumented hot paths (cache lookups, per-phase
+// power evaluation, scheduler queue operations) stay cheap and TSan-clean.
+// Instrument lookup takes a shared lock; call sites that update per event
+// should resolve the instrument once and keep the reference (references
+// are stable for the registry's lifetime).
+//
+// Exporters: plain text (one line per instrument) and JSON lines (one
+// object per instrument), see DESIGN.md §9 for the formats.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace repro::obs {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. outstanding queue depth).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = 0.0;
+  /// buckets[i] counts observations v with upper bound 2^(i - kZeroBucket)
+  /// (see Histogram::bucket_upper_bound).
+  std::array<std::uint64_t, 48> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Log2-bucketed duration histogram (seconds). Covers ~2^-32 s (sub-ns)
+/// to ~2^15 s; out-of-range values clamp to the edge buckets.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+  static constexpr int kZeroBucket = 32;  // bucket index of values in [0.5, 1)
+
+  void observe(double v) noexcept;
+  HistogramSnapshot snapshot() const;
+
+  static int bucket_of(double v) noexcept;
+  /// Exclusive upper bound of bucket `i` in seconds.
+  static double bucket_upper_bound(int i) noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Name -> instrument map. Instruments are created on first use and never
+/// destroyed (reset() zeroes values but keeps identities), so returned
+/// references remain valid for the process lifetime.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Value of a counter, or 0 if it was never touched (does not create).
+  std::uint64_t counter_value(std::string_view name) const;
+  /// Snapshot of a histogram (all-zero if it was never touched).
+  HistogramSnapshot histogram_snapshot(std::string_view name) const;
+
+  /// Zeroes every instrument (identities and references stay valid).
+  void reset();
+
+  /// `<kind> <name> <value...>` per line, sorted by name.
+  void export_text(std::ostream& os) const;
+  /// One JSON object per line: {"type":...,"name":...,...}.
+  void export_jsonl(std::ostream& os) const;
+
+ private:
+  Registry() = default;
+
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace repro::obs

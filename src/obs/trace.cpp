@@ -1,0 +1,262 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace repro::obs {
+
+namespace detail {
+
+namespace {
+bool env_requests_obs() {
+  const char* env = std::getenv("REPRO_OBS");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{env_requests_obs()};
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() - trace_epoch())
+      .count();
+}
+
+// Per-thread event buffer. The shared_ptr in the registry keeps it alive
+// past thread exit; the buffer mutex is uncontended except during export
+// or clear.
+struct Tracer::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+namespace {
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Tracer::ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+BufferRegistry& buffer_registry() {
+  static BufferRegistry* registry = new BufferRegistry;  // never destroyed:
+  // worker threads may record during static destruction of other objects.
+  return *registry;
+}
+
+thread_local Tracer::ThreadBuffer* t_buffer = nullptr;
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer;
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  if (t_buffer == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    BufferRegistry& registry = buffer_registry();
+    std::lock_guard lock(registry.mutex);
+    buffer->tid = registry.next_tid++;
+    registry.buffers.push_back(buffer);
+    t_buffer = buffer.get();
+  }
+  return *t_buffer;
+}
+
+std::uint32_t Tracer::this_thread_id() {
+  return instance().local_buffer().tid;
+}
+
+void Tracer::record(TraceEvent event) {
+  ThreadBuffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+void Tracer::clear() {
+  BufferRegistry& registry = buffer_registry();
+  std::lock_guard registry_lock(registry.mutex);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  BufferRegistry& registry = buffer_registry();
+  std::lock_guard registry_lock(registry.mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> events;
+  {
+    BufferRegistry& registry = buffer_registry();
+    std::lock_guard registry_lock(registry.mutex);
+    for (const auto& buffer : registry.buffers) {
+      std::lock_guard lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return events;
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void Tracer::export_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::string line;
+  for (const TraceEvent& e : events) {
+    line.clear();
+    if (!first) line += ",";
+    first = false;
+    line += "\n{\"name\":\"";
+    append_json_escaped(line, e.name);
+    line += "\",\"cat\":\"";
+    append_json_escaped(line, e.cat);
+    line += "\",\"ph\":\"";
+    line += e.phase;
+    line += "\",\"pid\":1,\"tid\":";
+    line += std::to_string(e.tid);
+    char number[64];
+    std::snprintf(number, sizeof number, ",\"ts\":%.3f", e.ts_us);
+    line += number;
+    if (e.phase == 'X') {
+      std::snprintf(number, sizeof number, ",\"dur\":%.3f", e.dur_us);
+      line += number;
+    } else if (e.phase == 'i') {
+      line += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    line += ",\"args\":{";
+    line += e.args;
+    line += "}}";
+    os << line;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+Span::Span(std::string_view name, std::string_view cat) : active_(enabled()) {
+  if (!active_) return;
+  event_.name.assign(name.data(), name.size());
+  event_.cat.assign(cat.data(), cat.size());
+  start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double end_us = now_us();
+  event_.ts_us = start_us_;
+  event_.dur_us = end_us - start_us_;
+  // Stage-category spans double as the per-stage wall-time histograms of
+  // the metrics registry (DESIGN.md §9).
+  if (event_.cat == "stage" || event_.cat == "experiment") {
+    Registry::instance()
+        .histogram("stage." + event_.name + ".wall_s")
+        .observe(event_.dur_us * 1e-6);
+  }
+  Tracer::instance().record(std::move(event_));
+}
+
+Span& Span::arg(std::string_view key, std::string_view value) {
+  if (!active_) return *this;
+  if (!event_.args.empty()) event_.args += ',';
+  event_.args += '"';
+  append_json_escaped(event_.args, key);
+  event_.args += "\":\"";
+  append_json_escaped(event_.args, value);
+  event_.args += '"';
+  return *this;
+}
+
+Span& Span::arg(std::string_view key, double value) {
+  if (!active_) return *this;
+  char number[64];
+  std::snprintf(number, sizeof number, "%.9g", value);
+  if (!event_.args.empty()) event_.args += ',';
+  event_.args += '"';
+  append_json_escaped(event_.args, key);
+  event_.args += "\":";
+  event_.args += number;
+  return *this;
+}
+
+Span& Span::arg(std::string_view key, std::uint64_t value) {
+  if (!active_) return *this;
+  if (!event_.args.empty()) event_.args += ',';
+  event_.args += '"';
+  append_json_escaped(event_.args, key);
+  event_.args += "\":";
+  event_.args += std::to_string(value);
+  return *this;
+}
+
+void instant(std::string_view name, std::string_view cat,
+             std::string_view args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name.assign(name.data(), name.size());
+  event.cat.assign(cat.data(), cat.size());
+  event.phase = 'i';
+  event.ts_us = now_us();
+  event.args.assign(args.data(), args.size());
+  Tracer::instance().record(std::move(event));
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,113 @@
+// Scoped span tracer (observability layer, DESIGN.md §9).
+//
+// Records a per-process tree of timed spans — experiment pipeline stages
+// (trace-build, timing, power-synthesis, sensor-sampling,
+// k20power-analysis), scheduler batches/workers/jobs and steal events —
+// and exports them as Chrome trace_event JSON loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Design constraints, in order:
+//  1. Must never perturb measured values. No instrumentation touches an
+//     RNG or a measured quantity; spans only read the wall clock. The
+//     golden tests prove runs are bit-identical with tracing on or off.
+//  2. Near-zero cost when disabled: every entry point checks one relaxed
+//     atomic load and constructs nothing else (tests/obs_test.cpp and the
+//     bench_micro overhead check keep this honest).
+//  3. Thread-safe under the work-stealing scheduler: each thread owns a
+//     buffer guarded by its own mutex (contended only during export);
+//     buffer registration takes a global mutex once per thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// Whether the observability layer records anything. Initialised from the
+/// REPRO_OBS environment variable ("" or "0" = off, anything else = on);
+/// bench drivers additionally enable it for --obs (bench/figcommon.hpp).
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept;
+
+/// Microseconds since the process trace epoch (first use).
+double now_us();
+
+/// One exported trace event. `phase` follows the Chrome trace_event
+/// format: 'X' = complete (has dur_us), 'i' = instant.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+  std::string args;  // pre-rendered JSON members ("\"k\":\"v\",..."), may be empty
+};
+
+/// Process-wide event collector. All methods are thread-safe.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  void record(TraceEvent event);
+  /// Drops all recorded events (buffers stay registered; outstanding
+  /// thread-local pointers remain valid).
+  void clear();
+  std::size_t event_count() const;
+  /// All events so far, sorted by start timestamp.
+  std::vector<TraceEvent> snapshot() const;
+  /// Writes {"traceEvents":[...]} JSON for Perfetto / chrome://tracing.
+  void export_chrome_json(std::ostream& os) const;
+
+  /// Small dense id of the calling thread (assigned on first trace use).
+  static std::uint32_t this_thread_id();
+
+  struct ThreadBuffer;  // public only for the implementation's registry
+
+ private:
+  Tracer() = default;
+  ThreadBuffer& local_buffer();
+};
+
+/// Appends `text` to `out` with JSON string escaping (no quotes added).
+void append_json_escaped(std::string& out, std::string_view text);
+
+/// RAII scoped span. Construction snapshots the clock; destruction records
+/// a complete ('X') event. Spans with category "stage" or "experiment"
+/// additionally feed the "stage.<name>.wall_s" duration histogram
+/// (obs/metrics.hpp). When tracing is disabled the span is inert.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view cat = "stage");
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  bool active() const noexcept { return active_; }
+
+  Span& arg(std::string_view key, std::string_view value);
+  Span& arg(std::string_view key, double value);
+  Span& arg(std::string_view key, std::uint64_t value);
+
+ private:
+  bool active_;
+  double start_us_ = 0.0;
+  TraceEvent event_;
+};
+
+/// Records an instant event (e.g. a work steal) at the current time.
+void instant(std::string_view name, std::string_view cat = "scheduler",
+             std::string_view args = {});
+
+}  // namespace repro::obs

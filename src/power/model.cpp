@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace repro::power {
 
 double PowerModel::dynamic_energy_j(const sim::Activity& a,
@@ -48,6 +51,12 @@ double PowerModel::tail_power_w(const sim::GpuConfig& config) const {
 PhasePower PowerModel::phase_power(const sim::Activity& activity, double duration_s,
                                    const sim::GpuConfig& config,
                                    double ecc_adjust) const {
+  // Phase evaluations are the power model's unit of work; counting them
+  // (observability only — no effect on any value) makes waveform-synthesis
+  // cost visible per batch.
+  if (obs::enabled()) {
+    obs::Registry::instance().counter("power.phase_power.calls").add();
+  }
   const EnergyTable& t = *table_;
   PhasePower p;
   p.board_w = t.board_w;

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace repro::sensor {
 
 std::vector<Sample> Sensor::record(const Waveform& waveform, util::Rng& rng) const {
+  obs::Span span("sensor-sampling");
   std::vector<Sample> samples;
   const double end = waveform.duration();
   if (end <= 0.0) return samples;
@@ -29,6 +32,7 @@ std::vector<Sample> Sensor::record(const Waveform& waveform, util::Rng& rng) con
       next_sample = t + period;
     }
   }
+  span.arg("samples", static_cast<std::uint64_t>(samples.size()));
   return samples;
 }
 

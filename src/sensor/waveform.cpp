@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace repro::sensor {
 
 Waveform::Waveform(std::vector<Segment> segments) : segments_(std::move(segments)) {
@@ -52,6 +54,9 @@ double Waveform::energy_j(double a, double b) const {
 Waveform synthesize(const sim::TraceResult& trace, const sim::GpuConfig& config,
                     const power::PowerModel& model, double ecc_adjust,
                     const WaveformOptions& options) {
+  obs::Span span("power-synthesis");
+  span.arg("config", config.name)
+      .arg("phases", static_cast<std::uint64_t>(trace.phases.size()));
   std::vector<Segment> segments;
   segments.reserve(trace.phases.size() * 2 + 4);
   const double idle = model.static_power_w(config);

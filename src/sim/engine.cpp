@@ -1,9 +1,14 @@
 #include "sim/engine.hpp"
 
+#include "obs/trace.hpp"
+
 namespace repro::sim {
 
 TraceResult run_trace(const KeplerDevice& device, const GpuConfig& config,
                       const workloads::LaunchTrace& trace) {
+  obs::Span span("timing");
+  span.arg("config", config.name)
+      .arg("launches", static_cast<std::uint64_t>(trace.size()));
   TraceResult result;
   result.phases.reserve(trace.size());
   for (const workloads::KernelLaunch& launch : trace) {

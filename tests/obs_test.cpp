@@ -1,0 +1,493 @@
+// Observability layer tests (DESIGN.md §9):
+//  - span nesting/ordering stays consistent under 8 concurrent threads
+//    (run under -DREPRO_SANITIZE=thread via the obs/scheduler labels),
+//  - metrics counters exactly mirror Study::cache_stats(),
+//  - exported Chrome trace JSON is well-formed and contains per-stage
+//    spans for every computed experiment,
+//  - per-kernel energy attribution sums to the measured energy,
+//  - and the core guarantee: measured values are bit-identical with
+//    observability enabled vs. disabled.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/study.hpp"
+#include "obs/attribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro {
+namespace {
+
+using core::ExperimentJob;
+using core::ExperimentResult;
+using core::Scheduler;
+using core::Study;
+using sim::config_by_name;
+using workloads::Registry;
+using workloads::Workload;
+
+// Every test that records must leave the global switch off and the
+// buffers empty for the rest of the binary.
+struct ObsOn {
+  ObsOn() {
+    obs::set_enabled(true);
+    obs::Tracer::instance().clear();
+  }
+  ~ObsOn() {
+    obs::set_enabled(false);
+    obs::Tracer::instance().clear();
+  }
+};
+
+std::vector<ExperimentJob> small_matrix() {
+  suites::register_all_workloads();
+  std::vector<ExperimentJob> jobs;
+  for (const char* name : {"NB", "SGEMM", "BP", "L-BFS"}) {
+    const Workload* w = Registry::instance().find(name);
+    EXPECT_NE(w, nullptr) << name;
+    for (const char* cfg : {"default", "614"}) {
+      jobs.push_back(ExperimentJob{w, 0, &config_by_name(cfg)});
+    }
+  }
+  return jobs;
+}
+
+TEST(ObsMetrics, CounterGaugeHistogramBasics) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Counter& c = registry.counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(registry.counter_value("test.counter"), 42u);
+  EXPECT_EQ(registry.counter_value("test.never-touched"), 0u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&registry.counter("test.counter"), &c);
+
+  obs::Gauge& g = registry.gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  obs::Histogram& h = registry.histogram("test.histogram");
+  h.observe(0.001);
+  h.observe(0.004);
+  h.observe(0.25);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.255);
+  EXPECT_DOUBLE_EQ(s.min, 0.001);
+  EXPECT_DOUBLE_EQ(s.max, 0.25);
+  registry.reset();
+  EXPECT_EQ(registry.counter_value("test.counter"), 0u);
+  EXPECT_EQ(registry.histogram_snapshot("test.histogram").count, 0u);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundsAreMonotoneAndContainValues) {
+  for (double v : {1e-9, 1e-6, 0.001, 0.5, 1.0, 3.0, 1000.0}) {
+    const int b = obs::Histogram::bucket_of(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, obs::Histogram::kBuckets);
+    // Bucket b covers [bound(b-1), bound(b)): lower bound inclusive, so
+    // exact powers of two land in the bucket they open.
+    EXPECT_LT(v, obs::Histogram::bucket_upper_bound(b)) << v;
+    if (b > 0) {
+      EXPECT_GE(v, obs::Histogram::bucket_upper_bound(b - 1)) << v;
+    }
+  }
+  EXPECT_EQ(obs::Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_of(-1.0), 0);
+  for (int i = 1; i < obs::Histogram::kBuckets; ++i) {
+    EXPECT_LT(obs::Histogram::bucket_upper_bound(i - 1),
+              obs::Histogram::bucket_upper_bound(i));
+  }
+}
+
+TEST(ObsTrace, DisabledRecordsNothingAndSpansAreInert) {
+  obs::set_enabled(false);
+  obs::Tracer::instance().clear();
+  {
+    obs::Span span("should-not-appear");
+    span.arg("k", std::string_view("v")).arg("n", std::uint64_t{1});
+    obs::instant("nor-this");
+  }
+  EXPECT_EQ(obs::Tracer::instance().event_count(), 0u);
+}
+
+// 8 threads each record a strictly nested outer > mid > leaf span chain
+// repeatedly; every recorded child interval must lie within a same-thread
+// parent interval, and per-thread events must come out time-ordered.
+TEST(ObsTrace, SpanNestingAndOrderingUnder8Threads) {
+  ObsOn on;
+  constexpr int kThreads = 8;
+  constexpr int kRepeats = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kRepeats; ++i) {
+        obs::Span outer("outer", "test");
+        obs::instant("tick", "test");
+        {
+          obs::Span mid("mid", "test");
+          obs::Span leaf("leaf", "test");
+          leaf.arg("i", static_cast<std::uint64_t>(i));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::map<std::uint32_t, std::vector<obs::TraceEvent>> by_tid;
+  for (const obs::TraceEvent& e : obs::Tracer::instance().snapshot()) {
+    if (e.cat == "test") by_tid[e.tid].push_back(e);
+  }
+  ASSERT_EQ(by_tid.size(), static_cast<std::size_t>(kThreads));
+
+  const auto contains = [](const obs::TraceEvent& parent,
+                           const obs::TraceEvent& child) {
+    return parent.ts_us <= child.ts_us &&
+           child.ts_us + child.dur_us <= parent.ts_us + parent.dur_us;
+  };
+  for (const auto& [tid, events] : by_tid) {
+    std::vector<const obs::TraceEvent*> outers, mids, leaves;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_LE(events[i - 1].ts_us, events[i].ts_us) << "tid " << tid;
+    }
+    for (const obs::TraceEvent& e : events) {
+      if (e.name == "outer") outers.push_back(&e);
+      if (e.name == "mid") mids.push_back(&e);
+      if (e.name == "leaf") leaves.push_back(&e);
+    }
+    EXPECT_EQ(outers.size(), static_cast<std::size_t>(kRepeats));
+    EXPECT_EQ(mids.size(), static_cast<std::size_t>(kRepeats));
+    EXPECT_EQ(leaves.size(), static_cast<std::size_t>(kRepeats));
+    for (const obs::TraceEvent* mid : mids) {
+      bool nested = false;
+      for (const obs::TraceEvent* outer : outers) nested |= contains(*outer, *mid);
+      EXPECT_TRUE(nested) << "mid span escaped every outer span, tid " << tid;
+    }
+    for (const obs::TraceEvent* leaf : leaves) {
+      bool nested = false;
+      for (const obs::TraceEvent* mid : mids) nested |= contains(*mid, *leaf);
+      EXPECT_TRUE(nested) << "leaf span escaped every mid span, tid " << tid;
+    }
+  }
+}
+
+TEST(ObsMetrics, CacheCountersExactlyMatchStudyCacheStats) {
+  ObsOn on;
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+
+  Study study;
+  const std::vector<ExperimentJob> jobs = small_matrix();
+  const Scheduler scheduler{Scheduler::Options{4}};
+  scheduler.run(study, jobs);
+  // A warm second batch exercises the hit counters too.
+  scheduler.run(study, jobs);
+
+  const Study::CacheStats stats = study.cache_stats();
+  EXPECT_GT(stats.result_misses, 0u);
+  EXPECT_GT(stats.result_hits, 0u);
+  EXPECT_EQ(registry.counter_value("study.trace_cache.hits"), stats.trace_hits);
+  EXPECT_EQ(registry.counter_value("study.trace_cache.misses"),
+            stats.trace_misses);
+  EXPECT_EQ(registry.counter_value("study.result_cache.hits"),
+            stats.result_hits);
+  EXPECT_EQ(registry.counter_value("study.result_cache.misses"),
+            stats.result_misses);
+  // The scheduler's own counters: every submitted job was executed.
+  EXPECT_EQ(registry.counter_value("scheduler.jobs"), 2 * jobs.size());
+}
+
+// Minimal JSON parser: validates syntax only (enough to prove the export
+// never emits unescaped or truncated output).
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : s_(text) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (i_ >= s_.size()) return false;
+    const char c = s_[i_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool string() {
+    if (i_ >= s_.size() || s_[i_] != '"') return false;
+    ++i_;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // unescaped
+      if (c == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+        const char e = s_[i_];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++i_;
+            if (i_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[i_])))
+              return false;
+          }
+        } else if (std::string_view(R"("\/bfnrt)").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++i_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (peek('-')) {
+    }
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '+' || s_[i_] == '-')) {
+      ++i_;
+    }
+    return i_ > start;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(i_, word.size()) != word) return false;
+    i_ += word.size();
+    return true;
+  }
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+  bool peek(char c) {
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) {
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+TEST(ObsTrace, JsonValidatorSanity) {
+  EXPECT_TRUE(JsonValidator(R"({"a":[1,2.5,"x\n",{"b":null}],"c":true})").valid());
+  EXPECT_FALSE(JsonValidator(R"({"a":1)").valid());
+  EXPECT_FALSE(JsonValidator("{\"a\":\"\x01\"}").valid());
+  EXPECT_FALSE(JsonValidator(R"({"a" 1})").valid());
+}
+
+TEST(ObsTrace, ChromeTraceExportIsWellFormedWithPerStageSpans) {
+  ObsOn on;
+  suites::register_all_workloads();
+  Study study;
+  const Workload* w = Registry::instance().find("SGEMM");
+  ASSERT_NE(w, nullptr);
+  // Names below exercise JSON escaping through the span args too.
+  {
+    obs::Span span("escape\"check\\", "test");
+    span.arg("newline", std::string_view("a\nb"));
+  }
+  study.measure(*w, 0, config_by_name("default"));
+  study.measure(*w, 0, config_by_name("ecc"));
+
+  std::ostringstream os;
+  obs::Tracer::instance().export_chrome_json(os);
+  const std::string json = os.str();
+  ASSERT_TRUE(JsonValidator(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  // Per-stage spans for every computed experiment.
+  std::map<std::string, int> by_name;
+  for (const obs::TraceEvent& e : obs::Tracer::instance().snapshot()) {
+    ++by_name[e.name];
+    EXPECT_GE(e.dur_us, 0.0) << e.name;
+  }
+  EXPECT_EQ(by_name["experiment"], 2);
+  EXPECT_EQ(by_name["trace-build"], 2);
+  EXPECT_EQ(by_name["timing"], 2);
+  for (const char* stage :
+       {"variability", "power-synthesis", "sensor-sampling",
+        "k20power-analysis", "repetition"}) {
+    EXPECT_EQ(by_name[stage], 2 * 3) << stage;  // repetitions per experiment
+  }
+}
+
+TEST(ObsAttribution, KernelEnergiesSumToMeasuredEnergy) {
+  suites::register_all_workloads();
+  Study study;
+  for (const char* name : {"NB", "LBM", "BH", "SGEMM"}) {
+    const Workload* w = Registry::instance().find(name);
+    ASSERT_NE(w, nullptr) << name;
+    const sim::GpuConfig& config = config_by_name("default");
+    const ExperimentResult& r = study.measure(*w, 0, config);
+    ASSERT_TRUE(r.usable) << name;
+    const obs::AttributionTable table = study.attribution(*w, 0, config);
+
+    ASSERT_FALSE(table.kernels.empty()) << name;
+    double energy = 0.0, share = 0.0, time = 0.0;
+    for (const obs::KernelAttribution& k : table.kernels) {
+      EXPECT_GT(k.model_energy_j, 0.0) << name << "/" << k.kernel;
+      energy += k.energy_j;
+      share += k.energy_share;
+      time += k.time_s;
+    }
+    EXPECT_NEAR(energy, r.energy_j, 1e-9 * r.energy_j) << name;
+    EXPECT_NEAR(energy, table.attributed_energy_j, 1e-12 * energy) << name;
+    EXPECT_NEAR(share, 1.0, 1e-12) << name;
+    const sim::TraceResult& trace = study.trace_result(*w, 0, config);
+    EXPECT_NEAR(time, trace.active_time_s, 1e-9 * trace.active_time_s) << name;
+    // Sorted by descending attributed energy.
+    for (std::size_t i = 1; i < table.kernels.size(); ++i) {
+      EXPECT_GE(table.kernels[i - 1].energy_j, table.kernels[i].energy_j);
+    }
+  }
+}
+
+TEST(ObsAttribution, UnusableExperimentFallsBackToModelEnergy) {
+  suites::register_all_workloads();
+  Study study;
+  // L-BFS-wlc input 2 finishes too fast for the power sensor — the one
+  // experiment the golden file records as usable=0.
+  const Workload* w = Registry::instance().find("L-BFS-wlc");
+  ASSERT_NE(w, nullptr);
+  const sim::GpuConfig& config = config_by_name("default");
+  const ExperimentResult& r = study.measure(*w, 2, config);
+  ASSERT_FALSE(r.usable);
+  const obs::AttributionTable table = study.attribution(*w, 2, config);
+  ASSERT_FALSE(table.kernels.empty());
+  EXPECT_NEAR(table.attributed_energy_j, table.model_energy_j,
+              1e-12 * table.model_energy_j);
+}
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+// The core guarantee of the layer: enabling observability changes no
+// measured value, bit for bit.
+TEST(ObsGolden, MeasurementsBitIdenticalWithObsOnAndOff) {
+  const std::vector<ExperimentJob> jobs = small_matrix();
+
+  obs::set_enabled(false);
+  Study off;
+  const Scheduler scheduler{Scheduler::Options{4}};
+  scheduler.run(off, jobs);
+
+  std::vector<std::uint64_t> expected;
+  for (const ExperimentJob& job : jobs) {
+    const ExperimentResult& r =
+        off.measure(*job.workload, job.input_index, *job.config);
+    expected.push_back(bits(r.time_s));
+    expected.push_back(bits(r.energy_j));
+    expected.push_back(bits(r.power_w));
+    expected.push_back(bits(r.true_active_s));
+  }
+
+  {
+    ObsOn on;
+    Study with_obs;
+    scheduler.run(with_obs, jobs);
+    std::size_t i = 0;
+    for (const ExperimentJob& job : jobs) {
+      const ExperimentResult& r =
+          with_obs.measure(*job.workload, job.input_index, *job.config);
+      EXPECT_EQ(expected[i++], bits(r.time_s));
+      EXPECT_EQ(expected[i++], bits(r.energy_j));
+      EXPECT_EQ(expected[i++], bits(r.power_w));
+      EXPECT_EQ(expected[i++], bits(r.true_active_s));
+    }
+    EXPECT_GT(obs::Tracer::instance().event_count(), 0u);
+  }
+}
+
+TEST(ObsExport, TextAndJsonlExportersRoundTrip) {
+  ObsOn on;
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  registry.counter("export.counter").add(7);
+  registry.gauge("export.gauge").set(1.25);
+  registry.histogram("export.histogram").observe(0.5);
+
+  std::ostringstream text;
+  registry.export_text(text);
+  EXPECT_NE(text.str().find("counter export.counter 7"), std::string::npos);
+  EXPECT_NE(text.str().find("gauge export.gauge 1.25"), std::string::npos);
+  EXPECT_NE(text.str().find("histogram export.histogram count=1"),
+            std::string::npos);
+
+  std::ostringstream jsonl;
+  registry.export_jsonl(jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(JsonValidator(line).valid()) << line;
+    ++parsed;
+  }
+  EXPECT_GE(parsed, 3);
+}
+
+}  // namespace
+}  // namespace repro

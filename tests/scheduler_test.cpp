@@ -201,6 +201,40 @@ TEST(Scheduler, ReportPrintsMetricsSurface) {
   EXPECT_GT(report.wall_s, 0.0);
 }
 
+// Regression: a zero-job batch must produce a clean report — no
+// divide-by-zero or NaN in hit_rate(), the per-worker averages, or the
+// printed surface.
+TEST(Scheduler, EmptyBatchReportHasNoNaNs) {
+  Study study;
+  const Scheduler scheduler{Scheduler::Options{4}};
+  const BatchReport report = scheduler.run(study, {});
+  EXPECT_EQ(report.jobs, 0u);
+  EXPECT_EQ(report.results.size(), 0u);
+  EXPECT_EQ(report.total_jobs(), 0u);
+  EXPECT_EQ(report.total_steals(), 0u);
+  EXPECT_DOUBLE_EQ(report.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(report.busy_s(), 0.0);
+  std::ostringstream os;
+  report.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("0 jobs on 4 threads"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+}
+
+TEST(Scheduler, ReportSurfacesStealsAndPerJobAverage) {
+  Study study;
+  const Scheduler scheduler{Scheduler::Options{2}};
+  const BatchReport report = scheduler.run(study, slice_jobs());
+  std::ostringstream os;
+  report.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("stolen"), std::string::npos) << text;
+  EXPECT_NE(text.find("executed 24"), std::string::npos) << text;
+  EXPECT_NE(text.find("ms/job"), std::string::npos) << text;
+  EXPECT_EQ(report.total_jobs(), 24u);
+}
+
 TEST(Scheduler, ResolveThreadsPrefersRequestOverEnvironment) {
   EXPECT_EQ(Scheduler::resolve_threads(3), 3);
   EXPECT_GE(Scheduler::resolve_threads(0), 1);
