@@ -8,8 +8,12 @@
 // non-zero if the bound is violated.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "core/scheduler.hpp"
@@ -99,6 +103,21 @@ void BM_SensorRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SensorRecord);
+
+void BM_SensorRecordInto(benchmark::State& state) {
+  std::vector<sensor::Segment> segs{{0.0, 2.0, 25.0, 25.0},
+                                    {2.0, 12.0, 110.0, 110.0},
+                                    {12.0, 16.0, 25.0, 25.0}};
+  const sensor::Waveform w{std::move(segs)};
+  const sensor::Sensor sensor;
+  util::Rng rng{3};
+  std::vector<sensor::Sample> samples;
+  for (auto _ : state) {
+    sensor.record_into(w, rng, samples);
+    benchmark::DoNotOptimize(samples.data());
+  }
+}
+BENCHMARK(BM_SensorRecordInto);
 
 void BM_K20PowerAnalyze(benchmark::State& state) {
   std::vector<sensor::Sample> samples;
@@ -212,6 +231,210 @@ int obs_overhead_check() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Measurement fast-path check (DESIGN.md §10).
+//
+// Synthesizes the waveform of every experiment of a full registry matrix,
+// then: (1) proves the cursor sweep, the memoized synthesis and the
+// production recording are bit-identical to reference binary-search /
+// direct-model implementations (REPRO_OBS counters double-check the
+// logical call and sample counts), and (2) asserts the cursor sweep is
+// >= 1.5x faster than the reference binary-search sweep of the same
+// waveforms. Finally emits the perf-trajectory JSON (ms per full-matrix
+// batch, sensor samples/sec, sweep speedup) to $REPRO_BENCH_JSON if set
+// (scripts/bench.sh writes BENCH_pipeline.json through this).
+
+double now_wall(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// The pre-optimization Sensor::record loop: O(log S) binary-search
+// power_at on every fixed-dt integration step.
+std::vector<sensor::Sample> record_reference(const sensor::Sensor& sensor,
+                                             const sensor::Waveform& w,
+                                             util::Rng& rng) {
+  const sensor::SensorOptions& opt = sensor.options();
+  std::vector<sensor::Sample> samples;
+  const double end = w.duration();
+  if (end <= 0.0) return samples;
+  double reading = w.power_at(0.0);
+  double next_sample = rng.uniform() * opt.idle_period_s;
+  const double dt = opt.integration_dt_s;
+  for (double t = 0.0; t <= end; t += dt) {
+    const double p = w.power_at(t);
+    reading += (p - reading) * std::min(dt / opt.lag_tau_s, 1.0);
+    if (t + 1e-12 >= next_sample) {
+      double reported = reading + rng.normal(0.0, opt.noise_sigma_w);
+      reported = std::max(reported, 0.0);
+      reported = std::round(reported / opt.quantum_w) * opt.quantum_w;
+      samples.push_back({t, reported});
+      next_sample = t + (reading >= opt.gate_w ? opt.active_period_s
+                                               : opt.idle_period_s);
+    }
+  }
+  return samples;
+}
+
+int pipeline_fastpath_check() {
+  suites::register_all_workloads();
+  const std::vector<core::ExperimentJob> jobs =
+      core::registry_matrix({"default", "614"});
+
+  // Synthesize every matrix waveform with obs on so the phase_power call
+  // counter can be checked against the structural phase count.
+  core::Study study;
+  obs::set_enabled(true);
+  obs::Registry::instance().reset();
+  std::vector<sensor::Waveform> waveforms;
+  waveforms.reserve(jobs.size());
+  std::uint64_t expected_phase_calls = 0;
+  for (const core::ExperimentJob& job : jobs) {
+    const sim::TraceResult& trace =
+        study.trace_result(*job.workload, job.input_index, *job.config);
+    expected_phase_calls += trace.phases.size();
+    waveforms.push_back(sensor::synthesize(
+        trace, *job.config, study.power_model(),
+        job.config->ecc ? job.workload->ecc_power_adjustment() : 1.0));
+  }
+  const std::uint64_t phase_calls =
+      obs::Registry::instance().counter_value("power.phase_power.calls");
+  obs::set_enabled(false);
+  if (phase_calls != expected_phase_calls) {
+    std::printf(
+        "FAIL: memoized synthesis reported %llu phase_power calls, trace "
+        "structure implies %llu\n",
+        static_cast<unsigned long long>(phase_calls),
+        static_cast<unsigned long long>(expected_phase_calls));
+    return 1;
+  }
+
+  // Bit-identity: production recording (cursor) vs the reference
+  // binary-search recording, same seeds.
+  const sensor::Sensor sensor;
+  std::uint64_t total_samples = 0;
+  for (std::size_t i = 0; i < waveforms.size(); ++i) {
+    util::Rng ref_rng{1000 + i}, fast_rng{1000 + i};
+    const auto ref = record_reference(sensor, waveforms[i], ref_rng);
+    const auto fast = sensor.record(waveforms[i], fast_rng);
+    total_samples += fast.size();
+    if (ref.size() != fast.size() ||
+        !std::equal(ref.begin(), ref.end(), fast.begin(),
+                    [](const sensor::Sample& a, const sensor::Sample& b) {
+                      return a.t == b.t && a.w == b.w;
+                    })) {
+      std::printf("FAIL: cursor recording differs from reference on job %zu\n",
+                  i);
+      return 1;
+    }
+  }
+
+  // Perf: fixed-dt power sweep over every waveform, reference
+  // binary-search vs cursor, min of 3 passes each. The accumulated sums
+  // must agree bit-for-bit (same additions in the same order).
+  constexpr double kDt = 0.01;
+  constexpr int kPasses = 3;
+  const auto sweep = [&](auto&& lookup_pass) {
+    double best = 0.0, acc = 0.0;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto start = std::chrono::steady_clock::now();
+      acc = lookup_pass();
+      const double wall = now_wall(start);
+      if (pass == 0 || wall < best) best = wall;
+    }
+    return std::pair<double, double>{best, acc};
+  };
+  const auto [ref_s, ref_acc] = sweep([&] {
+    double acc = 0.0;
+    for (const sensor::Waveform& w : waveforms) {
+      for (double t = 0.0; t <= w.duration(); t += kDt) acc += w.power_at(t);
+    }
+    return acc;
+  });
+  const auto [fast_s, fast_acc] = sweep([&] {
+    double acc = 0.0;
+    for (const sensor::Waveform& w : waveforms) {
+      sensor::Waveform::Cursor cursor = w.cursor();
+      for (double t = 0.0; t <= w.duration(); t += kDt) {
+        acc += cursor.power_at(t);
+      }
+    }
+    return acc;
+  });
+  if (ref_acc != fast_acc) {
+    std::printf("FAIL: cursor sweep sum %.17g != reference sweep sum %.17g\n",
+                fast_acc, ref_acc);
+    return 1;
+  }
+  const double speedup = fast_s > 0.0 ? ref_s / fast_s : 0.0;
+
+  // Production recording throughput and the full-matrix batch time for the
+  // perf-trajectory JSON.
+  double record_s = 0.0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<sensor::Sample> samples;
+    util::Rng rng{7};
+    for (const sensor::Waveform& w : waveforms) {
+      sensor.record_into(w, rng, samples);
+      benchmark::DoNotOptimize(samples.data());
+    }
+    const double wall = now_wall(start);
+    if (pass == 0 || wall < record_s) record_s = wall;
+  }
+  const double samples_per_sec =
+      record_s > 0.0 ? static_cast<double>(total_samples) / record_s : 0.0;
+  double batch_s = 0.0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const double wall = run_matrix_once(jobs);
+    if (pass == 0 || wall < batch_s) batch_s = wall;
+  }
+
+  std::printf(
+      "\npipeline fast-path check: %zu waveforms, %llu samples\n"
+      "  sweep  reference (binary search)  %.4f s\n"
+      "  sweep  cursor                     %.4f s  (%.2fx)\n"
+      "  record cursor                     %.4f s  (%.0f samples/s)\n"
+      "  full-matrix batch                 %.4f s  (%zu jobs)\n",
+      waveforms.size(), static_cast<unsigned long long>(total_samples), ref_s,
+      fast_s, speedup, record_s, samples_per_sec, batch_s, jobs.size());
+
+  if (const char* path = std::getenv("REPRO_BENCH_JSON")) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot write %s\n", path);
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"matrix_jobs\": %zu,\n"
+        "  \"batch_wall_ms\": %.3f,\n"
+        "  \"sweep_reference_ms\": %.3f,\n"
+        "  \"sweep_cursor_ms\": %.3f,\n"
+        "  \"sweep_speedup\": %.3f,\n"
+        "  \"record_wall_ms\": %.3f,\n"
+        "  \"samples_total\": %llu,\n"
+        "  \"samples_per_sec\": %.0f\n"
+        "}\n",
+        jobs.size(), 1e3 * batch_s, 1e3 * ref_s, 1e3 * fast_s, speedup,
+        1e3 * record_s, static_cast<unsigned long long>(total_samples),
+        samples_per_sec);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  }
+
+  constexpr double kMinSpeedup = 1.5;
+  if (speedup < kMinSpeedup) {
+    std::printf("FAIL: cursor sweep speedup %.2fx below the %.1fx floor\n",
+                speedup, kMinSpeedup);
+    return 1;
+  }
+  std::printf("PASS: bit-identical, %.2fx >= %.1fx\n", speedup, kMinSpeedup);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,5 +442,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return obs_overhead_check();
+  const int obs_rc = obs_overhead_check();
+  const int pipeline_rc = pipeline_fastpath_check();
+  return obs_rc != 0 ? obs_rc : pipeline_rc;
 }

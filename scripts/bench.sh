@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Performance smoke: build bench_micro with the Release preset and record
+# the measurement-pipeline numbers (wall ms per full-matrix batch, sensor
+# samples/sec, cursor-vs-binary-search sweep speedup) to a JSON file.
+#
+#   scripts/bench.sh                 # writes ./BENCH_pipeline.json
+#   scripts/bench.sh /tmp/out.json   # custom output path
+#
+# bench_micro exits nonzero if the fast path is not bit-identical to the
+# reference implementations, if the REPRO_OBS counters disagree with the
+# structural phase/sample counts, or if the cursor sweep is less than
+# 1.5x the reference binary-search sweep — so this doubles as the perf
+# regression gate (scripts/ci.sh runs it when REPRO_PERF=1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pipeline.json}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== [release] configure"
+cmake --preset release
+echo "=== [release] build bench_micro"
+cmake --build --preset release -j "$jobs" --target bench_micro
+
+# --benchmark_filter='^$' skips the google-benchmark suite; the post-suite
+# obs-overhead and pipeline fast-path checks still run and gate the exit
+# code.
+echo "=== [release] pipeline perf smoke"
+REPRO_BENCH_JSON="$out" \
+  ./build-release/bench/bench_micro --benchmark_filter='^$'
+echo "=== wrote $out"

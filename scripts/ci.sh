@@ -26,4 +26,12 @@ for preset in "${presets[@]}"; do
   ctest --preset "$preset" --output-on-failure
 done
 
+# Optional Release perf smoke: REPRO_PERF=1 scripts/ci.sh
+# Runs bench_micro's bit-identity + speedup gates and writes
+# BENCH_pipeline.json (see scripts/bench.sh and DESIGN.md §10).
+if [ "${REPRO_PERF:-0}" = "1" ]; then
+  echo "=== [perf] Release perf smoke"
+  scripts/bench.sh
+fi
+
 echo "=== all presets passed: ${presets[*]}"

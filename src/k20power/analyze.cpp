@@ -19,16 +19,39 @@ Measurement analyze(std::span<const sensor::Sample> samples,
   // after the driver tail decays. Long runs leave only a handful of idle
   // samples, so estimate from the lowest few readings (robust against a
   // single noise outlier) rather than a percentile of the whole stream.
-  std::vector<double> watts;
-  watts.reserve(samples.size());
-  for (const sensor::Sample& s : samples) watts.push_back(s.w);
-  std::vector<double> sorted = watts;
-  std::sort(sorted.begin(), sorted.end());
-  const std::size_t low_n = std::min<std::size_t>(5, sorted.size());
+  //
+  // Selection runs over a bounded candidate buffer instead of sorting a
+  // full copy of the stream: whenever the buffer fills, nth_element keeps
+  // the lowest low_n seen so far and the rest is discarded. The final
+  // ascending sort of those low_n values restores the reference summation
+  // order, so idle_w is bit-identical to the old full-sort path (ties are
+  // equal doubles; which duplicate survives cannot change the sum).
+  const std::size_t low_n = std::min<std::size_t>(5, samples.size());
+  constexpr std::size_t kLowCap = 64;
+  std::vector<double> low;
+  low.reserve(kLowCap);
+  double peak = samples.front().w;
+  for (const sensor::Sample& s : samples) {
+    peak = std::max(peak, s.w);
+    low.push_back(s.w);
+    if (low.size() == kLowCap) {
+      std::nth_element(low.begin(),
+                       low.begin() + static_cast<std::ptrdiff_t>(low_n),
+                       low.end());
+      low.resize(low_n);
+    }
+  }
+  if (low.size() > low_n) {
+    std::nth_element(low.begin(),
+                     low.begin() + static_cast<std::ptrdiff_t>(low_n),
+                     low.end());
+    low.resize(low_n);
+  }
+  std::sort(low.begin(), low.end());
   double low_sum = 0.0;
-  for (std::size_t i = 0; i < low_n; ++i) low_sum += sorted[i];
+  for (const double w : low) low_sum += w;
   m.idle_w = low_sum / static_cast<double>(low_n);
-  m.peak_w = sorted.back();
+  m.peak_w = peak;
 
   m.threshold_w = std::max(
       {m.idle_w + options.threshold_fraction * (m.peak_w - m.idle_w),

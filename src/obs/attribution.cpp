@@ -12,14 +12,18 @@ AttributionTable attribute(const sim::TraceResult& trace,
                            const power::PowerModel& model, double ecc_adjust,
                            double measured_energy_j) {
   AttributionTable table;
-  const double adjust = config.ecc ? ecc_adjust : 1.0;
+  // Per-table memo: attribution evaluates every phase of the structural
+  // trace, and iterative kernels repeat identical activity bundles many
+  // times — the memo collapses those to one dynamic-energy evaluation
+  // with bit-identical doubles (DESIGN.md §10).
+  power::PhasePowerMemo memo{model, config, config.ecc ? ecc_adjust : 1.0};
 
   std::map<std::string, KernelAttribution> by_kernel;
   for (const sim::Phase& phase : trace.phases) {
     KernelAttribution& k = by_kernel[phase.kernel_name];
     if (k.kernel.empty()) k.kernel = phase.kernel_name;
     const power::PhasePower p =
-        model.phase_power(phase.activity, phase.duration_s, config, adjust);
+        memo.phase_power(phase.activity, phase.duration_s);
     ++k.phases;
     k.time_s += phase.duration_s;
     k.model_energy_j += p.total_w * phase.duration_s;

@@ -1,10 +1,12 @@
 #include "power/model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/rng.hpp"
 
 namespace repro::power {
 
@@ -72,6 +74,87 @@ PhasePower PowerModel::phase_power(const sim::Activity& activity, double duratio
   p.total_w = tail_power_w(config) + p.dynamic_w;
   if (config.ecc) p.total_w *= ecc_adjust;
   // K20 board power limit: the firmware clamps at the TDP.
+  p.total_w = std::min(p.total_w, 225.0);
+  return p;
+}
+
+namespace {
+
+// Exact bit-pattern key of an Activity. Every field participates so a
+// future energy-table change cannot silently alias distinct activities.
+std::array<std::uint64_t, 10> activity_bits(const sim::Activity& a) noexcept {
+  return {std::bit_cast<std::uint64_t>(a.warp_instructions),
+          std::bit_cast<std::uint64_t>(a.fp32_ops),
+          std::bit_cast<std::uint64_t>(a.fp64_ops),
+          std::bit_cast<std::uint64_t>(a.int_ops),
+          std::bit_cast<std::uint64_t>(a.sfu_ops),
+          std::bit_cast<std::uint64_t>(a.shared_accesses),
+          std::bit_cast<std::uint64_t>(a.l2_transactions),
+          std::bit_cast<std::uint64_t>(a.dram_transactions),
+          std::bit_cast<std::uint64_t>(a.dram_bus_bytes),
+          std::bit_cast<std::uint64_t>(a.atomic_ops)};
+}
+
+}  // namespace
+
+std::size_t PhasePowerMemo::ActivityKeyHash::operator()(
+    const ActivityKey& key) const noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t word : key.bits) {
+    h = util::mix64(h ^ word);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+PhasePowerMemo::PhasePowerMemo(const PowerModel& model,
+                               const sim::GpuConfig& config, double ecc_adjust)
+    : model_(&model), config_(&config), ecc_adjust_(ecc_adjust) {
+  // Same expressions as PowerModel::phase_power / static_power_w /
+  // tail_power_w evaluate per call; deterministic, so caching the results
+  // returns the identical doubles.
+  const EnergyTable& t = model.table();
+  leakage_w_ =
+      t.leakage_nominal_w * std::pow(config.core_voltage, t.leakage_voltage_exp);
+  dram_background_w_ = t.dram_background_w_per_ghz * (config.mem_mhz / 1000.0);
+  static_w_ = model.static_power_w(config);
+  tail_w_ = model.tail_power_w(config);
+}
+
+PhasePowerMemo::~PhasePowerMemo() {
+  // Counter flush: per-phase registry updates would put a shared-lock
+  // lookup and a contended atomic on the synthesis hot path (millions of
+  // events per matrix batch), so the memo counts locally and publishes
+  // the totals once. The reported `power.phase_power.calls` still equals
+  // the logical per-phase evaluation count, same as the unmemoized model.
+  if (lookups_ == 0 || !obs::enabled()) return;
+  obs::Registry& registry = obs::Registry::instance();
+  registry.counter("power.phase_power.calls").add(lookups_);
+  registry.counter("power.phase_power.memo_hits").add(hits_);
+}
+
+double PhasePowerMemo::dynamic_energy_j(const sim::Activity& activity) {
+  ++lookups_;
+  const auto [it, inserted] =
+      dynamic_j_.try_emplace(ActivityKey{activity_bits(activity)}, 0.0);
+  if (inserted) {
+    it->second = model_->dynamic_energy_j(activity, *config_);
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+PhasePower PhasePowerMemo::phase_power(const sim::Activity& activity,
+                                       double duration_s) {
+  const EnergyTable& t = model_->table();
+  PhasePower p;
+  p.board_w = t.board_w;
+  p.leakage_w = leakage_w_;
+  p.dram_background_w = dram_background_w_;
+  const double duration = std::max(duration_s, 1e-12);
+  p.dynamic_w = dynamic_energy_j(activity) / duration;
+  p.total_w = tail_w_ + p.dynamic_w;
+  if (config_->ecc) p.total_w *= ecc_adjust_;
   p.total_w = std::min(p.total_w, 225.0);
   return p;
 }

@@ -9,6 +9,11 @@
 // and produces the paper's super-linear power reductions under DVFS.
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
 #include "power/energies.hpp"
 #include "sim/engine.hpp"
 #include "sim/gpuconfig.hpp"
@@ -57,6 +62,71 @@ class PowerModel {
 
  private:
   const EnergyTable* table_;
+};
+
+/// Per-experiment memoization of the power model (DESIGN.md §10).
+///
+/// Binds one (model, config, ecc_adjust) triple, evaluates the per-config
+/// scalars (leakage, DRAM background, static and tail power) exactly once,
+/// and caches dynamic energies per distinct Activity bit pattern — the
+/// dynamic energy is duration-independent, so phases and repetitions that
+/// share an activity bundle reuse one evaluation. Every returned double is
+/// bit-identical to calling PowerModel directly: cached values are outputs
+/// of the same deterministic arithmetic, and phase_power recomposes them
+/// in the reference expression order. The logical evaluation count
+/// (`power.phase_power.calls`) is unchanged by memoization; cache hits are
+/// reported separately as `power.phase_power.memo_hits`. Both counters are
+/// accumulated locally and flushed to the obs registry at destruction —
+/// per-phase registry updates would dominate the memoized hot path.
+///
+/// Not thread-safe: one memo lives inside one experiment computation.
+class PhasePowerMemo {
+ public:
+  PhasePowerMemo(const PowerModel& model, const sim::GpuConfig& config,
+                 double ecc_adjust = 1.0);
+  ~PhasePowerMemo();
+
+  PhasePowerMemo(const PhasePowerMemo&) = delete;
+  PhasePowerMemo& operator=(const PhasePowerMemo&) = delete;
+
+  /// Bit-identical to
+  /// model().phase_power(activity, duration_s, config(), ecc_adjust()).
+  PhasePower phase_power(const sim::Activity& activity, double duration_s);
+
+  double static_power_w() const noexcept { return static_w_; }
+  double tail_power_w() const noexcept { return tail_w_; }
+  double ecc_adjust() const noexcept { return ecc_adjust_; }
+  const PowerModel& model() const noexcept { return *model_; }
+  const sim::GpuConfig& config() const noexcept { return *config_; }
+
+  /// Dynamic-energy cache statistics.
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+
+ private:
+  /// Exact bit patterns of every Activity field: equal keys guarantee
+  /// equal dynamic energy; distinct bit patterns of equal values (e.g.
+  /// ±0.0) merely miss and recompute the same double.
+  struct ActivityKey {
+    std::array<std::uint64_t, 10> bits;
+    bool operator==(const ActivityKey&) const = default;
+  };
+  struct ActivityKeyHash {
+    std::size_t operator()(const ActivityKey& key) const noexcept;
+  };
+
+  double dynamic_energy_j(const sim::Activity& activity);
+
+  const PowerModel* model_;
+  const sim::GpuConfig* config_;
+  double ecc_adjust_;
+  double leakage_w_ = 0.0;
+  double dram_background_w_ = 0.0;
+  double static_w_ = 0.0;
+  double tail_w_ = 0.0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+  std::unordered_map<ActivityKey, double, ActivityKeyHash> dynamic_j_;
 };
 
 }  // namespace repro::power

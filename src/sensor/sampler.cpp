@@ -3,24 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace repro::sensor {
 
-std::vector<Sample> Sensor::record(const Waveform& waveform, util::Rng& rng) const {
-  obs::Span span("sensor-sampling");
+std::vector<Sample> Sensor::record(const Waveform& waveform,
+                                   util::Rng& rng) const {
   std::vector<Sample> samples;
-  const double end = waveform.duration();
-  if (end <= 0.0) return samples;
+  record_into(waveform, rng, samples);
+  return samples;
+}
 
-  double reading = waveform.power_at(0.0);
+void Sensor::record_into(const Waveform& waveform, util::Rng& rng,
+                         std::vector<Sample>& samples) const {
+  obs::Span span("sensor-sampling");
+  samples.clear();
+  const double end = waveform.duration();
+  if (end <= 0.0) return;
+
+  // Upper bound on the sample count: one per active-mode period, plus the
+  // endpoints. Reserving here (and reusing the buffer across repetitions)
+  // removes the growth reallocations from the hot path.
+  samples.reserve(static_cast<std::size_t>(end / opt_.active_period_s) + 2);
+
+  Waveform::Cursor cursor = waveform.cursor();
+  double reading = cursor.power_at(0.0);
   double next_sample = rng.uniform() * opt_.idle_period_s;  // phase offset
   const double dt = opt_.integration_dt_s;
 
+  std::uint64_t steps = 0;
   for (double t = 0.0; t <= end; t += dt) {
-    // First-order lag toward the instantaneous true power.
-    const double p = waveform.power_at(t);
+    // First-order lag toward the instantaneous true power. The cursor is
+    // bit-identical to power_at for this monotone sweep.
+    const double p = cursor.power_at(t);
     reading += (p - reading) * std::min(dt / opt_.lag_tau_s, 1.0);
+    ++steps;
 
     if (t + 1e-12 >= next_sample) {
       double reported = reading + rng.normal(0.0, opt_.noise_sigma_w);
@@ -33,7 +51,12 @@ std::vector<Sample> Sensor::record(const Waveform& waveform, util::Rng& rng) con
     }
   }
   span.arg("samples", static_cast<std::uint64_t>(samples.size()));
-  return samples;
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::instance();
+    registry.counter("sensor.record.calls").add();
+    registry.counter("sensor.samples").add(samples.size());
+    registry.counter("sensor.steps").add(steps);
+  }
 }
 
 }  // namespace repro::sensor

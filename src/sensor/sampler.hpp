@@ -42,6 +42,13 @@ class Sensor {
   /// source of run-to-run variability for short runs).
   std::vector<Sample> record(const Waveform& waveform, util::Rng& rng) const;
 
+  /// Same recording into a caller-owned buffer (cleared first), so the
+  /// repetition loop reuses one allocation. The fixed-dt integration walks
+  /// the waveform through a Waveform::Cursor — O(N + S) per sweep instead
+  /// of a binary search per step — with bit-identical readings.
+  void record_into(const Waveform& waveform, util::Rng& rng,
+                   std::vector<Sample>& samples) const;
+
   const SensorOptions& options() const noexcept { return opt_; }
 
  private:

@@ -3,17 +3,59 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "obs/trace.hpp"
 
 namespace repro::sensor {
 
-Waveform::Waveform(std::vector<Segment> segments) : segments_(std::move(segments)) {
+namespace {
+
+// Trapezoid over [lo, hi] within segment `s`. This is THE energy
+// arithmetic: energy_j, the precomputed per-segment energies and the
+// test oracles all evaluate exactly this expression, which is what makes
+// the indexed path bit-identical to the linear reference scan.
+inline double partial_energy(const Segment& s, double lo, double hi) {
+  const double span = s.t1 - s.t0;
+  const auto at = [&](double t) {
+    if (span <= 0.0) return s.w0;
+    return s.w0 + (t - s.t0) / span * (s.w1 - s.w0);
+  };
+  return 0.5 * (at(lo) + at(hi)) * (hi - lo);
+}
+
+}  // namespace
+
+Waveform::Waveform(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  reindex();
+}
+
+void Waveform::assign(std::vector<Segment>&& segments) {
+  segments_ = std::move(segments);
+  reindex();
+}
+
+std::vector<Segment> Waveform::release_segments() noexcept {
+  segment_energy_j_.clear();
+  return std::exchange(segments_, {});
+}
+
+void Waveform::reindex() {
 #ifndef NDEBUG
-  for (std::size_t i = 1; i < segments_.size(); ++i) {
-    assert(segments_[i].t0 >= segments_[i - 1].t0);
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    assert(segments_[i].t1 >= segments_[i].t0);
+    if (i > 0) {
+      assert(segments_[i].t0 >= segments_[i - 1].t0);
+      assert(segments_[i].t1 >= segments_[i - 1].t1);
+    }
   }
 #endif
+  segment_energy_j_.clear();
+  segment_energy_j_.reserve(segments_.size());
+  for (const Segment& s : segments_) {
+    segment_energy_j_.push_back(partial_energy(s, s.t0, s.t1));
+  }
 }
 
 double Waveform::power_at(double t) const {
@@ -34,19 +76,26 @@ double Waveform::power_at(double t) const {
 
 double Waveform::energy_j(double a, double b) const {
   if (b < a) std::swap(a, b);
+  // First segment that can overlap [a, b]: everything before it has
+  // t1 <= a and contributes nothing; t0/t1 monotonicity (see class
+  // invariant) makes the range partitioned for the binary search.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), a,
+      [](double value, const Segment& s) { return value < s.t1; });
   double total = 0.0;
-  for (const Segment& s : segments_) {
+  for (auto i = static_cast<std::size_t>(it - segments_.begin());
+       i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    if (s.t0 >= b) break;  // t0 monotone: no later segment overlaps either
+    // Interpolate within this segment (power_at would resolve boundary
+    // points to the neighbouring segment).
     const double lo = std::max(a, s.t0);
     const double hi = std::min(b, s.t1);
     if (hi <= lo) continue;
-    // Interpolate within this segment (power_at would resolve boundary
-    // points to the neighbouring segment).
-    const double span = s.t1 - s.t0;
-    const auto at = [&](double t) {
-      if (span <= 0.0) return s.w0;
-      return s.w0 + (t - s.t0) / span * (s.w1 - s.w0);
-    };
-    total += 0.5 * (at(lo) + at(hi)) * (hi - lo);
+    // Fully-covered segments reuse the energy precomputed at construction
+    // (same expression, same bits); clipped edges interpolate in place.
+    total += (lo == s.t0 && hi == s.t1) ? segment_energy_j_[i]
+                                        : partial_energy(s, lo, hi);
   }
   return total;
 }
@@ -54,13 +103,23 @@ double Waveform::energy_j(double a, double b) const {
 Waveform synthesize(const sim::TraceResult& trace, const sim::GpuConfig& config,
                     const power::PowerModel& model, double ecc_adjust,
                     const WaveformOptions& options) {
+  power::PhasePowerMemo memo{model, config, ecc_adjust};
+  Waveform out;
+  synthesize_into(out, trace, memo, options);
+  return out;
+}
+
+void synthesize_into(Waveform& out, const sim::TraceResult& trace,
+                     power::PhasePowerMemo& memo,
+                     const WaveformOptions& options) {
   obs::Span span("power-synthesis");
-  span.arg("config", config.name)
+  span.arg("config", memo.config().name)
       .arg("phases", static_cast<std::uint64_t>(trace.phases.size()));
-  std::vector<Segment> segments;
-  segments.reserve(trace.phases.size() * 2 + 4);
-  const double idle = model.static_power_w(config);
-  const double gap_power = model.tail_power_w(config);
+  std::vector<Segment> segments = out.release_segments();
+  segments.clear();
+  segments.reserve(trace.phases.size() * 2 + 6);
+  const double idle = memo.static_power_w();
+  const double gap_power = memo.tail_power_w();
 
   double t = 0.0;
   const auto push = [&](double duration, double w0, double w1) {
@@ -75,11 +134,11 @@ Waveform synthesize(const sim::TraceResult& trace, const sim::GpuConfig& config,
     // Host gaps: the driver holds the GPU in a raised power state.
     push(phase.host_gap_before_s, gap_power, gap_power);
     const power::PhasePower p =
-        model.phase_power(phase.activity, phase.duration_s, config, ecc_adjust);
+        memo.phase_power(phase.activity, phase.duration_s);
     push(phase.duration_s, p.total_w, p.total_w);
   }
   // Driver tail: exponential decay approximated by three linear pieces.
-  const double tau = model.tail_decay_s();
+  const double tau = memo.model().tail_decay_s();
   double w = gap_power;
   for (int i = 0; i < 3; ++i) {
     const double next = idle + (w - idle) * std::exp(-1.0);
@@ -87,7 +146,7 @@ Waveform synthesize(const sim::TraceResult& trace, const sim::GpuConfig& config,
     w = next;
   }
   push(options.trail_idle_s, idle, idle);
-  return Waveform{std::move(segments)};
+  out.assign(std::move(segments));
 }
 
 }  // namespace repro::sensor

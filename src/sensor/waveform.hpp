@@ -5,8 +5,15 @@
 // driver "tail" power during host gaps and after the last kernel (the
 // driver keeps the GPU active for a while in case another kernel is
 // launched - paper §IV.C / Fig. 1), and a final idle stretch.
+//
+// Fast-path invariant (DESIGN.md §10): every query accelerator here —
+// Cursor, the indexed energy_j — is bit-identical to the straightforward
+// reference arithmetic. The golden tests enforce this; if an optimization
+// would require regenerating goldens, the optimization is wrong.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "power/model.hpp"
@@ -16,6 +23,8 @@
 namespace repro::sensor {
 
 /// Piecewise-linear power segment: power ramps w0 -> w1 over [t0, t1).
+/// A zero-length segment (t0 == t1) is legal and models an instantaneous
+/// level change; queries never resolve inside it (see power_at).
 struct Segment {
   double t0 = 0.0;
   double t1 = 0.0;
@@ -23,14 +32,61 @@ struct Segment {
   double w1 = 0.0;
 };
 
+/// Timeline of segments ordered by time: both t0 and t1 must be
+/// non-decreasing across the vector and t1 >= t0 within each segment
+/// (asserted in debug builds). `synthesize` always produces contiguous
+/// segments satisfying this.
 class Waveform {
  public:
+  Waveform() = default;
   explicit Waveform(std::vector<Segment> segments);
 
+  /// Monotone segment iterator: amortized O(1) power lookups for
+  /// non-decreasing query times, bit-identical to power_at (same
+  /// interpolation arithmetic, the search is replaced by a forward scan
+  /// that can never skip the segment power_at's binary search would
+  /// select). A full fixed-dt sweep is O(N + S) instead of O(N log S).
+  /// Queries MUST be non-decreasing between reset() calls; the waveform
+  /// must outlive the cursor.
+  class Cursor {
+   public:
+    double power_at(double t) noexcept {
+      const std::vector<Segment>& segs = w_->segments_;
+      if (segs.empty()) return 0.0;
+      if (t <= segs.front().t0) return segs.front().w0;
+      if (t >= segs.back().t1) return segs.back().w1;
+      while (pos_ < segs.size() && t >= segs[pos_].t1) ++pos_;
+      if (pos_ >= segs.size()) return segs.back().w1;
+      const Segment& s = segs[pos_];
+      const double span = s.t1 - s.t0;
+      if (span <= 0.0) return s.w0;
+      const double frac = std::clamp((t - s.t0) / span, 0.0, 1.0);
+      return s.w0 + frac * (s.w1 - s.w0);
+    }
+
+    void reset() noexcept { pos_ = 0; }
+
+   private:
+    friend class Waveform;
+    explicit Cursor(const Waveform& w) noexcept : w_(&w) {}
+    const Waveform* w_;
+    std::size_t pos_ = 0;
+  };
+
+  Cursor cursor() const noexcept { return Cursor{*this}; }
+
   /// Instantaneous true power at time t (clamped to the timeline ends).
+  /// O(log S) binary search; use a Cursor for monotone sweeps.
   double power_at(double t) const;
 
-  /// Integral of power over [a, b] in joules.
+  /// Integral of power over [a, b] in joules. Locates the overlapping
+  /// segment range by binary search and serves fully-covered segments from
+  /// the per-segment energies precomputed at construction, so a query
+  /// costs O(log S + overlap) instead of rescanning every segment.
+  /// Bit-identical to the linear reference scan: the overlapping segments
+  /// are accumulated in the same order with the same per-segment
+  /// arithmetic (prefix-sum differencing is deliberately avoided — FP
+  /// addition is not associative and would shift the last bits).
   double energy_j(double a, double b) const;
 
   double duration() const noexcept {
@@ -39,8 +95,19 @@ class Waveform {
 
   const std::vector<Segment>& segments() const noexcept { return segments_; }
 
+  /// Rebuilds the timeline in place. Together with release_segments this
+  /// lets a caller recycle segment/energy storage across repetitions
+  /// instead of reallocating per run.
+  void assign(std::vector<Segment>&& segments);
+
+  /// Takes back the segment storage (the waveform becomes empty).
+  std::vector<Segment> release_segments() noexcept;
+
  private:
+  void reindex();
+
   std::vector<Segment> segments_;
+  std::vector<double> segment_energy_j_;  // full-span energy per segment
 };
 
 struct WaveformOptions {
@@ -56,5 +123,13 @@ struct WaveformOptions {
 Waveform synthesize(const sim::TraceResult& trace, const sim::GpuConfig& config,
                     const power::PowerModel& model, double ecc_adjust = 1.0,
                     const WaveformOptions& options = {});
+
+/// In-place variant for the repetition loop: rebuilds `out` reusing its
+/// storage and evaluates phase powers through the per-experiment memo
+/// (power::PhasePowerMemo), which binds (model, config, ecc_adjust).
+/// Bit-identical to `synthesize` with the same bindings.
+void synthesize_into(Waveform& out, const sim::TraceResult& trace,
+                     power::PhasePowerMemo& memo,
+                     const WaveformOptions& options = {});
 
 }  // namespace repro::sensor

@@ -131,5 +131,57 @@ TEST(PowerModel, AtomicsCostEnergy) {
   EXPECT_GT(m.dynamic_energy_j(a, cfg), 0.5);
 }
 
+TEST(PhasePowerMemo, CachesDistinctActivitiesSeparately) {
+  const PowerModel m;
+  const auto& cfg = config_by_name("default");
+  PhasePowerMemo memo{m, cfg};
+  const Activity fp = saturated_fp32_second();
+  const Activity mem = saturated_dram_second();
+  // Distinct activities must not alias; repeats must hit the cache.
+  const double p_fp = memo.phase_power(fp, 1.0).total_w;
+  const double p_mem = memo.phase_power(mem, 1.0).total_w;
+  EXPECT_NE(p_fp, p_mem);
+  EXPECT_EQ(memo.hits(), 0u);
+  EXPECT_EQ(p_fp, memo.phase_power(fp, 1.0).total_w);
+  EXPECT_EQ(p_mem, memo.phase_power(mem, 1.0).total_w);
+  EXPECT_EQ(memo.hits(), 2u);
+  EXPECT_EQ(memo.lookups(), 4u);
+  EXPECT_EQ(m.phase_power(fp, 1.0, cfg).total_w, p_fp);
+  EXPECT_EQ(m.phase_power(mem, 1.0, cfg).total_w, p_mem);
+}
+
+TEST(PhasePowerMemo, EccAdjustAppliedOnlyUnderEcc) {
+  const PowerModel m;
+  const Activity a = saturated_fp32_second();
+  // Non-ECC config: the adjustment factor must be inert (matches the
+  // model's own guard).
+  {
+    const auto& cfg = config_by_name("default");
+    PhasePowerMemo memo{m, cfg, 1.18};
+    EXPECT_EQ(m.phase_power(a, 1.0, cfg, 1.18).total_w,
+              memo.phase_power(a, 1.0).total_w);
+    EXPECT_EQ(m.phase_power(a, 1.0, cfg).total_w,
+              memo.phase_power(a, 1.0).total_w);
+  }
+  {
+    const auto& cfg = config_by_name("ecc");
+    PhasePowerMemo memo{m, cfg, 1.18};
+    EXPECT_EQ(m.phase_power(a, 1.0, cfg, 1.18).total_w,
+              memo.phase_power(a, 1.0).total_w);
+    EXPECT_NE(m.phase_power(a, 1.0, cfg).total_w,
+              memo.phase_power(a, 1.0).total_w);
+  }
+}
+
+TEST(PhasePowerMemo, PerConfigScalarsMatchModel) {
+  const PowerModel m;
+  for (const char* name : {"default", "614", "324", "ecc"}) {
+    const auto& cfg = config_by_name(name);
+    PhasePowerMemo memo{m, cfg};
+    EXPECT_EQ(m.static_power_w(cfg), memo.static_power_w()) << name;
+    EXPECT_EQ(m.tail_power_w(cfg), memo.tail_power_w()) << name;
+  }
+}
+
 }  // namespace
 }  // namespace repro::power

@@ -6,6 +6,8 @@
 // the paper comparisons.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <tuple>
@@ -195,6 +197,195 @@ INSTANTIATE_TEST_SUITE_P(
       return "w" + std::to_string(static_cast<int>(info.param.watts)) + "_s" +
              std::to_string(static_cast<int>(info.param.duration_s));
     });
+
+// ---- Measurement fast-path bit-identity laws ------------------------------
+//
+// The cursor/index fast path (DESIGN.md §10) must be bit-identical to the
+// pre-optimization implementations, which live on here as test-only
+// oracles: ref_power_at is the original binary-search lookup, ref_energy_j
+// the original whole-timeline linear scan. If one of these laws breaks,
+// the optimization is wrong — never regenerate goldens to paper over it
+// (EXPERIMENTS.md).
+
+/// Pre-cursor Waveform::power_at, byte-for-byte.
+double ref_power_at(const sensor::Waveform& w, double t) {
+  const auto& segments = w.segments();
+  if (segments.empty()) return 0.0;
+  if (t <= segments.front().t0) return segments.front().w0;
+  if (t >= segments.back().t1) return segments.back().w1;
+  auto it = std::upper_bound(
+      segments.begin(), segments.end(), t,
+      [](double value, const sensor::Segment& s) { return value < s.t1; });
+  if (it == segments.end()) return segments.back().w1;
+  const sensor::Segment& s = *it;
+  const double span = s.t1 - s.t0;
+  if (span <= 0.0) return s.w0;
+  const double frac = std::clamp((t - s.t0) / span, 0.0, 1.0);
+  return s.w0 + frac * (s.w1 - s.w0);
+}
+
+/// Pre-index Waveform::energy_j: rescans every segment per query.
+double ref_energy_j(const sensor::Waveform& w, double a, double b) {
+  if (b < a) std::swap(a, b);
+  double total = 0.0;
+  for (const sensor::Segment& s : w.segments()) {
+    const double lo = std::max(a, s.t0);
+    const double hi = std::min(b, s.t1);
+    if (hi <= lo) continue;
+    const double span = s.t1 - s.t0;
+    const auto at = [&](double t) {
+      if (span <= 0.0) return s.w0;
+      return s.w0 + (t - s.t0) / span * (s.w1 - s.w0);
+    };
+    total += 0.5 * (at(lo) + at(hi)) * (hi - lo);
+  }
+  return total;
+}
+
+/// Randomized contiguous waveform: flats, ramps, discontinuous level
+/// changes and occasional zero-length segments, like synthesize produces
+/// (plus the degenerate shapes it doesn't).
+sensor::Waveform random_waveform(std::uint64_t seed) {
+  util::Rng rng{seed};
+  const int n = 1 + static_cast<int>(rng.uniform_index(40));
+  std::vector<sensor::Segment> segs;
+  segs.reserve(static_cast<std::size_t>(n));
+  double t = rng.uniform() * 2.0;
+  double w = rng.uniform() * 50.0;
+  for (int i = 0; i < n; ++i) {
+    const double dur = rng.bernoulli(0.2) ? 0.0 : rng.uniform() * 3.0;
+    const double w1 = rng.bernoulli(0.5) ? w : rng.uniform() * 200.0;
+    segs.push_back({t, t + dur, w, w1});
+    t += dur;
+    w = rng.bernoulli(0.3) ? w1 : rng.uniform() * 200.0;  // jump or continue
+  }
+  return sensor::Waveform{std::move(segs)};
+}
+
+/// Monotone query schedule over the waveform: every segment boundary
+/// (exact doubles) plus random interior/outside points, sorted.
+std::vector<double> monotone_queries(const sensor::Waveform& w,
+                                     std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<double> ts;
+  ts.push_back(-1.0);
+  for (const sensor::Segment& s : w.segments()) {
+    ts.push_back(s.t0);  // exactly-on-boundary queries
+    ts.push_back(s.t1);
+    ts.push_back(s.t0 + rng.uniform() * (s.t1 - s.t0));
+  }
+  for (int i = 0; i < 64; ++i) {
+    ts.push_back(rng.uniform(-0.5, w.duration() + 0.5));
+  }
+  std::sort(ts.begin(), ts.end());
+  return ts;
+}
+
+class FastPathLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastPathLaws, CursorAndPowerAtBitIdenticalToReference) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const sensor::Waveform w = random_waveform(seed);
+  auto cursor = w.cursor();
+  for (const double t : monotone_queries(w, seed ^ 0xABCDULL)) {
+    const double ref = ref_power_at(w, t);
+    EXPECT_EQ(ref, w.power_at(t)) << "power_at at t=" << t;
+    EXPECT_EQ(ref, cursor.power_at(t)) << "cursor at t=" << t;
+  }
+  // reset() rewinds: the same sweep again must reproduce the same bits.
+  cursor.reset();
+  for (const double t : monotone_queries(w, seed ^ 0xABCDULL)) {
+    EXPECT_EQ(ref_power_at(w, t), cursor.power_at(t));
+  }
+}
+
+TEST_P(FastPathLaws, IndexedEnergyBitIdenticalToLinearScan) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const sensor::Waveform w = random_waveform(seed);
+  util::Rng rng{seed ^ 0x9e37ULL};
+  const auto check = [&](double a, double b) {
+    EXPECT_EQ(ref_energy_j(w, a, b), w.energy_j(a, b))
+        << "energy over [" << a << ", " << b << "]";
+  };
+  check(-1.0, w.duration() + 1.0);  // full timeline
+  for (const sensor::Segment& s : w.segments()) {
+    check(s.t0, s.t1);             // exactly one segment
+    check(s.t0, w.duration());     // boundary-aligned suffix
+    check(0.0, s.t1);              // boundary-aligned prefix
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(-0.5, w.duration() + 0.5);
+    const double b = rng.uniform(-0.5, w.duration() + 0.5);
+    check(a, b);  // includes reversed bounds
+  }
+}
+
+TEST_P(FastPathLaws, MemoPhasePowerBitIdenticalToModel) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const KernelLaunch k = random_kernel(seed);
+  const power::PowerModel model;
+  for (const auto& cfg : sim::standard_configs()) {
+    const auto r = time_kernel(k20c(), cfg, k);
+    power::PhasePowerMemo memo{model, cfg, 1.12};
+    for (const double duration : {1e-15, 1e-3, r.time_s, 12.5}) {
+      const power::PhasePower ref =
+          model.phase_power(r.activity, duration, cfg, 1.12);
+      // Twice: the second call is served from the dynamic-energy cache.
+      for (int pass = 0; pass < 2; ++pass) {
+        const power::PhasePower fast = memo.phase_power(r.activity, duration);
+        EXPECT_EQ(ref.total_w, fast.total_w);
+        EXPECT_EQ(ref.dynamic_w, fast.dynamic_w);
+        EXPECT_EQ(ref.leakage_w, fast.leakage_w);
+        EXPECT_EQ(ref.board_w, fast.board_w);
+        EXPECT_EQ(ref.dram_background_w, fast.dram_background_w);
+      }
+    }
+    EXPECT_GT(memo.hits(), 0u);
+    EXPECT_EQ(memo.static_power_w(), model.static_power_w(cfg));
+    EXPECT_EQ(memo.tail_power_w(), model.tail_power_w(cfg));
+  }
+}
+
+TEST_P(FastPathLaws, CursorRecordingBitIdenticalToBinarySearchSweep) {
+  // The production Sensor::record (cursor) against a reference recording
+  // that calls the binary-search power_at on every integration step: the
+  // sample streams must match bit-for-bit, sample counts included.
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const sensor::Waveform w = random_waveform(seed);
+  if (w.duration() <= 0.0) return;
+  const sensor::Sensor sensor;
+  const auto& opt = sensor.options();
+
+  util::Rng ref_rng{seed ^ 0x5a5aULL};
+  std::vector<sensor::Sample> ref;
+  {
+    double reading = ref_power_at(w, 0.0);
+    double next_sample = ref_rng.uniform() * opt.idle_period_s;
+    const double dt = opt.integration_dt_s;
+    for (double t = 0.0; t <= w.duration(); t += dt) {
+      const double p = ref_power_at(w, t);
+      reading += (p - reading) * std::min(dt / opt.lag_tau_s, 1.0);
+      if (t + 1e-12 >= next_sample) {
+        double reported = reading + ref_rng.normal(0.0, opt.noise_sigma_w);
+        reported = std::max(reported, 0.0);
+        reported = std::round(reported / opt.quantum_w) * opt.quantum_w;
+        ref.push_back({t, reported});
+        next_sample = t + (reading >= opt.gate_w ? opt.active_period_s
+                                                 : opt.idle_period_s);
+      }
+    }
+  }
+
+  util::Rng fast_rng{seed ^ 0x5a5aULL};
+  const auto fast = sensor.record(w, fast_rng);
+  ASSERT_EQ(ref.size(), fast.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].t, fast[i].t);
+    EXPECT_EQ(ref[i].w, fast[i].w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWaveforms, FastPathLaws, ::testing::Range(1, 33));
 
 // ---- Whole-registry config-ordering laws ----------------------------------
 

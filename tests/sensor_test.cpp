@@ -40,6 +40,61 @@ TEST(Waveform, EnergySwappedBounds) {
   EXPECT_NEAR(w.energy_j(5.0, 2.0), 300.0, 1e-9);
 }
 
+// Regression (ISSUE 3): zero-length segments (t0 == t1) model instantaneous
+// level changes and exactly-on-boundary queries resolve to the *following*
+// segment; power_at and Cursor must agree bit-for-bit on both.
+TEST(Waveform, ZeroLengthSegmentsAndBoundariesCursorAgrees) {
+  const Waveform w{{{0.0, 1.0, 10.0, 20.0},
+                    {1.0, 1.0, 55.0, 55.0},   // zero-length mid-timeline
+                    {1.0, 2.0, 30.0, 40.0},
+                    {2.0, 2.0, 77.0, 99.0}}};  // zero-length at the end
+  // A boundary query never lands inside the zero-length segment: t = 1.0
+  // resolves to the segment starting there, t = 2.0 clamps to the end.
+  EXPECT_DOUBLE_EQ(w.power_at(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(w.power_at(2.0), 99.0);   // back().w1 past the end
+  EXPECT_DOUBLE_EQ(w.power_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.power_at(1.5), 35.0);
+
+  auto cursor = w.cursor();
+  for (const double t : {-1.0, 0.0, 0.5, 1.0, 1.25, 1.5, 2.0, 3.0}) {
+    EXPECT_EQ(w.power_at(t), cursor.power_at(t)) << "t=" << t;
+  }
+  // Zero-length segments carry no energy; boundary-aligned integrals agree.
+  EXPECT_NEAR(w.energy_j(0.0, 2.0), 15.0 + 35.0, 1e-12);
+  EXPECT_NEAR(w.energy_j(1.0, 1.0), 0.0, 0.0);
+}
+
+TEST(Waveform, ZeroLengthLeadingSegment) {
+  const Waveform w{{{0.0, 0.0, 5.0, 7.0}, {0.0, 1.0, 10.0, 20.0}}};
+  auto cursor = w.cursor();
+  for (const double t : {-1.0, 0.0, 0.25, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(w.power_at(t), cursor.power_at(t)) << "t=" << t;
+  }
+  // t <= front().t0 clamps to the zero-length segment's w0.
+  EXPECT_DOUBLE_EQ(w.power_at(-1.0), 5.0);
+  EXPECT_DOUBLE_EQ(w.power_at(0.0), 5.0);
+}
+
+TEST(Waveform, RecordIntoReusesBufferIdentically) {
+  const Waveform w = square_wave(25.0, 100.0, 2.0, 5.0, 12.0);
+  const Sensor sensor;
+  util::Rng rng1{21}, rng2{21}, rng3{21};
+  const auto fresh = sensor.record(w, rng1);
+
+  std::vector<Sample> reused;
+  sensor.record_into(w, rng2, reused);
+  ASSERT_EQ(fresh.size(), reused.size());
+
+  // A second record_into on the same (dirty) buffer must clear and refill
+  // with the identical stream.
+  sensor.record_into(w, rng3, reused);
+  ASSERT_EQ(fresh.size(), reused.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i].t, reused[i].t);
+    EXPECT_EQ(fresh[i].w, reused[i].w);
+  }
+}
+
 TEST(Synthesize, StructureLeadPhasesTail) {
   using namespace repro;
   sim::TraceResult trace;
