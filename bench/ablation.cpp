@@ -10,7 +10,6 @@
 //   A5  memory-clock domain       -> LBM slowdown at 324
 #include <cstdio>
 
-#include "core/study.hpp"
 #include "figcommon.hpp"
 #include "power/model.hpp"
 #include "sim/device.hpp"

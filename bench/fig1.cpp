@@ -9,33 +9,13 @@
 #include <string>
 
 #include "figcommon.hpp"
-#include "k20power/analyze.hpp"
-#include "power/model.hpp"
-#include "sensor/sampler.hpp"
-#include "sensor/waveform.hpp"
-#include "sim/device.hpp"
-#include "sim/engine.hpp"
-#include "sim/gpuconfig.hpp"
-#include "util/rng.hpp"
-#include "workloads/registry.hpp"
+#include "repro/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
-  const workloads::Workload* w = workloads::Registry::instance().find("TPACF");
-  const sim::GpuConfig& config = sim::config_by_name("default");
-
-  workloads::ExecContext ctx;
-  const auto trace = w->trace(0, ctx);
-  const auto result = sim::run_trace(sim::k20c(), config, trace);
-  const power::PowerModel model;
-  const auto waveform = sensor::synthesize(result, config, model);
-  util::Rng rng{42};
-  const sensor::Sensor sensor;
-  const auto samples = sensor.record(waveform, rng);
-  const auto m = k20power::analyze(
-      samples, k20power::options_for_tail(model.tail_power_w(config)));
+  v1::Session session;
+  const v1::PowerProfile m = session.profile("TPACF", 0, "default", 42);
 
   std::printf("Figure 1: sample power profile (%s, default config)\n", "TPACF");
   std::printf("idle=%.1f W, threshold=%.1f W (dashed '= '), peak=%.1f W\n",
@@ -46,7 +26,7 @@ int main(int argc, char** argv) {
   // ASCII chart: power on the y axis (rows, top = peak), time on the x.
   constexpr int kRows = 24;
   constexpr int kCols = 100;
-  const double t_max = samples.empty() ? 1.0 : samples.back().t;
+  const double t_max = m.samples.empty() ? 1.0 : m.samples.back().t;
   const double w_max = std::max(m.peak_w * 1.05, 60.0);
   std::string grid[kRows];
   for (auto& row : grid) row.assign(kCols, ' ');
@@ -58,7 +38,7 @@ int main(int argc, char** argv) {
     grid[row_of(m.threshold_w)][c] = (c % 2 == 0) ? '=' : ' ';
     grid[row_of(m.idle_w)][c] = '.';
   }
-  for (const sensor::Sample& s : samples) {
+  for (const v1::PowerSample& s : m.samples) {
     const int c = std::clamp(
         static_cast<int>(std::lround(s.t / t_max * (kCols - 1))), 0, kCols - 1);
     grid[row_of(s.w)][c] = '*';

@@ -8,18 +8,15 @@
 #include <iostream>
 
 #include "figcommon.hpp"
-#include "sim/gpuconfig.hpp"
-#include "workloads/registry.hpp"
+#include "repro/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
-  core::Study study;
+  v1::Session session;
   std::cout << "Figure 2: default -> 614 (core clock -13%, memory clock "
                "unchanged)\n\n";
-  bench::prewarm(study, {"default", "614"});
-  bench::run_ratio_figure(study, sim::config_by_name("default"),
-                          sim::config_by_name("614"), 0.7, 1.3);
+  bench::prewarm(session, {"default", "614"});
+  bench::run_ratio_figure(session, "default", "614", 0.7, 1.3);
   return 0;
 }

@@ -9,17 +9,14 @@
 #include <iostream>
 
 #include "figcommon.hpp"
-#include "sim/gpuconfig.hpp"
-#include "workloads/registry.hpp"
+#include "repro/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
-  core::Study study;
+  v1::Session session;
   std::cout << "Figure 3: 614 -> 324 (core clock /1.9, memory clock /8)\n\n";
-  bench::prewarm(study, {"614", "324"});
-  bench::run_ratio_figure(study, sim::config_by_name("614"),
-                          sim::config_by_name("324"), 0.3, 9.0);
+  bench::prewarm(session, {"614", "324"});
+  bench::run_ratio_figure(session, "614", "324", 0.3, 9.0);
   return 0;
 }

@@ -8,17 +8,14 @@
 #include <iostream>
 
 #include "figcommon.hpp"
-#include "sim/gpuconfig.hpp"
-#include "workloads/registry.hpp"
+#include "repro/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
-  core::Study study;
+  v1::Session session;
   std::cout << "Figure 4: default -> ECC (705 MHz / 2.6 GHz, ECC on)\n\n";
-  bench::prewarm(study, {"default", "ecc"});
-  bench::run_ratio_figure(study, sim::config_by_name("default"),
-                          sim::config_by_name("ecc"), 0.85, 1.35);
+  bench::prewarm(session, {"default", "ecc"});
+  bench::run_ratio_figure(session, "default", "ecc", 0.85, 1.35);
   return 0;
 }

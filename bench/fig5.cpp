@@ -7,37 +7,32 @@
 // the other way because the input changes their whole behaviour.
 #include <iostream>
 
-#include "core/study.hpp"
 #include "figcommon.hpp"
-#include "sim/gpuconfig.hpp"
+#include "repro/api.hpp"
 #include "util/tablefmt.hpp"
-#include "workloads/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
-  core::Study study;
-  const sim::GpuConfig& config = sim::config_by_name("default");
+  v1::Session session;
 
   std::cout << "Figure 5: power ratio of each input relative to the first "
                "(default config)\n\n";
-  bench::prewarm(study, {"default"});
+  bench::prewarm(session, {"default"});
   util::TextTable table({"program", "input", "power [W]", "ratio vs input 1"});
-  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
-    if (!w->variant().empty()) continue;
-    const auto inputs = w->inputs();
-    if (inputs.size() < 2) continue;  // single-input programs not in Fig. 5
-    const core::ExperimentResult& base = study.measure(*w, 0, config);
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      const core::ExperimentResult& r = study.measure(*w, i, config);
+  for (const v1::ProgramInfo& program : session.programs()) {
+    if (!program.variant.empty()) continue;
+    if (program.inputs.size() < 2) continue;  // single-input not in Fig. 5
+    const v1::MeasurementResult base = session.measure(program.name, 0, "default");
+    for (std::size_t i = 0; i < program.inputs.size(); ++i) {
+      const v1::MeasurementResult r = session.measure(program.name, i, "default");
       std::string ratio = "-";
       if (r.usable && base.usable && base.power_w > 0.0) {
         ratio = util::format_ratio(r.power_w / base.power_w);
       }
       table.row()
-          .add(std::string(w->name()))
-          .add(inputs[i].name)
+          .add(program.name)
+          .add(program.inputs[i].name)
           .add(r.usable ? util::format_fixed(r.power_w, 1) : "-")
           .add(ratio);
     }

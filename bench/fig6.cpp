@@ -7,28 +7,24 @@
 // regular memory-bound codes; 324 reduces power strongly everywhere.
 #include <iostream>
 
-#include "core/aggregate.hpp"
-#include "core/study.hpp"
 #include "figcommon.hpp"
-#include "sim/gpuconfig.hpp"
+#include "repro/api.hpp"
 #include "util/stats.hpp"
 #include "util/tablefmt.hpp"
-#include "workloads/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
-  core::Study study;
+  v1::Session session;
 
   std::cout << "Figure 6: range of average power consumption [W]\n\n";
-  bench::prewarm(study, {"default", "614", "324", "ecc"});
-  for (const sim::GpuConfig& config : sim::standard_configs()) {
+  bench::prewarm(session, {"default", "614", "324", "ecc"});
+  for (const v1::GpuConfigSpec& config : v1::standard_configs()) {
     std::cout << "-- configuration: " << config.name << " --\n";
     util::TextTable table(
         {"suite", "n", "min", "q1", "median", "q3", "max", "box [20 .. 180 W]"});
     for (const std::string& suite : bench::suite_order()) {
-      const auto powers = core::suite_powers(study, suite, config);
+      const auto powers = session.suite_powers(suite, config.name);
       if (powers.empty()) {
         table.row().add(suite).add(0ll).add("-").add("-").add("-").add("-").add(
             "-").add("(no usable entries)");

@@ -1,33 +1,26 @@
 // Shared rendering for the box-plot figures (Figs. 2-4, 6), the parallel
 // prewarm step every driver runs before rendering, and the drivers' common
 // observability entry point (--obs / REPRO_OBS, DESIGN.md §9).
+//
+// Built entirely on the versioned public facade (include/repro/api.hpp)
+// plus the text-table formatting helpers; no internal pipeline headers.
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "core/aggregate.hpp"
-#include "core/scheduler.hpp"
-#include "core/study.hpp"
-#include "obs/attribution.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "repro/api.hpp"
 #include "util/tablefmt.hpp"
 
 namespace repro::bench {
 
 /// Directory observability dumps are written to (REPRO_OBS_DIR, default
 /// the current directory).
-inline std::string obs_dir() {
-  const char* dir = std::getenv("REPRO_OBS_DIR");
-  return (dir != nullptr && *dir != '\0') ? std::string(dir)
-                                          : std::string(".");
-}
+inline std::string obs_dir() { return Options::global().obs_dir; }
 
 /// Shared observability entry point of every bench driver: construct at
 /// the top of main with (argc, argv). `--obs` on the command line enables
@@ -39,7 +32,7 @@ class ObsGuard {
  public:
   ObsGuard(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--obs") == 0) obs::set_enabled(true);
+      if (std::strcmp(argv[i], "--obs") == 0) v1::set_observability(true);
     }
   }
   ObsGuard(const ObsGuard&) = delete;
@@ -49,31 +42,16 @@ class ObsGuard {
   void finish() {
     if (finished_) return;
     finished_ = true;
-    if (!obs::enabled()) return;
-    const std::string dir = obs_dir();
-    const std::string trace_path = dir + "/obs.trace.json";
-    {
-      std::ofstream out(trace_path, std::ios::trunc);
-      if (!out) {
-        std::cerr << "-- obs: cannot write to " << dir
-                  << " (does REPRO_OBS_DIR exist?); trace dropped\n";
-        return;
-      }
-      obs::Tracer::instance().export_chrome_json(out);
+    if (!v1::observability()) return;
+    const v1::ObsArtifacts artifacts = v1::export_observability(obs_dir());
+    if (!artifacts.written) {
+      std::cerr << "-- obs: cannot write to " << obs_dir()
+                << " (does REPRO_OBS_DIR exist?); trace dropped\n";
+      return;
     }
-    const std::string metrics_path = dir + "/obs.metrics.txt";
-    {
-      std::ofstream out(metrics_path, std::ios::trunc);
-      obs::Registry::instance().export_text(out);
-    }
-    const std::string jsonl_path = dir + "/obs.metrics.jsonl";
-    {
-      std::ofstream out(jsonl_path, std::ios::trunc);
-      obs::Registry::instance().export_jsonl(out);
-    }
-    std::cout << "-- obs: wrote " << trace_path << " ("
-              << obs::Tracer::instance().event_count() << " events), "
-              << metrics_path << ", " << jsonl_path << "\n";
+    std::cout << "-- obs: wrote " << artifacts.trace_path << " ("
+              << artifacts.events << " events), " << artifacts.metrics_path
+              << ", " << artifacts.jsonl_path << "\n";
   }
 
  private:
@@ -83,10 +61,10 @@ class ObsGuard {
 /// Writes the per-kernel energy attribution of every experiment of a
 /// finished batch to obs_dir()/obs.attribution.txt: for usable
 /// experiments the kernel energies are the model shares scaled to the
-/// measured energy (rows sum to ExperimentResult::energy_j); unusable
+/// measured energy (rows sum to the measured energy_j); unusable
 /// experiments fall back to raw model energies and are flagged.
-inline void write_attribution(core::Study& study,
-                              const core::BatchReport& report) {
+inline void write_attribution(v1::Session& session,
+                              const v1::BatchSummary& summary) {
   const std::string path = obs_dir() + "/obs.attribution.txt";
   std::ofstream os(path, std::ios::trunc);
   if (!os) {
@@ -94,23 +72,23 @@ inline void write_attribution(core::Study& study,
     return;
   }
   char line[160];
-  for (const core::BatchEntry& entry : report.results) {
-    const core::ExperimentJob& job = *entry.job;
-    const core::ExperimentResult& result = *entry.result;
-    const obs::AttributionTable table = study.attribution(
-        *job.workload, job.input_index, *job.config);
+  for (const v1::BatchEntry& entry : summary.entries) {
+    const v1::Attribution table =
+        session.attribution(entry.program, entry.input_index, entry.config);
     os << "== " << entry.key
-       << (result.usable ? "" : "  (unusable: raw model energies, unscaled)")
+       << (entry.result.usable ? ""
+                               : "  (unusable: raw model energies, unscaled)")
        << "\n";
     std::snprintf(line, sizeof line,
                   "   measured energy %.4f J, model energy %.4f J, "
                   "true active %.4f s\n",
-                  result.energy_j, table.model_energy_j, result.true_active_s);
+                  entry.result.energy_j, table.model_energy_j,
+                  entry.result.true_active_s);
     os << line;
-    obs::print(os, table);
+    os << table.text;
     os << "\n";
   }
-  std::cout << "-- obs: wrote " << path << " (" << report.results.size()
+  std::cout << "-- obs: wrote " << path << " (" << summary.entries.size()
             << " experiments)\n";
 }
 
@@ -120,15 +98,13 @@ inline void write_attribution(core::Study& study,
 /// subsequently hits a warm cache, so its output — proven bit-identical to
 /// serial execution in tests/scheduler_test.cpp — is produced at parallel
 /// speed. Thread count: REPRO_THREADS env var, else hardware concurrency.
-inline void prewarm(core::Study& study,
+inline void prewarm(v1::Session& session,
                     const std::vector<std::string>& config_names,
                     bool include_variants = false) {
-  const std::vector<core::ExperimentJob> jobs =
-      core::registry_matrix(config_names, include_variants);
-  const core::Scheduler scheduler;
-  const core::BatchReport report = scheduler.run(study, jobs);
-  report.print(std::cout);
-  if (obs::enabled()) write_attribution(study, report);
+  const v1::BatchSummary summary =
+      session.run_matrix(config_names, include_variants);
+  std::cout << summary.report_text;
+  if (v1::observability()) write_attribution(session, summary);
   std::cout << "\n";
 }
 
@@ -139,19 +115,17 @@ inline const std::vector<std::string>& suite_order() {
 }
 
 /// Prints one metric's per-suite box stats (ratio figures).
-inline void print_ratio_boxes(
-    std::ostream& os, const std::string& metric,
-    const std::vector<core::SuiteRatioBox>& boxes,
-    double lo, double hi,
-    const std::vector<util::BoxStats core::SuiteRatioBox::*>& /*unused*/ = {}) {
+inline void print_ratio_boxes(std::ostream& os, const std::string& metric,
+                              const std::vector<v1::SuiteRatioBox>& boxes,
+                              double lo, double hi) {
   os << "-- " << metric << " (ratio; >1.0 = increase) --\n";
   util::TextTable table({"suite", "n", "min", "q1", "median", "q3", "max",
                          "box [" + util::format_ratio(lo) + " .. " +
                              util::format_ratio(hi) + "]"});
-  for (const core::SuiteRatioBox& b : boxes) {
-    const util::BoxStats& s = metric == "active runtime" ? b.time
-                              : metric == "energy"       ? b.energy
-                                                         : b.power;
+  for (const v1::SuiteRatioBox& b : boxes) {
+    const v1::BoxStats& s = metric == "active runtime" ? b.time
+                            : metric == "energy"       ? b.energy
+                                                       : b.power;
     if (b.entries == 0) {
       table.row().add(b.suite).add(0ll).add("-").add("-").add("-").add("-").add(
           "-").add("(no usable entries)");
@@ -173,14 +147,14 @@ inline void print_ratio_boxes(
 
 /// Runs a ratio figure (config B relative to config A) and prints all
 /// three metrics plus the per-entry detail.
-inline void run_ratio_figure(core::Study& study, const sim::GpuConfig& a,
-                             const sim::GpuConfig& b, double lo, double hi,
+inline void run_ratio_figure(v1::Session& session, const std::string& config_a,
+                             const std::string& config_b, double lo, double hi,
                              bool print_entries = true) {
-  std::vector<core::SuiteRatioBox> boxes;
-  std::vector<core::EntryRatio> all_entries;
+  std::vector<v1::SuiteRatioBox> boxes;
+  std::vector<v1::SuiteRatioEntry> all_entries;
   for (const std::string& suite : suite_order()) {
-    const auto entries = core::suite_ratios(study, suite, a, b);
-    boxes.push_back(core::summarize(suite, entries));
+    const auto entries = session.suite_ratios(suite, config_a, config_b);
+    boxes.push_back(v1::Session::summarize(suite, entries));
     all_entries.insert(all_entries.end(), entries.begin(), entries.end());
   }
   for (const char* metric : {"active runtime", "energy", "power"}) {
@@ -189,7 +163,7 @@ inline void run_ratio_figure(core::Study& study, const sim::GpuConfig& a,
   if (!print_entries) return;
   std::cout << "-- per-entry detail --\n";
   util::TextTable table({"program", "input", "time", "energy", "power"});
-  for (const core::EntryRatio& e : all_entries) {
+  for (const v1::SuiteRatioEntry& e : all_entries) {
     if (!e.ratio.usable) {
       table.row().add(e.program).add(e.input).add("-").add("-").add(
           "(insufficient samples)");

@@ -6,24 +6,27 @@
 // a full registry matrix batch with tracing enabled must finish within 5%
 // of the tracing-disabled runtime (DESIGN.md §9). The process exits
 // non-zero if the bound is violated.
+//
+// Full-matrix batches go through the public facade (repro::v1::Session);
+// the waveform-level fast-path checks drive the sim/sensor/power layers
+// directly since they compare against reference implementations of those
+// internals.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <utility>
 #include <vector>
 
-#include "core/scheduler.hpp"
-#include "core/study.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "k20power/analyze.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "power/model.hpp"
+#include "repro/api.hpp"
 #include "sensor/sampler.hpp"
 #include "sensor/waveform.hpp"
 #include "sim/cache.hpp"
@@ -33,6 +36,7 @@
 #include "sim/gpuconfig.hpp"
 #include "sim/timing.hpp"
 #include "util/rng.hpp"
+#include "workloads/registry.hpp"
 
 namespace {
 
@@ -173,30 +177,32 @@ BENCHMARK(BM_SpanEnabled);
 // Observability overhead check (run after the benchmark suite).
 //
 // Runs the full primary registry matrix (every workload x every input x
-// {default, 614}) through the scheduler with tracing disabled and enabled,
-// on fresh Study instances so both sides do the identical cold-cache work,
-// and compares min-of-3 wall times. The tracing-enabled run also pays for
-// event buffering, metric updates and the post-batch stage summary, so this
-// is the end-to-end "does --obs make batches slower" number.
+// {default, 614}) through the facade's batch scheduler with tracing
+// disabled and enabled, on fresh Session instances so both sides do the
+// identical cold-cache work, and compares min-of-3 wall times. The
+// tracing-enabled run also pays for event buffering, metric updates and
+// the post-batch stage summary, so this is the end-to-end "does --obs make
+// batches slower" number.
 
-double run_matrix_once(const std::vector<core::ExperimentJob>& jobs) {
-  core::Study study;
-  const core::Scheduler scheduler{core::Scheduler::Options{}};
-  const auto start = std::chrono::steady_clock::now();
-  scheduler.run(study, jobs);
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+const std::vector<std::string>& matrix_configs() {
+  static const std::vector<std::string> configs{"default", "614"};
+  return configs;
 }
 
-double min_matrix_wall(const std::vector<core::ExperimentJob>& jobs,
-                       bool obs_on, int runs) {
+double run_matrix_once(std::size_t* jobs_out = nullptr) {
+  v1::Session session;
+  const v1::BatchSummary summary = session.run_matrix(matrix_configs());
+  if (jobs_out != nullptr) *jobs_out = summary.jobs;
+  return summary.wall_s;
+}
+
+double min_matrix_wall(bool obs_on, int runs) {
   double best = 0.0;
   for (int i = 0; i < runs; ++i) {
     obs::set_enabled(obs_on);
     obs::Tracer::instance().clear();
     obs::Registry::instance().reset();
-    const double wall = run_matrix_once(jobs);
+    const double wall = run_matrix_once();
     if (i == 0 || wall < best) best = wall;
   }
   obs::set_enabled(false);
@@ -208,20 +214,18 @@ double min_matrix_wall(const std::vector<core::ExperimentJob>& jobs,
 int obs_overhead_check() {
   constexpr double kMaxOverhead = 0.05;  // DESIGN.md §9 budget
   constexpr int kRuns = 3;
-  suites::register_all_workloads();
-  const std::vector<core::ExperimentJob> jobs =
-      core::registry_matrix({"default", "614"});
 
-  run_matrix_once(jobs);  // warm-up (page cache, allocator, thread pool)
-  const double off_s = min_matrix_wall(jobs, /*obs_on=*/false, kRuns);
-  const double on_s = min_matrix_wall(jobs, /*obs_on=*/true, kRuns);
+  std::size_t jobs = 0;
+  run_matrix_once(&jobs);  // warm-up (page cache, allocator, thread pool)
+  const double off_s = min_matrix_wall(/*obs_on=*/false, kRuns);
+  const double on_s = min_matrix_wall(/*obs_on=*/true, kRuns);
   const double overhead = off_s > 0.0 ? on_s / off_s - 1.0 : 0.0;
 
   std::printf(
       "\nobs overhead check: %zu-job matrix, min of %d runs\n"
       "  tracing off  %.3f s\n"
       "  tracing on   %.3f s  (%+.2f%%)\n",
-      jobs.size(), kRuns, off_s, on_s, 100.0 * overhead);
+      jobs, kRuns, off_s, on_s, 100.0 * overhead);
   if (overhead > kMaxOverhead) {
     std::printf("FAIL: overhead %.2f%% exceeds the %.0f%% budget\n",
                 100.0 * overhead, 100.0 * kMaxOverhead);
@@ -235,19 +239,47 @@ int obs_overhead_check() {
 // Measurement fast-path check (DESIGN.md §10).
 //
 // Synthesizes the waveform of every experiment of a full registry matrix,
-// then: (1) proves the cursor sweep, the memoized synthesis and the
-// production recording are bit-identical to reference binary-search /
-// direct-model implementations (REPRO_OBS counters double-check the
-// logical call and sample counts), and (2) asserts the cursor sweep is
-// >= 1.5x faster than the reference binary-search sweep of the same
-// waveforms. Finally emits the perf-trajectory JSON (ms per full-matrix
-// batch, sensor samples/sec, sweep speedup) to $REPRO_BENCH_JSON if set
-// (scripts/bench.sh writes BENCH_pipeline.json through this).
+// then: (1) proves the cursor sweep, the synthesis and the production
+// recording are bit-identical to reference binary-search / direct-model
+// implementations (REPRO_OBS counters double-check the logical call and
+// sample counts), and (2) asserts the cursor sweep is >= 1.5x faster than
+// the reference binary-search sweep of the same waveforms. Finally emits
+// the perf-trajectory JSON (ms per full-matrix batch, sensor samples/sec,
+// sweep speedup) to $REPRO_BENCH_JSON if set (scripts/bench.sh writes
+// BENCH_pipeline.json through this).
 
 double now_wall(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// The primary registry matrix the facade's run_matrix schedules, rebuilt
+/// locally because the waveform checks need the raw (workload, input,
+/// config) triples to drive the sim/sensor layers directly.
+struct MatrixJob {
+  const workloads::Workload* workload = nullptr;
+  std::size_t input_index = 0;
+  const sim::GpuConfig* config = nullptr;
+};
+
+std::vector<MatrixJob> local_matrix(const std::vector<std::string>& names) {
+  std::vector<const sim::GpuConfig*> configs;
+  configs.reserve(names.size());
+  for (const std::string& name : names) {
+    configs.push_back(&sim::config_by_name(name));
+  }
+  std::vector<MatrixJob> jobs;
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    if (!w->variant().empty()) continue;
+    const std::size_t num_inputs = w->inputs().size();
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      for (const sim::GpuConfig* config : configs) {
+        jobs.push_back(MatrixJob{w, i, config});
+      }
+    }
+  }
+  return jobs;
 }
 
 // The pre-optimization Sensor::record loop: O(log S) binary-search
@@ -279,23 +311,26 @@ std::vector<sensor::Sample> record_reference(const sensor::Sensor& sensor,
 
 int pipeline_fastpath_check() {
   suites::register_all_workloads();
-  const std::vector<core::ExperimentJob> jobs =
-      core::registry_matrix({"default", "614"});
+  const std::vector<MatrixJob> jobs = local_matrix(matrix_configs());
 
   // Synthesize every matrix waveform with obs on so the phase_power call
   // counter can be checked against the structural phase count.
-  core::Study study;
+  const power::PowerModel model;  // the study's default energy table
   obs::set_enabled(true);
   obs::Registry::instance().reset();
   std::vector<sensor::Waveform> waveforms;
   waveforms.reserve(jobs.size());
   std::uint64_t expected_phase_calls = 0;
-  for (const core::ExperimentJob& job : jobs) {
-    const sim::TraceResult& trace =
-        study.trace_result(*job.workload, job.input_index, *job.config);
+  for (const MatrixJob& job : jobs) {
+    workloads::ExecContext ctx;
+    ctx.core_mhz = job.config->core_mhz;
+    ctx.mem_mhz = job.config->mem_mhz;
+    ctx.ecc = job.config->ecc;
+    const sim::TraceResult trace = sim::run_trace(
+        sim::k20c(), *job.config, job.workload->trace(job.input_index, ctx));
     expected_phase_calls += trace.phases.size();
     waveforms.push_back(sensor::synthesize(
-        trace, *job.config, study.power_model(),
+        trace, *job.config, model,
         job.config->ecc ? job.workload->ecc_power_adjustment() : 1.0));
   }
   const std::uint64_t phase_calls =
@@ -303,7 +338,7 @@ int pipeline_fastpath_check() {
   obs::set_enabled(false);
   if (phase_calls != expected_phase_calls) {
     std::printf(
-        "FAIL: memoized synthesis reported %llu phase_power calls, trace "
+        "FAIL: waveform synthesis reported %llu phase_power calls, trace "
         "structure implies %llu\n",
         static_cast<unsigned long long>(phase_calls),
         static_cast<unsigned long long>(expected_phase_calls));
@@ -387,7 +422,7 @@ int pipeline_fastpath_check() {
       record_s > 0.0 ? static_cast<double>(total_samples) / record_s : 0.0;
   double batch_s = 0.0;
   for (int pass = 0; pass < kPasses; ++pass) {
-    const double wall = run_matrix_once(jobs);
+    const double wall = run_matrix_once();
     if (pass == 0 || wall < batch_s) batch_s = wall;
   }
 
@@ -400,10 +435,11 @@ int pipeline_fastpath_check() {
       waveforms.size(), static_cast<unsigned long long>(total_samples), ref_s,
       fast_s, speedup, record_s, samples_per_sec, batch_s, jobs.size());
 
-  if (const char* path = std::getenv("REPRO_BENCH_JSON")) {
-    std::FILE* f = std::fopen(path, "w");
+  const std::string& json_path = Options::global().bench_json;
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
-      std::printf("FAIL: cannot write %s\n", path);
+      std::printf("FAIL: cannot write %s\n", json_path.c_str());
       return 1;
     }
     std::fprintf(
@@ -422,7 +458,7 @@ int pipeline_fastpath_check() {
         1e3 * record_s, static_cast<unsigned long long>(total_samples),
         samples_per_sec);
     std::fclose(f);
-    std::printf("wrote %s\n", path);
+    std::printf("wrote %s\n", json_path.c_str());
   }
 
   constexpr double kMinSpeedup = 1.5;

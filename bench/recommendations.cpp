@@ -14,11 +14,9 @@
 #include <string>
 #include <vector>
 
-#include "core/study.hpp"
 #include "figcommon.hpp"
-#include "sim/gpuconfig.hpp"
+#include "repro/api.hpp"
 #include "util/stats.hpp"
-#include "workloads/registry.hpp"
 
 namespace {
 
@@ -26,6 +24,7 @@ using namespace repro;
 
 struct Classified {
   std::string name;
+  std::string suite;
   std::string input;
   double sens_core = 0.0;  // time(614)/time(default) - 1
   double sens_mem = 0.0;   // time(324)/time(614)
@@ -37,33 +36,29 @@ struct Classified {
 
 int main(int argc, char** argv) {
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
-  core::Study study;
-  bench::prewarm(study, {"default", "614", "324"});
-  const auto& def = sim::config_by_name("default");
-  const auto& c614 = sim::config_by_name("614");
-  const auto& c324 = sim::config_by_name("324");
+  v1::Session session;
+  bench::prewarm(session, {"default", "614", "324"});
 
   std::vector<Classified> all;
   int too_short = 0;
-  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
-    if (!w->variant().empty()) continue;
-    const auto inputs = w->inputs();
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      const auto& rd = study.measure(*w, i, def);
-      const auto& r6 = study.measure(*w, i, c614);
-      const auto& r3 = study.measure(*w, i, c324);
+  for (const v1::ProgramInfo& program : session.programs()) {
+    if (!program.variant.empty()) continue;
+    for (std::size_t i = 0; i < program.inputs.size(); ++i) {
+      const v1::MeasurementResult rd = session.measure(program.name, i, "default");
+      const v1::MeasurementResult r6 = session.measure(program.name, i, "614");
+      const v1::MeasurementResult r3 = session.measure(program.name, i, "324");
       if (!rd.usable || !r6.usable) {
         ++too_short;
         continue;
       }
       Classified c;
-      c.name = std::string(w->name());
-      c.input = inputs[i].name;
+      c.name = program.name;
+      c.suite = program.suite;
+      c.input = program.inputs[i].name;
       c.sens_core = r6.time_s / rd.time_s - 1.0;
       c.sens_mem = r3.usable ? r3.time_s / r6.time_s : 0.0;
       c.usable_324 = r3.usable;
-      c.irregular = w->regularity() == workloads::Regularity::kIrregular;
+      c.irregular = program.regularity == v1::Regularity::kIrregular;
       all.push_back(std::move(c));
     }
   }
@@ -101,14 +96,7 @@ int main(int argc, char** argv) {
   // R3: suite similarity via median core sensitivity.
   std::printf("R3  'Rodinia, Parboil and SHOC exhibit relatively similar behavior.'\n");
   std::map<std::string, std::vector<double>> per_suite;
-  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
-    if (!w->variant().empty()) continue;
-    for (const Classified& c : all) {
-      if (c.name == w->name()) {
-        per_suite[std::string(w->suite())].push_back(c.sens_core);
-      }
-    }
-  }
+  for (const Classified& c : all) per_suite[c.suite].push_back(c.sens_core);
   for (const auto& [suite, sens] : per_suite) {
     std::printf("    %-12s median core-clock sensitivity %+5.1f%%\n", suite.c_str(),
                 100.0 * util::median(sens));
@@ -122,9 +110,8 @@ int main(int argc, char** argv) {
 
   // R5: PTA input sensitivity.
   {
-    const workloads::Workload* pta = workloads::Registry::instance().find("PTA");
-    const double t0 = study.measure(*pta, 0, def).time_s;
-    const double t2 = study.measure(*pta, 2, def).time_s;
+    const double t0 = session.measure("PTA", 0, "default").time_s;
+    const double t2 = session.measure("PTA", 2, "default").time_s;
     std::printf(
         "R5  'Run input-dependent irregular codes across several inputs.'\n"
         "    PTA: tshark takes %.1fx the runtime of vim with a different\n"

@@ -3,42 +3,43 @@
 #include <iostream>
 
 #include "figcommon.hpp"
+#include "repro/api.hpp"
 #include "util/tablefmt.hpp"
-#include "workloads/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
+  v1::Session session;
 
   std::cout << "Table 1: Program names, number of global kernels (#K), and inputs\n\n";
   util::TextTable table({"suite", "program", "#K", "class", "inputs"});
-  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
-    if (!w->variant().empty()) continue;
+  const std::vector<v1::ProgramInfo> programs = session.programs();
+  for (const v1::ProgramInfo& p : programs) {
+    if (!p.variant.empty()) continue;
     std::string inputs;
-    for (const auto& in : w->inputs()) {
+    for (const v1::InputInfo& in : p.inputs) {
       if (!inputs.empty()) inputs += "; ";
       inputs += in.name;
     }
     const char* cls =
-        w->boundedness() == workloads::Boundedness::kCompute   ? "compute"
-        : w->boundedness() == workloads::Boundedness::kMemory ? "memory"
-                                                              : "balanced";
+        p.boundedness == v1::Boundedness::kCompute   ? "compute"
+        : p.boundedness == v1::Boundedness::kMemory ? "memory"
+                                                    : "balanced";
     table.row()
-        .add(std::string(w->suite()))
-        .add(std::string(w->name()))
-        .add(static_cast<long long>(w->num_global_kernels()))
-        .add(std::string(cls) + (w->regularity() == workloads::Regularity::kIrregular
-                                     ? "/irregular"
-                                     : "/regular"))
+        .add(p.suite)
+        .add(p.name)
+        .add(static_cast<long long>(p.num_global_kernels))
+        .add(std::string(cls) +
+             (p.regularity == v1::Regularity::kIrregular ? "/irregular"
+                                                         : "/regular"))
         .add(inputs);
   }
   table.print(std::cout);
   std::cout << "\nAlternate implementations (paper §V.B.1): ";
   bool first = true;
-  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
-    if (w->variant().empty()) continue;
-    std::cout << (first ? "" : ", ") << w->name();
+  for (const v1::ProgramInfo& p : programs) {
+    if (p.variant.empty()) continue;
+    std::cout << (first ? "" : ", ") << p.name;
     first = false;
   }
   std::cout << "\n";

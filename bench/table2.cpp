@@ -7,19 +7,16 @@
 #include <map>
 #include <vector>
 
-#include "core/study.hpp"
 #include "figcommon.hpp"
-#include "sim/gpuconfig.hpp"
+#include "repro/api.hpp"
 #include "util/stats.hpp"
 #include "util/tablefmt.hpp"
-#include "workloads/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
-  core::Study study;
-  bench::prewarm(study, {"default", "614", "ecc"});
+  v1::Session session;
+  bench::prewarm(session, {"default", "614", "ecc"});
 
   struct Spreads {
     std::vector<double> time, energy;
@@ -27,15 +24,13 @@ int main(int argc, char** argv) {
   std::map<std::string, Spreads> by_suite;
   Spreads overall;
 
-  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
-    if (!w->variant().empty()) continue;
-    const auto inputs = w->inputs();
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
+  for (const v1::ProgramInfo& program : session.programs()) {
+    if (!program.variant.empty()) continue;
+    for (std::size_t i = 0; i < program.inputs.size(); ++i) {
       for (const char* cfg : {"default", "614", "ecc"}) {
-        const core::ExperimentResult& r =
-            study.measure(*w, i, sim::config_by_name(cfg));
+        const v1::MeasurementResult r = session.measure(program.name, i, cfg);
         if (!r.usable) continue;
-        auto& s = by_suite[std::string(w->suite())];
+        auto& s = by_suite[program.suite];
         s.time.push_back(r.time_spread);
         s.energy.push_back(r.energy_spread);
         overall.time.push_back(r.time_spread);

@@ -9,33 +9,26 @@
 //   SSSP  wln/default:    time ~1.92-2.38, energy ~1.83-2.21, power ~0.91-0.95
 #include <iostream>
 
-#include "core/study.hpp"
 #include "figcommon.hpp"
-#include "sim/gpuconfig.hpp"
+#include "repro/api.hpp"
 #include "util/tablefmt.hpp"
-#include "workloads/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
-  core::Study study;
+  v1::Session session;
   // Variants included: Table 3 is exactly about the alternate
   // implementations the suite-level figures exclude.
-  bench::prewarm(study, {"default", "324", "614", "ecc"},
+  bench::prewarm(session, {"default", "324", "614", "ecc"},
                  /*include_variants=*/true);
-  const workloads::Registry& reg = workloads::Registry::instance();
   constexpr std::size_t kUsa = 2;  // input index of the USA road map
 
   const auto compare = [&](const char* base_name, const char* variant_name) {
-    const workloads::Workload* base = reg.find(base_name);
-    const workloads::Workload* variant = reg.find(variant_name);
     std::cout << variant_name << " / " << base_name << " (USA input)\n";
     util::TextTable table({"config", "time", "energy", "power"});
     for (const char* cfg : {"default", "324", "614", "ecc"}) {
-      const auto& config = sim::config_by_name(cfg);
-      const core::MetricRatios r = core::ratios(
-          study.measure(*variant, kUsa, config), study.measure(*base, kUsa, config));
+      const v1::MetricRatios r = v1::ratios(session.measure(variant_name, kUsa, cfg),
+                                            session.measure(base_name, kUsa, cfg));
       if (r.usable) {
         table.row().add(std::string(cfg) + " USA").add(r.time).add(r.energy).add(r.power);
       } else {
@@ -57,8 +50,7 @@ int main(int argc, char** argv) {
   std::cout << "L-BFS-wlw / L-BFS-wlc: data-driven versions finish too fast "
                "for the power sensor\n(paper §V.B.1); verifying:\n";
   for (const char* name : {"L-BFS-wlw", "L-BFS-wlc"}) {
-    const auto& r = study.measure(*reg.find(name), kUsa,
-                                  sim::config_by_name("default"));
+    const v1::MeasurementResult r = session.measure(name, kUsa, "default");
     std::cout << "  " << name << ": "
               << (r.usable ? "UNEXPECTEDLY USABLE" : "insufficient samples (as in the paper)")
               << "\n";

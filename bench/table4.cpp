@@ -10,20 +10,15 @@
 // scaled per 100k items throughout and flag this in EXPERIMENTS.md.
 #include <iostream>
 
-#include "core/study.hpp"
 #include "figcommon.hpp"
-#include "sim/gpuconfig.hpp"
+#include "repro/api.hpp"
 #include "util/tablefmt.hpp"
-#include "workloads/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::ObsGuard obs_guard(argc, argv);
-  suites::register_all_workloads();
-  core::Study study;
-  bench::prewarm(study, {"default"});
-  const workloads::Registry& reg = workloads::Registry::instance();
-  const auto& config = sim::config_by_name("default");
+  v1::Session session;
+  bench::prewarm(session, {"default"});
 
   struct Row {
     const char* name;
@@ -37,10 +32,9 @@ int main(int argc, char** argv) {
     std::cout << (per_edges ? "-- per 100k edges --\n" : "-- per 100k vertices --\n");
     util::TextTable table({"impl", "time [s]", "energy [J]", "power [W]"});
     for (const Row& row : rows) {
-      const workloads::Workload* w = reg.find(row.name);
-      const auto items = w->items(row.input);
+      const v1::InputInfo& items = session.program(row.name).inputs.at(row.input);
       const double count = per_edges ? items.edges : items.vertices;
-      const core::ExperimentResult& r = study.measure(*w, row.input, config);
+      const v1::MeasurementResult r = session.measure(row.name, row.input, "default");
       if (!r.usable || count <= 0.0) {
         table.row().add(row.name).add("-").add("-").add("(unusable)");
         continue;

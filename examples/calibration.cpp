@@ -7,26 +7,22 @@
 #include <cstdio>
 #include <string>
 
-#include "core/study.hpp"
-#include "sim/gpuconfig.hpp"
-#include "workloads/registry.hpp"
+#include "repro/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
-  suites::register_all_workloads();
+  v1::Session session;
   const std::string filter = argc > 1 ? argv[1] : "";
 
-  core::Study study;
   std::printf("%-14s %-38s %-8s %9s %9s %9s %8s %s\n", "program", "input",
               "config", "true_s", "time_s", "energy_J", "power_W", "usable");
-  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
-    if (!filter.empty() && filter != w->name()) continue;
-    const auto inputs = w->inputs();
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      for (const sim::GpuConfig& config : sim::standard_configs()) {
-        const core::ExperimentResult& r = study.measure(*w, i, config);
+  for (const v1::ProgramInfo& program : session.programs()) {
+    if (!filter.empty() && filter != program.name) continue;
+    for (std::size_t i = 0; i < program.inputs.size(); ++i) {
+      for (const v1::GpuConfigSpec& config : v1::standard_configs()) {
+        const v1::MeasurementResult r = session.measure(program.name, i, config);
         std::printf("%-14s %-38.38s %-8s %9.2f %9.2f %9.1f %8.1f %s\n",
-                    std::string(w->name()).c_str(), inputs[i].name.c_str(),
+                    program.name.c_str(), program.inputs[i].name.c_str(),
                     config.name.c_str(), r.true_active_s, r.time_s, r.energy_j,
                     r.power_w, r.usable ? "yes" : "NO");
       }

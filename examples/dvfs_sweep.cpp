@@ -1,41 +1,38 @@
 // DVFS sweep: user-defined frequency sweep beyond the paper's four
-// configurations. Shows how to construct custom GpuConfig operating points
-// and explore the energy/performance trade-off of one program - the
-// "repeat experiments at different frequency settings" recommendation of
-// paper §VI.
+// configurations. Shows how to construct custom GpuConfigSpec operating
+// points and explore the energy/performance trade-off of one program -
+// the "repeat experiments at different frequency settings" recommendation
+// of paper §VI.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "core/study.hpp"
-#include "sim/gpuconfig.hpp"
-#include "workloads/registry.hpp"
+#include "repro/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
-  suites::register_all_workloads();
+  v1::Session session;
 
   const char* program = argc > 1 ? argv[1] : "LBM";
-  const workloads::Workload* workload =
-      workloads::Registry::instance().find(program);
-  if (workload == nullptr) {
+  if (!session.has_program(program)) {
     std::fprintf(stderr, "unknown program '%s'\n", program);
     return EXIT_FAILURE;
   }
 
   // Sweep the core clock at full memory speed, with a simple linear
-  // voltage/frequency rule anchored at the paper's operating points.
-  core::Study study;
+  // voltage/frequency rule anchored at the paper's operating points. Each
+  // operating point gets a distinct name - the name identifies the point
+  // in the session's result cache.
   std::printf("%s: core-clock sweep at 2.6 GHz memory clock\n\n", program);
   std::printf("%8s %10s %12s %12s %10s %14s\n", "core", "volt", "time [s]",
               "energy [J]", "power [W]", "energy*delay");
   for (double core = 705.0; core >= 324.0; core -= 54.0) {
-    sim::GpuConfig config;
-    config.name = "sweep";
+    v1::GpuConfigSpec config;
+    config.name = "sweep-" + std::to_string(static_cast<int>(core));
     config.core_mhz = core;
     config.mem_mhz = 2600.0;
     config.core_voltage = 0.78 + 0.22 * (core / 705.0);
-    core::Study fresh;  // separate cache per operating point name
-    const core::ExperimentResult& r = fresh.measure(*workload, 0, config);
+    const v1::MeasurementResult r = session.measure(program, 0, config);
     if (!r.usable) {
       std::printf("%8.0f %10.3f %12s %12s %10s %14s\n", core,
                   config.core_voltage, "-", "-", "-", "-");

@@ -4,45 +4,28 @@
 // text, suitable for plotting.
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
-#include "core/study.hpp"
-#include "k20power/analyze.hpp"
-#include "sensor/sampler.hpp"
-#include "sensor/waveform.hpp"
-#include "sim/device.hpp"
-#include "sim/engine.hpp"
-#include "sim/gpuconfig.hpp"
-#include "util/rng.hpp"
-#include "workloads/registry.hpp"
+#include "repro/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
-  suites::register_all_workloads();
+  v1::Session session;
 
   const char* program = argc > 1 ? argv[1] : "LBM";
   const char* config_name = argc > 2 ? argv[2] : "default";
-  const workloads::Workload* workload =
-      workloads::Registry::instance().find(program);
-  if (workload == nullptr) {
+  if (!session.has_program(program)) {
     std::fprintf(stderr, "unknown program '%s'\n", program);
     return EXIT_FAILURE;
   }
-  const sim::GpuConfig& config = sim::config_by_name(config_name);
 
-  workloads::ExecContext ctx;
-  ctx.core_mhz = config.core_mhz;
-  ctx.mem_mhz = config.mem_mhz;
-  ctx.ecc = config.ecc;
-  const auto trace = workload->trace(0, ctx);
-  const auto result = sim::run_trace(sim::k20c(), config, trace);
-
-  const power::PowerModel model;
-  const sensor::Waveform waveform = sensor::synthesize(result, config, model);
-  util::Rng rng{7};
-  const sensor::Sensor sensor;
-  const auto samples = sensor.record(waveform, rng);
-  const auto m = k20power::analyze(
-      samples, k20power::options_for_tail(model.tail_power_w(config)));
+  v1::PowerProfile m;
+  try {
+    m = session.profile(program, 0, config_name, 7);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return EXIT_FAILURE;
+  }
 
   std::printf("# %s @ %s: idle=%.1fW threshold=%.1fW peak=%.1fW\n", program,
               config_name, m.idle_w, m.threshold_w, m.peak_w);
@@ -50,7 +33,7 @@ int main(int argc, char** argv) {
               m.active_time_s, m.energy_j, m.avg_power_w,
               m.usable ? "yes" : "no");
   std::printf("time_s,power_w\n");
-  for (const sensor::Sample& s : samples) {
+  for (const v1::PowerSample& s : m.samples) {
     std::printf("%.1f,%.1f\n", s.t, s.w);
   }
   return 0;

@@ -1,39 +1,34 @@
 // Quickstart: measure one program under the four GPU configurations.
 //
 // Demonstrates the public API end to end: look a program up in the
-// registry, run the study harness (trace -> timing -> power -> sensor ->
-// K20Power analysis, median of 3 repetitions), and print active runtime,
-// energy and average power - the paper's three metrics.
+// session's catalog, run the study harness (trace -> timing -> power ->
+// sensor -> K20Power analysis, median of 3 repetitions), and print active
+// runtime, energy and average power - the paper's three metrics.
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/study.hpp"
-#include "sim/gpuconfig.hpp"
-#include "workloads/registry.hpp"
+#include "repro/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
-  suites::register_all_workloads();
+  v1::Session session;
 
   const char* program = argc > 1 ? argv[1] : "NB";
-  const workloads::Workload* workload =
-      workloads::Registry::instance().find(program);
-  if (workload == nullptr) {
+  if (!session.has_program(program)) {
     std::fprintf(stderr, "unknown program '%s'; try e.g. NB, L-BFS, LBM\n",
                  program);
     return EXIT_FAILURE;
   }
 
-  core::Study study;
-  const auto inputs = workload->inputs();
-  std::printf("%s (%s) - %zu input(s)\n\n", program,
-              std::string(workload->suite()).c_str(), inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    std::printf("input: %s\n", inputs[i].name.c_str());
+  const v1::ProgramInfo info = session.program(program);
+  std::printf("%s (%s) - %zu input(s)\n\n", program, info.suite.c_str(),
+              info.inputs.size());
+  for (std::size_t i = 0; i < info.inputs.size(); ++i) {
+    std::printf("input: %s\n", info.inputs[i].name.c_str());
     std::printf("  %-8s %12s %12s %10s\n", "config", "time [s]", "energy [J]",
                 "power [W]");
-    for (const sim::GpuConfig& config : sim::standard_configs()) {
-      const core::ExperimentResult& r = study.measure(*workload, i, config);
+    for (const v1::GpuConfigSpec& config : v1::standard_configs()) {
+      const v1::MeasurementResult r = session.measure(program, i, config);
       if (r.usable) {
         std::printf("  %-8s %12.2f %12.1f %10.1f\n", config.name.c_str(),
                     r.time_s, r.energy_j, r.power_w);

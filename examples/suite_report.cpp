@@ -3,19 +3,20 @@
 //
 // Usage: suite_report [suite-name]   (default: LonestarGPU)
 #include <cstdio>
-#include <cstring>
 #include <string>
+#include <vector>
 
-#include "core/study.hpp"
-#include "sim/gpuconfig.hpp"
-#include "util/stats.hpp"
-#include "workloads/registry.hpp"
+#include "repro/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
-  suites::register_all_workloads();
+  v1::Session session;
   const std::string suite = argc > 1 ? argv[1] : "LonestarGPU";
-  const auto programs = workloads::Registry::instance().by_suite(suite);
+
+  std::vector<v1::ProgramInfo> programs;
+  for (v1::ProgramInfo& p : session.programs()) {
+    if (p.suite == suite) programs.push_back(std::move(p));
+  }
   if (programs.empty()) {
     std::fprintf(stderr,
                  "unknown suite '%s'; one of: CUDA SDK, LonestarGPU, Parboil, "
@@ -24,25 +25,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  core::Study study;
   std::printf("%s characterization (median of 3 runs per experiment)\n\n", suite.c_str());
-  for (const workloads::Workload* w : programs) {
-    const char* variant_note = w->variant().empty() ? "" : "  [variant]";
-    std::printf("%s%s - %d global kernel(s), %s/%s\n",
-                std::string(w->name()).c_str(), variant_note,
-                w->num_global_kernels(),
-                w->boundedness() == workloads::Boundedness::kCompute ? "compute"
-                : w->boundedness() == workloads::Boundedness::kMemory
-                    ? "memory"
-                    : "balanced",
-                w->regularity() == workloads::Regularity::kIrregular
-                    ? "irregular"
-                    : "regular");
-    const auto inputs = w->inputs();
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      std::printf("  %s\n", inputs[i].name.c_str());
-      for (const sim::GpuConfig& config : sim::standard_configs()) {
-        const core::ExperimentResult& r = study.measure(*w, i, config);
+  for (const v1::ProgramInfo& p : programs) {
+    const char* variant_note = p.variant.empty() ? "" : "  [variant]";
+    std::printf("%s%s - %d global kernel(s), %s/%s\n", p.name.c_str(),
+                variant_note, p.num_global_kernels,
+                p.boundedness == v1::Boundedness::kCompute   ? "compute"
+                : p.boundedness == v1::Boundedness::kMemory ? "memory"
+                                                            : "balanced",
+                p.regularity == v1::Regularity::kIrregular ? "irregular"
+                                                           : "regular");
+    for (std::size_t i = 0; i < p.inputs.size(); ++i) {
+      std::printf("  %s\n", p.inputs[i].name.c_str());
+      for (const v1::GpuConfigSpec& config : v1::standard_configs()) {
+        const v1::MeasurementResult r = session.measure(p.name, i, config);
         if (r.usable) {
           std::printf("    %-8s %8.2f s %9.1f J %7.1f W  (spread %.1f%%)\n",
                       config.name.c_str(), r.time_s, r.energy_j, r.power_w,

@@ -1,0 +1,295 @@
+// Versioned public API of the GPGPU characterization reproduction.
+//
+// This is the ONLY header consumers outside src/ are expected to include
+// (examples/, bench drivers, external embedders). It is self-contained —
+// plain-struct DTOs plus an opaque `Session` — so internal refactors of
+// the study/scheduler/model layers never ripple into consumers. The DTO
+// namespace is versioned (`repro::v1`); incompatible changes ship as
+// `repro::v2` next to it rather than mutating v1.
+//
+// Everything returned here is byte-for-byte the value the internal
+// pipeline produced: `Session::measure` copies the fields of the study's
+// `ExperimentResult` without rounding, so facade consumers see results
+// bit-identical to direct internal calls (tests/serve_test.cpp and the
+// golden tests pin this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro {
+
+/// All environment knobs of the repository, parsed in exactly one place
+/// (`Options::from_env`, src/util/options.cpp). The REPRO_* environment
+/// names below are the documented compatibility shim — they predate this
+/// struct and keep working unchanged:
+///
+///   REPRO_THREADS        worker threads for batch scheduling (int > 0)
+///   REPRO_OBS            "1" enables the observability layer at startup
+///   REPRO_OBS_DIR        directory observability dumps are written to
+///   REPRO_BENCH_JSON     path bench_micro writes its perf-trajectory JSON to
+///   REPRO_UPDATE_GOLDEN  "1" regenerates golden snapshots instead of diffing
+///   REPRO_PERF           "1" makes scripts/ci.sh run the Release perf smoke
+///   REPRO_SERVE_THREADS  scheduler threads of the characterization service
+///   REPRO_SERVE_CACHE    LRU result-cache capacity of the service (entries)
+///   REPRO_SERVE_QUEUE    admission-queue bound of the service (requests)
+struct Options {
+  int threads = 0;          // 0 = hardware concurrency
+  bool obs = false;
+  std::string obs_dir = ".";
+  std::string bench_json;   // empty = do not write
+  bool update_golden = false;
+  bool perf = false;
+  int serve_threads = 0;    // 0 = fall back to `threads` resolution
+  std::size_t serve_cache_capacity = 1024;
+  std::size_t serve_queue_limit = 256;
+
+  /// Parses every knob from the environment (missing/invalid = default).
+  static Options from_env();
+  /// The process-wide options, parsed once on first use.
+  static const Options& global();
+};
+
+namespace v1 {
+
+inline constexpr int kApiVersion = 1;
+
+/// One experiment to run: a (program, input, configuration) triple, by the
+/// names used in the paper ("NB", "L-BFS", ... / "default", "614", "324",
+/// "ecc"). `deadline_ms` is consumed by the serving layer (src/serve/):
+/// 0 = no deadline. `id` is echoed in service responses.
+struct ExperimentRequest {
+  std::string program;
+  std::size_t input_index = 0;
+  std::string config;
+  double deadline_ms = 0.0;
+  std::uint64_t id = 0;
+};
+
+/// Median-of-repetitions result of one experiment (the paper's three
+/// metrics plus the Table 2 spreads and the simulator ground truth).
+struct MeasurementResult {
+  bool usable = false;
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  double power_w = 0.0;
+  double true_active_s = 0.0;
+  double time_spread = 0.0;
+  double energy_spread = 0.0;
+};
+
+/// Ratio of two results with usability propagation (unusable or degenerate
+/// denominators yield usable == false).
+struct MetricRatios {
+  bool usable = false;
+  double time = 0.0;
+  double energy = 0.0;
+  double power = 0.0;
+};
+MetricRatios ratios(const MeasurementResult& numerator,
+                    const MeasurementResult& denominator);
+
+/// Five-number summary used by the figure reproductions.
+struct BoxStats {
+  double min = 0.0, q1 = 0.0, median = 0.0, q3 = 0.0, max = 0.0;
+};
+
+/// One program-input entry of a suite-level ratio aggregation.
+struct SuiteRatioEntry {
+  std::string program;
+  std::string input;
+  MetricRatios ratio;
+};
+
+struct SuiteRatioBox {
+  std::string suite;
+  int entries = 0;  // usable program-input pairs
+  BoxStats time, energy, power;
+};
+
+enum class Boundedness { kCompute, kMemory, kBalanced };
+enum class Regularity { kRegular, kIrregular };
+
+/// A named program input plus the per-item counts of Table 4 (0 when not
+/// applicable).
+struct InputInfo {
+  std::string name;
+  std::string scale_note;
+  double vertices = 0.0;
+  double edges = 0.0;
+};
+
+/// Catalog entry of one registered program (paper Table 1).
+struct ProgramInfo {
+  std::string name;
+  std::string suite;
+  std::string variant;  // non-empty for alternate implementations (§V.B.1)
+  int num_global_kernels = 0;
+  Boundedness boundedness = Boundedness::kBalanced;
+  Regularity regularity = Regularity::kRegular;
+  std::vector<InputInfo> inputs;
+};
+
+/// A GPU operating point. Mirrors the simulator's configuration; use
+/// `standard_configs()` for the paper's four, or construct custom points
+/// (DVFS sweeps). The `name` identifies the point in every cache — give
+/// distinct operating points distinct names.
+struct GpuConfigSpec {
+  std::string name;
+  double core_mhz = 705.0;
+  double mem_mhz = 2600.0;
+  double core_voltage = 1.00;
+  double mem_voltage = 1.00;
+  bool ecc = false;
+};
+std::vector<GpuConfigSpec> standard_configs();
+
+/// One sensor reading of a recorded power profile (paper Fig. 1).
+struct PowerSample {
+  double t = 0.0;  // seconds
+  double w = 0.0;  // watts
+};
+
+/// A single recorded run: the sample stream plus the K20Power analysis.
+struct PowerProfile {
+  bool usable = false;
+  double active_time_s = 0.0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double idle_w = 0.0;
+  double threshold_w = 0.0;
+  double peak_w = 0.0;
+  std::vector<PowerSample> samples;
+};
+
+/// Per-kernel energy attribution of one experiment (DESIGN.md §9).
+struct AttributionRow {
+  std::string kernel;
+  int phases = 0;
+  double time_s = 0.0;
+  double model_energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double energy_share = 0.0;
+  double energy_j = 0.0;  // share scaled to the measured energy when usable
+};
+
+struct Attribution {
+  std::vector<AttributionRow> kernels;  // sorted by descending energy
+  double total_time_s = 0.0;
+  double model_energy_j = 0.0;
+  double attributed_energy_j = 0.0;
+  std::string text;  // rendered table, one row per kernel
+};
+
+/// One entry of a finished batch, in stable (key-sorted) order.
+struct BatchEntry {
+  std::string key;  // canonical experiment key (program/input/config)
+  std::string program;
+  std::size_t input_index = 0;
+  std::string config;
+  MeasurementResult result;
+};
+
+/// Everything a consumer needs from a finished batch: the deduplicated
+/// key-sorted results plus the scheduler's metrics report, pre-rendered.
+struct BatchSummary {
+  int threads = 1;
+  std::size_t jobs = 0;
+  double wall_s = 0.0;
+  double busy_s = 0.0;
+  double hit_rate = 0.0;  // result-cache hit fraction over this batch
+  std::string report_text;  // the scheduler's per-batch metrics block
+  std::vector<BatchEntry> entries;
+};
+
+/// A measurement session: owns the experiment caches and the parallel
+/// scheduler behind one consistent set of seeds. Thread-safe: `measure`,
+/// `run_matrix` and the aggregation helpers may be called concurrently.
+/// Results are deterministic and independent of call order or thread
+/// count (the scheduler's bit-identity guarantee).
+class Session {
+ public:
+  Session();  // Options::global()
+  explicit Session(const Options& options);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // -- catalog -------------------------------------------------------------
+  /// All registered programs, variants included, in registration order.
+  std::vector<ProgramInfo> programs() const;
+  /// Catalog entry of one program; throws std::invalid_argument if absent.
+  ProgramInfo program(std::string_view name) const;
+  bool has_program(std::string_view name) const;
+  /// Distinct suite names in first-seen order.
+  std::vector<std::string> suites() const;
+
+  // -- measurement ---------------------------------------------------------
+  /// Runs (or returns the cached result of) one experiment.
+  MeasurementResult measure(std::string_view program, std::size_t input_index,
+                            std::string_view config);
+  MeasurementResult measure(std::string_view program, std::size_t input_index,
+                            const GpuConfigSpec& config);
+  MeasurementResult measure(const ExperimentRequest& request);
+
+  /// Records one run's sensor stream plus its K20Power analysis. `seed`
+  /// selects the measurement noise stream of this profile.
+  PowerProfile profile(std::string_view program, std::size_t input_index,
+                       std::string_view config, std::uint64_t seed = 42);
+
+  /// Per-kernel energy breakdown of one experiment.
+  Attribution attribution(std::string_view program, std::size_t input_index,
+                          std::string_view config);
+
+  /// Runs the whole registry matrix (every program and input under the
+  /// named configurations) through the work-stealing scheduler and returns
+  /// the key-sorted results plus the batch metrics. Subsequent `measure`
+  /// calls hit a warm cache.
+  BatchSummary run_matrix(const std::vector<std::string>& config_names,
+                          bool include_variants = false);
+
+  // -- aggregation (the paper's figures) -----------------------------------
+  /// Config-B / config-A metric ratios for every primary program and input
+  /// of a suite, skipping entries unusable under either configuration.
+  std::vector<SuiteRatioEntry> suite_ratios(std::string_view suite,
+                                            std::string_view config_a,
+                                            std::string_view config_b);
+  /// Box stats over the usable entries (entries == 0 when none survived).
+  static SuiteRatioBox summarize(std::string_view suite,
+                                 const std::vector<SuiteRatioEntry>& entries);
+  /// Absolute average power of every usable program-input pair of a suite
+  /// under one configuration (Figure 6).
+  std::vector<double> suite_powers(std::string_view suite,
+                                   std::string_view config);
+
+  struct Impl;  // internal
+  Impl& impl() noexcept { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+// -- observability control --------------------------------------------------
+/// Enables/disables the observability layer (spans, metrics); equivalent
+/// to the REPRO_OBS environment knob.
+void set_observability(bool on);
+bool observability();
+
+/// Paths written by `export_observability`.
+struct ObsArtifacts {
+  bool written = false;  // false: obs disabled or directory unwritable
+  std::string trace_path;    // Chrome trace_event JSON (Perfetto)
+  std::string metrics_path;  // text metrics dump
+  std::string jsonl_path;    // JSONL metrics dump
+  std::size_t events = 0;    // exported trace events
+};
+
+/// Exports the process-wide trace and metrics into `dir`. No-op (written
+/// == false) while observability is disabled.
+ObsArtifacts export_observability(const std::string& dir);
+
+}  // namespace v1
+}  // namespace repro

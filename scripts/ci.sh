@@ -5,8 +5,8 @@
 #   scripts/ci.sh default    # just one preset
 #
 # The default preset runs the full suite; the sanitizer presets run the
-# label-filtered concurrency suite (scheduler + obs tests) where data
-# races and memory errors would actually hide. See CMakePresets.json.
+# label-filtered concurrency suite (scheduler, obs and serve tests) where
+# data races and memory errors would actually hide. See CMakePresets.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +25,46 @@ for preset in "${presets[@]}"; do
   echo "=== [$preset] test"
   ctest --preset "$preset" --output-on-failure
 done
+
+# Serving-layer smoke (DESIGN.md §11): the canned 30-request batch answered
+# by the service under 2 and 8 racing client threads must be byte-identical
+# to the same batch answered directly by v1::Session — any diff is a
+# determinism bug. Then a canned JSONL batch is replayed through the
+# repro-serve stdin/stdout loop: the duplicate must carry identical metric
+# bytes (its `cached` flag depends on dispatch timing, so it is not
+# asserted) and the unknown program must come back as a structured error,
+# never a crash.
+if [ -x build/tools/serve_smoke ] && [ -x build/tools/repro-serve ]; then
+  echo "=== [serve] multi-client smoke vs direct Study"
+  smokedir="$(mktemp -d)"
+  trap 'rm -rf "$smokedir"' EXIT
+  build/tools/serve_smoke --direct > "$smokedir/direct.txt"
+  for k in 2 8; do
+    build/tools/serve_smoke --clients "$k" > "$smokedir/clients-$k.txt"
+    if ! diff -u "$smokedir/direct.txt" "$smokedir/clients-$k.txt"; then
+      echo "serve smoke FAILED: $k-client service output differs from direct Study"
+      exit 1
+    fi
+    echo "  $k clients: byte-identical to direct ($(wc -l < "$smokedir/direct.txt") lines)"
+  done
+
+  echo "=== [serve] repro-serve JSONL replay"
+  printf '%s\n' \
+    '{"v":1,"id":1,"program":"BP","input":0,"config":"default"}' \
+    '{"v":1,"id":2,"program":"BP","input":0,"config":"default"}' \
+    '{"v":1,"id":3,"program":"NOPE","input":0,"config":"default"}' \
+    | build/tools/repro-serve > "$smokedir/wire.txt"
+  [ "$(grep -c '"status":"ok"' "$smokedir/wire.txt")" = 2 ] \
+    || { echo "repro-serve replay FAILED: expected 2 ok responses"; cat "$smokedir/wire.txt"; exit 1; }
+  # Strip the per-request id and the timing-dependent cached flag; the two
+  # BP responses must then be byte-identical (bit-identity over the wire).
+  normalized() { sed -e 's/"id":[0-9]*,//' -e 's/"cached":[a-z]*,//' "$smokedir/wire.txt" | grep '"status":"ok"' | sort -u | wc -l; }
+  [ "$(normalized)" = 1 ] \
+    || { echo "repro-serve replay FAILED: duplicate request returned different metric bytes"; cat "$smokedir/wire.txt"; exit 1; }
+  grep -q '"id":3,"status":"unknown_program"' "$smokedir/wire.txt" \
+    || { echo "repro-serve replay FAILED: unknown program not a structured error"; cat "$smokedir/wire.txt"; exit 1; }
+  echo "  replay ok: duplicate bit-identical over the wire, structured error on unknown program"
+fi
 
 # Optional Release perf smoke: REPRO_PERF=1 scripts/ci.sh
 # Runs bench_micro's bit-identity + speedup gates and writes

@@ -1,0 +1,391 @@
+// Implementation of the versioned public facade (include/repro/api.hpp).
+//
+// This is the one translation unit that bridges the public DTOs to the
+// internal Study/Scheduler/model layers; consumers of repro/api.hpp never
+// see an internal header. Conversions copy doubles verbatim, so facade
+// results are bit-identical to the internal values.
+#include "repro/api.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/aggregate.hpp"
+#include "core/scheduler.hpp"
+#include "core/study.hpp"
+#include "k20power/analyze.hpp"
+#include "obs/attribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "power/model.hpp"
+#include "sensor/sampler.hpp"
+#include "sensor/waveform.hpp"
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "sim/gpuconfig.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro::v1 {
+
+namespace {
+
+sim::GpuConfig to_internal(const GpuConfigSpec& spec) {
+  sim::GpuConfig config;
+  config.name = spec.name;
+  config.core_mhz = spec.core_mhz;
+  config.mem_mhz = spec.mem_mhz;
+  config.core_voltage = spec.core_voltage;
+  config.mem_voltage = spec.mem_voltage;
+  config.ecc = spec.ecc;
+  return config;
+}
+
+GpuConfigSpec to_spec(const sim::GpuConfig& config) {
+  GpuConfigSpec spec;
+  spec.name = config.name;
+  spec.core_mhz = config.core_mhz;
+  spec.mem_mhz = config.mem_mhz;
+  spec.core_voltage = config.core_voltage;
+  spec.mem_voltage = config.mem_voltage;
+  spec.ecc = config.ecc;
+  return spec;
+}
+
+MeasurementResult to_dto(const core::ExperimentResult& r) {
+  MeasurementResult out;
+  out.usable = r.usable;
+  out.time_s = r.time_s;
+  out.energy_j = r.energy_j;
+  out.power_w = r.power_w;
+  out.true_active_s = r.true_active_s;
+  out.time_spread = r.time_spread;
+  out.energy_spread = r.energy_spread;
+  return out;
+}
+
+MetricRatios to_dto(const core::MetricRatios& r) {
+  MetricRatios out;
+  out.usable = r.usable;
+  out.time = r.time;
+  out.energy = r.energy;
+  out.power = r.power;
+  return out;
+}
+
+BoxStats to_dto(const util::BoxStats& s) {
+  BoxStats out;
+  out.min = s.min;
+  out.q1 = s.q1;
+  out.median = s.median;
+  out.q3 = s.q3;
+  out.max = s.max;
+  return out;
+}
+
+Boundedness to_dto(workloads::Boundedness b) {
+  switch (b) {
+    case workloads::Boundedness::kCompute: return Boundedness::kCompute;
+    case workloads::Boundedness::kMemory: return Boundedness::kMemory;
+    case workloads::Boundedness::kBalanced: break;
+  }
+  return Boundedness::kBalanced;
+}
+
+ProgramInfo to_dto(const workloads::Workload& w) {
+  ProgramInfo info;
+  info.name = std::string(w.name());
+  info.suite = std::string(w.suite());
+  info.variant = std::string(w.variant());
+  info.num_global_kernels = w.num_global_kernels();
+  info.boundedness = to_dto(w.boundedness());
+  info.regularity = w.regularity() == workloads::Regularity::kIrregular
+                        ? Regularity::kIrregular
+                        : Regularity::kRegular;
+  const auto inputs = w.inputs();
+  info.inputs.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    InputInfo in;
+    in.name = inputs[i].name;
+    in.scale_note = inputs[i].scale_note;
+    const auto items = w.items(i);
+    in.vertices = items.vertices;
+    in.edges = items.edges;
+    info.inputs.push_back(std::move(in));
+  }
+  return info;
+}
+
+}  // namespace
+
+MetricRatios ratios(const MeasurementResult& numerator,
+                    const MeasurementResult& denominator) {
+  MetricRatios r;
+  if (!numerator.usable || !denominator.usable || denominator.time_s <= 0.0 ||
+      denominator.energy_j <= 0.0 || denominator.power_w <= 0.0) {
+    return r;
+  }
+  r.usable = true;
+  r.time = numerator.time_s / denominator.time_s;
+  r.energy = numerator.energy_j / denominator.energy_j;
+  r.power = numerator.power_w / denominator.power_w;
+  return r;
+}
+
+std::vector<GpuConfigSpec> standard_configs() {
+  std::vector<GpuConfigSpec> out;
+  for (const sim::GpuConfig& config : sim::standard_configs()) {
+    out.push_back(to_spec(config));
+  }
+  return out;
+}
+
+struct Session::Impl {
+  explicit Impl(const Options& options) : options(options) {
+    suites::register_all_workloads();
+  }
+
+  const workloads::Workload& workload(std::string_view name) const {
+    const workloads::Workload* w = workloads::Registry::instance().find(name);
+    if (w == nullptr) {
+      throw std::invalid_argument("unknown program '" + std::string(name) +
+                                  "'");
+    }
+    return *w;
+  }
+
+  std::size_t checked_input(const workloads::Workload& w,
+                            std::size_t input_index) const {
+    const std::size_t n = w.inputs().size();
+    if (input_index >= n) {
+      throw std::invalid_argument(
+          "program '" + std::string(w.name()) + "' has " + std::to_string(n) +
+          " input(s); index " + std::to_string(input_index) + " out of range");
+    }
+    return input_index;
+  }
+
+  Options options;
+  core::Study study;
+};
+
+Session::Session() : Session(Options::global()) {}
+Session::Session(const Options& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+Session::~Session() = default;
+
+std::vector<ProgramInfo> Session::programs() const {
+  std::vector<ProgramInfo> out;
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    out.push_back(to_dto(*w));
+  }
+  return out;
+}
+
+ProgramInfo Session::program(std::string_view name) const {
+  return to_dto(impl_->workload(name));
+}
+
+bool Session::has_program(std::string_view name) const {
+  return workloads::Registry::instance().find(name) != nullptr;
+}
+
+std::vector<std::string> Session::suites() const {
+  std::vector<std::string> out;
+  for (std::string_view s : workloads::Registry::instance().suites()) {
+    out.emplace_back(s);
+  }
+  return out;
+}
+
+MeasurementResult Session::measure(std::string_view program,
+                                   std::size_t input_index,
+                                   std::string_view config) {
+  const workloads::Workload& w = impl_->workload(program);
+  return to_dto(impl_->study.measure(w, impl_->checked_input(w, input_index),
+                                     sim::config_by_name(config)));
+}
+
+MeasurementResult Session::measure(std::string_view program,
+                                   std::size_t input_index,
+                                   const GpuConfigSpec& config) {
+  const workloads::Workload& w = impl_->workload(program);
+  const sim::GpuConfig internal = to_internal(config);
+  return to_dto(
+      impl_->study.measure(w, impl_->checked_input(w, input_index), internal));
+}
+
+MeasurementResult Session::measure(const ExperimentRequest& request) {
+  return measure(request.program, request.input_index, request.config);
+}
+
+PowerProfile Session::profile(std::string_view program,
+                              std::size_t input_index, std::string_view config,
+                              std::uint64_t seed) {
+  const workloads::Workload& w = impl_->workload(program);
+  const sim::GpuConfig& internal = sim::config_by_name(config);
+  impl_->checked_input(w, input_index);
+
+  workloads::ExecContext ctx;
+  ctx.core_mhz = internal.core_mhz;
+  ctx.mem_mhz = internal.mem_mhz;
+  ctx.ecc = internal.ecc;
+  const auto trace = w.trace(input_index, ctx);
+  const auto result = sim::run_trace(sim::k20c(), internal, trace);
+
+  const power::PowerModel& model = impl_->study.power_model();
+  const sensor::Waveform waveform = sensor::synthesize(
+      result, internal, model,
+      internal.ecc ? w.ecc_power_adjustment() : 1.0);
+  util::Rng rng{seed};
+  const sensor::Sensor sensor;
+  const auto samples = sensor.record(waveform, rng);
+  const auto m = k20power::analyze(
+      samples, k20power::options_for_tail(model.tail_power_w(internal)));
+
+  PowerProfile out;
+  out.usable = m.usable;
+  out.active_time_s = m.active_time_s;
+  out.energy_j = m.energy_j;
+  out.avg_power_w = m.avg_power_w;
+  out.idle_w = m.idle_w;
+  out.threshold_w = m.threshold_w;
+  out.peak_w = m.peak_w;
+  out.samples.reserve(samples.size());
+  for (const sensor::Sample& s : samples) out.samples.push_back({s.t, s.w});
+  return out;
+}
+
+Attribution Session::attribution(std::string_view program,
+                                 std::size_t input_index,
+                                 std::string_view config) {
+  const workloads::Workload& w = impl_->workload(program);
+  const obs::AttributionTable table = impl_->study.attribution(
+      w, impl_->checked_input(w, input_index), sim::config_by_name(config));
+
+  Attribution out;
+  out.total_time_s = table.total_time_s;
+  out.model_energy_j = table.model_energy_j;
+  out.attributed_energy_j = table.attributed_energy_j;
+  out.kernels.reserve(table.kernels.size());
+  for (const obs::KernelAttribution& k : table.kernels) {
+    AttributionRow row;
+    row.kernel = k.kernel;
+    row.phases = k.phases;
+    row.time_s = k.time_s;
+    row.model_energy_j = k.model_energy_j;
+    row.avg_power_w = k.avg_power_w;
+    row.energy_share = k.energy_share;
+    row.energy_j = k.energy_j;
+    out.kernels.push_back(std::move(row));
+  }
+  std::ostringstream text;
+  obs::print(text, table);
+  out.text = text.str();
+  return out;
+}
+
+BatchSummary Session::run_matrix(const std::vector<std::string>& config_names,
+                                 bool include_variants) {
+  const std::vector<core::ExperimentJob> jobs =
+      core::registry_matrix(config_names, include_variants);
+  const core::Scheduler scheduler{
+      core::Scheduler::Options{impl_->options.threads}};
+  const core::BatchReport report = scheduler.run(impl_->study, jobs);
+
+  BatchSummary summary;
+  summary.threads = report.threads;
+  summary.jobs = report.jobs;
+  summary.wall_s = report.wall_s;
+  summary.busy_s = report.busy_s();
+  summary.hit_rate = report.hit_rate();
+  std::ostringstream text;
+  report.print(text);
+  summary.report_text = text.str();
+  summary.entries.reserve(report.results.size());
+  for (const core::BatchEntry& entry : report.results) {
+    BatchEntry e;
+    e.key = entry.key;
+    e.program = std::string(entry.job->workload->name());
+    e.input_index = entry.job->input_index;
+    e.config = entry.job->config->name;
+    e.result = to_dto(*entry.result);
+    summary.entries.push_back(std::move(e));
+  }
+  return summary;
+}
+
+std::vector<SuiteRatioEntry> Session::suite_ratios(std::string_view suite,
+                                                   std::string_view config_a,
+                                                   std::string_view config_b) {
+  const auto entries =
+      core::suite_ratios(impl_->study, suite, sim::config_by_name(config_a),
+                         sim::config_by_name(config_b));
+  std::vector<SuiteRatioEntry> out;
+  out.reserve(entries.size());
+  for (const core::EntryRatio& e : entries) {
+    SuiteRatioEntry entry;
+    entry.program = e.program;
+    entry.input = e.input;
+    entry.ratio = to_dto(e.ratio);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+SuiteRatioBox Session::summarize(std::string_view suite,
+                                 const std::vector<SuiteRatioEntry>& entries) {
+  SuiteRatioBox box;
+  box.suite = std::string(suite);
+  std::vector<double> times, energies, powers;
+  for (const SuiteRatioEntry& e : entries) {
+    if (!e.ratio.usable) continue;
+    times.push_back(e.ratio.time);
+    energies.push_back(e.ratio.energy);
+    powers.push_back(e.ratio.power);
+  }
+  box.entries = static_cast<int>(times.size());
+  if (box.entries > 0) {
+    box.time = to_dto(util::box_stats(times));
+    box.energy = to_dto(util::box_stats(energies));
+    box.power = to_dto(util::box_stats(powers));
+  }
+  return box;
+}
+
+std::vector<double> Session::suite_powers(std::string_view suite,
+                                          std::string_view config) {
+  return core::suite_powers(impl_->study, suite, sim::config_by_name(config));
+}
+
+void set_observability(bool on) { obs::set_enabled(on); }
+bool observability() { return obs::enabled(); }
+
+ObsArtifacts export_observability(const std::string& dir) {
+  ObsArtifacts artifacts;
+  if (!obs::enabled()) return artifacts;
+  artifacts.trace_path = dir + "/obs.trace.json";
+  artifacts.metrics_path = dir + "/obs.metrics.txt";
+  artifacts.jsonl_path = dir + "/obs.metrics.jsonl";
+  {
+    std::ofstream out(artifacts.trace_path, std::ios::trunc);
+    if (!out) return artifacts;  // written stays false
+    obs::Tracer::instance().export_chrome_json(out);
+  }
+  {
+    std::ofstream out(artifacts.metrics_path, std::ios::trunc);
+    obs::Registry::instance().export_text(out);
+  }
+  {
+    std::ofstream out(artifacts.jsonl_path, std::ios::trunc);
+    obs::Registry::instance().export_jsonl(out);
+  }
+  artifacts.events = obs::Tracer::instance().event_count();
+  artifacts.written = true;
+  return artifacts;
+}
+
+}  // namespace v1

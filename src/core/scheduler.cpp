@@ -14,6 +14,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "repro/api.hpp"
 
 namespace repro::core {
 
@@ -139,10 +140,7 @@ Scheduler::Scheduler(Options options)
 
 int Scheduler::resolve_threads(int requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("REPRO_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
-  }
+  if (const int n = repro::Options::global().threads; n > 0) return n;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }

@@ -1,6 +1,7 @@
 #include "core/study.hpp"
 
 #include <functional>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -46,6 +47,66 @@ std::string experiment_key(std::string_view program, std::size_t input_index,
   key += '/';
   append_escaped(key, config_name);
   return key;
+}
+
+namespace {
+
+// Inverse of append_escaped. Strict: only the exact sequences the encoder
+// emits ("%25", "%2F") are accepted, so non-canonical spellings ("%2f",
+// a trailing '%') are rejected rather than silently normalized — a
+// normalizing decoder would let two different byte strings decode to the
+// same triple, breaking the round-trip property the cache relies on.
+bool unescape_part(std::string_view part, std::string& out) {
+  out.clear();
+  out.reserve(part.size());
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    const char c = part[i];
+    if (c == '/') return false;  // raw separators never survive encoding
+    if (c != '%') {
+      out += c;
+      continue;
+    }
+    if (part.substr(i, 3) == "%25") {
+      out += '%';
+    } else if (part.substr(i, 3) == "%2F") {
+      out += '/';
+    } else {
+      return false;
+    }
+    i += 2;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_experiment_key(std::string_view key, ExperimentKeyParts& out) {
+  const std::size_t first = key.find('/');
+  if (first == std::string_view::npos) return false;
+  const std::size_t second = key.find('/', first + 1);
+  if (second == std::string_view::npos) return false;
+  if (key.find('/', second + 1) != std::string_view::npos) return false;
+
+  const std::string_view index_part = key.substr(first + 1, second - first - 1);
+  if (index_part.empty()) return false;
+  std::size_t index = 0;
+  for (const char c : index_part) {
+    if (c < '0' || c > '9') return false;
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (index > (std::numeric_limits<std::size_t>::max() - digit) / 10) {
+      return false;  // overflow: no real input index is this large
+    }
+    index = index * 10 + digit;
+  }
+  // Canonical keys never zero-pad the index ("01" is not a key we emit).
+  if (index_part.size() > 1 && index_part.front() == '0') return false;
+
+  ExperimentKeyParts parts;
+  parts.input_index = index;
+  if (!unescape_part(key.substr(0, first), parts.program)) return false;
+  if (!unescape_part(key.substr(second + 1), parts.config)) return false;
+  out = std::move(parts);
+  return true;
 }
 
 Study::Shard& Study::shard_for(const std::string& key) {

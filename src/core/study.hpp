@@ -68,6 +68,21 @@ inline std::string experiment_key(const workloads::Workload& workload,
   return experiment_key(workload.name(), input_index, config.name);
 }
 
+/// Decoded (program, input, config) triple of one experiment key.
+struct ExperimentKeyParts {
+  std::string program;
+  std::size_t input_index = 0;
+  std::string config;
+};
+
+/// Inverse of `experiment_key`: decodes a canonical key back into its
+/// parts. Returns false (leaving `out` untouched) for anything that is not
+/// a canonical key — wrong part count, non-numeric input index, stray '%'
+/// escapes — so that parse(experiment_key(p, i, c)) == (p, i, c) is a
+/// total round trip and malformed keys can never alias a real experiment
+/// (the serving layer's cache depends on this, tests/properties_test.cpp).
+bool parse_experiment_key(std::string_view key, ExperimentKeyParts& out);
+
 class Study {
  public:
   struct Options {

@@ -10,19 +10,15 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "repro/api.hpp"
 
 namespace repro::obs {
 
 namespace detail {
 
-namespace {
-bool env_requests_obs() {
-  const char* env = std::getenv("REPRO_OBS");
-  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
-}
-}  // namespace
-
-std::atomic<bool> g_enabled{env_requests_obs()};
+// The REPRO_OBS knob is parsed by repro::Options (the single env-parsing
+// point, include/repro/api.hpp).
+std::atomic<bool> g_enabled{Options::global().obs};
 
 }  // namespace detail
 

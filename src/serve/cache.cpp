@@ -1,0 +1,76 @@
+#include "serve/cache.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace repro::serve {
+
+ResultCache::ResultCache(Options options)
+    : per_shard_capacity_(0),
+      shards_(options.shards == 0 ? 1 : options.shards) {
+  // Distribute the capacity over the shards, rounding up so the total is
+  // never below the requested capacity (and every shard holds >= 1 entry).
+  const std::size_t n = shards_.size();
+  const std::size_t capacity = options.capacity == 0 ? 1 : options.capacity;
+  per_shard_capacity_ = (capacity + n - 1) / n;
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool ResultCache::lookup(const std::string& key, v1::MeasurementResult& out) {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      out = it->second->value;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+std::size_t ResultCache::insert(const std::string& key,
+                                const v1::MeasurementResult& value) {
+  Shard& shard = shard_for(key);
+  std::size_t evicted = 0;
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->value = value;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return 0;
+    }
+    shard.lru.push_front(Entry{key, value});
+    shard.index.emplace(key, shard.lru.begin());
+    while (shard.lru.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+  }
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.capacity = per_shard_capacity_ * shards_.size();
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    stats.size += shard.lru.size();
+  }
+  return stats;
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,78 @@
+// Sharded LRU cache of served measurement results (serving layer,
+// DESIGN.md §11).
+//
+// The characterization service keys this cache by a VERSIONED experiment
+// key (Service::cache_version() + the canonical experiment key), so a
+// model, seed or schema change can never serve a stale value: the version
+// prefix changes and old entries simply stop being reachable until they
+// age out of the LRU.
+//
+// Thread safety: keys are hashed onto independent shards, each guarded by
+// its own mutex held only for the map/list operation — lookups from many
+// client threads contend only when they collide on a shard. Counters are
+// relaxed atomics, readable concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "repro/api.hpp"
+
+namespace repro::serve {
+
+class ResultCache {
+ public:
+  struct Options {
+    std::size_t capacity = 1024;  // total entries across all shards
+    std::size_t shards = 8;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;     // current entries
+    std::size_t capacity = 0;
+  };
+
+  explicit ResultCache(Options options);
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Copies the cached value into `out` and refreshes its recency.
+  /// Returns false (counting a miss) when absent.
+  bool lookup(const std::string& key, v1::MeasurementResult& out);
+
+  /// Inserts or refreshes `key`. Returns the number of entries evicted to
+  /// make room (0 or 1).
+  std::size_t insert(const std::string& key,
+                     const v1::MeasurementResult& value);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    v1::MeasurementResult value;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace repro::serve

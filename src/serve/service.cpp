@@ -1,0 +1,468 @@
+#include "serve/service.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "power/energies.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+v1::MeasurementResult to_dto(const core::ExperimentResult& result) {
+  v1::MeasurementResult dto;
+  dto.usable = result.usable;
+  dto.time_s = result.time_s;
+  dto.energy_j = result.energy_j;
+  dto.power_w = result.power_w;
+  dto.true_active_s = result.true_active_s;
+  dto.time_spread = result.time_spread;
+  dto.energy_spread = result.energy_spread;
+  return dto;
+}
+
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+};
+
+// The cache-version prefix: any change to the study options or to the
+// power model's calibrated energies yields a different prefix, so entries
+// cached under the old model become unreachable instead of stale.
+std::string compute_cache_version(const core::Study::Options& study) {
+  Fnv1a fp;
+  const power::EnergyTable& e = power::default_energies();
+  fp.mix(e.warp_issue_nj);
+  fp.mix(e.fp32_pj);
+  fp.mix(e.fp64_pj);
+  fp.mix(e.int_pj);
+  fp.mix(e.sfu_pj);
+  fp.mix(e.atomic_pj);
+  fp.mix(e.shared_access_nj);
+  fp.mix(e.l2_transaction_nj);
+  fp.mix(e.dram_transaction_nj);
+  fp.mix(e.memctl_transaction_nj);
+  fp.mix(e.ecc_transaction_nj);
+  fp.mix(e.board_w);
+  fp.mix(e.leakage_nominal_w);
+  fp.mix(e.leakage_voltage_exp);
+  fp.mix(e.dram_background_w_per_ghz);
+  fp.mix(e.tail_boost_w);
+  fp.mix(e.tail_decay_s);
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "serve1:r%d:m%llx:s%llx:e%llx|",
+                study.repetitions,
+                static_cast<unsigned long long>(study.measurement_seed),
+                static_cast<unsigned long long>(study.structural_seed),
+                static_cast<unsigned long long>(fp.h));
+  return buffer;
+}
+
+Service::Options normalized(Service::Options options) {
+  const repro::Options& global = repro::Options::global();
+  if (options.cache_capacity == 0) {
+    options.cache_capacity = global.serve_cache_capacity;
+  }
+  if (options.cache_capacity == 0) options.cache_capacity = 1;
+  if (options.queue_limit == 0) options.queue_limit = global.serve_queue_limit;
+  if (options.queue_limit == 0) options.queue_limit = 1;
+  if (options.cache_shards == 0) options.cache_shards = 1;
+  if (options.max_batch == 0) options.max_batch = 1;
+  if (options.threads <= 0) options.threads = global.serve_threads;
+  return options;
+}
+
+void observe_latency(Clock::time_point submit_time) {
+  if (!obs::enabled()) return;
+  obs::Registry::instance()
+      .histogram("serve.request.wall_s")
+      .observe(std::chrono::duration<double>(Clock::now() - submit_time).count());
+}
+
+void bump(const char* counter_name, std::uint64_t n = 1) {
+  if (n == 0 || !obs::enabled()) return;
+  obs::Registry::instance().counter(counter_name).add(n);
+}
+
+void set_queue_gauge(std::size_t depth) {
+  if (!obs::enabled()) return;
+  obs::Registry::instance()
+      .gauge("serve.queue_depth")
+      .set(static_cast<double>(depth));
+}
+
+}  // namespace
+
+namespace detail {
+
+// Shared state of one submitted request. Its mutex orders the only race
+// the service has to resolve: a cancel arriving while the dispatcher
+// claims the request. Whoever transitions the state first wins; the loser
+// observes the terminal state and backs off.
+struct Pending {
+  enum class State { kQueued, kClaimed, kDone };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  State state = State::kQueued;
+  v1::ExperimentRequest request;
+  Clock::time_point submit_time;
+  Clock::time_point deadline;  // meaningful iff has_deadline
+  bool has_deadline = false;
+  Response response;
+};
+
+}  // namespace detail
+
+using detail::Pending;
+
+Service::Ticket::Ticket(std::shared_ptr<Pending> state)
+    : state_(std::move(state)) {}
+
+bool Service::Ticket::ready() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard lock(state_->mutex);
+  return state_->state == Pending::State::kDone;
+}
+
+const Response& Service::Ticket::wait() const {
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock,
+                  [&] { return state_->state == Pending::State::kDone; });
+  return state_->response;
+}
+
+Service::Service() : Service(Options()) {}
+
+Service::Service(Options options)
+    : options_(normalized(std::move(options))),
+      cache_version_(compute_cache_version(options_.study)),
+      cache_(ResultCache::Options{options_.cache_capacity,
+                                  options_.cache_shards}),
+      scheduler_(core::Scheduler::Options{options_.threads}) {
+  suites::register_all_workloads();
+  paused_ = options_.start_paused;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Service::~Service() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void Service::fulfill(const std::shared_ptr<Pending>& pending,
+                      Response response) {
+  {
+    std::lock_guard lock(pending->mutex);
+    if (pending->state == Pending::State::kDone) return;  // cancel raced us
+    pending->state = Pending::State::kDone;
+    pending->response = std::move(response);
+    // Counters bump before the waiter can observe the terminal state, so a
+    // stats() read after a resolved wait() always reflects that request.
+    switch (pending->response.status) {
+      case Status::kOk:
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Status::kShed:
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        bump("serve.shed");
+        break;
+      case Status::kDeadlineExpired:
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        bump("serve.deadline_expired");
+        break;
+      case Status::kCancelled:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  pending->cv.notify_all();
+  observe_latency(pending->submit_time);
+}
+
+Service::Ticket Service::submit(v1::ExperimentRequest request) {
+  auto pending = std::make_shared<Pending>();
+  pending->submit_time = Clock::now();
+  if (request.deadline_ms > 0.0) {
+    pending->has_deadline = true;
+    pending->deadline =
+        pending->submit_time +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(request.deadline_ms));
+  }
+  pending->request = std::move(request);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<std::shared_ptr<Pending>> victims;
+  bool rejected = false;
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      rejected = true;
+    } else {
+      while (queue_.size() >= options_.queue_limit) {
+        victims.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_.push_back(pending);
+      depth = queue_.size();
+    }
+  }
+  if (rejected) {
+    Response response;
+    response.id = pending->request.id;
+    response.status = Status::kCancelled;
+    response.error = "service is shutting down";
+    fulfill(pending, std::move(response));
+    return Ticket(std::move(pending));
+  }
+  cv_.notify_one();
+  set_queue_gauge(depth);
+  for (const std::shared_ptr<Pending>& victim : victims) {
+    Response response;
+    response.id = victim->request.id;
+    response.status = Status::kShed;
+    response.key = core::experiment_key(victim->request.program,
+                                        victim->request.input_index,
+                                        victim->request.config);
+    response.error = "admission queue full (limit " +
+                     std::to_string(options_.queue_limit) +
+                     "); shed by newer arrival";
+    fulfill(victim, std::move(response));
+  }
+  return Ticket(std::move(pending));
+}
+
+bool Service::cancel(const Ticket& ticket) {
+  if (!ticket.valid()) return false;
+  Pending& pending = *ticket.state_;
+  {
+    std::lock_guard lock(pending.mutex);
+    if (pending.state != Pending::State::kQueued) return false;
+    pending.state = Pending::State::kDone;
+    pending.response.id = pending.request.id;
+    pending.response.status = Status::kCancelled;
+    pending.response.error = "cancelled by client";
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  pending.cv.notify_all();
+  return true;
+}
+
+void Service::pause() {
+  std::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void Service::resume() {
+  {
+    std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Service::dispatcher_loop() {
+  for (;;) {
+    std::vector<std::shared_ptr<Pending>> batch;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) {
+        batch.assign(queue_.begin(), queue_.end());
+        queue_.clear();
+        lock.unlock();
+        for (const std::shared_ptr<Pending>& pending : batch) {
+          Response response;
+          response.id = pending->request.id;
+          response.status = Status::kCancelled;
+          response.error = "service stopped before dispatch";
+          fulfill(pending, std::move(response));
+        }
+        return;
+      }
+      while (!queue_.empty() && batch.size() < options_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      set_queue_gauge(queue_.size());
+    }
+    dispatch(std::move(batch));
+  }
+}
+
+struct Service::Miss {
+  std::shared_ptr<Pending> pending;
+  const workloads::Workload* workload = nullptr;
+  const sim::GpuConfig* config = nullptr;
+  std::string versioned_key;
+};
+
+void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
+  obs::Span span("dispatch", "serve");
+  span.arg("requests", static_cast<std::uint64_t>(batch.size()));
+
+  const Clock::time_point now = Clock::now();
+  std::vector<Miss> misses;
+  for (std::shared_ptr<Pending>& pending : batch) {
+    {
+      std::lock_guard lock(pending->mutex);
+      if (pending->state != Pending::State::kQueued) continue;  // cancelled
+      pending->state = Pending::State::kClaimed;
+    }
+    const v1::ExperimentRequest& request = pending->request;
+    Response response;
+    response.id = request.id;
+
+    if (pending->has_deadline && now > pending->deadline) {
+      response.status = Status::kDeadlineExpired;
+      response.key = core::experiment_key(request.program, request.input_index,
+                                          request.config);
+      response.error = "deadline expired before dispatch";
+      fulfill(pending, std::move(response));
+      continue;
+    }
+    const workloads::Workload* workload =
+        workloads::Registry::instance().find(request.program);
+    if (workload == nullptr) {
+      response.status = Status::kUnknownProgram;
+      response.error = "unknown program: " + request.program;
+      fulfill(pending, std::move(response));
+      continue;
+    }
+    if (request.input_index >= workload->inputs().size()) {
+      response.status = Status::kInvalidRequest;
+      response.error =
+          "input index " + std::to_string(request.input_index) +
+          " out of range for " + request.program + " (" +
+          std::to_string(workload->inputs().size()) + " inputs)";
+      fulfill(pending, std::move(response));
+      continue;
+    }
+    const sim::GpuConfig* config = nullptr;
+    try {
+      config = &sim::config_by_name(request.config);
+    } catch (const std::invalid_argument&) {
+      response.status = Status::kUnknownConfig;
+      response.error = "unknown config: " + request.config;
+      fulfill(pending, std::move(response));
+      continue;
+    }
+
+    response.key = core::experiment_key(request.program, request.input_index,
+                                        request.config);
+    std::string versioned_key = cache_version_ + response.key;
+    v1::MeasurementResult cached;
+    if (cache_.lookup(versioned_key, cached)) {
+      bump("serve.cache.hits");
+      response.status = Status::kOk;
+      response.cached = true;
+      response.result = cached;
+      fulfill(pending, std::move(response));
+      continue;
+    }
+    bump("serve.cache.misses");
+    Miss miss;
+    miss.pending = std::move(pending);
+    miss.workload = workload;
+    miss.config = config;
+    miss.versioned_key = std::move(versioned_key);
+    misses.push_back(std::move(miss));
+  }
+  if (misses.empty()) return;
+
+  // A fresh Study per dispatch cycle: its internal unbounded caches live
+  // only for this batch, so the bounded LRU above is the service's one
+  // persistent result store. Bit-identity across Study instances is the
+  // scheduler layer's core guarantee (streams are seeded purely from the
+  // experiment key), so discarding the Study costs determinism nothing.
+  core::Study study{options_.study};
+  std::vector<core::ExperimentJob> jobs;
+  jobs.reserve(misses.size());
+  for (const Miss& miss : misses) {
+    jobs.push_back(core::ExperimentJob{miss.workload,
+                                       miss.pending->request.input_index,
+                                       miss.config});
+  }
+  scheduler_.run(study, jobs);
+
+  for (Miss& miss : misses) {
+    const v1::ExperimentRequest& request = miss.pending->request;
+    const core::ExperimentResult& result = study.measure(
+        *miss.workload, request.input_index, *miss.config);  // warm lookup
+    const v1::MeasurementResult dto = to_dto(result);
+    bump("serve.cache.evictions", cache_.insert(miss.versioned_key, dto));
+
+    Response response;
+    response.id = request.id;
+    response.key = core::experiment_key(request.program, request.input_index,
+                                        request.config);
+    if (miss.pending->has_deadline && Clock::now() > miss.pending->deadline) {
+      // Computed (and cached for the next client), but this client's
+      // deadline has passed: report the expiry, not a late success.
+      response.status = Status::kDeadlineExpired;
+      response.error = "deadline expired during computation";
+    } else {
+      response.status = Status::kOk;
+      response.cached = false;
+      response.result = dto;
+    }
+    fulfill(miss.pending, std::move(response));
+  }
+}
+
+std::vector<Response> Service::run_batch(
+    const std::vector<v1::ExperimentRequest>& requests) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  for (const v1::ExperimentRequest& request : requests) {
+    tickets.push_back(submit(request));
+  }
+  std::vector<Response> responses;
+  responses.reserve(tickets.size());
+  for (const Ticket& ticket : tickets) responses.push_back(ticket.wait());
+  return responses;
+}
+
+Service::Stats Service::stats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    stats.queue_depth = queue_.size();
+  }
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+}  // namespace repro::serve

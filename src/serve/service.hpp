@@ -1,0 +1,139 @@
+// Embeddable characterization service (DESIGN.md §11).
+//
+// Accepts `v1::ExperimentRequest`s, deduplicates them against a sharded
+// LRU result cache, and schedules misses through the work-stealing
+// experiment scheduler. Admission is bounded: when the queue is full the
+// OLDEST queued request is shed with a structured `kShed` response (the
+// freshest work is the most likely to still have a live client). Requests
+// carry optional deadlines — a request whose deadline passes before its
+// result is ready resolves to `kDeadlineExpired` instead of blocking.
+//
+// Determinism: every measurement stream is seeded purely from the
+// experiment key, so a served result — cold, cached, or raced by eight
+// clients — is bit-identical to a direct `core::Study` computation
+// (tests/serve_test.cpp pins this). Dispatch runs each batch against a
+// FRESH Study instance; the service-level LRU is therefore the only
+// result store, which is what makes its capacity a real memory bound.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/study.hpp"
+#include "repro/api.hpp"
+#include "serve/cache.hpp"
+#include "serve/wire.hpp"
+
+namespace repro::serve {
+
+namespace detail {
+struct Pending;
+}
+
+class Service {
+ public:
+  struct Options {
+    int threads = 0;  // 0 = REPRO_SERVE_THREADS, then REPRO_THREADS / hw
+    std::size_t cache_capacity = 0;  // 0 = REPRO_SERVE_CACHE (default 1024)
+    std::size_t cache_shards = 8;
+    std::size_t queue_limit = 0;     // 0 = REPRO_SERVE_QUEUE (default 256)
+    std::size_t max_batch = 64;      // requests dispatched per cycle
+    core::Study::Options study{};    // seeds/repetitions served results use
+    bool start_paused = false;       // for fault-injection tests
+  };
+
+  /// Handle to one submitted request. `wait()` blocks until the request
+  /// reaches a terminal state (including shed/expired/cancelled — a ticket
+  /// always resolves; service destruction cancels what it never ran).
+  class Ticket {
+   public:
+    Ticket() = default;
+    bool valid() const noexcept { return state_ != nullptr; }
+    bool ready() const;
+    const Response& wait() const;
+
+   private:
+    friend class Service;
+    explicit Ticket(std::shared_ptr<detail::Pending> state);
+    std::shared_ptr<detail::Pending> state_;
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  // kOk responses
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;     // unknown program/config, invalid
+    std::size_t queue_depth = 0;
+    ResultCache::Stats cache;
+  };
+
+  Service();  // default Options
+  explicit Service(Options options);
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Enqueues one request. Never blocks: over-admission sheds the oldest
+  /// queued request instead.
+  Ticket submit(v1::ExperimentRequest request);
+
+  /// Submits the whole batch and waits; responses come back in request
+  /// order regardless of completion order.
+  std::vector<Response> run_batch(const std::vector<v1::ExperimentRequest>& requests);
+
+  /// Resolves a still-queued request to kCancelled. Returns false when the
+  /// request was already dispatched or finished (its ticket resolves with
+  /// the real outcome).
+  bool cancel(const Ticket& ticket);
+
+  /// Pauses/resumes dispatch (submissions still enqueue). Test hook for
+  /// deterministic deadline/shed/cancel injection.
+  void pause();
+  void resume();
+
+  Stats stats() const;
+
+  /// Version prefix of every cache key: derived from the study options and
+  /// a fingerprint of the power model's energy table, so a model or seed
+  /// change can never serve a stale cached result.
+  const std::string& cache_version() const noexcept { return cache_version_; }
+
+ private:
+  struct Miss;  // one cache miss scheduled in the current dispatch cycle
+
+  void dispatcher_loop();
+  void dispatch(std::vector<std::shared_ptr<detail::Pending>> batch);
+  void fulfill(const std::shared_ptr<detail::Pending>& pending,
+               Response response);
+
+  Options options_;
+  std::string cache_version_;
+  ResultCache cache_;
+  core::Scheduler scheduler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<detail::Pending>> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> failed_{0};
+};
+
+}  // namespace repro::serve

@@ -1,0 +1,356 @@
+#include "serve/wire.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "obs/trace.hpp"  // append_json_escaped
+
+namespace repro::serve {
+
+std::string_view to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kShed: return "shed";
+    case Status::kDeadlineExpired: return "deadline_expired";
+    case Status::kCancelled: return "cancelled";
+    case Status::kUnknownProgram: return "unknown_program";
+    case Status::kUnknownConfig: return "unknown_config";
+    case Status::kInvalidRequest: return "invalid";
+  }
+  return "invalid";
+}
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void append_string_field(std::string& out, std::string_view name,
+                         std::string_view value) {
+  out += '"';
+  out += name;
+  out += "\":\"";
+  obs::append_json_escaped(out, value);
+  out += '"';
+}
+
+// Minimal parser for one flat JSON object: string / number / bool / null
+// values only. Nested objects and arrays are rejected — the wire format is
+// flat by design, and rejecting keeps the parser small enough to audit.
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+  std::string error;
+
+  bool fail(std::string message) {
+    if (error.empty()) error = std::move(message);
+    return false;
+  }
+  void skip_ws() {
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' || s[i] == '\n')) {
+      ++i;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (i >= s.size() || s[i] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++i;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (i + 4 > s.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = s[i++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (i >= s.size()) return fail("truncated escape");
+      const char esc = s[i++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: pair required
+            if (i + 1 >= s.size() || s[i] != '\\' || s[i + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            i += 2;
+            std::uint32_t low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) return fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  enum class Kind { kString, kNumber, kBool, kNull };
+  struct Value {
+    Kind kind = Kind::kNull;
+    std::string text;  // string contents or the raw number token
+    bool flag = false;
+  };
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (i >= s.size()) return fail("truncated value");
+    const char c = s[i];
+    if (c == '"') {
+      out.kind = Kind::kString;
+      return parse_string(out.text);
+    }
+    if (c == '{' || c == '[') return fail("nested values unsupported");
+    if (s.substr(i, 4) == "true") {
+      out.kind = Kind::kBool;
+      out.flag = true;
+      i += 4;
+      return true;
+    }
+    if (s.substr(i, 5) == "false") {
+      out.kind = Kind::kBool;
+      out.flag = false;
+      i += 5;
+      return true;
+    }
+    if (s.substr(i, 4) == "null") {
+      out.kind = Kind::kNull;
+      i += 4;
+      return true;
+    }
+    out.kind = Kind::kNumber;
+    out.text.clear();
+    while (i < s.size()) {
+      const char d = s[i];
+      if ((d >= '0' && d <= '9') || d == '-' || d == '+' || d == '.' ||
+          d == 'e' || d == 'E') {
+        out.text += d;
+        ++i;
+      } else {
+        break;
+      }
+    }
+    if (out.text.empty()) return fail("bad value");
+    return true;
+  }
+};
+
+bool to_index(const Parser::Value& value, std::size_t& out) {
+  if (value.kind != Parser::Kind::kNumber || value.text.empty()) return false;
+  out = 0;
+  for (const char c : value.text) {
+    if (c < '0' || c > '9') return false;
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (out > (std::numeric_limits<std::size_t>::max() - digit) / 10) {
+      return false;
+    }
+    out = out * 10 + digit;
+  }
+  return true;
+}
+
+bool to_double(const Parser::Value& value, double& out) {
+  if (value.kind != Parser::Kind::kNumber || value.text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(value.text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool parse_request_line(std::string_view line, v1::ExperimentRequest& out,
+                        std::string& error) {
+  Parser p;
+  p.s = line;
+  v1::ExperimentRequest request;
+  bool have_program = false, have_config = false;
+  if (!p.consume('{')) {
+    error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.i < p.s.size() && p.s[p.i] == '}') {
+    ++p.i;
+  } else {
+    for (;;) {
+      std::string key;
+      Parser::Value value;
+      if (!p.parse_string(key) || !p.consume(':') || !p.parse_value(value)) {
+        error = p.error;
+        return false;
+      }
+      if (key == "v") {
+        std::size_t version = 0;
+        if (!to_index(value, version) || version != v1::kApiVersion) {
+          error = "unsupported wire version";
+          return false;
+        }
+      } else if (key == "id") {
+        std::size_t id = 0;
+        if (!to_index(value, id)) {
+          error = "bad id";
+          return false;
+        }
+        request.id = id;
+      } else if (key == "program") {
+        if (value.kind != Parser::Kind::kString) {
+          error = "program must be a string";
+          return false;
+        }
+        request.program = std::move(value.text);
+        have_program = true;
+      } else if (key == "config") {
+        if (value.kind != Parser::Kind::kString) {
+          error = "config must be a string";
+          return false;
+        }
+        request.config = std::move(value.text);
+        have_config = true;
+      } else if (key == "input") {
+        if (!to_index(value, request.input_index)) {
+          error = "bad input index";
+          return false;
+        }
+      } else if (key == "deadline_ms") {
+        if (!to_double(value, request.deadline_ms) ||
+            request.deadline_ms < 0.0) {
+          error = "bad deadline_ms";
+          return false;
+        }
+      }  // unknown fields: ignored for forward compatibility
+      p.skip_ws();
+      if (p.i < p.s.size() && p.s[p.i] == ',') {
+        ++p.i;
+        continue;
+      }
+      if (!p.consume('}')) {
+        error = p.error;
+        return false;
+      }
+      break;
+    }
+  }
+  p.skip_ws();
+  if (p.i != p.s.size()) {
+    error = "trailing content after object";
+    return false;
+  }
+  if (!have_program || !have_config) {
+    error = "missing required field: program and config";
+    return false;
+  }
+  out = std::move(request);
+  return true;
+}
+
+std::string format_request_line(const v1::ExperimentRequest& request) {
+  std::string line = "{\"v\":1,\"id\":";
+  line += std::to_string(request.id);
+  line += ',';
+  append_string_field(line, "program", request.program);
+  line += ",\"input\":";
+  line += std::to_string(request.input_index);
+  line += ',';
+  append_string_field(line, "config", request.config);
+  line += ",\"deadline_ms\":";
+  append_double(line, request.deadline_ms);
+  line += '}';
+  return line;
+}
+
+std::string format_response_line(const Response& response) {
+  std::string line = "{\"v\":1,\"id\":";
+  line += std::to_string(response.id);
+  line += ",\"status\":\"";
+  line += to_string(response.status);
+  line += '"';
+  if (response.status == Status::kOk) {
+    line += ",\"cached\":";
+    line += response.cached ? "true" : "false";
+    line += ',';
+    append_string_field(line, "key", response.key);
+    line += ",\"usable\":";
+    line += response.result.usable ? "true" : "false";
+    line += ",\"time_s\":";
+    append_double(line, response.result.time_s);
+    line += ",\"energy_j\":";
+    append_double(line, response.result.energy_j);
+    line += ",\"power_w\":";
+    append_double(line, response.result.power_w);
+    line += ",\"true_active_s\":";
+    append_double(line, response.result.true_active_s);
+    line += ",\"time_spread\":";
+    append_double(line, response.result.time_spread);
+    line += ",\"energy_spread\":";
+    append_double(line, response.result.energy_spread);
+  } else {
+    if (!response.key.empty()) {
+      line += ',';
+      append_string_field(line, "key", response.key);
+    }
+    line += ',';
+    append_string_field(line, "error", response.error);
+  }
+  line += '}';
+  return line;
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,61 @@
+// JSONL wire format of the characterization service (DESIGN.md §11).
+//
+// One JSON object per line, flat (no nested values), UTF-8. The format is
+// pinned by a golden test (tests/golden/serve_wire.txt): field order and
+// float formatting are part of the contract. Doubles are printed with
+// %.17g so every IEEE-754 double round-trips exactly — a client parsing a
+// response sees bit-identical metrics to an in-process caller.
+//
+// Request:  {"v":1,"id":7,"program":"NB","input":2,"config":"default",
+//            "deadline_ms":0}
+// Response: {"v":1,"id":7,"status":"ok","cached":false,"key":"NB/2/default",
+//            "usable":true,"time_s":...,"energy_j":...,"power_w":...,
+//            "true_active_s":...,"time_spread":...,"energy_spread":...}
+// Error:    {"v":1,"id":8,"status":"shed","key":"...","error":"..."}
+//
+// Unknown request fields are ignored (forward compatibility); a "v" other
+// than 1 is rejected.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "repro/api.hpp"
+
+namespace repro::serve {
+
+/// Terminal state of one served request. Everything except kOk is a
+/// structured error: the response carries `error` text and no metrics.
+enum class Status {
+  kOk,
+  kShed,              // evicted from the bounded admission queue
+  kDeadlineExpired,   // deadline passed before the result was ready
+  kCancelled,         // cancelled by the client or by service shutdown
+  kUnknownProgram,
+  kUnknownConfig,
+  kInvalidRequest,    // malformed line or out-of-range input index
+};
+
+std::string_view to_string(Status status);
+
+/// One response of the service, in 1:1 correspondence with a request.
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::kInvalidRequest;
+  bool cached = false;       // served from the LRU without recomputation
+  std::string key;           // canonical experiment key (when resolvable)
+  std::string error;         // non-empty iff status != kOk
+  v1::MeasurementResult result;
+};
+
+/// Parses one request line. On failure returns false and sets `error`
+/// (the caller turns that into a kInvalidRequest response).
+bool parse_request_line(std::string_view line, v1::ExperimentRequest& out,
+                        std::string& error);
+
+/// Canonical encodings (field order and %.17g formatting are pinned by the
+/// wire golden test).
+std::string format_request_line(const v1::ExperimentRequest& request);
+std::string format_response_line(const Response& response);
+
+}  // namespace repro::serve

@@ -1,0 +1,62 @@
+// Single parsing point of every REPRO_* environment knob (repro::Options,
+// include/repro/api.hpp). Call sites read Options::global() instead of
+// std::getenv so the set of knobs, their defaults and their documentation
+// live in exactly one place.
+#include "repro/api.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace repro {
+
+namespace {
+
+const char* env(const char* name) { return std::getenv(name); }
+
+bool env_flag(const char* name) {
+  const char* v = env(name);
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = env(name);
+  if (v == nullptr) return fallback;
+  const int n = std::atoi(v);
+  return n > 0 ? n : fallback;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = env(name);
+  if (v == nullptr) return fallback;
+  const long long n = std::atoll(v);
+  return n > 0 ? static_cast<std::size_t>(n) : fallback;
+}
+
+std::string env_string(const char* name, std::string fallback) {
+  const char* v = env(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+}  // namespace
+
+Options Options::from_env() {
+  Options o;
+  o.threads = env_int("REPRO_THREADS", o.threads);
+  o.obs = env_flag("REPRO_OBS");
+  o.obs_dir = env_string("REPRO_OBS_DIR", o.obs_dir);
+  o.bench_json = env_string("REPRO_BENCH_JSON", o.bench_json);
+  o.update_golden = env_flag("REPRO_UPDATE_GOLDEN");
+  o.perf = env_flag("REPRO_PERF");
+  o.serve_threads = env_int("REPRO_SERVE_THREADS", o.serve_threads);
+  o.serve_cache_capacity =
+      env_size("REPRO_SERVE_CACHE", o.serve_cache_capacity);
+  o.serve_queue_limit = env_size("REPRO_SERVE_QUEUE", o.serve_queue_limit);
+  return o;
+}
+
+const Options& Options::global() {
+  static const Options options = from_env();
+  return options;
+}
+
+}  // namespace repro

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/study.hpp"
+#include "repro/api.hpp"
 #include "sim/gpuconfig.hpp"
 #include "workloads/registry.hpp"
 
@@ -73,7 +74,7 @@ TEST(Golden, ExperimentSliceMatchesSnapshot) {
   const std::string path = std::string(REPRO_GOLDEN_DIR) + "/experiments.txt";
   const std::string actual = render_slice();
 
-  if (std::getenv("REPRO_UPDATE_GOLDEN") != nullptr) {
+  if (repro::Options::global().update_golden) {
     std::ofstream out(path, std::ios::trunc);
     ASSERT_TRUE(out.good()) << "cannot write " << path;
     out << actual;

@@ -543,5 +543,84 @@ TEST(ExperimentKey, UnescapedNamesKeepHistoricalFormat) {
   EXPECT_EQ(core::experiment_key("L-BFS", 0, "324"), "L-BFS/0/324");
 }
 
+// --- Key round trip (serving-layer contract) -------------------------------
+//
+// The serving layer echoes canonical keys to clients and indexes its
+// result cache by them, so parse(experiment_key(p, i, c)) must be a total
+// round trip over ADVERSARIAL part strings, and parse must reject every
+// non-canonical spelling (a second spelling of the same experiment would
+// split the cache and alias seeds).
+
+TEST(ExperimentKey, ParseRoundTripsAdversarialParts) {
+  const std::vector<std::string> parts = {
+      "",        "a",         "NB",       "L-BFS",     "a/b",
+      "/",       "//",        "%",        "%%",        "%2F",
+      "%25",     "a%2Fb",     "x/%/y",    "default",   "sweep-651",
+      "%2f",     "a b",       "\tname",   "ü-umlaut",  "漢字",
+      "name\n",  "\"quoted\"", "back\\slash", "a%/b%25/c",
+  };
+  const std::vector<std::size_t> inputs = {0, 1, 12, 9999,
+                                           std::size_t{1} << 40};
+  for (const std::string& program : parts) {
+    for (const std::size_t input : inputs) {
+      for (const std::string& config : parts) {
+        const std::string key = core::experiment_key(program, input, config);
+        core::ExperimentKeyParts decoded;
+        ASSERT_TRUE(core::parse_experiment_key(key, decoded))
+            << "canonical key '" << key << "' failed to parse";
+        EXPECT_EQ(decoded.program, program) << key;
+        EXPECT_EQ(decoded.input_index, input) << key;
+        EXPECT_EQ(decoded.config, config) << key;
+      }
+    }
+  }
+}
+
+TEST(ExperimentKey, ParseRejectsNonCanonicalKeys) {
+  const std::vector<std::string> bad = {
+      "",                 // empty
+      "NB",               // one part
+      "NB/2",             // two parts
+      "NB/2/default/x",   // four parts
+      "NB/x/default",     // non-numeric index
+      "NB/2x/default",    // trailing junk in index
+      "NB//default",      // empty index
+      "NB/-1/default",    // sign
+      "NB/+1/default",    // sign
+      "NB/ 2/default",    // whitespace
+      "NB/02/default",    // zero-padded (non-canonical spelling of 2)
+      "NB/18446744073709551616/default",  // overflows uint64
+      "N%2fB/2/default",  // lowercase hex escape (non-canonical)
+      "N%2GB/2/default",  // invalid escape
+      "N%B/2/default",    // truncated escape
+      "NB%/2/default",    // escape cut by separator
+      "NB/2/def%",        // escape cut by end of string
+  };
+  for (const std::string& key : bad) {
+    core::ExperimentKeyParts decoded{"sentinel", 77, "sentinel"};
+    EXPECT_FALSE(core::parse_experiment_key(key, decoded))
+        << "non-canonical key '" << key << "' parsed";
+    // Failed parses leave the output untouched.
+    EXPECT_EQ(decoded.program, "sentinel") << key;
+    EXPECT_EQ(decoded.input_index, 77u) << key;
+    EXPECT_EQ(decoded.config, "sentinel") << key;
+  }
+}
+
+TEST(ExperimentKey, ParseAcceptsOnlyTheCanonicalSpelling) {
+  // "0" is canonical; every other decimal spelling of zero is rejected, so
+  // at most ONE key string maps to any experiment.
+  core::ExperimentKeyParts decoded;
+  EXPECT_TRUE(core::parse_experiment_key("NB/0/default", decoded));
+  EXPECT_FALSE(core::parse_experiment_key("NB/00/default", decoded));
+  EXPECT_FALSE(core::parse_experiment_key("NB/000/default", decoded));
+  // An escaped key round-trips through parse -> re-encode identically.
+  const std::string key = core::experiment_key("x/y", 3, "a%b");
+  ASSERT_TRUE(core::parse_experiment_key(key, decoded));
+  EXPECT_EQ(core::experiment_key(decoded.program, decoded.input_index,
+                                 decoded.config),
+            key);
+}
+
 }  // namespace
 }  // namespace repro

@@ -1,0 +1,501 @@
+// Serving-layer tests (DESIGN.md §11): bit-identity of served results
+// against direct core::Study computation (cold, cached, and raced by 8
+// concurrent clients), structured deadline/shed/cancel fault injection,
+// LRU bounds, cache versioning, and the JSONL wire format (round-trip
+// properties plus a golden snapshot of the exact byte encoding).
+//
+// The concurrency tests are in the `serve` ctest label and run under
+// -DREPRO_SANITIZE=thread in CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/study.hpp"
+#include "repro/api.hpp"
+#include "serve/cache.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/registry.hpp"
+
+#ifndef REPRO_GOLDEN_DIR
+#error "REPRO_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace repro::serve {
+namespace {
+
+struct SliceEntry {
+  const char* program;
+  std::size_t input;
+  const char* config;
+};
+
+// The same 10-experiment slice the golden snapshot pins: all five suites,
+// all four configurations, and one unusable experiment (L-BFS-wlc).
+constexpr SliceEntry kSlice[10] = {
+    {"NB", 2, "default"},  {"LBM", 0, "614"},    {"SGEMM", 0, "default"},
+    {"TPACF", 0, "ecc"},   {"BP", 0, "default"}, {"L-BFS", 2, "324"},
+    {"FFT", 0, "default"}, {"MD", 0, "614"},     {"L-BFS-wlc", 2, "default"},
+    {"BH", 0, "default"},
+};
+
+std::vector<v1::ExperimentRequest> slice_requests() {
+  std::vector<v1::ExperimentRequest> requests;
+  for (std::size_t i = 0; i < std::size(kSlice); ++i) {
+    v1::ExperimentRequest r;
+    r.program = kSlice[i].program;
+    r.input_index = kSlice[i].input;
+    r.config = kSlice[i].config;
+    r.id = i + 1;
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+/// The ground truth the service must reproduce byte-for-byte: a direct
+/// core::Study computation with the same (default) study options.
+std::vector<core::ExperimentResult> direct_results() {
+  suites::register_all_workloads();
+  core::Study study;
+  std::vector<core::ExperimentResult> results;
+  for (const SliceEntry& e : kSlice) {
+    const workloads::Workload* w =
+        workloads::Registry::instance().find(e.program);
+    EXPECT_NE(w, nullptr) << e.program;
+    results.push_back(study.measure(*w, e.input, sim::config_by_name(e.config)));
+  }
+  return results;
+}
+
+void expect_bit_identical(const v1::MeasurementResult& served,
+                          const core::ExperimentResult& direct,
+                          const std::string& context) {
+  EXPECT_EQ(served.usable, direct.usable) << context;
+  // EXPECT_EQ on doubles is exact comparison — that is the point.
+  EXPECT_EQ(served.time_s, direct.time_s) << context;
+  EXPECT_EQ(served.energy_j, direct.energy_j) << context;
+  EXPECT_EQ(served.power_w, direct.power_w) << context;
+  EXPECT_EQ(served.true_active_s, direct.true_active_s) << context;
+  EXPECT_EQ(served.time_spread, direct.time_spread) << context;
+  EXPECT_EQ(served.energy_spread, direct.energy_spread) << context;
+}
+
+// --- Bit-identity ----------------------------------------------------------
+
+TEST(ServeIdentity, ColdBatchMatchesDirectStudyBitForBit) {
+  const std::vector<core::ExperimentResult> expected = direct_results();
+  Service service;
+  const std::vector<Response> responses = service.run_batch(slice_requests());
+  ASSERT_EQ(responses.size(), std::size(kSlice));
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const Response& r = responses[i];
+    EXPECT_EQ(r.id, i + 1);
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    EXPECT_FALSE(r.cached) << "cold batch must compute, not hit";
+    EXPECT_EQ(r.key, core::experiment_key(kSlice[i].program, kSlice[i].input,
+                                          kSlice[i].config));
+    expect_bit_identical(r.result, expected[i], r.key);
+  }
+  const Service::Stats stats = service.stats();
+  EXPECT_EQ(stats.submitted, std::size(kSlice));
+  EXPECT_EQ(stats.completed, std::size(kSlice));
+  EXPECT_EQ(stats.cache.misses, std::size(kSlice));
+  EXPECT_EQ(stats.cache.hits, 0u);
+}
+
+TEST(ServeIdentity, WarmBatchServesCachedBitIdenticalResults) {
+  const std::vector<core::ExperimentResult> expected = direct_results();
+  Service service;
+  service.run_batch(slice_requests());  // populate the LRU
+  const std::vector<Response> responses = service.run_batch(slice_requests());
+  ASSERT_EQ(responses.size(), std::size(kSlice));
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const Response& r = responses[i];
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    EXPECT_TRUE(r.cached) << r.key << " should be an LRU hit";
+    expect_bit_identical(r.result, expected[i], r.key + " (cached)");
+  }
+  EXPECT_EQ(service.stats().cache.hits, std::size(kSlice));
+}
+
+TEST(ServeIdentity, EightConcurrentClientsAllGetBitIdenticalResults) {
+  const std::vector<core::ExperimentResult> expected = direct_results();
+  Service service;
+  constexpr int kClients = 8;
+  std::vector<std::vector<Response>> responses(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&service, &responses, c] {
+        // Each client walks the slice from a different offset so the
+        // service sees interleaved duplicate requests.
+        std::vector<Service::Ticket> tickets;
+        for (std::size_t k = 0; k < std::size(kSlice); ++k) {
+          const std::size_t i = (k + static_cast<std::size_t>(c)) % std::size(kSlice);
+          v1::ExperimentRequest r;
+          r.program = kSlice[i].program;
+          r.input_index = kSlice[i].input;
+          r.config = kSlice[i].config;
+          r.id = i + 1;
+          tickets.push_back(service.submit(std::move(r)));
+        }
+        for (const Service::Ticket& t : tickets) {
+          responses[static_cast<std::size_t>(c)].push_back(t.wait());
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(responses[c].size(), std::size(kSlice));
+    for (const Response& r : responses[c]) {
+      ASSERT_EQ(r.status, Status::kOk) << r.error;
+      ASSERT_GE(r.id, 1u);
+      const std::size_t i = r.id - 1;  // id encodes the slice index
+      expect_bit_identical(r.result, expected[i],
+                           r.key + " via client " + std::to_string(c));
+    }
+  }
+  EXPECT_EQ(service.stats().completed,
+            static_cast<std::uint64_t>(kClients) * std::size(kSlice));
+}
+
+// --- Fault injection -------------------------------------------------------
+
+Service::Options paused_options() {
+  Service::Options options;
+  options.start_paused = true;
+  options.threads = 1;
+  return options;
+}
+
+v1::ExperimentRequest small_request(std::uint64_t id,
+                                    const char* config = "default") {
+  v1::ExperimentRequest r;
+  r.program = "BP";
+  r.input_index = 0;
+  r.config = config;
+  r.id = id;
+  return r;
+}
+
+TEST(ServeFaults, ExpiredDeadlineResolvesToStructuredError) {
+  Service service{paused_options()};
+  v1::ExperimentRequest request = small_request(7);
+  request.deadline_ms = 1.0;
+  const Service::Ticket ticket = service.submit(request);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.resume();
+  const Response& r = ticket.wait();
+  EXPECT_EQ(r.status, Status::kDeadlineExpired);
+  EXPECT_EQ(r.id, 7u);
+  EXPECT_EQ(r.key, "BP/0/default");
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_FALSE(r.result.usable);
+  EXPECT_EQ(service.stats().expired, 1u);
+}
+
+TEST(ServeFaults, OverflowShedsTheOldestQueuedRequest) {
+  Service::Options options = paused_options();
+  options.queue_limit = 2;
+  Service service{options};
+  const Service::Ticket first = service.submit(small_request(1));
+  const Service::Ticket second = service.submit(small_request(2, "614"));
+  const Service::Ticket third = service.submit(small_request(3, "ecc"));
+
+  // The OLDEST request is shed, immediately, with a structured response.
+  const Response& shed = first.wait();
+  EXPECT_EQ(shed.status, Status::kShed);
+  EXPECT_EQ(shed.id, 1u);
+  EXPECT_EQ(shed.key, "BP/0/default");
+  EXPECT_NE(shed.error.find("admission queue full"), std::string::npos)
+      << shed.error;
+
+  service.resume();
+  EXPECT_EQ(second.wait().status, Status::kOk);
+  EXPECT_EQ(third.wait().status, Status::kOk);
+  const Service::Stats stats = service.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServeFaults, CancelResolvesQueuedButNotFinishedRequests) {
+  Service service{paused_options()};
+  const Service::Ticket queued = service.submit(small_request(1));
+  EXPECT_TRUE(service.cancel(queued));
+  EXPECT_FALSE(service.cancel(queued)) << "second cancel must report too-late";
+  const Response& r = queued.wait();
+  EXPECT_EQ(r.status, Status::kCancelled);
+  EXPECT_FALSE(r.error.empty());
+
+  service.resume();
+  const Service::Ticket done = service.submit(small_request(2));
+  EXPECT_EQ(done.wait().status, Status::kOk);
+  EXPECT_FALSE(service.cancel(done)) << "finished requests cannot be cancelled";
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST(ServeFaults, DestructionResolvesEveryOutstandingTicket) {
+  Service::Ticket orphan_a, orphan_b;
+  {
+    Service service{paused_options()};
+    orphan_a = service.submit(small_request(1));
+    orphan_b = service.submit(small_request(2, "614"));
+  }  // destroyed while paused: nothing ever dispatched
+  EXPECT_EQ(orphan_a.wait().status, Status::kCancelled);
+  EXPECT_EQ(orphan_b.wait().status, Status::kCancelled);
+  EXPECT_NE(orphan_b.wait().error.find("stopped"), std::string::npos);
+}
+
+TEST(ServeFaults, UnknownAndInvalidRequestsGetStructuredErrors) {
+  Service service;
+  std::vector<v1::ExperimentRequest> requests(3);
+  requests[0].program = "NOPE";
+  requests[0].config = "default";
+  requests[0].id = 1;
+  requests[1].program = "NB";
+  requests[1].config = "warp9";
+  requests[1].id = 2;
+  requests[2].program = "NB";
+  requests[2].input_index = 99;
+  requests[2].config = "default";
+  requests[2].id = 3;
+  const std::vector<Response> responses = service.run_batch(requests);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].status, Status::kUnknownProgram);
+  EXPECT_EQ(responses[1].status, Status::kUnknownConfig);
+  EXPECT_EQ(responses[2].status, Status::kInvalidRequest);
+  for (const Response& r : responses) {
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_FALSE(r.result.usable);
+  }
+  EXPECT_EQ(service.stats().failed, 3u);
+}
+
+// --- Cache bounds and versioning -------------------------------------------
+
+TEST(ServeCache, LruStaysBoundedAndEvictsLeastRecentlyUsed) {
+  Service::Options options;
+  options.threads = 1;
+  options.cache_capacity = 2;
+  options.cache_shards = 1;
+  Service service{options};
+  // Three distinct experiments through a capacity-2 cache, one dispatch
+  // cycle each (run_batch waits, so cycles cannot merge).
+  service.run_batch({small_request(1, "default")});
+  service.run_batch({small_request(2, "614")});
+  service.run_batch({small_request(3, "ecc")});
+  Service::Stats stats = service.stats();
+  EXPECT_LE(stats.cache.size, 2u);
+  EXPECT_GE(stats.cache.evictions, 1u);
+
+  // The oldest entry was evicted: re-requesting it recomputes...
+  const std::vector<Response> recomputed =
+      service.run_batch({small_request(4, "default")});
+  EXPECT_EQ(recomputed[0].status, Status::kOk);
+  EXPECT_FALSE(recomputed[0].cached);
+  // ...and the recomputation lands back in the LRU.
+  const std::vector<Response> rehit =
+      service.run_batch({small_request(5, "default")});
+  EXPECT_EQ(rehit[0].status, Status::kOk);
+  EXPECT_TRUE(rehit[0].cached);
+}
+
+TEST(ServeCache, VersionPrefixTracksStudyOptionsAndModel) {
+  Service baseline;
+  EXPECT_EQ(baseline.cache_version().rfind("serve1:", 0), 0u)
+      << baseline.cache_version();
+
+  Service::Options same;
+  Service same_service{same};
+  EXPECT_EQ(baseline.cache_version(), same_service.cache_version());
+
+  Service::Options reseeded;
+  reseeded.study.measurement_seed = 0xC0FFEE + 1;
+  Service reseeded_service{reseeded};
+  EXPECT_NE(baseline.cache_version(), reseeded_service.cache_version());
+
+  Service::Options more_reps;
+  more_reps.study.repetitions = 5;
+  Service more_reps_service{more_reps};
+  EXPECT_NE(baseline.cache_version(), more_reps_service.cache_version());
+  EXPECT_NE(reseeded_service.cache_version(), more_reps_service.cache_version());
+}
+
+TEST(ServeCache, ResultCacheLruSemantics) {
+  ResultCache cache{ResultCache::Options{2, 1}};
+  v1::MeasurementResult a, b, c, out;
+  a.time_s = 1.0;
+  b.time_s = 2.0;
+  c.time_s = 3.0;
+  EXPECT_EQ(cache.insert("a", a), 0u);
+  EXPECT_EQ(cache.insert("b", b), 0u);
+  EXPECT_TRUE(cache.lookup("a", out));  // refreshes "a" to most-recent
+  EXPECT_EQ(out.time_s, 1.0);
+  EXPECT_EQ(cache.insert("c", c), 1u);  // evicts "b", the least-recent
+  EXPECT_FALSE(cache.lookup("b", out));
+  EXPECT_TRUE(cache.lookup("a", out));
+  EXPECT_TRUE(cache.lookup("c", out));
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// --- Wire format -----------------------------------------------------------
+
+TEST(ServeWire, RequestLineRoundTripsAdversarialStrings) {
+  const std::vector<std::string> names = {
+      "NB",      "L-BFS",       "a/b",         "x%2Fy",        "",
+      "\"q\"",   "back\\slash", "tab\there",   "line\nbreak",  "\x01\x1f",
+      "ü-umlaut", "漢字",        "sp ace",      "%",            "{brace}",
+  };
+  for (const std::string& program : names) {
+    for (const std::string& config : names) {
+      v1::ExperimentRequest request;
+      request.program = program;
+      request.input_index = 12;
+      request.config = config;
+      request.deadline_ms = 1500.25;
+      request.id = 42;
+      v1::ExperimentRequest decoded;
+      std::string error;
+      ASSERT_TRUE(
+          parse_request_line(format_request_line(request), decoded, error))
+          << error << " for " << format_request_line(request);
+      EXPECT_EQ(decoded.program, request.program);
+      EXPECT_EQ(decoded.input_index, request.input_index);
+      EXPECT_EQ(decoded.config, request.config);
+      EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+      EXPECT_EQ(decoded.id, request.id);
+    }
+  }
+}
+
+TEST(ServeWire, ParserAcceptsUnicodeEscapesAndUnknownFields) {
+  v1::ExperimentRequest out;
+  std::string error;
+  // \uXXXX and surrogate pairs decode to UTF-8; unknown fields and
+  // whitespace are ignored; id/input/deadline are optional.
+  ASSERT_TRUE(parse_request_line(
+      R"({ "program" : "ü😀" , "config":"default", "future_field": null, "other": true })",
+      out, error))
+      << error;
+  EXPECT_EQ(out.program, "\xC3\xBC\xF0\x9F\x98\x80");
+  EXPECT_EQ(out.config, "default");
+  EXPECT_EQ(out.id, 0u);
+  EXPECT_EQ(out.input_index, 0u);
+  EXPECT_EQ(out.deadline_ms, 0.0);
+}
+
+TEST(ServeWire, ParserRejectsMalformedLines) {
+  const std::vector<std::string> bad = {
+      "",
+      "not json",
+      "{",
+      "{}",                                          // missing program/config
+      R"({"program":"NB"})",                         // missing config
+      R"({"config":"default"})",                     // missing program
+      R"({"program":7,"config":"default"})",         // program not a string
+      R"({"program":"NB","config":"default","v":2})",   // wrong version
+      R"({"program":"NB","config":"default","id":-1})", // negative id
+      R"({"program":"NB","config":"default","input":1.5})",   // fractional
+      R"({"program":"NB","config":"default","deadline_ms":-5})",
+      R"({"program":"NB","config":{"nested":1}})",   // nested value
+      R"({"program":"NB","config":[1]})",            // array value
+      R"({"program":"NB","config":"default"} extra)",  // trailing content
+      R"({"program":"\ud800x","config":"default"})",   // unpaired surrogate
+      R"({"program":"NB" "config":"default"})",      // missing comma
+  };
+  for (const std::string& line : bad) {
+    v1::ExperimentRequest out;
+    std::string error;
+    EXPECT_FALSE(parse_request_line(line, out, error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+// The exact bytes of the wire format: request and response lines for the
+// golden slice plus every error status, compared against
+// tests/golden/serve_wire.txt. Regenerate with REPRO_UPDATE_GOLDEN=1 and
+// review the diff — field order and %.17g formatting are the contract.
+TEST(ServeWireGolden, EncodingMatchesSnapshot) {
+  const std::vector<core::ExperimentResult> expected = direct_results();
+  std::string actual;
+  for (const v1::ExperimentRequest& request : slice_requests()) {
+    actual += format_request_line(request);
+    actual += '\n';
+  }
+  for (std::size_t i = 0; i < std::size(kSlice); ++i) {
+    Response r;
+    r.id = i + 1;
+    r.status = Status::kOk;
+    r.cached = false;
+    r.key = core::experiment_key(kSlice[i].program, kSlice[i].input,
+                                 kSlice[i].config);
+    const core::ExperimentResult& d = expected[i];
+    r.result.usable = d.usable;
+    r.result.time_s = d.time_s;
+    r.result.energy_j = d.energy_j;
+    r.result.power_w = d.power_w;
+    r.result.true_active_s = d.true_active_s;
+    r.result.time_spread = d.time_spread;
+    r.result.energy_spread = d.energy_spread;
+    actual += format_response_line(r);
+    actual += '\n';
+  }
+  // One line per error status, with escapes exercised in key and error.
+  const struct {
+    Status status;
+    const char* key;
+    const char* error;
+  } errors[] = {
+      {Status::kShed, "BP/0/default",
+       "admission queue full (limit 2); shed by newer arrival"},
+      {Status::kDeadlineExpired, "BP/0/default",
+       "deadline expired before dispatch"},
+      {Status::kCancelled, "", "cancelled by client"},
+      {Status::kUnknownProgram, "", "unknown program: N\"B\\"},
+      {Status::kUnknownConfig, "NB/0/warp9", "unknown config: warp9"},
+      {Status::kInvalidRequest, "", "input index 99 out of range\n(3 inputs)"},
+  };
+  std::uint64_t id = std::size(kSlice);
+  for (const auto& e : errors) {
+    Response r;
+    r.id = ++id;
+    r.status = e.status;
+    r.key = e.key;
+    r.error = e.error;
+    actual += format_response_line(r);
+    actual += '\n';
+  }
+
+  const std::string path = std::string(REPRO_GOLDEN_DIR) + "/serve_wire.txt";
+  if (repro::Options::global().update_golden) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with REPRO_UPDATE_GOLDEN=1)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), actual)
+      << "wire-format mismatch: the JSONL encoding is a published contract; "
+         "if the change is intentional, regenerate with REPRO_UPDATE_GOLDEN=1 "
+         "and review the diff";
+}
+
+}  // namespace
+}  // namespace repro::serve

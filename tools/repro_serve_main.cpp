@@ -1,0 +1,222 @@
+// repro-serve: the characterization service as a process (DESIGN.md §11).
+//
+// Speaks the JSONL wire format (src/serve/wire.hpp), one request per line,
+// one response per line, responses in request order.
+//
+//   repro-serve [--threads N] [--cache N] [--queue N] [--socket PATH]
+//
+// Default transport is stdin/stdout:
+//   printf '{"v":1,"id":1,"program":"NB","input":2,"config":"default"}\n' |
+//     repro-serve
+//
+// With --socket PATH it listens on a unix domain socket instead; each
+// connection is an independent JSONL stream with the same ordering
+// guarantee. All connections share one service (one cache, one queue).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <mutex>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+using repro::serve::Response;
+using repro::serve::Service;
+using repro::serve::Status;
+
+// One submitted line: either a ticket still in flight or an immediate
+// response (parse errors resolve without touching the service).
+using Slot = std::variant<Service::Ticket, Response>;
+
+Response invalid_response(std::uint64_t id, std::string error) {
+  Response response;
+  response.id = id;
+  response.status = Status::kInvalidRequest;
+  response.error = std::move(error);
+  return response;
+}
+
+// Reads JSONL requests from `in`, writes responses to `out` in request
+// order. Submission and output overlap: a writer thread drains slots FIFO
+// (Ticket::wait preserves order), so responses stream while later lines
+// are still being read.
+void serve_stream(Service& service, std::istream& in, std::ostream& out) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Slot> slots;
+  bool done = false;
+
+  std::thread writer([&] {
+    for (;;) {
+      Slot slot;
+      {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] { return done || !slots.empty(); });
+        if (slots.empty()) return;
+        slot = std::move(slots.front());
+        slots.pop_front();
+      }
+      const Response& response = std::holds_alternative<Response>(slot)
+                                     ? std::get<Response>(slot)
+                                     : std::get<Service::Ticket>(slot).wait();
+      out << repro::serve::format_response_line(response) << '\n';
+      out.flush();
+    }
+  });
+
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    Slot slot;
+    repro::v1::ExperimentRequest request;
+    std::string error;
+    if (repro::serve::parse_request_line(line, request, error)) {
+      if (request.id == 0) request.id = line_number;
+      slot = service.submit(std::move(request));
+    } else {
+      slot = invalid_response(line_number, std::move(error));
+    }
+    {
+      std::lock_guard lock(mutex);
+      slots.push_back(std::move(slot));
+    }
+    cv.notify_one();
+  }
+  {
+    std::lock_guard lock(mutex);
+    done = true;
+  }
+  cv.notify_one();
+  writer.join();
+}
+
+// Minimal streambuf over a socket fd so the shared serve_stream loop can
+// read requests and flush responses incrementally — a client that keeps
+// its connection open sees each response as soon as it resolves. One
+// FdBuf per direction; the reader and writer threads never share one.
+class FdBuf : public std::streambuf {
+ public:
+  explicit FdBuf(int fd) : fd_(fd) { setg(in_, in_, in_); }
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, in_, sizeof in_);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(in_[0]);
+  }
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) {
+      return traits_type::not_eof(ch);
+    }
+    const char c = traits_type::to_char_type(ch);
+    return write_all(&c, 1) ? ch : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    return write_all(s, static_cast<std::size_t>(n)) ? n : 0;
+  }
+
+ private:
+  bool write_all(const char* data, std::size_t size) {
+    std::size_t off = 0;
+    while (off < size) {
+      const ssize_t wrote = ::write(fd_, data + off, size - off);
+      if (wrote <= 0) return false;
+      off += static_cast<std::size_t>(wrote);
+    }
+    return true;
+  }
+
+  int fd_;
+  char in_[4096];
+};
+
+int serve_socket(Service& service, const std::string& path) {
+  ::unlink(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("repro-serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "repro-serve: socket path too long: %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 16) != 0) {
+    std::perror("repro-serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "repro-serve: listening on %s\n", path.c_str());
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    std::thread([&service, fd] {
+      FdBuf inbuf(fd), outbuf(fd);
+      std::istream in(&inbuf);
+      std::ostream out(&outbuf);
+      serve_stream(service, in, out);
+      ::close(fd);
+    }).detach();
+  }
+  ::close(listener);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Service::Options options;
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--threads") {
+      if (const char* v = next()) options.threads = std::atoi(v);
+    } else if (arg == "--cache") {
+      if (const char* v = next()) {
+        options.cache_capacity = static_cast<std::size_t>(std::atoll(v));
+      }
+    } else if (arg == "--queue") {
+      if (const char* v = next()) {
+        options.queue_limit = static_cast<std::size_t>(std::atoll(v));
+      }
+    } else if (arg == "--socket") {
+      if (const char* v = next()) socket_path = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: repro-serve [--threads N] [--cache N] [--queue N] "
+                   "[--socket PATH]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  repro::serve::Service service(options);
+  if (!socket_path.empty()) return serve_socket(service, socket_path);
+  serve_stream(service, std::cin, std::cout);
+  return 0;
+}

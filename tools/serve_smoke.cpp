@@ -1,0 +1,142 @@
+// Multi-client smoke driver for the characterization service.
+//
+//   serve_smoke [--clients K] [--direct]
+//
+// Runs a canned 30-request batch (the 10 golden-slice experiments, each
+// requested three times) against an in-process Service from K concurrent
+// client threads, then prints one canonical line per request in request
+// order. With --direct the same batch is answered by a plain v1::Session
+// instead — no service, no cache, no queue.
+//
+// The output deliberately omits transport detail (cached flags, queue
+// stats): it is exactly the request id, the experiment key and the %.17g
+// metrics. scripts/ci.sh diffs the service output at several client counts
+// against the --direct output; any byte difference is a determinism bug.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "repro/api.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+using repro::v1::ExperimentRequest;
+using repro::v1::MeasurementResult;
+
+std::vector<ExperimentRequest> canned_batch() {
+  struct Entry {
+    const char* program;
+    std::size_t input;
+    const char* config;
+  };
+  // The golden-slice matrix (tests/golden_test.cpp): every suite, every
+  // configuration, regular and irregular programs.
+  constexpr Entry kSlice[10] = {
+      {"NB", 2, "default"},  {"LBM", 0, "614"},    {"SGEMM", 0, "default"},
+      {"TPACF", 0, "ecc"},   {"BP", 0, "default"}, {"L-BFS", 2, "324"},
+      {"FFT", 0, "default"}, {"MD", 0, "614"},     {"L-BFS-wlc", 2, "default"},
+      {"BH", 0, "default"},
+  };
+  std::vector<ExperimentRequest> batch;
+  for (int round = 0; round < 3; ++round) {  // repeats exercise the cache
+    for (const Entry& e : kSlice) {
+      ExperimentRequest request;
+      request.program = e.program;
+      request.input_index = e.input;
+      request.config = e.config;
+      request.id = batch.size() + 1;
+      batch.push_back(std::move(request));
+    }
+  }
+  return batch;
+}
+
+std::string format_line(const ExperimentRequest& request,
+                        const MeasurementResult& r) {
+  char line[512];
+  std::snprintf(
+      line, sizeof line,
+      "id=%llu %s usable=%d time_s=%.17g energy_j=%.17g power_w=%.17g "
+      "true_active_s=%.17g time_spread=%.17g energy_spread=%.17g",
+      static_cast<unsigned long long>(request.id),
+      repro::core::experiment_key(request.program, request.input_index,
+                                  request.config)
+          .c_str(),
+      r.usable ? 1 : 0, r.time_s, r.energy_j, r.power_w, r.true_active_s,
+      r.time_spread, r.energy_spread);
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 2;
+  bool direct = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--direct") == 0) {
+      direct = true;
+    } else {
+      std::fprintf(stderr, "usage: serve_smoke [--clients K] [--direct]\n");
+      return 2;
+    }
+  }
+  if (clients < 1) clients = 1;
+
+  const std::vector<ExperimentRequest> batch = canned_batch();
+  std::vector<std::string> lines(batch.size());
+
+  if (direct) {
+    repro::v1::Session session;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      lines[i] = format_line(batch[i], session.measure(batch[i]));
+    }
+  } else {
+    repro::serve::Service service;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        // Client c owns requests c, c+K, c+2K, ... — interleaved so
+        // concurrent clients race on the same cache keys.
+        std::vector<std::pair<std::size_t, repro::serve::Service::Ticket>>
+            tickets;
+        for (std::size_t i = static_cast<std::size_t>(c); i < batch.size();
+             i += static_cast<std::size_t>(clients)) {
+          tickets.emplace_back(i, service.submit(batch[i]));
+        }
+        for (auto& [index, ticket] : tickets) {
+          const repro::serve::Response& response = ticket.wait();
+          if (response.status != repro::serve::Status::kOk) {
+            lines[index] =
+                "id=" + std::to_string(batch[index].id) + " ERROR " +
+                std::string(repro::serve::to_string(response.status)) + ": " +
+                response.error;
+          } else {
+            lines[index] = format_line(batch[index], response.result);
+          }
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+
+    const repro::serve::Service::Stats stats = service.stats();
+    std::fprintf(stderr,
+                 "serve_smoke: %llu submitted, %llu ok, cache %llu hits / "
+                 "%llu misses / %llu evictions\n",
+                 static_cast<unsigned long long>(stats.submitted),
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.cache.hits),
+                 static_cast<unsigned long long>(stats.cache.misses),
+                 static_cast<unsigned long long>(stats.cache.evictions));
+  }
+
+  for (const std::string& line : lines) std::printf("%s\n", line.c_str());
+  return 0;
+}
