@@ -36,6 +36,10 @@ namespace repro {
 ///   REPRO_SERVE_THREADS  scheduler threads of the characterization service
 ///   REPRO_SERVE_CACHE    LRU result-cache capacity of the service (entries)
 ///   REPRO_SERVE_QUEUE    admission-queue bound of the service (requests)
+///   REPRO_FAULT_SEED     default seed of the fault-injection plan (uint64).
+///                        Opt-in only: tools that support chaos runs (e.g.
+///                        repro-serve --fault-seed) read it as their default;
+///                        nothing installs a plan merely because it is set.
 struct Options {
   int threads = 0;          // 0 = hardware concurrency
   bool obs = false;
@@ -46,6 +50,7 @@ struct Options {
   int serve_threads = 0;    // 0 = fall back to `threads` resolution
   std::size_t serve_cache_capacity = 1024;
   std::size_t serve_queue_limit = 256;
+  std::uint64_t fault_seed = 0;  // 0 = no default fault plan
 
   /// Parses every knob from the environment (missing/invalid = default).
   static Options from_env();

@@ -5,8 +5,9 @@
 #   scripts/ci.sh default    # just one preset
 #
 # The default preset runs the full suite; the sanitizer presets run the
-# label-filtered concurrency suite (scheduler, obs and serve tests) where
-# data races and memory errors would actually hide. See CMakePresets.json.
+# label-filtered concurrency suite (scheduler, obs, serve and fault tests)
+# where data races and memory errors would actually hide. See
+# CMakePresets.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,6 +65,17 @@ if [ -x build/tools/serve_smoke ] && [ -x build/tools/repro-serve ]; then
   grep -q '"id":3,"status":"unknown_program"' "$smokedir/wire.txt" \
     || { echo "repro-serve replay FAILED: unknown program not a structured error"; cat "$smokedir/wire.txt"; exit 1; }
   echo "  replay ok: duplicate bit-identical over the wire, structured error on unknown program"
+fi
+
+# Chaos smoke (DESIGN.md §12): replay the golden slice under 32 seeded
+# fault plans and assert the resilience contract per request (every request
+# terminates; ok/retried responses are bit-identical to the fault-free
+# golden; degraded/failed statuses are truthful). The injected-fault and
+# retry counts land in the CHAOS_smoke.json artifact via REPRO_BENCH_JSON.
+# Any violation prints the reproducing `chaos_smoke --start <seed>` line.
+if [ -x build/tools/chaos_smoke ]; then
+  echo "=== [fault] chaos smoke, 32 seeded fault plans"
+  REPRO_BENCH_JSON=CHAOS_smoke.json build/tools/chaos_smoke --seeds 32
 fi
 
 # Optional Release perf smoke: REPRO_PERF=1 scripts/ci.sh

@@ -7,11 +7,13 @@
 #include <cstdlib>
 #include <deque>
 #include <iterator>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <thread>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "repro/api.hpp"
@@ -191,12 +193,34 @@ BatchReport Scheduler::run(Study& study,
     queues[i % static_cast<std::size_t>(n)].push(i);
   }
 
+  // Fault-injection site (DESIGN.md §12): with a plan installed, each job
+  // attempt may be aborted (skipped, reported via BatchReport.aborted for
+  // the caller to retry) or delayed. Each job index is executed by exactly
+  // one worker, so per-index writes into `job_ok` are race-free.
+  const fault::FaultPlan* plan = fault::active();
+  std::vector<unsigned char> job_ok(jobs.size(), 1);
+
   const auto worker_body = [&](int worker_id) {
     WorkerMetrics& metrics = report.workers[static_cast<std::size_t>(worker_id)];
     obs::Span worker_span("worker", "scheduler");
     worker_span.arg("worker", static_cast<std::uint64_t>(worker_id));
     const auto run_job = [&](std::size_t index, bool stolen) {
       const ExperimentJob& job = jobs[index];
+      if (plan != nullptr) {
+        const std::string key =
+            experiment_key(*job.workload, job.input_index, *job.config);
+        const fault::Fault fault = plan->draw(fault::Site::kScheduler, key);
+        if (fault.kind == fault::Kind::kJobAbort) {
+          plan->record_applied(fault::Site::kScheduler, key);
+          job_ok[index] = 0;
+          return;
+        }
+        if (fault.kind == fault::Kind::kJobDelay) {
+          plan->record_applied(fault::Site::kScheduler, key);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(fault.magnitude % 8 + 1));
+        }
+      }
       const auto job_start = Clock::now();
       {
         obs::Span job_span("job", "scheduler");
@@ -269,12 +293,18 @@ BatchReport Scheduler::run(Study& study,
   report.stats.result_misses = after.result_misses - before.result_misses;
 
   // Stable aggregation order: deduplicate by key and sort, independent of
-  // completion order, then resolve results from the (now warm) cache.
+  // completion order, then resolve results from the (now warm) cache. A
+  // key counts as aborted only when EVERY job carrying it was aborted —
+  // resolving it here would silently compute what the injector skipped.
   std::vector<std::pair<std::string, const ExperimentJob*>> keyed;
   keyed.reserve(jobs.size());
-  for (const ExperimentJob& job : jobs) {
-    keyed.emplace_back(experiment_key(*job.workload, job.input_index, *job.config),
-                       &job);
+  std::map<std::string, bool> key_computed;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ExperimentJob& job = jobs[i];
+    std::string key =
+        experiment_key(*job.workload, job.input_index, *job.config);
+    if (plan != nullptr) key_computed[key] |= (job_ok[i] != 0);
+    keyed.emplace_back(std::move(key), &job);
   }
   std::sort(keyed.begin(), keyed.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -285,6 +315,10 @@ BatchReport Scheduler::run(Study& study,
               keyed.end());
   report.results.reserve(keyed.size());
   for (auto& [key, job] : keyed) {
+    if (plan != nullptr && !key_computed[key]) {
+      report.aborted.push_back(std::move(key));
+      continue;
+    }
     BatchEntry entry;
     entry.result = &study.measure(*job->workload, job->input_index, *job->config);
     entry.key = std::move(key);

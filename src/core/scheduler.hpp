@@ -66,6 +66,10 @@ struct BatchReport {
   std::vector<WorkerMetrics> workers;
   std::vector<BatchEntry> results;  // deduplicated, sorted by key
   std::vector<StageTiming> stage_timing;  // empty unless obs was enabled
+  /// Keys whose every job this batch was aborted by the fault injector
+  /// (src/fault/): never computed, absent from `results`, retryable by the
+  /// caller. Sorted, deduplicated. Always empty without an active plan.
+  std::vector<std::string> aborted;
 
   double busy_s() const;
   /// Total jobs / steals over all workers.

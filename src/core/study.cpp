@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/variability.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sensor/sampler.hpp"
@@ -160,6 +161,10 @@ ExperimentResult Study::compute_measurement(const workloads::Workload& workload,
                                             const std::string& key) {
   obs::Span span("experiment", "experiment");
   span.arg("key", key);
+  // Fault-injection context (DESIGN.md §12): deep pipeline sites (the
+  // sensor) attribute their fault draws to this experiment's key. Inert
+  // without an installed plan.
+  fault::KeyScope fault_scope{key};
 
   const sim::TraceResult& ground_truth =
       trace_result(workload, input_index, config);

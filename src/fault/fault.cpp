@@ -1,0 +1,249 @@
+#include "fault/fault.hpp"
+
+#include <atomic>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace repro::fault {
+
+namespace {
+
+// FNV-1a over the key bytes. std::hash would work within one binary, but
+// the schedule is a printed, replayable contract — it must not depend on
+// the standard library's hash choice.
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// All entropy of one decision: a mix of the seed, the site, the key hash
+// and the occurrence index. Bits 0-52 (via hash_unit-style scaling) gate
+// the firing probability; an independent remix selects kind and magnitude.
+std::uint64_t decision_bits(std::uint64_t seed, Site site,
+                            std::string_view key,
+                            std::uint64_t occurrence) noexcept {
+  std::uint64_t h = util::mix64(seed ^ 0x8c57f0a1d3b64e29ULL);
+  h = util::mix64(h + static_cast<std::uint64_t>(site) * 0x9e3779b97f4a7c15ULL);
+  h = util::mix64(h ^ fnv1a(key));
+  return util::mix64(h + occurrence);
+}
+
+double unit(std::uint64_t bits) noexcept {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+Kind select_kind(Site site, std::uint64_t bits) noexcept {
+  switch (site) {
+    case Site::kScheduler:
+      return bits % 2 == 0 ? Kind::kJobAbort : Kind::kJobDelay;
+    case Site::kSensor:
+      switch (bits % 3) {
+        case 0: return Kind::kSampleDrop;
+        case 1: return Kind::kSampleDuplicate;
+        default: return Kind::kStuckIdleRate;
+      }
+    case Site::kWire:
+      return bits % 2 == 0 ? Kind::kWireTruncate : Kind::kWireCorrupt;
+    case Site::kCache:
+      return Kind::kCacheEvict;
+  }
+  return Kind::kNone;
+}
+
+std::atomic<const FaultPlan*> g_active{nullptr};
+
+thread_local std::string_view t_context_key;
+
+void bump_obs(Site site) {
+  if (!obs::enabled()) return;
+  obs::Registry::instance()
+      .counter(std::string("fault.injected.") + std::string(to_string(site)))
+      .add();
+}
+
+}  // namespace
+
+std::string_view to_string(Site site) {
+  switch (site) {
+    case Site::kScheduler: return "scheduler";
+    case Site::kSensor: return "sensor";
+    case Site::kWire: return "wire";
+    case Site::kCache: return "cache";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kJobAbort: return "job_abort";
+    case Kind::kJobDelay: return "job_delay";
+    case Kind::kSampleDrop: return "sample_drop";
+    case Kind::kSampleDuplicate: return "sample_duplicate";
+    case Kind::kStuckIdleRate: return "stuck_idle_rate";
+    case Kind::kWireTruncate: return "wire_truncate";
+    case Kind::kWireCorrupt: return "wire_corrupt";
+    case Kind::kCacheEvict: return "cache_evict";
+  }
+  return "unknown";
+}
+
+double PlanOptions::rate(Site site) const noexcept {
+  switch (site) {
+    case Site::kScheduler: return scheduler_rate;
+    case Site::kSensor: return sensor_rate;
+    case Site::kWire: return wire_rate;
+    case Site::kCache: return cache_rate;
+  }
+  return 0.0;
+}
+
+FaultPlan::FaultPlan(PlanOptions options) : options_(options) {}
+
+Fault FaultPlan::decide(Site site, std::string_view key,
+                        std::uint64_t occurrence) const {
+  const std::uint64_t bits =
+      decision_bits(options_.seed, site, key, occurrence);
+  if (unit(bits) >= options_.rate(site)) return Fault{};
+  const std::uint64_t remix = util::mix64(bits ^ 0xa24baed4963ee407ULL);
+  Fault fault;
+  fault.kind = select_kind(site, remix);
+  fault.magnitude = util::mix64(remix + 1);
+  return fault;
+}
+
+Fault FaultPlan::draw(Site site, std::string_view key) const {
+  Shard& shard =
+      state_[static_cast<std::size_t>(site)][fnv1a(key) % kShardCount];
+  std::uint64_t occurrence = 0;
+  {
+    std::lock_guard lock(shard.mutex);
+    occurrence = shard.drawn[std::string(key)]++;
+  }
+  return decide(site, key, occurrence);
+}
+
+void FaultPlan::record_applied(Site site, std::string_view key) const {
+  Shard& shard =
+      state_[static_cast<std::size_t>(site)][fnv1a(key) % kShardCount];
+  {
+    std::lock_guard lock(shard.mutex);
+    ++shard.applied[std::string(key)];
+  }
+  applied_totals_[static_cast<std::size_t>(site)].fetch_add(
+      1, std::memory_order_relaxed);
+  bump_obs(site);
+}
+
+std::uint64_t FaultPlan::occurrences(Site site, std::string_view key) const {
+  Shard& shard =
+      state_[static_cast<std::size_t>(site)][fnv1a(key) % kShardCount];
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.drawn.find(std::string(key));
+  return it == shard.drawn.end() ? 0 : it->second;
+}
+
+std::uint64_t FaultPlan::applied(Site site, std::string_view key) const {
+  Shard& shard =
+      state_[static_cast<std::size_t>(site)][fnv1a(key) % kShardCount];
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.applied.find(std::string(key));
+  return it == shard.applied.end() ? 0 : it->second;
+}
+
+std::uint64_t FaultPlan::applied_total(Site site) const {
+  return applied_totals_[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::applied_total() const {
+  std::uint64_t total = 0;
+  for (const auto& counter : applied_totals_) {
+    total += counter.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string FaultPlan::schedule_digest(
+    const std::vector<std::string>& keys,
+    std::uint64_t occurrences_per_key) const {
+  std::string digest;
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    const Site site = static_cast<Site>(s);
+    for (const std::string& key : keys) {
+      for (std::uint64_t occ = 0; occ < occurrences_per_key; ++occ) {
+        const Fault fault = decide(site, key, occ);
+        if (!fault) continue;
+        digest += std::string(to_string(site));
+        digest += ' ';
+        digest += key;
+        digest += '#';
+        digest += std::to_string(occ);
+        digest += ' ';
+        digest += std::string(to_string(fault.kind));
+        digest += ':';
+        digest += std::to_string(fault.magnitude);
+        digest += '\n';
+      }
+    }
+  }
+  return digest;
+}
+
+const FaultPlan* active() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+ScopedPlan::ScopedPlan(const FaultPlan* plan) noexcept
+    : previous_(g_active.exchange(plan, std::memory_order_acq_rel)) {}
+
+ScopedPlan::~ScopedPlan() {
+  g_active.store(previous_, std::memory_order_release);
+}
+
+KeyScope::KeyScope(std::string_view key) noexcept
+    : previous_(t_context_key) {
+  t_context_key = key;
+}
+
+KeyScope::~KeyScope() { t_context_key = previous_; }
+
+std::string_view context_key() noexcept { return t_context_key; }
+
+std::string apply_wire(const FaultPlan& plan, std::string_view key,
+                       Fault fault, std::string_view line) {
+  if (line.empty()) return std::string(line);
+  std::string mutated(line);
+  switch (fault.kind) {
+    case Kind::kWireTruncate:
+      mutated.resize(fault.magnitude % line.size());
+      break;
+    case Kind::kWireCorrupt: {
+      const std::size_t pos = fault.magnitude % line.size();
+      // XOR with a nonzero byte guarantees the line actually changes.
+      const unsigned char flip =
+          static_cast<unsigned char>(1 + (fault.magnitude >> 8) % 255);
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^ flip);
+      break;
+    }
+    default:
+      return mutated;
+  }
+  if (mutated != line) plan.record_applied(Site::kWire, key);
+  return mutated;
+}
+
+std::string filter_wire_line(std::string_view key, std::string_view line) {
+  const FaultPlan* plan = active();
+  if (plan == nullptr) return std::string(line);
+  return apply_wire(*plan, key, plan->draw(Site::kWire, key), line);
+}
+
+}  // namespace repro::fault

@@ -1,0 +1,189 @@
+// Deterministic fault injection (DESIGN.md §12).
+//
+// A FaultPlan is a pure function from (site, key, occurrence-index) to a
+// fault decision, derived from a single 64-bit seed: the same seed always
+// produces the same fault schedule, so any chaos run is replayable from
+// the seed printed in its failure report. Sites pull decisions with
+// `draw(site, key)` — the plan keeps a per-(site, key) occurrence counter,
+// so a site that queries in a deterministic per-key order (every site in
+// this repo does) sees a deterministic schedule regardless of how keys
+// interleave across threads.
+//
+// Injection sites threaded through the pipeline:
+//   kScheduler  core::Scheduler::run     job abort / artificial delay
+//   kSensor     sensor::Sensor::record   dropped / duplicated samples,
+//                                        stuck 1 Hz mode (the nvidia-smi
+//                                        "part-time power measurement"
+//                                        failure, Yang et al.)
+//   kWire       serve wire / repro-serve line truncation, byte corruption
+//   kCache      serve::ResultCache       eviction storms
+//
+// Activation is explicit and process-global: install a plan with
+// ScopedPlan (chaos harness, repro-serve --fault-seed). When no plan is
+// installed every hook is one relaxed atomic load — the layer is compiled
+// in but free. Sites report *applied* faults back via record_applied, so
+// "this experiment was degraded by injection" is an exact statement, not
+// a probability: the serving layer uses the per-key applied counts to
+// decide retry/degradation status truthfully.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace repro::fault {
+
+/// Where a fault can be injected.
+enum class Site : int {
+  kScheduler = 0,  // per job attempt
+  kSensor = 1,     // per recording (one repetition of one experiment)
+  kWire = 2,       // per wire line
+  kCache = 3,      // per result-cache insert
+};
+inline constexpr std::size_t kSiteCount = 4;
+
+std::string_view to_string(Site site);
+
+/// What happens when a fault fires. Kinds are site-specific.
+enum class Kind : int {
+  kNone = 0,
+  // kScheduler
+  kJobAbort,         // the job is not executed this attempt (retryable)
+  kJobDelay,         // the job starts late by `magnitude % 8 + 1` ms
+  // kSensor
+  kSampleDrop,       // the sample at index `magnitude % 128` is not emitted
+  kSampleDuplicate,  // the sample at index `magnitude % 128` is emitted twice
+  kStuckIdleRate,    // from index `magnitude % 128` on, the sampler never
+                     // leaves 1 Hz mode (late/dropped-sample sensor failure)
+  // kWire
+  kWireTruncate,     // the line is cut to `magnitude % length` bytes
+  kWireCorrupt,      // one byte at `magnitude % length` is flipped
+  // kCache
+  kCacheEvict,       // an eviction storm: up to `magnitude % 8 + 1` LRU-tail
+                     // entries of the key's shard are evicted
+};
+
+std::string_view to_string(Kind kind);
+
+/// One fault decision. `magnitude` is raw deterministic entropy the site
+/// interprets (positions, delays, storm sizes — see Kind comments).
+struct Fault {
+  Kind kind = Kind::kNone;
+  std::uint64_t magnitude = 0;
+  explicit operator bool() const noexcept { return kind != Kind::kNone; }
+};
+
+/// Per-site firing rates in [0, 1], evaluated once per occurrence.
+struct PlanOptions {
+  std::uint64_t seed = 1;
+  double scheduler_rate = 0.10;
+  double sensor_rate = 0.10;
+  double wire_rate = 0.25;
+  double cache_rate = 0.10;
+
+  double rate(Site site) const noexcept;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(PlanOptions options);
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// The schedule itself: a pure function of (seed, site, key, occurrence).
+  /// Two plans with equal options agree on every decision, byte for byte.
+  Fault decide(Site site, std::string_view key,
+               std::uint64_t occurrence) const;
+
+  /// Draws the next decision for this (site, key): advances the occurrence
+  /// counter and returns decide(site, key, previous-count). Thread-safe;
+  /// concurrent draws for distinct keys never interact.
+  Fault draw(Site site, std::string_view key) const;
+
+  /// Called by a site when a drawn fault actually took effect (an abort
+  /// honored, a sample really dropped, a line really mutated). Applied
+  /// counts — not drawn counts — are the truth source for degradation
+  /// statuses.
+  void record_applied(Site site, std::string_view key) const;
+
+  /// Occurrences drawn / faults applied for one (site, key).
+  std::uint64_t occurrences(Site site, std::string_view key) const;
+  std::uint64_t applied(Site site, std::string_view key) const;
+  /// Process totals per site and overall.
+  std::uint64_t applied_total(Site site) const;
+  std::uint64_t applied_total() const;
+
+  const PlanOptions& options() const noexcept { return options_; }
+
+  /// Canonical text rendering of the schedule over a (sites x keys x
+  /// occurrences) grid — the replayability witness: equal seeds produce
+  /// equal digests, and a chaos failure can be reproduced by re-deriving
+  /// the digest from the printed seed.
+  std::string schedule_digest(const std::vector<std::string>& keys,
+                              std::uint64_t occurrences_per_key) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::uint64_t> drawn;
+    std::unordered_map<std::string, std::uint64_t> applied;
+  };
+  static constexpr std::size_t kShardCount = 16;
+
+  PlanOptions options_;
+  mutable std::array<std::array<Shard, kShardCount>, kSiteCount> state_;
+  mutable std::array<std::atomic<std::uint64_t>, kSiteCount> applied_totals_{};
+};
+
+/// The installed plan, or nullptr (the default: injection disabled). One
+/// relaxed atomic load — safe and negligible on every hot path.
+const FaultPlan* active() noexcept;
+
+/// Installs `plan` as the process-wide active plan for this scope.
+/// Installation is exclusive (no nesting): constructing a second
+/// ScopedPlan while one is live replaces the active plan and restores it
+/// on destruction, but chaos runs should hold exactly one.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(const FaultPlan* plan) noexcept;
+  ~ScopedPlan();
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+
+ private:
+  const FaultPlan* previous_;
+};
+
+/// Thread-local experiment-key context: Study::compute_measurement scopes
+/// the key it is computing so deep sites (the sensor) can attribute their
+/// draws to the right experiment without threading the key through every
+/// signature. Empty outside a measurement.
+class KeyScope {
+ public:
+  explicit KeyScope(std::string_view key) noexcept;
+  ~KeyScope();
+  KeyScope(const KeyScope&) = delete;
+  KeyScope& operator=(const KeyScope&) = delete;
+
+ private:
+  std::string_view previous_;
+};
+
+std::string_view context_key() noexcept;
+
+/// Applies a drawn wire fault to one line: truncation or a single-byte
+/// flip at deterministic positions. Returns the line unchanged for
+/// kNone/non-wire kinds; records the fault as applied (against `key`)
+/// whenever the returned bytes differ from the input.
+std::string apply_wire(const FaultPlan& plan, std::string_view key,
+                       Fault fault, std::string_view line);
+
+/// Draw-and-apply convenience used by repro-serve: no-op without a plan.
+std::string filter_wire_line(std::string_view key, std::string_view line);
+
+}  // namespace repro::fault

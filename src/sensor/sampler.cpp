@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -27,12 +28,30 @@ void Sensor::record_into(const Waveform& waveform, util::Rng& rng,
   // removes the growth reallocations from the hot path.
   samples.reserve(static_cast<std::size_t>(end / opt_.active_period_s) + 2);
 
+  // Fault-injection site (DESIGN.md §12): one decision per recording,
+  // drawn against the experiment key the study scoped around this
+  // computation. The fault targets the emitted-sample index
+  // `magnitude % 128`: a dropped or duplicated reading, or the sensor
+  // getting stuck in 1 Hz mode from that sample on (the "part-time power
+  // measurement" failure of real nvidia-smi polling). The RNG stream is
+  // consumed identically either way, so a fault perturbs only the sample
+  // list, never the noise sequence of later repetitions.
+  fault::Fault fault;
+  const fault::FaultPlan* plan = fault::active();
+  const std::string_view fault_key = fault::context_key();
+  if (plan != nullptr && !fault_key.empty()) {
+    fault = plan->draw(fault::Site::kSensor, fault_key);
+  }
+  const std::size_t fault_index = fault.magnitude % 128;
+  bool stuck_idle = false;
+
   Waveform::Cursor cursor = waveform.cursor();
   double reading = cursor.power_at(0.0);
   double next_sample = rng.uniform() * opt_.idle_period_s;  // phase offset
   const double dt = opt_.integration_dt_s;
 
   std::uint64_t steps = 0;
+  std::size_t emitted = 0;
   for (double t = 0.0; t <= end; t += dt) {
     // First-order lag toward the instantaneous true power. The cursor is
     // bit-identical to power_at for this monotone sweep.
@@ -44,9 +63,32 @@ void Sensor::record_into(const Waveform& waveform, util::Rng& rng,
       double reported = reading + rng.normal(0.0, opt_.noise_sigma_w);
       reported = std::max(reported, 0.0);
       reported = std::round(reported / opt_.quantum_w) * opt_.quantum_w;
-      samples.push_back({t, reported});
+      if (fault && emitted == fault_index) {
+        switch (fault.kind) {
+          case fault::Kind::kSampleDrop:
+            plan->record_applied(fault::Site::kSensor, fault_key);
+            break;  // the reading is lost
+          case fault::Kind::kSampleDuplicate:
+            plan->record_applied(fault::Site::kSensor, fault_key);
+            samples.push_back({t, reported});
+            samples.push_back({t, reported});
+            break;
+          case fault::Kind::kStuckIdleRate:
+            plan->record_applied(fault::Site::kSensor, fault_key);
+            stuck_idle = true;
+            samples.push_back({t, reported});
+            break;
+          default:
+            samples.push_back({t, reported});
+            break;
+        }
+      } else {
+        samples.push_back({t, reported});
+      }
+      ++emitted;
       const double period =
-          reading >= opt_.gate_w ? opt_.active_period_s : opt_.idle_period_s;
+          (!stuck_idle && reading >= opt_.gate_w) ? opt_.active_period_s
+                                                  : opt_.idle_period_s;
       next_sample = t + period;
     }
   }

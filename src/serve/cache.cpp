@@ -3,6 +3,8 @@
 #include <functional>
 #include <utility>
 
+#include "fault/fault.hpp"
+
 namespace repro::serve {
 
 ResultCache::ResultCache(Options options)
@@ -54,6 +56,27 @@ std::size_t ResultCache::insert(const std::string& key,
       shard.index.erase(shard.lru.back().key);
       shard.lru.pop_back();
       ++evicted;
+    }
+    // Fault-injection site (DESIGN.md §12): an eviction storm throws away
+    // up to magnitude%8+1 LRU-tail entries beyond normal capacity pressure.
+    // Evicting is always safe — it only forces recomputation, so it probes
+    // the cache-miss path without being able to corrupt any result.
+    if (const fault::FaultPlan* plan = fault::active()) {
+      const fault::Fault fault = plan->draw(fault::Site::kCache, key);
+      if (fault.kind == fault::Kind::kCacheEvict) {
+        std::size_t storm = fault.magnitude % 8 + 1;
+        std::size_t storm_evicted = 0;
+        // Never evict the entry just inserted (front of the LRU).
+        while (storm-- > 0 && shard.lru.size() > 1) {
+          shard.index.erase(shard.lru.back().key);
+          shard.lru.pop_back();
+          ++storm_evicted;
+        }
+        if (storm_evicted > 0) {
+          plan->record_applied(fault::Site::kCache, key);
+          evicted += storm_evicted;
+        }
+      }
     }
   }
   if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);

@@ -1,11 +1,15 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "power/energies.hpp"
@@ -193,9 +197,27 @@ void Service::fulfill(const std::shared_ptr<Pending>& pending,
       case Status::kCancelled:
         cancelled_.fetch_add(1, std::memory_order_relaxed);
         break;
+      case Status::kFailed:
+        faulted_.fetch_add(1, std::memory_order_relaxed);
+        bump("serve.failed");
+        break;
       default:
         failed_.fetch_add(1, std::memory_order_relaxed);
         break;
+    }
+    if (pending->response.status == Status::kOk) {
+      switch (pending->response.degradation) {
+        case Degradation::kRetried:
+          retried_.fetch_add(1, std::memory_order_relaxed);
+          bump("serve.retry.success");
+          break;
+        case Degradation::kDegraded:
+          degraded_.fetch_add(1, std::memory_order_relaxed);
+          bump("serve.degraded");
+          break;
+        case Degradation::kNone:
+          break;
+      }
     }
   }
   pending->cv.notify_all();
@@ -320,7 +342,9 @@ struct Service::Miss {
   std::shared_ptr<Pending> pending;
   const workloads::Workload* workload = nullptr;
   const sim::GpuConfig* config = nullptr;
-  std::string versioned_key;
+  std::string key;            // bare experiment key
+  std::string versioned_key;  // cache_version_ + key
+  int retries = 0;            // attempts beyond the first so far
 };
 
 void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
@@ -391,48 +415,118 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
     miss.pending = std::move(pending);
     miss.workload = workload;
     miss.config = config;
+    miss.key = response.key;
     miss.versioned_key = std::move(versioned_key);
     misses.push_back(std::move(miss));
   }
   if (misses.empty()) return;
 
-  // A fresh Study per dispatch cycle: its internal unbounded caches live
-  // only for this batch, so the bounded LRU above is the service's one
-  // persistent result store. Bit-identity across Study instances is the
-  // scheduler layer's core guarantee (streams are seeded purely from the
-  // experiment key), so discarding the Study costs determinism nothing.
-  core::Study study{options_.study};
-  std::vector<core::ExperimentJob> jobs;
-  jobs.reserve(misses.size());
-  for (const Miss& miss : misses) {
-    jobs.push_back(core::ExperimentJob{miss.workload,
-                                       miss.pending->request.input_index,
-                                       miss.config});
-  }
-  scheduler_.run(study, jobs);
-
-  for (Miss& miss : misses) {
-    const v1::ExperimentRequest& request = miss.pending->request;
-    const core::ExperimentResult& result = study.measure(
-        *miss.workload, request.input_index, *miss.config);  // warm lookup
-    const v1::MeasurementResult dto = to_dto(result);
-    bump("serve.cache.evictions", cache_.insert(miss.versioned_key, dto));
-
-    Response response;
-    response.id = request.id;
-    response.key = core::experiment_key(request.program, request.input_index,
-                                        request.config);
-    if (miss.pending->has_deadline && Clock::now() > miss.pending->deadline) {
-      // Computed (and cached for the next client), but this client's
-      // deadline has passed: report the expiry, not a late success.
-      response.status = Status::kDeadlineExpired;
-      response.error = "deadline expired during computation";
-    } else {
-      response.status = Status::kOk;
-      response.cached = false;
-      response.result = dto;
+  // Resilience loop (DESIGN.md §12). Each attempt runs the remaining
+  // misses through a FRESH Study — its internal unbounded caches live only
+  // for the attempt, so the bounded LRU above stays the service's one
+  // persistent result store, and a faulted measurement can never leak into
+  // a later attempt. Bit-identity across Study instances is the scheduler
+  // layer's core guarantee (streams are seeded purely from the experiment
+  // key), so discarding the Study costs determinism nothing: a clean
+  // attempt — first or retried — is bit-identical to fault-free execution.
+  //
+  // Two fault outcomes are retryable: an aborted job (the key is missing
+  // from the batch entirely) and a tainted measurement (the sensor site
+  // applied a fault while this key computed — detected as a per-attempt
+  // delta of the plan's applied counter). Exhausting the budget on aborts
+  // is terminal (kFailed); exhausting it on taint returns the measured-
+  // but-degraded result, flagged and uncached.
+  const fault::FaultPlan* plan = fault::active();
+  const int max_retries = plan == nullptr ? 0 : std::max(options_.max_retries, 0);
+  std::vector<Miss> remaining = std::move(misses);
+  for (int attempt = 0;; ++attempt) {
+    std::unordered_map<std::string, std::uint64_t> sensor_before;
+    if (plan != nullptr) {
+      for (const Miss& miss : remaining) {
+        sensor_before.emplace(miss.key,
+                              plan->applied(fault::Site::kSensor, miss.key));
+      }
     }
-    fulfill(miss.pending, std::move(response));
+
+    core::Study study{options_.study};
+    std::vector<core::ExperimentJob> jobs;
+    jobs.reserve(remaining.size());
+    for (const Miss& miss : remaining) {
+      jobs.push_back(core::ExperimentJob{miss.workload,
+                                         miss.pending->request.input_index,
+                                         miss.config});
+    }
+    const core::BatchReport report = scheduler_.run(study, jobs);
+    const std::unordered_set<std::string> aborted(report.aborted.begin(),
+                                                  report.aborted.end());
+
+    std::vector<Miss> retry;
+    for (Miss& miss : remaining) {
+      const v1::ExperimentRequest& request = miss.pending->request;
+      Response response;
+      response.id = request.id;
+      response.key = miss.key;
+      response.retries = miss.retries;
+
+      const bool was_aborted = aborted.count(miss.key) > 0;
+      bool tainted = false;
+      if (!was_aborted && plan != nullptr) {
+        tainted = plan->applied(fault::Site::kSensor, miss.key) >
+                  sensor_before[miss.key];
+      }
+      const bool deadline_passed = miss.pending->has_deadline &&
+                                   Clock::now() > miss.pending->deadline;
+
+      if ((was_aborted || tainted) && !deadline_passed &&
+          attempt < max_retries) {
+        miss.retries = attempt + 1;
+        retry.push_back(std::move(miss));
+        continue;
+      }
+      if (was_aborted) {
+        // Budget exhausted (or deadline passed) with nothing computed.
+        response.status = Status::kFailed;
+        response.error = "fault-injected abort; " +
+                         std::to_string(miss.retries) + " of " +
+                         std::to_string(max_retries) + " retries used";
+        fulfill(miss.pending, std::move(response));
+        continue;
+      }
+
+      const core::ExperimentResult& result = study.measure(
+          *miss.workload, request.input_index, *miss.config);  // warm lookup
+      const v1::MeasurementResult dto = to_dto(result);
+      if (!tainted) {
+        // Only clean measurements enter the LRU: a degraded result must
+        // never be served as a cache hit to a later client.
+        bump("serve.cache.evictions", cache_.insert(miss.versioned_key, dto));
+      }
+      if (deadline_passed) {
+        // Computed (and, when clean, cached for the next client), but this
+        // client's deadline has passed: report the expiry, not a late
+        // success.
+        response.status = Status::kDeadlineExpired;
+        response.error = "deadline expired during computation";
+      } else {
+        response.status = Status::kOk;
+        response.cached = false;
+        response.degradation = tainted ? Degradation::kDegraded
+                               : miss.retries > 0 ? Degradation::kRetried
+                                                  : Degradation::kNone;
+        response.result = dto;
+      }
+      fulfill(miss.pending, std::move(response));
+    }
+
+    if (retry.empty()) break;
+    bump("serve.retry.attempts", retry.size());
+    if (options_.retry_backoff_ms > 0.0) {
+      // Deterministic exponential backoff: retry n sleeps base * 2^(n-1).
+      const double factor = static_cast<double>(1ULL << attempt);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.retry_backoff_ms * factor));
+    }
+    remaining = std::move(retry);
   }
 }
 
@@ -457,12 +551,33 @@ Service::Stats Service::stats() const {
   stats.expired = expired_.load(std::memory_order_relaxed);
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.retried = retried_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.faulted = faulted_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(mutex_);
     stats.queue_depth = queue_.size();
   }
   stats.cache = cache_.stats();
   return stats;
+}
+
+HealthSnapshot Service::health() const {
+  HealthSnapshot health;
+  health.submitted = submitted_.load(std::memory_order_relaxed);
+  health.completed = completed_.load(std::memory_order_relaxed);
+  health.retried = retried_.load(std::memory_order_relaxed);
+  health.degraded = degraded_.load(std::memory_order_relaxed);
+  health.failed = faulted_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    health.accepting = !stopping_;
+    health.queue_depth = queue_.size();
+  }
+  if (const fault::FaultPlan* plan = fault::active()) {
+    health.faults_injected = plan->applied_total();
+  }
+  return health;
 }
 
 }  // namespace repro::serve

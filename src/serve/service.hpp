@@ -48,6 +48,15 @@ class Service {
     std::size_t max_batch = 64;      // requests dispatched per cycle
     core::Study::Options study{};    // seeds/repetitions served results use
     bool start_paused = false;       // for fault-injection tests
+
+    /// Resilience budget against the fault injector (DESIGN.md §12).
+    /// A dispatch attempt whose job was aborted, or whose measurement the
+    /// sensor site tainted, is retried up to `max_retries` times with
+    /// deterministic exponential backoff (`retry_backoff_ms * 2^(n-1)` before
+    /// retry n). Zero retries turns the resilience layer off: aborts fail
+    /// immediately and taints degrade immediately.
+    int max_retries = 2;
+    double retry_backoff_ms = 1.0;
   };
 
   /// Handle to one submitted request. `wait()` blocks until the request
@@ -73,6 +82,9 @@ class Service {
     std::uint64_t expired = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t failed = 0;     // unknown program/config, invalid
+    std::uint64_t retried = 0;    // kOk responses that needed >= 1 retry
+    std::uint64_t degraded = 0;   // kOk responses with tainted metrics
+    std::uint64_t faulted = 0;    // kFailed: retry budget exhausted on aborts
     std::size_t queue_depth = 0;
     ResultCache::Stats cache;
   };
@@ -102,6 +114,11 @@ class Service {
   void resume();
 
   Stats stats() const;
+
+  /// Point-in-time health snapshot (exposed by `repro-serve` on the wire as
+  /// a `{"v":1,"health":true}` request). `faults_injected` counts faults the
+  /// active plan actually applied across all sites; 0 without a plan.
+  HealthSnapshot health() const;
 
   /// Version prefix of every cache key: derived from the study options and
   /// a fingerprint of the power model's energy table, so a model or seed
@@ -134,6 +151,9 @@ class Service {
   std::atomic<std::uint64_t> expired_{0};
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> faulted_{0};
 };
 
 }  // namespace repro::serve

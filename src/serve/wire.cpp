@@ -18,8 +18,18 @@ std::string_view to_string(Status status) {
     case Status::kUnknownProgram: return "unknown_program";
     case Status::kUnknownConfig: return "unknown_config";
     case Status::kInvalidRequest: return "invalid";
+    case Status::kFailed: return "failed";
   }
   return "invalid";
+}
+
+std::string_view to_string(Degradation degradation) {
+  switch (degradation) {
+    case Degradation::kNone: return "ok";
+    case Degradation::kRetried: return "retried";
+    case Degradation::kDegraded: return "degraded";
+  }
+  return "ok";
 }
 
 namespace {
@@ -325,6 +335,10 @@ std::string format_response_line(const Response& response) {
   if (response.status == Status::kOk) {
     line += ",\"cached\":";
     line += response.cached ? "true" : "false";
+    line += ",\"degradation\":\"";
+    line += to_string(response.degradation);
+    line += "\",\"retries\":";
+    line += std::to_string(response.retries);
     line += ',';
     append_string_field(line, "key", response.key);
     line += ",\"usable\":";
@@ -349,6 +363,58 @@ std::string format_response_line(const Response& response) {
     line += ',';
     append_string_field(line, "error", response.error);
   }
+  line += '}';
+  return line;
+}
+
+bool is_health_request(std::string_view line) {
+  // Reuse the request parser's tokenizer: scan the flat object for a
+  // "health" key with value true. Anything that does not parse as a flat
+  // object is not a health request.
+  Parser p;
+  p.s = line;
+  if (!p.consume('{')) return false;
+  p.skip_ws();
+  if (p.i < p.s.size() && p.s[p.i] == '}') return false;  // empty object
+  bool health = false;
+  for (;;) {
+    std::string key;
+    Parser::Value value;
+    if (!p.parse_string(key) || !p.consume(':') || !p.parse_value(value)) {
+      return false;
+    }
+    if (key == "health") {
+      health = value.kind == Parser::Kind::kBool && value.flag;
+    }
+    p.skip_ws();
+    if (p.i < p.s.size() && p.s[p.i] == ',') {
+      ++p.i;
+      continue;
+    }
+    if (!p.consume('}')) return false;
+    break;
+  }
+  p.skip_ws();
+  return health && p.i == p.s.size();
+}
+
+std::string format_health_line(const HealthSnapshot& health) {
+  std::string line = "{\"v\":1,\"health\":true,\"accepting\":";
+  line += health.accepting ? "true" : "false";
+  line += ",\"submitted\":";
+  line += std::to_string(health.submitted);
+  line += ",\"completed\":";
+  line += std::to_string(health.completed);
+  line += ",\"retried\":";
+  line += std::to_string(health.retried);
+  line += ",\"degraded\":";
+  line += std::to_string(health.degraded);
+  line += ",\"failed\":";
+  line += std::to_string(health.failed);
+  line += ",\"queue_depth\":";
+  line += std::to_string(health.queue_depth);
+  line += ",\"faults_injected\":";
+  line += std::to_string(health.faults_injected);
   line += '}';
   return line;
 }

@@ -8,13 +8,20 @@
 //
 // Request:  {"v":1,"id":7,"program":"NB","input":2,"config":"default",
 //            "deadline_ms":0}
-// Response: {"v":1,"id":7,"status":"ok","cached":false,"key":"NB/2/default",
-//            "usable":true,"time_s":...,"energy_j":...,"power_w":...,
-//            "true_active_s":...,"time_spread":...,"energy_spread":...}
+// Response: {"v":1,"id":7,"status":"ok","cached":false,"degradation":"ok",
+//            "retries":0,"key":"NB/2/default","usable":true,"time_s":...,
+//            "energy_j":...,"power_w":...,"true_active_s":...,
+//            "time_spread":...,"energy_spread":...}
 // Error:    {"v":1,"id":8,"status":"shed","key":"...","error":"..."}
+// Health:   {"v":1,"health":true}  ->  format_health_line(...)
 //
 // Unknown request fields are ignored (forward compatibility); a "v" other
-// than 1 is rejected.
+// than 1 is rejected. `degradation` reports how the fault-injection layer
+// (DESIGN.md §12) touched this request: "ok" (clean first attempt),
+// "retried" (at least one attempt was aborted or tainted, a later clean
+// attempt succeeded — metrics are bit-identical to fault-free), or
+// "degraded" (retries exhausted with the sensor still under fault; the
+// metrics come from a faulted measurement and are not cached).
 #pragma once
 
 #include <string>
@@ -34,15 +41,27 @@ enum class Status {
   kUnknownProgram,
   kUnknownConfig,
   kInvalidRequest,    // malformed line or out-of-range input index
+  kFailed,            // fault-injected aborts exhausted the retry budget
 };
 
 std::string_view to_string(Status status);
+
+/// How the fault-injection layer touched an ok response (header comment).
+enum class Degradation {
+  kNone,     // "ok": clean first attempt
+  kRetried,  // a retry recovered; metrics bit-identical to fault-free
+  kDegraded, // retries exhausted under sensor fault; metrics are tainted
+};
+
+std::string_view to_string(Degradation degradation);
 
 /// One response of the service, in 1:1 correspondence with a request.
 struct Response {
   std::uint64_t id = 0;
   Status status = Status::kInvalidRequest;
   bool cached = false;       // served from the LRU without recomputation
+  Degradation degradation = Degradation::kNone;
+  int retries = 0;           // attempts beyond the first that were made
   std::string key;           // canonical experiment key (when resolvable)
   std::string error;         // non-empty iff status != kOk
   v1::MeasurementResult result;
@@ -57,5 +76,24 @@ bool parse_request_line(std::string_view line, v1::ExperimentRequest& out,
 /// wire golden test).
 std::string format_request_line(const v1::ExperimentRequest& request);
 std::string format_response_line(const Response& response);
+
+/// True when `line` is a health request: a flat JSON object containing
+/// "health":true (no program/config required). Malformed lines are not
+/// health requests — they fall through to the normal parse error path.
+bool is_health_request(std::string_view line);
+
+/// Point-in-time service health snapshot, encodable on the wire.
+struct HealthSnapshot {
+  bool accepting = false;          // not draining / shut down
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t retried = 0;       // responses that needed >= 1 retry
+  std::uint64_t degraded = 0;      // responses returned with tainted metrics
+  std::uint64_t failed = 0;        // retry budget exhausted on aborts
+  std::size_t queue_depth = 0;
+  std::uint64_t faults_injected = 0;  // applied faults across all sites
+};
+
+std::string format_health_line(const HealthSnapshot& health);
 
 }  // namespace repro::serve

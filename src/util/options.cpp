@@ -37,6 +37,15 @@ std::string env_string(const char* name, std::string fallback) {
   return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
 }
 
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = env(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<std::uint64_t>(n)
+                                          : fallback;
+}
+
 }  // namespace
 
 Options Options::from_env() {
@@ -51,6 +60,7 @@ Options Options::from_env() {
   o.serve_cache_capacity =
       env_size("REPRO_SERVE_CACHE", o.serve_cache_capacity);
   o.serve_queue_limit = env_size("REPRO_SERVE_QUEUE", o.serve_queue_limit);
+  o.fault_seed = env_u64("REPRO_FAULT_SEED", o.fault_seed);
   return o;
 }
 

@@ -10,10 +10,12 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/study.hpp"
@@ -467,6 +469,8 @@ TEST(ServeWireGolden, EncodingMatchesSnapshot) {
       {Status::kUnknownProgram, "", "unknown program: N\"B\\"},
       {Status::kUnknownConfig, "NB/0/warp9", "unknown config: warp9"},
       {Status::kInvalidRequest, "", "input index 99 out of range\n(3 inputs)"},
+      {Status::kFailed, "NB/2/default",
+       "fault-injected abort; 2 of 2 retries used"},
   };
   std::uint64_t id = std::size(kSlice);
   for (const auto& e : errors) {
@@ -478,6 +482,31 @@ TEST(ServeWireGolden, EncodingMatchesSnapshot) {
     actual += format_response_line(r);
     actual += '\n';
   }
+  // Degradation annotations on ok lines (DESIGN.md §12) and the health
+  // snapshot encoding are part of the pinned contract too.
+  for (const Degradation degradation :
+       {Degradation::kRetried, Degradation::kDegraded}) {
+    Response r;
+    r.id = ++id;
+    r.status = Status::kOk;
+    r.degradation = degradation;
+    r.retries = degradation == Degradation::kRetried ? 1 : 2;
+    r.key = "NB/2/default";
+    r.result = v1::MeasurementResult{};
+    actual += format_response_line(r);
+    actual += '\n';
+  }
+  HealthSnapshot health;
+  health.accepting = true;
+  health.submitted = 40;
+  health.completed = 37;
+  health.retried = 4;
+  health.degraded = 2;
+  health.failed = 1;
+  health.queue_depth = 3;
+  health.faults_injected = 9;
+  actual += format_health_line(health);
+  actual += '\n';
 
   const std::string path = std::string(REPRO_GOLDEN_DIR) + "/serve_wire.txt";
   if (repro::Options::global().update_golden) {
@@ -495,6 +524,245 @@ TEST(ServeWireGolden, EncodingMatchesSnapshot) {
       << "wire-format mismatch: the JSONL encoding is a published contract; "
          "if the change is intentional, regenerate with REPRO_UPDATE_GOLDEN=1 "
          "and review the diff";
+}
+
+// --- Degradation / health wire encoding ------------------------------------
+
+TEST(ServeWire, DegradationAndRetriesAppearOnlyOnOkLines) {
+  Response ok;
+  ok.id = 5;
+  ok.status = Status::kOk;
+  ok.key = "NB/2/default";
+  ok.degradation = Degradation::kRetried;
+  ok.retries = 2;
+  const std::string ok_line = format_response_line(ok);
+  EXPECT_NE(ok_line.find("\"degradation\":\"retried\""), std::string::npos);
+  EXPECT_NE(ok_line.find("\"retries\":2"), std::string::npos);
+
+  Response failed;
+  failed.id = 6;
+  failed.status = Status::kFailed;
+  failed.key = "NB/2/default";
+  failed.error = "fault-injected abort; 2 of 2 retries used";
+  const std::string failed_line = format_response_line(failed);
+  EXPECT_NE(failed_line.find("\"status\":\"failed\""), std::string::npos);
+  EXPECT_EQ(failed_line.find("\"degradation\":"), std::string::npos);
+  EXPECT_EQ(failed_line.find("\"retries\":"), std::string::npos);
+}
+
+TEST(ServeWire, HealthRequestDetection) {
+  EXPECT_TRUE(is_health_request(R"({"v":1,"health":true})"));
+  EXPECT_TRUE(is_health_request(R"({ "health" : true })"));
+  EXPECT_TRUE(is_health_request(R"({"health":true,"future":null})"));
+  EXPECT_FALSE(is_health_request(R"({"health":false})"));
+  EXPECT_FALSE(is_health_request(R"({"health":"true"})"));
+  EXPECT_FALSE(is_health_request(R"({"v":1,"program":"NB"})"));
+  EXPECT_FALSE(is_health_request("{}"));
+  EXPECT_FALSE(is_health_request(""));
+  EXPECT_FALSE(is_health_request("not json"));
+  EXPECT_FALSE(is_health_request(R"({"health":true} extra)"));
+}
+
+// --- Mutation-style parser properties --------------------------------------
+//
+// The wire parser's robustness contract, proven by exhaustive single-byte
+// mutation of canonical lines: every mutant either (a) is rejected with a
+// structured, non-empty error, or (b) parses to a request that DIFFERS
+// from the original — except when the mutation lands inside a key-name
+// token, where flipping a byte legally turns the field into an ignored
+// unknown field (forward compatibility) and the request falls back to the
+// field's default. The canonical line pins id/input/deadline to values
+// whose defaults differ (id 7, input 2) or whose %.17g rendering is exact
+// and short (deadline 0), so "parses equal" can only ever come from the
+// documented key-name exemption — never from silent value corruption.
+
+namespace {
+
+v1::ExperimentRequest mutation_canonical() {
+  v1::ExperimentRequest request;
+  request.id = 7;
+  request.program = "NB";
+  request.input_index = 2;
+  request.config = "default";
+  request.deadline_ms = 0.0;
+  return request;
+}
+
+bool requests_equal(const v1::ExperimentRequest& a,
+                    const v1::ExperimentRequest& b) {
+  return a.id == b.id && a.program == b.program &&
+         a.input_index == b.input_index && a.config == b.config &&
+         a.deadline_ms == b.deadline_ms;
+}
+
+// Byte ranges of the key-name tokens (quotes included) — the only places
+// where a mutation may legally leave the parsed request unchanged.
+std::vector<std::pair<std::size_t, std::size_t>> key_name_ranges(
+    const std::string& line) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (const char* name :
+       {"\"v\":", "\"id\":", "\"program\":", "\"input\":", "\"config\":",
+        "\"deadline_ms\":"}) {
+    const std::size_t at = line.find(name);
+    EXPECT_NE(at, std::string::npos) << name;
+    ranges.emplace_back(at, at + std::strlen(name) - 1);  // minus the ':'
+  }
+  return ranges;
+}
+
+bool in_key_name(const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+                 std::size_t pos) {
+  for (const auto& [begin, end] : ranges) {
+    if (pos >= begin && pos < end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(ServeWireMutation, SubstitutedRequestBytesNeverParseSilentlyEqual) {
+  const v1::ExperimentRequest canonical = mutation_canonical();
+  const std::string line = format_request_line(canonical);
+  const auto exempt = key_name_ranges(line);
+  std::size_t rejected = 0, changed = 0, exempt_equal = 0;
+  for (std::size_t pos = 0; pos < line.size(); ++pos) {
+    for (const unsigned char flip : {0x01, 0x20, 0x80, 0xff}) {
+      std::string mutated = line;
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^ flip);
+      v1::ExperimentRequest out;
+      std::string error;
+      if (!parse_request_line(mutated, out, error)) {
+        EXPECT_FALSE(error.empty()) << "silent rejection of: " << mutated;
+        ++rejected;
+        continue;
+      }
+      if (requests_equal(out, canonical)) {
+        // The only legal way to mutate a line and parse the same request:
+        // the byte was part of a key name, turning a known field into an
+        // ignored unknown one whose default matches the canonical value.
+        EXPECT_TRUE(in_key_name(exempt, pos))
+            << "byte " << pos << " of " << line << " mutated to " << mutated
+            << " parsed silently equal outside a key-name token";
+        ++exempt_equal;
+      } else {
+        ++changed;
+      }
+    }
+  }
+  // The sweep saw all three outcomes (otherwise the property is vacuous).
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(changed, 0u);
+  EXPECT_GT(exempt_equal, 0u);
+}
+
+TEST(ServeWireMutation, DeletedRequestBytesNeverParseSilentlyEqual) {
+  const v1::ExperimentRequest canonical = mutation_canonical();
+  const std::string line = format_request_line(canonical);
+  const auto exempt = key_name_ranges(line);
+  std::size_t rejected = 0, changed = 0, exempt_equal = 0;
+  for (std::size_t pos = 0; pos < line.size(); ++pos) {
+    std::string mutated = line;
+    mutated.erase(pos, 1);
+    v1::ExperimentRequest out;
+    std::string error;
+    if (!parse_request_line(mutated, out, error)) {
+      EXPECT_FALSE(error.empty()) << "silent rejection of: " << mutated;
+      ++rejected;
+      continue;
+    }
+    if (requests_equal(out, canonical)) {
+      EXPECT_TRUE(in_key_name(exempt, pos))
+          << "deleting byte " << pos << " of " << line
+          << " parsed silently equal outside a key-name token";
+      ++exempt_equal;
+    } else {
+      ++changed;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(changed + exempt_equal, 0u);
+}
+
+TEST(ServeWireMutation, TruncatedRequestLinesAreAlwaysRejected) {
+  const std::string line = format_request_line(mutation_canonical());
+  for (std::size_t length = 0; length < line.size(); ++length) {
+    v1::ExperimentRequest out;
+    std::string error;
+    EXPECT_FALSE(parse_request_line(line.substr(0, length), out, error))
+        << "proper prefix of length " << length << " parsed";
+    EXPECT_FALSE(error.empty()) << length;
+  }
+}
+
+TEST(ServeWireMutation, FieldRemovalIsRejectedOrVisiblyDifferent) {
+  const v1::ExperimentRequest canonical = mutation_canonical();
+  // Drop each field wholesale: required fields reject; id/input change the
+  // parsed request; v and deadline_ms (at their defaults) are the
+  // documented optional-field exemption.
+  const struct {
+    const char* field;
+    bool must_reject;
+    bool may_equal;
+  } cases[] = {
+      {"\"program\":\"NB\",", true, false},
+      {"\"config\":\"default\",", true, false},
+      {"\"id\":7,", false, false},
+      {"\"input\":2,", false, false},
+      {"\"v\":1,", false, true},
+      {",\"deadline_ms\":0", false, true},
+  };
+  const std::string line = format_request_line(canonical);
+  for (const auto& c : cases) {
+    const std::size_t at = line.find(c.field);
+    ASSERT_NE(at, std::string::npos) << c.field;
+    std::string mutated = line;
+    mutated.erase(at, std::strlen(c.field));
+    v1::ExperimentRequest out;
+    std::string error;
+    const bool parsed = parse_request_line(mutated, out, error);
+    if (c.must_reject) {
+      EXPECT_FALSE(parsed) << mutated;
+      EXPECT_FALSE(error.empty()) << mutated;
+    } else {
+      ASSERT_TRUE(parsed) << error << " for " << mutated;
+      EXPECT_EQ(requests_equal(out, canonical), c.may_equal) << mutated;
+    }
+  }
+}
+
+TEST(ServeWireMutation, MutatedResponseLinesNeverParseAsRequests) {
+  // Response lines carry no program/config, so no single-byte mutation can
+  // turn one into a valid request — feeding server output back into the
+  // server must always produce a structured rejection, never an accidental
+  // experiment.
+  Response response;
+  response.id = 9;
+  response.status = Status::kOk;
+  response.key = "NB/2/default";
+  response.degradation = Degradation::kRetried;
+  response.retries = 1;
+  response.result.usable = true;
+  response.result.time_s = 1.5;
+  response.result.energy_j = 250.0;
+  response.result.power_w = 96.5;
+  const std::string line = format_response_line(response);
+  for (std::size_t pos = 0; pos < line.size(); ++pos) {
+    for (const unsigned char flip : {0x01, 0x20, 0xff}) {
+      std::string mutated = line;
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^ flip);
+      v1::ExperimentRequest out;
+      std::string error;
+      EXPECT_FALSE(parse_request_line(mutated, out, error)) << mutated;
+      EXPECT_FALSE(error.empty()) << mutated;
+    }
+    std::string deleted = line;
+    deleted.erase(pos, 1);
+    v1::ExperimentRequest out;
+    std::string error;
+    EXPECT_FALSE(parse_request_line(deleted, out, error)) << deleted;
+  }
 }
 
 }  // namespace

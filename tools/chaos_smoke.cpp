@@ -1,0 +1,315 @@
+// Chaos harness for the fault-injection layer (DESIGN.md §12).
+//
+//   chaos_smoke [--seeds N] [--start S] [--threads K] [--retries R]
+//
+// Replays the golden experiment slice through a Service under N seeded
+// fault plans (seeds S .. S+N-1) and asserts the resilience contract on
+// every request of every run:
+//
+//   1. every request reaches a terminal state (no hangs, no lost tickets),
+//   2. every "ok"/"retried" response is BIT-identical to the fault-free
+//      golden metrics computed before any plan was installed,
+//   3. statuses are truthful: "degraded" only with an applied sensor fault
+//      for that key, "failed" only with applied scheduler aborts, and the
+//      Service stats agree with the per-response tally,
+//   4. the same seed reproduces the same schedule byte for byte
+//      (FaultPlan::schedule_digest equality across independent plans).
+//
+// On violation it prints the exact reproduction command with the failing
+// seed and exits 1. With REPRO_BENCH_JSON set, writes a flat JSON artifact
+// with the injected-fault / retry / degradation counts and the fault-free
+// wall time (the ci overhead gate reads it).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "fault/fault.hpp"
+#include "repro/api.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "suites/factories.hpp"
+
+namespace {
+
+using repro::fault::FaultPlan;
+using repro::fault::PlanOptions;
+using repro::fault::ScopedPlan;
+using repro::fault::Site;
+using repro::serve::Degradation;
+using repro::serve::Response;
+using repro::serve::Service;
+using repro::serve::Status;
+using repro::v1::ExperimentRequest;
+
+struct Entry {
+  const char* program;
+  std::size_t input;
+  const char* config;
+};
+
+// The golden-slice matrix (tests/golden_test.cpp): every suite, every
+// configuration, regular and irregular programs.
+constexpr Entry kSlice[10] = {
+    {"NB", 2, "default"},  {"LBM", 0, "614"},    {"SGEMM", 0, "default"},
+    {"TPACF", 0, "ecc"},   {"BP", 0, "default"}, {"L-BFS", 2, "324"},
+    {"FFT", 0, "default"}, {"MD", 0, "614"},     {"L-BFS-wlc", 2, "default"},
+    {"BH", 0, "default"},
+};
+
+std::vector<ExperimentRequest> slice_batch(int rounds) {
+  std::vector<ExperimentRequest> batch;
+  for (int round = 0; round < rounds; ++round) {  // repeats hit the cache
+    for (const Entry& e : kSlice) {
+      ExperimentRequest request;
+      request.program = e.program;
+      request.input_index = e.input;
+      request.config = e.config;
+      request.id = batch.size() + 1;
+      batch.push_back(std::move(request));
+    }
+  }
+  return batch;
+}
+
+bool identical(const repro::v1::MeasurementResult& a,
+               const repro::v1::MeasurementResult& b) {
+  // Exact comparison on purpose: "recovered by retry" promises the same
+  // bytes a fault-free run produces, not merely close values.
+  return a.usable == b.usable && a.time_s == b.time_s &&
+         a.energy_j == b.energy_j && a.power_w == b.power_w &&
+         a.true_active_s == b.true_active_s &&
+         a.time_spread == b.time_spread && a.energy_spread == b.energy_spread;
+}
+
+struct SeedOutcome {
+  bool ok = false;
+  std::uint64_t faults = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t failed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 32;
+  std::uint64_t start = 1;
+  int threads = 0;
+  int retries = 2;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      if (const char* v = next()) seeds = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--start") == 0) {
+      if (const char* v = next()) start = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (const char* v = next()) threads = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      if (const char* v = next()) retries = std::atoi(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_smoke [--seeds N] [--start S] [--threads K] "
+                   "[--retries R]\n");
+      return 2;
+    }
+  }
+  if (seeds < 1) seeds = 1;
+  if (start == 0) start = 1;  // seed 0 is reserved for "no plan"
+
+  repro::suites::register_all_workloads();
+
+  // Fault-free golden, computed BEFORE any plan exists: the oracle every
+  // ok/retried response must match bit for bit.
+  std::map<std::string, repro::v1::MeasurementResult> golden;
+  const auto golden_t0 = std::chrono::steady_clock::now();
+  {
+    repro::v1::Session session;
+    for (const Entry& e : kSlice) {
+      ExperimentRequest request;
+      request.program = e.program;
+      request.input_index = e.input;
+      request.config = e.config;
+      golden[repro::core::experiment_key(e.program, e.input, e.config)] =
+          session.measure(request);
+    }
+  }
+  const double golden_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - golden_t0)
+          .count();
+
+  std::vector<std::string> slice_keys;
+  for (const Entry& e : kSlice) {
+    slice_keys.push_back(
+        repro::core::experiment_key(e.program, e.input, e.config));
+  }
+
+  const std::vector<ExperimentRequest> batch = slice_batch(2);
+  std::uint64_t total_faults = 0, total_retried = 0, total_degraded = 0,
+                total_failed = 0, total_requests = 0;
+  int violations = 0;
+
+  for (int n = 0; n < seeds; ++n) {
+    const std::uint64_t seed = start + static_cast<std::uint64_t>(n);
+    SeedOutcome outcome;
+    std::string failure;
+
+    PlanOptions plan_options;
+    plan_options.seed = seed;
+    FaultPlan plan{plan_options};
+
+    // Replayability witness: an independent plan with the same seed must
+    // agree on the whole schedule, byte for byte.
+    {
+      FaultPlan twin{plan_options};
+      if (plan.schedule_digest(slice_keys, 8) !=
+          twin.schedule_digest(slice_keys, 8)) {
+        failure = "schedule_digest differs between same-seed plans";
+      }
+    }
+
+    if (failure.empty()) {
+      ScopedPlan scope{&plan};
+      Service::Options service_options;
+      service_options.threads = threads;
+      service_options.max_retries = retries;
+      service_options.retry_backoff_ms = 0.0;  // chaos runs do not sleep
+      std::vector<Response> responses;
+      {
+        Service service{service_options};
+        responses = service.run_batch(batch);
+
+        const Service::Stats stats = service.stats();
+        std::uint64_t ok = 0, retried = 0, degraded = 0, failed = 0;
+        for (const Response& r : responses) {
+          if (r.status == Status::kOk) {
+            ++ok;
+            if (r.degradation == Degradation::kRetried) ++retried;
+            if (r.degradation == Degradation::kDegraded) ++degraded;
+          } else if (r.status == Status::kFailed) {
+            ++failed;
+          }
+        }
+        if (responses.size() != batch.size()) {
+          failure = "lost responses: got " + std::to_string(responses.size()) +
+                    " of " + std::to_string(batch.size());
+        } else if (stats.completed != ok || stats.retried != retried ||
+                   stats.degraded != degraded || stats.faulted != failed) {
+          failure = "service stats disagree with the response tally";
+        }
+        outcome.retried = retried;
+        outcome.degraded = degraded;
+        outcome.failed = failed;
+      }
+
+      for (std::size_t i = 0; failure.empty() && i < responses.size(); ++i) {
+        const Response& r = responses[i];
+        const std::string& key = slice_keys[i % slice_keys.size()];
+        if (r.status == Status::kOk) {
+          if (r.degradation == Degradation::kDegraded) {
+            // Truthfulness: degraded requires an applied sensor fault.
+            if (plan.applied(Site::kSensor, key) == 0) {
+              failure = "response " + std::to_string(r.id) +
+                        " degraded without an applied sensor fault (" + key +
+                        ")";
+              break;
+            }
+          } else if (!identical(r.result, golden.at(key))) {
+            // ok / retried promise fault-free bytes.
+            failure = "response " + std::to_string(r.id) + " (" +
+                      std::string(repro::serve::to_string(r.degradation)) +
+                      ") differs from fault-free golden for " + key;
+            break;
+          }
+        } else if (r.status == Status::kFailed) {
+          if (plan.applied(Site::kScheduler, key) == 0) {
+            failure = "response " + std::to_string(r.id) +
+                      " failed without applied scheduler aborts (" + key + ")";
+            break;
+          }
+        } else {
+          failure = "response " + std::to_string(r.id) +
+                    " has unexpected status " +
+                    std::string(repro::serve::to_string(r.status));
+          break;
+        }
+      }
+      outcome.faults = plan.applied_total();
+    }
+
+    outcome.ok = failure.empty();
+    total_faults += outcome.faults;
+    total_retried += outcome.retried;
+    total_degraded += outcome.degraded;
+    total_failed += outcome.failed;
+    total_requests += batch.size();
+    std::printf("seed %llu: %s  faults=%llu retried=%llu degraded=%llu "
+                "failed=%llu\n",
+                static_cast<unsigned long long>(seed),
+                outcome.ok ? "ok" : "VIOLATION",
+                static_cast<unsigned long long>(outcome.faults),
+                static_cast<unsigned long long>(outcome.retried),
+                static_cast<unsigned long long>(outcome.degraded),
+                static_cast<unsigned long long>(outcome.failed));
+    if (!outcome.ok) {
+      ++violations;
+      std::fprintf(stderr,
+                   "chaos_smoke: %s\n"
+                   "reproduce with: chaos_smoke --seeds 1 --start %llu"
+                   "%s%s --retries %d\n",
+                   failure.c_str(), static_cast<unsigned long long>(seed),
+                   threads > 0 ? " --threads " : "",
+                   threads > 0 ? std::to_string(threads).c_str() : "",
+                   retries);
+    }
+  }
+
+  const std::string& json_path = repro::Options::global().bench_json;
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "chaos_smoke: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"seeds\": %d,\n"
+                 "  \"requests\": %llu,\n"
+                 "  \"faults_injected\": %llu,\n"
+                 "  \"retried\": %llu,\n"
+                 "  \"degraded\": %llu,\n"
+                 "  \"failed\": %llu,\n"
+                 "  \"fault_free_slice_ms\": %.3f\n"
+                 "}\n",
+                 seeds, static_cast<unsigned long long>(total_requests),
+                 static_cast<unsigned long long>(total_faults),
+                 static_cast<unsigned long long>(total_retried),
+                 static_cast<unsigned long long>(total_degraded),
+                 static_cast<unsigned long long>(total_failed),
+                 golden_wall_ms);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (violations > 0) {
+    std::fprintf(stderr, "chaos_smoke: FAIL, %d violating seed(s)\n",
+                 violations);
+    return 1;
+  }
+  std::printf("PASS: %d seeds, %llu requests, %llu faults injected, "
+              "%llu retried, %llu degraded, %llu failed\n",
+              seeds, static_cast<unsigned long long>(total_requests),
+              static_cast<unsigned long long>(total_faults),
+              static_cast<unsigned long long>(total_retried),
+              static_cast<unsigned long long>(total_degraded),
+              static_cast<unsigned long long>(total_failed));
+  return 0;
+}

@@ -4,6 +4,11 @@
 // one response per line, responses in request order.
 //
 //   repro-serve [--threads N] [--cache N] [--queue N] [--socket PATH]
+//               [--fault-seed N] [--retries N]
+//
+// A `{"v":1,"health":true}` line returns a health snapshot instead of a
+// measurement. `--fault-seed N` (default: REPRO_FAULT_SEED) installs the
+// deterministic fault plan with that seed — chaos mode, DESIGN.md §12.
 //
 // Default transport is stdin/stdout:
 //   printf '{"v":1,"id":1,"program":"NB","input":2,"config":"default"}\n' |
@@ -22,6 +27,7 @@
 #include <cstring>
 #include <deque>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <streambuf>
 #include <string>
@@ -30,6 +36,8 @@
 #include <variant>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "repro/api.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
 
@@ -39,9 +47,10 @@ using repro::serve::Response;
 using repro::serve::Service;
 using repro::serve::Status;
 
-// One submitted line: either a ticket still in flight or an immediate
-// response (parse errors resolve without touching the service).
-using Slot = std::variant<Service::Ticket, Response>;
+// One submitted line: a ticket still in flight, an immediate response
+// (parse errors resolve without touching the service), or a raw
+// pre-formatted line (health snapshots use their own wire encoding).
+using Slot = std::variant<Service::Ticket, Response, std::string>;
 
 Response invalid_response(std::uint64_t id, std::string error) {
   Response response;
@@ -71,10 +80,15 @@ void serve_stream(Service& service, std::istream& in, std::ostream& out) {
         slot = std::move(slots.front());
         slots.pop_front();
       }
-      const Response& response = std::holds_alternative<Response>(slot)
-                                     ? std::get<Response>(slot)
-                                     : std::get<Service::Ticket>(slot).wait();
-      out << repro::serve::format_response_line(response) << '\n';
+      if (std::holds_alternative<std::string>(slot)) {
+        out << std::get<std::string>(slot) << '\n';
+      } else {
+        const Response& response =
+            std::holds_alternative<Response>(slot)
+                ? std::get<Response>(slot)
+                : std::get<Service::Ticket>(slot).wait();
+        out << repro::serve::format_response_line(response) << '\n';
+      }
       out.flush();
     }
   });
@@ -84,7 +98,23 @@ void serve_stream(Service& service, std::istream& in, std::ostream& out) {
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty()) continue;
+    // Wire fault-injection site (DESIGN.md §12): inbound lines may be
+    // truncated or byte-corrupted by an installed plan. Mutated lines fall
+    // through the normal parser and resolve as structured kInvalidRequest
+    // responses (or, rarely, as a different-but-valid request) — the
+    // stream itself never desynchronizes.
+    line = repro::fault::filter_wire_line("inbound", line);
+    if (line.empty()) continue;  // truncated to nothing: like a blank line
     Slot slot;
+    if (repro::serve::is_health_request(line)) {
+      slot = repro::serve::format_health_line(service.health());
+      {
+        std::lock_guard lock(mutex);
+        slots.push_back(std::move(slot));
+      }
+      cv.notify_one();
+      continue;
+    }
     repro::v1::ExperimentRequest request;
     std::string error;
     if (repro::serve::parse_request_line(line, request, error)) {
@@ -191,6 +221,7 @@ int serve_socket(Service& service, const std::string& path) {
 int main(int argc, char** argv) {
   Service::Options options;
   std::string socket_path;
+  std::uint64_t fault_seed = repro::Options::global().fault_seed;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -208,13 +239,34 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--socket") {
       if (const char* v = next()) socket_path = v;
+    } else if (arg == "--fault-seed") {
+      if (const char* v = next()) {
+        fault_seed = std::strtoull(v, nullptr, 10);
+      }
+    } else if (arg == "--retries") {
+      if (const char* v = next()) options.max_retries = std::atoi(v);
     } else {
       std::fprintf(stderr,
                    "usage: repro-serve [--threads N] [--cache N] [--queue N] "
-                   "[--socket PATH]\n");
+                   "[--socket PATH] [--fault-seed N] [--retries N]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
+
+  // Chaos mode (DESIGN.md §12): a nonzero seed (from --fault-seed or
+  // REPRO_FAULT_SEED) installs a deterministic fault plan for the process
+  // lifetime. The seed is printed so any run can be replayed exactly.
+  std::unique_ptr<repro::fault::FaultPlan> fault_plan;
+  std::unique_ptr<repro::fault::ScopedPlan> fault_scope;
+  if (fault_seed != 0) {
+    repro::fault::PlanOptions plan_options;
+    plan_options.seed = fault_seed;
+    fault_plan = std::make_unique<repro::fault::FaultPlan>(plan_options);
+    fault_scope = std::make_unique<repro::fault::ScopedPlan>(fault_plan.get());
+    std::fprintf(stderr, "repro-serve: fault plan active, seed %llu\n",
+                 static_cast<unsigned long long>(fault_seed));
+  }
+
   repro::serve::Service service(options);
   if (!socket_path.empty()) return serve_socket(service, socket_path);
   serve_stream(service, std::cin, std::cout);

@@ -12,6 +12,10 @@
 // stats): it is exactly the request id, the experiment key and the %.17g
 // metrics. scripts/ci.sh diffs the service output at several client counts
 // against the --direct output; any byte difference is a determinism bug.
+// Exits nonzero when any request resolves to a non-ok status or leaves no
+// response line — an ERROR line in otherwise-diffable output must never
+// pass a pipeline that only checks the exit code.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -91,6 +95,7 @@ int main(int argc, char** argv) {
 
   const std::vector<ExperimentRequest> batch = canned_batch();
   std::vector<std::string> lines(batch.size());
+  std::atomic<std::size_t> errors{0};
 
   if (direct) {
     repro::v1::Session session;
@@ -118,6 +123,7 @@ int main(int argc, char** argv) {
                 "id=" + std::to_string(batch[index].id) + " ERROR " +
                 std::string(repro::serve::to_string(response.status)) + ": " +
                 response.error;
+            errors.fetch_add(1, std::memory_order_relaxed);
           } else {
             lines[index] = format_line(batch[index], response.result);
           }
@@ -137,6 +143,19 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.cache.evictions));
   }
 
-  for (const std::string& line : lines) std::printf("%s\n", line.c_str());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) {
+      std::fprintf(stderr, "serve_smoke: no response for request %llu\n",
+                   static_cast<unsigned long long>(batch[i].id));
+      errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::printf("%s\n", lines[i].c_str());
+  }
+  if (errors.load(std::memory_order_relaxed) > 0) {
+    std::fprintf(stderr, "serve_smoke: %llu failed request(s)\n",
+                 static_cast<unsigned long long>(
+                     errors.load(std::memory_order_relaxed)));
+    return 1;
+  }
   return 0;
 }
