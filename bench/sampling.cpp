@@ -1,0 +1,214 @@
+// Sampling-estimator gate (DESIGN.md §13). Two promises the sampled
+// "rabbit" mode makes, checked end to end and emitted as a flat JSON
+// artifact (REPRO_BENCH_JSON, scripts/ci.sh writes BENCH_sampling.json):
+//
+//   1. honesty — over the golden slice x 10 seeds at fraction 0.10 the
+//      median STATED relative error (CI half-width / estimate) is <= 5%
+//      per metric, and the stated intervals actually cover the exact
+//      value at the calibrated >= 90% rate;
+//   2. speed — on the full registry matrix with warm traces the sampled
+//      measurement stage is >= 5x faster than the exact pipeline.
+//
+// White-box by design (drives core::Study and sample::measure_sampled
+// directly: the speedup claim is about the measurement stage, not trace
+// construction, which both paths share).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "repro/api.hpp"
+#include "sample/sample.hpp"
+#include "sim/gpuconfig.hpp"
+#include "suites/factories.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct SliceEntry {
+  const char* program;
+  std::size_t input;
+  const char* config;
+};
+
+// The usable golden-slice matrix (tests/golden_test.cpp): every suite,
+// every configuration, regular and irregular programs.
+constexpr SliceEntry kSlice[9] = {
+    {"NB", 2, "default"},  {"LBM", 0, "614"}, {"SGEMM", 0, "default"},
+    {"TPACF", 0, "ecc"},   {"BP", 0, "default"}, {"L-BFS", 2, "324"},
+    {"FFT", 0, "default"}, {"MD", 0, "614"},  {"BH", 0, "default"},
+};
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double stated_rel(const sample::Interval& ci, double estimate) {
+  return estimate != 0.0 ? 0.5 * (ci.high - ci.low) / std::abs(estimate) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  suites::register_all_workloads();
+  constexpr double kFraction = 0.10;
+  constexpr int kSeeds = 10;
+  constexpr double kMaxStatedRel = 0.05;  // per-metric median
+  constexpr double kMinCoverage = 0.90;   // calibrated 95% CI floor
+  constexpr double kMinSpeedup = 5.0;
+
+  // --- Coverage over the golden slice --------------------------------------
+  int covered_t = 0, covered_e = 0, covered_p = 0, sampled_runs = 0;
+  core::Study study;
+  for (const SliceEntry& entry : kSlice) {
+    const workloads::Workload* w =
+        workloads::Registry::instance().find(entry.program);
+    if (w == nullptr) {
+      std::printf("FAIL: unknown program %s\n", entry.program);
+      return 1;
+    }
+    const sim::GpuConfig& config = sim::config_by_name(entry.config);
+    const core::ExperimentResult& exact =
+        study.measure(*w, entry.input, config);
+    for (int s = 0; s < kSeeds; ++s) {
+      sample::SampleOptions options;
+      options.mode = sample::Mode::kStratified;
+      options.fraction = kFraction;
+      options.seed = 1000 + static_cast<std::uint64_t>(s);
+      const sample::SampledResult r =
+          sample::measure_sampled(study, *w, entry.input, config, options);
+      if (!r.sampled) continue;  // too little structure: exact passthrough
+      ++sampled_runs;
+      covered_t += r.time_ci.low <= exact.time_s && exact.time_s <= r.time_ci.high;
+      covered_e +=
+          r.energy_ci.low <= exact.energy_j && exact.energy_j <= r.energy_ci.high;
+      covered_p +=
+          r.power_ci.low <= exact.power_w && exact.power_w <= r.power_ci.high;
+    }
+  }
+  const double cov_t = sampled_runs > 0 ? double(covered_t) / sampled_runs : 0.0;
+  const double cov_e = sampled_runs > 0 ? double(covered_e) / sampled_runs : 0.0;
+  const double cov_p = sampled_runs > 0 ? double(covered_p) / sampled_runs : 0.0;
+
+  // --- Honesty + speedup on the full matrix, warm traces -------------------
+  // The stated-error gate is over the full registry matrix (the population
+  // the 5% claim is calibrated on), one sampled run per job at the
+  // library-default seed.
+  core::Study exact_study, sampled_study;
+  const std::span<const sim::GpuConfig> configs = sim::standard_configs();
+  std::vector<double> stated_t, stated_e, stated_p;
+  double exact_s = 0.0, sampled_s = 0.0;
+  int jobs = 0, sampled_jobs = 0;
+  for (const workloads::Workload* w : workloads::Registry::instance().all()) {
+    for (std::size_t i = 0; i < w->inputs().size(); ++i) {
+      for (const sim::GpuConfig& config : configs) {
+        exact_study.trace_result(*w, i, config);
+        sampled_study.trace_result(*w, i, config);
+        const auto t0 = std::chrono::steady_clock::now();
+        exact_study.measure(*w, i, config);
+        const auto t1 = std::chrono::steady_clock::now();
+        sample::SampleOptions options;
+        options.mode = sample::Mode::kStratified;
+        options.fraction = kFraction;
+        const sample::SampledResult r =
+            sample::measure_sampled(sampled_study, *w, i, config, options);
+        const auto t2 = std::chrono::steady_clock::now();
+        exact_s += std::chrono::duration<double>(t1 - t0).count();
+        sampled_s += std::chrono::duration<double>(t2 - t1).count();
+        ++jobs;
+        sampled_jobs += r.sampled;
+        if (r.sampled && r.base.usable) {
+          stated_t.push_back(stated_rel(r.time_ci, r.base.time_s));
+          stated_e.push_back(stated_rel(r.energy_ci, r.base.energy_j));
+          stated_p.push_back(stated_rel(r.power_ci, r.base.power_w));
+        }
+      }
+    }
+  }
+  const double speedup = sampled_s > 0.0 ? exact_s / sampled_s : 0.0;
+  const double med_t = median(stated_t);
+  const double med_e = median(stated_e);
+  const double med_p = median(stated_p);
+
+  std::printf(
+      "sampling gate: fraction %.2f, slice x %d seeds, %d-job matrix\n"
+      "  CI coverage of exact (slice)        time %.0f%%  energy %.0f%%  "
+      "power %.0f%%  (%d runs)\n"
+      "  stated rel err median (matrix)      time %.2f%%  energy %.2f%%  "
+      "power %.2f%%  (%d sampled)\n"
+      "  measurement-stage speedup (matrix)  %.2fx\n",
+      kFraction, kSeeds, jobs, 100.0 * cov_t, 100.0 * cov_e, 100.0 * cov_p,
+      sampled_runs, 100.0 * med_t, 100.0 * med_e, 100.0 * med_p, sampled_jobs,
+      speedup);
+
+  const std::string& json_path = Options::global().bench_json;
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"fraction\": %.3f,\n"
+                 "  \"seeds\": %d,\n"
+                 "  \"sampled_runs\": %d,\n"
+                 "  \"stated_rel_err_time_median\": %.5f,\n"
+                 "  \"stated_rel_err_energy_median\": %.5f,\n"
+                 "  \"stated_rel_err_power_median\": %.5f,\n"
+                 "  \"ci_coverage_time\": %.4f,\n"
+                 "  \"ci_coverage_energy\": %.4f,\n"
+                 "  \"ci_coverage_power\": %.4f,\n"
+                 "  \"matrix_jobs\": %d,\n"
+                 "  \"matrix_sampled_jobs\": %d,\n"
+                 "  \"matrix_exact_ms\": %.3f,\n"
+                 "  \"matrix_sampled_ms\": %.3f,\n"
+                 "  \"matrix_speedup\": %.3f\n"
+                 "}\n",
+                 kFraction, kSeeds, sampled_runs, med_t, med_e, med_p, cov_t,
+                 cov_e, cov_p, jobs, sampled_jobs, 1e3 * exact_s,
+                 1e3 * sampled_s, speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  int rc = 0;
+  for (const auto& [name, med] : {std::pair<const char*, double>{"time", med_t},
+                                  {"energy", med_e},
+                                  {"power", med_p}}) {
+    if (med > kMaxStatedRel) {
+      std::printf("FAIL: median stated %s error %.2f%% exceeds %.0f%%\n", name,
+                  100.0 * med, 100.0 * kMaxStatedRel);
+      rc = 1;
+    }
+  }
+  for (const auto& [name, cov] : {std::pair<const char*, double>{"time", cov_t},
+                                  {"energy", cov_e},
+                                  {"power", cov_p}}) {
+    if (cov < kMinCoverage) {
+      std::printf("FAIL: %s CI coverage %.0f%% below %.0f%%\n", name,
+                  100.0 * cov, 100.0 * kMinCoverage);
+      rc = 1;
+    }
+  }
+  if (speedup < kMinSpeedup) {
+    std::printf("FAIL: matrix speedup %.2fx below the %.1fx floor\n", speedup,
+                kMinSpeedup);
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("PASS: stated <= %.0f%%, coverage >= %.0f%%, %.2fx >= %.1fx\n",
+                100.0 * kMaxStatedRel, 100.0 * kMinCoverage, speedup,
+                kMinSpeedup);
+  }
+  return rc;
+}

@@ -52,6 +52,15 @@ struct Options {
   std::size_t serve_queue_limit = 256;
   std::uint64_t fault_seed = 0;  // 0 = no default fault plan
 
+  /// Sampled "rabbit" mode defaults (REPRO_SAMPLE_*, src/sample/):
+  /// mode "exact" | "stratified" | "systematic"; fraction in (0, 1];
+  /// target relative error in (0, 1) with 0 = no escalation; seed 0 = the
+  /// library default. These seed sample::SampleOptions::from_global().
+  std::string sample_mode = "exact";
+  double sample_fraction = 0.0;
+  double sample_target_rel_error = 0.0;
+  std::uint64_t sample_seed = 0;
+
   /// Parses every knob from the environment (missing/invalid = default).
   static Options from_env();
   /// The process-wide options, parsed once on first use.
@@ -61,6 +70,26 @@ struct Options {
 namespace v1 {
 
 inline constexpr int kApiVersion = 1;
+
+/// Sampled "rabbit" mode of one request (DESIGN.md §13). Exact mode is
+/// the default and bit-identical to the full-timing pipeline; the sampled
+/// modes run a seeded subset of launch clusters through the detailed
+/// pipeline and return an estimate plus nominal 95% confidence intervals.
+enum class SamplingMode {
+  kExact,       // full-timing pipeline, bit-identical to the goldens
+  kStratified,  // strata by dominant kernel class, seeded within-stratum
+  kSystematic,  // evenly spaced clusters with a seeded offset
+};
+
+struct SamplingOptions {
+  SamplingMode mode = SamplingMode::kExact;
+  /// Target fraction of structural kernel time simulated in detail, (0, 1].
+  double fraction = 0.10;
+  /// When > 0: escalate the fraction until every stated relative half-width
+  /// is below this, falling back to an exact passthrough when it cannot be.
+  double target_rel_error = 0.0;
+  std::uint64_t seed = 1;
+};
 
 /// One experiment to run: a (program, input, configuration) triple, by the
 /// names used in the paper ("NB", "L-BFS", ... / "default", "614", "324",
@@ -72,10 +101,20 @@ struct ExperimentRequest {
   std::string config;
   double deadline_ms = 0.0;
   std::uint64_t id = 0;
+  SamplingOptions sampling;  // default: exact (full-timing) measurement
+};
+
+/// Nominal 95% confidence interval of one sampled metric.
+struct ConfidenceInterval {
+  double low = 0.0;
+  double high = 0.0;
 };
 
 /// Median-of-repetitions result of one experiment (the paper's three
 /// metrics plus the Table 2 spreads and the simulator ground truth).
+/// Results produced by a sampled request additionally set `sampled` and
+/// carry the achieved fraction plus per-metric confidence intervals; for
+/// an exact measurement those fields keep their defaults.
 struct MeasurementResult {
   bool usable = false;
   double time_s = 0.0;
@@ -84,6 +123,9 @@ struct MeasurementResult {
   double true_active_s = 0.0;
   double time_spread = 0.0;
   double energy_spread = 0.0;
+  bool sampled = false;         // estimate from the sampled pipeline
+  double sample_fraction = 1.0; // achieved sampled fraction of kernel time
+  ConfidenceInterval time_ci, energy_ci, power_ci;
 };
 
 /// Ratio of two results with usability propagation (unusable or degenerate
@@ -238,7 +280,16 @@ class Session {
                             std::string_view config);
   MeasurementResult measure(std::string_view program, std::size_t input_index,
                             const GpuConfigSpec& config);
+  /// Routes on `request.sampling.mode`: exact delegates to the full-timing
+  /// pipeline (bit-identical to the two-argument overloads); the sampled
+  /// modes return an estimate with confidence intervals (DESIGN.md §13).
   MeasurementResult measure(const ExperimentRequest& request);
+  /// Sampled measurement with explicit options. `SamplingMode::kExact` (or
+  /// fraction >= 1) is an exact passthrough, bit-identical to `measure`.
+  MeasurementResult measure_sampled(std::string_view program,
+                                    std::size_t input_index,
+                                    std::string_view config,
+                                    const SamplingOptions& sampling);
 
   /// Records one run's sensor stream plus its K20Power analysis. `seed`
   /// selects the measurement noise stream of this profile.

@@ -78,6 +78,17 @@ if [ -x build/tools/chaos_smoke ]; then
   REPRO_BENCH_JSON=CHAOS_smoke.json build/tools/chaos_smoke --seeds 32
 fi
 
+# Sampling gate (DESIGN.md §13): the sampled "rabbit" mode must be honest
+# and fast — on the golden slice its 95% intervals cover the exact value
+# >= 90% of the time, on the full warm-trace matrix the median stated
+# relative error stays <= 5% per metric and the measurement stage is
+# >= 5x faster than the exact pipeline. Numbers land in
+# BENCH_sampling.json via REPRO_BENCH_JSON.
+if [ -x build/bench/bench_sampling ]; then
+  echo "=== [sample] sampling estimator gate"
+  REPRO_BENCH_JSON=BENCH_sampling.json build/bench/bench_sampling
+fi
+
 # Optional Release perf smoke: REPRO_PERF=1 scripts/ci.sh
 # Runs bench_micro's bit-identity + speedup gates and writes
 # BENCH_pipeline.json (see scripts/bench.sh and DESIGN.md §10).

@@ -20,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "power/model.hpp"
+#include "sample/sample.hpp"
 #include "sensor/sampler.hpp"
 #include "sensor/waveform.hpp"
 #include "sim/device.hpp"
@@ -64,6 +65,41 @@ MeasurementResult to_dto(const core::ExperimentResult& r) {
   out.true_active_s = r.true_active_s;
   out.time_spread = r.time_spread;
   out.energy_spread = r.energy_spread;
+  return out;
+}
+
+sample::Mode to_internal(SamplingMode mode) {
+  switch (mode) {
+    case SamplingMode::kStratified: return sample::Mode::kStratified;
+    case SamplingMode::kSystematic: return sample::Mode::kSystematic;
+    case SamplingMode::kExact: break;
+  }
+  return sample::Mode::kExact;
+}
+
+sample::SampleOptions to_internal(const SamplingOptions& sampling) {
+  sample::SampleOptions options;  // library defaults for the tuning knobs
+  options.mode = to_internal(sampling.mode);
+  options.fraction = sampling.fraction;
+  options.target_rel_error = sampling.target_rel_error;
+  options.seed = sampling.seed;
+  return options;
+}
+
+MeasurementResult to_dto(const sample::SampledResult& r) {
+  MeasurementResult out;
+  out.usable = r.base.usable;
+  out.time_s = r.base.time_s;
+  out.energy_j = r.base.energy_j;
+  out.power_w = r.base.power_w;
+  out.true_active_s = r.base.true_active_s;
+  out.time_spread = r.base.time_spread;
+  out.energy_spread = r.base.energy_spread;
+  out.sampled = r.sampled;
+  out.sample_fraction = r.fraction;
+  out.time_ci = {r.time_ci.low, r.time_ci.high};
+  out.energy_ci = {r.energy_ci.low, r.energy_ci.high};
+  out.power_ci = {r.power_ci.low, r.power_ci.high};
   return out;
 }
 
@@ -219,7 +255,21 @@ MeasurementResult Session::measure(std::string_view program,
 }
 
 MeasurementResult Session::measure(const ExperimentRequest& request) {
-  return measure(request.program, request.input_index, request.config);
+  if (request.sampling.mode == SamplingMode::kExact) {
+    return measure(request.program, request.input_index, request.config);
+  }
+  return measure_sampled(request.program, request.input_index, request.config,
+                         request.sampling);
+}
+
+MeasurementResult Session::measure_sampled(std::string_view program,
+                                           std::size_t input_index,
+                                           std::string_view config,
+                                           const SamplingOptions& sampling) {
+  const workloads::Workload& w = impl_->workload(program);
+  return to_dto(sample::measure_sampled(
+      impl_->study, w, impl_->checked_input(w, input_index),
+      sim::config_by_name(config), to_internal(sampling)));
 }
 
 PowerProfile Session::profile(std::string_view program,

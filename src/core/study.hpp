@@ -119,6 +119,10 @@ class Study {
 
   const power::PowerModel& power_model() const noexcept { return power_model_; }
 
+  /// The study's seeds/repetitions (the sampling layer mirrors the exact
+  /// measurement stream from these, src/sample/sample.cpp).
+  const Options& options() const noexcept { return options_; }
+
   /// Per-kernel energy/runtime breakdown of one experiment (observability
   /// layer, DESIGN.md §9): the model's energy shares over the structural
   /// trace, scaled to the measured energy when the experiment is usable.

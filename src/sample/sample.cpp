@@ -1,0 +1,802 @@
+#include "sample/sample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/variability.hpp"
+#include "fault/fault.hpp"
+#include "k20power/analyze.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "power/model.hpp"
+#include "repro/api.hpp"
+#include "sensor/sampler.hpp"
+#include "sensor/waveform.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace repro::sample {
+
+std::string_view to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kExact: return "exact";
+    case Mode::kStratified: return "stratified";
+    case Mode::kSystematic: return "systematic";
+  }
+  return "exact";
+}
+
+bool parse_mode(std::string_view text, Mode& out) {
+  if (text == "exact") {
+    out = Mode::kExact;
+  } else if (text == "stratified") {
+    out = Mode::kStratified;
+  } else if (text == "systematic") {
+    out = Mode::kSystematic;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SampleOptions SampleOptions::from_global() {
+  const repro::Options& global = repro::Options::global();
+  SampleOptions o;
+  parse_mode(global.sample_mode, o.mode);  // unparsable = keep kExact
+  if (global.sample_fraction > 0.0 && global.sample_fraction <= 1.0) {
+    o.fraction = global.sample_fraction;
+  }
+  if (global.sample_target_rel_error > 0.0 &&
+      global.sample_target_rel_error < 1.0) {
+    o.target_rel_error = global.sample_target_rel_error;
+  }
+  if (global.sample_seed != 0) o.seed = global.sample_seed;
+  return o;
+}
+
+double student_t975(int df) {
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df < 1) df = 1;
+  if (df > 30) return 1.96;
+  return kTable[df - 1];
+}
+
+namespace {
+
+void scale_activity(sim::Activity& a, double s) {
+  a.warp_instructions *= s;
+  a.fp32_ops *= s;
+  a.fp64_ops *= s;
+  a.int_ops *= s;
+  a.sfu_ops *= s;
+  a.shared_accesses *= s;
+  a.l2_transactions *= s;
+  a.dram_transactions *= s;
+  a.dram_bus_bytes *= s;
+  a.atomic_ops *= s;
+}
+
+void add_scaled_activity(sim::Activity& out, const sim::Activity& a, double s) {
+  out.warp_instructions += a.warp_instructions * s;
+  out.fp32_ops += a.fp32_ops * s;
+  out.fp64_ops += a.fp64_ops * s;
+  out.int_ops += a.int_ops * s;
+  out.sfu_ops += a.sfu_ops * s;
+  out.shared_accesses += a.shared_accesses * s;
+  out.l2_transactions += a.l2_transactions * s;
+  out.dram_transactions += a.dram_transactions * s;
+  out.dram_bus_bytes += a.dram_bus_bytes * s;
+  out.atomic_ops += a.atomic_ops * s;
+}
+
+/// One cluster: a contiguous slice of the structural timeline holding
+/// ~min_cluster_active_s of kernel time. Long phases are split by scaling
+/// activity and duration with the split fraction — the model power of the
+/// chunk is then identical to the whole phase's and its energy
+/// proportional, so chunks are faithful sub-units of the launch.
+struct Cluster {
+  std::size_t begin_phase = 0;  // inclusive
+  std::size_t end_phase = 0;    // inclusive
+  double begin_frac = 0.0;      // clipped start fraction of begin_phase
+  double end_frac = 1.0;        // clipped end fraction of end_phase
+  double active_s = 0.0;        // structural kernel seconds inside
+  double gap_internal_s = 0.0;  // host gaps inside the window
+  double lead_gap_s = 0.0;      // host gap immediately before the window
+  double sumsq_s = 0.0;         // sum of squared chunk durations
+  double dyn_j = 0.0;           // model dynamic energy of the slice
+  double em_struct_j = 0.0;     // structural model window energy
+  std::size_t dominant_phase = 0;
+  std::size_t stratum = 0;
+};
+
+/// Cuts the structural trace into clusters and assigns strata by dominant
+/// kernel class. O(phases): per phase only sums and compares; the power
+/// model is evaluated once per cluster on the summed activity (dynamic
+/// energy is linear in activity, so the sum's energy equals the sum of the
+/// chunk energies).
+std::vector<Cluster> build_clusters(const sim::TraceResult& trace,
+                                    const power::PowerModel& model,
+                                    const sim::GpuConfig& config,
+                                    double ecc_adjust, double tail_w,
+                                    double min_cluster_s,
+                                    std::size_t max_cluster_phases,
+                                    std::vector<std::string>& stratum_names) {
+  std::vector<Cluster> clusters;
+  sim::Activity acc{};
+  Cluster cur;
+  bool open = false;
+  double max_chunk = -1.0;
+  std::size_t cur_phases = 0;
+  if (max_cluster_phases == 0) max_cluster_phases = 1;
+
+  const auto close = [&] {
+    if (!open) return;
+    cur.dyn_j = model.dynamic_energy_j(acc, config);
+    cur.em_struct_j = ecc_adjust * (tail_w * cur.active_s + cur.dyn_j) +
+                      tail_w * cur.gap_internal_s;
+    clusters.push_back(cur);
+    cur = Cluster{};
+    acc = sim::Activity{};
+    open = false;
+    max_chunk = -1.0;
+    cur_phases = 0;
+  };
+
+  for (std::size_t i = 0; i < trace.phases.size(); ++i) {
+    const sim::Phase& phase = trace.phases[i];
+    const double d = phase.duration_s;
+    const std::size_t n_chunks =
+        d > 2.0 * min_cluster_s
+            ? static_cast<std::size_t>(std::ceil(d / min_cluster_s))
+            : 1;
+    for (std::size_t k = 0; k < n_chunks; ++k) {
+      const double lo = static_cast<double>(k) / static_cast<double>(n_chunks);
+      const double hi =
+          static_cast<double>(k + 1) / static_cast<double>(n_chunks);
+      const double chunk_d = d * (hi - lo);
+      if (!open) {
+        open = true;
+        cur.begin_phase = i;
+        cur.begin_frac = lo;
+        cur.lead_gap_s = (k == 0) ? phase.host_gap_before_s : 0.0;
+        cur.dominant_phase = i;
+      } else if (k == 0) {
+        cur.gap_internal_s += phase.host_gap_before_s;
+      }
+      cur.end_phase = i;
+      cur.end_frac = hi;
+      cur.active_s += chunk_d;
+      cur.sumsq_s += chunk_d * chunk_d;
+      ++cur_phases;
+      add_scaled_activity(acc, phase.activity, hi - lo);
+      if (chunk_d > max_chunk) {
+        max_chunk = chunk_d;
+        cur.dominant_phase = i;
+      }
+      if (cur.active_s >= min_cluster_s || cur_phases >= max_cluster_phases) {
+        close();
+      }
+    }
+  }
+  close();
+
+  // Strata: one per distinct dominant kernel class, first-seen order.
+  stratum_names.clear();
+  for (Cluster& c : clusters) {
+    const std::string& kernel = trace.phases[c.dominant_phase].kernel_name;
+    std::size_t h = 0;
+    for (; h < stratum_names.size(); ++h) {
+      if (stratum_names[h] == kernel) break;
+    }
+    if (h == stratum_names.size()) stratum_names.push_back(kernel);
+    c.stratum = h;
+  }
+  return clusters;
+}
+
+/// Seeded, deterministic cluster selection. The first and last clusters
+/// are always selected: K20Power's active window is the span from the
+/// first to the last above-threshold sample, so keeping the real run edges
+/// in the mini trace reproduces the full run's threshold-crossing and
+/// driver-tail behaviour exactly.
+std::vector<char> select_clusters(const std::vector<Cluster>& clusters,
+                                  std::size_t n_strata, Mode mode,
+                                  double fraction, util::Rng& sel) {
+  const std::size_t n = clusters.size();
+  std::vector<char> selected(n, 0);
+  selected.front() = 1;
+  selected.back() = 1;
+
+  if (mode == Mode::kSystematic) {
+    const std::size_t want = std::min<std::size_t>(
+        n, std::max<std::size_t>(
+               3, static_cast<std::size_t>(
+                      std::ceil(fraction * static_cast<double>(n)))));
+    const double stride = static_cast<double>(n) / static_cast<double>(want);
+    const double offset = sel.uniform() * stride;
+    for (std::size_t k = 0; k < want; ++k) {
+      const auto idx = static_cast<std::size_t>(
+          offset + stride * static_cast<double>(k));
+      selected[std::min(idx, n - 1)] = 1;
+    }
+    return selected;
+  }
+
+  // Stratified: per-stratum member lists, seeded Fisher-Yates permutation,
+  // clusters taken until the stratum's share of kernel time is reached.
+  std::vector<std::vector<std::size_t>> members(n_strata);
+  std::vector<double> active(n_strata, 0.0);
+  std::vector<std::size_t> interior_members(n_strata, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    members[clusters[i].stratum].push_back(i);
+    active[clusters[i].stratum] += clusters[i].active_s;
+    if (i != 0 && i != n - 1) ++interior_members[clusters[i].stratum];
+  }
+  for (std::size_t h = 0; h < n_strata; ++h) {
+    std::vector<std::size_t>& perm = members[h];
+    const double target = fraction * active[h];
+    const std::size_t want_min = std::min<std::size_t>(2, perm.size());
+    // The stratum ratio is estimated from interior windows (the forced
+    // first/last clusters carry the run's rise/fall edges, see run_pass),
+    // so every stratum needs at least two interior picks when it has them.
+    const std::size_t want_interior =
+        std::min<std::size_t>(2, interior_members[h]);
+    double got = 0.0;
+    std::size_t count = 0, interior = 0;
+    for (const std::size_t idx : perm) {
+      if (selected[idx]) {
+        got += clusters[idx].active_s;
+        ++count;
+      }
+    }
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[sel.uniform_index(i)]);
+    }
+    for (const std::size_t idx : perm) {
+      if (got >= target && count >= want_min && interior >= want_interior) {
+        break;
+      }
+      if (selected[idx]) continue;
+      selected[idx] = 1;
+      got += clusters[idx].active_s;
+      ++count;
+      if (idx != 0 && idx != n - 1) ++interior;
+    }
+  }
+  return selected;
+}
+
+/// Lag-compensated trapezoidal energy of the sample stream clipped to the
+/// window [a, b] — the same compensation arithmetic K20Power applies to the
+/// full stream (p = r + tau * dr/dt, central differences).
+double window_energy(std::span<const sensor::Sample> ss, double tau, double a,
+                     double b) {
+  if (ss.size() < 2 || b <= a) return 0.0;
+  const auto comp = [&](std::size_t i) {
+    const std::size_t lo = i > 0 ? i - 1 : i;
+    const std::size_t hi = i + 1 < ss.size() ? i + 1 : i;
+    const double dt = ss[hi].t - ss[lo].t;
+    const double drdt = dt > 0.0 ? (ss[hi].w - ss[lo].w) / dt : 0.0;
+    return ss[i].w + tau * drdt;
+  };
+  double energy = 0.0;
+  for (std::size_t i = 0; i + 1 < ss.size(); ++i) {
+    const double t0 = ss[i].t, t1 = ss[i + 1].t;
+    if (t1 <= a) continue;
+    if (t0 >= b) break;
+    const double lo = std::max(a, t0), hi = std::min(b, t1);
+    if (hi <= lo || t1 <= t0) continue;
+    const double c0 = comp(i), c1 = comp(i + 1);
+    const double w_lo = c0 + (lo - t0) / (t1 - t0) * (c1 - c0);
+    const double w_hi = c0 + (hi - t0) / (t1 - t0) * (c1 - c0);
+    energy += 0.5 * (w_lo + w_hi) * (hi - lo);
+  }
+  return energy;
+}
+
+SampledResult passthrough(core::Study& study,
+                          const workloads::Workload& workload,
+                          std::size_t input_index,
+                          const sim::GpuConfig& config) {
+  SampledResult r;
+  r.base = study.measure(workload, input_index, config);
+  r.sampled = false;
+  r.fraction = 1.0;
+  r.time_ci = {r.base.time_s, r.base.time_s};
+  r.energy_ci = {r.base.energy_j, r.base.energy_j};
+  r.power_ci = {r.base.power_w, r.base.power_w};
+  return r;
+}
+
+/// One selection + measurement pass at a fixed fraction.
+SampledResult run_pass(core::Study& study, const workloads::Workload& workload,
+                       const sim::GpuConfig& config,
+                       const SampleOptions& options, const std::string& key,
+                       const sim::TraceResult& ground,
+                       const std::vector<Cluster>& clusters,
+                       const std::vector<std::string>& stratum_names,
+                       double fraction, int pass) {
+  const std::size_t n_clusters = clusters.size();
+  const std::size_t n_strata = stratum_names.size();
+  const power::PowerModel& model = study.power_model();
+  const double ecc_adjust =
+      config.ecc ? workload.ecc_power_adjustment() : 1.0;
+  power::PhasePowerMemo memo{model, config, ecc_adjust};
+  const double tail_w = memo.tail_power_w();
+
+  // Deterministic selection stream per (experiment, seed, pass).
+  util::Rng sel{util::mix64(
+      options.seed ^
+      util::mix64(std::hash<std::string>{}(key) ^ 0x53414d504c45ULL) ^
+      static_cast<std::uint64_t>(pass) * 0x9e3779b97f4a7c15ULL)};
+  const std::vector<char> selected =
+      select_clusters(clusters, n_strata, options.mode, fraction, sel);
+
+  // Complement aggregates (the analytic, never-simulated remainder).
+  std::vector<double> u_em(n_strata, 0.0);     // model energy, unsampled
+  std::vector<double> u_active(n_strata, 0.0); // kernel seconds, unsampled
+  std::vector<double> u_dyn(n_strata, 0.0);    // dynamic energy, unsampled
+  std::vector<double> u_gint(n_strata, 0.0);   // internal gaps, unsampled
+  std::vector<double> s_em(n_strata, 0.0);     // model energy, sampled
+  std::vector<std::size_t> n_sampled(n_strata, 0);
+  std::vector<std::size_t> n_total(n_strata, 0);
+  std::vector<double> h_active(n_strata, 0.0);
+  std::vector<double> h_sampled_active(n_strata, 0.0);
+  double sumsq_u = 0.0;
+  double sampled_active = 0.0;
+  double dyn_total = 0.0;
+  // The ratio of each stratum is estimated from its interior sampled
+  // windows when it has at least two of them: the forced first/last
+  // clusters carry the run's rise/fall through the sensor lag, an edge
+  // bias per window that does not shrink with window length.
+  std::vector<std::size_t> n_interior_sel(n_strata, 0);
+  for (std::size_t i = 1; i + 1 < n_clusters; ++i) {
+    if (selected[i]) ++n_interior_sel[clusters[i].stratum];
+  }
+  std::vector<char> use_interior(n_strata, 0);
+  for (std::size_t h = 0; h < n_strata; ++h) {
+    use_interior[h] = n_interior_sel[h] >= 2;
+  }
+  std::vector<double> s_em_used(n_strata, 0.0);  // model energy, ratio windows
+  std::vector<std::size_t> n_rho(n_strata, 0);   // windows in the ratio
+  for (std::size_t i = 0; i < n_clusters; ++i) {
+    const Cluster& c = clusters[i];
+    ++n_total[c.stratum];
+    h_active[c.stratum] += c.active_s;
+    dyn_total += c.dyn_j;
+    if (selected[i]) {
+      ++n_sampled[c.stratum];
+      h_sampled_active[c.stratum] += c.active_s;
+      s_em[c.stratum] += c.em_struct_j;
+      sampled_active += c.active_s;
+      const bool interior = i != 0 && i + 1 != n_clusters;
+      if (!use_interior[c.stratum] || interior) {
+        s_em_used[c.stratum] += c.em_struct_j;
+        ++n_rho[c.stratum];
+      }
+    } else {
+      u_em[c.stratum] += c.em_struct_j;
+      u_active[c.stratum] += c.active_s;
+      u_dyn[c.stratum] += c.dyn_j;
+      u_gint[c.stratum] += c.gap_internal_s;
+      sumsq_u += c.sumsq_s;
+    }
+  }
+  double unsampled_active = 0.0, unsampled_gint = 0.0;
+  for (std::size_t h = 0; h < n_strata; ++h) {
+    unsampled_active += u_active[h];
+    unsampled_gint += u_gint[h];
+  }
+
+  // Mini-trace template: the selected clusters re-assembled structurally.
+  // The first mini phase keeps the run's real leading gap; a cluster that
+  // directly continues the previously selected one keeps its natural gap;
+  // everywhere else the skipped span is compressed to gap_compress_s.
+  struct Ref {
+    std::size_t cluster_row = 0;  // dense row among selected clusters
+    bool window_start = false;
+  };
+  std::vector<std::size_t> rows;  // selected cluster ids, ascending
+  for (std::size_t i = 0; i < n_clusters; ++i) {
+    if (selected[i]) rows.push_back(i);
+  }
+  sim::TraceResult tmpl;
+  std::vector<Ref> refs;
+  double g_all = 0.0;
+  for (std::size_t i = 1; i < ground.phases.size(); ++i) {
+    g_all += ground.phases[i].host_gap_before_s;
+  }
+  double g_mini = 0.0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Cluster& c = clusters[rows[r]];
+    const bool adjacent = r > 0 && rows[r - 1] + 1 == rows[r];
+    for (std::size_t p = c.begin_phase; p <= c.end_phase; ++p) {
+      const sim::Phase& phase = ground.phases[p];
+      double frac = 1.0;
+      if (p == c.begin_phase) frac -= c.begin_frac;
+      if (p == c.end_phase) frac -= 1.0 - c.end_frac;
+      sim::Phase mp;
+      mp.kernel_name = phase.kernel_name;
+      mp.memory_bound = phase.memory_bound;
+      mp.duration_s = phase.duration_s * frac;
+      mp.activity = phase.activity;
+      scale_activity(mp.activity, frac);
+      const bool cluster_first = p == c.begin_phase;
+      if (cluster_first) {
+        const double natural =
+            c.begin_frac == 0.0 ? phase.host_gap_before_s : 0.0;
+        if (refs.empty()) {
+          mp.host_gap_before_s = natural;  // before the span: not in g_mini
+        } else {
+          mp.host_gap_before_s = adjacent ? natural : options.gap_compress_s;
+          g_mini += mp.host_gap_before_s;
+        }
+      } else {
+        mp.host_gap_before_s = phase.host_gap_before_s;
+        g_mini += mp.host_gap_before_s;
+      }
+      tmpl.phases.push_back(std::move(mp));
+      refs.push_back(Ref{r, cluster_first});
+      tmpl.active_time_s += tmpl.phases.back().duration_s;
+      tmpl.total_span_s +=
+          tmpl.phases.back().duration_s + tmpl.phases.back().host_gap_before_s;
+    }
+  }
+  add_scaled_activity(tmpl.total_activity, ground.total_activity, 1.0);
+
+  // Per-repetition measurement through the unmodified detailed pipeline.
+  // The measurement stream and the global jitters mirror the exact path
+  // draw-for-draw (same seed derivation, same draw order as
+  // core::perturb), so repetition r of the sampled mode experiences the
+  // same run under a shorter recording.
+  const core::VariabilityOptions var{};
+  const double sigma_t =
+      workload.regularity() == workloads::Regularity::kIrregular
+          ? var.time_sigma_irregular
+          : var.time_sigma_regular;
+  util::Rng stream{util::mix64(study.options().measurement_seed ^
+                               util::mix64(std::hash<std::string>{}(key)))};
+  const sensor::Sensor sensor;
+  const k20power::AnalyzeOptions analyze_options =
+      k20power::options_for_tail(tail_w);
+  const sensor::WaveformOptions wave_options{};
+  const double window_offset =
+      wave_options.lead_in_idle_s + wave_options.init_phase_s;
+
+  sim::TraceResult work = tmpl;
+  sensor::Waveform waveform;
+  std::vector<sensor::Sample> samples;
+
+  SampledResult out;
+  out.sampled = true;
+  out.passes = pass + 1;
+  out.clusters = n_clusters;
+  out.clusters_sampled = rows.size();
+  out.fraction = ground.active_time_s > 0.0
+                     ? sampled_active / ground.active_time_s
+                     : 1.0;
+  out.base.true_active_s = ground.active_time_s;
+
+  std::vector<double> t_hats, e_hats, p_hats;
+  // Detrended per-rep series: estimate minus the analytic model total
+  // under the rep's shared jitters. The sampled mode mirrors the exact
+  // path's global jitters, so an exact run with the same study seeds moves
+  // with the estimate rep-for-rep; the repetition term of the CI covers
+  // the residual (unshared) scatter, not the shared jitter itself.
+  std::vector<double> t_dts, e_dts, p_dts;
+  std::vector<std::vector<double>> rho_reps(n_strata);
+  std::vector<double> res_sq(n_strata, 0.0);  // ratio residuals, pooled
+  int usable_reps = 0;
+  double rj_sum = 0.0;
+  const double d_total = ground.active_time_s;
+
+  std::vector<double> win_a(rows.size()), win_b(rows.size());
+  std::vector<double> dur_pert(rows.size());
+  std::vector<char> interior_row(rows.size(), 0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    interior_row[r] = rows[r] != 0 && rows[r] + 1 != n_clusters;
+  }
+
+  for (int rep = 0; rep < study.options().repetitions; ++rep) {
+    util::Rng rep_rng = stream.fork(static_cast<std::uint64_t>(rep) + 1);
+    // Global jitters: same draw order as core::perturb.
+    double run_jitter = rep_rng.lognormal_jitter(sigma_t);
+    if (rep_rng.bernoulli(var.outlier_probability)) {
+      run_jitter *= 1.0 + std::abs(rep_rng.normal()) * var.outlier_scale;
+    }
+    const double activity_jitter = rep_rng.lognormal_jitter(var.activity_sigma);
+
+    std::fill(dur_pert.begin(), dur_pert.end(), 0.0);
+    double t = window_offset;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const double phase_jitter = rep_rng.lognormal_jitter(var.phase_sigma);
+      sim::Phase& wp = work.phases[i];
+      const sim::Phase& tp = tmpl.phases[i];
+      wp.duration_s = tp.duration_s * run_jitter * phase_jitter;
+      wp.activity = tp.activity;
+      scale_activity(wp.activity, activity_jitter);
+      t += wp.host_gap_before_s;
+      if (refs[i].window_start) win_a[refs[i].cluster_row] = t;
+      t += wp.duration_s;
+      win_b[refs[i].cluster_row] = t;
+      dur_pert[refs[i].cluster_row] += wp.duration_s;
+    }
+
+    sensor::synthesize_into(waveform, work, memo, wave_options);
+    sensor.record_into(waveform, rep_rng, samples);
+    const k20power::Measurement m = k20power::analyze(samples, analyze_options);
+    out.base.repetitions.push_back(m);
+    if (!m.usable) continue;
+    ++usable_reps;
+    rj_sum += run_jitter;
+
+    // Per-stratum measured/model ratio over the ratio windows (interior
+    // subset where available, see the aggregates pass above).
+    std::vector<double> e_sum(n_strata, 0.0), em_sum(n_strata, 0.0);
+    std::vector<double> e_c(rows.size()), em_c(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const Cluster& c = clusters[rows[r]];
+      e_c[r] = window_energy(samples, analyze_options.lag_tau_s, win_a[r],
+                             win_b[r]);
+      em_c[r] = ecc_adjust * (tail_w * dur_pert[r] + activity_jitter * c.dyn_j) +
+                tail_w * c.gap_internal_s;
+      if (use_interior[c.stratum] && !interior_row[r]) continue;
+      e_sum[c.stratum] += e_c[r];
+      em_sum[c.stratum] += em_c[r];
+    }
+    std::vector<double> rho(n_strata, 1.0);
+    for (std::size_t h = 0; h < n_strata; ++h) {
+      if (em_sum[h] > 0.0) rho[h] = e_sum[h] / em_sum[h];
+      rho_reps[h].push_back(rho[h]);
+    }
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const std::size_t h = clusters[rows[r]].stratum;
+      if (use_interior[h] && !interior_row[r]) continue;
+      const double res = e_c[r] - rho[h] * em_c[r];
+      res_sq[h] += res * res;
+    }
+
+    // Time: the unsampled span is analytic — durations scale with the run
+    // jitter (per-phase jitter has unit mean; its variance enters the CI),
+    // host gaps are deterministic, and the threshold edges are already in
+    // the mini measurement because the first/last clusters are real.
+    const double t_hat =
+        m.active_time_s + run_jitter * unsampled_active + (g_all - g_mini);
+
+    // Energy: ratio-extrapolate the unsampled kernels per stratum; gap
+    // spans missing from the mini trace (skipped lead gaps minus the
+    // compression surplus) are restored at the driver tail level.
+    double e_hat = m.energy_j;
+    for (std::size_t h = 0; h < n_strata; ++h) {
+      const double em_u = ecc_adjust * (tail_w * run_jitter * u_active[h] +
+                                        activity_jitter * u_dyn[h]) +
+                          tail_w * u_gint[h];
+      e_hat += rho[h] * em_u;
+    }
+    e_hat += tail_w * (g_all - g_mini - unsampled_gint);
+
+    const double p_hat = t_hat > 0.0 ? e_hat / t_hat : 0.0;
+    t_hats.push_back(t_hat);
+    e_hats.push_back(e_hat);
+    p_hats.push_back(p_hat);
+
+    // Shared-jitter model totals for the detrended repetition series.
+    const double t_model = run_jitter * d_total + g_all;
+    const double e_model = ecc_adjust * (tail_w * run_jitter * d_total +
+                                         activity_jitter * dyn_total) +
+                           tail_w * g_all;
+    t_dts.push_back(t_hat - t_model);
+    e_dts.push_back(e_hat - e_model);
+    p_dts.push_back(p_hat - (t_model > 0.0 ? e_model / t_model : 0.0));
+  }
+
+  for (std::size_t h = 0; h < n_strata; ++h) {
+    StratumReport report;
+    report.kernel = stratum_names[h];
+    report.clusters = n_total[h];
+    report.sampled = n_sampled[h];
+    report.structural_s = h_active[h];
+    report.sampled_s = h_sampled_active[h];
+    report.energy_ratio =
+        rho_reps[h].empty() ? 0.0 : util::median(rho_reps[h]);
+    out.strata.push_back(std::move(report));
+  }
+
+  if (usable_reps < 2) return out;  // base.usable stays false, like exact
+  out.base.usable = true;
+  out.base.time_s = util::median(t_hats);
+  out.base.energy_j = util::median(e_hats);
+  out.base.power_w = util::median(p_hats);
+  out.base.time_spread = util::relative_spread(t_hats);
+  out.base.energy_spread = util::relative_spread(e_hats);
+
+  // --- Stated 95% confidence intervals (DESIGN.md §13) ---
+  // Sampling variance of the energy total: stratified ratio estimator with
+  // finite-population correction. With residual variance s2_h around the
+  // stratum ratio, estimating the unsampled total U_h rho_h carries
+  //   Var_h = s2_h * (U_h^2 n_h / (sum_s em)^2 + (N_h - n_h))
+  // (ratio-noise on rho_h propagated to U_h, plus the intrinsic spread of
+  // the N_h - n_h unseen residuals). Strata sampled exhaustively drop out.
+  int df_samp = 0;
+  double pooled_res = 0.0;
+  int pooled_df = 0;
+  for (std::size_t h = 0; h < n_strata; ++h) {
+    const int df_h = static_cast<int>(n_rho[h]) - 1;
+    if (df_h > 0 && n_total[h] > n_sampled[h]) df_samp += df_h;
+    if (df_h > 0) {
+      pooled_res += res_sq[h];
+      pooled_df += df_h * usable_reps;
+    }
+  }
+  const double pooled_s2 = pooled_df > 0 ? pooled_res / pooled_df : 0.0;
+  double var_e = 0.0;
+  for (std::size_t h = 0; h < n_strata; ++h) {
+    if (n_total[h] <= n_sampled[h]) continue;  // exhaustively sampled
+    const int df_h = static_cast<int>(n_rho[h]) - 1;
+    const double s2 =
+        df_h > 0 ? res_sq[h] / (usable_reps * df_h) : pooled_s2;
+    if (s2 <= 0.0 || s_em_used[h] <= 0.0) continue;
+    const double n_h = static_cast<double>(n_rho[h]);
+    const double unseen = static_cast<double>(n_total[h] - n_sampled[h]);
+    var_e += s2 * (u_em[h] * u_em[h] * n_h / (s_em_used[h] * s_em_used[h]) +
+                   unseen);
+  }
+  // Sampling variance of the time total: only the per-phase jitter of the
+  // unsampled chunks is unknown (run jitter is shared, gaps deterministic).
+  const double rj_mean = rj_sum / usable_reps;
+  const double var_t =
+      rj_mean * rj_mean * var.phase_sigma * var.phase_sigma * sumsq_u;
+
+  const int df_rep = usable_reps - 1;
+  const double t_rep = student_t975(df_rep);
+  const double t_samp = student_t975(df_samp > 0 ? df_samp : 1);
+  const double se_time =
+      util::stddev(t_dts) / std::sqrt(static_cast<double>(usable_reps));
+  const double se_energy =
+      util::stddev(e_dts) / std::sqrt(static_cast<double>(usable_reps));
+  const double se_power =
+      util::stddev(p_dts) / std::sqrt(static_cast<double>(usable_reps));
+
+  const auto half_width = [&](double se, double var_samp, double estimate) {
+    const double a = t_rep * se;
+    const double b = t_samp * std::sqrt(std::max(var_samp, 0.0));
+    return std::sqrt(a * a + b * b) + options.guard_rel * std::abs(estimate);
+  };
+  const double hw_t = half_width(se_time, var_t, out.base.time_s);
+  const double hw_e = half_width(se_energy, var_e, out.base.energy_j);
+  // Power = energy / time. The active-window edge noise shared by the
+  // numerator and denominator cancels in the ratio (a longer measured
+  // window adds ~p * dt of energy along with dt of time), so only the
+  // independent SAMPLING variances propagate, plus the detrended
+  // repetition scatter of the ratio itself.
+  const double rel_samp_t =
+      out.base.time_s > 0.0 ? std::sqrt(std::max(var_t, 0.0)) / out.base.time_s
+                            : 0.0;
+  const double rel_samp_e =
+      out.base.energy_j > 0.0
+          ? std::sqrt(std::max(var_e, 0.0)) / out.base.energy_j
+          : 0.0;
+  const double hw_p =
+      std::sqrt(std::pow(t_rep * se_power, 2) +
+                std::pow(t_samp * out.base.power_w, 2) *
+                    (rel_samp_t * rel_samp_t + rel_samp_e * rel_samp_e)) +
+      options.guard_rel * std::abs(out.base.power_w);
+
+  out.time_ci = {out.base.time_s - hw_t, out.base.time_s + hw_t};
+  out.energy_ci = {out.base.energy_j - hw_e, out.base.energy_j + hw_e};
+  out.power_ci = {out.base.power_w - hw_p, out.base.power_w + hw_p};
+  return out;
+}
+
+double stated_rel_error(const SampledResult& r) {
+  if (!r.base.usable) return 0.0;
+  double rel = 0.0;
+  const auto fold = [&](const Interval& ci, double estimate) {
+    if (estimate > 0.0) {
+      rel = std::max(rel, 0.5 * (ci.high - ci.low) / estimate);
+    }
+  };
+  fold(r.time_ci, r.base.time_s);
+  fold(r.energy_ci, r.base.energy_j);
+  fold(r.power_ci, r.base.power_w);
+  return rel;
+}
+
+void record_obs(const SampledResult& r) {
+  if (!obs::enabled()) return;
+  obs::Registry& registry = obs::Registry::instance();
+  registry.counter("sample.requests").add();
+  if (!r.sampled) {
+    registry.counter("sample.exact_passthrough").add();
+    return;
+  }
+  registry.counter("sample.passes").add(static_cast<std::uint64_t>(r.passes));
+  registry.counter("sample.clusters").add(r.clusters);
+  registry.counter("sample.clusters_sampled").add(r.clusters_sampled);
+  if (!r.base.usable) registry.counter("sample.unusable").add();
+  registry.histogram("sample.fraction").observe(r.fraction);
+  // Per-stratum attribution: kernel-class cardinality is bounded by the
+  // program's global kernel count, so per-stratum counters stay small.
+  for (const StratumReport& s : r.strata) {
+    registry.counter("sample.stratum." + s.kernel + ".clusters")
+        .add(s.clusters);
+    registry.counter("sample.stratum." + s.kernel + ".sampled")
+        .add(s.sampled);
+  }
+}
+
+}  // namespace
+
+SampledResult measure_sampled(core::Study& study,
+                              const workloads::Workload& workload,
+                              std::size_t input_index,
+                              const sim::GpuConfig& config,
+                              const SampleOptions& options) {
+  const std::string key = core::experiment_key(workload, input_index, config);
+  obs::Span span("sampled-experiment", "experiment");
+  span.arg("key", key);
+
+  if (options.mode == Mode::kExact || options.fraction >= 1.0 ||
+      options.fraction <= 0.0) {
+    SampledResult r = passthrough(study, workload, input_index, config);
+    record_obs(r);
+    return r;
+  }
+
+  const sim::TraceResult& ground =
+      study.trace_result(workload, input_index, config);
+  std::vector<std::string> stratum_names;
+  const double ecc_adjust =
+      config.ecc ? workload.ecc_power_adjustment() : 1.0;
+  const double tail_w = study.power_model().tail_power_w(config);
+  std::vector<Cluster> clusters;
+  if (!ground.phases.empty() && ground.active_time_s > 0.0) {
+    clusters = build_clusters(ground, study.power_model(), config, ecc_adjust,
+                              tail_w, options.min_cluster_active_s,
+                              options.max_cluster_phases, stratum_names);
+  }
+  // Too little structure to sample: the full pipeline is already cheap.
+  if (clusters.size() <= 3) {
+    SampledResult r = passthrough(study, workload, input_index, config);
+    record_obs(r);
+    return r;
+  }
+
+  // Fault-injection context: the mini recordings attribute their sensor
+  // draws to this experiment's key, exactly like the exact path.
+  fault::KeyScope fault_scope{key};
+
+  double fraction = std::clamp(options.fraction, 0.0, 1.0);
+  SampledResult result;
+  for (int pass = 0;; ++pass) {
+    result = run_pass(study, workload, config, options, key, ground, clusters,
+                      stratum_names, fraction, pass);
+    if (options.target_rel_error <= 0.0) break;
+    if (result.base.usable &&
+        stated_rel_error(result) <= options.target_rel_error) {
+      break;
+    }
+    if (pass + 1 >= options.max_passes || fraction >= 1.0) {
+      // The budget cannot state the requested error: fall back to exact.
+      SampledResult exact = passthrough(study, workload, input_index, config);
+      exact.passes = pass + 1;
+      record_obs(exact);
+      return exact;
+    }
+    fraction = std::min(1.0, fraction * 2.0);
+  }
+  record_obs(result);
+  return result;
+}
+
+}  // namespace repro::sample

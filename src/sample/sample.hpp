@@ -1,0 +1,128 @@
+// Sampled "rabbit" characterization mode (DESIGN.md §13).
+//
+// The full-timing measurement loop is the cost center of serving
+// characterization at scale: its per-repetition cost is O(phases) (perturb
+// + waveform synthesis per kernel phase), and phase counts reach 300k per
+// experiment. This layer runs the full trace only through the cheap
+// functional path (the structural trace the Study already caches), selects
+// a subset of launch CLUSTERS for detailed timing/power simulation, and
+// extrapolates to a full measurement carrying an estimate plus a
+// confidence interval for active runtime, energy and average power.
+//
+// Estimator in one paragraph (derivation: DESIGN.md §13): the structural
+// timeline is cut into clusters of ~min_cluster_active_s of kernel time
+// (long phases are split; activity scales linearly with the split, so
+// power is invariant and energy proportional). A seeded, deterministic
+// strategy — stratified by dominant kernel class or systematic intervals —
+// picks clusters; the first and last clusters are always included so the
+// measured run keeps the real threshold edges. The sampled clusters are
+// re-assembled into a mini trace (inter-cluster gaps compressed) and
+// pushed through the UNMODIFIED detailed pipeline (variability jitters
+// mirrored draw-for-draw, waveform synthesis, sensor, K20Power analysis).
+// Time extrapolates additively (the unsampled span is analytic in the
+// run jitter); energy extrapolates via a per-stratum ratio estimator
+// (measured window energy / model window energy over the sampled clusters,
+// applied to the model energy of the unsampled complement). The CI is a
+// Student-t half-width over the stratified-ratio sampling variance plus
+// the repetition variance, plus a documented systematic guard term.
+//
+// Exact mode (kExact, or fraction >= 1) delegates to Study::measure and is
+// bit-identical to the goldens by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/study.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/workload.hpp"
+
+namespace repro::sample {
+
+/// Cluster-selection strategy.
+enum class Mode {
+  kExact,       // no sampling: delegate to the full-timing pipeline
+  kStratified,  // strata by dominant kernel class, seeded within-stratum picks
+  kSystematic,  // evenly spaced clusters with a seeded offset
+};
+
+std::string_view to_string(Mode mode);
+/// Parses "exact" / "stratified" / "systematic". Returns false (leaving
+/// `out` untouched) for anything else.
+bool parse_mode(std::string_view text, Mode& out);
+
+struct SampleOptions {
+  Mode mode = Mode::kExact;
+  /// Target fraction of structural kernel time simulated in detail, (0, 1].
+  double fraction = 0.10;
+  /// When > 0: escalate (double the fraction, up to max_passes) until the
+  /// stated relative half-width of every metric is below this, falling back
+  /// to exact passthrough when even fraction 1 cannot state it.
+  double target_rel_error = 0.0;
+  std::uint64_t seed = 1;
+  /// Structural kernel seconds per cluster (splitting long phases).
+  double min_cluster_active_s = 1.5;
+  /// Phase-count cap per cluster. Detailed-simulation cost is O(phases),
+  /// not O(seconds): phase-dense traces (300k launches in ~10 s) must cut
+  /// clusters by launch count or a "10% of time" sample would still
+  /// simulate a third of the phases.
+  std::size_t max_cluster_phases = 2048;
+  /// Systematic guard term of the error-bound contract (DESIGN.md §13):
+  /// added to every stated half-width as guard_rel * |estimate| to cover
+  /// model-vs-measured bias the sampling variance cannot see.
+  double guard_rel = 0.015;
+  /// Compressed inter-cluster host gap in the mini trace (seconds).
+  double gap_compress_s = 0.0;
+  int max_passes = 3;
+
+  /// Defaults with the REPRO_SAMPLE_* knobs applied (Options::global()).
+  static SampleOptions from_global();
+};
+
+/// Per-stratum attribution of one sampled measurement.
+struct StratumReport {
+  std::string kernel;        // dominant kernel class of the stratum
+  std::size_t clusters = 0;  // clusters in the stratum
+  std::size_t sampled = 0;   // clusters simulated in detail
+  double structural_s = 0.0; // structural kernel time of the stratum
+  double sampled_s = 0.0;    // structural kernel time simulated in detail
+  double energy_ratio = 0.0; // measured/model ratio of the median repetition
+};
+
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Result of one sampled (or passthrough) measurement.
+struct SampledResult {
+  /// Estimates in the exact result's shape: medians over repetitions,
+  /// Table-2 spreads, simulator ground truth. For a passthrough this is
+  /// bit-identical to Study::measure.
+  core::ExperimentResult base;
+  bool sampled = false;       // false: exact passthrough (bit-identical)
+  double fraction = 1.0;      // achieved sampled fraction of kernel time
+  int passes = 1;             // escalation passes actually run
+  std::size_t clusters = 0;
+  std::size_t clusters_sampled = 0;
+  /// Nominal 95% confidence intervals (zero-width for passthrough).
+  Interval time_ci, energy_ci, power_ci;
+  std::vector<StratumReport> strata;
+};
+
+/// Runs one experiment in sampled mode. Deterministic in (study seeds,
+/// experiment key, options): equal inputs produce bit-equal results.
+/// Thread-safe for distinct experiments (shares the study's trace cache).
+SampledResult measure_sampled(core::Study& study,
+                              const workloads::Workload& workload,
+                              std::size_t input_index,
+                              const sim::GpuConfig& config,
+                              const SampleOptions& options);
+
+/// Two-sided 95% Student-t quantile (t_{0.975, df}) used for the stated
+/// half-widths; df <= 0 is clamped to 1, df > 30 uses the normal limit.
+double student_t975(int df);
+
+}  // namespace repro::sample

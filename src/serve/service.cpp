@@ -11,6 +11,7 @@
 
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "sample/sample.hpp"
 #include "obs/trace.hpp"
 #include "power/energies.hpp"
 #include "sim/gpuconfig.hpp"
@@ -32,6 +33,53 @@ v1::MeasurementResult to_dto(const core::ExperimentResult& result) {
   dto.time_spread = result.time_spread;
   dto.energy_spread = result.energy_spread;
   return dto;
+}
+
+sample::Mode to_internal(v1::SamplingMode mode) {
+  switch (mode) {
+    case v1::SamplingMode::kStratified: return sample::Mode::kStratified;
+    case v1::SamplingMode::kSystematic: return sample::Mode::kSystematic;
+    case v1::SamplingMode::kExact: break;
+  }
+  return sample::Mode::kExact;
+}
+
+sample::SampleOptions to_internal(const v1::SamplingOptions& sampling) {
+  sample::SampleOptions options;
+  options.mode = to_internal(sampling.mode);
+  options.fraction = sampling.fraction;
+  options.target_rel_error = sampling.target_rel_error;
+  options.seed = sampling.seed;
+  return options;
+}
+
+v1::MeasurementResult to_dto(const sample::SampledResult& result) {
+  v1::MeasurementResult dto = to_dto(result.base);
+  dto.sampled = result.sampled;
+  dto.sample_fraction = result.fraction;
+  dto.time_ci = {result.time_ci.low, result.time_ci.high};
+  dto.energy_ci = {result.energy_ci.low, result.energy_ci.high};
+  dto.power_ci = {result.power_ci.low, result.power_ci.high};
+  return dto;
+}
+
+// Cache namespace of sampled results. The '%' makes the prefix unreachable
+// from any exact key: experiment-key escaping turns a literal '%' into
+// "%25", so no canonical key can start with "sample%:". A sampled result
+// therefore can never be served for an exact request (or vice versa), and
+// distinct sampling parameters never alias each other.
+std::string sample_namespace(const v1::SamplingOptions& sampling) {
+  const char* mode = "exact";
+  switch (sampling.mode) {
+    case v1::SamplingMode::kStratified: mode = "stratified"; break;
+    case v1::SamplingMode::kSystematic: mode = "systematic"; break;
+    case v1::SamplingMode::kExact: break;
+  }
+  char buffer[128];
+  std::snprintf(buffer, sizeof buffer, "sample%%:%s/%.17g/%.17g/%llu:", mode,
+                sampling.fraction, sampling.target_rel_error,
+                static_cast<unsigned long long>(sampling.seed));
+  return buffer;
 }
 
 struct Fnv1a {
@@ -343,7 +391,8 @@ struct Service::Miss {
   const workloads::Workload* workload = nullptr;
   const sim::GpuConfig* config = nullptr;
   std::string key;            // bare experiment key
-  std::string versioned_key;  // cache_version_ + key
+  std::string versioned_key;  // cache_version_ [+ sample namespace] + key
+  bool sampled = false;       // routed through the sampled pipeline
   int retries = 0;            // attempts beyond the first so far
 };
 
@@ -400,7 +449,11 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
 
     response.key = core::experiment_key(request.program, request.input_index,
                                         request.config);
-    std::string versioned_key = cache_version_ + response.key;
+    const bool sampled = request.sampling.mode != v1::SamplingMode::kExact;
+    std::string versioned_key =
+        sampled ? cache_version_ + sample_namespace(request.sampling) +
+                      response.key
+                : cache_version_ + response.key;
     v1::MeasurementResult cached;
     if (cache_.lookup(versioned_key, cached)) {
       bump("serve.cache.hits");
@@ -417,8 +470,21 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
     miss.config = config;
     miss.key = response.key;
     miss.versioned_key = std::move(versioned_key);
+    miss.sampled = sampled;
     misses.push_back(std::move(miss));
   }
+  if (misses.empty()) return;
+
+  // Sampled misses take their own path: they never enter the scheduler
+  // batch (sampling has no abort site, so kFailed cannot happen there) and
+  // carry their own sensor-taint retry loop.
+  std::vector<Miss> sampled_misses;
+  std::erase_if(misses, [&](Miss& miss) {
+    if (!miss.sampled) return false;
+    sampled_misses.push_back(std::move(miss));
+    return true;
+  });
+  if (!sampled_misses.empty()) dispatch_sampled(std::move(sampled_misses));
   if (misses.empty()) return;
 
   // Resilience loop (DESIGN.md §12). Each attempt runs the remaining
@@ -527,6 +593,72 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
           options_.retry_backoff_ms * factor));
     }
     remaining = std::move(retry);
+  }
+}
+
+// Sampled misses (DESIGN.md §13). Each attempt runs against a FRESH Study,
+// mirroring the exact path's taint hygiene: a sensor fault applied during
+// the attempt (detected as a per-attempt delta of the plan's applied
+// counter) triggers a retry with deterministic backoff; exhausting the
+// budget returns the measured-but-degraded estimate flagged kDegraded and
+// NEVER cached. Sampling dispatch has no abort site — every request
+// resolves with a measurement or a deadline expiry, never kFailed.
+void Service::dispatch_sampled(std::vector<Miss> misses) {
+  obs::Span span("dispatch-sampled", "serve");
+  span.arg("requests", static_cast<std::uint64_t>(misses.size()));
+  const fault::FaultPlan* plan = fault::active();
+  const int max_retries =
+      plan == nullptr ? 0 : std::max(options_.max_retries, 0);
+
+  for (Miss& miss : misses) {
+    const v1::ExperimentRequest& request = miss.pending->request;
+    const sample::SampleOptions sample_options = to_internal(request.sampling);
+    for (int attempt = 0;; ++attempt) {
+      const std::uint64_t sensor_before =
+          plan == nullptr ? 0 : plan->applied(fault::Site::kSensor, miss.key);
+      core::Study study{options_.study};
+      const sample::SampledResult result = sample::measure_sampled(
+          study, *miss.workload, request.input_index, *miss.config,
+          sample_options);
+      const bool tainted =
+          plan != nullptr &&
+          plan->applied(fault::Site::kSensor, miss.key) > sensor_before;
+      const bool deadline_passed = miss.pending->has_deadline &&
+                                   Clock::now() > miss.pending->deadline;
+      if (tainted && !deadline_passed && attempt < max_retries) {
+        miss.retries = attempt + 1;
+        bump("serve.retry.attempts");
+        if (options_.retry_backoff_ms > 0.0) {
+          const double factor = static_cast<double>(1ULL << attempt);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  options_.retry_backoff_ms * factor));
+        }
+        continue;
+      }
+
+      Response response;
+      response.id = request.id;
+      response.key = miss.key;
+      response.retries = miss.retries;
+      const v1::MeasurementResult dto = to_dto(result);
+      if (!tainted) {
+        bump("serve.cache.evictions", cache_.insert(miss.versioned_key, dto));
+      }
+      if (deadline_passed) {
+        response.status = Status::kDeadlineExpired;
+        response.error = "deadline expired during computation";
+      } else {
+        response.status = Status::kOk;
+        response.cached = false;
+        response.degradation = tainted ? Degradation::kDegraded
+                               : miss.retries > 0 ? Degradation::kRetried
+                                                  : Degradation::kNone;
+        response.result = dto;
+      }
+      fulfill(miss.pending, std::move(response));
+      break;
+    }
   }
 }
 

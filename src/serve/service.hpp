@@ -130,6 +130,7 @@ class Service {
 
   void dispatcher_loop();
   void dispatch(std::vector<std::shared_ptr<detail::Pending>> batch);
+  void dispatch_sampled(std::vector<Miss> misses);
   void fulfill(const std::shared_ptr<detail::Pending>& pending,
                Response response);
 

@@ -224,6 +224,23 @@ bool to_double(const Parser::Value& value, double& out) {
   return end != nullptr && *end == '\0';
 }
 
+std::string_view sampling_mode_name(v1::SamplingMode mode) {
+  switch (mode) {
+    case v1::SamplingMode::kExact: return "exact";
+    case v1::SamplingMode::kStratified: return "stratified";
+    case v1::SamplingMode::kSystematic: return "systematic";
+  }
+  return "exact";
+}
+
+bool parse_sampling_mode(std::string_view text, v1::SamplingMode& out) {
+  if (text == "exact") out = v1::SamplingMode::kExact;
+  else if (text == "stratified") out = v1::SamplingMode::kStratified;
+  else if (text == "systematic") out = v1::SamplingMode::kSystematic;
+  else return false;
+  return true;
+}
+
 }  // namespace
 
 bool parse_request_line(std::string_view line, v1::ExperimentRequest& out,
@@ -285,6 +302,33 @@ bool parse_request_line(std::string_view line, v1::ExperimentRequest& out,
           error = "bad deadline_ms";
           return false;
         }
+      } else if (key == "sample_mode") {
+        if (value.kind != Parser::Kind::kString ||
+            !parse_sampling_mode(value.text, request.sampling.mode)) {
+          error = "bad sample_mode (exact|stratified|systematic)";
+          return false;
+        }
+      } else if (key == "sample_fraction") {
+        if (!to_double(value, request.sampling.fraction) ||
+            !(request.sampling.fraction > 0.0) ||
+            request.sampling.fraction > 1.0) {
+          error = "bad sample_fraction (must be in (0, 1])";
+          return false;
+        }
+      } else if (key == "sample_target_rel_err") {
+        if (!to_double(value, request.sampling.target_rel_error) ||
+            request.sampling.target_rel_error < 0.0 ||
+            request.sampling.target_rel_error >= 1.0) {
+          error = "bad sample_target_rel_err (must be in [0, 1))";
+          return false;
+        }
+      } else if (key == "sample_seed") {
+        std::size_t seed = 0;
+        if (!to_index(value, seed)) {
+          error = "bad sample_seed";
+          return false;
+        }
+        request.sampling.seed = seed;
       }  // unknown fields: ignored for forward compatibility
       p.skip_ws();
       if (p.i < p.s.size() && p.s[p.i] == ',') {
@@ -322,6 +366,18 @@ std::string format_request_line(const v1::ExperimentRequest& request) {
   append_string_field(line, "config", request.config);
   line += ",\"deadline_ms\":";
   append_double(line, request.deadline_ms);
+  // Sampling fields only appear on sampled requests, so exact request
+  // lines stay byte-identical to the pre-sampling wire golden.
+  if (request.sampling.mode != v1::SamplingMode::kExact) {
+    line += ",\"sample_mode\":\"";
+    line += sampling_mode_name(request.sampling.mode);
+    line += "\",\"sample_fraction\":";
+    append_double(line, request.sampling.fraction);
+    line += ",\"sample_target_rel_err\":";
+    append_double(line, request.sampling.target_rel_error);
+    line += ",\"sample_seed\":";
+    line += std::to_string(request.sampling.seed);
+  }
   line += '}';
   return line;
 }
@@ -355,6 +411,24 @@ std::string format_response_line(const Response& response) {
     append_double(line, response.result.time_spread);
     line += ",\"energy_spread\":";
     append_double(line, response.result.energy_spread);
+    // CI fields only appear on sampled results, so exact response lines
+    // stay byte-identical to the pre-sampling wire golden.
+    if (response.result.sampled) {
+      line += ",\"sampled\":true,\"sample_fraction\":";
+      append_double(line, response.result.sample_fraction);
+      line += ",\"time_ci_low\":";
+      append_double(line, response.result.time_ci.low);
+      line += ",\"time_ci_high\":";
+      append_double(line, response.result.time_ci.high);
+      line += ",\"energy_ci_low\":";
+      append_double(line, response.result.energy_ci.low);
+      line += ",\"energy_ci_high\":";
+      append_double(line, response.result.energy_ci.high);
+      line += ",\"power_ci_low\":";
+      append_double(line, response.result.power_ci.low);
+      line += ",\"power_ci_high\":";
+      append_double(line, response.result.power_ci.high);
+    }
   } else {
     if (!response.key.empty()) {
       line += ',';

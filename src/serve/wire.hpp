@@ -12,6 +12,14 @@
 //            "retries":0,"key":"NB/2/default","usable":true,"time_s":...,
 //            "energy_j":...,"power_w":...,"true_active_s":...,
 //            "time_spread":...,"energy_spread":...}
+//
+// Sampled "rabbit" requests (DESIGN.md §13) add "sample_mode"
+// ("stratified"|"systematic"), "sample_fraction" in (0,1],
+// "sample_target_rel_err" in [0,1) and "sample_seed"; their ok responses
+// append "sampled":true, "sample_fraction" and the per-metric 95% CI
+// bounds ("time_ci_low"/"time_ci_high", energy, power). Exact requests and
+// responses carry none of these fields, so pre-sampling wire lines are
+// byte-identical.
 // Error:    {"v":1,"id":8,"status":"shed","key":"...","error":"..."}
 // Health:   {"v":1,"health":true}  ->  format_health_line(...)
 //

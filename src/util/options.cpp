@@ -46,6 +46,14 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
                                           : fallback;
 }
 
+double env_double(const char* name, double fallback) {
+  const char* v = env(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? x : fallback;
+}
+
 }  // namespace
 
 Options Options::from_env() {
@@ -61,6 +69,19 @@ Options Options::from_env() {
       env_size("REPRO_SERVE_CACHE", o.serve_cache_capacity);
   o.serve_queue_limit = env_size("REPRO_SERVE_QUEUE", o.serve_queue_limit);
   o.fault_seed = env_u64("REPRO_FAULT_SEED", o.fault_seed);
+  // Sampling knobs validate their documented ranges here, so downstream
+  // readers (sample::SampleOptions::from_global) never see garbage.
+  const std::string mode = env_string("REPRO_SAMPLE_MODE", o.sample_mode);
+  if (mode == "exact" || mode == "stratified" || mode == "systematic") {
+    o.sample_mode = mode;
+  }
+  const double fraction =
+      env_double("REPRO_SAMPLE_FRACTION", o.sample_fraction);
+  if (fraction > 0.0 && fraction <= 1.0) o.sample_fraction = fraction;
+  const double target =
+      env_double("REPRO_SAMPLE_TARGET_REL_ERR", o.sample_target_rel_error);
+  if (target >= 0.0 && target < 1.0) o.sample_target_rel_error = target;
+  o.sample_seed = env_u64("REPRO_SAMPLE_SEED", o.sample_seed);
   return o;
 }
 

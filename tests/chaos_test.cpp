@@ -209,6 +209,142 @@ TEST_P(ChaosSweep, ZeroRetryBudgetDegradesAndFailsTruthfully) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, ChaosSweep, ::testing::Range(0, 10));
 
+// --- Sampled-mode chaos (DESIGN.md §13) ------------------------------------
+
+v1::SamplingOptions chaos_sampling() {
+  v1::SamplingOptions sampling;
+  sampling.mode = v1::SamplingMode::kStratified;
+  sampling.fraction = 0.10;
+  sampling.seed = 5;
+  return sampling;
+}
+
+std::vector<v1::ExperimentRequest> sampled_chaos_batch() {
+  std::vector<v1::ExperimentRequest> batch = chaos_batch();
+  for (v1::ExperimentRequest& r : batch) r.sampling = chaos_sampling();
+  return batch;
+}
+
+// Fault-free sampled golden (same sampling parameters as the batch),
+// computed once and strictly before any plan is active.
+const std::map<std::string, v1::MeasurementResult>& sampled_golden() {
+  static const std::map<std::string, v1::MeasurementResult> oracle = [] {
+    EXPECT_EQ(fault::active(), nullptr)
+        << "sampled golden oracle computed under an active fault plan";
+    std::map<std::string, v1::MeasurementResult> results;
+    v1::Session session;
+    for (const SliceEntry& e : kSlice) {
+      results[core::experiment_key(e.program, e.input, e.config)] =
+          session.measure_sampled(e.program, e.input, e.config,
+                                  chaos_sampling());
+    }
+    return results;
+  }();
+  return oracle;
+}
+
+void expect_sampled_identical(const v1::MeasurementResult& a,
+                              const v1::MeasurementResult& b,
+                              const std::string& context) {
+  expect_bit_identical(a, b, context);
+  EXPECT_EQ(a.sampled, b.sampled) << context;
+  EXPECT_EQ(a.sample_fraction, b.sample_fraction) << context;
+  EXPECT_EQ(a.time_ci.low, b.time_ci.low) << context;
+  EXPECT_EQ(a.time_ci.high, b.time_ci.high) << context;
+  EXPECT_EQ(a.energy_ci.low, b.energy_ci.low) << context;
+  EXPECT_EQ(a.energy_ci.high, b.energy_ci.high) << context;
+  EXPECT_EQ(a.power_ci.low, b.power_ci.low) << context;
+  EXPECT_EQ(a.power_ci.high, b.power_ci.high) << context;
+}
+
+// The resilience contract for sampled requests. The sampled dispatch path
+// has no abort site, so kFailed is impossible — every request ends kOk
+// (no deadlines are set here). Clean and retried responses are
+// bit-identical to the fault-free sampled golden INCLUDING the confidence
+// intervals; degraded responses require an applied sensor fault and are
+// never cached, so any cache hit — including a round-two hit after a
+// degraded round-one response forced a recompute — serves clean bytes.
+void run_sampled_seed(std::uint64_t seed, int max_retries) {
+  const std::map<std::string, v1::MeasurementResult>& oracle = sampled_golden();
+  const std::vector<v1::ExperimentRequest> batch = sampled_chaos_batch();
+  const std::vector<std::string> keys = slice_keys();
+  const std::string context = "sampled seed " + std::to_string(seed);
+
+  fault::PlanOptions plan_options;
+  plan_options.seed = seed;
+  fault::FaultPlan plan{plan_options};
+  fault::ScopedPlan scope{&plan};
+
+  std::vector<Response> responses;
+  Service::Stats stats;
+  {
+    Service service{chaos_options(max_retries)};
+    responses = service.run_batch(batch);
+    stats = service.stats();
+  }
+
+  EXPECT_EQ(responses.size(), batch.size()) << context;
+  std::uint64_t ok = 0, retried = 0, degraded = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const Response& r = responses[i];
+    const std::string& key = keys[i % keys.size()];
+    const std::string where = context + ", request " + std::to_string(r.id) +
+                              " (" + key + ")";
+    EXPECT_EQ(r.id, batch[i].id) << where;
+    ASSERT_EQ(r.status, Status::kOk)
+        << where << ": sampled dispatch has no abort site, got "
+        << to_string(r.status) << " (" << r.error << ")";
+    ++ok;
+    switch (r.degradation) {
+      case Degradation::kDegraded:
+        ++degraded;
+        EXPECT_GT(plan.applied(fault::Site::kSensor, key), 0u) << where;
+        EXPECT_EQ(r.retries, max_retries) << where;
+        EXPECT_FALSE(r.cached)
+            << where << ": degraded results must never be served from cache";
+        break;
+      case Degradation::kRetried:
+        ++retried;
+        EXPECT_GT(r.retries, 0) << where;
+        expect_sampled_identical(r.result, oracle.at(key), where);
+        break;
+      case Degradation::kNone:
+        EXPECT_EQ(r.retries, 0) << where;
+        expect_sampled_identical(r.result, oracle.at(key), where);
+        break;
+    }
+    if (r.cached) {
+      // The degraded-not-cached rule, observed from the outside: a hit
+      // can only ever serve clean golden bytes.
+      EXPECT_EQ(r.degradation, Degradation::kNone) << where;
+      expect_sampled_identical(r.result, oracle.at(key), where);
+    }
+  }
+  EXPECT_EQ(stats.submitted, batch.size()) << context;
+  EXPECT_EQ(stats.completed, ok) << context;
+  EXPECT_EQ(stats.retried, retried) << context;
+  EXPECT_EQ(stats.degraded, degraded) << context;
+  EXPECT_EQ(stats.faulted, 0u) << context;
+}
+
+class ChaosSampledSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosSampledSweep, SampledRequestsTerminateTruthfullyAndNeverFail) {
+  const int shard = GetParam();
+  for (int n = 0; n < 2; ++n) {
+    // Seeds 1..20 across 10 shards, retry budget 2.
+    run_sampled_seed(static_cast<std::uint64_t>(shard * 2 + n + 1), 2);
+  }
+}
+
+TEST_P(ChaosSampledSweep, ZeroRetryBudgetDegradesTruthfully) {
+  const int shard = GetParam();
+  // No resilience: taints degrade immediately; every invariant holds.
+  run_sampled_seed(static_cast<std::uint64_t>(shard * 2 + 1), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ChaosSampledSweep, ::testing::Range(0, 10));
+
 // --- Replay determinism ----------------------------------------------------
 
 // The printed-seed contract: replaying a seed sequentially (threads=1, one

@@ -20,6 +20,7 @@
 
 #include "core/study.hpp"
 #include "repro/api.hpp"
+#include "sample/sample.hpp"
 #include "serve/cache.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
@@ -426,6 +427,197 @@ TEST(ServeWire, ParserRejectsMalformedLines) {
   }
 }
 
+// --- Sampled requests on the wire (DESIGN.md §13) --------------------------
+
+TEST(ServeWireSampled, SampledRequestRoundTripsAndExactOmitsFields) {
+  v1::ExperimentRequest request;
+  request.program = "TPACF";
+  request.input_index = 0;
+  request.config = "ecc";
+  request.id = 9;
+  request.sampling.mode = v1::SamplingMode::kStratified;
+  request.sampling.fraction = 0.125;
+  request.sampling.target_rel_error = 0.04;
+  request.sampling.seed = 31;
+  const std::string line = format_request_line(request);
+  EXPECT_NE(line.find("\"sample_mode\":\"stratified\""), std::string::npos)
+      << line;
+  v1::ExperimentRequest decoded;
+  std::string error;
+  ASSERT_TRUE(parse_request_line(line, decoded, error)) << error;
+  EXPECT_EQ(decoded.sampling.mode, v1::SamplingMode::kStratified);
+  EXPECT_EQ(decoded.sampling.fraction, 0.125);
+  EXPECT_EQ(decoded.sampling.target_rel_error, 0.04);
+  EXPECT_EQ(decoded.sampling.seed, 31u);
+  EXPECT_EQ(format_request_line(decoded), line) << "unstable re-encode";
+
+  request.sampling.mode = v1::SamplingMode::kSystematic;
+  const std::string systematic = format_request_line(request);
+  ASSERT_TRUE(parse_request_line(systematic, decoded, error)) << error;
+  EXPECT_EQ(decoded.sampling.mode, v1::SamplingMode::kSystematic);
+
+  // Exact requests carry no sampling fields at all: the pre-sampling wire
+  // bytes are unchanged.
+  v1::ExperimentRequest exact;
+  exact.program = "NB";
+  exact.config = "default";
+  EXPECT_EQ(format_request_line(exact).find("sample_"), std::string::npos);
+  // "sample_mode":"exact" parses as an explicit no-op.
+  ASSERT_TRUE(parse_request_line(
+      R"({"program":"NB","config":"default","sample_mode":"exact"})", decoded,
+      error))
+      << error;
+  EXPECT_EQ(decoded.sampling.mode, v1::SamplingMode::kExact);
+}
+
+TEST(ServeWireSampled, ParserRejectsMalformedSamplingFields) {
+  const std::vector<std::string> bad = {
+      R"({"program":"NB","config":"default","sample_mode":"rabbit"})",
+      R"({"program":"NB","config":"default","sample_mode":7})",
+      R"({"program":"NB","config":"default","sample_mode":null})",
+      R"({"program":"NB","config":"default","sample_fraction":0})",
+      R"({"program":"NB","config":"default","sample_fraction":1.5})",
+      R"({"program":"NB","config":"default","sample_fraction":-0.25})",
+      R"({"program":"NB","config":"default","sample_fraction":"x"})",
+      R"({"program":"NB","config":"default","sample_target_rel_err":1})",
+      R"({"program":"NB","config":"default","sample_target_rel_err":-0.1})",
+      R"({"program":"NB","config":"default","sample_seed":-3})",
+      R"({"program":"NB","config":"default","sample_seed":1.5})",
+      R"({"program":"NB","config":"default","sample_seed":"7"})",
+  };
+  for (const std::string& line : bad) {
+    v1::ExperimentRequest out;
+    std::string error;
+    EXPECT_FALSE(parse_request_line(line, out, error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+TEST(ServeWireSampled, ResponseCarriesCiFieldsOnlyWhenSampled) {
+  Response r;
+  r.id = 4;
+  r.status = Status::kOk;
+  r.key = "TPACF/0/ecc";
+  r.result.usable = true;
+  r.result.time_s = 39.4;
+  EXPECT_EQ(format_response_line(r).find("\"sampled\""), std::string::npos);
+  EXPECT_EQ(format_response_line(r).find("_ci_"), std::string::npos);
+
+  // Dyadic rationals so the %.17g encoding of each value is the short
+  // literal spelled in the expectations below.
+  r.result.sampled = true;
+  r.result.sample_fraction = 0.25;
+  r.result.time_ci = {38.5, 40.5};
+  r.result.energy_ci = {2813.5, 2990.5};
+  r.result.power_ci = {71.25, 75.875};
+  const std::string line = format_response_line(r);
+  for (const char* field :
+       {"\"sampled\":true", "\"sample_fraction\":0.25",
+        "\"time_ci_low\":38.5", "\"time_ci_high\":40.5",
+        "\"energy_ci_low\":2813.5", "\"energy_ci_high\":2990.5",
+        "\"power_ci_low\":71.25", "\"power_ci_high\":75.875"}) {
+    EXPECT_NE(line.find(field), std::string::npos) << field << " in " << line;
+  }
+}
+
+// --- Sampled serving: cache-namespace isolation ----------------------------
+
+v1::ExperimentRequest sampled_request(std::uint64_t id, std::uint64_t seed) {
+  v1::ExperimentRequest request;
+  request.program = "TPACF";
+  request.input_index = 0;
+  request.config = "ecc";
+  request.id = id;
+  request.sampling.mode = v1::SamplingMode::kStratified;
+  request.sampling.fraction = 0.10;
+  request.sampling.seed = seed;
+  return request;
+}
+
+TEST(ServeSampled, SampledAndExactNamespacesNeverAliasEitherDirection) {
+  Service service;
+  v1::ExperimentRequest exact;
+  exact.program = "TPACF";
+  exact.input_index = 0;
+  exact.config = "ecc";
+  exact.id = 1;
+
+  // Sampled first, then exact: the exact request must be a fresh miss (a
+  // sampled estimate must never be served where exact bytes were promised).
+  const Response s1 = service.run_batch({sampled_request(2, 5)})[0];
+  ASSERT_EQ(s1.status, Status::kOk) << s1.error;
+  EXPECT_FALSE(s1.cached);
+  EXPECT_TRUE(s1.result.sampled);
+  EXPECT_GT(s1.result.time_ci.high, s1.result.time_ci.low);
+
+  const Response e1 = service.run_batch({exact})[0];
+  ASSERT_EQ(e1.status, Status::kOk) << e1.error;
+  EXPECT_FALSE(e1.cached) << "exact request must not hit the sampled entry";
+  EXPECT_FALSE(e1.result.sampled);
+
+  // ...and in the other direction both namespaces now hit independently,
+  // each serving its own bytes.
+  const Response s2 = service.run_batch({sampled_request(3, 5)})[0];
+  ASSERT_EQ(s2.status, Status::kOk) << s2.error;
+  EXPECT_TRUE(s2.cached);
+  EXPECT_TRUE(s2.result.sampled);
+  EXPECT_EQ(s2.result.time_s, s1.result.time_s);
+  EXPECT_EQ(s2.result.energy_j, s1.result.energy_j);
+  EXPECT_EQ(s2.result.time_ci.low, s1.result.time_ci.low);
+  EXPECT_EQ(s2.result.time_ci.high, s1.result.time_ci.high);
+  EXPECT_EQ(s2.result.energy_ci.low, s1.result.energy_ci.low);
+  EXPECT_EQ(s2.result.power_ci.high, s1.result.power_ci.high);
+  EXPECT_EQ(s2.result.sample_fraction, s1.result.sample_fraction);
+
+  const Response e2 = service.run_batch({exact})[0];
+  ASSERT_EQ(e2.status, Status::kOk) << e2.error;
+  EXPECT_TRUE(e2.cached);
+  EXPECT_FALSE(e2.result.sampled);
+
+  // The exact entry is bit-identical to a direct Study computation: the
+  // sampled traffic did not perturb the exact contract.
+  suites::register_all_workloads();
+  core::Study study;
+  const workloads::Workload* w = workloads::Registry::instance().find("TPACF");
+  ASSERT_NE(w, nullptr);
+  expect_bit_identical(e2.result, study.measure(*w, 0, sim::config_by_name("ecc")),
+                       "exact after sampled");
+
+  // Distinct sampling parameters are distinct cache entries.
+  const Response other_seed = service.run_batch({sampled_request(4, 6)})[0];
+  ASSERT_EQ(other_seed.status, Status::kOk) << other_seed.error;
+  EXPECT_FALSE(other_seed.cached) << "seed is part of the cache namespace";
+}
+
+TEST(ServeSampled, ServedSampledResultIsBitIdenticalToDirectLibraryCall) {
+  Service service;
+  const Response served = service.run_batch({sampled_request(1, 5)})[0];
+  ASSERT_EQ(served.status, Status::kOk) << served.error;
+  ASSERT_TRUE(served.result.sampled);
+
+  suites::register_all_workloads();
+  core::Study study;
+  const workloads::Workload* w = workloads::Registry::instance().find("TPACF");
+  ASSERT_NE(w, nullptr);
+  sample::SampleOptions options;
+  options.mode = sample::Mode::kStratified;
+  options.fraction = 0.10;
+  options.seed = 5;
+  const sample::SampledResult direct = sample::measure_sampled(
+      study, *w, 0, sim::config_by_name("ecc"), options);
+  ASSERT_TRUE(direct.sampled);
+  EXPECT_EQ(served.result.time_s, direct.base.time_s);
+  EXPECT_EQ(served.result.energy_j, direct.base.energy_j);
+  EXPECT_EQ(served.result.power_w, direct.base.power_w);
+  EXPECT_EQ(served.result.sample_fraction, direct.fraction);
+  EXPECT_EQ(served.result.time_ci.low, direct.time_ci.low);
+  EXPECT_EQ(served.result.time_ci.high, direct.time_ci.high);
+  EXPECT_EQ(served.result.energy_ci.low, direct.energy_ci.low);
+  EXPECT_EQ(served.result.energy_ci.high, direct.energy_ci.high);
+  EXPECT_EQ(served.result.power_ci.low, direct.power_ci.low);
+  EXPECT_EQ(served.result.power_ci.high, direct.power_ci.high);
+}
+
 // The exact bytes of the wire format: request and response lines for the
 // golden slice plus every error status, compared against
 // tests/golden/serve_wire.txt. Regenerate with REPRO_UPDATE_GOLDEN=1 and
@@ -507,6 +699,41 @@ TEST(ServeWireGolden, EncodingMatchesSnapshot) {
   health.faults_injected = 9;
   actual += format_health_line(health);
   actual += '\n';
+  // Sampled-mode lines (DESIGN.md §13), appended after the original
+  // contract so every pre-sampling line above stays byte-identical. The
+  // response uses fixed representative values: this pins the encoding,
+  // not the estimator.
+  {
+    v1::ExperimentRequest request;
+    request.id = ++id;
+    request.program = "TPACF";
+    request.input_index = 0;
+    request.config = "ecc";
+    request.sampling.mode = v1::SamplingMode::kStratified;
+    request.sampling.fraction = 0.1;
+    request.sampling.target_rel_error = 0.05;
+    request.sampling.seed = 31;
+    actual += format_request_line(request);
+    actual += '\n';
+    Response r;
+    r.id = id;
+    r.status = Status::kOk;
+    r.key = "TPACF/0/ecc";
+    r.result.usable = true;
+    r.result.time_s = 39.426881705472482;
+    r.result.energy_j = 2903.1716292099677;
+    r.result.power_w = 73.63398581683636;
+    r.result.true_active_s = 38.915873015873005;
+    r.result.time_spread = 0.0036011084887988468;
+    r.result.energy_spread = 0.0049115267668058399;
+    r.result.sampled = true;
+    r.result.sample_fraction = 0.1;
+    r.result.time_ci = {38.309473312462373, 40.544290098482591};
+    r.result.energy_ci = {2813.8404183314986, 2992.5028400884368};
+    r.result.power_ci = {71.244600617722765, 76.023371015949955};
+    actual += format_response_line(r);
+    actual += '\n';
+  }
 
   const std::string path = std::string(REPRO_GOLDEN_DIR) + "/serve_wire.txt";
   if (repro::Options::global().update_golden) {

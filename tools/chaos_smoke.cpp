@@ -61,14 +61,26 @@ constexpr Entry kSlice[10] = {
     {"BH", 0, "default"},
 };
 
+repro::v1::SamplingOptions smoke_sampling() {
+  repro::v1::SamplingOptions sampling;
+  sampling.mode = repro::v1::SamplingMode::kStratified;
+  sampling.fraction = 0.10;
+  sampling.seed = 5;
+  return sampling;
+}
+
+// `rounds` exact rounds followed by `rounds` sampled rounds of the slice:
+// repeats hit the cache, and the sampled rounds exercise the sampled
+// dispatch path (DESIGN.md §13) under the same fault plans.
 std::vector<ExperimentRequest> slice_batch(int rounds) {
   std::vector<ExperimentRequest> batch;
-  for (int round = 0; round < rounds; ++round) {  // repeats hit the cache
+  for (int round = 0; round < 2 * rounds; ++round) {
     for (const Entry& e : kSlice) {
       ExperimentRequest request;
       request.program = e.program;
       request.input_index = e.input;
       request.config = e.config;
+      if (round >= rounds) request.sampling = smoke_sampling();
       request.id = batch.size() + 1;
       batch.push_back(std::move(request));
     }
@@ -79,11 +91,19 @@ std::vector<ExperimentRequest> slice_batch(int rounds) {
 bool identical(const repro::v1::MeasurementResult& a,
                const repro::v1::MeasurementResult& b) {
   // Exact comparison on purpose: "recovered by retry" promises the same
-  // bytes a fault-free run produces, not merely close values.
+  // bytes a fault-free run produces, not merely close values. For sampled
+  // results that promise covers the confidence intervals too.
   return a.usable == b.usable && a.time_s == b.time_s &&
          a.energy_j == b.energy_j && a.power_w == b.power_w &&
          a.true_active_s == b.true_active_s &&
-         a.time_spread == b.time_spread && a.energy_spread == b.energy_spread;
+         a.time_spread == b.time_spread &&
+         a.energy_spread == b.energy_spread && a.sampled == b.sampled &&
+         a.sample_fraction == b.sample_fraction &&
+         a.time_ci.low == b.time_ci.low && a.time_ci.high == b.time_ci.high &&
+         a.energy_ci.low == b.energy_ci.low &&
+         a.energy_ci.high == b.energy_ci.high &&
+         a.power_ci.low == b.power_ci.low &&
+         a.power_ci.high == b.power_ci.high;
 }
 
 struct SeedOutcome {
@@ -125,9 +145,10 @@ int main(int argc, char** argv) {
 
   repro::suites::register_all_workloads();
 
-  // Fault-free golden, computed BEFORE any plan exists: the oracle every
-  // ok/retried response must match bit for bit.
+  // Fault-free goldens (exact and sampled), computed BEFORE any plan
+  // exists: the oracles every ok/retried response must match bit for bit.
   std::map<std::string, repro::v1::MeasurementResult> golden;
+  std::map<std::string, repro::v1::MeasurementResult> sampled_golden;
   const auto golden_t0 = std::chrono::steady_clock::now();
   {
     repro::v1::Session session;
@@ -144,6 +165,15 @@ int main(int argc, char** argv) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - golden_t0)
           .count();
+  {
+    repro::v1::Session session;
+    for (const Entry& e : kSlice) {
+      sampled_golden[repro::core::experiment_key(e.program, e.input,
+                                                 e.config)] =
+          session.measure_sampled(e.program, e.input, e.config,
+                                  smoke_sampling());
+    }
+  }
 
   std::vector<std::string> slice_keys;
   for (const Entry& e : kSlice) {
@@ -212,23 +242,41 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; failure.empty() && i < responses.size(); ++i) {
         const Response& r = responses[i];
         const std::string& key = slice_keys[i % slice_keys.size()];
+        const bool sampled_request =
+            batch[i].sampling.mode != repro::v1::SamplingMode::kExact;
+        const auto& oracle = sampled_request ? sampled_golden : golden;
         if (r.status == Status::kOk) {
           if (r.degradation == Degradation::kDegraded) {
-            // Truthfulness: degraded requires an applied sensor fault.
+            // Truthfulness: degraded requires an applied sensor fault,
+            // and a degraded result must never be served from the cache.
             if (plan.applied(Site::kSensor, key) == 0) {
               failure = "response " + std::to_string(r.id) +
                         " degraded without an applied sensor fault (" + key +
                         ")";
               break;
             }
-          } else if (!identical(r.result, golden.at(key))) {
-            // ok / retried promise fault-free bytes.
+            if (r.cached) {
+              failure = "response " + std::to_string(r.id) +
+                        " served a degraded result from the cache (" + key +
+                        ")";
+              break;
+            }
+          } else if (!identical(r.result, oracle.at(key))) {
+            // ok / retried promise fault-free bytes (including the
+            // confidence intervals on sampled responses).
             failure = "response " + std::to_string(r.id) + " (" +
                       std::string(repro::serve::to_string(r.degradation)) +
                       ") differs from fault-free golden for " + key;
             break;
           }
         } else if (r.status == Status::kFailed) {
+          if (sampled_request) {
+            // The sampled dispatch path has no abort site: kFailed is
+            // unreachable for sampled requests.
+            failure = "sampled response " + std::to_string(r.id) +
+                      " reported failed (" + key + ")";
+            break;
+          }
           if (plan.applied(Site::kScheduler, key) == 0) {
             failure = "response " + std::to_string(r.id) +
                       " failed without applied scheduler aborts (" + key + ")";
