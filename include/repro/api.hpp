@@ -14,6 +14,7 @@
 // golden tests pin this).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -212,6 +213,15 @@ struct PowerProfile {
   std::vector<PowerSample> samples;
 };
 
+/// Number of instruction-class energy columns in AttributionRow
+/// (fp32, fp64, int, sfu, ldst_global, ldst_shared, control — in the
+/// order returned by energy_class_names()).
+inline constexpr int kNumEnergyClasses = 7;
+
+/// Stable short names of the instruction-class energy columns, in the
+/// index order of AttributionRow::class_energy_j.
+const std::array<std::string_view, kNumEnergyClasses>& energy_class_names();
+
 /// Per-kernel energy attribution of one experiment (DESIGN.md §9).
 struct AttributionRow {
   std::string kernel;
@@ -221,6 +231,10 @@ struct AttributionRow {
   double avg_power_w = 0.0;
   double energy_share = 0.0;
   double energy_j = 0.0;  // share scaled to the measured energy when usable
+  /// Instruction-class split of model_energy_j (see energy_class_names());
+  /// the class columns plus static_energy_j sum to model_energy_j.
+  std::array<double, kNumEnergyClasses> class_energy_j{};
+  double static_energy_j = 0.0;  // tail/leakage/board share
 };
 
 struct Attribution {
@@ -228,7 +242,11 @@ struct Attribution {
   double total_time_s = 0.0;
   double model_energy_j = 0.0;
   double attributed_energy_j = 0.0;
-  std::string text;  // rendered table, one row per kernel
+  /// Column sums of the kernels' class/static splits; together they sum
+  /// to model_energy_j.
+  std::array<double, kNumEnergyClasses> class_energy_j{};
+  double static_energy_j = 0.0;
+  std::string text;  // rendered table, one row per kernel + class block
 };
 
 /// One entry of a finished batch, in stable (key-sorted) order.

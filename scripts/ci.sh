@@ -65,6 +65,27 @@ if [ -x build/tools/serve_smoke ] && [ -x build/tools/repro-serve ]; then
   grep -q '"id":3,"status":"unknown_program"' "$smokedir/wire.txt" \
     || { echo "repro-serve replay FAILED: unknown program not a structured error"; cat "$smokedir/wire.txt"; exit 1; }
   echo "  replay ok: duplicate bit-identical over the wire, structured error on unknown program"
+
+  # Observability endpoints (DESIGN.md §9): a metrics request returns a
+  # registry snapshot, an attribution request returns the instruction-class
+  # energy decomposition, and --metrics-every N emits a periodic JSONL
+  # delta on stderr. The run implies obs, so the serve counters must show
+  # up both on the wire and in the periodic export.
+  echo "=== [serve] repro-serve observability endpoints"
+  printf '%s\n' \
+    '{"v":1,"id":1,"program":"BP","input":0,"config":"default"}' \
+    '{"v":1,"metrics":true}' \
+    '{"v":1,"attribution":"BP","input":0,"config":"default"}' \
+    | build/tools/repro-serve --metrics-every 3 > "$smokedir/obs.txt" 2> "$smokedir/obs-err.txt"
+  grep -q '"v":1,"metrics":true,"counters":{.*"serve.cache.' "$smokedir/obs.txt" \
+    || { echo "repro-serve obs FAILED: metrics endpoint missing serve counters"; cat "$smokedir/obs.txt"; exit 1; }
+  grep -q '"v":1,"attribution":true,.*"class_energy_j":\[' "$smokedir/obs.txt" \
+    || { echo "repro-serve obs FAILED: attribution endpoint missing class energies"; cat "$smokedir/obs.txt"; exit 1; }
+  grep -q 'repro-serve: metrics after 3 lines' "$smokedir/obs-err.txt" \
+    || { echo "repro-serve obs FAILED: --metrics-every export missing"; cat "$smokedir/obs-err.txt"; exit 1; }
+  grep -q '"type":"counter"' "$smokedir/obs-err.txt" \
+    || { echo "repro-serve obs FAILED: periodic export has no counter lines"; cat "$smokedir/obs-err.txt"; exit 1; }
+  echo "  obs ok: metrics + attribution endpoints answered, periodic export emitted"
 fi
 
 # Chaos smoke (DESIGN.md §12): replay the golden slice under 32 seeded
@@ -95,6 +116,12 @@ fi
 if [ "${REPRO_PERF:-0}" = "1" ]; then
   echo "=== [perf] Release perf smoke"
   scripts/bench.sh
+  # Always-on observability gate (DESIGN.md §9): obs-on vs obs-off under
+  # multi-client serve load must stay within 1%. Numbers land in
+  # BENCH_obs.json via REPRO_BENCH_JSON.
+  echo "=== [perf] always-on observability overhead gate"
+  cmake --build --preset release -j "$jobs" --target bench_obs_overhead
+  REPRO_BENCH_JSON=BENCH_obs.json ./build-release/bench/bench_obs_overhead
 fi
 
 echo "=== all presets passed: ${presets[*]}"

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "api/convert.hpp"
 #include "core/aggregate.hpp"
 #include "core/scheduler.hpp"
 #include "core/study.hpp"
@@ -316,10 +317,28 @@ Attribution Session::attribution(std::string_view program,
   const obs::AttributionTable table = impl_->study.attribution(
       w, impl_->checked_input(w, input_index), sim::config_by_name(config));
 
+  return detail::attribution_to_v1(table);
+}
+
+const std::array<std::string_view, kNumEnergyClasses>& energy_class_names() {
+  static const std::array<std::string_view, kNumEnergyClasses> names = [] {
+    std::array<std::string_view, kNumEnergyClasses> out{};
+    for (int c = 0; c < power::kNumInstClasses; ++c) {
+      out[static_cast<std::size_t>(c)] =
+          power::to_string(static_cast<power::InstClass>(c));
+    }
+    return out;
+  }();
+  return names;
+}
+
+Attribution detail::attribution_to_v1(const obs::AttributionTable& table) {
   Attribution out;
   out.total_time_s = table.total_time_s;
   out.model_energy_j = table.model_energy_j;
   out.attributed_energy_j = table.attributed_energy_j;
+  out.class_energy_j = table.class_energy_j;
+  out.static_energy_j = table.static_energy_j;
   out.kernels.reserve(table.kernels.size());
   for (const obs::KernelAttribution& k : table.kernels) {
     AttributionRow row;
@@ -330,6 +349,8 @@ Attribution Session::attribution(std::string_view program,
     row.avg_power_w = k.avg_power_w;
     row.energy_share = k.energy_share;
     row.energy_j = k.energy_j;
+    row.class_energy_j = k.class_energy_j;
+    row.static_energy_j = k.static_energy_j;
     out.kernels.push_back(std::move(row));
   }
   std::ostringstream text;

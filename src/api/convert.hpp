@@ -1,0 +1,15 @@
+// Internal obs -> v1 DTO conversions shared by the facade (src/api) and
+// the serve layer's attribution endpoint (src/serve). Not installed:
+// consumers outside src/ only see include/repro/api.hpp.
+#pragma once
+
+#include "obs/attribution.hpp"
+#include "repro/api.hpp"
+
+namespace repro::v1::detail {
+
+/// Converts an attribution table (kernels, class columns, totals) and
+/// renders its text block.
+Attribution attribution_to_v1(const obs::AttributionTable& table);
+
+}  // namespace repro::v1::detail

@@ -26,13 +26,33 @@ AttributionTable attribute(const sim::TraceResult& trace,
         memo.phase_power(phase.activity, phase.duration_s);
     ++k.phases;
     k.time_s += phase.duration_s;
-    k.model_energy_j += p.total_w * phase.duration_s;
+    const double phase_j = p.total_w * phase.duration_s;
+    k.model_energy_j += phase_j;
+    // Class split of this phase's model energy. The raw split is the
+    // instruction-class dynamic energies plus the static (tail-power)
+    // energy; one common scale maps it onto phase_j, distributing the
+    // ECC anomaly multiplier and the TDP clamp proportionally so the
+    // columns always sum to the phase's model energy.
+    const power::ClassEnergies& ce = memo.class_energies(phase.activity);
+    const double static_raw_j = memo.tail_power_w() * phase.duration_s;
+    const double raw_sum_j = ce.total_j() + static_raw_j;
+    const double scale = raw_sum_j > 0.0 ? phase_j / raw_sum_j : 0.0;
+    for (int c = 0; c < power::kNumInstClasses; ++c) {
+      k.class_energy_j[static_cast<std::size_t>(c)] +=
+          ce.j[static_cast<std::size_t>(c)] * scale;
+    }
+    k.static_energy_j += static_raw_j * scale;
   }
 
   table.kernels.reserve(by_kernel.size());
   for (auto& [name, k] : by_kernel) {
     table.total_time_s += k.time_s;
     table.model_energy_j += k.model_energy_j;
+    for (int c = 0; c < power::kNumInstClasses; ++c) {
+      table.class_energy_j[static_cast<std::size_t>(c)] +=
+          k.class_energy_j[static_cast<std::size_t>(c)];
+    }
+    table.static_energy_j += k.static_energy_j;
     table.kernels.push_back(std::move(k));
   }
 
@@ -70,6 +90,26 @@ void print(std::ostream& os, const AttributionTable& table) {
                 table.kernels.size(), table.total_time_s,
                 table.attributed_energy_j);
   os << line;
+
+  // Instruction-class block (model scale: columns + static sum to each
+  // kernel's model energy, not to the measured-scaled energy_j above).
+  os << "   instruction-class energy [J], model scale\n"
+        "   kernel                           fp32    fp64     int     sfu"
+        "    gmem    smem    ctrl  static\n";
+  const auto class_row = [&](const char* name,
+                             const std::array<double, power::kNumInstClasses>&
+                                 classes,
+                             double static_j) {
+    std::snprintf(line, sizeof line,
+                  "   %-30s %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f\n",
+                  name, classes[0], classes[1], classes[2], classes[3],
+                  classes[4], classes[5], classes[6], static_j);
+    os << line;
+  };
+  for (const KernelAttribution& k : table.kernels) {
+    class_row(k.kernel.c_str(), k.class_energy_j, k.static_energy_j);
+  }
+  class_row("total", table.class_energy_j, table.static_energy_j);
 }
 
 }  // namespace repro::obs

@@ -16,8 +16,19 @@
 // construction the per-kernel values sum to the measured energy (within
 // floating-point tolerance of the summation), which tests/obs_test.cpp
 // pins.
+//
+// Below the kernel rows, each kernel's model energy further decomposes
+// into instruction-class columns (power::InstClass) plus a static share.
+// Per phase, the raw class energies (power::ClassEnergies) and the static
+// tail-power energy are scaled by one common factor so they sum exactly
+// to that phase's model energy — the factor absorbs the ECC power-anomaly
+// multiplier and the 225 W TDP clamp proportionally across classes. The
+// pinned cross-check law (tests/obs_test.cpp): for every kernel,
+// sum_c(class_energy_j[c]) + static_energy_j == model_energy_j, and the
+// table totals obey the same identity.
 #pragma once
 
+#include <array>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -38,6 +49,11 @@ struct KernelAttribution {
   double energy_share = 0.0;   // model_energy_j / total model energy
   double energy_j = 0.0;       // energy_share * measured total (or model
                                // energy when no measured total was given)
+  /// Instruction-class split of model_energy_j, indexed by
+  /// power::InstClass; class columns + static_energy_j sum to
+  /// model_energy_j (see the header comment).
+  std::array<double, power::kNumInstClasses> class_energy_j{};
+  double static_energy_j = 0.0;  // tail/leakage/board share of model energy
 };
 
 struct AttributionTable {
@@ -45,6 +61,10 @@ struct AttributionTable {
   double total_time_s = 0.0;
   double model_energy_j = 0.0;     // total model active energy
   double attributed_energy_j = 0.0;  // what energy_j columns sum to
+  /// Column sums of the kernels' class/static splits; together they sum
+  /// to model_energy_j.
+  std::array<double, power::kNumInstClasses> class_energy_j{};
+  double static_energy_j = 0.0;
 };
 
 /// Builds the per-kernel table for one trace under `config`. When
@@ -57,7 +77,8 @@ AttributionTable attribute(const sim::TraceResult& trace,
                            double ecc_adjust = 1.0,
                            double measured_energy_j = 0.0);
 
-/// Renders the table: one row per kernel (time, energy, power, share).
+/// Renders the table: one row per kernel (time, energy, power, share),
+/// followed by the instruction-class energy block (model scale, joules).
 void print(std::ostream& os, const AttributionTable& table);
 
 }  // namespace repro::obs

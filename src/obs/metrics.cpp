@@ -11,9 +11,11 @@ namespace repro::obs {
 
 namespace {
 
-// Relaxed CAS update loops for the double-valued aggregates. Relaxed
-// ordering is enough: readers only consume snapshots after the writers
-// have been joined (batch end / export), and TSan sees the atomics.
+// Relaxed CAS update loops for the double-valued aggregates
+// (atomic<double>::fetch_add has no portable pre-C++20 semantics here).
+// Relaxed ordering is enough for these: the only cross-field guarantee a
+// snapshot makes is count >= sum(buckets), carried by the release/acquire
+// pair on the bucket slot (see Histogram::observe / snapshot).
 void atomic_add(std::atomic<double>& target, double delta) {
   double current = target.load(std::memory_order_relaxed);
   while (!target.compare_exchange_weak(current, current + delta,
@@ -37,47 +39,98 @@ void atomic_max(std::atomic<double>& target, double v) {
 
 }  // namespace
 
-int Histogram::bucket_of(double v) noexcept {
-  if (!(v > 0.0)) return 0;
-  const int exponent = std::ilogb(v);  // v in [2^exponent, 2^(exponent+1))
-  const int index = exponent + 1 + kZeroBucket;
-  return index < 0 ? 0 : index >= kBuckets ? kBuckets - 1 : index;
+namespace detail {
+
+std::size_t assign_cell_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
+
+}  // namespace detail
 
 double Histogram::bucket_upper_bound(int i) noexcept {
   return std::ldexp(1.0, i - kZeroBucket);
 }
 
 void Histogram::observe(double v) noexcept {
-  count_.fetch_add(1, std::memory_order_relaxed);
-  atomic_add(sum_, v);
-  atomic_min(min_, v);
-  atomic_max(max_, v);
-  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
-      1, std::memory_order_relaxed);
+  Cell& cell = cells_[detail::cell_slot() % detail::kHistogramCells];
+  // Order matters for the count >= sum(buckets) snapshot invariant: the
+  // count is bumped first and the bucket last, with release so that a
+  // snapshot that acquires the bucket increment also sees the count.
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(cell.sum, v);
+  atomic_min(cell.min, v);
+  atomic_max(cell.max, v);
+  cell.buckets[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_release);
+}
+
+void Histogram::Batch::flush(Histogram& into) noexcept {
+  if (local_.count == 0) return;
+  Cell& cell = into.cells_[detail::cell_slot() % detail::kHistogramCells];
+  // Same ordering discipline as observe(): the batch count lands first and
+  // the buckets last (release), so count >= sum(buckets) holds in any
+  // snapshot taken mid-merge.
+  cell.count.fetch_add(local_.count, std::memory_order_relaxed);
+  atomic_add(cell.sum, local_.sum);
+  atomic_min(cell.min, local_.min);
+  atomic_max(cell.max, local_.max);
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = local_.buckets[static_cast<std::size_t>(i)];
+    if (n != 0) {
+      cell.buckets[static_cast<std::size_t>(i)].fetch_add(
+          n, std::memory_order_release);
+    }
+  }
+  local_ = HistogramSnapshot{};
 }
 
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot s;
-  s.count = count_.load(std::memory_order_relaxed);
-  s.sum = sum_.load(std::memory_order_relaxed);
-  s.min = min_.load(std::memory_order_relaxed);
-  s.max = max_.load(std::memory_order_relaxed);
-  for (int i = 0; i < kBuckets; ++i) {
-    s.buckets[static_cast<std::size_t>(i)] =
-        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  // Buckets are read first (acquire pairs with the release in observe):
+  // every bucket increment visible here happens-after its count
+  // increment, and counts read below are at least as new, so
+  // s.count >= s.bucket_total() in any snapshot.
+  for (const Cell& cell : cells_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      s.buckets[static_cast<std::size_t>(i)] +=
+          cell.buckets[static_cast<std::size_t>(i)].load(
+              std::memory_order_acquire);
+    }
+  }
+  for (const Cell& cell : cells_) {
+    s.count += cell.count.load(std::memory_order_relaxed);
+    s.sum += cell.sum.load(std::memory_order_relaxed);
+    const double lo = cell.min.load(std::memory_order_relaxed);
+    const double hi = cell.max.load(std::memory_order_relaxed);
+    if (lo < s.min) s.min = lo;
+    if (hi > s.max) s.max = hi;
   }
   return s;
 }
 
-void Histogram::reset() noexcept {
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(std::numeric_limits<double>::infinity(),
-             std::memory_order_relaxed);
-  max_.store(0.0, std::memory_order_relaxed);
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+HistogramSnapshot Histogram::take() {
+  HistogramSnapshot s;
+  for (Cell& cell : cells_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      s.buckets[static_cast<std::size_t>(i)] +=
+          cell.buckets[static_cast<std::size_t>(i)].exchange(
+              0, std::memory_order_acquire);
+    }
+  }
+  for (Cell& cell : cells_) {
+    s.count += cell.count.exchange(0, std::memory_order_relaxed);
+    s.sum += cell.sum.exchange(0.0, std::memory_order_relaxed);
+    const double lo = cell.min.exchange(std::numeric_limits<double>::infinity(),
+                                        std::memory_order_relaxed);
+    const double hi = cell.max.exchange(0.0, std::memory_order_relaxed);
+    if (lo < s.min) s.min = lo;
+    if (hi > s.max) s.max = hi;
+  }
+  return s;
 }
+
+void Histogram::reset() noexcept { take(); }
 
 Registry& Registry::instance() {
   static Registry* registry = new Registry;  // never destroyed, see trace.cpp
@@ -138,28 +191,47 @@ HistogramSnapshot Registry::histogram_snapshot(std::string_view name) const {
   return it->second->snapshot();
 }
 
-void Registry::reset() {
-  std::unique_lock lock(mutex_);
-  for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
-  for (auto& [name, h] : histograms_) h->reset();
-}
-
-void Registry::export_text(std::ostream& os) const {
+RegistrySnapshot Registry::collect(bool reset_cells) const {
+  RegistrySnapshot out;
+  // The shared lock protects the maps, not the cells: instrument updates
+  // keep flowing while we aggregate. Zeroing happens via per-cell atomic
+  // exchanges (see the reset contract in metrics.hpp).
   std::shared_lock lock(mutex_);
-  char line[256];
+  out.counters.reserve(counters_.size());
+  out.gauges.reserve(gauges_.size());
+  out.histograms.reserve(histograms_.size());
   for (const auto& [name, c] : counters_) {
-    std::snprintf(line, sizeof line, "counter %s %llu\n", name.c_str(),
-                  static_cast<unsigned long long>(c->value()));
-    os << line;
+    out.counters.emplace_back(name, reset_cells ? c->take() : c->value());
   }
   for (const auto& [name, g] : gauges_) {
-    std::snprintf(line, sizeof line, "gauge %s %.9g\n", name.c_str(),
-                  g->value());
-    os << line;
+    out.gauges.emplace_back(name, g->value());
+    if (reset_cells) g->reset();
   }
   for (const auto& [name, h] : histograms_) {
-    const HistogramSnapshot s = h->snapshot();
+    out.histograms.emplace_back(name,
+                                reset_cells ? h->take() : h->snapshot());
+  }
+  return out;
+}
+
+RegistrySnapshot Registry::snapshot() const { return collect(false); }
+
+RegistrySnapshot Registry::snapshot_and_reset() { return collect(true); }
+
+void Registry::reset() { (void)snapshot_and_reset(); }
+
+void export_text(const RegistrySnapshot& snap, std::ostream& os) {
+  char line[256];
+  for (const auto& [name, value] : snap.counters) {
+    std::snprintf(line, sizeof line, "counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    os << line;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::snprintf(line, sizeof line, "gauge %s %.9g\n", name.c_str(), value);
+    os << line;
+  }
+  for (const auto& [name, s] : snap.histograms) {
     std::snprintf(line, sizeof line,
                   "histogram %s count=%llu sum=%.9g min=%.9g max=%.9g "
                   "mean=%.9g\n",
@@ -169,8 +241,7 @@ void Registry::export_text(std::ostream& os) const {
   }
 }
 
-void Registry::export_jsonl(std::ostream& os) const {
-  std::shared_lock lock(mutex_);
+void export_jsonl(const RegistrySnapshot& snap, std::ostream& os) {
   std::string line;
   const auto emit_name = [&](std::string_view type, const std::string& name) {
     line = "{\"type\":\"";
@@ -180,19 +251,18 @@ void Registry::export_jsonl(std::ostream& os) const {
     line += "\"";
   };
   char number[96];
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, value] : snap.counters) {
     emit_name("counter", name);
     std::snprintf(number, sizeof number, ",\"value\":%llu}",
-                  static_cast<unsigned long long>(c->value()));
+                  static_cast<unsigned long long>(value));
     os << line << number << "\n";
   }
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [name, value] : snap.gauges) {
     emit_name("gauge", name);
-    std::snprintf(number, sizeof number, ",\"value\":%.9g}", g->value());
+    std::snprintf(number, sizeof number, ",\"value\":%.9g}", value);
     os << line << number << "\n";
   }
-  for (const auto& [name, h] : histograms_) {
-    const HistogramSnapshot s = h->snapshot();
+  for (const auto& [name, s] : snap.histograms) {
     emit_name("histogram", name);
     std::snprintf(number, sizeof number,
                   ",\"count\":%llu,\"sum\":%.9g,\"min\":%.9g,\"max\":%.9g",
@@ -214,6 +284,14 @@ void Registry::export_jsonl(std::ostream& os) const {
     line += "]}";
     os << line << "\n";
   }
+}
+
+void Registry::export_text(std::ostream& os) const {
+  obs::export_text(snapshot(), os);
+}
+
+void Registry::export_jsonl(std::ostream& os) const {
+  obs::export_jsonl(snapshot(), os);
 }
 
 }  // namespace repro::obs

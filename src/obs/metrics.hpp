@@ -1,18 +1,34 @@
 // Process-wide metrics registry (observability layer, DESIGN.md §9).
 //
-// Named counters, gauges and duration histograms, updated lock-free with
-// relaxed atomics so instrumented hot paths (cache lookups, per-phase
-// power evaluation, scheduler queue operations) stay cheap and TSan-clean.
-// Instrument lookup takes a shared lock; call sites that update per event
-// should resolve the instrument once and keep the reference (references
-// are stable for the registry's lifetime).
+// Named counters, gauges and duration histograms, designed for ALWAYS-ON
+// operation under serve traffic: every counter/histogram is sharded into
+// cache-line-sized cells indexed by a per-thread slot, so concurrent
+// updates from the admission path, the dispatcher and the workers never
+// contend on one atomic. Cells are aggregated only at snapshot/export
+// time. Instrument lookup takes a shared lock; call sites that update per
+// event should resolve the instrument once and keep the reference
+// (references are stable for the registry's lifetime).
+//
+// Reset contract (DESIGN.md §9): `Registry::reset()` and
+// `snapshot_and_reset()` zero each instrument cell with an atomic
+// exchange, so every concurrent `Counter::add()` lands entirely in either
+// the taken snapshot or the new epoch — no increment is ever lost or
+// double-counted. A concurrent `Histogram::observe()` is atomic per
+// *field* (its count, sum and bucket updates may straddle the reset and
+// split across the two epochs), which is why histogram consistency is
+// stated per snapshot, not across resets: within any single snapshot,
+// `count >= sum(buckets)` always holds (observers bump `count` before the
+// bucket; snapshots read buckets before counts, with release/acquire
+// pairing on the bucket cell).
 //
 // Exporters: plain text (one line per instrument) and JSON lines (one
-// object per instrument), see DESIGN.md §9 for the formats.
+// object per instrument), see DESIGN.md §9 for the formats. Both render
+// from `snapshot()`, so one export is internally consistent.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
@@ -21,25 +37,65 @@
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace repro::obs {
 
-/// Monotone event counter.
+namespace detail {
+
+/// Update cells per instrument. More cells = less contention, more memory
+/// and a longer aggregation loop; 16/8 keep both far off any hot path.
+inline constexpr std::size_t kCounterCells = 16;
+inline constexpr std::size_t kHistogramCells = 8;
+
+/// Dense per-thread slot id, assigned on first metric update (metrics.cpp).
+std::size_t assign_cell_slot() noexcept;
+
+inline std::size_t cell_slot() noexcept {
+  thread_local const std::size_t slot = assign_cell_slot();
+  return slot;
+}
+
+}  // namespace detail
+
+/// Monotone event counter, sharded per thread slot. `value()` sums the
+/// cells; because each cell is monotone, a value read after the writing
+/// threads joined is exact.
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
-    value_.fetch_add(n, std::memory_order_relaxed);
+    cells_[detail::cell_slot() % detail::kCounterCells].value.fetch_add(
+        n, std::memory_order_relaxed);
   }
   std::uint64_t value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
   }
-  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  /// Atomically snapshots and zeroes the counter (per-cell exchange): a
+  /// concurrent add() is captured by exactly one of the returned value and
+  /// the counter's next epoch.
+  std::uint64_t take() noexcept {
+    std::uint64_t total = 0;
+    for (Cell& cell : cells_) {
+      total += cell.value.exchange(0, std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() noexcept { take(); }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, detail::kCounterCells> cells_{};
 };
 
 /// Last-write-wins instantaneous value (e.g. outstanding queue depth).
+/// Not sharded: sharding a last-write-wins cell would change semantics.
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
@@ -64,10 +120,19 @@ struct HistogramSnapshot {
   double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+  std::uint64_t bucket_total() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : buckets) total += b;
+    return total;
+  }
 };
 
-/// Log2-bucketed duration histogram (seconds). Covers ~2^-32 s (sub-ns)
-/// to ~2^15 s; out-of-range values clamp to the edge buckets.
+/// Log2-bucketed duration histogram (seconds), sharded per thread slot.
+/// Covers ~2^-32 s (sub-ns) to ~2^15 s; out-of-range values clamp to the
+/// edge buckets. Double aggregates (sum/min/max) update via CAS loops —
+/// `atomic<double>::fetch_add` is not portably available/correct here —
+/// and `snapshot()` guarantees `count >= sum(buckets)` under concurrent
+/// observe (see the header comment).
 class Histogram {
  public:
   static constexpr int kBuckets = 48;
@@ -75,19 +140,78 @@ class Histogram {
 
   void observe(double v) noexcept;
   HistogramSnapshot snapshot() const;
+  /// Snapshot-and-zero (per-cell exchange). Concurrent observers may split
+  /// an observation's fields across the returned snapshot and the next
+  /// epoch; each field lands in exactly one.
+  HistogramSnapshot take();
 
-  static int bucket_of(double v) noexcept;
+  /// Single-thread local accumulator for hot loops that observe many values
+  /// per cycle (the serve dispatcher batches per-request latency this way).
+  /// `observe()` is plain arithmetic — no atomics — and `flush()` merges
+  /// the whole batch into one histogram cell with one atomic update per
+  /// touched field, count before buckets, so the snapshot invariant
+  /// `count >= sum(buckets)` holds mid-merge. Not thread-safe; staleness is
+  /// bounded by the caller's flush cadence.
+  class Batch {
+   public:
+    void observe(double v) noexcept {
+      ++local_.count;
+      local_.sum += v;
+      if (v < local_.min) local_.min = v;
+      if (v > local_.max) local_.max = v;
+      ++local_.buckets[static_cast<std::size_t>(bucket_of(v))];
+    }
+    bool empty() const noexcept { return local_.count == 0; }
+    /// Merges into `into` and clears the batch. No-op when empty.
+    void flush(Histogram& into) noexcept;
+
+   private:
+    HistogramSnapshot local_{};
+  };
+
+  /// Bucket index of value `v`. Inline and branch-light (the exponent is
+  /// read straight from the double's bits — for normal positive doubles
+  /// the biased exponent IS floor(log2 v), and subnormals fall through to
+  /// the clamp) because Batch::observe runs once per served request.
+  static int bucket_of(double v) noexcept {
+    if (!(v > 0.0)) return 0;  // non-positive and NaN clamp to the bottom
+    const int exponent =
+        static_cast<int>((std::bit_cast<std::uint64_t>(v) >> 52) & 0x7FF) -
+        1023;  // v in [2^exponent, 2^(exponent+1))
+    const int index = exponent + 1 + kZeroBucket;
+    return index < 0 ? 0 : index >= kBuckets ? kBuckets - 1 : index;
+  }
   /// Exclusive upper bound of bucket `i` in seconds.
   static double bucket_upper_bound(int i) noexcept;
 
   void reset() noexcept;
 
  private:
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
-  std::atomic<double> max_{0.0};
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{0.0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  std::array<Cell, detail::kHistogramCells> cells_{};
+};
+
+struct RegistrySnapshot;
+
+/// Render a snapshot in the registry's text / JSONL export formats (the
+/// Registry::export_* members call these on a fresh snapshot; periodic
+/// exporters call them on a snapshot_and_reset() delta).
+void export_text(const RegistrySnapshot& snap, std::ostream& os);
+void export_jsonl(const RegistrySnapshot& snap, std::ostream& os);
+
+/// One consistent view of every instrument, sorted by name within each
+/// kind (the exporters and the serve wire's metrics endpoint render from
+/// this).
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 };
 
 /// Name -> instrument map. Instruments are created on first use and never
@@ -106,7 +230,17 @@ class Registry {
   /// Snapshot of a histogram (all-zero if it was never touched).
   HistogramSnapshot histogram_snapshot(std::string_view name) const;
 
+  /// Reads every instrument (identities unchanged).
+  RegistrySnapshot snapshot() const;
+  /// Reads and zeroes every instrument, atomically per instrument cell
+  /// (see the reset contract in the header comment). Used by periodic
+  /// exporters (`repro-serve --metrics-every`) so long-running serve
+  /// sessions emit per-interval deltas without losing counts.
+  RegistrySnapshot snapshot_and_reset();
+
   /// Zeroes every instrument (identities and references stay valid).
+  /// Equivalent to discarding snapshot_and_reset(): concurrent counter
+  /// add()s land entirely before or after the reset, never partially.
   void reset();
 
   /// `<kind> <name> <value...>` per line, sorted by name.
@@ -116,6 +250,8 @@ class Registry {
 
  private:
   Registry() = default;
+
+  RegistrySnapshot collect(bool reset_cells) const;
 
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;

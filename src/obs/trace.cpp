@@ -42,91 +42,120 @@ double now_us() {
       .count();
 }
 
-// Per-thread event buffer. The shared_ptr in the registry keeps it alive
-// past thread exit; the buffer mutex is uncontended except during export
-// or clear.
-struct Tracer::ThreadBuffer {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
-  std::uint32_t tid = 0;
-};
-
 namespace {
 
-struct BufferRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<Tracer::ThreadBuffer>> buffers;
-  std::uint32_t next_tid = 1;
+// One ring slot. `locked` is a tiny test-and-set spinlock: it is held for
+// the few instructions of a struct move/copy, contended only when two
+// tickets `capacity` apart collide or a snapshot reads the slot — both
+// rare by construction. TSan understands the acquire/release pair.
+struct Slot {
+  std::atomic<bool> locked{false};
+  bool filled = false;
+  std::uint64_t ticket = 0;
+  TraceEvent event;
+
+  void lock() noexcept {
+    while (locked.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void unlock() noexcept { locked.store(false, std::memory_order_release); }
 };
-
-BufferRegistry& buffer_registry() {
-  static BufferRegistry* registry = new BufferRegistry;  // never destroyed:
-  // worker threads may record during static destruction of other objects.
-  return *registry;
-}
-
-thread_local Tracer::ThreadBuffer* t_buffer = nullptr;
 
 }  // namespace
 
+struct Tracer::Impl {
+  std::atomic<std::uint64_t> next{0};
+  std::size_t capacity = kDefaultCapacity;
+  std::vector<Slot> slots{kDefaultCapacity};
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
 Tracer& Tracer::instance() {
-  static Tracer* tracer = new Tracer;
+  static Tracer* tracer = new Tracer;  // never destroyed: worker threads
+  // may record during static destruction of other objects.
   return *tracer;
 }
 
-Tracer::ThreadBuffer& Tracer::local_buffer() {
-  if (t_buffer == nullptr) {
-    auto buffer = std::make_shared<ThreadBuffer>();
-    BufferRegistry& registry = buffer_registry();
-    std::lock_guard lock(registry.mutex);
-    buffer->tid = registry.next_tid++;
-    registry.buffers.push_back(buffer);
-    t_buffer = buffer.get();
-  }
-  return *t_buffer;
-}
-
 std::uint32_t Tracer::this_thread_id() {
-  return instance().local_buffer().tid;
+  static std::atomic<std::uint32_t> next_tid{1};
+  thread_local const std::uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
 }
 
 void Tracer::record(TraceEvent event) {
-  ThreadBuffer& buffer = local_buffer();
-  event.tid = buffer.tid;
-  std::lock_guard lock(buffer.mutex);
-  buffer.events.push_back(std::move(event));
+  event.tid = this_thread_id();
+  Impl& im = *impl_;
+  const std::uint64_t ticket = im.next.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = im.slots[static_cast<std::size_t>(ticket % im.capacity)];
+  slot.lock();
+  // Drop-oldest: a slot only ever moves forward in ticket order, so if a
+  // delayed writer reaches a slot a newer ticket already claimed, the
+  // *delayed* event is the one dropped.
+  if (!slot.filled || ticket >= slot.ticket) {
+    slot.filled = true;
+    slot.ticket = ticket;
+    slot.event = std::move(event);
+  }
+  slot.unlock();
 }
 
 void Tracer::clear() {
-  BufferRegistry& registry = buffer_registry();
-  std::lock_guard registry_lock(registry.mutex);
-  for (const auto& buffer : registry.buffers) {
-    std::lock_guard lock(buffer->mutex);
-    buffer->events.clear();
+  Impl& im = *impl_;
+  for (Slot& slot : im.slots) {
+    slot.lock();
+    slot.filled = false;
+    slot.ticket = 0;
+    slot.event = TraceEvent{};
+    slot.unlock();
   }
+  im.next.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::recorded_count() const {
+  return impl_->next.load(std::memory_order_relaxed);
 }
 
 std::size_t Tracer::event_count() const {
-  BufferRegistry& registry = buffer_registry();
-  std::lock_guard registry_lock(registry.mutex);
-  std::size_t total = 0;
-  for (const auto& buffer : registry.buffers) {
-    std::lock_guard lock(buffer->mutex);
-    total += buffer->events.size();
-  }
-  return total;
+  const std::uint64_t recorded = recorded_count();
+  return static_cast<std::size_t>(
+      recorded < impl_->capacity ? recorded : impl_->capacity);
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  const std::uint64_t recorded = recorded_count();
+  return recorded > impl_->capacity ? recorded - impl_->capacity : 0;
+}
+
+std::size_t Tracer::capacity() const { return impl_->capacity; }
+
+void Tracer::set_capacity(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  Impl& im = *impl_;
+  im.slots.clear();
+  std::vector<Slot> fresh(capacity);
+  im.slots.swap(fresh);
+  im.capacity = capacity;
+  im.next.store(0, std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
-  std::vector<TraceEvent> events;
-  {
-    BufferRegistry& registry = buffer_registry();
-    std::lock_guard registry_lock(registry.mutex);
-    for (const auto& buffer : registry.buffers) {
-      std::lock_guard lock(buffer->mutex);
-      events.insert(events.end(), buffer->events.begin(), buffer->events.end());
-    }
+  Impl& im = *impl_;
+  std::vector<std::pair<std::uint64_t, TraceEvent>> retained;
+  retained.reserve(im.capacity);
+  for (Slot& slot : im.slots) {
+    slot.lock();
+    if (slot.filled) retained.emplace_back(slot.ticket, slot.event);
+    slot.unlock();
   }
+  // Restore record order first (the ring scrambles it after a wrap), then
+  // a stable sort by timestamp keeps record order among equal timestamps.
+  std::sort(retained.begin(), retained.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TraceEvent> events;
+  events.reserve(retained.size());
+  for (auto& [ticket, event] : retained) events.push_back(std::move(event));
   std::stable_sort(events.begin(), events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.ts_us < b.ts_us;

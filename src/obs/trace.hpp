@@ -12,10 +12,12 @@
 //     golden tests prove runs are bit-identical with tracing on or off.
 //  2. Near-zero cost when disabled: every entry point checks one relaxed
 //     atomic load and constructs nothing else (tests/obs_test.cpp and the
-//     bench_micro overhead check keep this honest).
-//  3. Thread-safe under the work-stealing scheduler: each thread owns a
-//     buffer guarded by its own mutex (contended only during export);
-//     buffer registration takes a global mutex once per thread.
+//     bench overhead gates keep this honest).
+//  3. Safe to leave ON in production serve traffic: events land in a
+//     fixed-capacity ring (drop-oldest, exact dropped counter), so memory
+//     is bounded no matter how long the process runs, and recording is one
+//     atomic ticket plus an uncontended per-slot spinlock — no global
+//     mutex, no allocation beyond the event's own strings.
 #pragma once
 
 #include <atomic>
@@ -55,17 +57,38 @@ struct TraceEvent {
   std::string args;  // pre-rendered JSON members ("\"k\":\"v\",..."), may be empty
 };
 
-/// Process-wide event collector. All methods are thread-safe.
+/// Process-wide bounded collector of the most recent events.
+///
+/// Events live in a fixed ring of `capacity()` slots: `record()` takes a
+/// ticket from one relaxed fetch_add, writes slot `ticket % capacity`
+/// under that slot's spinlock, and skips the write if a newer ticket got
+/// there first — so the ring always retains the newest events and
+/// `dropped_count()` is exactly `recorded - retained`. All methods are
+/// thread-safe except `set_capacity()` (see below); `event_count()` and
+/// `snapshot()` are exact once in-flight `record()` calls have finished
+/// (e.g. after worker threads join).
 class Tracer {
  public:
+  static constexpr std::size_t kDefaultCapacity = 16384;
+
   static Tracer& instance();
 
   void record(TraceEvent event);
-  /// Drops all recorded events (buffers stay registered; outstanding
-  /// thread-local pointers remain valid).
+  /// Drops all events and zeroes the ticket/dropped counters (capacity
+  /// and thread ids are unchanged).
   void clear();
+  /// Events currently retained: min(recorded_count(), capacity()).
   std::size_t event_count() const;
-  /// All events so far, sorted by start timestamp.
+  /// Tickets issued since the last clear() (= events ever recorded).
+  std::uint64_t recorded_count() const;
+  /// Events overwritten because the ring wrapped (exact).
+  std::uint64_t dropped_count() const;
+  std::size_t capacity() const;
+  /// Replaces the ring with an empty one of `capacity` slots (>= 1).
+  /// NOT safe concurrently with any other method — for tests and process
+  /// startup only.
+  void set_capacity(std::size_t capacity);
+  /// Retained events, sorted by start timestamp (ties in record order).
   std::vector<TraceEvent> snapshot() const;
   /// Writes {"traceEvents":[...]} JSON for Perfetto / chrome://tracing.
   void export_chrome_json(std::ostream& os) const;
@@ -73,11 +96,10 @@ class Tracer {
   /// Small dense id of the calling thread (assigned on first trace use).
   static std::uint32_t this_thread_id();
 
-  struct ThreadBuffer;  // public only for the implementation's registry
-
  private:
-  Tracer() = default;
-  ThreadBuffer& local_buffer();
+  Tracer();
+  struct Impl;
+  Impl* impl_;  // never destroyed (the singleton itself is heap-leaked)
 };
 
 /// Appends `text` to `out` with JSON string escaping (no quotes added).

@@ -10,6 +10,19 @@
 
 namespace repro::power {
 
+std::string_view to_string(InstClass c) noexcept {
+  switch (c) {
+    case InstClass::kFp32: return "fp32";
+    case InstClass::kFp64: return "fp64";
+    case InstClass::kInt: return "int";
+    case InstClass::kSfu: return "sfu";
+    case InstClass::kLdstGlobal: return "ldst_global";
+    case InstClass::kLdstShared: return "ldst_shared";
+    case InstClass::kControl: return "control";
+  }
+  return "unknown";
+}
+
 double PowerModel::dynamic_energy_j(const sim::Activity& a,
                                     const sim::GpuConfig& config) const {
   const EnergyTable& t = *table_;
@@ -34,6 +47,40 @@ double PowerModel::dynamic_energy_j(const sim::Activity& a,
   }
 
   return core_j * vc2 + mem_j * vm2;
+}
+
+ClassEnergies PowerModel::class_energies_j(const sim::Activity& a,
+                                           const sim::GpuConfig& config) const {
+  // Exactly the dynamic_energy_j terms, regrouped by instruction class:
+  // each EnergyTable event energy appears in exactly one class, so the
+  // class energies partition the component-level dynamic energy (the
+  // cross-check law; only fp re-association separates the two sums).
+  const EnergyTable& t = *table_;
+  const double vc2 = config.core_voltage * config.core_voltage;
+  const double vm2 = config.mem_voltage * config.mem_voltage;
+
+  ClassEnergies e;
+  e[InstClass::kControl] = a.warp_instructions * t.warp_issue_nj * 1e-9 * vc2;
+  e[InstClass::kFp32] = a.fp32_ops * t.fp32_pj * 1e-12 * vc2;
+  e[InstClass::kFp64] = a.fp64_ops * t.fp64_pj * 1e-12 * vc2;
+  e[InstClass::kInt] = a.int_ops * t.int_pj * 1e-12 * vc2;
+  e[InstClass::kSfu] = a.sfu_ops * t.sfu_pj * 1e-12 * vc2;
+  e[InstClass::kLdstShared] =
+      a.shared_accesses * t.shared_access_nj * 1e-9 * vc2;
+
+  // The global-memory path spans both clock domains: L2 + atomics on the
+  // core side, DRAM + memory controller (+ECC) on the memory side.
+  double global_j = (a.l2_transactions * t.l2_transaction_nj * 1e-9 +
+                     a.atomic_ops * t.atomic_pj * 1e-12) *
+                    vc2;
+  double mem_j =
+      a.dram_transactions * (t.dram_transaction_nj + t.memctl_transaction_nj) *
+      1e-9;
+  if (config.ecc) {
+    mem_j += a.dram_transactions * t.ecc_transaction_nj * 1e-9;
+  }
+  e[InstClass::kLdstGlobal] = global_j + mem_j * vm2;
+  return e;
 }
 
 double PowerModel::static_power_w(const sim::GpuConfig& config) const {
@@ -140,6 +187,16 @@ double PhasePowerMemo::dynamic_energy_j(const sim::Activity& activity) {
     it->second = model_->dynamic_energy_j(activity, *config_);
   } else {
     ++hits_;
+  }
+  return it->second;
+}
+
+const ClassEnergies& PhasePowerMemo::class_energies(
+    const sim::Activity& activity) {
+  const auto [it, inserted] =
+      class_j_.try_emplace(ActivityKey{activity_bits(activity)});
+  if (inserted) {
+    it->second = model_->class_energies_j(activity, *config_);
   }
   return it->second;
 }

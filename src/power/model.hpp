@@ -12,6 +12,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 
 #include "power/energies.hpp"
@@ -26,6 +27,51 @@ struct PhasePower {
   double leakage_w = 0.0;
   double board_w = 0.0;
   double dram_background_w = 0.0;
+};
+
+/// Instruction classes the dynamic (activity-proportional) energy of a
+/// phase decomposes into (DESIGN.md §9). Each class groups the
+/// EnergyTable event energies it is built from:
+///   fp32/fp64/int/sfu — the per-op ALU energies;
+///   ldst-global       — L2 transactions + atomics (core domain) and DRAM
+///                       + memory-controller (+ECC) transactions (memory
+///                       domain), i.e. the global-memory path end to end;
+///   ldst-shared       — shared-memory bank accesses;
+///   control           — per-warp-instruction issue/decode/operand
+///                       delivery overhead (warp_issue_nj).
+enum class InstClass : int {
+  kFp32 = 0,
+  kFp64,
+  kInt,
+  kSfu,
+  kLdstGlobal,
+  kLdstShared,
+  kControl,
+};
+
+inline constexpr int kNumInstClasses = 7;
+
+/// Short stable name ("fp32", ..., "ldst_global", "control") used in
+/// exports, wire payloads and table printouts.
+std::string_view to_string(InstClass c) noexcept;
+
+/// Joules per instruction class for one activity bundle. The pinned
+/// cross-check law (tests/power_test.cpp, tests/obs_test.cpp): total_j()
+/// equals PowerModel::dynamic_energy_j for the same activity and config —
+/// the classes are a partition of the component-level model, not a second
+/// model.
+struct ClassEnergies {
+  std::array<double, kNumInstClasses> j{};
+
+  double& operator[](InstClass c) { return j[static_cast<std::size_t>(c)]; }
+  double operator[](InstClass c) const {
+    return j[static_cast<std::size_t>(c)];
+  }
+  double total_j() const {
+    double total = 0.0;
+    for (const double v : j) total += v;
+    return total;
+  }
 };
 
 class PowerModel {
@@ -44,6 +90,12 @@ class PowerModel {
   /// independent of time.
   double dynamic_energy_j(const sim::Activity& activity,
                           const sim::GpuConfig& config) const;
+
+  /// The same dynamic energy split by instruction class (see InstClass).
+  /// Sums to dynamic_energy_j(activity, config) up to fp rounding of the
+  /// re-associated terms.
+  ClassEnergies class_energies_j(const sim::Activity& activity,
+                                 const sim::GpuConfig& config) const;
 
   /// Static floor while the GPU is powered and clocked (no kernel running):
   /// board + leakage + DRAM background. This is also what the sensor reads
@@ -93,6 +145,12 @@ class PhasePowerMemo {
   /// model().phase_power(activity, duration_s, config(), ecc_adjust()).
   PhasePower phase_power(const sim::Activity& activity, double duration_s);
 
+  /// Cached model().class_energies_j(activity, config()). Keyed by the
+  /// same exact Activity bit pattern as the dynamic-energy cache; used by
+  /// the attribution pass (obs/attribution.cpp), which revisits each
+  /// distinct activity once per phase.
+  const ClassEnergies& class_energies(const sim::Activity& activity);
+
   double static_power_w() const noexcept { return static_w_; }
   double tail_power_w() const noexcept { return tail_w_; }
   double ecc_adjust() const noexcept { return ecc_adjust_; }
@@ -127,6 +185,7 @@ class PhasePowerMemo {
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
   std::unordered_map<ActivityKey, double, ActivityKeyHash> dynamic_j_;
+  std::unordered_map<ActivityKey, ClassEnergies, ActivityKeyHash> class_j_;
 };
 
 }  // namespace repro::power

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "api/convert.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "sample/sample.hpp"
@@ -139,23 +140,57 @@ Service::Options normalized(Service::Options options) {
   return options;
 }
 
-void observe_latency(Clock::time_point submit_time) {
-  if (!obs::enabled()) return;
-  obs::Registry::instance()
-      .histogram("serve.request.wall_s")
-      .observe(std::chrono::duration<double>(Clock::now() - submit_time).count());
+// The serve hot path touches its instruments once or more per request, so
+// resolving them through the registry every time (name hash + shared_mutex,
+// contended by every client thread) is the dominant obs cost. Instruments
+// are never deleted — `Registry::reset()` clears values, not identity — so
+// each helper resolves its instrument once and reuses the reference.
+// Function-local statics keep the resolve lazy: nothing registers unless
+// observability actually runs.
+obs::Histogram& wall_histogram() {
+  static obs::Histogram& wall =
+      obs::Registry::instance().histogram("serve.request.wall_s");
+  return wall;
 }
 
-void bump(const char* counter_name, std::uint64_t n = 1) {
-  if (n == 0 || !obs::enabled()) return;
-  obs::Registry::instance().counter(counter_name).add(n);
+void observe_latency(Clock::time_point submit_time) {
+  if (!obs::enabled()) return;
+  wall_histogram().observe(
+      std::chrono::duration<double>(Clock::now() - submit_time).count());
 }
+
+struct HotCounter {
+  explicit HotCounter(const char* name) : name_(name) {}
+  void add(std::uint64_t n = 1) {
+    if (n == 0 || !obs::enabled()) return;
+    obs::Counter* counter = counter_.load(std::memory_order_acquire);
+    if (counter == nullptr) {
+      counter = &obs::Registry::instance().counter(name_);
+      counter_.store(counter, std::memory_order_release);
+    }
+    counter->add(n);
+  }
+
+ private:
+  const char* name_;
+  std::atomic<obs::Counter*> counter_{nullptr};
+};
+
+HotCounter g_shed_counter{"serve.shed"};
+HotCounter g_expired_counter{"serve.deadline_expired"};
+HotCounter g_failed_counter{"serve.failed"};
+HotCounter g_retry_success_counter{"serve.retry.success"};
+HotCounter g_degraded_counter{"serve.degraded"};
+HotCounter g_cache_hit_counter{"serve.cache.hits"};
+HotCounter g_cache_miss_counter{"serve.cache.misses"};
+HotCounter g_eviction_counter{"serve.cache.evictions"};
+HotCounter g_retry_attempt_counter{"serve.retry.attempts"};
 
 void set_queue_gauge(std::size_t depth) {
   if (!obs::enabled()) return;
-  obs::Registry::instance()
-      .gauge("serve.queue_depth")
-      .set(static_cast<double>(depth));
+  static obs::Gauge& gauge =
+      obs::Registry::instance().gauge("serve.queue_depth");
+  gauge.set(static_cast<double>(depth));
 }
 
 }  // namespace
@@ -222,7 +257,8 @@ Service::~Service() {
 }
 
 void Service::fulfill(const std::shared_ptr<Pending>& pending,
-                      Response response) {
+                      Response response, obs::Histogram::Batch* latency,
+                      Clock::time_point cycle_now) {
   {
     std::lock_guard lock(pending->mutex);
     if (pending->state == Pending::State::kDone) return;  // cancel raced us
@@ -236,18 +272,18 @@ void Service::fulfill(const std::shared_ptr<Pending>& pending,
         break;
       case Status::kShed:
         shed_.fetch_add(1, std::memory_order_relaxed);
-        bump("serve.shed");
+        g_shed_counter.add();
         break;
       case Status::kDeadlineExpired:
         expired_.fetch_add(1, std::memory_order_relaxed);
-        bump("serve.deadline_expired");
+        g_expired_counter.add();
         break;
       case Status::kCancelled:
         cancelled_.fetch_add(1, std::memory_order_relaxed);
         break;
       case Status::kFailed:
         faulted_.fetch_add(1, std::memory_order_relaxed);
-        bump("serve.failed");
+        g_failed_counter.add();
         break;
       default:
         failed_.fetch_add(1, std::memory_order_relaxed);
@@ -257,11 +293,11 @@ void Service::fulfill(const std::shared_ptr<Pending>& pending,
       switch (pending->response.degradation) {
         case Degradation::kRetried:
           retried_.fetch_add(1, std::memory_order_relaxed);
-          bump("serve.retry.success");
+          g_retry_success_counter.add();
           break;
         case Degradation::kDegraded:
           degraded_.fetch_add(1, std::memory_order_relaxed);
-          bump("serve.degraded");
+          g_degraded_counter.add();
           break;
         case Degradation::kNone:
           break;
@@ -269,7 +305,18 @@ void Service::fulfill(const std::shared_ptr<Pending>& pending,
     }
   }
   pending->cv.notify_all();
-  observe_latency(pending->submit_time);
+  if (latency != nullptr) {
+    // Dispatcher cache-hit cycle: accumulate against the cycle timestamp
+    // (taken after every request in this batch was submitted, so the
+    // duration is nonnegative); the caller flushes once per cycle.
+    if (obs::enabled()) {
+      latency->observe(
+          std::chrono::duration<double>(cycle_now - pending->submit_time)
+              .count());
+    }
+  } else {
+    observe_latency(pending->submit_time);
+  }
 }
 
 Service::Ticket Service::submit(v1::ExperimentRequest request) {
@@ -310,7 +357,11 @@ Service::Ticket Service::submit(v1::ExperimentRequest request) {
     return Ticket(std::move(pending));
   }
   cv_.notify_one();
-  set_queue_gauge(depth);
+  // The queue-depth gauge is dispatcher-owned (set once per claim cycle):
+  // setting it here would make every client thread store to one shared
+  // cache line per submit, which dominates obs cost under multi-client
+  // load (bench/obs_overhead.cpp).
+  (void)depth;
   for (const std::shared_ptr<Pending>& victim : victims) {
     Response response;
     response.id = victim->request.id;
@@ -401,6 +452,8 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
   span.arg("requests", static_cast<std::uint64_t>(batch.size()));
 
   const Clock::time_point now = Clock::now();
+  obs::Histogram::Batch latency;  // flushed once after the claim loop
+  std::uint64_t hits = 0;         // counters likewise bumped once per cycle
   std::vector<Miss> misses;
   for (std::shared_ptr<Pending>& pending : batch) {
     {
@@ -417,7 +470,7 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
       response.key = core::experiment_key(request.program, request.input_index,
                                           request.config);
       response.error = "deadline expired before dispatch";
-      fulfill(pending, std::move(response));
+      fulfill(pending, std::move(response), &latency, now);
       continue;
     }
     const workloads::Workload* workload =
@@ -425,7 +478,7 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
     if (workload == nullptr) {
       response.status = Status::kUnknownProgram;
       response.error = "unknown program: " + request.program;
-      fulfill(pending, std::move(response));
+      fulfill(pending, std::move(response), &latency, now);
       continue;
     }
     if (request.input_index >= workload->inputs().size()) {
@@ -434,7 +487,7 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
           "input index " + std::to_string(request.input_index) +
           " out of range for " + request.program + " (" +
           std::to_string(workload->inputs().size()) + " inputs)";
-      fulfill(pending, std::move(response));
+      fulfill(pending, std::move(response), &latency, now);
       continue;
     }
     const sim::GpuConfig* config = nullptr;
@@ -443,7 +496,7 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
     } catch (const std::invalid_argument&) {
       response.status = Status::kUnknownConfig;
       response.error = "unknown config: " + request.config;
-      fulfill(pending, std::move(response));
+      fulfill(pending, std::move(response), &latency, now);
       continue;
     }
 
@@ -456,14 +509,13 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
                 : cache_version_ + response.key;
     v1::MeasurementResult cached;
     if (cache_.lookup(versioned_key, cached)) {
-      bump("serve.cache.hits");
+      ++hits;
       response.status = Status::kOk;
       response.cached = true;
       response.result = cached;
-      fulfill(pending, std::move(response));
+      fulfill(pending, std::move(response), &latency, now);
       continue;
     }
-    bump("serve.cache.misses");
     Miss miss;
     miss.pending = std::move(pending);
     miss.workload = workload;
@@ -473,6 +525,9 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
     miss.sampled = sampled;
     misses.push_back(std::move(miss));
   }
+  g_cache_hit_counter.add(hits);
+  g_cache_miss_counter.add(misses.size());
+  if (obs::enabled()) latency.flush(wall_histogram());
   if (misses.empty()) return;
 
   // Sampled misses take their own path: they never enter the scheduler
@@ -565,7 +620,7 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
       if (!tainted) {
         // Only clean measurements enter the LRU: a degraded result must
         // never be served as a cache hit to a later client.
-        bump("serve.cache.evictions", cache_.insert(miss.versioned_key, dto));
+        g_eviction_counter.add(cache_.insert(miss.versioned_key, dto));
       }
       if (deadline_passed) {
         // Computed (and, when clean, cached for the next client), but this
@@ -585,7 +640,7 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
     }
 
     if (retry.empty()) break;
-    bump("serve.retry.attempts", retry.size());
+    g_retry_attempt_counter.add(retry.size());
     if (options_.retry_backoff_ms > 0.0) {
       // Deterministic exponential backoff: retry n sleeps base * 2^(n-1).
       const double factor = static_cast<double>(1ULL << attempt);
@@ -627,7 +682,7 @@ void Service::dispatch_sampled(std::vector<Miss> misses) {
                                    Clock::now() > miss.pending->deadline;
       if (tainted && !deadline_passed && attempt < max_retries) {
         miss.retries = attempt + 1;
-        bump("serve.retry.attempts");
+        g_retry_attempt_counter.add();
         if (options_.retry_backoff_ms > 0.0) {
           const double factor = static_cast<double>(1ULL << attempt);
           std::this_thread::sleep_for(
@@ -643,7 +698,7 @@ void Service::dispatch_sampled(std::vector<Miss> misses) {
       response.retries = miss.retries;
       const v1::MeasurementResult dto = to_dto(result);
       if (!tainted) {
-        bump("serve.cache.evictions", cache_.insert(miss.versioned_key, dto));
+        g_eviction_counter.add(cache_.insert(miss.versioned_key, dto));
       }
       if (deadline_passed) {
         response.status = Status::kDeadlineExpired;
@@ -710,6 +765,45 @@ HealthSnapshot Service::health() const {
     health.faults_injected = plan->applied_total();
   }
   return health;
+}
+
+Service::AttributionResult Service::attribute(
+    const v1::ExperimentRequest& request) const {
+  AttributionResult out;
+  const workloads::Workload* workload =
+      workloads::Registry::instance().find(request.program);
+  if (workload == nullptr) {
+    out.status = Status::kUnknownProgram;
+    out.error = "unknown program: " + request.program;
+    return out;
+  }
+  if (request.input_index >= workload->inputs().size()) {
+    out.status = Status::kInvalidRequest;
+    out.error = "input index out of range: " +
+                std::to_string(request.input_index);
+    return out;
+  }
+  const sim::GpuConfig* config = nullptr;
+  try {
+    config = &sim::config_by_name(request.config);
+  } catch (const std::invalid_argument&) {
+    out.status = Status::kUnknownConfig;
+    out.error = "unknown config: " + request.config;
+    return out;
+  }
+  out.key = core::experiment_key(request.program, request.input_index,
+                                 request.config);
+  // Fresh Study, same options as every dispatch attempt: the attribution
+  // (trace + measurement + per-phase model evaluation) is bit-identical
+  // to what a direct Study caller would compute for this key.
+  core::Study study{options_.study};
+  const obs::AttributionTable table =
+      study.attribution(*workload, request.input_index, *config);
+  out.table = v1::detail::attribution_to_v1(table);
+  if (obs::enabled()) {
+    obs::Registry::instance().counter("serve.attribution.requests").add();
+  }
+  return out;
 }
 
 }  // namespace repro::serve

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -28,6 +29,7 @@
 
 #include "core/scheduler.hpp"
 #include "core/study.hpp"
+#include "obs/metrics.hpp"
 #include "repro/api.hpp"
 #include "serve/cache.hpp"
 #include "serve/wire.hpp"
@@ -120,6 +122,21 @@ class Service {
   /// active plan actually applied across all sites; 0 without a plan.
   HealthSnapshot health() const;
 
+  /// Outcome of one attribution request (Service::attribute).
+  struct AttributionResult {
+    Status status = Status::kOk;
+    std::string key;    // canonical experiment key when resolvable
+    std::string error;  // non-empty iff status != kOk
+    v1::Attribution table;
+  };
+
+  /// Per-kernel instruction-class energy attribution for one experiment,
+  /// computed with the service's study options (exposed by `repro-serve`
+  /// as a `{"v":1,"attribution":"<program>",...}` request). Synchronous
+  /// and uncached: it runs on the calling thread against a fresh Study,
+  /// independent of the dispatcher, queue and result cache.
+  AttributionResult attribute(const v1::ExperimentRequest& request) const;
+
   /// Version prefix of every cache key: derived from the study options and
   /// a fingerprint of the power model's energy table, so a model or seed
   /// change can never serve a stale cached result.
@@ -131,8 +148,14 @@ class Service {
   void dispatcher_loop();
   void dispatch(std::vector<std::shared_ptr<detail::Pending>> batch);
   void dispatch_sampled(std::vector<Miss> misses);
+  /// Resolves one request. When `latency` is set (the dispatcher's
+  /// cache-hit cycle), the request's wall time is accumulated into that
+  /// local batch against `cycle_now` — one clock read and one histogram
+  /// flush per cycle instead of per request — otherwise it is observed
+  /// directly.
   void fulfill(const std::shared_ptr<detail::Pending>& pending,
-               Response response);
+               Response response, obs::Histogram::Batch* latency = nullptr,
+               std::chrono::steady_clock::time_point cycle_now = {});
 
   Options options_;
   std::string cache_version_;

@@ -5,7 +5,8 @@
 #include <limits>
 #include <string>
 
-#include "obs/trace.hpp"  // append_json_escaped
+#include "obs/metrics.hpp"  // RegistrySnapshot for the metrics endpoint
+#include "obs/trace.hpp"    // append_json_escaped
 
 namespace repro::serve {
 
@@ -441,24 +442,26 @@ std::string format_response_line(const Response& response) {
   return line;
 }
 
-bool is_health_request(std::string_view line) {
-  // Reuse the request parser's tokenizer: scan the flat object for a
-  // "health" key with value true. Anything that does not parse as a flat
-  // object is not a health request.
+namespace {
+
+// Scans `line` as a flat object and reports whether `name` is present
+// with value true (bool flag endpoints: health, metrics). Anything that
+// does not parse as a flat object does not match.
+bool has_true_flag(std::string_view line, std::string_view name) {
   Parser p;
   p.s = line;
   if (!p.consume('{')) return false;
   p.skip_ws();
   if (p.i < p.s.size() && p.s[p.i] == '}') return false;  // empty object
-  bool health = false;
+  bool found = false;
   for (;;) {
     std::string key;
     Parser::Value value;
     if (!p.parse_string(key) || !p.consume(':') || !p.parse_value(value)) {
       return false;
     }
-    if (key == "health") {
-      health = value.kind == Parser::Kind::kBool && value.flag;
+    if (key == name) {
+      found = value.kind == Parser::Kind::kBool && value.flag;
     }
     p.skip_ws();
     if (p.i < p.s.size() && p.s[p.i] == ',') {
@@ -469,7 +472,13 @@ bool is_health_request(std::string_view line) {
     break;
   }
   p.skip_ws();
-  return health && p.i == p.s.size();
+  return found && p.i == p.s.size();
+}
+
+}  // namespace
+
+bool is_health_request(std::string_view line) {
+  return has_true_flag(line, "health");
 }
 
 std::string format_health_line(const HealthSnapshot& health) {
@@ -489,6 +498,243 @@ std::string format_health_line(const HealthSnapshot& health) {
   line += std::to_string(health.queue_depth);
   line += ",\"faults_injected\":";
   line += std::to_string(health.faults_injected);
+  line += '}';
+  return line;
+}
+
+bool is_metrics_request(std::string_view line) {
+  return has_true_flag(line, "metrics");
+}
+
+std::string format_metrics_line(const obs::RegistrySnapshot& snap) {
+  std::string line = "{\"v\":1,\"metrics\":true,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    obs::append_json_escaped(line, name);
+    line += "\":";
+    line += std::to_string(value);
+  }
+  line += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    obs::append_json_escaped(line, name);
+    line += "\":";
+    append_double(line, value);
+  }
+  line += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, s] : snap.histograms) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    obs::append_json_escaped(line, name);
+    line += "\":{\"count\":";
+    line += std::to_string(s.count);
+    line += ",\"sum\":";
+    append_double(line, s.sum);
+    line += ",\"min\":";
+    append_double(line, s.count == 0 ? 0.0 : s.min);
+    line += ",\"max\":";
+    append_double(line, s.max);
+    line += ",\"mean\":";
+    append_double(line, s.mean());
+    line += '}';
+  }
+  line += "}}";
+  return line;
+}
+
+bool is_attribution_request(std::string_view line) {
+  Parser p;
+  p.s = line;
+  if (!p.consume('{')) return false;
+  p.skip_ws();
+  if (p.i < p.s.size() && p.s[p.i] == '}') return false;
+  bool found = false;
+  for (;;) {
+    std::string key;
+    Parser::Value value;
+    if (!p.parse_string(key) || !p.consume(':') || !p.parse_value(value)) {
+      return false;
+    }
+    if (key == "attribution") {
+      found = value.kind == Parser::Kind::kString;
+    }
+    p.skip_ws();
+    if (p.i < p.s.size() && p.s[p.i] == ',') {
+      ++p.i;
+      continue;
+    }
+    if (!p.consume('}')) return false;
+    break;
+  }
+  p.skip_ws();
+  return found && p.i == p.s.size();
+}
+
+bool parse_attribution_request(std::string_view line,
+                               v1::ExperimentRequest& out,
+                               std::string& error) {
+  Parser p;
+  p.s = line;
+  v1::ExperimentRequest request;
+  bool have_program = false, have_config = false;
+  if (!p.consume('{')) {
+    error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.i < p.s.size() && p.s[p.i] == '}') {
+    ++p.i;
+  } else {
+    for (;;) {
+      std::string key;
+      Parser::Value value;
+      if (!p.parse_string(key) || !p.consume(':') || !p.parse_value(value)) {
+        error = p.error;
+        return false;
+      }
+      if (key == "v") {
+        std::size_t version = 0;
+        if (!to_index(value, version) || version != v1::kApiVersion) {
+          error = "unsupported wire version";
+          return false;
+        }
+      } else if (key == "attribution") {
+        if (value.kind != Parser::Kind::kString) {
+          error = "attribution must be a program name string";
+          return false;
+        }
+        request.program = std::move(value.text);
+        have_program = true;
+      } else if (key == "config") {
+        if (value.kind != Parser::Kind::kString) {
+          error = "config must be a string";
+          return false;
+        }
+        request.config = std::move(value.text);
+        have_config = true;
+      } else if (key == "input") {
+        if (!to_index(value, request.input_index)) {
+          error = "bad input index";
+          return false;
+        }
+      } else if (key == "id") {
+        std::size_t id = 0;
+        if (!to_index(value, id)) {
+          error = "bad id";
+          return false;
+        }
+        request.id = id;
+      }  // unknown fields: ignored for forward compatibility
+      p.skip_ws();
+      if (p.i < p.s.size() && p.s[p.i] == ',') {
+        ++p.i;
+        continue;
+      }
+      if (!p.consume('}')) {
+        error = p.error;
+        return false;
+      }
+      break;
+    }
+  }
+  p.skip_ws();
+  if (p.i != p.s.size()) {
+    error = "trailing content after object";
+    return false;
+  }
+  if (!have_program || !have_config) {
+    error = "missing required field: attribution and config";
+    return false;
+  }
+  out = std::move(request);
+  return true;
+}
+
+namespace {
+
+void append_class_array(std::string& line,
+                        const std::array<double, v1::kNumEnergyClasses>&
+                            classes) {
+  line += '[';
+  for (int c = 0; c < v1::kNumEnergyClasses; ++c) {
+    if (c != 0) line += ',';
+    append_double(line, classes[static_cast<std::size_t>(c)]);
+  }
+  line += ']';
+}
+
+}  // namespace
+
+std::string format_attribution_line(std::string_view key,
+                                    const v1::Attribution& table) {
+  std::string line = "{\"v\":1,\"attribution\":true,";
+  append_string_field(line, "key", key);
+  line += ",\"total_time_s\":";
+  append_double(line, table.total_time_s);
+  line += ",\"model_energy_j\":";
+  append_double(line, table.model_energy_j);
+  line += ",\"attributed_energy_j\":";
+  append_double(line, table.attributed_energy_j);
+  line += ",\"static_energy_j\":";
+  append_double(line, table.static_energy_j);
+  line += ",\"classes\":[";
+  const auto& names = v1::energy_class_names();
+  for (int c = 0; c < v1::kNumEnergyClasses; ++c) {
+    if (c != 0) line += ',';
+    line += '"';
+    line += names[static_cast<std::size_t>(c)];
+    line += '"';
+  }
+  line += "],\"class_energy_j\":";
+  append_class_array(line, table.class_energy_j);
+  line += ",\"kernels\":[";
+  bool first = true;
+  for (const v1::AttributionRow& k : table.kernels) {
+    if (!first) line += ',';
+    first = false;
+    line += '{';
+    append_string_field(line, "kernel", k.kernel);
+    line += ",\"phases\":";
+    line += std::to_string(k.phases);
+    line += ",\"time_s\":";
+    append_double(line, k.time_s);
+    line += ",\"model_energy_j\":";
+    append_double(line, k.model_energy_j);
+    line += ",\"power_w\":";
+    append_double(line, k.avg_power_w);
+    line += ",\"share\":";
+    append_double(line, k.energy_share);
+    line += ",\"energy_j\":";
+    append_double(line, k.energy_j);
+    line += ",\"class_energy_j\":";
+    append_class_array(line, k.class_energy_j);
+    line += ",\"static_energy_j\":";
+    append_double(line, k.static_energy_j);
+    line += '}';
+  }
+  line += "]}";
+  return line;
+}
+
+std::string format_attribution_error_line(Status status, std::string_view key,
+                                          std::string_view error) {
+  std::string line = "{\"v\":1,\"attribution\":true,\"status\":\"";
+  line += to_string(status);
+  line += '"';
+  if (!key.empty()) {
+    line += ',';
+    append_string_field(line, "key", key);
+  }
+  line += ',';
+  append_string_field(line, "error", error);
   line += '}';
   return line;
 }

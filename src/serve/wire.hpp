@@ -22,6 +22,14 @@
 // byte-identical.
 // Error:    {"v":1,"id":8,"status":"shed","key":"...","error":"..."}
 // Health:   {"v":1,"health":true}  ->  format_health_line(...)
+// Metrics:  {"v":1,"metrics":true} ->  format_metrics_line(...)
+// Attribution: {"v":1,"attribution":"NB","input":2,"config":"default"}
+//           ->  format_attribution_line(...) with per-kernel
+//               instruction-class energy columns.
+//
+// Only *inbound* request lines are restricted to flat JSON; the metrics
+// and attribution response lines carry nested objects/arrays (clients of
+// those endpoints are monitoring tools, not the flat-wire request path).
 //
 // Unknown request fields are ignored (forward compatibility); a "v" other
 // than 1 is rejected. `degradation` reports how the fault-injection layer
@@ -36,6 +44,10 @@
 #include <string_view>
 
 #include "repro/api.hpp"
+
+namespace repro::obs {
+struct RegistrySnapshot;
+}
 
 namespace repro::serve {
 
@@ -103,5 +115,40 @@ struct HealthSnapshot {
 };
 
 std::string format_health_line(const HealthSnapshot& health);
+
+/// True when `line` is a metrics request: a flat JSON object containing
+/// "metrics":true. Same detection contract as is_health_request.
+bool is_metrics_request(std::string_view line);
+
+/// Encodes one metrics snapshot as a single line:
+///   {"v":1,"metrics":true,"counters":{"name":N,...},
+///    "gauges":{"name":V,...},
+///    "histograms":{"name":{"count":N,"sum":S,"min":M,"max":X,"mean":E},..}}
+/// Doubles use %.17g like every other wire value; a histogram with
+/// count 0 reports min 0 (matching the text exporter).
+std::string format_metrics_line(const obs::RegistrySnapshot& snap);
+
+/// True when `line` is an attribution request: a flat JSON object whose
+/// "attribution" key holds a program name string. Malformed lines are not
+/// attribution requests — they fall through to the normal parse path.
+bool is_attribution_request(std::string_view line);
+
+/// Parses {"v":1,"attribution":"NB","input":2,"config":"default"} into a
+/// request (program <- the "attribution" value; input defaults to 0).
+/// On failure returns false and sets `error`.
+bool parse_attribution_request(std::string_view line,
+                               v1::ExperimentRequest& out, std::string& error);
+
+/// Encodes an attribution table for canonical key `key`: totals, the
+/// instruction-class column names, and one object per kernel with the
+/// class-energy columns (model scale) next to the measured-scaled
+/// energy_j.
+std::string format_attribution_line(std::string_view key,
+                                    const v1::Attribution& table);
+
+/// Structured attribution error ({"v":1,"attribution":true,"status":...}).
+std::string format_attribution_error_line(Status status,
+                                          std::string_view key,
+                                          std::string_view error);
 
 }  // namespace repro::serve

@@ -9,8 +9,10 @@
 //    observability enabled vs. disabled.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <sstream>
@@ -487,6 +489,231 @@ TEST(ObsExport, TextAndJsonlExportersRoundTrip) {
     ++parsed;
   }
   EXPECT_GE(parsed, 3);
+}
+
+// --- Sharded instruments (DESIGN.md §9) ---------------------------------
+
+// 8 threads hammering one sharded counter must aggregate to the exact
+// single-threaded sum once the writers join (per-cell monotone counters).
+TEST(ObsMetrics, ShardedCounterAggregationMatchesSingleThreadedSum) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, t] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+        counter.add(static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // sum over t of (t+1) * kAddsPerThread = kAddsPerThread * 8*9/2.
+  EXPECT_EQ(counter.value(), kAddsPerThread * kThreads * (kThreads + 1) / 2);
+  EXPECT_EQ(counter.take(), kAddsPerThread * kThreads * (kThreads + 1) / 2);
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+// Concurrency invariant (meant for the tsan preset, label "obs"): while
+// writers observe, every snapshot obeys count >= sum(buckets) and
+// min <= max; after the writers join, totals are exact. Observed values
+// are powers of two so the CAS-accumulated double sum is exact.
+TEST(ObsMetrics, HistogramConcurrentObserveKeepsSnapshotInvariant) {
+  obs::Histogram histogram;
+  constexpr int kWriters = 4;
+  constexpr int kObservesPerWriter = 50000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const obs::HistogramSnapshot s = histogram.snapshot();
+      if (s.count < s.bucket_total()) violations.fetch_add(1);
+      if (s.count > 0 && s.min > s.max) violations.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&histogram, t] {
+      const double v = std::ldexp(1.0, -t);  // 1, 0.5, 0.25, 0.125
+      for (int i = 0; i < kObservesPerWriter; ++i) histogram.observe(v);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  const obs::HistogramSnapshot s = histogram.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kWriters) * kObservesPerWriter);
+  EXPECT_EQ(s.bucket_total(), s.count);
+  // 50000 * (1 + 0.5 + 0.25 + 0.125); powers of two sum exactly.
+  EXPECT_DOUBLE_EQ(s.sum, kObservesPerWriter * 1.875);
+  EXPECT_DOUBLE_EQ(s.min, 0.125);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+}
+
+// The dispatcher's per-cycle Batch accumulator must be observationally
+// identical to observing each value directly.
+TEST(ObsMetrics, HistogramBatchFlushMatchesDirectObserve) {
+  const std::vector<double> values = {1e-9, 2.5e-7, 1e-6,  3.1e-6, 0.5,
+                                      1.0,  7.25,   1e-12, 42.0,   1e-6};
+  obs::Histogram direct;
+  obs::Histogram batched;
+  obs::Histogram::Batch batch;
+  EXPECT_TRUE(batch.empty());
+  for (const double v : values) {
+    direct.observe(v);
+    batch.observe(v);
+  }
+  EXPECT_FALSE(batch.empty());
+  batch.flush(batched);
+  EXPECT_TRUE(batch.empty());
+  batch.flush(batched);  // empty flush is a no-op
+
+  const obs::HistogramSnapshot a = direct.snapshot();
+  const obs::HistogramSnapshot b = batched.snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+// Reset contract (metrics.hpp): under concurrent adders, repeated
+// snapshot_and_reset() epochs plus the residual must account for every
+// increment exactly — none lost, none double-counted.
+TEST(ObsMetrics, SnapshotAndResetNeverLosesOrDoubleCountsIncrements) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  obs::Counter& counter = registry.counter("obs_test.reset_race");
+  constexpr int kAdders = 4;
+  constexpr std::uint64_t kAddsPerThread = 200000;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reaped{0};
+  std::thread reaper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const obs::RegistrySnapshot snap = registry.snapshot_and_reset();
+      for (const auto& [name, value] : snap.counters) {
+        if (name == "obs_test.reset_race") reaped.fetch_add(value);
+      }
+    }
+  });
+  std::vector<std::thread> adders;
+  adders.reserve(kAdders);
+  for (int t = 0; t < kAdders; ++t) {
+    adders.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) counter.add();
+    });
+  }
+  for (std::thread& t : adders) t.join();
+  done.store(true, std::memory_order_release);
+  reaper.join();
+
+  EXPECT_EQ(reaped.load() + counter.take(), kAdders * kAddsPerThread);
+  registry.reset();
+}
+
+// --- Ring-buffer tracer (DESIGN.md §9) ----------------------------------
+
+// Recording past capacity drops the OLDEST events, keeps the newest, and
+// accounts for every drop in dropped_count() exactly.
+TEST(ObsTrace, RingBufferWrapDropsOldestWithExactCounter) {
+  ObsOn on;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_capacity(64);
+  constexpr int kRecorded = 200;
+  for (int i = 0; i < kRecorded; ++i) {
+    obs::instant("wrap" + std::to_string(i), "test");
+  }
+  EXPECT_EQ(tracer.event_count(), 64u);
+  EXPECT_EQ(tracer.recorded_count(), static_cast<std::uint64_t>(kRecorded));
+  EXPECT_EQ(tracer.dropped_count(), static_cast<std::uint64_t>(kRecorded - 64));
+
+  // The retained window is exactly the newest 64 events, in order.
+  const std::vector<obs::TraceEvent> events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].name,
+              "wrap" + std::to_string(kRecorded - 64 + i));
+  }
+
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dropped_count(), 0u);
+  tracer.set_capacity(obs::Tracer::kDefaultCapacity);
+}
+
+// --- Instruction-class energy law (DESIGN.md §9) ------------------------
+
+// The pinned decomposition law over the full registry matrix, all four
+// configurations: for every program x config and every kernel row,
+// sum_c(class_energy_j[c]) + static_energy_j == model_energy_j, the table
+// totals obey the same identity, and the energy_j column still sums to
+// the measured (or, for unusable experiments, model) energy.
+TEST(ObsAttribution, ClassEnergiesSumToComponentModelEnergy) {
+  suites::register_all_workloads();
+  const std::vector<ExperimentJob> jobs =
+      core::registry_matrix({"default", "614", "324", "ecc"});
+  ASSERT_FALSE(jobs.empty());
+
+  Study study;
+  const Scheduler scheduler{Scheduler::Options{8}};
+  scheduler.run(study, jobs);  // warm the caches in parallel
+
+  for (const ExperimentJob& job : jobs) {
+    const std::string tag = std::string(job.workload->name()) + "/" +
+                            std::to_string(job.input_index) + "/" +
+                            job.config->name;
+    const ExperimentResult& r =
+        study.measure(*job.workload, job.input_index, *job.config);
+    const obs::AttributionTable table =
+        study.attribution(*job.workload, job.input_index, *job.config);
+    ASSERT_FALSE(table.kernels.empty()) << tag;
+
+    std::array<double, power::kNumInstClasses> column_totals{};
+    double static_total = 0.0;
+    double attributed = 0.0;
+    for (const obs::KernelAttribution& k : table.kernels) {
+      double class_sum = k.static_energy_j;
+      for (std::size_t c = 0; c < power::kNumInstClasses; ++c) {
+        EXPECT_GE(k.class_energy_j[c], 0.0) << tag << "/" << k.kernel;
+        class_sum += k.class_energy_j[c];
+        column_totals[c] += k.class_energy_j[c];
+      }
+      EXPECT_GE(k.static_energy_j, 0.0) << tag << "/" << k.kernel;
+      // The law: class columns + static sum to the kernel's model energy.
+      EXPECT_NEAR(class_sum, k.model_energy_j, 1e-9 * k.model_energy_j)
+          << tag << "/" << k.kernel;
+      static_total += k.static_energy_j;
+      attributed += k.energy_j;
+    }
+
+    // Table totals are the column sums and obey the same identity.
+    double table_class_sum = table.static_energy_j;
+    for (std::size_t c = 0; c < power::kNumInstClasses; ++c) {
+      EXPECT_NEAR(table.class_energy_j[c], column_totals[c],
+                  1e-9 * (column_totals[c] + 1e-300))
+          << tag;
+      table_class_sum += table.class_energy_j[c];
+    }
+    EXPECT_NEAR(table.static_energy_j, static_total,
+                1e-9 * (static_total + 1e-300))
+        << tag;
+    EXPECT_NEAR(table_class_sum, table.model_energy_j,
+                1e-9 * table.model_energy_j)
+        << tag;
+
+    // The measured-energy pin is unchanged by the class decomposition.
+    const double expected =
+        r.usable && r.energy_j > 0.0 ? r.energy_j : table.model_energy_j;
+    EXPECT_NEAR(attributed, expected, 1e-9 * expected) << tag;
+    EXPECT_NEAR(attributed, table.attributed_energy_j, 1e-12 * attributed)
+        << tag;
+  }
 }
 
 }  // namespace

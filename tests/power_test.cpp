@@ -183,5 +183,53 @@ TEST(PhasePowerMemo, PerConfigScalarsMatchModel) {
   }
 }
 
+// The pinned partition law (model.hpp): the instruction-class energies are
+// a partition of the component-level dynamic energy — for any activity and
+// configuration, total_j() equals dynamic_energy_j exactly up to rounding
+// of the re-associated terms, with every class non-negative.
+TEST(PowerModel, ClassEnergiesPartitionDynamicEnergy) {
+  const PowerModel m;
+  Activity mixed = saturated_fp32_second();
+  mixed += saturated_dram_second();
+  mixed.fp64_ops = 1e10;
+  mixed.int_ops = 5e10;
+  mixed.sfu_ops = 2e9;
+  mixed.shared_accesses = 3e9;
+  mixed.atomic_ops = 1e8;
+  for (const Activity& a :
+       {saturated_fp32_second(), saturated_dram_second(), mixed}) {
+    for (const char* name : {"default", "614", "324", "ecc"}) {
+      const auto& cfg = config_by_name(name);
+      const ClassEnergies classes = m.class_energies_j(a, cfg);
+      const double dynamic = m.dynamic_energy_j(a, cfg);
+      for (const double v : classes.j) EXPECT_GE(v, 0.0) << name;
+      EXPECT_NEAR(classes.total_j(), dynamic, 1e-9 * dynamic) << name;
+    }
+  }
+  // The split lands where the activity says: a pure-fp32 bundle puts its
+  // largest class column under fp32, a streaming bundle under ldst_global.
+  const auto& cfg = config_by_name("default");
+  const ClassEnergies fp = m.class_energies_j(saturated_fp32_second(), cfg);
+  EXPECT_GT(fp[InstClass::kFp32], fp[InstClass::kLdstGlobal]);
+  const ClassEnergies mem = m.class_energies_j(saturated_dram_second(), cfg);
+  EXPECT_GT(mem[InstClass::kLdstGlobal], mem[InstClass::kFp32]);
+}
+
+// The memo's cached class split is bit-identical to the model's.
+TEST(PhasePowerMemo, ClassEnergiesMatchModelAndCache) {
+  const PowerModel m;
+  const auto& cfg = config_by_name("614");
+  PhasePowerMemo memo{m, cfg};
+  const Activity a = saturated_fp32_second();
+  const ClassEnergies direct = m.class_energies_j(a, cfg);
+  const ClassEnergies& cached = memo.class_energies(a);
+  for (int c = 0; c < kNumInstClasses; ++c) {
+    EXPECT_EQ(direct.j[static_cast<std::size_t>(c)],
+              cached.j[static_cast<std::size_t>(c)]);
+  }
+  // A repeat must return the same cached object.
+  EXPECT_EQ(&cached, &memo.class_energies(a));
+}
+
 }  // namespace
 }  // namespace repro::power

@@ -992,5 +992,118 @@ TEST(ServeWireMutation, MutatedResponseLinesNeverParseAsRequests) {
   }
 }
 
+// --- Observability endpoints (DESIGN.md §9) --------------------------------
+
+TEST(ServeWire, MetricsRequestDetection) {
+  EXPECT_TRUE(is_metrics_request(R"({"v":1,"metrics":true})"));
+  EXPECT_TRUE(is_metrics_request(R"({ "metrics" : true })"));
+  EXPECT_TRUE(is_metrics_request(R"({"metrics":true,"future":null})"));
+  EXPECT_FALSE(is_metrics_request(R"({"metrics":false})"));
+  EXPECT_FALSE(is_metrics_request(R"({"metrics":"true"})"));
+  EXPECT_FALSE(is_metrics_request(R"({"v":1,"program":"NB"})"));
+  EXPECT_FALSE(is_metrics_request("{}"));
+  EXPECT_FALSE(is_metrics_request(""));
+  EXPECT_FALSE(is_metrics_request("not json"));
+  EXPECT_FALSE(is_metrics_request(R"({"metrics":true} extra)"));
+}
+
+TEST(ServeWire, MetricsLineRendersRegistrySnapshot) {
+  obs::RegistrySnapshot snap;
+  snap.counters.emplace_back("serve.cache.hits", 41);
+  snap.gauges.emplace_back("serve.queue.depth", 3.0);
+  obs::HistogramSnapshot h;
+  h.count = 2;
+  h.sum = 3.0;
+  h.min = 1.0;
+  h.max = 2.0;
+  snap.histograms.emplace_back("serve.request.wall_s", h);
+  const std::string line = format_metrics_line(snap);
+  EXPECT_EQ(line.find("{\"v\":1,\"metrics\":true,\"counters\":{"), 0u);
+  EXPECT_NE(line.find("\"serve.cache.hits\":41"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"serve.queue.depth\":3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"serve.request.wall_s\":{\"count\":2"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"mean\":1.5"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '}');
+}
+
+TEST(ServeWire, AttributionRequestDetectionAndParse) {
+  EXPECT_TRUE(is_attribution_request(
+      R"({"v":1,"attribution":"NB","input":2,"config":"default"})"));
+  EXPECT_TRUE(is_attribution_request(R"({ "attribution" : "BP" })"));
+  // The attribution value must be a program name STRING; anything else
+  // falls through to the normal parse path.
+  EXPECT_FALSE(is_attribution_request(R"({"attribution":true})"));
+  EXPECT_FALSE(is_attribution_request(R"({"v":1,"program":"NB"})"));
+  EXPECT_FALSE(is_attribution_request("{}"));
+  EXPECT_FALSE(is_attribution_request(""));
+  EXPECT_FALSE(is_attribution_request("not json"));
+  EXPECT_FALSE(is_attribution_request(R"({"attribution":"NB"} extra)"));
+
+  v1::ExperimentRequest out;
+  std::string error;
+  ASSERT_TRUE(parse_attribution_request(
+      R"({"v":1,"id":9,"attribution":"NB","input":2,"config":"614"})", out,
+      error))
+      << error;
+  EXPECT_EQ(out.id, 9u);
+  EXPECT_EQ(out.program, "NB");
+  EXPECT_EQ(out.input_index, 2u);
+  EXPECT_EQ(out.config, "614");
+
+  // Input defaults to 0; config is required.
+  v1::ExperimentRequest defaults;
+  ASSERT_TRUE(parse_attribution_request(
+      R"({"attribution":"BP","config":"default"})", defaults, error))
+      << error;
+  EXPECT_EQ(defaults.input_index, 0u);
+
+  v1::ExperimentRequest bad;
+  EXPECT_FALSE(parse_attribution_request(R"({"attribution":"BP"})", bad,
+                                         error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_attribution_request(
+      R"({"attribution":"BP","config":"default","input":"x"})", bad, error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_attribution_request(
+      R"({"v":2,"attribution":"BP","config":"default"})", bad, error));
+  EXPECT_EQ(error, "unsupported wire version");
+}
+
+TEST(ServeObs, AttributeAnswersWithClassLawAndStructuredErrors) {
+  suites::register_all_workloads();
+  Service service;
+  v1::ExperimentRequest request;
+  request.program = "BP";
+  request.input_index = 0;
+  request.config = "default";
+  const Service::AttributionResult ok = service.attribute(request);
+  ASSERT_EQ(ok.status, Status::kOk) << ok.error;
+  EXPECT_EQ(ok.key, core::experiment_key("BP", 0, "default"));
+  ASSERT_FALSE(ok.table.kernels.empty());
+  // The pinned decomposition law holds on the wire-facing table too.
+  for (const v1::AttributionRow& k : ok.table.kernels) {
+    double class_sum = k.static_energy_j;
+    for (const double v : k.class_energy_j) class_sum += v;
+    EXPECT_NEAR(class_sum, k.model_energy_j, 1e-9 * k.model_energy_j)
+        << k.kernel;
+  }
+  const std::string line = format_attribution_line(ok.key, ok.table);
+  EXPECT_EQ(line.find("{\"v\":1,\"attribution\":true,\"key\":"), 0u);
+  EXPECT_NE(line.find("\"classes\":[\"fp32\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"class_energy_j\":["), std::string::npos) << line;
+  EXPECT_NE(line.find("\"kernels\":[{"), std::string::npos) << line;
+
+  request.program = "NOPE";
+  const Service::AttributionResult bad = service.attribute(request);
+  EXPECT_EQ(bad.status, Status::kUnknownProgram);
+  EXPECT_FALSE(bad.error.empty());
+  const std::string err =
+      format_attribution_error_line(bad.status, bad.key, bad.error);
+  EXPECT_NE(err.find("\"status\":\"unknown_program\""), std::string::npos)
+      << err;
+}
+
 }  // namespace
 }  // namespace repro::serve

@@ -4,11 +4,23 @@
 // one response per line, responses in request order.
 //
 //   repro-serve [--threads N] [--cache N] [--queue N] [--socket PATH]
-//               [--fault-seed N] [--retries N]
+//               [--fault-seed N] [--retries N] [--metrics-every N]
+//               [--obs-dir DIR]
 //
 // A `{"v":1,"health":true}` line returns a health snapshot instead of a
-// measurement. `--fault-seed N` (default: REPRO_FAULT_SEED) installs the
-// deterministic fault plan with that seed — chaos mode, DESIGN.md §12.
+// measurement; `{"v":1,"metrics":true}` returns a metrics-registry
+// snapshot; `{"v":1,"attribution":"NB","input":2,"config":"default"}`
+// returns the per-kernel instruction-class energy attribution of that
+// experiment (DESIGN.md §9). `--fault-seed N` (default: REPRO_FAULT_SEED)
+// installs the deterministic fault plan with that seed — chaos mode,
+// DESIGN.md §12.
+//
+// `--metrics-every N` turns observability on and emits a JSONL metrics
+// snapshot after every N processed request lines — to stderr by default,
+// or rotating through metrics-<seq>.jsonl files under `--obs-dir DIR`.
+// The periodic snapshot resets the instruments (snapshot_and_reset), so
+// each emission is the delta since the previous one; on-demand
+// `{"v":1,"metrics":true}` requests read without resetting.
 //
 // Default transport is stdin/stdout:
 //   printf '{"v":1,"id":1,"program":"NB","input":2,"config":"default"}\n' |
@@ -36,7 +48,13 @@
 #include <variant>
 #include <vector>
 
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "repro/api.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
@@ -46,6 +64,40 @@ namespace {
 using repro::serve::Response;
 using repro::serve::Service;
 using repro::serve::Status;
+
+// --metrics-every bookkeeping, shared by every stream (stdin or any
+// socket connection): one processed-line counter, one emission sequence.
+struct MetricsExport {
+  std::uint64_t every = 0;       // 0 = off
+  std::string obs_dir;           // empty = stderr
+  std::atomic<std::uint64_t> lines{0};
+  std::atomic<std::uint64_t> seq{0};
+
+  void on_line() {
+    if (every == 0) return;
+    const std::uint64_t n = lines.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % every != 0) return;
+    // Delta since the previous periodic emission (reset contract,
+    // obs/metrics.hpp); concurrent on-demand metrics requests snapshot
+    // without resetting and are unaffected.
+    const repro::obs::RegistrySnapshot snap =
+        repro::obs::Registry::instance().snapshot_and_reset();
+    const std::uint64_t s = seq.fetch_add(1, std::memory_order_relaxed);
+    if (obs_dir.empty()) {
+      std::ostringstream text;
+      repro::obs::export_jsonl(snap, text);
+      std::fprintf(stderr, "repro-serve: metrics after %llu lines\n%s",
+                   static_cast<unsigned long long>(n), text.str().c_str());
+    } else {
+      const std::string path =
+          obs_dir + "/metrics-" + std::to_string(s) + ".jsonl";
+      std::ofstream file(path);
+      repro::obs::export_jsonl(snap, file);
+    }
+  }
+};
+
+MetricsExport g_metrics_export;
 
 // One submitted line: a ticket still in flight, an immediate response
 // (parse errors resolve without touching the service), or a raw
@@ -108,26 +160,42 @@ void serve_stream(Service& service, std::istream& in, std::ostream& out) {
     Slot slot;
     if (repro::serve::is_health_request(line)) {
       slot = repro::serve::format_health_line(service.health());
-      {
-        std::lock_guard lock(mutex);
-        slots.push_back(std::move(slot));
+    } else if (repro::serve::is_metrics_request(line)) {
+      slot = repro::serve::format_metrics_line(
+          repro::obs::Registry::instance().snapshot());
+    } else if (repro::serve::is_attribution_request(line)) {
+      // Attribution runs synchronously on the reader thread: it is a
+      // monitoring/analysis endpoint, and computing it inline keeps the
+      // response-in-request-order guarantee without a ticket type.
+      repro::v1::ExperimentRequest request;
+      std::string error;
+      if (repro::serve::parse_attribution_request(line, request, error)) {
+        const Service::AttributionResult result = service.attribute(request);
+        slot = result.status == Status::kOk
+                   ? repro::serve::format_attribution_line(result.key,
+                                                           result.table)
+                   : repro::serve::format_attribution_error_line(
+                         result.status, result.key, result.error);
+      } else {
+        slot = repro::serve::format_attribution_error_line(
+            Status::kInvalidRequest, "", error);
       }
-      cv.notify_one();
-      continue;
-    }
-    repro::v1::ExperimentRequest request;
-    std::string error;
-    if (repro::serve::parse_request_line(line, request, error)) {
-      if (request.id == 0) request.id = line_number;
-      slot = service.submit(std::move(request));
     } else {
-      slot = invalid_response(line_number, std::move(error));
+      repro::v1::ExperimentRequest request;
+      std::string error;
+      if (repro::serve::parse_request_line(line, request, error)) {
+        if (request.id == 0) request.id = line_number;
+        slot = service.submit(std::move(request));
+      } else {
+        slot = invalid_response(line_number, std::move(error));
+      }
     }
     {
       std::lock_guard lock(mutex);
       slots.push_back(std::move(slot));
     }
     cv.notify_one();
+    g_metrics_export.on_line();
   }
   {
     std::lock_guard lock(mutex);
@@ -245,13 +313,24 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--retries") {
       if (const char* v = next()) options.max_retries = std::atoi(v);
+    } else if (arg == "--metrics-every") {
+      if (const char* v = next()) {
+        g_metrics_export.every = std::strtoull(v, nullptr, 10);
+      }
+    } else if (arg == "--obs-dir") {
+      if (const char* v = next()) g_metrics_export.obs_dir = v;
     } else {
       std::fprintf(stderr,
                    "usage: repro-serve [--threads N] [--cache N] [--queue N] "
-                   "[--socket PATH] [--fault-seed N] [--retries N]\n");
+                   "[--socket PATH] [--fault-seed N] [--retries N] "
+                   "[--metrics-every N] [--obs-dir DIR]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
+
+  // Periodic export implies observability: without it the registry would
+  // stay empty and every snapshot would be a no-op.
+  if (g_metrics_export.every > 0) repro::obs::set_enabled(true);
 
   // Chaos mode (DESIGN.md §12): a nonzero seed (from --fault-seed or
   // REPRO_FAULT_SEED) installs a deterministic fault plan for the process
