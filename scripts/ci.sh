@@ -88,6 +88,39 @@ if [ -x build/tools/serve_smoke ] && [ -x build/tools/repro-serve ]; then
   echo "  obs ok: metrics + attribution endpoints answered, periodic export emitted"
 fi
 
+# Sharded-tier smoke (DESIGN.md §14): the same canned batch answered by a
+# 4-worker consistent-hash tier (forked worker processes) must be
+# byte-identical to the direct Session answers — exact AND sampled
+# requests. Then a seeded worker-kill run: kills must actually fire and
+# every response must still resolve ok (rerouted, bit-identical), with
+# zero failed responses.
+if [ -x build/tools/serve_smoke ]; then
+  echo "=== [shard] 4-worker router smoke vs direct Study"
+  sharddir="$(mktemp -d)"
+  trap 'rm -rf "${smokedir:-}" "$sharddir"' EXIT
+  build/tools/serve_smoke --direct --sampled > "$sharddir/direct-sampled.txt"
+  build/tools/serve_smoke --router 4 --sampled > "$sharddir/router-4.txt"
+  if ! diff -u "$sharddir/direct-sampled.txt" "$sharddir/router-4.txt"; then
+    echo "shard smoke FAILED: 4-worker tier output differs from direct Study"
+    exit 1
+  fi
+  echo "  4 workers: byte-identical to direct ($(wc -l < "$sharddir/router-4.txt") lines, sampled rounds included)"
+
+  echo "=== [shard] seeded worker-kill chaos (seed 1, rate 0.05)"
+  build/tools/serve_smoke --direct > "$sharddir/direct.txt"
+  build/tools/serve_smoke --router 4 --fault-seed 1 --worker-kill-rate 0.05 \
+    > "$sharddir/router-chaos.txt" 2> "$sharddir/router-chaos-err.txt"
+  if ! diff -u "$sharddir/direct.txt" "$sharddir/router-chaos.txt"; then
+    echo "shard chaos FAILED: output under worker kills differs from direct Study"
+    exit 1
+  fi
+  grep -q ' 0 kills' "$sharddir/router-chaos-err.txt" \
+    && { echo "shard chaos FAILED: seed 1 fired no worker kills"; cat "$sharddir/router-chaos-err.txt"; exit 1; }
+  grep -q ' 0 failed' "$sharddir/router-chaos-err.txt" \
+    || { echo "shard chaos FAILED: some responses failed instead of rerouting"; cat "$sharddir/router-chaos-err.txt"; exit 1; }
+  echo "  worker kills rerouted: $(sed 's/^serve_smoke: router //' "$sharddir/router-chaos-err.txt" | tail -1)"
+fi
+
 # Chaos smoke (DESIGN.md §12): replay the golden slice under 32 seeded
 # fault plans and assert the resilience contract per request (every request
 # terminates; ok/retried responses are bit-identical to the fault-free
@@ -122,6 +155,16 @@ if [ "${REPRO_PERF:-0}" = "1" ]; then
   echo "=== [perf] always-on observability overhead gate"
   cmake --build --preset release -j "$jobs" --target bench_obs_overhead
   REPRO_BENCH_JSON=BENCH_obs.json ./build-release/bench/bench_obs_overhead
+
+  # Sharded-tier throughput gate (DESIGN.md §14): Zipf(1.1) cache-miss
+  # traffic from 8 closed-loop clients, 4 workers vs 1. The speedup floor
+  # scales with the cores actually available (2.5x at >=4 cores; see
+  # EXPERIMENTS.md) and the full SLO report (p50/p95/p99, shed/degraded
+  # rates) lands in BENCH_serve.json.
+  echo "=== [perf] sharded serve throughput gate"
+  cmake --build --preset release -j "$jobs" --target load_gen
+  ./build-release/tools/load_gen --workers 4 --clients 8 --requests 240 \
+    --miss --gate --out BENCH_serve.json
 fi
 
 echo "=== all presets passed: ${presets[*]}"

@@ -52,6 +52,8 @@ Kind select_kind(Site site, std::uint64_t bits) noexcept {
       return bits % 2 == 0 ? Kind::kWireTruncate : Kind::kWireCorrupt;
     case Site::kCache:
       return Kind::kCacheEvict;
+    case Site::kWorker:
+      return Kind::kWorkerKill;
   }
   return Kind::kNone;
 }
@@ -75,6 +77,7 @@ std::string_view to_string(Site site) {
     case Site::kSensor: return "sensor";
     case Site::kWire: return "wire";
     case Site::kCache: return "cache";
+    case Site::kWorker: return "worker";
   }
   return "unknown";
 }
@@ -90,6 +93,7 @@ std::string_view to_string(Kind kind) {
     case Kind::kWireTruncate: return "wire_truncate";
     case Kind::kWireCorrupt: return "wire_corrupt";
     case Kind::kCacheEvict: return "cache_evict";
+    case Kind::kWorkerKill: return "worker_kill";
   }
   return "unknown";
 }
@@ -100,6 +104,7 @@ double PlanOptions::rate(Site site) const noexcept {
     case Site::kSensor: return sensor_rate;
     case Site::kWire: return wire_rate;
     case Site::kCache: return cache_rate;
+    case Site::kWorker: return worker_rate;
   }
   return 0.0;
 }

@@ -17,6 +17,8 @@
 //                                        failure, Yang et al.)
 //   kWire       serve wire / repro-serve line truncation, byte corruption
 //   kCache      serve::ResultCache       eviction storms
+//   kWorker     shard::Router            worker-process kills (routed
+//                                        request's owner dies mid-flight)
 //
 // Activation is explicit and process-global: install a plan with
 // ScopedPlan (chaos harness, repro-serve --fault-seed). When no plan is
@@ -44,8 +46,9 @@ enum class Site : int {
   kSensor = 1,     // per recording (one repetition of one experiment)
   kWire = 2,       // per wire line
   kCache = 3,      // per result-cache insert
+  kWorker = 4,     // per request routed to a shard worker (PR 8)
 };
-inline constexpr std::size_t kSiteCount = 4;
+inline constexpr std::size_t kSiteCount = 5;
 
 std::string_view to_string(Site site);
 
@@ -66,6 +69,9 @@ enum class Kind : int {
   // kCache
   kCacheEvict,       // an eviction storm: up to `magnitude % 8 + 1` LRU-tail
                      // entries of the key's shard are evicted
+  // kWorker
+  kWorkerKill,       // the worker owning the routed key is killed before the
+                     // request completes (router reroutes on the shrunk ring)
 };
 
 std::string_view to_string(Kind kind);
@@ -85,6 +91,9 @@ struct PlanOptions {
   double sensor_rate = 0.10;
   double wire_rate = 0.25;
   double cache_rate = 0.10;
+  // Worker kills are a shard-tier chaos mode: 0 by default so single-
+  // process plans (and their pinned schedule digests) are unchanged.
+  double worker_rate = 0.0;
 
   double rate(Site site) const noexcept;
 };

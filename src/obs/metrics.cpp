@@ -52,6 +52,46 @@ double Histogram::bucket_upper_bound(int i) noexcept {
   return std::ldexp(1.0, i - kZeroBucket);
 }
 
+double Histogram::bucket_lower_bound(int i) noexcept {
+  return i <= 0 ? 0.0 : bucket_upper_bound(i - 1);
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  const std::uint64_t total = bucket_total();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank in [0, total]; linear interpolation within the bucket that
+  // carries the rank. rank == cumulative-count boundaries land exactly on
+  // bucket edges, which the unit tests pin.
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  double value = 0.0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    const double lower = Histogram::bucket_lower_bound(i);
+    const double upper = Histogram::bucket_upper_bound(i);
+    if (rank <= cumulative + static_cast<double>(n)) {
+      const double within =
+          rank <= cumulative
+              ? 0.0
+              : (rank - cumulative) / static_cast<double>(n);
+      value = lower + within * (upper - lower);
+      break;
+    }
+    cumulative += static_cast<double>(n);
+    value = upper;  // rank beyond the last populated bucket: its top edge
+  }
+  // Clamp into the observed envelope: the log2 edge buckets are coarse,
+  // but no estimate should leave [min, max] of real observations.
+  if (count > 0 && max >= min) {
+    if (value < min) value = min;
+    if (value > max) value = max;
+  }
+  return value;
+}
+
 void Histogram::observe(double v) noexcept {
   Cell& cell = cells_[detail::cell_slot() % detail::kHistogramCells];
   // Order matters for the count >= sum(buckets) snapshot invariant: the
@@ -234,9 +274,10 @@ void export_text(const RegistrySnapshot& snap, std::ostream& os) {
   for (const auto& [name, s] : snap.histograms) {
     std::snprintf(line, sizeof line,
                   "histogram %s count=%llu sum=%.9g min=%.9g max=%.9g "
-                  "mean=%.9g\n",
+                  "mean=%.9g p50=%.9g p95=%.9g p99=%.9g\n",
                   name.c_str(), static_cast<unsigned long long>(s.count),
-                  s.sum, s.count == 0 ? 0.0 : s.min, s.max, s.mean());
+                  s.sum, s.count == 0 ? 0.0 : s.min, s.max, s.mean(),
+                  s.percentile(0.50), s.percentile(0.95), s.percentile(0.99));
     os << line;
   }
 }
@@ -265,9 +306,11 @@ void export_jsonl(const RegistrySnapshot& snap, std::ostream& os) {
   for (const auto& [name, s] : snap.histograms) {
     emit_name("histogram", name);
     std::snprintf(number, sizeof number,
-                  ",\"count\":%llu,\"sum\":%.9g,\"min\":%.9g,\"max\":%.9g",
+                  ",\"count\":%llu,\"sum\":%.9g,\"min\":%.9g,\"max\":%.9g"
+                  ",\"p50\":%.9g,\"p95\":%.9g,\"p99\":%.9g",
                   static_cast<unsigned long long>(s.count), s.sum,
-                  s.count == 0 ? 0.0 : s.min, s.max);
+                  s.count == 0 ? 0.0 : s.min, s.max, s.percentile(0.50),
+                  s.percentile(0.95), s.percentile(0.99));
     line += number;
     line += ",\"buckets\":[";
     bool first = true;

@@ -125,6 +125,15 @@ struct HistogramSnapshot {
     for (const std::uint64_t b : buckets) total += b;
     return total;
   }
+
+  /// Quantile estimate from the log2 buckets, `q` in [0, 1] (clamped).
+  /// Within the bucket holding rank q * bucket_total(), the value is
+  /// linearly interpolated between the bucket's bounds, so q = 0 / q = 1
+  /// land exactly on the lowest / highest populated bucket edge; the
+  /// result is then clamped to the observed [min, max] envelope (which
+  /// tightens the edge buckets to real data). 0 when empty. The serve
+  /// load harness and `--metrics-every` report p50/p95/p99 through this.
+  double percentile(double q) const;
 };
 
 /// Log2-bucketed duration histogram (seconds), sharded per thread slot.
@@ -183,6 +192,9 @@ class Histogram {
   }
   /// Exclusive upper bound of bucket `i` in seconds.
   static double bucket_upper_bound(int i) noexcept;
+  /// Inclusive lower bound of bucket `i`: 0 for the clamp bucket 0,
+  /// otherwise the upper bound of bucket i-1.
+  static double bucket_lower_bound(int i) noexcept;
 
   void reset() noexcept;
 

@@ -97,7 +97,8 @@ struct Fnv1a {
 // The cache-version prefix: any change to the study options or to the
 // power model's calibrated energies yields a different prefix, so entries
 // cached under the old model become unreachable instead of stale.
-std::string compute_cache_version(const core::Study::Options& study) {
+std::string compute_cache_version(const core::Study::Options& study,
+                                  const std::string& cache_namespace) {
   Fnv1a fp;
   const power::EnergyTable& e = power::default_energies();
   fp.mix(e.warp_issue_nj);
@@ -123,7 +124,16 @@ std::string compute_cache_version(const core::Study::Options& study) {
                 static_cast<unsigned long long>(study.measurement_seed),
                 static_cast<unsigned long long>(study.structural_seed),
                 static_cast<unsigned long long>(fp.h));
-  return buffer;
+  std::string version = buffer;
+  // Per-worker namespace (shard tier): "ns=<name>|" after the model
+  // prefix. Empty namespaces add nothing, keeping single-process keys
+  // byte-identical to every pre-shard release.
+  if (!cache_namespace.empty()) {
+    version += "ns=";
+    version += cache_namespace;
+    version += '|';
+  }
+  return version;
 }
 
 Service::Options normalized(Service::Options options) {
@@ -238,7 +248,8 @@ Service::Service() : Service(Options()) {}
 
 Service::Service(Options options)
     : options_(normalized(std::move(options))),
-      cache_version_(compute_cache_version(options_.study)),
+      cache_version_(
+          compute_cache_version(options_.study, options_.cache_namespace)),
       cache_(ResultCache::Options{options_.cache_capacity,
                                   options_.cache_shards}),
       scheduler_(core::Scheduler::Options{options_.threads}) {

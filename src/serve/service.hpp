@@ -51,6 +51,13 @@ class Service {
     core::Study::Options study{};    // seeds/repetitions served results use
     bool start_paused = false;       // for fault-injection tests
 
+    /// Appended to the cache-version prefix. The shard router gives every
+    /// worker its own namespace ("w0".."wN-1"), so two workers' cache key
+    /// spaces are provably disjoint: a result cached on worker A can never
+    /// hit on worker B, even after rebalancing hands A's key range to B.
+    /// Empty (the default) keeps single-process cache keys byte-identical.
+    std::string cache_namespace;
+
     /// Resilience budget against the fault injector (DESIGN.md §12).
     /// A dispatch attempt whose job was aborted, or whose measurement the
     /// sensor site tainted, is retried up to `max_retries` times with

@@ -1,0 +1,274 @@
+#include "serve/stream.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <variant>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+namespace repro::serve {
+
+long fd_read_some(int fd, char* buffer, std::size_t size) noexcept {
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, size);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool fd_write_all(int fd, const char* data, std::size_t size) noexcept {
+  std::size_t off = 0;
+  while (off < size) {
+    // MSG_NOSIGNAL turns a dead peer into EPIPE instead of SIGPIPE; pipes
+    // and regular files answer ENOTSOCK and fall back to plain write.
+    ssize_t wrote = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (wrote < 0 && errno == ENOTSOCK) {
+      wrote = ::write(fd, data + off, size - off);
+    }
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (wrote == 0) return false;
+    off += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool FdLineReader::next(std::string& line) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      std::size_t end = newline;
+      if (end > pos_ && buffer_[end - 1] == '\r') --end;
+      line.assign(buffer_, pos_, end - pos_);
+      pos_ = newline + 1;
+      if (pos_ >= buffer_.size()) {
+        buffer_.clear();
+        pos_ = 0;
+      }
+      return true;
+    }
+    if (eof_) return false;  // trailing fragment without '\n': discarded
+    if (pos_ > 0) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    char chunk[4096];
+    const long n = fd_read_some(fd_, chunk, sizeof chunk);
+    if (n <= 0) {
+      eof_ = true;
+      continue;  // one more pass flushes a complete buffered line, if any
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+namespace {
+
+// One submitted line: a ticket still in flight, an immediate response
+// (parse errors resolve without touching the service), or a raw
+// pre-formatted line (health/metrics/attribution answers).
+using Slot = std::variant<Service::Ticket, Response, std::string>;
+
+Response invalid_response(std::uint64_t id, std::string error) {
+  Response response;
+  response.id = id;
+  response.status = Status::kInvalidRequest;
+  response.error = std::move(error);
+  return response;
+}
+
+}  // namespace
+
+void serve_lines(Service& service,
+                 const std::function<bool(std::string&)>& next_line,
+                 const std::function<bool(const std::string&)>& write_line,
+                 const StreamHooks& hooks) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Slot> slots;
+  bool done = false;
+
+  std::thread writer([&] {
+    bool peer_alive = true;
+    for (;;) {
+      Slot slot;
+      {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] { return done || !slots.empty(); });
+        if (slots.empty()) return;
+        slot = std::move(slots.front());
+        slots.pop_front();
+      }
+      std::string line;
+      if (std::holds_alternative<std::string>(slot)) {
+        line = std::move(std::get<std::string>(slot));
+      } else {
+        const Response& response =
+            std::holds_alternative<Response>(slot)
+                ? std::get<Response>(slot)
+                : std::get<Service::Ticket>(slot).wait();
+        line = format_response_line(response);
+      }
+      // A peer that disconnected mid-stream stops receiving output, but
+      // tickets are still awaited: every submitted request resolves and
+      // the admission queue drains instead of wedging on a dead client.
+      if (peer_alive) peer_alive = write_line(line);
+    }
+  });
+
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (next_line(line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    // Wire fault-injection site (DESIGN.md §12): inbound lines may be
+    // truncated or byte-corrupted by an installed plan. Mutated lines fall
+    // through the normal parser and resolve as structured kInvalidRequest
+    // responses (or, rarely, as a different-but-valid request) — the
+    // stream itself never desynchronizes.
+    line = fault::filter_wire_line("inbound", line);
+    if (line.empty()) continue;  // truncated to nothing: like a blank line
+    Slot slot;
+    if (is_health_request(line)) {
+      slot = format_health_line(service.health());
+    } else if (is_metrics_request(line)) {
+      slot = format_metrics_line(obs::Registry::instance().snapshot());
+    } else if (is_attribution_request(line)) {
+      // Attribution runs synchronously on the reader thread: it is a
+      // monitoring/analysis endpoint, and computing it inline keeps the
+      // response-in-request-order guarantee without a ticket type.
+      v1::ExperimentRequest request;
+      std::string error;
+      if (parse_attribution_request(line, request, error)) {
+        const Service::AttributionResult result = service.attribute(request);
+        slot = result.status == Status::kOk
+                   ? format_attribution_line(result.key, result.table)
+                   : format_attribution_error_line(result.status, result.key,
+                                                   result.error);
+      } else {
+        slot = format_attribution_error_line(Status::kInvalidRequest, "",
+                                             error);
+      }
+    } else {
+      v1::ExperimentRequest request;
+      std::string error;
+      if (parse_request_line(line, request, error)) {
+        if (request.id == 0) request.id = line_number;
+        slot = service.submit(std::move(request));
+      } else {
+        slot = invalid_response(line_number, std::move(error));
+      }
+    }
+    {
+      std::lock_guard lock(mutex);
+      slots.push_back(std::move(slot));
+    }
+    cv.notify_one();
+    if (hooks.on_line) hooks.on_line();
+  }
+  {
+    std::lock_guard lock(mutex);
+    done = true;
+  }
+  cv.notify_one();
+  writer.join();
+}
+
+void serve_stream(Service& service, std::istream& in, std::ostream& out,
+                  const StreamHooks& hooks) {
+  serve_lines(
+      service,
+      [&](std::string& line) {
+        if (!std::getline(in, line)) return false;
+        // A final line with no terminator on an interactive transport means
+        // the peer died mid-line; dropping it mirrors FdLineReader. (Well-
+        // formed producers always end with '\n', so this is unreachable for
+        // them.)
+        if (in.eof() && !line.empty()) return false;
+        return true;
+      },
+      [&](const std::string& line) {
+        out << line << '\n';
+        out.flush();
+        return out.good();
+      },
+      hooks);
+}
+
+void serve_fd(Service& service, int fd, const StreamHooks& hooks) {
+  FdLineReader reader(fd);
+  serve_lines(
+      service, [&](std::string& line) { return reader.next(line); },
+      [&](const std::string& line) {
+        return fd_write_all(fd, line.c_str(), line.size()) &&
+               fd_write_all(fd, "\n", 1);
+      },
+      hooks);
+}
+
+int serve_unix_listener_with(const std::string& path,
+                             const std::function<void(int fd)>& handle) {
+  ::unlink(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("repro-serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "repro-serve: socket path too long: %s\n",
+                 path.c_str());
+    ::close(listener);
+    return 1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 64) != 0) {
+    std::perror("repro-serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "repro-serve: listening on %s\n", path.c_str());
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      // A connection that died between connect and accept (ECONNABORTED)
+      // or a signal (EINTR) must not take the listener down.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    // `handle` is copied: a connection thread may outlive the accept loop.
+    std::thread([handle, fd] {
+      handle(fd);
+      ::close(fd);
+    }).detach();
+  }
+  ::close(listener);
+  return 0;
+}
+
+int serve_unix_listener(Service& service, const std::string& path,
+                        const StreamHooks& hooks) {
+  return serve_unix_listener_with(
+      path, [&service, hooks](int fd) { serve_fd(service, fd, hooks); });
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,95 @@
+// JSONL stream serving over arbitrary transports (DESIGN.md §11, §14).
+//
+// The request/response loop that `repro-serve` runs on stdin/stdout and on
+// every unix-socket connection, as a library: the shard router (src/shard/)
+// forks worker processes that serve one full-duplex fd each, and tests spin
+// in-process workers on socketpairs. One loop implementation means the
+// ordering guarantee (responses in request order, streamed as they resolve)
+// is stated — and hardened — exactly once.
+//
+// Hardening for real load (the polite-smoke-client era is over):
+//  - every fd read/write retries EINTR and resumes partial transfers;
+//  - socket writes use MSG_NOSIGNAL, so a client that disconnects while a
+//    response is in flight surfaces as EPIPE to this connection's loop
+//    instead of a process-killing SIGPIPE;
+//  - a client that disconnects mid-line (trailing bytes with no newline)
+//    has the fragment discarded — a half-request is never parsed, and the
+//    listener keeps accepting;
+//  - a failed response write keeps draining tickets (output discarded) so
+//    every submitted request still resolves and the service queue drains.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace repro::serve {
+
+class Service;
+
+/// Retries EINTR. Returns bytes read, 0 on EOF, -1 on error.
+long fd_read_some(int fd, char* buffer, std::size_t size) noexcept;
+
+/// Writes all of `data`, resuming partial writes and retrying EINTR.
+/// Sockets are written with MSG_NOSIGNAL (no SIGPIPE); non-socket fds fall
+/// back to plain write. Returns false when the peer is gone.
+bool fd_write_all(int fd, const char* data, std::size_t size) noexcept;
+
+/// Buffered newline-delimited reader over an fd. `next` strips the
+/// terminating '\n' (and a preceding '\r'); a trailing unterminated
+/// fragment at EOF — the signature of a client dying mid-line — is
+/// discarded, never returned as a line.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) noexcept : fd_(fd) {}
+
+  /// Reads the next complete line. False on EOF or read error.
+  bool next(std::string& line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+/// Per-stream hooks of the serve loop.
+struct StreamHooks {
+  /// Called once per non-empty inbound line (repro-serve --metrics-every).
+  std::function<void()> on_line;
+};
+
+/// Serves one JSONL stream: requests from `next_line`, responses through
+/// `write_line` in request order (submission and output overlap; a writer
+/// thread drains tickets FIFO). `next_line` returns false at end of
+/// stream; `write_line` returns false when the peer is gone, after which
+/// remaining responses are discarded but still awaited.
+void serve_lines(Service& service,
+                 const std::function<bool(std::string&)>& next_line,
+                 const std::function<bool(const std::string&)>& write_line,
+                 const StreamHooks& hooks = {});
+
+/// iostream transport (repro-serve stdin/stdout).
+void serve_stream(Service& service, std::istream& in, std::ostream& out,
+                  const StreamHooks& hooks = {});
+
+/// Full-duplex fd transport (socket connections, socketpair workers).
+void serve_fd(Service& service, int fd, const StreamHooks& hooks = {});
+
+/// Binds a unix listener at `path` and runs `handle(fd)` on a detached
+/// thread per connection (the fd is closed after `handle` returns).
+/// Accept errors that do not invalidate the listener (EINTR,
+/// ECONNABORTED) are retried — one dying client never takes the listener
+/// down. Returns nonzero on setup failure. The shard router reuses this
+/// with its own per-connection routing loop.
+int serve_unix_listener_with(const std::string& path,
+                             const std::function<void(int fd)>& handle);
+
+/// serve_unix_listener_with bound to serve_fd: every connection is one
+/// JSONL stream sharing `service` (one cache, one queue).
+int serve_unix_listener(Service& service, const std::string& path,
+                        const StreamHooks& hooks = {});
+
+}  // namespace repro::serve

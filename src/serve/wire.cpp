@@ -544,6 +544,12 @@ std::string format_metrics_line(const obs::RegistrySnapshot& snap) {
     append_double(line, s.max);
     line += ",\"mean\":";
     append_double(line, s.mean());
+    line += ",\"p50\":";
+    append_double(line, s.percentile(0.50));
+    line += ",\"p95\":";
+    append_double(line, s.percentile(0.95));
+    line += ",\"p99\":";
+    append_double(line, s.percentile(0.99));
     line += '}';
   }
   line += "}}";
@@ -721,6 +727,65 @@ std::string format_attribution_line(std::string_view key,
     line += '}';
   }
   line += "]}";
+  return line;
+}
+
+bool is_topology_request(std::string_view line) {
+  return has_true_flag(line, "topology");
+}
+
+std::string format_topology_line(const TopologySnapshot& topology) {
+  std::string line = "{\"v\":1,\"topology\":true,\"epoch\":";
+  line += std::to_string(topology.epoch);
+  line += ",\"workers\":";
+  line += std::to_string(topology.workers);
+  line += ",\"alive\":";
+  line += std::to_string(topology.alive);
+  line += ",\"rebalances\":";
+  line += std::to_string(topology.rebalances);
+  line += ",\"handoff_keys\":";
+  line += std::to_string(topology.handoff_keys);
+  line += ",\"ring\":[";
+  bool first = true;
+  for (const TopologyWorker& worker : topology.ring) {
+    if (!first) line += ',';
+    first = false;
+    line += '{';
+    append_string_field(line, "worker", worker.name);
+    line += ",\"alive\":";
+    line += worker.alive ? "true" : "false";
+    line += ",\"vnodes\":";
+    line += std::to_string(worker.virtual_nodes);
+    line += ",\"owned_share\":";
+    append_double(line, worker.owned_share);
+    line += ",\"routed\":";
+    line += std::to_string(worker.routed);
+    line += '}';
+  }
+  line += "]}";
+  return line;
+}
+
+std::string format_router_health_line(const RouterHealth& health) {
+  std::string line = "{\"v\":1,\"health\":true,\"router\":true,\"accepting\":";
+  line += health.accepting ? "true" : "false";
+  line += ",\"workers\":";
+  line += std::to_string(health.workers);
+  line += ",\"alive\":";
+  line += std::to_string(health.alive);
+  line += ",\"epoch\":";
+  line += std::to_string(health.epoch);
+  line += ",\"routed\":";
+  line += std::to_string(health.routed);
+  line += ",\"rerouted\":";
+  line += std::to_string(health.rerouted);
+  line += ",\"worker_kills\":";
+  line += std::to_string(health.worker_kills);
+  line += ",\"handoff_keys\":";
+  line += std::to_string(health.handoff_keys);
+  line += ",\"failed\":";
+  line += std::to_string(health.failed);
+  line += '}';
   return line;
 }
 

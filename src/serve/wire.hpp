@@ -42,6 +42,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "repro/api.hpp"
 
@@ -123,7 +124,8 @@ bool is_metrics_request(std::string_view line);
 /// Encodes one metrics snapshot as a single line:
 ///   {"v":1,"metrics":true,"counters":{"name":N,...},
 ///    "gauges":{"name":V,...},
-///    "histograms":{"name":{"count":N,"sum":S,"min":M,"max":X,"mean":E},..}}
+///    "histograms":{"name":{"count":N,"sum":S,"min":M,"max":X,"mean":E,
+///                          "p50":...,"p95":...,"p99":...},..}}
 /// Doubles use %.17g like every other wire value; a histogram with
 /// count 0 reports min 0 (matching the text exporter).
 std::string format_metrics_line(const obs::RegistrySnapshot& snap);
@@ -150,5 +152,55 @@ std::string format_attribution_line(std::string_view key,
 std::string format_attribution_error_line(Status status,
                                           std::string_view key,
                                           std::string_view error);
+
+/// One worker row of the shard router's hash ring (DESIGN.md §14).
+struct TopologyWorker {
+  std::string name;          // stable worker name ("w0".."wN-1")
+  bool alive = true;         // false once removed from the ring
+  int virtual_nodes = 0;     // points this worker holds on the ring
+  double owned_share = 0.0;  // fraction of the key space it owns now
+  std::uint64_t routed = 0;  // requests the router sent it so far
+};
+
+/// Point-in-time view of the shard ring, encodable on the wire. `epoch`
+/// bumps on every topology change (worker death, rebalance), so clients
+/// can detect that ownership moved between two snapshots.
+struct TopologySnapshot {
+  std::uint64_t epoch = 0;
+  std::size_t workers = 0;         // configured worker count
+  std::size_t alive = 0;
+  std::uint64_t rebalances = 0;    // topology changes since start
+  std::uint64_t handoff_keys = 0;  // hot keys warm-handed to new owners
+  std::vector<TopologyWorker> ring;
+};
+
+/// True when `line` is a topology request: a flat JSON object containing
+/// "topology":true. Same detection contract as is_health_request.
+bool is_topology_request(std::string_view line);
+
+/// Encodes one ring snapshot as a single line (monitoring endpoint, so the
+/// per-worker rows are a nested array like the attribution kernels):
+///   {"v":1,"topology":true,"epoch":E,"workers":N,"alive":A,
+///    "rebalances":R,"handoff_keys":H,"ring":[{"worker":"w0",
+///    "alive":true,"vnodes":64,"owned_share":...,"routed":...},...]}
+std::string format_topology_line(const TopologySnapshot& topology);
+
+/// Router-level health, aggregated across workers. Reported by the shard
+/// front-end in place of a single worker's HealthSnapshot.
+struct RouterHealth {
+  bool accepting = false;
+  std::size_t workers = 0;
+  std::size_t alive = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t routed = 0;        // requests dispatched to workers
+  std::uint64_t rerouted = 0;      // re-dispatched after a worker death
+  std::uint64_t worker_kills = 0;  // fault-plan kills applied
+  std::uint64_t handoff_keys = 0;
+  std::uint64_t failed = 0;        // responses failed router-side
+};
+
+/// {"v":1,"health":true,"router":true,...} — the "router":true marker lets
+/// clients of the plain health endpoint distinguish tier from worker.
+std::string format_router_health_line(const RouterHealth& health);
 
 }  // namespace repro::serve

@@ -1,0 +1,102 @@
+#include "shard/ring.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace repro::shard {
+
+namespace {
+
+// FNV-1a over the bytes, matching fault.cpp: the ring is a printed,
+// replayable contract and must not depend on std::hash.
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(int virtual_nodes)
+    : virtual_nodes_(virtual_nodes < 1 ? 1 : virtual_nodes) {}
+
+std::uint64_t HashRing::hash_key(std::string_view key) noexcept {
+  return util::mix64(fnv1a(key) ^ 0x517cc1b727220a95ULL);
+}
+
+std::uint64_t HashRing::point(std::string_view worker, int replica) noexcept {
+  return util::mix64(fnv1a(worker) +
+                     static_cast<std::uint64_t>(replica) *
+                         0x9e3779b97f4a7c15ULL);
+}
+
+void HashRing::add(std::string_view name) {
+  if (contains(name)) return;
+  workers_.emplace_back(name);
+  std::sort(workers_.begin(), workers_.end());
+  for (int replica = 0; replica < virtual_nodes_; ++replica) {
+    // On the astronomically unlikely point collision, the lexically
+    // earlier worker wins deterministically (insert keeps the incumbent;
+    // emplace below only fills empty slots — resolve explicitly instead).
+    const std::uint64_t position = point(name, replica);
+    auto [it, inserted] = points_.emplace(position, std::string(name));
+    if (!inserted && std::string_view(it->second) > name) {
+      it->second = std::string(name);
+    }
+  }
+}
+
+bool HashRing::remove(std::string_view name) {
+  const auto worker =
+      std::find(workers_.begin(), workers_.end(), std::string(name));
+  if (worker == workers_.end()) return false;
+  workers_.erase(worker);
+  for (auto it = points_.begin(); it != points_.end();) {
+    it = it->second == name ? points_.erase(it) : std::next(it);
+  }
+  // Re-add survivors' points that a collision may have displaced.
+  for (const std::string& survivor : workers_) {
+    for (int replica = 0; replica < virtual_nodes_; ++replica) {
+      points_.emplace(point(survivor, replica), survivor);
+    }
+  }
+  return true;
+}
+
+bool HashRing::contains(std::string_view name) const {
+  return std::find(workers_.begin(), workers_.end(), std::string(name)) !=
+         workers_.end();
+}
+
+std::vector<std::string> HashRing::workers() const { return workers_; }
+
+std::string_view HashRing::owner(std::string_view key) const {
+  if (points_.empty()) return {};
+  auto it = points_.lower_bound(hash_key(key));
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return it->second;
+}
+
+std::map<std::string, double> HashRing::shares() const {
+  std::map<std::string, double> shares;
+  for (const std::string& worker : workers_) shares[worker] = 0.0;
+  if (points_.empty()) return shares;
+  // The arc (previous point, point] belongs to the point's worker; the
+  // wraparound arc from the last point through 0 to the first point
+  // belongs to the first point's worker.
+  constexpr double kSpace = 18446744073709551616.0;  // 2^64
+  std::uint64_t previous = points_.rbegin()->first;
+  for (const auto& [position, worker] : points_) {
+    const std::uint64_t arc = position - previous;  // mod 2^64 wraps right
+    shares[worker] +=
+        points_.size() == 1 ? 1.0 : static_cast<double>(arc) / kSpace;
+    previous = position;
+  }
+  return shares;
+}
+
+}  // namespace repro::shard

@@ -1,0 +1,66 @@
+// Consistent-hash ring over named workers (DESIGN.md §14).
+//
+// Each worker holds `virtual_nodes` points on a 64-bit ring; a key is
+// owned by the worker whose point is the first at or clockwise after the
+// key's hash. Virtual nodes smooth ownership (the share spread at 64
+// points per worker is pinned by a test), and removing one worker moves
+// only the arcs that worker owned — every other key keeps its owner,
+// which is the minimal-disruption property the warm-handoff protocol
+// relies on.
+//
+// Hashing is FNV-1a + mix64 over explicit bytes — never std::hash — so
+// the router, the workers and any client compute identical ownership for
+// the same topology: the routing table is a cross-process contract, like
+// the fault schedule.
+//
+// Not thread-safe; shard::Router guards its ring with the topology lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::shard {
+
+class HashRing {
+ public:
+  explicit HashRing(int virtual_nodes = 64);
+
+  /// Adds `name` with the configured virtual nodes. Adding a present
+  /// worker is a no-op (points are a pure function of the name).
+  void add(std::string_view name);
+  /// Removes `name` and all its points. False when absent.
+  bool remove(std::string_view name);
+  bool contains(std::string_view name) const;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+  bool empty() const noexcept { return workers_.empty(); }
+  /// Sorted live worker names.
+  std::vector<std::string> workers() const;
+
+  /// Owner of `key`: the first point at or after hash(key), wrapping to
+  /// the ring start. Empty string_view when the ring is empty. The view
+  /// stays valid until that worker is removed.
+  std::string_view owner(std::string_view key) const;
+
+  /// Fraction of the 64-bit hash space each live worker owns (sums to 1).
+  std::map<std::string, double> shares() const;
+
+  int virtual_nodes() const noexcept { return virtual_nodes_; }
+
+  /// Position of `key` on the ring (exposed for tests; the schedule
+  /// contract is "owner(key) is a pure function of the live worker set").
+  static std::uint64_t hash_key(std::string_view key) noexcept;
+  /// Position of `worker`'s `replica`-th virtual node.
+  static std::uint64_t point(std::string_view worker, int replica) noexcept;
+
+ private:
+  int virtual_nodes_;
+  // point -> index into workers_ storage; std::map keeps ring order.
+  std::map<std::uint64_t, std::string> points_;
+  std::vector<std::string> workers_;
+};
+
+}  // namespace repro::shard

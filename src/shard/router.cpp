@@ -1,0 +1,497 @@
+#include "shard/router.hpp"
+
+#include <sys/socket.h>
+
+#include <unistd.h>
+
+#include <utility>
+#include <variant>
+
+#include "core/study.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace repro::shard {
+
+namespace {
+
+void bump(const char* name) {
+  if (!obs::enabled()) return;
+  obs::Registry::instance().counter(name).add();
+}
+
+serve::Response invalid_response(std::uint64_t id, std::string error) {
+  serve::Response response;
+  response.id = id;
+  response.status = serve::Status::kInvalidRequest;
+  response.error = std::move(error);
+  return response;
+}
+
+}  // namespace
+
+/// A routed request-response exchange in flight on one worker stream.
+/// Resolved by the worker's reader thread (FIFO) or failed wholesale when
+/// the worker dies.
+struct Router::Call {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  bool ok = false;
+  bool discard = false;  // warm-handoff prefetch: response is dropped
+  std::string line;
+};
+
+struct Router::Worker {
+  WorkerEndpoint endpoint;
+  std::atomic<bool> alive{true};
+  /// Serializes write+enqueue so the pending FIFO matches wire order.
+  std::mutex write_mutex;
+  std::mutex pending_mutex;
+  std::deque<std::shared_ptr<Call>> pending;
+  std::thread reader;
+  std::atomic<std::uint64_t> routed{0};
+};
+
+/// One classified client request bound for a worker.
+struct Router::RoutedRequest {
+  bool attribution = false;
+  std::uint64_t id = 0;
+  std::string key;   // canonical experiment key (ring position)
+  std::string line;  // canonical wire line forwarded to the owner
+};
+
+Router::Router(Options options, std::vector<WorkerEndpoint> endpoints)
+    : options_(options), ring_(options.virtual_nodes) {
+  for (WorkerEndpoint& endpoint : endpoints) {
+    auto worker = std::make_unique<Worker>();
+    worker->endpoint = std::move(endpoint);
+    ring_.add(worker->endpoint.name);
+    workers_.push_back(std::move(worker));
+  }
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    worker->reader = std::thread([this, w = worker.get()] { reader_loop(*w); });
+  }
+}
+
+Router::~Router() {
+  shutting_down_.store(true, std::memory_order_release);
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    ::shutdown(worker->endpoint.fd, SHUT_RDWR);
+  }
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->reader.joinable()) worker->reader.join();
+  }
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    ::close(worker->endpoint.fd);
+  }
+}
+
+Router::Worker* Router::find_worker(std::string_view name) const {
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->endpoint.name == name) return worker.get();
+  }
+  return nullptr;
+}
+
+void Router::finish_call(const std::shared_ptr<Call>& call, bool ok,
+                         std::string line) {
+  {
+    std::lock_guard lock(call->mutex);
+    call->done = true;
+    call->ok = ok;
+    call->line = std::move(line);
+  }
+  call->cv.notify_all();
+  if (call->discard) {
+    {
+      std::lock_guard lock(drain_mutex_);
+      --handoff_outstanding_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+std::shared_ptr<Router::Call> Router::submit(Worker& worker,
+                                             const std::string& line,
+                                             bool discard) {
+  auto call = std::make_shared<Call>();
+  call->discard = discard;
+  bool write_failed = false;
+  {
+    std::lock_guard write_lock(worker.write_mutex);
+    if (!worker.alive.load(std::memory_order_acquire)) return nullptr;
+    {
+      std::lock_guard pending_lock(worker.pending_mutex);
+      worker.pending.push_back(call);
+    }
+    std::string framed = line;
+    framed += '\n';
+    write_failed =
+        !serve::fd_write_all(worker.endpoint.fd, framed.data(), framed.size());
+  }
+  // A failed write IS a worker death: fail every pending call (ours
+  // included) and rebalance. The caller sees the call resolve !ok and
+  // reroutes — same path as an asynchronously observed crash.
+  if (write_failed) on_worker_death(worker);
+  return call;
+}
+
+void Router::reader_loop(Worker& worker) {
+  serve::FdLineReader reader(worker.endpoint.fd);
+  std::string line;
+  while (reader.next(line)) {
+    std::shared_ptr<Call> call;
+    {
+      std::lock_guard lock(worker.pending_mutex);
+      if (!worker.pending.empty()) {
+        call = std::move(worker.pending.front());
+        worker.pending.pop_front();
+      }
+    }
+    // An unsolicited line (no pending call) is dropped: it can only
+    // follow a stream desync, and failing loudly here would break the
+    // passthrough contract for the calls that are still matched.
+    if (call != nullptr) finish_call(call, true, std::move(line));
+  }
+  on_worker_death(worker);
+}
+
+void Router::on_worker_death(Worker& worker) {
+  if (worker.alive.exchange(false, std::memory_order_acq_rel) == false) {
+    return;  // already handled (write failure + reader EOF both land here)
+  }
+  const bool shutting_down = shutting_down_.load(std::memory_order_acquire);
+  if (!shutting_down) {
+    std::lock_guard lock(topology_mutex_);
+    ring_.remove(worker.endpoint.name);
+    ++epoch_;
+    ++rebalances_;
+  }
+  std::deque<std::shared_ptr<Call>> orphaned;
+  {
+    std::lock_guard lock(worker.pending_mutex);
+    orphaned.swap(worker.pending);
+  }
+  for (const std::shared_ptr<Call>& call : orphaned) {
+    finish_call(call, false, {});
+  }
+  if (!shutting_down) {
+    bump("shard.worker_deaths");
+    warm_handoff(worker.endpoint.name);
+  }
+}
+
+void Router::warm_handoff(std::string_view dead_worker) {
+  if (options_.hot_key_threshold == 0) return;
+  struct Handoff {
+    std::string owner;
+    std::string line;
+  };
+  std::vector<Handoff> handoffs;
+  {
+    std::lock_guard lock(hot_mutex_);
+    for (auto& [key, entry] : hot_) {
+      if (entry.owner != dead_worker ||
+          entry.count < options_.hot_key_threshold) {
+        continue;
+      }
+      const std::string new_owner = owner_of(key);
+      if (new_owner.empty()) continue;  // nobody left to warm
+      entry.owner = new_owner;
+      handoffs.push_back(Handoff{new_owner, entry.request_line});
+    }
+  }
+  for (const Handoff& handoff : handoffs) {
+    Worker* worker = find_worker(handoff.owner);
+    if (worker == nullptr) continue;
+    {
+      std::lock_guard lock(drain_mutex_);
+      ++handoff_outstanding_;
+    }
+    const std::shared_ptr<Call> call =
+        submit(*worker, handoff.line, /*discard=*/true);
+    if (call == nullptr) {
+      {
+        std::lock_guard lock(drain_mutex_);
+        --handoff_outstanding_;
+      }
+      drain_cv_.notify_all();
+      continue;
+    }
+    handoff_keys_.fetch_add(1, std::memory_order_relaxed);
+    bump("shard.handoff_keys");
+  }
+}
+
+void Router::drain() {
+  std::unique_lock lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] { return handoff_outstanding_ == 0; });
+}
+
+std::string Router::owner_of(std::string_view key) const {
+  std::lock_guard lock(topology_mutex_);
+  return std::string(ring_.owner(key));
+}
+
+bool Router::kill_worker(std::string_view name) {
+  Worker* worker = find_worker(name);
+  if (worker == nullptr || !worker->alive.load(std::memory_order_acquire)) {
+    return false;
+  }
+  worker_kills_.fetch_add(1, std::memory_order_relaxed);
+  bump("shard.worker_kills");
+  if (worker->endpoint.kill) worker->endpoint.kill();
+  return true;
+}
+
+std::shared_ptr<Router::Call> Router::try_dispatch(
+    const RoutedRequest& routed) {
+  for (;;) {
+    std::string owner;
+    {
+      std::lock_guard lock(topology_mutex_);
+      owner = std::string(ring_.owner(routed.key));
+    }
+    if (owner.empty()) return nullptr;  // every worker is gone
+    // Chaos across the process boundary: the fault plan may decree that
+    // the owner dies the moment this key routes to it. The kill is
+    // delivered through the transport (SIGKILL / socket shutdown) and the
+    // death is observed like any real crash — this request then either
+    // reroutes to the shrunk ring or fails truthfully.
+    if (const fault::FaultPlan* plan = fault::active()) {
+      const fault::Fault fault = plan->draw(fault::Site::kWorker, routed.key);
+      if (fault.kind == fault::Kind::kWorkerKill &&
+          kill_worker(owner)) {
+        plan->record_applied(fault::Site::kWorker, routed.key);
+      }
+    }
+    Worker* worker = find_worker(owner);
+    if (worker == nullptr) return nullptr;
+    const std::shared_ptr<Call> call = submit(*worker, routed.line, false);
+    // A nullptr here means the owner died between the ring lookup and the
+    // submit; the ring has already (or is about to be) rebalanced, so the
+    // re-resolve sees a different owner. Each pass consumes one worker
+    // death, so the loop terminates.
+    if (call == nullptr) continue;
+    routed_.fetch_add(1, std::memory_order_relaxed);
+    worker->routed.fetch_add(1, std::memory_order_relaxed);
+    bump("shard.routed");
+    if (!routed.attribution && options_.hot_key_threshold > 0) {
+      std::lock_guard lock(hot_mutex_);
+      HotEntry& entry = hot_[routed.key];
+      ++entry.count;
+      entry.owner = owner;
+      entry.request_line = routed.line;
+    }
+    return call;
+  }
+}
+
+std::string Router::finish(const RoutedRequest& routed,
+                           std::shared_ptr<Call> call) {
+  for (int attempt = 0;; ++attempt) {
+    if (call == nullptr) break;  // no live workers remain
+    bool ok = false;
+    std::string line;
+    {
+      std::unique_lock lock(call->mutex);
+      call->cv.wait(lock, [&] { return call->done; });
+      ok = call->ok;
+      line = std::move(call->line);
+    }
+    if (ok) return line;
+    rerouted_.fetch_add(1, std::memory_order_relaxed);
+    bump("shard.rerouted");
+    if (attempt >= options_.max_reroutes) break;
+    call = try_dispatch(routed);
+  }
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  bump("shard.failed");
+  if (routed.attribution) {
+    return format_attribution_error_line(
+        serve::Status::kFailed, routed.key,
+        "shard worker lost; reroute budget exhausted");
+  }
+  serve::Response response;
+  response.id = routed.id;
+  response.status = serve::Status::kFailed;
+  response.key = routed.key;
+  response.error = "shard worker lost; reroute budget exhausted";
+  return format_response_line(response);
+}
+
+bool Router::classify(std::string_view line, std::uint64_t line_number,
+                      std::string& immediate, RoutedRequest& routed) {
+  if (serve::is_health_request(line)) {
+    immediate = format_router_health_line(health());
+    return false;
+  }
+  if (serve::is_topology_request(line)) {
+    immediate = format_topology_line(topology());
+    return false;
+  }
+  if (serve::is_metrics_request(line)) {
+    immediate =
+        serve::format_metrics_line(obs::Registry::instance().snapshot());
+    return false;
+  }
+  if (serve::is_attribution_request(line)) {
+    v1::ExperimentRequest request;
+    std::string error;
+    if (!serve::parse_attribution_request(line, request, error)) {
+      immediate = format_attribution_error_line(serve::Status::kInvalidRequest,
+                                                "", error);
+      return false;
+    }
+    routed.attribution = true;
+    routed.id = request.id;
+    routed.key = core::experiment_key(request.program, request.input_index,
+                                      request.config);
+    routed.line = std::string(line);  // workers re-parse the original form
+    return true;
+  }
+  v1::ExperimentRequest request;
+  std::string error;
+  if (!serve::parse_request_line(line, request, error)) {
+    immediate =
+        format_response_line(invalid_response(line_number, std::move(error)));
+    return false;
+  }
+  // Mirror the single-worker serve loop: id-less requests take the client
+  // stream's line number, so sharded response bytes match byte for byte.
+  if (request.id == 0) request.id = line_number;
+  routed.attribution = false;
+  routed.id = request.id;
+  routed.key = core::experiment_key(request.program, request.input_index,
+                                    request.config);
+  routed.line = serve::format_request_line(request);
+  return true;
+}
+
+std::string Router::route_line(std::string_view line,
+                               std::uint64_t line_number) {
+  std::string immediate;
+  RoutedRequest routed;
+  if (!classify(line, line_number, immediate, routed)) return immediate;
+  return finish(routed, try_dispatch(routed));
+}
+
+void Router::route_lines(
+    const std::function<bool(std::string&)>& next_line,
+    const std::function<bool(const std::string&)>& write_line,
+    const serve::StreamHooks& hooks) {
+  // Same pipelined shape as serve::serve_lines: the front loop classifies
+  // and submits, the writer thread waits (and reroutes) in request order.
+  struct Slot {
+    std::string immediate;
+    bool dispatched = false;
+    RoutedRequest routed;
+    std::shared_ptr<Call> call;
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Slot> slots;
+  bool done = false;
+
+  std::thread writer([&] {
+    bool peer_alive = true;
+    for (;;) {
+      Slot slot;
+      {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] { return done || !slots.empty(); });
+        if (slots.empty()) return;
+        slot = std::move(slots.front());
+        slots.pop_front();
+      }
+      const std::string line = slot.dispatched
+                                   ? finish(slot.routed, std::move(slot.call))
+                                   : std::move(slot.immediate);
+      if (peer_alive) peer_alive = write_line(line);
+    }
+  });
+
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (next_line(line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    line = fault::filter_wire_line("inbound", line);
+    if (line.empty()) continue;
+    Slot slot;
+    if (classify(line, line_number, slot.immediate, slot.routed)) {
+      slot.dispatched = true;
+      slot.call = try_dispatch(slot.routed);
+    }
+    {
+      std::lock_guard lock(mutex);
+      slots.push_back(std::move(slot));
+    }
+    cv.notify_one();
+    if (hooks.on_line) hooks.on_line();
+  }
+  {
+    std::lock_guard lock(mutex);
+    done = true;
+  }
+  cv.notify_one();
+  writer.join();
+}
+
+void Router::route_fd(int fd, const serve::StreamHooks& hooks) {
+  serve::FdLineReader reader(fd);
+  route_lines([&](std::string& line) { return reader.next(line); },
+              [&](const std::string& line) {
+                return serve::fd_write_all(fd, line.c_str(), line.size()) &&
+                       serve::fd_write_all(fd, "\n", 1);
+              },
+              hooks);
+}
+
+serve::RouterHealth Router::health() const {
+  serve::RouterHealth health;
+  health.workers = workers_.size();
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->alive.load(std::memory_order_acquire)) ++health.alive;
+  }
+  health.accepting = health.alive > 0;
+  {
+    std::lock_guard lock(topology_mutex_);
+    health.epoch = epoch_;
+  }
+  health.routed = routed_.load(std::memory_order_relaxed);
+  health.rerouted = rerouted_.load(std::memory_order_relaxed);
+  health.worker_kills = worker_kills_.load(std::memory_order_relaxed);
+  health.handoff_keys = handoff_keys_.load(std::memory_order_relaxed);
+  health.failed = failed_.load(std::memory_order_relaxed);
+  return health;
+}
+
+serve::TopologySnapshot Router::topology() const {
+  serve::TopologySnapshot topology;
+  std::map<std::string, double> shares;
+  {
+    std::lock_guard lock(topology_mutex_);
+    topology.epoch = epoch_;
+    topology.rebalances = rebalances_;
+    shares = ring_.shares();
+  }
+  topology.workers = workers_.size();
+  topology.handoff_keys = handoff_keys_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    serve::TopologyWorker row;
+    row.name = worker->endpoint.name;
+    row.alive = worker->alive.load(std::memory_order_acquire);
+    row.virtual_nodes = row.alive ? ring_.virtual_nodes() : 0;
+    const auto share = shares.find(row.name);
+    row.owned_share = share == shares.end() ? 0.0 : share->second;
+    row.routed = worker->routed.load(std::memory_order_relaxed);
+    if (row.alive) ++topology.alive;
+    topology.ring.push_back(std::move(row));
+  }
+  return topology;
+}
+
+}  // namespace repro::shard

@@ -1,0 +1,157 @@
+// Shard router: consistent-hash fan-out of the JSONL wire across worker
+// processes (DESIGN.md §14).
+//
+// The router owns one full-duplex JSONL stream per worker (unix socketpair
+// to a forked `serve::Service` process in the tools; an in-process thread
+// in tests) and a HashRing mapping `experiment_key`s to workers. Requests
+// are written to the owner worker and the worker's responses are matched
+// FIFO — the same responses-in-request-order contract every serve stream
+// already guarantees — so the router never rewrites a response line:
+// worker bytes pass through verbatim, which is what makes the sharded
+// tier byte-identical to a single worker.
+//
+// Failure model: a worker whose stream breaks (EOF, write failure, or a
+// fault-plan `kWorkerKill` drawn at routing time) is removed from the
+// ring. Its in-flight requests fail over: the router re-resolves the
+// owner on the shrunk ring and resubmits, up to `max_reroutes` times, so
+// the client sees either the bit-identical recomputed response or a
+// truthful `failed` status — never a hang and never a half-written line.
+// Hot keys (routed at least `hot_key_threshold` times) that the dead
+// worker owned are warm-handed to their new owners: the router replays
+// the request into the new owner's cache asynchronously (`drain()` awaits
+// those prefetches). No cache bytes move between workers — each worker's
+// cache namespace stays disjoint by construction (Service cache_namespace).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/stream.hpp"
+#include "serve/wire.hpp"
+#include "shard/ring.hpp"
+
+namespace repro::shard {
+
+/// One worker transport as the router sees it: a name (stable, used for
+/// ring placement, fault draws and cache namespacing), a full-duplex fd
+/// carrying the JSONL wire, and a kill hook the chaos layer uses to take
+/// the worker down abruptly (SIGKILL for processes, socket shutdown for
+/// in-process test workers).
+struct WorkerEndpoint {
+  std::string name;
+  int fd = -1;
+  std::function<void()> kill;
+};
+
+class Router {
+ public:
+  struct Options {
+    int virtual_nodes = 64;
+    /// A key routed at least this many times is "hot" and eligible for
+    /// warm handoff when its owner dies. 0 disables handoff.
+    std::uint64_t hot_key_threshold = 2;
+    /// Reroute attempts after a worker death before reporting `failed`.
+    int max_reroutes = 4;
+  };
+
+  /// Takes ownership of the endpoints' fds (closed on destruction).
+  Router(Options options, std::vector<WorkerEndpoint> endpoints);
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Routes one raw wire line and returns the response line (worker
+  /// passthrough, or router-generated for health/topology/metrics/parse
+  /// errors). `line_number` supplies the id of id-less requests,
+  /// mirroring the single-worker serve loop. Thread-safe; blocks until
+  /// the response is terminal.
+  std::string route_line(std::string_view line, std::uint64_t line_number);
+
+  /// Serves one client stream through the tier: the shard-tier analogue
+  /// of serve::serve_lines, with the same pipelined responses-in-request-
+  /// order contract and the same inbound wire-fault filtering.
+  void route_lines(const std::function<bool(std::string&)>& next_line,
+                   const std::function<bool(const std::string&)>& write_line,
+                   const serve::StreamHooks& hooks = {});
+  void route_fd(int fd, const serve::StreamHooks& hooks = {});
+
+  serve::RouterHealth health() const;
+  serve::TopologySnapshot topology() const;
+
+  /// Name of the live worker owning `key` (empty when none are left).
+  std::string owner_of(std::string_view key) const;
+
+  /// Kills `name`'s transport (chaos hook; also used by the fault plan's
+  /// kWorkerKill). The death is then observed asynchronously through the
+  /// broken stream exactly as a real crash would be. False when the
+  /// worker is already dead or unknown.
+  bool kill_worker(std::string_view name);
+
+  /// Waits until every outstanding warm-handoff prefetch resolved.
+  void drain();
+
+ private:
+  struct Call;
+  struct Worker;
+  struct RoutedRequest;
+
+  Worker* find_worker(std::string_view name) const;
+  void finish_call(const std::shared_ptr<Call>& call, bool ok,
+                   std::string line);
+  /// Registers a call and writes `line` to the worker. Returns nullptr
+  /// when the worker is (or just went) dead.
+  std::shared_ptr<Call> submit(Worker& worker, const std::string& line,
+                               bool discard);
+  /// Resolves the live owner, applies the fault plan's worker-kill draw,
+  /// and submits one attempt. Returns nullptr when no worker is left.
+  std::shared_ptr<Call> try_dispatch(const RoutedRequest& routed);
+  /// Waits for `call`, rerouting on worker death up to max_reroutes;
+  /// returns the final response line (a truthful `failed` at worst).
+  std::string finish(const RoutedRequest& routed, std::shared_ptr<Call> call);
+  /// Classifies one inbound line. True: `routed` must be dispatched.
+  /// False: `immediate` already holds the full response.
+  bool classify(std::string_view line, std::uint64_t line_number,
+                std::string& immediate, RoutedRequest& routed);
+  void reader_loop(Worker& worker);
+  void on_worker_death(Worker& worker);
+  void warm_handoff(std::string_view dead_worker);
+
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> shutting_down_{false};
+
+  mutable std::mutex topology_mutex_;
+  HashRing ring_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t rebalances_ = 0;
+
+  struct HotEntry {
+    std::uint64_t count = 0;
+    std::string owner;         // live owner at last route
+    std::string request_line;  // canonical line replayed on handoff
+  };
+  mutable std::mutex hot_mutex_;
+  std::unordered_map<std::string, HotEntry> hot_;
+
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::uint64_t handoff_outstanding_ = 0;
+
+  std::atomic<std::uint64_t> routed_{0};
+  std::atomic<std::uint64_t> rerouted_{0};
+  std::atomic<std::uint64_t> worker_kills_{0};
+  std::atomic<std::uint64_t> handoff_keys_{0};
+  std::atomic<std::uint64_t> failed_{0};
+};
+
+}  // namespace repro::shard

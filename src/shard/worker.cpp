@@ -1,0 +1,79 @@
+#include "shard/worker.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "serve/stream.hpp"
+
+namespace repro::shard {
+
+WorkerProcess spawn_worker_process(const std::string& name,
+                                   serve::Service::Options options) {
+  WorkerProcess worker;
+  worker.name = name;
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    std::perror("shard: socketpair");
+    return worker;
+  }
+  std::fflush(stdout);  // the child must not replay buffered parent output
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("shard: fork");
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return worker;
+  }
+  if (pid == 0) {
+    ::close(sv[0]);
+    {
+      options.cache_namespace = name;
+      serve::Service service(std::move(options));
+      serve::serve_fd(service, sv[1]);
+      ::close(sv[1]);
+      // Service destructor drains in-flight work before the exit below.
+    }
+    ::_exit(0);
+  }
+  ::close(sv[1]);
+  worker.pid = pid;
+  worker.fd = sv[0];
+  return worker;
+}
+
+std::vector<WorkerProcess> spawn_worker_processes(
+    int count, const serve::Service::Options& options) {
+  std::vector<WorkerProcess> workers;
+  for (int i = 0; i < count; ++i) {
+    WorkerProcess worker =
+        spawn_worker_process("w" + std::to_string(i), options);
+    if (worker.pid > 0) workers.push_back(std::move(worker));
+  }
+  return workers;
+}
+
+WorkerEndpoint endpoint_for(const WorkerProcess& worker) {
+  WorkerEndpoint endpoint;
+  endpoint.name = worker.name;
+  endpoint.fd = worker.fd;
+  const pid_t pid = worker.pid;
+  endpoint.kill = [pid] {
+    if (pid > 0) ::kill(pid, SIGKILL);
+  };
+  return endpoint;
+}
+
+void reap_workers(const std::vector<WorkerProcess>& workers) {
+  for (const WorkerProcess& worker : workers) {
+    if (worker.pid <= 0) continue;
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+  }
+}
+
+}  // namespace repro::shard

@@ -1,0 +1,53 @@
+// Worker-process spawning for the shard tier (DESIGN.md §14).
+//
+// Each worker is a forked child running a private `serve::Service` over
+// one end of a unix socketpair — the same JSONL wire `repro-serve` speaks
+// on stdin/stdout, so a worker is indistinguishable from a single-process
+// server to everything above the transport. The child's Service gets
+// `cache_namespace = name`, making the workers' cache key spaces provably
+// disjoint (no stale cross-worker hits after rebalancing, ever).
+//
+// fork() and threads do not mix: spawn every worker BEFORE creating any
+// thread in the parent (the Router constructor starts reader threads, so
+// spawn first, construct the Router second). The child never returns from
+// spawn_worker_process — it serves until its fd closes, destroys the
+// Service (draining in-flight work) and _exit(0)s without touching the
+// parent's stdio buffers.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "shard/router.hpp"
+
+namespace repro::shard {
+
+struct WorkerProcess {
+  std::string name;
+  pid_t pid = -1;
+  int fd = -1;  // parent-side socketpair end (owned by the Router)
+};
+
+/// Forks one worker serving `options` (with cache_namespace = `name`)
+/// over a socketpair. Parent: returns the handle. Child: serves, then
+/// _exit(0). A negative pid reports fork/socketpair failure.
+WorkerProcess spawn_worker_process(const std::string& name,
+                                   serve::Service::Options options);
+
+/// Spawns `count` workers named "w0".."w<count-1>". Call before creating
+/// threads. Workers that failed to spawn are omitted (check size()).
+std::vector<WorkerProcess> spawn_worker_processes(
+    int count, const serve::Service::Options& options);
+
+/// Router endpoint for a spawned worker: the kill hook SIGKILLs the pid
+/// (the crash the chaos layer wants — no draining, no goodbye).
+WorkerEndpoint endpoint_for(const WorkerProcess& worker);
+
+/// Reaps every child (waitpid). Call after the Router is destroyed (its
+/// destructor closes the transports, which is what makes workers exit).
+void reap_workers(const std::vector<WorkerProcess>& workers);
+
+}  // namespace repro::shard

@@ -716,5 +716,90 @@ TEST(ObsAttribution, ClassEnergiesSumToComponentModelEnergy) {
   }
 }
 
+// --- Histogram percentiles (serve SLO reporting, DESIGN.md §14) ------------
+//
+// percentile() interpolates linearly inside the log2 bucket that carries
+// the rank; ranks on cumulative-count boundaries land EXACTLY on bucket
+// edges, and the result is clamped to the observed [min, max] envelope.
+// These pins are the contract the load harness and --metrics-every rely on.
+
+TEST(ObsPercentile, EmptySnapshotIsZeroForEveryQuantile) {
+  const obs::HistogramSnapshot empty;
+  EXPECT_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+  EXPECT_EQ(empty.percentile(1.0), 0.0);
+}
+
+TEST(ObsPercentile, SingleBucketInterpolatesBetweenItsBounds) {
+  // Four observations in the [0.5, 1) bucket, envelope spanning the full
+  // bucket: quantiles interpolate linearly across [0.5, 1.0].
+  obs::HistogramSnapshot s;
+  s.count = 4;
+  s.min = 0.5;
+  s.max = 1.0;
+  const int b = obs::Histogram::bucket_of(0.75);
+  ASSERT_EQ(obs::Histogram::bucket_lower_bound(b), 0.5);
+  ASSERT_EQ(obs::Histogram::bucket_upper_bound(b), 1.0);
+  s.buckets[static_cast<std::size_t>(b)] = 4;
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.5);    // lower bucket edge, exactly
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 0.625); // rank 1 of 4
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.75);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 1.0);    // upper bucket edge, exactly
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(s.percentile(-3.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(7.0), 1.0);
+}
+
+TEST(ObsPercentile, RankOnBucketBoundaryLandsExactlyOnTheSharedEdge) {
+  // Two adjacent buckets, two observations each: q=0.5 is the cumulative
+  // boundary between them and must return the shared edge (1.0) exactly —
+  // no interpolation into either side.
+  obs::HistogramSnapshot s;
+  s.count = 4;
+  s.min = 0.5;
+  s.max = 2.0;
+  s.buckets[static_cast<std::size_t>(obs::Histogram::bucket_of(0.75))] = 2;
+  s.buckets[static_cast<std::size_t>(obs::Histogram::bucket_of(1.5))] = 2;
+  ASSERT_EQ(obs::Histogram::bucket_upper_bound(obs::Histogram::bucket_of(0.75)),
+            obs::Histogram::bucket_lower_bound(obs::Histogram::bucket_of(1.5)));
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.75), 1.5);  // rank 3: halfway into [1, 2)
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 2.0);
+}
+
+TEST(ObsPercentile, ResultClampsToObservedMinMaxEnvelope) {
+  // The log2 edge buckets are coarse; the observed envelope tightens them.
+  obs::Histogram h;
+  h.observe(0.75);
+  h.observe(0.75);
+  h.observe(0.75);
+  const obs::HistogramSnapshot s = h.snapshot();
+  // Every quantile of a constant sample is that constant, even though the
+  // carrying bucket spans [0.5, 1).
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.75);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 0.75);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 0.75);
+}
+
+TEST(ObsPercentile, ExportersCarryTheP50P95P99Fields) {
+  obs::RegistrySnapshot snap;
+  obs::HistogramSnapshot h;
+  h.count = 4;
+  h.sum = 3.0;
+  h.min = 0.5;
+  h.max = 1.0;
+  h.buckets[static_cast<std::size_t>(obs::Histogram::bucket_of(0.75))] = 4;
+  snap.histograms.emplace_back("test.latency", h);
+  std::ostringstream text;
+  obs::export_text(snap, text);
+  EXPECT_NE(text.str().find("p50=0.75"), std::string::npos) << text.str();
+  EXPECT_NE(text.str().find("p95=0.975"), std::string::npos) << text.str();
+  std::ostringstream jsonl;
+  obs::export_jsonl(snap, jsonl);
+  EXPECT_NE(jsonl.str().find("\"p50\":0.75"), std::string::npos) << jsonl.str();
+  EXPECT_NE(jsonl.str().find("\"p99\":0.995"), std::string::npos) << jsonl.str();
+}
+
 }  // namespace
 }  // namespace repro

@@ -734,6 +734,54 @@ TEST(ServeWireGolden, EncodingMatchesSnapshot) {
     actual += format_response_line(r);
     actual += '\n';
   }
+  // Shard-tier monitoring lines (DESIGN.md §14), appended after the
+  // sampled block: router health and ring topology. Values are fixed and
+  // representative (one dead worker, mid-rebalance) — this pins the
+  // encoding, not any live tier.
+  {
+    RouterHealth router_health;
+    router_health.accepting = true;
+    router_health.workers = 4;
+    router_health.alive = 3;
+    router_health.epoch = 1;
+    router_health.routed = 120;
+    router_health.rerouted = 5;
+    router_health.worker_kills = 1;
+    router_health.handoff_keys = 2;
+    router_health.failed = 0;
+    actual += format_router_health_line(router_health);
+    actual += '\n';
+    TopologySnapshot topology;
+    topology.epoch = 1;
+    topology.workers = 4;
+    topology.alive = 3;
+    topology.rebalances = 1;
+    topology.handoff_keys = 2;
+    // Dyadic shares so the %.17g rendering is short and exact.
+    const struct {
+      const char* name;
+      bool alive;
+      int vnodes;
+      double share;
+      std::uint64_t routed;
+    } rows[] = {
+        {"w0", true, 64, 0.375, 50},
+        {"w1", false, 0, 0.0, 10},
+        {"w2", true, 64, 0.3125, 35},
+        {"w3", true, 64, 0.3125, 25},
+    };
+    for (const auto& row : rows) {
+      TopologyWorker worker;
+      worker.name = row.name;
+      worker.alive = row.alive;
+      worker.virtual_nodes = row.vnodes;
+      worker.owned_share = row.share;
+      worker.routed = row.routed;
+      topology.ring.push_back(std::move(worker));
+    }
+    actual += format_topology_line(topology);
+    actual += '\n';
+  }
 
   const std::string path = std::string(REPRO_GOLDEN_DIR) + "/serve_wire.txt";
   if (repro::Options::global().update_golden) {

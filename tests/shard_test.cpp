@@ -1,0 +1,559 @@
+// Sharded serve tier tests (DESIGN.md §14):
+//  - HashRing determinism, virtual-node balance, and the minimal-disruption
+//    property warm handoff relies on,
+//  - router passthrough bit-identity: a 4-worker tier answers every wire
+//    line (exact and sampled) byte-for-byte like a 1-worker tier,
+//  - worker death: reroute bit-identity, warm handoff of hot keys, and
+//    cache-namespace disjointness across rebalancing,
+//  - seeded kWorkerKill chaos: every request terminates truthfully.
+//
+// Workers here are in-process: one serve::Service per worker behind a
+// socketpair served by serve::serve_fd on a thread — the same stream loop
+// the forked worker processes run, minus the fork, so the whole suite is
+// TSan-clean under the `shard` label.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/study.hpp"
+#include "fault/fault.hpp"
+#include "serve/service.hpp"
+#include "serve/stream.hpp"
+#include "serve/wire.hpp"
+#include "shard/ring.hpp"
+#include "shard/router.hpp"
+
+namespace repro::shard {
+namespace {
+
+// --- Hash ring -------------------------------------------------------------
+
+std::vector<std::string> sample_keys(std::size_t n) {
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back("PROG" + std::to_string(i % 17) + "/" +
+                   std::to_string(i % 3) + "/cfg" + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(ShardRing, OwnerIsAPureFunctionOfTheLiveWorkerSet) {
+  HashRing forward;
+  forward.add("w0");
+  forward.add("w1");
+  forward.add("w2");
+  HashRing backward;
+  backward.add("w2");
+  backward.add("w0");
+  backward.add("w1");
+  backward.add("w1");  // re-adding is a no-op
+  for (const std::string& key : sample_keys(500)) {
+    EXPECT_EQ(forward.owner(key), backward.owner(key)) << key;
+  }
+  EXPECT_EQ(forward.workers(), backward.workers());
+
+  // Remove + re-add restores the exact same ownership (points are a pure
+  // function of the name) — the cross-process routing contract.
+  HashRing churned;
+  churned.add("w0");
+  churned.add("w1");
+  churned.add("w2");
+  EXPECT_TRUE(churned.remove("w1"));
+  EXPECT_FALSE(churned.remove("w1"));
+  churned.add("w1");
+  for (const std::string& key : sample_keys(500)) {
+    EXPECT_EQ(forward.owner(key), churned.owner(key)) << key;
+  }
+}
+
+TEST(ShardRing, EmptyRingOwnsNothing) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.owner("anything"), "");
+  EXPECT_TRUE(ring.shares().empty());
+}
+
+TEST(ShardRing, VirtualNodesKeepSharesBalanced) {
+  HashRing ring(64);
+  for (int i = 0; i < 4; ++i) ring.add("w" + std::to_string(i));
+  const std::map<std::string, double> shares = ring.shares();
+  ASSERT_EQ(shares.size(), 4u);
+  double total = 0.0;
+  for (const auto& [name, share] : shares) {
+    // 64 virtual nodes keep every worker within ~2x of the fair 0.25.
+    EXPECT_GT(share, 0.10) << name;
+    EXPECT_LT(share, 0.45) << name;
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ShardRing, RemovalOnlyMovesTheDeadWorkersKeys) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add("w" + std::to_string(i));
+  const std::vector<std::string> keys = sample_keys(1000);
+  std::vector<std::string> before;
+  for (const std::string& key : keys) {
+    before.push_back(std::string(ring.owner(key)));
+  }
+  ASSERT_TRUE(ring.remove("w2"));
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string_view after = ring.owner(keys[i]);
+    if (before[i] == "w2") {
+      EXPECT_NE(after, "w2");
+      ++moved;
+    } else {
+      // The minimal-disruption property: every key owned by a survivor
+      // keeps its owner. Warm handoff depends on this.
+      EXPECT_EQ(after, before[i]) << keys[i];
+    }
+  }
+  EXPECT_GT(moved, 0u) << "w2 owned nothing out of 1000 keys?";
+}
+
+// --- In-process worker tier ------------------------------------------------
+
+struct TestWorker {
+  std::string name;
+  int worker_fd = -1;
+  std::unique_ptr<serve::Service> service;
+  std::thread thread;
+};
+
+/// N in-process workers behind socketpairs plus the router over them. The
+/// kill hook shuts the worker's end of the pair down — the router observes
+/// the death through the broken stream, exactly like a crashed process.
+class TestTier {
+ public:
+  explicit TestTier(int n, Router::Options router_options = {}) {
+    std::vector<WorkerEndpoint> endpoints;
+    for (int i = 0; i < n; ++i) {
+      int sv[2];
+      EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+      auto worker = std::make_unique<TestWorker>();
+      worker->name = "w" + std::to_string(i);
+      worker->worker_fd = sv[1];
+      serve::Service::Options options;
+      options.threads = 1;
+      options.cache_namespace = worker->name;
+      worker->service = std::make_unique<serve::Service>(options);
+      worker->thread = std::thread(
+          [service = worker->service.get(), fd = sv[1]] {
+            serve::serve_fd(*service, fd);
+          });
+      endpoints.push_back(WorkerEndpoint{
+          worker->name, sv[0],
+          [fd = sv[1]] { ::shutdown(fd, SHUT_RDWR); }});
+      workers_.push_back(std::move(worker));
+    }
+    router_ = std::make_unique<Router>(router_options, std::move(endpoints));
+  }
+
+  ~TestTier() {
+    router_.reset();  // closes the router fds; workers see EOF and exit
+    for (const std::unique_ptr<TestWorker>& worker : workers_) {
+      ::shutdown(worker->worker_fd, SHUT_RDWR);
+      worker->thread.join();
+      ::close(worker->worker_fd);
+    }
+  }
+
+  Router& router() { return *router_; }
+
+  /// Waits until the router observed `alive` live workers (deaths land
+  /// asynchronously through the broken stream).
+  void wait_for_alive(std::size_t alive) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (router_->health().alive != alive) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "router never observed the worker death";
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<TestWorker>> workers_;
+  std::unique_ptr<Router> router_;
+};
+
+struct SliceEntry {
+  const char* program;
+  std::size_t input;
+  const char* config;
+};
+
+// Same golden slice the serve tests pin: all five suites, all four configs.
+constexpr SliceEntry kSlice[10] = {
+    {"NB", 2, "default"},  {"LBM", 0, "614"},    {"SGEMM", 0, "default"},
+    {"TPACF", 0, "ecc"},   {"BP", 0, "default"}, {"L-BFS", 2, "324"},
+    {"FFT", 0, "default"}, {"MD", 0, "614"},     {"L-BFS-wlc", 2, "default"},
+    {"BH", 0, "default"},
+};
+
+std::string request_line(std::size_t slice_index, std::uint64_t id) {
+  const SliceEntry& e = kSlice[slice_index % std::size(kSlice)];
+  v1::ExperimentRequest request;
+  request.program = e.program;
+  request.input_index = e.input;
+  request.config = e.config;
+  request.id = id;
+  return serve::format_request_line(request);
+}
+
+std::string slice_key(std::size_t slice_index) {
+  const SliceEntry& e = kSlice[slice_index % std::size(kSlice)];
+  return core::experiment_key(e.program, e.input, e.config);
+}
+
+/// Value bytes of one JSON field (quoted strings unwrapped), or "" —
+/// used to compare measurement bytes independent of the cached flag.
+std::string json_field(const std::string& line, const std::string& name) {
+  const std::string marker = "\"" + name + "\":";
+  std::size_t start = line.find(marker);
+  if (start == std::string::npos) return {};
+  start += marker.size();
+  if (start >= line.size()) return {};
+  std::size_t end;
+  if (line[start] == '"') {
+    ++start;
+    end = line.find('"', start);
+  } else {
+    end = line.find_first_of(",}", start);
+  }
+  return end == std::string::npos ? std::string{}
+                                  : line.substr(start, end - start);
+}
+
+// --- Byte-identity ---------------------------------------------------------
+
+TEST(ShardRouter, FourWorkerTierAnswersByteIdenticalToOneWorker) {
+  TestTier single(1);
+  TestTier sharded(4);
+  // Two rounds: round one is all misses, round two all hits — and because
+  // routing is a pure function of the key, the cached flags line up too,
+  // so the WHOLE line must match byte for byte.
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < std::size(kSlice); ++i) {
+      const std::string line = request_line(i, i + 1);
+      const std::string expected = single.router().route_line(line, i + 1);
+      const std::string actual = sharded.router().route_line(line, i + 1);
+      EXPECT_EQ(actual, expected) << line;
+      EXPECT_EQ(json_field(actual, "cached"), round == 0 ? "false" : "true")
+          << actual;
+    }
+  }
+  const serve::RouterHealth health = sharded.router().health();
+  EXPECT_EQ(health.routed, 2 * std::size(kSlice));
+  EXPECT_EQ(health.failed, 0u);
+  // The tier actually sharded: with 10 keys over 4 workers at least two
+  // workers served traffic.
+  std::size_t serving = 0;
+  for (const serve::TopologyWorker& row : sharded.router().topology().ring) {
+    if (row.routed > 0) ++serving;
+  }
+  EXPECT_GE(serving, 2u);
+}
+
+TEST(ShardRouter, SampledRequestsRouteByteIdenticalWithCiFields) {
+  TestTier single(1);
+  TestTier sharded(4);
+  std::size_t sampled_responses = 0;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    v1::ExperimentRequest request;
+    const SliceEntry& e = kSlice[i];
+    request.program = e.program;
+    request.input_index = e.input;
+    request.config = e.config;
+    request.id = 100 + i;
+    request.sampling.mode = i % 2 == 0 ? v1::SamplingMode::kStratified
+                                       : v1::SamplingMode::kSystematic;
+    request.sampling.fraction = 0.5;
+    request.sampling.seed = 1234 + i;
+    const std::string line = serve::format_request_line(request);
+    const std::string expected = single.router().route_line(line, 100 + i);
+    const std::string actual = sharded.router().route_line(line, 100 + i);
+    EXPECT_EQ(actual, expected) << line;
+    // Workloads with too few kernels degenerate to exact measurement
+    // (sampled=false) — identically on both tiers; the ones that do
+    // sample must carry their CI fields through the router verbatim.
+    if (actual.find("\"sampled\":true") != std::string::npos) {
+      EXPECT_NE(actual.find("\"time_ci_low\":"), std::string::npos) << actual;
+      EXPECT_NE(actual.find("\"power_ci_high\":"), std::string::npos) << actual;
+      ++sampled_responses;
+    }
+  }
+  EXPECT_GT(sampled_responses, 0u) << "no request actually sampled";
+}
+
+TEST(ShardRouter, IdLessRequestsTakeTheClientLineNumber) {
+  TestTier tier(2);
+  v1::ExperimentRequest request;
+  request.program = "BP";
+  request.input_index = 0;
+  request.config = "default";  // id left 0: line number fills it in
+  const std::string response =
+      tier.router().route_line(serve::format_request_line(request), 7);
+  EXPECT_EQ(json_field(response, "id"), "7") << response;
+  // Malformed lines resolve as structured errors carrying the line number.
+  const std::string invalid = tier.router().route_line("not json", 9);
+  EXPECT_EQ(json_field(invalid, "status"), "invalid") << invalid;
+  EXPECT_EQ(json_field(invalid, "id"), "9") << invalid;
+}
+
+TEST(ShardRouter, RouteLinesKeepsResponsesInRequestOrder) {
+  TestTier tier(4);
+  std::vector<std::string> inbound;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < std::size(kSlice); ++i) {
+      inbound.push_back(
+          request_line(i, round * std::size(kSlice) + i + 1));
+    }
+  }
+  std::vector<std::string> outbound;
+  std::size_t cursor = 0;
+  tier.router().route_lines(
+      [&](std::string& line) {
+        if (cursor >= inbound.size()) return false;
+        line = inbound[cursor++];
+        return true;
+      },
+      [&](const std::string& line) {
+        outbound.push_back(line);
+        return true;
+      });
+  ASSERT_EQ(outbound.size(), inbound.size());
+  for (std::size_t i = 0; i < outbound.size(); ++i) {
+    EXPECT_EQ(json_field(outbound[i], "id"), std::to_string(i + 1))
+        << outbound[i];
+    EXPECT_EQ(json_field(outbound[i], "status"), "ok") << outbound[i];
+  }
+}
+
+// --- Topology / health endpoints -------------------------------------------
+
+TEST(ShardRouter, TopologyAndHealthLinesTrackWorkerDeath) {
+  TestTier tier(4);
+  const std::string health_line =
+      tier.router().route_line(R"({"v":1,"health":true})", 1);
+  EXPECT_EQ(health_line.find(R"({"v":1,"health":true,"router":true,)"), 0u)
+      << health_line;
+  EXPECT_EQ(json_field(health_line, "workers"), "4") << health_line;
+  EXPECT_EQ(json_field(health_line, "alive"), "4") << health_line;
+  EXPECT_EQ(json_field(health_line, "epoch"), "0") << health_line;
+
+  const std::string topology_line =
+      tier.router().route_line(R"({"v":1,"topology":true})", 2);
+  EXPECT_EQ(topology_line.find(R"({"v":1,"topology":true,)"), 0u)
+      << topology_line;
+  EXPECT_NE(topology_line.find("\"ring\":[{\"worker\":\"w0\""),
+            std::string::npos)
+      << topology_line;
+  ASSERT_TRUE(serve::is_topology_request(R"({"v":1,"topology":true})"));
+  EXPECT_FALSE(serve::is_topology_request(R"({"topology":false})"));
+  EXPECT_FALSE(serve::is_topology_request(R"({"program":"NB"})"));
+
+  ASSERT_TRUE(tier.router().kill_worker("w1"));
+  EXPECT_FALSE(tier.router().kill_worker("nope"));
+  tier.wait_for_alive(3);
+  EXPECT_FALSE(tier.router().kill_worker("w1")) << "already dead";
+  const std::string after =
+      tier.router().route_line(R"({"v":1,"topology":true})", 3);
+  EXPECT_EQ(json_field(after, "alive"), "3") << after;
+  EXPECT_EQ(json_field(after, "epoch"), "1") << after;
+  EXPECT_EQ(json_field(after, "rebalances"), "1") << after;
+  EXPECT_NE(after.find("\"worker\":\"w1\",\"alive\":false,\"vnodes\":0"),
+            std::string::npos)
+      << after;
+}
+
+// --- Worker death / reroute ------------------------------------------------
+
+TEST(ShardRouter, KilledOwnerReroutesBitIdentically) {
+  Router::Options options;
+  options.hot_key_threshold = 0;  // isolate reroute from warm handoff
+  TestTier tier(4, options);
+  const std::string line = request_line(2, 42);  // SGEMM/0/default
+  const std::string first = tier.router().route_line(line, 42);
+  ASSERT_EQ(json_field(first, "status"), "ok") << first;
+  EXPECT_EQ(json_field(first, "cached"), "false");
+
+  const std::string owner = tier.router().owner_of(slice_key(2));
+  ASSERT_FALSE(owner.empty());
+  ASSERT_TRUE(tier.router().kill_worker(owner));
+  // No waiting: whether the death has been observed yet or not, the
+  // request must end up on the new owner and recompute the exact bytes.
+  const std::string second = tier.router().route_line(line, 42);
+  EXPECT_EQ(second, first) << "rerouted response must be bit-identical";
+  tier.wait_for_alive(3);
+  EXPECT_NE(tier.router().owner_of(slice_key(2)), owner);
+  EXPECT_EQ(tier.router().health().failed, 0u);
+}
+
+TEST(ShardRouter, RerouteBudgetExhaustionFailsTruthfully) {
+  TestTier tier(2);
+  // Kill everything: no live owner remains, so any request must resolve
+  // as a truthful `failed` line — never a hang.
+  ASSERT_TRUE(tier.router().kill_worker("w0"));
+  ASSERT_TRUE(tier.router().kill_worker("w1"));
+  tier.wait_for_alive(0);
+  const std::string response = tier.router().route_line(request_line(0, 5), 5);
+  EXPECT_EQ(json_field(response, "status"), "failed") << response;
+  EXPECT_EQ(json_field(response, "id"), "5") << response;
+  EXPECT_NE(response.find("shard worker lost"), std::string::npos) << response;
+  EXPECT_GE(tier.router().health().failed, 1u);
+  EXPECT_FALSE(tier.router().health().accepting);
+}
+
+// --- Warm handoff and cache namespaces -------------------------------------
+
+TEST(ShardRouter, WarmHandoffPrimesTheNewOwnersCache) {
+  Router::Options options;
+  options.hot_key_threshold = 2;
+  TestTier tier(4, options);
+  const std::string line = request_line(4, 11);  // BP/0/default
+  const std::string first = tier.router().route_line(line, 11);
+  ASSERT_EQ(json_field(first, "status"), "ok") << first;
+  const std::string second = tier.router().route_line(line, 11);
+  EXPECT_EQ(json_field(second, "cached"), "true") << second;
+
+  const std::string owner = tier.router().owner_of(slice_key(4));
+  ASSERT_TRUE(tier.router().kill_worker(owner));
+  // handoff_keys ticks once the prefetch is SUBMITTED (after the death is
+  // fully processed); drain() then awaits its resolution.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (tier.router().health().handoff_keys < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "warm handoff never submitted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  tier.router().drain();  // all handoff prefetches resolved
+
+  // The new owner was pre-warmed: the next request HITS, and its bytes are
+  // the new owner's own computation — identical to the original because
+  // the measurement is deterministic.
+  const std::string third = tier.router().route_line(line, 11);
+  EXPECT_EQ(json_field(third, "cached"), "true") << third;
+  for (const char* field : {"time_s", "energy_j", "power_w", "usable"}) {
+    EXPECT_EQ(json_field(third, field), json_field(first, field)) << field;
+  }
+}
+
+TEST(ShardRouter, RebalancedKeyNeverHitsTheNewOwnersCacheCold) {
+  Router::Options options;
+  options.hot_key_threshold = 0;  // no handoff: B must be provably cold
+  TestTier tier(4, options);
+  const std::string line = request_line(6, 23);  // FFT/0/default
+  const std::string first = tier.router().route_line(line, 23);
+  ASSERT_EQ(json_field(first, "status"), "ok");
+  const std::string warm = tier.router().route_line(line, 23);
+  EXPECT_EQ(json_field(warm, "cached"), "true") << warm;
+
+  const std::string owner = tier.router().owner_of(slice_key(6));
+  ASSERT_TRUE(tier.router().kill_worker(owner));
+  tier.wait_for_alive(3);
+  // Cache namespaces are disjoint: the key WAS cached on the dead worker,
+  // but the new owner must miss — a hit here would mean worker A's bytes
+  // leaked into worker B's cache across the rebalance.
+  const std::string rerouted = tier.router().route_line(line, 23);
+  EXPECT_EQ(json_field(rerouted, "cached"), "false") << rerouted;
+  EXPECT_EQ(json_field(rerouted, "time_s"), json_field(first, "time_s"));
+}
+
+TEST(ShardService, CacheNamespacesMakeWorkerVersionsDisjoint) {
+  serve::Service::Options a;
+  a.threads = 1;
+  a.cache_namespace = "w0";
+  serve::Service::Options b = a;
+  b.cache_namespace = "w1";
+  serve::Service::Options plain = a;
+  plain.cache_namespace.clear();
+  serve::Service sa{a}, sb{b}, sp{plain};
+  EXPECT_NE(sa.cache_version(), sb.cache_version());
+  EXPECT_NE(sa.cache_version(), sp.cache_version());
+  EXPECT_NE(sa.cache_version().find("ns=w0|"), std::string::npos)
+      << sa.cache_version();
+  // The empty namespace renders NO marker at all: single-process cache
+  // keys are byte-identical to the pre-shard era.
+  EXPECT_EQ(sp.cache_version().find("ns="), std::string::npos)
+      << sp.cache_version();
+}
+
+// --- Seeded chaos ----------------------------------------------------------
+
+TEST(ShardChaos, SeededWorkerKillsTerminateEveryRequestTruthfully) {
+  // Reference bytes from an unfaulted single worker, keyed by slice index.
+  std::vector<std::string> reference;
+  {
+    TestTier single(1);
+    for (std::size_t i = 0; i < std::size(kSlice); ++i) {
+      reference.push_back(
+          single.router().route_line(request_line(i, i + 1), i + 1));
+    }
+  }
+  std::uint64_t total_kills = 0;
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    fault::PlanOptions plan_options;
+    plan_options.seed = seed;
+    plan_options.scheduler_rate = 0.0;  // worker kills only: measured bytes
+    plan_options.sensor_rate = 0.0;     // stay fault-free and comparable
+    plan_options.wire_rate = 0.0;
+    plan_options.cache_rate = 0.0;
+    plan_options.worker_rate = 0.15;
+    const fault::FaultPlan plan(plan_options);
+    const fault::ScopedPlan scoped(&plan);
+    TestTier tier(4);
+    std::size_t ok = 0, failed = 0;
+    for (int round = 0; round < 3; ++round) {
+      for (std::size_t i = 0; i < std::size(kSlice); ++i) {
+        const std::string response =
+            tier.router().route_line(request_line(i, i + 1), i + 1);
+        const std::string status = json_field(response, "status");
+        if (status == "ok") {
+          ++ok;
+          // Non-degraded responses are bit-identical in every measured
+          // field, kills or not.
+          for (const char* field :
+               {"id", "key", "usable", "time_s", "energy_j", "power_w"}) {
+            EXPECT_EQ(json_field(response, field),
+                      json_field(reference[i], field))
+                << "seed " << seed << " field " << field << ": " << response;
+          }
+        } else {
+          // The only other terminal state is a truthful failure.
+          ASSERT_EQ(status, "failed") << response;
+          EXPECT_NE(response.find("shard worker lost"), std::string::npos)
+              << response;
+          ++failed;
+        }
+      }
+    }
+    const serve::RouterHealth health = tier.router().health();
+    EXPECT_EQ(ok + failed, 3 * std::size(kSlice)) << "a request hung";
+    EXPECT_EQ(health.failed, failed);
+    total_kills += health.worker_kills;
+    // Replayability: the schedule is a pure function of the seed.
+    const fault::FaultPlan replay(plan_options);
+    std::vector<std::string> keys;
+    for (std::size_t i = 0; i < std::size(kSlice); ++i) {
+      keys.push_back(slice_key(i));
+    }
+    EXPECT_EQ(plan.schedule_digest(keys, 3), replay.schedule_digest(keys, 3));
+  }
+  EXPECT_GT(total_kills, 0u)
+      << "0.15 kill rate over 90 routed requests never fired";
+}
+
+}  // namespace
+}  // namespace repro::shard

@@ -1,0 +1,426 @@
+// load_gen: Zipf load generator and SLO gate for the sharded serve tier
+// (DESIGN.md §14).
+//
+//   load_gen [--workers N] [--baseline-workers N] [--clients K]
+//            [--requests M] [--alpha A] [--arrival closed|open] [--rate R]
+//            [--deadline-ms D] [--worker-threads T] [--miss] [--seed S]
+//            [--out FILE] [--gate]
+//
+// Drives the consistent-hash shard tier with a key popularity drawn from
+// Zipf(alpha) over the full registry matrix (every program x input x GPU
+// config), from K concurrent clients:
+//
+//   closed  each client issues its next request the moment the previous
+//           response lands (throughput = tier capacity);
+//   open    arrivals follow a seeded Poisson process at --rate req/s and
+//           latency is measured from the scheduled arrival (queueing
+//           delay included), the honest way to measure an SLO.
+//
+// --miss turns on cache-miss traffic: every request is a sampled-mode
+// request with a unique sample_seed, so no two requests share a cache key
+// and every one pays the full measurement — the traffic shape that
+// exposes compute scaling rather than cache bandwidth.
+//
+// Two phases run in one invocation — --baseline-workers (default 1), then
+// --workers (default 4) — and the report lands in BENCH_serve.json:
+// throughput, p50/p95/p99 latency (obs::Histogram percentiles), shed /
+// degraded / deadline-miss / failed rates per phase, plus the measured
+// speedup. With --gate the exit code enforces the speedup floor, scaled
+// to the machine: 2.5x when 4+ cores are available, less on smaller
+// hosts (the floor and core count are recorded in the JSON — a 1-core
+// container cannot parallelize compute-bound work, and pretending
+// otherwise would make the gate a coin flip). scripts/ci.sh runs this
+// under REPRO_PERF=1.
+//
+// All worker processes (baseline + sharded) fork up front, before any
+// thread exists in this process; phases then borrow the endpoints they
+// need. fork() after threads would be undefined behavior bingo.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <atomic>
+
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "shard/router.hpp"
+#include "shard/worker.hpp"
+#include "sim/gpuconfig.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct KeySpec {
+  std::string program;
+  std::size_t input = 0;
+  std::string config;
+};
+
+// Every (program, input, config) cell of the registry matrix.
+std::vector<KeySpec> registry_matrix() {
+  repro::suites::register_all_workloads();
+  std::vector<KeySpec> matrix;
+  for (const repro::workloads::Workload* workload :
+       repro::workloads::Registry::instance().all()) {
+    const std::size_t inputs = workload->inputs().size();
+    for (std::size_t input = 0; input < inputs; ++input) {
+      for (const repro::sim::GpuConfig& config :
+           repro::sim::standard_configs()) {
+        matrix.push_back(
+            KeySpec{std::string(workload->name()), input, config.name});
+      }
+    }
+  }
+  return matrix;
+}
+
+// Zipf(alpha) over [0, n): precomputed CDF + binary search, seeded Rng.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+      cdf_[k] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t draw(repro::util::Rng& rng) const {
+    const double u = rng.uniform();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+bool json_field(const std::string& line, const std::string& name,
+                std::string& out) {
+  const std::string marker = "\"" + name + "\":";
+  const std::size_t pos = line.find(marker);
+  if (pos == std::string::npos) return false;
+  std::size_t start = pos + marker.size();
+  if (start >= line.size()) return false;
+  std::size_t end;
+  if (line[start] == '"') {
+    ++start;
+    end = line.find('"', start);
+  } else {
+    end = line.find_first_of(",}", start);
+  }
+  if (end == std::string::npos) return false;
+  out = line.substr(start, end - start);
+  return true;
+}
+
+struct PhaseReport {
+  int workers = 0;
+  std::uint64_t requests = 0;
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  double p50_s = 0.0, p95_s = 0.0, p99_s = 0.0;
+  std::uint64_t shed = 0, degraded = 0, failed = 0, deadline_missed = 0;
+};
+
+struct RunConfig {
+  int clients = 4;
+  std::uint64_t requests = 200;
+  double alpha = 1.1;
+  bool open_arrival = false;
+  double rate = 50.0;  // open arrival, total req/s across clients
+  double deadline_ms = 0.0;
+  bool miss_traffic = false;
+  std::uint64_t seed = 42;
+};
+
+// Drives one phase against `router` and aggregates the SLO numbers.
+PhaseReport run_phase(repro::shard::Router& router, const RunConfig& config,
+                      const std::vector<KeySpec>& matrix, int workers) {
+  const ZipfSampler zipf(matrix.size(), config.alpha);
+  repro::obs::Histogram latency;
+  std::atomic<std::uint64_t> next_request{0};
+  std::atomic<std::uint64_t> shed{0}, degraded{0}, failed{0}, missed{0};
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      repro::util::Rng rng(config.seed + 1000003ULL *
+                                             static_cast<std::uint64_t>(c + 1));
+      // Open arrival: this client's share of the Poisson process.
+      const double client_rate =
+          config.rate / static_cast<double>(config.clients);
+      double next_arrival_s = 0.0;
+      repro::obs::Histogram::Batch batch;
+      for (;;) {
+        const std::uint64_t index =
+            next_request.fetch_add(1, std::memory_order_relaxed);
+        if (index >= config.requests) break;
+        Clock::time_point issue = Clock::now();
+        if (config.open_arrival && client_rate > 0.0) {
+          next_arrival_s += -std::log(1.0 - rng.uniform()) / client_rate;
+          const Clock::time_point scheduled =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(next_arrival_s));
+          std::this_thread::sleep_until(scheduled);
+          issue = scheduled;  // latency includes queueing behind schedule
+        }
+        const KeySpec& key = matrix[zipf.draw(rng)];
+        repro::v1::ExperimentRequest request;
+        request.program = key.program;
+        request.input_index = key.input;
+        request.config = key.config;
+        request.id = index + 1;
+        request.deadline_ms = config.deadline_ms;
+        if (config.miss_traffic) {
+          // A unique sample_seed gives every request a private cache key:
+          // guaranteed misses, full measurement cost, and the sampled
+          // pipeline exercised through the tier.
+          request.sampling.mode = repro::v1::SamplingMode::kStratified;
+          request.sampling.fraction = 0.5;
+          request.sampling.seed = config.seed * 1000000ULL + index;
+        }
+        const std::string response = router.route_line(
+            repro::serve::format_request_line(request), request.id);
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - issue).count();
+        batch.observe(elapsed);
+        std::string status;
+        if (!json_field(response, "status", status)) status = "failed";
+        if (status == "shed") {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else if (status != "ok") {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::string degradation;
+        if (json_field(response, "degradation", degradation) &&
+            degradation == "degraded") {
+          degraded.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (config.deadline_ms > 0.0 &&
+            (status == "deadline_expired" ||
+             elapsed * 1000.0 > config.deadline_ms)) {
+          missed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      batch.flush(latency);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const repro::obs::HistogramSnapshot snapshot = latency.snapshot();
+  PhaseReport report;
+  report.workers = workers;
+  report.requests = config.requests;
+  report.wall_s = wall;
+  report.throughput_rps =
+      wall > 0.0 ? static_cast<double>(config.requests) / wall : 0.0;
+  report.p50_s = snapshot.percentile(0.50);
+  report.p95_s = snapshot.percentile(0.95);
+  report.p99_s = snapshot.percentile(0.99);
+  report.shed = shed.load();
+  report.degraded = degraded.load();
+  report.failed = failed.load();
+  report.deadline_missed = missed.load();
+  return report;
+}
+
+void append_phase_json(std::string& out, const PhaseReport& r) {
+  char buffer[512];
+  const double n = static_cast<double>(r.requests);
+  std::snprintf(
+      buffer, sizeof buffer,
+      "{\"workers\":%d,\"requests\":%llu,\"wall_s\":%.6g,"
+      "\"throughput_rps\":%.6g,\"p50_s\":%.6g,\"p95_s\":%.6g,"
+      "\"p99_s\":%.6g,\"shed_rate\":%.6g,\"degraded_rate\":%.6g,"
+      "\"deadline_miss_rate\":%.6g,\"failed\":%llu}",
+      r.workers, static_cast<unsigned long long>(r.requests), r.wall_s,
+      r.throughput_rps, r.p50_s, r.p95_s, r.p99_s,
+      n > 0 ? static_cast<double>(r.shed) / n : 0.0,
+      n > 0 ? static_cast<double>(r.degraded) / n : 0.0,
+      n > 0 ? static_cast<double>(r.deadline_missed) / n : 0.0,
+      static_cast<unsigned long long>(r.failed));
+  out += buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int shard_workers = 4;
+  int baseline_workers = 1;
+  int worker_threads = 1;
+  bool gate = false;
+  std::string out_path = "BENCH_serve.json";
+  RunConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--workers") {
+      if (const char* v = next()) shard_workers = std::atoi(v);
+    } else if (arg == "--baseline-workers") {
+      if (const char* v = next()) baseline_workers = std::atoi(v);
+    } else if (arg == "--clients") {
+      if (const char* v = next()) config.clients = std::atoi(v);
+    } else if (arg == "--requests") {
+      if (const char* v = next()) {
+        config.requests = std::strtoull(v, nullptr, 10);
+      }
+    } else if (arg == "--alpha") {
+      if (const char* v = next()) config.alpha = std::atof(v);
+    } else if (arg == "--arrival") {
+      if (const char* v = next()) config.open_arrival = std::strcmp(v, "open") == 0;
+    } else if (arg == "--rate") {
+      if (const char* v = next()) config.rate = std::atof(v);
+    } else if (arg == "--deadline-ms") {
+      if (const char* v = next()) config.deadline_ms = std::atof(v);
+    } else if (arg == "--worker-threads") {
+      if (const char* v = next()) worker_threads = std::atoi(v);
+    } else if (arg == "--miss") {
+      config.miss_traffic = true;
+    } else if (arg == "--seed") {
+      if (const char* v = next()) config.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--out") {
+      if (const char* v = next()) out_path = v;
+    } else if (arg == "--gate") {
+      gate = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: load_gen [--workers N] [--baseline-workers N] "
+          "[--clients K] [--requests M] [--alpha A] "
+          "[--arrival closed|open] [--rate R] [--deadline-ms D] "
+          "[--worker-threads T] [--miss] [--seed S] [--out FILE] "
+          "[--gate]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (shard_workers < 1) shard_workers = 1;
+  if (baseline_workers < 1) baseline_workers = 1;
+  if (config.clients < 1) config.clients = 1;
+
+  // EVERY worker process forks now, before any thread exists. The
+  // baseline phase borrows the first group; the shard phase the second.
+  repro::serve::Service::Options worker_options;
+  worker_options.threads = worker_threads;
+  std::vector<repro::shard::WorkerProcess> baseline_processes;
+  std::vector<repro::shard::WorkerProcess> shard_processes;
+  for (int i = 0; i < baseline_workers; ++i) {
+    baseline_processes.push_back(repro::shard::spawn_worker_process(
+        "b" + std::to_string(i), worker_options));
+  }
+  for (int i = 0; i < shard_workers; ++i) {
+    shard_processes.push_back(repro::shard::spawn_worker_process(
+        "w" + std::to_string(i), worker_options));
+  }
+  for (const auto* group : {&baseline_processes, &shard_processes}) {
+    for (const repro::shard::WorkerProcess& process : *group) {
+      if (process.pid <= 0) {
+        std::fprintf(stderr, "load_gen: worker spawn failed\n");
+        return 1;
+      }
+    }
+  }
+
+  const std::vector<KeySpec> matrix = registry_matrix();
+  std::fprintf(stderr,
+               "load_gen: %zu-key matrix, zipf(%g), %s arrival, %llu "
+               "requests x %d clients, %s traffic\n",
+               matrix.size(), config.alpha,
+               config.open_arrival ? "open" : "closed",
+               static_cast<unsigned long long>(config.requests),
+               config.clients, config.miss_traffic ? "cache-miss" : "mixed");
+
+  const auto run_tier =
+      [&](const std::vector<repro::shard::WorkerProcess>& processes) {
+        std::vector<repro::shard::WorkerEndpoint> endpoints;
+        for (const repro::shard::WorkerProcess& process : processes) {
+          endpoints.push_back(repro::shard::endpoint_for(process));
+        }
+        repro::shard::Router router(repro::shard::Router::Options{},
+                                    std::move(endpoints));
+        return run_phase(router, config, matrix,
+                         static_cast<int>(processes.size()));
+      };
+
+  const PhaseReport baseline = run_tier(baseline_processes);
+  repro::shard::reap_workers(baseline_processes);
+  std::fprintf(stderr, "load_gen: %d worker(s): %.1f req/s, p99 %.0f ms\n",
+               baseline.workers, baseline.throughput_rps,
+               baseline.p99_s * 1e3);
+  const PhaseReport sharded = run_tier(shard_processes);
+  repro::shard::reap_workers(shard_processes);
+  std::fprintf(stderr, "load_gen: %d worker(s): %.1f req/s, p99 %.0f ms\n",
+               sharded.workers, sharded.throughput_rps, sharded.p99_s * 1e3);
+
+  const double speedup = baseline.throughput_rps > 0.0
+                             ? sharded.throughput_rps / baseline.throughput_rps
+                             : 0.0;
+  // The speedup floor an honest gate can demand depends on the cores the
+  // tier can actually use: the paper-grade 2.5x at 4 workers needs 4+
+  // cores; a 1-core host serializes compute-bound workers and the only
+  // defensible floor there is "sharding must not collapse throughput".
+  const unsigned cores = std::thread::hardware_concurrency();
+  const double required =
+      cores >= 4 ? 2.5 : cores >= 2 ? 1.3 : 0.5;
+  const bool pass = speedup >= required;
+  std::fprintf(stderr,
+               "load_gen: speedup %.2fx (%d vs %d workers), floor %.2fx on "
+               "%u core(s): %s\n",
+               speedup, sharded.workers, baseline.workers, required, cores,
+               pass ? "PASS" : "FAIL");
+
+  std::string json = "{\"bench\":\"serve\",\"arrival\":\"";
+  json += config.open_arrival ? "open" : "closed";
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "\",\"zipf_alpha\":%g,\"clients\":%d,\"requests\":%llu,"
+                "\"miss_traffic\":%s,\"deadline_ms\":%g,\"seed\":%llu,"
+                "\"cores\":%u,\"required_speedup\":%g,",
+                config.alpha, config.clients,
+                static_cast<unsigned long long>(config.requests),
+                config.miss_traffic ? "true" : "false", config.deadline_ms,
+                static_cast<unsigned long long>(config.seed), cores,
+                required);
+  json += buffer;
+  json += "\"phases\":[";
+  append_phase_json(json, baseline);
+  json += ',';
+  append_phase_json(json, sharded);
+  std::snprintf(buffer, sizeof buffer,
+                "],\"speedup\":%.6g,\"gate_pass\":%s}", speedup,
+                pass ? "true" : "false");
+  json += buffer;
+  json += '\n';
+
+  std::ofstream out(out_path);
+  out << json;
+  out.close();
+  std::fprintf(stderr, "load_gen: report written to %s\n", out_path.c_str());
+
+  if (gate && !pass) return 1;
+  return 0;
+}

@@ -4,8 +4,8 @@
 // one response per line, responses in request order.
 //
 //   repro-serve [--threads N] [--cache N] [--queue N] [--socket PATH]
-//               [--fault-seed N] [--retries N] [--metrics-every N]
-//               [--obs-dir DIR]
+//               [--router N] [--fault-seed N] [--worker-kill-rate R]
+//               [--retries N] [--metrics-every N] [--obs-dir DIR]
 //
 // A `{"v":1,"health":true}` line returns a health snapshot instead of a
 // measurement; `{"v":1,"metrics":true}` returns a metrics-registry
@@ -14,6 +14,14 @@
 // experiment (DESIGN.md §9). `--fault-seed N` (default: REPRO_FAULT_SEED)
 // installs the deterministic fault plan with that seed — chaos mode,
 // DESIGN.md §12.
+//
+// `--router N` (DESIGN.md §14) forks N worker processes, each a private
+// Service on its own socketpair, and serves the same wire through the
+// consistent-hash shard router: responses are byte-identical to a single
+// worker, `{"v":1,"topology":true}` reports the hash ring, and
+// `{"v":1,"health":true}` reports tier-level health. With a fault plan,
+// `--worker-kill-rate R` arms worker-kill chaos (workers die mid-flight;
+// the router reroutes on the shrunk ring).
 //
 // `--metrics-every N` turns observability on and emits a JSONL metrics
 // snapshot after every N processed request lines — to stderr by default,
@@ -29,41 +37,29 @@
 // With --socket PATH it listens on a unix domain socket instead; each
 // connection is an independent JSONL stream with the same ordering
 // guarantee. All connections share one service (one cache, one queue).
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <deque>
+#include <fstream>
 #include <iostream>
 #include <memory>
-#include <mutex>
-#include <streambuf>
+#include <sstream>
 #include <string>
-#include <thread>
-#include <utility>
-#include <variant>
 #include <vector>
 
 #include <atomic>
-#include <fstream>
-#include <sstream>
 
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "repro/api.hpp"
 #include "serve/service.hpp"
-#include "serve/wire.hpp"
+#include "serve/stream.hpp"
+#include "shard/router.hpp"
+#include "shard/worker.hpp"
 
 namespace {
 
-using repro::serve::Response;
 using repro::serve::Service;
-using repro::serve::Status;
 
 // --metrics-every bookkeeping, shared by every stream (stdin or any
 // socket connection): one processed-line counter, one emission sequence.
@@ -99,189 +95,27 @@ struct MetricsExport {
 
 MetricsExport g_metrics_export;
 
-// One submitted line: a ticket still in flight, an immediate response
-// (parse errors resolve without touching the service), or a raw
-// pre-formatted line (health snapshots use their own wire encoding).
-using Slot = std::variant<Service::Ticket, Response, std::string>;
-
-Response invalid_response(std::uint64_t id, std::string error) {
-  Response response;
-  response.id = id;
-  response.status = Status::kInvalidRequest;
-  response.error = std::move(error);
-  return response;
+repro::serve::StreamHooks hooks() {
+  repro::serve::StreamHooks hooks;
+  hooks.on_line = [] { g_metrics_export.on_line(); };
+  return hooks;
 }
 
-// Reads JSONL requests from `in`, writes responses to `out` in request
-// order. Submission and output overlap: a writer thread drains slots FIFO
-// (Ticket::wait preserves order), so responses stream while later lines
-// are still being read.
-void serve_stream(Service& service, std::istream& in, std::ostream& out) {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<Slot> slots;
-  bool done = false;
-
-  std::thread writer([&] {
-    for (;;) {
-      Slot slot;
-      {
-        std::unique_lock lock(mutex);
-        cv.wait(lock, [&] { return done || !slots.empty(); });
-        if (slots.empty()) return;
-        slot = std::move(slots.front());
-        slots.pop_front();
-      }
-      if (std::holds_alternative<std::string>(slot)) {
-        out << std::get<std::string>(slot) << '\n';
-      } else {
-        const Response& response =
-            std::holds_alternative<Response>(slot)
-                ? std::get<Response>(slot)
-                : std::get<Service::Ticket>(slot).wait();
-        out << repro::serve::format_response_line(response) << '\n';
-      }
-      out.flush();
-    }
-  });
-
-  std::string line;
-  std::uint64_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) continue;
-    // Wire fault-injection site (DESIGN.md §12): inbound lines may be
-    // truncated or byte-corrupted by an installed plan. Mutated lines fall
-    // through the normal parser and resolve as structured kInvalidRequest
-    // responses (or, rarely, as a different-but-valid request) — the
-    // stream itself never desynchronizes.
-    line = repro::fault::filter_wire_line("inbound", line);
-    if (line.empty()) continue;  // truncated to nothing: like a blank line
-    Slot slot;
-    if (repro::serve::is_health_request(line)) {
-      slot = repro::serve::format_health_line(service.health());
-    } else if (repro::serve::is_metrics_request(line)) {
-      slot = repro::serve::format_metrics_line(
-          repro::obs::Registry::instance().snapshot());
-    } else if (repro::serve::is_attribution_request(line)) {
-      // Attribution runs synchronously on the reader thread: it is a
-      // monitoring/analysis endpoint, and computing it inline keeps the
-      // response-in-request-order guarantee without a ticket type.
-      repro::v1::ExperimentRequest request;
-      std::string error;
-      if (repro::serve::parse_attribution_request(line, request, error)) {
-        const Service::AttributionResult result = service.attribute(request);
-        slot = result.status == Status::kOk
-                   ? repro::serve::format_attribution_line(result.key,
-                                                           result.table)
-                   : repro::serve::format_attribution_error_line(
-                         result.status, result.key, result.error);
-      } else {
-        slot = repro::serve::format_attribution_error_line(
-            Status::kInvalidRequest, "", error);
-      }
-    } else {
-      repro::v1::ExperimentRequest request;
-      std::string error;
-      if (repro::serve::parse_request_line(line, request, error)) {
-        if (request.id == 0) request.id = line_number;
-        slot = service.submit(std::move(request));
-      } else {
-        slot = invalid_response(line_number, std::move(error));
-      }
-    }
-    {
-      std::lock_guard lock(mutex);
-      slots.push_back(std::move(slot));
-    }
-    cv.notify_one();
-    g_metrics_export.on_line();
-  }
-  {
-    std::lock_guard lock(mutex);
-    done = true;
-  }
-  cv.notify_one();
-  writer.join();
-}
-
-// Minimal streambuf over a socket fd so the shared serve_stream loop can
-// read requests and flush responses incrementally — a client that keeps
-// its connection open sees each response as soon as it resolves. One
-// FdBuf per direction; the reader and writer threads never share one.
-class FdBuf : public std::streambuf {
- public:
-  explicit FdBuf(int fd) : fd_(fd) { setg(in_, in_, in_); }
-
- protected:
-  int_type underflow() override {
-    const ssize_t n = ::read(fd_, in_, sizeof in_);
-    if (n <= 0) return traits_type::eof();
-    setg(in_, in_, in_ + n);
-    return traits_type::to_int_type(in_[0]);
-  }
-  int_type overflow(int_type ch) override {
-    if (traits_type::eq_int_type(ch, traits_type::eof())) {
-      return traits_type::not_eof(ch);
-    }
-    const char c = traits_type::to_char_type(ch);
-    return write_all(&c, 1) ? ch : traits_type::eof();
-  }
-  std::streamsize xsputn(const char* s, std::streamsize n) override {
-    return write_all(s, static_cast<std::size_t>(n)) ? n : 0;
-  }
-
- private:
-  bool write_all(const char* data, std::size_t size) {
-    std::size_t off = 0;
-    while (off < size) {
-      const ssize_t wrote = ::write(fd_, data + off, size - off);
-      if (wrote <= 0) return false;
-      off += static_cast<std::size_t>(wrote);
-    }
-    return true;
-  }
-
-  int fd_;
-  char in_[4096];
-};
-
-int serve_socket(Service& service, const std::string& path) {
-  ::unlink(path.c_str());
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("repro-serve: socket");
-    return 1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof addr.sun_path) {
-    std::fprintf(stderr, "repro-serve: socket path too long: %s\n",
-                 path.c_str());
-    return 1;
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(listener, 16) != 0) {
-    std::perror("repro-serve: bind/listen");
-    ::close(listener);
-    return 1;
-  }
-  std::fprintf(stderr, "repro-serve: listening on %s\n", path.c_str());
-  for (;;) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) break;
-    std::thread([&service, fd] {
-      FdBuf inbuf(fd), outbuf(fd);
-      std::istream in(&inbuf);
-      std::ostream out(&outbuf);
-      serve_stream(service, in, out);
-      ::close(fd);
-    }).detach();
-  }
-  ::close(listener);
-  return 0;
+// Router front over stdin/stdout: same shape as serve_stream, but lines
+// route through the shard tier.
+void route_stdio(repro::shard::Router& router) {
+  router.route_lines(
+      [&](std::string& line) {
+        if (!std::getline(std::cin, line)) return false;
+        if (std::cin.eof() && !line.empty()) return false;  // mid-line EOF
+        return true;
+      },
+      [&](const std::string& line) {
+        std::cout << line << '\n';
+        std::cout.flush();
+        return std::cout.good();
+      },
+      hooks());
 }
 
 }  // namespace
@@ -289,6 +123,8 @@ int serve_socket(Service& service, const std::string& path) {
 int main(int argc, char** argv) {
   Service::Options options;
   std::string socket_path;
+  int router_workers = 0;
+  double worker_kill_rate = 0.0;
   std::uint64_t fault_seed = repro::Options::global().fault_seed;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -307,10 +143,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--socket") {
       if (const char* v = next()) socket_path = v;
+    } else if (arg == "--router") {
+      if (const char* v = next()) router_workers = std::atoi(v);
     } else if (arg == "--fault-seed") {
       if (const char* v = next()) {
         fault_seed = std::strtoull(v, nullptr, 10);
       }
+    } else if (arg == "--worker-kill-rate") {
+      if (const char* v = next()) worker_kill_rate = std::atof(v);
     } else if (arg == "--retries") {
       if (const char* v = next()) options.max_retries = std::atoi(v);
     } else if (arg == "--metrics-every") {
@@ -322,9 +162,24 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: repro-serve [--threads N] [--cache N] [--queue N] "
-                   "[--socket PATH] [--fault-seed N] [--retries N] "
+                   "[--socket PATH] [--router N] [--fault-seed N] "
+                   "[--worker-kill-rate R] [--retries N] "
                    "[--metrics-every N] [--obs-dir DIR]\n");
       return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  // Workers fork before anything else: fork() and threads do not mix, and
+  // both the Service and the Router start threads. Children inherit no
+  // fault plan — chaos stays a router-side decision.
+  std::vector<repro::shard::WorkerProcess> worker_processes;
+  if (router_workers > 0) {
+    worker_processes =
+        repro::shard::spawn_worker_processes(router_workers, options);
+    if (worker_processes.size() != static_cast<std::size_t>(router_workers)) {
+      std::fprintf(stderr, "repro-serve: failed to spawn %d workers\n",
+                   router_workers);
+      return 1;
     }
   }
 
@@ -340,14 +195,41 @@ int main(int argc, char** argv) {
   if (fault_seed != 0) {
     repro::fault::PlanOptions plan_options;
     plan_options.seed = fault_seed;
+    plan_options.worker_rate = worker_kill_rate;
     fault_plan = std::make_unique<repro::fault::FaultPlan>(plan_options);
     fault_scope = std::make_unique<repro::fault::ScopedPlan>(fault_plan.get());
     std::fprintf(stderr, "repro-serve: fault plan active, seed %llu\n",
                  static_cast<unsigned long long>(fault_seed));
   }
 
+  if (!worker_processes.empty()) {
+    int exit_code = 0;
+    {
+      std::vector<repro::shard::WorkerEndpoint> endpoints;
+      for (const repro::shard::WorkerProcess& worker : worker_processes) {
+        endpoints.push_back(repro::shard::endpoint_for(worker));
+      }
+      repro::shard::Router router(repro::shard::Router::Options{},
+                                  std::move(endpoints));
+      std::fprintf(stderr, "repro-serve: routing across %zu workers\n",
+                   worker_processes.size());
+      if (!socket_path.empty()) {
+        // Router + socket listener: each connection routes independently.
+        exit_code = repro::serve::serve_unix_listener_with(
+            socket_path, [&](int fd) { router.route_fd(fd, hooks()); });
+      } else {
+        route_stdio(router);
+      }
+      router.drain();
+    }
+    repro::shard::reap_workers(worker_processes);
+    return exit_code;
+  }
+
   repro::serve::Service service(options);
-  if (!socket_path.empty()) return serve_socket(service, socket_path);
-  serve_stream(service, std::cin, std::cout);
+  if (!socket_path.empty()) {
+    return repro::serve::serve_unix_listener(service, socket_path, hooks());
+  }
+  repro::serve::serve_stream(service, std::cin, std::cout, hooks());
   return 0;
 }

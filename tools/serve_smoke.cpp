@@ -1,38 +1,49 @@
 // Multi-client smoke driver for the characterization service.
 //
-//   serve_smoke [--clients K] [--direct]
+//   serve_smoke [--clients K] [--direct] [--router N] [--sampled]
+//               [--fault-seed S] [--worker-kill-rate R]
 //
 // Runs a canned 30-request batch (the 10 golden-slice experiments, each
-// requested three times) against an in-process Service from K concurrent
-// client threads, then prints one canonical line per request in request
-// order. With --direct the same batch is answered by a plain v1::Session
-// instead — no service, no cache, no queue.
+// requested three times; --sampled appends a fourth, sampled round with
+// CI fields) against an in-process Service from K concurrent client
+// threads, then prints one canonical line per request in request order.
+// With --direct the same batch is answered by a plain v1::Session instead
+// — no service, no cache, no queue. With --router N the batch goes
+// through the consistent-hash shard tier across N forked worker
+// processes (DESIGN.md §14); --fault-seed plus --worker-kill-rate arms
+// seeded worker-kill chaos on that tier.
 //
 // The output deliberately omits transport detail (cached flags, queue
 // stats): it is exactly the request id, the experiment key and the %.17g
 // metrics. scripts/ci.sh diffs the service output at several client counts
-// against the --direct output; any byte difference is a determinism bug.
-// Exits nonzero when any request resolves to a non-ok status or leaves no
-// response line — an ERROR line in otherwise-diffable output must never
-// pass a pipeline that only checks the exit code.
+// — and the 4-worker sharded output — against the --direct output; any
+// byte difference is a determinism bug. In router mode the metric bytes
+// are extracted from the wire response as substrings, never re-parsed
+// through a double round-trip. Exits nonzero when any request resolves to
+// a non-ok status or leaves no response line — an ERROR line in otherwise-
+// diffable output must never pass a pipeline that only checks exit codes.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "repro/api.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
+#include "shard/router.hpp"
+#include "shard/worker.hpp"
 
 namespace {
 
 using repro::v1::ExperimentRequest;
 using repro::v1::MeasurementResult;
 
-std::vector<ExperimentRequest> canned_batch() {
+std::vector<ExperimentRequest> canned_batch(bool sampled) {
   struct Entry {
     const char* program;
     std::size_t input;
@@ -57,13 +68,35 @@ std::vector<ExperimentRequest> canned_batch() {
       batch.push_back(std::move(request));
     }
   }
+  if (sampled) {
+    // Round 4: the same slice through the sampled pipeline. Sampled
+    // results are a pure function of the request (mode, fraction, seed),
+    // so these lines byte-diff across direct / service / sharded runs
+    // exactly like the exact rounds — now with CI fields.
+    std::size_t index = 0;
+    for (const Entry& e : kSlice) {
+      ExperimentRequest request;
+      request.program = e.program;
+      request.input_index = e.input;
+      request.config = e.config;
+      request.id = batch.size() + 1;
+      request.sampling.mode = index % 2 == 0
+                                  ? repro::v1::SamplingMode::kStratified
+                                  : repro::v1::SamplingMode::kSystematic;
+      request.sampling.fraction = 0.5;
+      request.sampling.target_rel_error = 0.0;
+      request.sampling.seed = 1234 + index;
+      ++index;
+      batch.push_back(std::move(request));
+    }
+  }
   return batch;
 }
 
 std::string format_line(const ExperimentRequest& request,
                         const MeasurementResult& r) {
-  char line[512];
-  std::snprintf(
+  char line[768];
+  int n = std::snprintf(
       line, sizeof line,
       "id=%llu %s usable=%d time_s=%.17g energy_j=%.17g power_w=%.17g "
       "true_active_s=%.17g time_spread=%.17g energy_spread=%.17g",
@@ -73,27 +106,112 @@ std::string format_line(const ExperimentRequest& request,
           .c_str(),
       r.usable ? 1 : 0, r.time_s, r.energy_j, r.power_w, r.true_active_s,
       r.time_spread, r.energy_spread);
+  if (r.sampled && n > 0 && static_cast<std::size_t>(n) < sizeof line) {
+    std::snprintf(
+        line + n, sizeof line - static_cast<std::size_t>(n),
+        " sampled=1 sample_fraction=%.17g time_ci_low=%.17g "
+        "time_ci_high=%.17g energy_ci_low=%.17g energy_ci_high=%.17g "
+        "power_ci_low=%.17g power_ci_high=%.17g",
+        r.sample_fraction, r.time_ci.low, r.time_ci.high, r.energy_ci.low,
+        r.energy_ci.high, r.power_ci.low, r.power_ci.high);
+  }
   return line;
+}
+
+// Value substring of `name` in a flat JSON wire line, bytes untouched
+// (strings are returned without their quotes). False when absent.
+bool json_field(const std::string& line, const std::string& name,
+                std::string& out) {
+  const std::string marker = "\"" + name + "\":";
+  const std::size_t pos = line.find(marker);
+  if (pos == std::string::npos) return false;
+  std::size_t start = pos + marker.size();
+  if (start >= line.size()) return false;
+  std::size_t end;
+  if (line[start] == '"') {
+    ++start;
+    end = line.find('"', start);
+  } else {
+    end = line.find_first_of(",}", start);
+  }
+  if (end == std::string::npos) return false;
+  out = line.substr(start, end - start);
+  return true;
+}
+
+// Canonical line from a wire response: the %.17g metric bytes are lifted
+// verbatim from the JSON, so the comparison against --direct is exact.
+bool canonicalize_response(const std::string& response, std::string& out) {
+  std::string status;
+  if (!json_field(response, "status", status) || status != "ok") return false;
+  std::string id, key, usable, value;
+  if (!json_field(response, "id", id) || !json_field(response, "key", key) ||
+      !json_field(response, "usable", usable)) {
+    return false;
+  }
+  out = "id=" + id + " " + key + " usable=" + (usable == "true" ? "1" : "0");
+  static constexpr const char* kMetrics[] = {
+      "time_s",      "energy_j",    "power_w",
+      "true_active_s", "time_spread", "energy_spread",
+  };
+  for (const char* name : kMetrics) {
+    if (!json_field(response, name, value)) return false;
+    out += ' ';
+    out += name;
+    out += '=';
+    out += value;
+  }
+  std::string sampled;
+  if (json_field(response, "sampled", sampled) && sampled == "true") {
+    static constexpr const char* kCiFields[] = {
+        "sample_fraction", "time_ci_low",  "time_ci_high", "energy_ci_low",
+        "energy_ci_high",  "power_ci_low", "power_ci_high",
+    };
+    out += " sampled=1";
+    for (const char* name : kCiFields) {
+      if (!json_field(response, name, value)) return false;
+      out += ' ';
+      out += name;
+      out += '=';
+      out += value;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int clients = 2;
+  int router_workers = 0;
   bool direct = false;
+  bool sampled = false;
+  std::uint64_t fault_seed = 0;
+  double worker_kill_rate = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--router") == 0 && i + 1 < argc) {
+      router_workers = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--direct") == 0) {
       direct = true;
+    } else if (std::strcmp(argv[i], "--sampled") == 0) {
+      sampled = true;
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--worker-kill-rate") == 0 &&
+               i + 1 < argc) {
+      worker_kill_rate = std::atof(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: serve_smoke [--clients K] [--direct]\n");
+      std::fprintf(stderr,
+                   "usage: serve_smoke [--clients K] [--direct] [--router N] "
+                   "[--sampled] [--fault-seed S] [--worker-kill-rate R]\n");
       return 2;
     }
   }
   if (clients < 1) clients = 1;
 
-  const std::vector<ExperimentRequest> batch = canned_batch();
+  const std::vector<ExperimentRequest> batch = canned_batch(sampled);
   std::vector<std::string> lines(batch.size());
   std::atomic<std::size_t> errors{0};
 
@@ -102,6 +220,74 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       lines[i] = format_line(batch[i], session.measure(batch[i]));
     }
+  } else if (router_workers > 0) {
+    // Workers fork before any thread exists in this process (the Router
+    // and the client pool both start threads — spawn first).
+    const std::vector<repro::shard::WorkerProcess> processes =
+        repro::shard::spawn_worker_processes(router_workers,
+                                             repro::serve::Service::Options{});
+    if (processes.size() != static_cast<std::size_t>(router_workers)) {
+      std::fprintf(stderr, "serve_smoke: failed to spawn %d workers\n",
+                   router_workers);
+      return 1;
+    }
+    // Seeded worker-kill chaos (all other fault sites stay at rate 0, so
+    // the measured bytes are the fault-free bytes — a killed worker's
+    // requests reroute and recompute deterministically).
+    std::unique_ptr<repro::fault::FaultPlan> plan;
+    std::unique_ptr<repro::fault::ScopedPlan> scope;
+    if (fault_seed != 0) {
+      repro::fault::PlanOptions plan_options;
+      plan_options.seed = fault_seed;
+      plan_options.scheduler_rate = 0.0;
+      plan_options.sensor_rate = 0.0;
+      plan_options.wire_rate = 0.0;
+      plan_options.cache_rate = 0.0;
+      plan_options.worker_rate = worker_kill_rate;
+      plan = std::make_unique<repro::fault::FaultPlan>(plan_options);
+      scope = std::make_unique<repro::fault::ScopedPlan>(plan.get());
+      std::fprintf(stderr,
+                   "serve_smoke: worker-kill plan active, seed %llu rate %g\n",
+                   static_cast<unsigned long long>(fault_seed),
+                   worker_kill_rate);
+    }
+    {
+      std::vector<repro::shard::WorkerEndpoint> endpoints;
+      for (const repro::shard::WorkerProcess& process : processes) {
+        endpoints.push_back(repro::shard::endpoint_for(process));
+      }
+      repro::shard::Router router(repro::shard::Router::Options{},
+                                  std::move(endpoints));
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+          for (std::size_t i = static_cast<std::size_t>(c); i < batch.size();
+               i += static_cast<std::size_t>(clients)) {
+            const std::string response = router.route_line(
+                repro::serve::format_request_line(batch[i]), batch[i].id);
+            if (!canonicalize_response(response, lines[i])) {
+              lines[i] = "id=" + std::to_string(batch[i].id) + " ERROR " +
+                         response;
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      router.drain();
+      const repro::serve::RouterHealth health = router.health();
+      std::fprintf(stderr,
+                   "serve_smoke: router %zu/%zu workers alive, %llu routed, "
+                   "%llu rerouted, %llu kills, %llu handoffs, %llu failed\n",
+                   health.alive, health.workers,
+                   static_cast<unsigned long long>(health.routed),
+                   static_cast<unsigned long long>(health.rerouted),
+                   static_cast<unsigned long long>(health.worker_kills),
+                   static_cast<unsigned long long>(health.handoff_keys),
+                   static_cast<unsigned long long>(health.failed));
+    }
+    repro::shard::reap_workers(processes);
   } else {
     repro::serve::Service service;
     std::vector<std::thread> workers;
