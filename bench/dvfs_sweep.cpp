@@ -1,0 +1,329 @@
+// DVFS sweep gate (DESIGN.md §15). The continuous-grid recommender only
+// earns its keep if sweeping the plane is much cheaper than brute force
+// while recommending an equally good operating point. Checked end to end
+// and emitted as a flat JSON artifact (REPRO_BENCH_JSON, scripts/ci.sh
+// writes BENCH_dvfs.json):
+//
+//   1. fidelity — for every program in the slice and every objective
+//      (min_energy, min_edp, min_ed2p, perf_cap), the point the
+//      analytically-pruned sampled sweep recommends delivers, on EXACT
+//      measurements, an objective value equal to the exact exhaustive
+//      optimum up to the sampler's own STATED confidence at the chosen
+//      point, amplified through the objective (energy 1x the energy
+//      half-width; EDP adds 1x, ED^2 P 2x the time half-width; both
+//      endpoints of the comparison contribute). Regret bounded by stated
+//      error, not name equality: adjacent grid points of a flat objective
+//      are interchangeable outcomes, and no sampled estimator can order
+//      points tighter than the intervals it reports — which the sampling
+//      gate (bench_sampling) separately pins at <= 5% median;
+//   2. speed — with warm traces the pruned sampled sweep of the
+//      (core, mem) plane is >= 5x cheaper (wall clock) than the exact
+//      exhaustive sweep.
+//
+// White-box by design (drives dvfs::run_sweep against core::Study
+// directly: the speedup claim is about the sweep's projection +
+// measurement work, not trace construction, which both paths share).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "dvfs/dvfs.hpp"
+#include "repro/api.hpp"
+#include "sample/sample.hpp"
+#include "sim/gpuconfig.hpp"
+#include "suites/factories.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct SliceEntry {
+  const char* program;
+  std::size_t input;
+};
+
+// Compute-bound, memory-bound, balanced and irregular representatives:
+// the sweet spot moves across this slice, so outcome equality is not
+// vacuous.
+constexpr SliceEntry kSlice[4] = {
+    {"SGEMM", 0}, {"LBM", 0}, {"BP", 0}, {"L-BFS", 2}};
+
+constexpr dvfs::Objective kObjectives[4] = {
+    dvfs::Objective::kMinEnergy, dvfs::Objective::kMinEdp,
+    dvfs::Objective::kMinEd2p, dvfs::Objective::kPerfCap};
+
+constexpr double kPerfCapRel = 1.10;
+constexpr double kMinSpeedup = 5.0;
+
+}  // namespace
+
+int main() {
+  suites::register_all_workloads();
+
+  // The full plane: the paper's core DVFS range crossed with both memory
+  // clocks. The low-memory half is where brute force bleeds (memory-bound
+  // programs run many times longer there) and where the analytic
+  // projection prunes hardest.
+  dvfs::SweepSettings exact_settings;
+  exact_settings.grid.core = {324.0, 705.0, 25.0};
+  exact_settings.grid.mem = {324.0, 2600.0, 2276.0};
+  exact_settings.prune = false;  // exhaustive: measure every grid point
+  dvfs::SweepSettings pruned_settings = exact_settings;
+  pruned_settings.prune = true;
+  pruned_settings.prune_margin = 0.06;
+
+  sample::SampleOptions sampling;
+  sampling.mode = sample::Mode::kStratified;
+  sampling.fraction = 0.10;
+
+  // Both paths share trace construction; prewarm every grid point's trace
+  // so the timed comparison isolates the sweep itself (analytic pass +
+  // measurements). Wall-clock noise is real at these scales, so each arm
+  // is timed kTimingReps times and the minimum wins; exact measurements
+  // are cached per study, so every exact repetition gets its own
+  // (trace-warm, result-cold) study, while sampled runs recompute every
+  // time and can share one.
+  constexpr int kTimingReps = 5;
+  core::Study exact_studies[kTimingReps];
+  core::Study sampled_study;
+  const std::vector<sim::GpuConfig> grid =
+      dvfs::make_grid(exact_settings.grid);
+  for (const SliceEntry& entry : kSlice) {
+    const workloads::Workload* w =
+        workloads::Registry::instance().find(entry.program);
+    if (w == nullptr) {
+      std::printf("FAIL: unknown program %s\n", entry.program);
+      return 1;
+    }
+    for (const sim::GpuConfig& config : grid) {
+      for (core::Study& study : exact_studies) {
+        study.trace_result(*w, entry.input, config);
+      }
+      sampled_study.trace_result(*w, entry.input, config);
+    }
+  }
+
+  double exact_s = 0.0, sweep_s = 0.0;
+  std::size_t measured_exact = 0, measured_pruned = 0, pruned_points = 0;
+  double worst_regret = 0.0;
+  int violations = 0;
+  std::printf(
+      "dvfs sweep gate: %zu-point (core, mem) grid, %zu programs x %zu "
+      "objectives\n",
+      grid.size(), std::size(kSlice), std::size(kObjectives));
+  for (const SliceEntry& entry : kSlice) {
+    const workloads::Workload& w =
+        *workloads::Registry::instance().find(entry.program);
+
+    dvfs::Sweep exhaustive, pruned;
+    double best_exact_s = 0.0, best_sweep_s = 0.0;
+    for (int rep = 0; rep < kTimingReps; ++rep) {
+      core::Study& exact_study = exact_studies[rep];
+      const auto t0 = std::chrono::steady_clock::now();
+      dvfs::Sweep ex = dvfs::run_sweep(
+          exact_study, w, entry.input, exact_settings,
+          [&](const sim::GpuConfig& config, dvfs::PointStatus&) {
+            sample::SampledResult r;
+            r.base = exact_study.measure(w, entry.input, config);
+            return r;
+          });
+      const auto t1 = std::chrono::steady_clock::now();
+      dvfs::Sweep pr = dvfs::run_sweep(
+          sampled_study, w, entry.input, pruned_settings,
+          [&](const sim::GpuConfig& config, dvfs::PointStatus&) {
+            return sample::measure_sampled(sampled_study, w, entry.input,
+                                           config, sampling);
+          });
+      const auto t2 = std::chrono::steady_clock::now();
+      const double rep_exact = std::chrono::duration<double>(t1 - t0).count();
+      const double rep_sweep = std::chrono::duration<double>(t2 - t1).count();
+      // Every repetition is deterministic and identical; keep the first
+      // sweep pair for fidelity and the fastest time per arm.
+      if (rep == 0) {
+        exhaustive = std::move(ex);
+        pruned = std::move(pr);
+        best_exact_s = rep_exact;
+        best_sweep_s = rep_sweep;
+      } else {
+        best_exact_s = std::min(best_exact_s, rep_exact);
+        best_sweep_s = std::min(best_sweep_s, rep_sweep);
+      }
+    }
+    exact_s += best_exact_s;
+    sweep_s += best_sweep_s;
+    measured_exact += exhaustive.measured;
+    measured_pruned += pruned.measured;
+    pruned_points += pruned.pruned;
+
+    // Fidelity: score the pruned sweep's choice on the EXACT measurements
+    // (point i of both sweeps is the same grid point by construction).
+    const std::vector<dvfs::MetricPoint> exact_metrics =
+        dvfs::metric_points(exhaustive);
+    const std::vector<dvfs::MetricPoint> pruned_metrics =
+        dvfs::metric_points(pruned);
+    for (const dvfs::Objective objective : kObjectives) {
+      const dvfs::Choice want =
+          dvfs::pick(exact_metrics, objective, kPerfCapRel);
+      const dvfs::Choice got =
+          dvfs::pick(pruned_metrics, objective, kPerfCapRel);
+      if (want.index < 0 || got.index < 0) {
+        std::printf("  %-6s %-10s FAIL: no recommendation (exhaustive %d, "
+                    "pruned %d)\n",
+                    entry.program,
+                    std::string(dvfs::to_string(objective)).c_str(),
+                    want.index, got.index);
+        ++violations;
+        continue;
+      }
+      const dvfs::MetricPoint& chosen =
+          exact_metrics[static_cast<std::size_t>(got.index)];
+      const double exact_at_chosen =
+          dvfs::objective_value(objective, chosen.time_s, chosen.energy_j);
+      const double regret =
+          want.value > 0.0 ? exact_at_chosen / want.value - 1.0 : 0.0;
+
+      // The tightest claim a sampled sweep can make: the chosen point's
+      // objective is within its stated 95% interval of the optimum's.
+      // Amplify per-metric half-widths through the objective (EDP adds
+      // one time half-width, ED^2 P two) and count both comparison
+      // endpoints. A passthrough point states zero width and is held to
+      // exact equality.
+      const auto rel_half_width = [](const sample::Interval& ci,
+                                     double estimate) {
+        return estimate > 0.0 ? 0.5 * (ci.high - ci.low) / estimate : 0.0;
+      };
+      const auto objective_err = [&](const dvfs::Point& point) {
+        const double hw_t =
+            rel_half_width(point.result.time_ci, point.result.base.time_s);
+        const double hw_e =
+            rel_half_width(point.result.energy_ci, point.result.base.energy_j);
+        switch (objective) {
+          case dvfs::Objective::kMinEdp: return hw_e + hw_t;
+          case dvfs::Objective::kMinEd2p: return hw_e + 2.0 * hw_t;
+          default: return hw_e;  // energy-valued objectives
+        }
+      };
+      const dvfs::Point& got_point =
+          pruned.points[static_cast<std::size_t>(got.index)];
+      const dvfs::Point& want_in_pruned =
+          pruned.points[static_cast<std::size_t>(want.index)];
+      double bound = objective_err(got_point);
+      // The optimum's endpoint: its own stated error when the pruned
+      // sweep measured it, the pruning margin's analytic allowance when
+      // it was dominance-pruned before measurement.
+      bound += want_in_pruned.measured
+                   ? objective_err(want_in_pruned)
+                   : pruned_settings.prune_margin;
+      const bool cap_ok =
+          objective != dvfs::Objective::kPerfCap ||
+          chosen.time_s <=
+              want.cap_time_s *
+                  (1.0 + rel_half_width(got_point.result.time_ci,
+                                        got_point.result.base.time_s));
+      // perf_cap can flip on feasibility rather than ordering: the exact
+      // optimum's sampled time landed above the sampled run's cap, so the
+      // sampled sweep never compared energies against it, and being forced
+      // up the frequency ladder costs energy out of proportion to the time
+      // error. The exclusion is consistent with the stated confidence when
+      // the overshoot is covered by the time half-widths of the optimum
+      // and of the cap-setting (sampled-fastest) point; the chosen point
+      // is then judged by its own cap check alone.
+      bool cap_borderline = false;
+      if (objective == dvfs::Objective::kPerfCap && want_in_pruned.measured) {
+        const dvfs::MetricPoint& want_m =
+            pruned_metrics[static_cast<std::size_t>(want.index)];
+        if (want_m.usable && want_m.time_s > got.cap_time_s) {
+          double hw_cap = 0.0;
+          double fastest = std::numeric_limits<double>::infinity();
+          for (std::size_t i = 0; i < pruned_metrics.size(); ++i) {
+            if (!pruned_metrics[i].usable ||
+                pruned_metrics[i].time_s >= fastest) {
+              continue;
+            }
+            fastest = pruned_metrics[i].time_s;
+            hw_cap = rel_half_width(pruned.points[i].result.time_ci,
+                                    pruned.points[i].result.base.time_s);
+          }
+          const double hw_want =
+              rel_half_width(want_in_pruned.result.time_ci,
+                             want_in_pruned.result.base.time_s);
+          cap_borderline = want_m.time_s * (1.0 - hw_want) <=
+                           got.cap_time_s * (1.0 + hw_cap);
+        }
+      }
+      if (regret > worst_regret) worst_regret = regret;
+      const bool ok = (regret <= bound + 1e-12 || cap_borderline) && cap_ok;
+      if (!ok) ++violations;
+      std::printf(
+          "  %-6s %-10s exhaustive %-14s pruned+sampled %-14s regret "
+          "%+5.2f%% (stated bound %.2f%%)%s%s%s\n",
+          entry.program, std::string(dvfs::to_string(objective)).c_str(),
+          exhaustive.points[static_cast<std::size_t>(want.index)]
+              .config.name.c_str(),
+          got_point.config.name.c_str(), 100.0 * regret, 100.0 * bound,
+          cap_borderline && regret > bound ? " (cap-borderline)" : "",
+          cap_ok ? "" : " CAP-VIOLATION", ok ? "" : " FAIL");
+    }
+  }
+
+  const double speedup = sweep_s > 0.0 ? exact_s / sweep_s : 0.0;
+  std::printf(
+      "  exhaustive %zu measurements in %.0f ms; pruned+sampled %zu "
+      "measurements (%zu pruned) in %.0f ms: %.2fx\n",
+      measured_exact, 1e3 * exact_s, measured_pruned, pruned_points,
+      1e3 * sweep_s, speedup);
+
+  const std::string& json_path = Options::global().bench_json;
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"grid_points\": %zu,\n"
+                 "  \"programs\": %zu,\n"
+                 "  \"objectives\": %zu,\n"
+                 "  \"measured_exhaustive\": %zu,\n"
+                 "  \"measured_pruned_sampled\": %zu,\n"
+                 "  \"pruned_points\": %zu,\n"
+                 "  \"worst_regret\": %.5f,\n"
+                 "  \"regret_violations\": %d,\n"
+                 "  \"exhaustive_ms\": %.3f,\n"
+                 "  \"pruned_sampled_ms\": %.3f,\n"
+                 "  \"speedup\": %.3f\n"
+                 "}\n",
+                 grid.size(), std::size(kSlice), std::size(kObjectives),
+                 measured_exact, measured_pruned, pruned_points, worst_regret,
+                 violations, 1e3 * exact_s, 1e3 * sweep_s, speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  int rc = 0;
+  if (violations > 0) {
+    std::printf(
+        "FAIL: %d recommendation(s) exceed their stated-confidence regret "
+        "bound\n",
+        violations);
+    rc = 1;
+  }
+  if (speedup < kMinSpeedup) {
+    std::printf("FAIL: sweep speedup %.2fx below the %.1fx floor\n", speedup,
+                kMinSpeedup);
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf(
+        "PASS: all recommendations within stated confidence (worst regret "
+        "%.2f%%), %.2fx >= %.1fx\n",
+        100.0 * worst_regret, speedup, kMinSpeedup);
+  }
+  return rc;
+}

@@ -129,7 +129,34 @@ int main(int argc, char** argv) {
   std::printf(
       "R6  'Repeat experiments at different frequency settings.'\n"
       "    %d irregular program-inputs invert or reshape their behaviour\n"
-      "    between the 614 and 324 comparisons.\n",
+      "    between the 614 and 324 comparisons.\n\n",
       sign_changes);
+
+  // R6, automated: instead of the paper's four fixed configurations,
+  // optimize over the continuous DVFS plane. The recommended operating
+  // point differs per program and per objective — which is exactly why
+  // findings must be re-checked across frequency settings.
+  std::printf(
+      "    Automated over the DVFS plane (Session::recommend, core clock\n"
+      "    324-705 MHz at 2.6 GHz memory):\n");
+  std::printf("    %-8s %14s %14s %14s\n", "", "min_energy", "min_edp",
+              "perf_cap");
+  for (const char* program : {"SGEMM", "LBM", "BP", "L-BFS"}) {
+    std::printf("    %-8s", program);
+    for (const v1::Objective objective :
+         {v1::Objective::kMinEnergy, v1::Objective::kMinEdp,
+          v1::Objective::kPerfCap}) {
+      v1::RecommendOptions ropt;
+      ropt.objective = objective;
+      ropt.sweep.core_mhz = {324.0, 705.0, 95.0};
+      const v1::Recommendation rec = session.recommend(program, 0, ropt);
+      if (rec.ok) {
+        std::printf(" %10.0f MHz", rec.config.core_mhz);
+      } else {
+        std::printf(" %14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
   return 0;
 }

@@ -1,11 +1,11 @@
-// DVFS sweep: user-defined frequency sweep beyond the paper's four
-// configurations. Shows how to construct custom GpuConfigSpec operating
-// points and explore the energy/performance trade-off of one program -
-// the "repeat experiments at different frequency settings" recommendation
-// of paper §VI.
+// DVFS sweep: operating points as first-class API currency. Sweeps the
+// (core, mem) frequency plane of one program through Session::sweep —
+// analytic V^2 f projection, dominance pruning, sampled measurement of
+// the survivors — then asks Session::recommend for the sweet spot under
+// each objective: the "repeat experiments at different frequency
+// settings" recommendation of paper §VI, automated.
 #include <cstdio>
 #include <cstdlib>
-#include <string>
 
 #include "repro/api.hpp"
 
@@ -19,28 +19,62 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
 
-  // Sweep the core clock at full memory speed, with a simple linear
-  // voltage/frequency rule anchored at the paper's operating points. Each
-  // operating point gets a distinct name - the name identifies the point
-  // in the session's result cache.
-  std::printf("%s: core-clock sweep at 2.6 GHz memory clock\n\n", program);
-  std::printf("%8s %10s %12s %12s %10s %14s\n", "core", "volt", "time [s]",
-              "energy [J]", "power [W]", "energy*delay");
-  for (double core = 705.0; core >= 324.0; core -= 54.0) {
-    v1::GpuConfigSpec config;
-    config.name = "sweep-" + std::to_string(static_cast<int>(core));
-    config.core_mhz = core;
-    config.mem_mhz = 2600.0;
-    config.core_voltage = 0.78 + 0.22 * (core / 705.0);
-    const v1::MeasurementResult r = session.measure(program, 0, config);
-    if (!r.usable) {
-      std::printf("%8.0f %10.3f %12s %12s %10s %14s\n", core,
-                  config.core_voltage, "-", "-", "-", "-");
+  // Default grid: core clock 324..705 MHz in 50 MHz steps at the full
+  // 2.6 GHz memory clock, voltages interpolated through the paper's
+  // operating points, analytically dominated points pruned unmeasured.
+  v1::SweepOptions options;
+  const v1::SweepResult sweep = session.sweep(program, 0, options);
+
+  std::printf("%s: %zu grid points, %zu pruned analytically, %zu measured\n\n",
+              program, sweep.grid_points, sweep.pruned, sweep.measured);
+  std::printf("%-14s %6s %6s %10s  %21s %21s\n", "", "core", "volt", "", "—analytic—",
+              "—measured—");
+  std::printf("%-14s %6s %6s %10s %10s %10s %10s %10s  %s\n", "config", "[MHz]",
+              "[V]", "", "time [s]", "energy [J]", "time [s]", "energy [J]",
+              "");
+  for (const v1::SweepPoint& point : sweep.points) {
+    if (point.pruned) {
+      std::printf("%-14s %6.0f %6.3f %10s %10.2f %10.1f %10s %10s  pruned\n",
+                  point.config.name.c_str(), point.config.core_mhz,
+                  point.config.core_voltage, "", point.analytic_time_s,
+                  point.analytic_energy_j, "-", "-");
       continue;
     }
-    std::printf("%8.0f %10.3f %12.2f %12.1f %10.1f %14.1f\n", core,
-                config.core_voltage, r.time_s, r.energy_j, r.power_w,
-                r.energy_j * r.time_s);
+    if (!point.result.usable) {
+      std::printf("%-14s %6.0f %6.3f %10s %10.2f %10.1f %10s %10s  unusable\n",
+                  point.config.name.c_str(), point.config.core_mhz,
+                  point.config.core_voltage, "", point.analytic_time_s,
+                  point.analytic_energy_j, "-", "-");
+      continue;
+    }
+    std::printf("%-14s %6.0f %6.3f %10s %10.2f %10.1f %10.2f %10.1f  %s\n",
+                point.config.name.c_str(), point.config.core_mhz,
+                point.config.core_voltage, "", point.analytic_time_s,
+                point.analytic_energy_j, point.result.time_s,
+                point.result.energy_j, point.pareto ? "pareto" : "");
+  }
+
+  // The sweet spot depends on the objective: pure energy favours low
+  // clocks, EDP/ED^2P weigh the slowdown back in, and perf_cap keeps the
+  // choice within 10% of the fastest point.
+  std::printf("\nrecommended operating points\n");
+  for (const v1::Objective objective :
+       {v1::Objective::kMinEnergy, v1::Objective::kMinEdp,
+        v1::Objective::kMinEd2p, v1::Objective::kPerfCap}) {
+    v1::RecommendOptions ropt;
+    ropt.objective = objective;
+    ropt.sweep = options;
+    const v1::Recommendation rec = session.recommend(program, 0, ropt);
+    if (!rec.ok) {
+      std::printf("  %-10s  (%s)\n",
+                  std::string(v1::to_string(objective)).c_str(),
+                  rec.error.c_str());
+      continue;
+    }
+    std::printf("  %-10s  %-14s %4.0f MHz  %8.2f s  %8.1f J  %6.1f W\n",
+                std::string(v1::to_string(objective)).c_str(),
+                rec.config.name.c_str(), rec.config.core_mhz, rec.time_s,
+                rec.energy_j, rec.power_w);
   }
   return 0;
 }

@@ -92,10 +92,30 @@ struct SamplingOptions {
   std::uint64_t seed = 1;
 };
 
+/// A GPU operating point. Mirrors the simulator's configuration; use
+/// `standard_configs()` for the paper's four, or construct custom points
+/// (DVFS sweeps). The `name` identifies the point in every cache — give
+/// distinct operating points distinct names (Session::register_config
+/// validates and auto-names).
+struct GpuConfigSpec {
+  std::string name;
+  double core_mhz = 705.0;
+  double mem_mhz = 2600.0;
+  double core_voltage = 1.00;
+  double mem_voltage = 1.00;
+  bool ecc = false;
+};
+std::vector<GpuConfigSpec> standard_configs();
+
 /// One experiment to run: a (program, input, configuration) triple, by the
 /// names used in the paper ("NB", "L-BFS", ... / "default", "614", "324",
 /// "ecc"). `deadline_ms` is consumed by the serving layer (src/serve/):
 /// 0 = no deadline. `id` is echoed in service responses.
+///
+/// `has_config_spec` marks a request that carried an inline operating
+/// point (the wire's "config":{...} object form) instead of a name:
+/// `config` then holds the spec's canonical name (the cache identity) and
+/// `config_spec` the full values. Name-form requests leave it false.
 struct ExperimentRequest {
   std::string program;
   std::size_t input_index = 0;
@@ -103,6 +123,8 @@ struct ExperimentRequest {
   double deadline_ms = 0.0;
   std::uint64_t id = 0;
   SamplingOptions sampling;  // default: exact (full-timing) measurement
+  bool has_config_spec = false;
+  GpuConfigSpec config_spec;
 };
 
 /// Nominal 95% confidence interval of one sampled metric.
@@ -181,19 +203,93 @@ struct ProgramInfo {
   std::vector<InputInfo> inputs;
 };
 
-/// A GPU operating point. Mirrors the simulator's configuration; use
-/// `standard_configs()` for the paper's four, or construct custom points
-/// (DVFS sweeps). The `name` identifies the point in every cache — give
-/// distinct operating points distinct names.
-struct GpuConfigSpec {
-  std::string name;
-  double core_mhz = 705.0;
-  double mem_mhz = 2600.0;
-  double core_voltage = 1.00;
-  double mem_voltage = 1.00;
-  bool ecc = false;
+// -- DVFS grid sweep + recommendation (DESIGN.md §15) -----------------------
+
+/// Objective optimized by `Session::recommend` over a swept DVFS grid.
+enum class Objective {
+  kMinEnergy,  // minimize energy
+  kMinEdp,     // minimize energy * time
+  kMinEd2p,    // minimize energy * time^2
+  kPerfCap,    // minimize energy subject to time <= perf_cap_rel * fastest
 };
-std::vector<GpuConfigSpec> standard_configs();
+
+/// "min_energy" / "min_edp" / "min_ed2p" / "perf_cap".
+std::string_view to_string(Objective objective);
+bool parse_objective(std::string_view text, Objective& out);
+
+/// One grid axis: {min, min+step, ...} plus `max` itself when the last
+/// step falls short of it. step == 0 requires min == max (a single value).
+struct GridAxis {
+  double min = 0.0;
+  double max = 0.0;
+  double step = 0.0;
+};
+
+/// A DVFS sweep over the (core_mhz, mem_mhz) plane. Grid points carry the
+/// default DVFS voltages (interpolated through the paper's operating
+/// points) and canonical auto-names ("cfg:<core>x<mem>"); the four paper
+/// configurations keep their paper names. `prune` drops points whose
+/// analytic projection is dominated by `prune_margin` in both time and
+/// energy before any measurement; `sampling` defaults to the stratified
+/// "rabbit" mode so full-grid sweeps stay affordable.
+struct SweepOptions {
+  GridAxis core_mhz{324.0, 705.0, 50.0};
+  GridAxis mem_mhz{2600.0, 2600.0, 0.0};
+  bool ecc = false;
+  bool prune = true;
+  double prune_margin = 0.10;
+  SamplingOptions sampling{SamplingMode::kStratified, 0.10, 0.0, 1};
+};
+
+/// One grid point of a sweep. The analytic projection is always present;
+/// `result` is meaningful only when `measured` (pruned points are never
+/// measured). `cached`/`retries`/`degraded` are filled by the serving
+/// layer (per-point cache and fault semantics); direct Session sweeps
+/// leave them 0.
+struct SweepPoint {
+  GpuConfigSpec config;
+  double analytic_time_s = 0.0;
+  double analytic_energy_j = 0.0;
+  double analytic_power_w = 0.0;
+  bool pruned = false;
+  bool measured = false;
+  bool pareto = false;  // on the measured time-energy Pareto frontier
+  bool cached = false;
+  int retries = 0;
+  bool degraded = false;
+  MeasurementResult result;
+};
+
+struct SweepResult {
+  std::string program;
+  std::size_t input_index = 0;
+  std::size_t grid_points = 0;
+  std::size_t pruned = 0;
+  std::size_t measured = 0;
+  std::vector<SweepPoint> points;  // grid order (core-major)
+};
+
+struct RecommendOptions {
+  Objective objective = Objective::kMinEdp;
+  /// kPerfCap only: admissible slowdown over the fastest measured point.
+  double perf_cap_rel = 1.10;
+  SweepOptions sweep;
+};
+
+/// The exact argmin of the objective over the sweep's measured, usable
+/// grid points (ties break toward grid order). `ok == false` (with
+/// `error` set) when no usable point qualifies.
+struct Recommendation {
+  bool ok = false;
+  std::string error;
+  Objective objective = Objective::kMinEdp;
+  GpuConfigSpec config;
+  double objective_value = 0.0;
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  double power_w = 0.0;
+  SweepResult sweep;  // the full sweep the choice was made over
+};
 
 /// One sensor reading of a recorded power profile (paper Fig. 1).
 struct PowerSample {
@@ -308,6 +404,27 @@ class Session {
                                     std::size_t input_index,
                                     std::string_view config,
                                     const SamplingOptions& sampling);
+
+  // -- DVFS operating points (DESIGN.md §15) -------------------------------
+  /// Validates and registers a custom operating point with this session.
+  /// An empty name is auto-filled with the canonical grid name
+  /// ("cfg:<core>x<mem>[@<vc>x<vm>][+ecc]"); paper names are accepted only
+  /// with exactly the paper values. Returns the canonicalized spec; throws
+  /// std::invalid_argument on out-of-range values or name collisions.
+  /// Registered names are accepted by every name-string overload above.
+  GpuConfigSpec register_config(const GpuConfigSpec& config);
+
+  /// Sweeps the DVFS grid for one experiment: analytic V^2 f projection of
+  /// every grid point, dominance pruning, sampled measurement of the
+  /// survivors, measured Pareto frontier. Deterministic in (session seeds,
+  /// program, input, options).
+  SweepResult sweep(std::string_view program, std::size_t input_index,
+                    const SweepOptions& options = {});
+
+  /// Sweeps the grid and returns the exact argmin of the objective over
+  /// the measured points (plus the sweep it optimized over).
+  Recommendation recommend(std::string_view program, std::size_t input_index,
+                           const RecommendOptions& options = {});
 
   /// Records one run's sensor stream plus its K20Power analysis. `seed`
   /// selects the measurement noise stream of this profile.

@@ -165,6 +165,14 @@ if [ "${REPRO_PERF:-0}" = "1" ]; then
   cmake --build --preset release -j "$jobs" --target load_gen
   ./build-release/tools/load_gen --workers 4 --clients 8 --requests 240 \
     --miss --gate --out BENCH_serve.json
+
+  # DVFS sweep gate (DESIGN.md §15): the analytically-pruned sampled grid
+  # sweep must recommend operating points within the sampler's stated
+  # confidence of the exact exhaustive optimum at >= 5x less wall-clock
+  # cost. Numbers land in BENCH_dvfs.json via REPRO_BENCH_JSON.
+  echo "=== [perf] dvfs sweep gate"
+  cmake --build --preset release -j "$jobs" --target bench_dvfs_sweep
+  REPRO_BENCH_JSON=BENCH_dvfs.json ./build-release/bench/bench_dvfs_sweep
 fi
 
 echo "=== all presets passed: ${presets[*]}"

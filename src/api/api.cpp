@@ -8,12 +8,16 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "api/convert.hpp"
 #include "core/aggregate.hpp"
+#include "dvfs/dvfs.hpp"
 #include "core/scheduler.hpp"
 #include "core/study.hpp"
 #include "k20power/analyze.hpp"
@@ -180,6 +184,121 @@ std::vector<GpuConfigSpec> standard_configs() {
   return out;
 }
 
+std::string_view to_string(Objective objective) {
+  return dvfs::to_string(detail::objective_to_internal(objective));
+}
+
+bool parse_objective(std::string_view text, Objective& out) {
+  dvfs::Objective internal;
+  if (!dvfs::parse_objective(text, internal)) return false;
+  out = detail::objective_from_internal(internal);
+  return true;
+}
+
+sim::GpuConfig detail::spec_to_internal(const GpuConfigSpec& spec) {
+  return to_internal(spec);
+}
+
+GpuConfigSpec detail::spec_from_internal(const sim::GpuConfig& config) {
+  return to_spec(config);
+}
+
+dvfs::Objective detail::objective_to_internal(Objective objective) {
+  switch (objective) {
+    case Objective::kMinEnergy: return dvfs::Objective::kMinEnergy;
+    case Objective::kMinEdp: return dvfs::Objective::kMinEdp;
+    case Objective::kMinEd2p: return dvfs::Objective::kMinEd2p;
+    case Objective::kPerfCap: return dvfs::Objective::kPerfCap;
+  }
+  return dvfs::Objective::kMinEdp;
+}
+
+Objective detail::objective_from_internal(dvfs::Objective objective) {
+  switch (objective) {
+    case dvfs::Objective::kMinEnergy: return Objective::kMinEnergy;
+    case dvfs::Objective::kMinEdp: return Objective::kMinEdp;
+    case dvfs::Objective::kMinEd2p: return Objective::kMinEd2p;
+    case dvfs::Objective::kPerfCap: return Objective::kPerfCap;
+  }
+  return Objective::kMinEdp;
+}
+
+dvfs::SweepSettings detail::sweep_settings_to_internal(
+    const SweepOptions& options) {
+  dvfs::SweepSettings settings;
+  settings.grid.core = {options.core_mhz.min, options.core_mhz.max,
+                        options.core_mhz.step};
+  settings.grid.mem = {options.mem_mhz.min, options.mem_mhz.max,
+                       options.mem_mhz.step};
+  settings.grid.ecc = options.ecc;
+  settings.prune = options.prune;
+  settings.prune_margin = options.prune_margin;
+  return settings;
+}
+
+SweepResult detail::sweep_to_v1(std::string_view program,
+                                std::size_t input_index,
+                                const dvfs::Sweep& sweep) {
+  SweepResult out;
+  out.program = std::string(program);
+  out.input_index = input_index;
+  out.grid_points = sweep.points.size();
+  out.pruned = sweep.pruned;
+  out.measured = sweep.measured;
+  out.points.reserve(sweep.points.size());
+  for (const dvfs::Point& point : sweep.points) {
+    SweepPoint p;
+    p.config = to_spec(point.config);
+    p.analytic_time_s = point.analytic.time_s;
+    p.analytic_energy_j = point.analytic.energy_j;
+    p.analytic_power_w = point.analytic.power_w;
+    p.pruned = point.pruned;
+    p.measured = point.measured;
+    p.pareto = point.pareto;
+    p.cached = point.status.cached;
+    p.retries = point.status.retries;
+    p.degraded = point.status.degraded;
+    if (point.measured) p.result = to_dto(point.result);
+    out.points.push_back(std::move(p));
+  }
+  return out;
+}
+
+Recommendation detail::recommend_over(Objective objective,
+                                      double perf_cap_rel,
+                                      SweepResult sweep) {
+  std::vector<dvfs::MetricPoint> metrics;
+  metrics.reserve(sweep.points.size());
+  for (const SweepPoint& point : sweep.points) {
+    dvfs::MetricPoint mp;
+    mp.usable = point.measured && point.result.usable;
+    mp.time_s = point.result.time_s;
+    mp.energy_j = point.result.energy_j;
+    metrics.push_back(mp);
+  }
+  const dvfs::Choice choice =
+      dvfs::pick(metrics, objective_to_internal(objective), perf_cap_rel);
+
+  Recommendation rec;
+  rec.objective = objective;
+  rec.sweep = std::move(sweep);
+  if (choice.index < 0) {
+    rec.error = rec.sweep.measured == 0
+                    ? "no grid point was measured"
+                    : "no measured grid point is usable";
+    return rec;
+  }
+  const SweepPoint& best =
+      rec.sweep.points[static_cast<std::size_t>(choice.index)];
+  rec.ok = true;
+  rec.config = best.config;
+  rec.objective_value = choice.value;
+  rec.time_s = best.result.time_s;
+  rec.energy_j = best.result.energy_j;
+  rec.power_w = best.result.power_w;
+  return rec;
+}
+
 struct Session::Impl {
   explicit Impl(const Options& options) : options(options) {
     suites::register_all_workloads();
@@ -205,8 +324,27 @@ struct Session::Impl {
     return input_index;
   }
 
+  /// Resolves a configuration name: the paper's four first (byte-identical
+  /// behaviour for all historical traffic), then this session's registered
+  /// operating points. Returns by value so the caller never holds a
+  /// reference across the registry lock.
+  sim::GpuConfig resolve_config(std::string_view name) const {
+    try {
+      return sim::config_by_name(name);
+    } catch (const std::invalid_argument&) {
+    }
+    {
+      std::shared_lock lock(config_mutex);
+      const auto it = registered.find(std::string(name));
+      if (it != registered.end()) return it->second;
+    }
+    throw std::invalid_argument("unknown GPU config: " + std::string(name));
+  }
+
   Options options;
   core::Study study;
+  mutable std::shared_mutex config_mutex;
+  std::map<std::string, sim::GpuConfig> registered;
 };
 
 Session::Session() : Session(Options::global()) {}
@@ -243,7 +381,7 @@ MeasurementResult Session::measure(std::string_view program,
                                    std::string_view config) {
   const workloads::Workload& w = impl_->workload(program);
   return to_dto(impl_->study.measure(w, impl_->checked_input(w, input_index),
-                                     sim::config_by_name(config)));
+                                     impl_->resolve_config(config)));
 }
 
 MeasurementResult Session::measure(std::string_view program,
@@ -270,14 +408,57 @@ MeasurementResult Session::measure_sampled(std::string_view program,
   const workloads::Workload& w = impl_->workload(program);
   return to_dto(sample::measure_sampled(
       impl_->study, w, impl_->checked_input(w, input_index),
-      sim::config_by_name(config), to_internal(sampling)));
+      impl_->resolve_config(config), to_internal(sampling)));
+}
+
+GpuConfigSpec Session::register_config(const GpuConfigSpec& config) {
+  const sim::GpuConfig normalized = dvfs::normalized(to_internal(config));
+  std::unique_lock lock(impl_->config_mutex);
+  const auto it = impl_->registered.find(normalized.name);
+  if (it != impl_->registered.end()) {
+    const sim::GpuConfig& existing = it->second;
+    if (existing.core_mhz != normalized.core_mhz ||
+        existing.mem_mhz != normalized.mem_mhz ||
+        existing.core_voltage != normalized.core_voltage ||
+        existing.mem_voltage != normalized.mem_voltage ||
+        existing.ecc != normalized.ecc) {
+      throw std::invalid_argument("config name '" + normalized.name +
+                                  "' is already registered with different "
+                                  "values");
+    }
+    return to_spec(existing);
+  }
+  impl_->registered.emplace(normalized.name, normalized);
+  return to_spec(normalized);
+}
+
+SweepResult Session::sweep(std::string_view program, std::size_t input_index,
+                           const SweepOptions& options) {
+  const workloads::Workload& w = impl_->workload(program);
+  impl_->checked_input(w, input_index);
+  const sample::SampleOptions sampling = to_internal(options.sampling);
+  const dvfs::Sweep swept = dvfs::run_sweep(
+      impl_->study, w, input_index,
+      detail::sweep_settings_to_internal(options),
+      [&](const sim::GpuConfig& config, dvfs::PointStatus&) {
+        return sample::measure_sampled(impl_->study, w, input_index, config,
+                                       sampling);
+      });
+  return detail::sweep_to_v1(program, input_index, swept);
+}
+
+Recommendation Session::recommend(std::string_view program,
+                                  std::size_t input_index,
+                                  const RecommendOptions& options) {
+  return detail::recommend_over(options.objective, options.perf_cap_rel,
+                                sweep(program, input_index, options.sweep));
 }
 
 PowerProfile Session::profile(std::string_view program,
                               std::size_t input_index, std::string_view config,
                               std::uint64_t seed) {
   const workloads::Workload& w = impl_->workload(program);
-  const sim::GpuConfig& internal = sim::config_by_name(config);
+  const sim::GpuConfig internal = impl_->resolve_config(config);
   impl_->checked_input(w, input_index);
 
   workloads::ExecContext ctx;
@@ -315,7 +496,7 @@ Attribution Session::attribution(std::string_view program,
                                  std::string_view config) {
   const workloads::Workload& w = impl_->workload(program);
   const obs::AttributionTable table = impl_->study.attribution(
-      w, impl_->checked_input(w, input_index), sim::config_by_name(config));
+      w, impl_->checked_input(w, input_index), impl_->resolve_config(config));
 
   return detail::attribution_to_v1(table);
 }
@@ -393,8 +574,8 @@ std::vector<SuiteRatioEntry> Session::suite_ratios(std::string_view suite,
                                                    std::string_view config_a,
                                                    std::string_view config_b) {
   const auto entries =
-      core::suite_ratios(impl_->study, suite, sim::config_by_name(config_a),
-                         sim::config_by_name(config_b));
+      core::suite_ratios(impl_->study, suite, impl_->resolve_config(config_a),
+                         impl_->resolve_config(config_b));
   std::vector<SuiteRatioEntry> out;
   out.reserve(entries.size());
   for (const core::EntryRatio& e : entries) {
@@ -429,7 +610,8 @@ SuiteRatioBox Session::summarize(std::string_view suite,
 
 std::vector<double> Session::suite_powers(std::string_view suite,
                                           std::string_view config) {
-  return core::suite_powers(impl_->study, suite, sim::config_by_name(config));
+  return core::suite_powers(impl_->study, suite,
+                            impl_->resolve_config(config));
 }
 
 void set_observability(bool on) { obs::set_enabled(on); }

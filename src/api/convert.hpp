@@ -1,15 +1,38 @@
-// Internal obs -> v1 DTO conversions shared by the facade (src/api) and
-// the serve layer's attribution endpoint (src/serve). Not installed:
-// consumers outside src/ only see include/repro/api.hpp.
+// Internal -> v1 DTO conversions shared by the facade (src/api) and the
+// serve layer's attribution/sweep/recommend endpoints (src/serve). Not
+// installed: consumers outside src/ only see include/repro/api.hpp.
 #pragma once
 
+#include <string_view>
+
+#include "dvfs/dvfs.hpp"
 #include "obs/attribution.hpp"
 #include "repro/api.hpp"
+#include "sim/gpuconfig.hpp"
 
 namespace repro::v1::detail {
 
 /// Converts an attribution table (kernels, class columns, totals) and
 /// renders its text block.
 Attribution attribution_to_v1(const obs::AttributionTable& table);
+
+/// v1 <-> dvfs conversions (trivial field copies; doubles verbatim).
+sim::GpuConfig spec_to_internal(const GpuConfigSpec& spec);
+GpuConfigSpec spec_from_internal(const sim::GpuConfig& config);
+dvfs::Objective objective_to_internal(Objective objective);
+Objective objective_from_internal(dvfs::Objective objective);
+dvfs::SweepSettings sweep_settings_to_internal(const SweepOptions& options);
+
+/// Builds the v1 view of a finished dvfs sweep (per-point measurement
+/// DTOs carry the sampled CIs verbatim).
+SweepResult sweep_to_v1(std::string_view program, std::size_t input_index,
+                        const dvfs::Sweep& sweep);
+
+/// Runs the argmin over an already-built v1 sweep and packages the
+/// choice. `ok == false` with a caller-facing error when no measured
+/// usable point qualifies. Throws std::invalid_argument for an invalid
+/// perf_cap_rel.
+Recommendation recommend_over(Objective objective, double perf_cap_rel,
+                              SweepResult sweep);
 
 }  // namespace repro::v1::detail

@@ -1,0 +1,381 @@
+#include "dvfs/dvfs.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "power/model.hpp"
+
+namespace repro::dvfs {
+namespace {
+
+/// Shortest round-trip decimal form of `value` ("540", "0.93"): injective
+/// over distinct doubles, readable for the round numbers grids are built
+/// from.
+std::string format_value(double value) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+[[noreturn]] void fail(std::string message) {
+  throw std::invalid_argument(std::move(message));
+}
+
+struct Anchor {
+  double mhz;
+  double voltage;
+};
+
+/// Piecewise-linear through the anchors, end-segment slope outside,
+/// clamped to the validation voltage range. Exact at the anchors (the
+/// interpolation weight is exactly 0 or 1 there).
+double interpolate(const Anchor* anchors, std::size_t count, double mhz) {
+  std::size_t seg = 0;  // segment [seg, seg + 1] to evaluate
+  while (seg + 2 < count && mhz > anchors[seg + 1].mhz) ++seg;
+  const Anchor& a = anchors[seg];
+  const Anchor& b = anchors[seg + 1];
+  const double t = (mhz - a.mhz) / (b.mhz - a.mhz);
+  const double v = a.voltage + t * (b.voltage - a.voltage);
+  return std::min(kMaxVoltage, std::max(kMinVoltage, v));
+}
+
+bool same_values(const sim::GpuConfig& a, const sim::GpuConfig& b) {
+  return a.core_mhz == b.core_mhz && a.mem_mhz == b.mem_mhz &&
+         a.core_voltage == b.core_voltage && a.mem_voltage == b.mem_voltage &&
+         a.ecc == b.ecc;
+}
+
+void check_range(std::string_view field, double value, double min,
+                 double max) {
+  if (!std::isfinite(value) || value < min || value > max) {
+    fail(std::string(field) + " " + format_value(value) +
+         " out of range [" + format_value(min) + ", " + format_value(max) +
+         "]");
+  }
+}
+
+void validate_values(const sim::GpuConfig& config) {
+  check_range("core_mhz", config.core_mhz, kMinCoreMhz, kMaxCoreMhz);
+  check_range("mem_mhz", config.mem_mhz, kMinMemMhz, kMaxMemMhz);
+  check_range("core_voltage", config.core_voltage, kMinVoltage, kMaxVoltage);
+  check_range("mem_voltage", config.mem_voltage, kMinVoltage, kMaxVoltage);
+}
+
+}  // namespace
+
+std::string_view to_string(Objective objective) {
+  switch (objective) {
+    case Objective::kMinEnergy: return "min_energy";
+    case Objective::kMinEdp: return "min_edp";
+    case Objective::kMinEd2p: return "min_ed2p";
+    case Objective::kPerfCap: return "perf_cap";
+  }
+  return "min_edp";
+}
+
+bool parse_objective(std::string_view text, Objective& out) {
+  if (text == "min_energy") out = Objective::kMinEnergy;
+  else if (text == "min_edp") out = Objective::kMinEdp;
+  else if (text == "min_ed2p") out = Objective::kMinEd2p;
+  else if (text == "perf_cap") out = Objective::kPerfCap;
+  else return false;
+  return true;
+}
+
+double core_voltage_rule(double core_mhz) {
+  static constexpr Anchor kAnchors[] = {
+      {324.0, 0.85}, {614.0, 0.93}, {705.0, 1.00}};
+  return interpolate(kAnchors, 3, core_mhz);
+}
+
+double mem_voltage_rule(double mem_mhz) {
+  static constexpr Anchor kAnchors[] = {{324.0, 0.88}, {2600.0, 1.00}};
+  return interpolate(kAnchors, 2, mem_mhz);
+}
+
+std::string canonical_name(const sim::GpuConfig& config) {
+  for (const sim::GpuConfig& paper : sim::standard_configs()) {
+    if (same_values(config, paper)) return paper.name;
+  }
+  std::string name = "cfg:" + format_value(config.core_mhz) + "x" +
+                     format_value(config.mem_mhz);
+  if (config.core_voltage != core_voltage_rule(config.core_mhz) ||
+      config.mem_voltage != mem_voltage_rule(config.mem_mhz)) {
+    name += "@" + format_value(config.core_voltage) + "x" +
+            format_value(config.mem_voltage);
+  }
+  if (config.ecc) name += "+ecc";
+  return name;
+}
+
+sim::GpuConfig normalized(sim::GpuConfig config) {
+  validate_values(config);
+  const std::string canonical = canonical_name(config);
+  if (config.name.empty()) {
+    config.name = canonical;
+    return config;
+  }
+  // A non-empty name may not alias another operating point's identity: the
+  // paper names and every "cfg:..." name are value-derived cache keys.
+  for (const sim::GpuConfig& paper : sim::standard_configs()) {
+    if (config.name == paper.name && !same_values(config, paper)) {
+      fail("config name '" + config.name +
+           "' is reserved for the paper operating point " +
+           format_value(paper.core_mhz) + "/" + format_value(paper.mem_mhz) +
+           (paper.ecc ? " with ECC" : ""));
+    }
+  }
+  if (config.name.rfind("cfg:", 0) == 0 && config.name != canonical) {
+    fail("config name '" + config.name +
+         "' collides with the canonical grid namespace (this point is '" +
+         canonical + "')");
+  }
+  return config;
+}
+
+std::vector<double> axis_points(const Axis& axis, std::string_view what) {
+  const std::string prefix(what);
+  if (!std::isfinite(axis.min) || !std::isfinite(axis.max) ||
+      !std::isfinite(axis.step)) {
+    fail(prefix + " axis must be finite");
+  }
+  if (axis.min > axis.max) {
+    fail(prefix + " axis min " + format_value(axis.min) + " > max " +
+         format_value(axis.max));
+  }
+  if (axis.step < 0.0) fail(prefix + " axis step must be >= 0");
+  if (axis.step == 0.0) {
+    if (axis.min != axis.max) {
+      fail(prefix + " axis step 0 requires min == max");
+    }
+    return {axis.min};
+  }
+  // Tolerance keeps "binary-representation just past max" endpoints in;
+  // the true endpoint is then appended exactly when the last step fell
+  // short of it.
+  const double eps = axis.step * 1e-9;
+  std::vector<double> points;
+  for (std::size_t k = 0;; ++k) {
+    const double value = axis.min + static_cast<double>(k) * axis.step;
+    if (value > axis.max + eps) break;
+    points.push_back(std::min(value, axis.max));
+    if (points.size() > kMaxAxisPoints) {
+      fail(prefix + " axis has more than " +
+           std::to_string(kMaxAxisPoints) + " points");
+    }
+  }
+  if (points.back() < axis.max - eps) points.push_back(axis.max);
+  return points;
+}
+
+std::vector<sim::GpuConfig> make_grid(const GridSpec& grid) {
+  const std::vector<double> core = axis_points(grid.core, "core_mhz");
+  const std::vector<double> mem = axis_points(grid.mem, "mem_mhz");
+  if (core.size() * mem.size() > kMaxGridPoints) {
+    fail("grid has " + std::to_string(core.size() * mem.size()) +
+         " points; max " + std::to_string(kMaxGridPoints));
+  }
+  std::vector<sim::GpuConfig> configs;
+  configs.reserve(core.size() * mem.size());
+  for (const double core_mhz : core) {
+    for (const double mem_mhz : mem) {
+      sim::GpuConfig config;
+      config.name.clear();
+      config.core_mhz = core_mhz;
+      config.mem_mhz = mem_mhz;
+      config.core_voltage = core_voltage_rule(core_mhz);
+      config.mem_voltage = mem_voltage_rule(mem_mhz);
+      config.ecc = grid.ecc;
+      configs.push_back(normalized(std::move(config)));
+    }
+  }
+  return configs;
+}
+
+Analytic project(core::Study& study, const workloads::Workload& workload,
+                 std::size_t input_index, const sim::GpuConfig& config) {
+  const sim::TraceResult& trace =
+      study.trace_result(workload, input_index, config);
+  power::PhasePowerMemo memo(study.power_model(), config,
+                             workload.ecc_power_adjustment());
+  double energy_j = 0.0;
+  double gap_s = 0.0;
+  bool first = true;
+  // Iterative traces repeat a short cycle of (activity, duration) phase
+  // shapes tens of thousands of times; a two-entry MRU over the phase's
+  // identity skips even the memoized power evaluation for repeats (the
+  // cached contribution is the identical double, so the projection is
+  // unchanged).
+  struct PhaseEnergy {
+    const sim::Activity* activity = nullptr;
+    double duration_s = 0.0;
+    double energy_j = 0.0;
+  };
+  PhaseEnergy mru[2];
+  auto phase_energy_j = [&](const sim::Phase& phase) {
+    for (PhaseEnergy& entry : mru) {
+      if (entry.activity != nullptr && entry.duration_s == phase.duration_s &&
+          std::memcmp(entry.activity, &phase.activity,
+                      sizeof phase.activity) == 0) {
+        return entry.energy_j;
+      }
+    }
+    const double e =
+        memo.phase_power(phase.activity, phase.duration_s).total_w *
+        phase.duration_s;
+    mru[1] = mru[0];
+    mru[0] = PhaseEnergy{&phase.activity, phase.duration_s, e};
+    return e;
+  };
+  for (const sim::Phase& phase : trace.phases) {
+    // The gap before the first phase precedes the measured window (the
+    // analyzer's threshold crossing); interior gaps are inside it and the
+    // driver holds tail power across them.
+    if (!first) gap_s += phase.host_gap_before_s;
+    first = false;
+    energy_j += phase_energy_j(phase);
+  }
+  energy_j += memo.tail_power_w() * gap_s;
+  Analytic out;
+  out.time_s = trace.active_time_s + gap_s;
+  out.energy_j = energy_j;
+  out.power_w = out.time_s > 0.0 ? energy_j / out.time_s : 0.0;
+  return out;
+}
+
+std::vector<char> prune_mask(const std::vector<Analytic>& points,
+                             double margin) {
+  if (!std::isfinite(margin) || margin < 0.0 || margin >= 1.0) {
+    fail("prune_margin " + format_value(margin) + " out of range [0, 1)");
+  }
+  const double relax = 1.0 + margin;
+  std::vector<char> mask(points.size(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      const Analytic& p = points[i];
+      const Analytic& q = points[j];
+      if (!(q.time_s * relax <= p.time_s && q.energy_j * relax <= p.energy_j))
+        continue;
+      // Exact ties (margin 0) keep the earliest point only.
+      if (q.time_s < p.time_s || q.energy_j < p.energy_j || j < i) {
+        mask[i] = 1;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<char> pareto_mask(const std::vector<MetricPoint>& points) {
+  std::vector<char> mask(points.size(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].usable) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j == i || !points[j].usable) continue;
+      dominated = points[j].time_s <= points[i].time_s &&
+                  points[j].energy_j <= points[i].energy_j &&
+                  (points[j].time_s < points[i].time_s ||
+                   points[j].energy_j < points[i].energy_j);
+    }
+    mask[i] = dominated ? 0 : 1;
+  }
+  return mask;
+}
+
+double objective_value(Objective objective, double time_s, double energy_j) {
+  switch (objective) {
+    case Objective::kMinEnergy: return energy_j;
+    case Objective::kMinEdp: return energy_j * time_s;
+    case Objective::kMinEd2p: return energy_j * time_s * time_s;
+    case Objective::kPerfCap: return energy_j;
+  }
+  return energy_j;
+}
+
+Choice pick(const std::vector<MetricPoint>& points, Objective objective,
+            double perf_cap_rel) {
+  Choice choice;
+  if (objective == Objective::kPerfCap) {
+    if (!std::isfinite(perf_cap_rel) || perf_cap_rel < 1.0) {
+      fail("perf_cap_rel " + format_value(perf_cap_rel) + " must be >= 1");
+    }
+    double fastest = std::numeric_limits<double>::infinity();
+    for (const MetricPoint& p : points) {
+      if (p.usable) fastest = std::min(fastest, p.time_s);
+    }
+    if (!std::isfinite(fastest)) return choice;
+    choice.cap_time_s = perf_cap_rel * fastest;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const MetricPoint& p = points[i];
+    if (!p.usable) continue;
+    if (objective == Objective::kPerfCap && p.time_s > choice.cap_time_s)
+      continue;
+    const double value = objective_value(objective, p.time_s, p.energy_j);
+    if (choice.index < 0 || value < choice.value) {
+      choice.index = static_cast<int>(i);
+      choice.value = value;
+    }
+  }
+  return choice;
+}
+
+std::vector<MetricPoint> metric_points(const Sweep& sweep) {
+  std::vector<MetricPoint> points;
+  points.reserve(sweep.points.size());
+  for (const Point& point : sweep.points) {
+    MetricPoint mp;
+    mp.usable = point.measured && point.result.base.usable;
+    mp.time_s = point.result.base.time_s;
+    mp.energy_j = point.result.base.energy_j;
+    points.push_back(mp);
+  }
+  return points;
+}
+
+Sweep run_sweep(core::Study& study, const workloads::Workload& workload,
+                std::size_t input_index, const SweepSettings& settings,
+                const MeasurePoint& measure) {
+  const std::vector<sim::GpuConfig> grid = make_grid(settings.grid);
+  Sweep sweep;
+  sweep.points.reserve(grid.size());
+  std::vector<Analytic> analytics;
+  analytics.reserve(grid.size());
+  for (const sim::GpuConfig& config : grid) {
+    Point point;
+    point.config = config;
+    point.analytic = project(study, workload, input_index, config);
+    analytics.push_back(point.analytic);
+    sweep.points.push_back(std::move(point));
+  }
+  // prune_mask validates the margin even when pruning is off, so a bad
+  // request fails loudly instead of silently measuring the full grid.
+  const std::vector<char> pruned =
+      prune_mask(analytics, settings.prune_margin);
+  if (settings.prune) {
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+      sweep.points[i].pruned = pruned[i] != 0;
+      if (sweep.points[i].pruned) ++sweep.pruned;
+    }
+  }
+  for (Point& point : sweep.points) {
+    if (point.pruned) continue;
+    point.result = measure(point.config, point.status);
+    point.measured = true;
+    ++sweep.measured;
+  }
+  const std::vector<char> frontier = pareto_mask(metric_points(sweep));
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    sweep.points[i].pareto = frontier[i] != 0;
+  }
+  return sweep;
+}
+
+}  // namespace repro::dvfs

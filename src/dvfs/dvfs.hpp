@@ -1,0 +1,211 @@
+// Continuous DVFS operating-point grid + energy-efficiency sweet-spot
+// recommender (DESIGN.md §15).
+//
+// The paper fixes four operating points; the interesting structure lives
+// in the full (core, mem) frequency/voltage plane ("Modeling and Chasing
+// the Energy-Efficiency Sweet Spots in Modern GPUs", PAPERS.md). This
+// layer makes arbitrary grid points first-class:
+//
+//  - canonical naming: a grid point's name is derived injectively from its
+//    values ("cfg:540x2600", "cfg:540x2600@0.9x1+ecc"), so the name can
+//    keep doubling as cache identity and seed material exactly like the
+//    four paper names — which map to themselves byte-identically;
+//  - a default-voltage rule interpolated through the paper's anchors
+//    (core 324 -> 0.85, 614 -> 0.93, 705 -> 1.00; mem 324 -> 0.88,
+//    2600 -> 1.00), so a caller naming only frequencies gets physically
+//    coherent DVFS voltages;
+//  - an analytic V^2 f projection: one structural-trace timing pass plus
+//    the power model, no sensor/noise/repetitions — orders of magnitude
+//    cheaper than a measurement and accurate to a few percent;
+//  - margin-relaxed Pareto dominance pruning over the analytic plane.
+//    Every supported objective (energy, EDP, ED^2 P, energy-under-a-time-
+//    cap) is monotone in (time, energy), so its optimum lies on the
+//    time-energy Pareto frontier; pruning only analytically-dominated-by-
+//    margin points is therefore objective-agnostic and safe as long as
+//    the analytic-vs-measured bias stays inside the margin;
+//  - exact argmin selection over the measured survivors per objective.
+//
+// The measurement step is injected (`MeasurePoint`): the API facade plugs
+// in plain sampled measurement against the session study, the serving
+// layer wraps it with its result cache and fault retry/degradation loop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/study.hpp"
+#include "sample/sample.hpp"
+#include "sim/gpuconfig.hpp"
+#include "workloads/workload.hpp"
+
+namespace repro::dvfs {
+
+/// Optimization objective of a recommendation (ROADMAP: min-energy,
+/// min-EDP, min-ED^2 P, perf-cap).
+enum class Objective {
+  kMinEnergy,  // minimize energy
+  kMinEdp,     // minimize energy * time
+  kMinEd2p,    // minimize energy * time^2
+  kPerfCap,    // minimize energy subject to time <= cap * fastest time
+};
+
+std::string_view to_string(Objective objective);
+/// Parses "min_energy" / "min_edp" / "min_ed2p" / "perf_cap". Returns
+/// false (leaving `out` untouched) for anything else.
+bool parse_objective(std::string_view text, Objective& out);
+
+/// Validation bounds of one operating point (strict: outside is an error,
+/// not a clamp).
+inline constexpr double kMinCoreMhz = 100.0;
+inline constexpr double kMaxCoreMhz = 1500.0;
+inline constexpr double kMinMemMhz = 100.0;
+inline constexpr double kMaxMemMhz = 4000.0;
+inline constexpr double kMinVoltage = 0.50;
+inline constexpr double kMaxVoltage = 1.25;
+inline constexpr std::size_t kMaxAxisPoints = 64;
+inline constexpr std::size_t kMaxGridPoints = 256;
+
+/// Default DVFS voltage at a frequency: piecewise-linear through the
+/// paper anchors (exact at 324/614/705 core and 324/2600 mem), end-slope
+/// extrapolated outside and clamped to [kMinVoltage, kMaxVoltage].
+double core_voltage_rule(double core_mhz);
+double mem_voltage_rule(double mem_mhz);
+
+/// Injective value-derived name of an operating point. The four paper
+/// configurations map to their paper names ("default", "614", "324",
+/// "ecc"); everything else becomes "cfg:<core>x<mem>" with an
+/// "@<vcore>x<vmem>" suffix when the voltages deviate from the rule and a
+/// "+ecc" suffix when ECC is on (doubles printed shortest-round-trip, so
+/// distinct values can never alias). Ignores `config.name`.
+std::string canonical_name(const sim::GpuConfig& config);
+
+/// Strict range validation plus canonical naming. An empty name is
+/// auto-filled with `canonical_name`; a name equal to a paper
+/// configuration's is only accepted when every value matches that paper
+/// configuration exactly. Throws std::invalid_argument with a
+/// caller-facing message on any violation.
+sim::GpuConfig normalized(sim::GpuConfig config);
+
+/// One grid axis: {min, min+step, ...} plus `max` itself when the last
+/// step falls short. step == 0 requires min == max (a single value).
+struct Axis {
+  double min = 0.0;
+  double max = 0.0;
+  double step = 0.0;
+};
+
+/// Expands one axis (`what` names it in error messages). Throws
+/// std::invalid_argument on non-finite/descending/oversized axes.
+std::vector<double> axis_points(const Axis& axis, std::string_view what);
+
+/// The swept plane. Defaults cover the paper's core DVFS range at the
+/// memory clock the paper holds fixed.
+struct GridSpec {
+  Axis core{324.0, 705.0, 50.0};
+  Axis mem{2600.0, 2600.0, 0.0};
+  bool ecc = false;
+};
+
+/// Expands and validates the full grid: every (core, mem) pair with
+/// rule voltages and canonical names, core-major order. Throws
+/// std::invalid_argument (axis errors, > kMaxGridPoints points).
+std::vector<sim::GpuConfig> make_grid(const GridSpec& grid);
+
+/// Analytic V^2 f projection of one operating point: trace timing plus
+/// model power, no sensor path. `time_s` approximates the measured active
+/// window (kernel time + interior host gaps), `energy_j` integrates phase
+/// power over kernels plus driver tail power over the gaps.
+struct Analytic {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  double power_w = 0.0;
+};
+
+Analytic project(core::Study& study, const workloads::Workload& workload,
+                 std::size_t input_index, const sim::GpuConfig& config);
+
+/// Margin-relaxed analytic dominance pruning: entry i is pruned (mask 1)
+/// iff some other point is at least `margin` better in BOTH time and
+/// energy (q.time * (1 + margin) <= p.time and likewise for energy). The
+/// analytic optimum of every objective always survives.
+std::vector<char> prune_mask(const std::vector<Analytic>& points,
+                             double margin);
+
+/// Measured view of one grid point, as the argmin/frontier passes see it.
+struct MetricPoint {
+  bool usable = false;
+  double time_s = 0.0;
+  double energy_j = 0.0;
+};
+
+/// Time-energy Pareto frontier over the usable points (mask 1 = on the
+/// frontier: no other usable point is <= in both metrics and < in one).
+std::vector<char> pareto_mask(const std::vector<MetricPoint>& points);
+
+/// Objective value of one measured point (kPerfCap scores by energy; the
+/// cap is enforced by `pick`, not by the value).
+double objective_value(Objective objective, double time_s, double energy_j);
+
+/// Exact argmin over the measured points. `cap_time_s` reports the time
+/// cap actually applied (kPerfCap only: perf_cap_rel * fastest usable
+/// time). index == -1 when no usable point qualifies. Ties break toward
+/// the lower index, so the choice is deterministic in grid order.
+struct Choice {
+  int index = -1;
+  double value = 0.0;
+  double cap_time_s = 0.0;
+};
+
+Choice pick(const std::vector<MetricPoint>& points, Objective objective,
+            double perf_cap_rel);
+
+/// Per-point bookkeeping the measurement callback may fill (the serving
+/// layer's cache/retry/degradation semantics; plain sweeps leave it 0).
+struct PointStatus {
+  bool cached = false;
+  int retries = 0;
+  bool degraded = false;
+};
+
+/// Measures one surviving grid point. Called once per unpruned point, in
+/// grid order.
+using MeasurePoint = std::function<sample::SampledResult(
+    const sim::GpuConfig& config, PointStatus& status)>;
+
+struct Point {
+  sim::GpuConfig config;
+  Analytic analytic;
+  bool pruned = false;
+  bool measured = false;
+  bool pareto = false;
+  sample::SampledResult result;  // meaningful iff measured
+  PointStatus status;
+};
+
+struct Sweep {
+  std::vector<Point> points;  // one per grid point, grid order
+  std::size_t pruned = 0;
+  std::size_t measured = 0;
+};
+
+struct SweepSettings {
+  GridSpec grid;
+  bool prune = true;
+  double prune_margin = 0.10;
+};
+
+/// The sweep driver: grid -> analytic projection -> dominance pruning ->
+/// `measure` per survivor -> measured Pareto frontier. Deterministic in
+/// (study seeds, workload, input, settings, measure). Throws
+/// std::invalid_argument for invalid grids.
+Sweep run_sweep(core::Study& study, const workloads::Workload& workload,
+                std::size_t input_index, const SweepSettings& settings,
+                const MeasurePoint& measure);
+
+/// Measured views of a sweep's points (unmeasured points stay unusable).
+std::vector<MetricPoint> metric_points(const Sweep& sweep);
+
+}  // namespace repro::dvfs

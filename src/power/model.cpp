@@ -181,13 +181,23 @@ PhasePowerMemo::~PhasePowerMemo() {
 
 double PhasePowerMemo::dynamic_energy_j(const sim::Activity& activity) {
   ++lookups_;
-  const auto [it, inserted] =
-      dynamic_j_.try_emplace(ActivityKey{activity_bits(activity)}, 0.0);
+  const ActivityKey key{activity_bits(activity)};
+  for (std::size_t i = 0; i < mru_.size(); ++i) {
+    if (mru_[i].used && mru_[i].key == key) {
+      ++hits_;
+      const double value = mru_[i].value;
+      if (i != 0) std::swap(mru_[0], mru_[i]);
+      return value;
+    }
+  }
+  const auto [it, inserted] = dynamic_j_.try_emplace(key, 0.0);
   if (inserted) {
     it->second = model_->dynamic_energy_j(activity, *config_);
   } else {
     ++hits_;
   }
+  mru_[1] = mru_[0];
+  mru_[0] = MruEntry{key, it->second, true};
   return it->second;
 }
 

@@ -175,6 +175,17 @@ class PhasePowerMemo {
 
   double dynamic_energy_j(const sim::Activity& activity);
 
+  /// Most traces alternate between a handful of distinct activities
+  /// (kernel phases vs gaps), so a two-entry MRU filter in front of the
+  /// hash map answers almost every lookup with ten word compares instead
+  /// of hashing the full 80-byte bit pattern. Returns the identical
+  /// cached double; counters treat an MRU answer as a cache hit.
+  struct MruEntry {
+    ActivityKey key{};
+    double value = 0.0;
+    bool used = false;
+  };
+
   const PowerModel* model_;
   const sim::GpuConfig* config_;
   double ecc_adjust_;
@@ -184,6 +195,7 @@ class PhasePowerMemo {
   double tail_w_ = 0.0;
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
+  std::array<MruEntry, 2> mru_{};
   std::unordered_map<ActivityKey, double, ActivityKeyHash> dynamic_j_;
   std::unordered_map<ActivityKey, ClassEnergies, ActivityKeyHash> class_j_;
 };

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "api/convert.hpp"
+#include "dvfs/dvfs.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "sample/sample.hpp"
@@ -62,6 +63,26 @@ v1::MeasurementResult to_dto(const sample::SampledResult& result) {
   dto.energy_ci = {result.energy_ci.low, result.energy_ci.high};
   dto.power_ci = {result.power_ci.low, result.power_ci.high};
   return dto;
+}
+
+// Rehydrates a cached DTO for the sweep path (the inverse of to_dto over
+// the fields the wire serves; sampling bookkeeping the DTO does not carry
+// stays default). A cache hit is bit-identical to the stored measurement.
+sample::SampledResult from_dto(const v1::MeasurementResult& dto) {
+  sample::SampledResult result;
+  result.base.usable = dto.usable;
+  result.base.time_s = dto.time_s;
+  result.base.energy_j = dto.energy_j;
+  result.base.power_w = dto.power_w;
+  result.base.true_active_s = dto.true_active_s;
+  result.base.time_spread = dto.time_spread;
+  result.base.energy_spread = dto.energy_spread;
+  result.sampled = dto.sampled;
+  result.fraction = dto.sample_fraction;
+  result.time_ci = {dto.time_ci.low, dto.time_ci.high};
+  result.energy_ci = {dto.energy_ci.low, dto.energy_ci.high};
+  result.power_ci = {dto.power_ci.low, dto.power_ci.high};
+  return result;
 }
 
 // Cache namespace of sampled results. The '%' makes the prefix unreachable
@@ -458,6 +479,44 @@ struct Service::Miss {
   int retries = 0;            // attempts beyond the first so far
 };
 
+const sim::GpuConfig* Service::resolve_config(
+    const v1::ExperimentRequest& request, std::string& error) const {
+  try {
+    return &sim::config_by_name(request.config);
+  } catch (const std::invalid_argument&) {
+  }
+  std::lock_guard lock(config_mutex_);
+  const auto it = registered_configs_.find(request.config);
+  if (it != registered_configs_.end()) return &it->second;
+  if (!request.has_config_spec) {
+    error = "unknown config: " + request.config;
+    return nullptr;
+  }
+  sim::GpuConfig config;
+  config.name = request.config_spec.name;
+  config.core_mhz = request.config_spec.core_mhz;
+  config.mem_mhz = request.config_spec.mem_mhz;
+  config.core_voltage = request.config_spec.core_voltage;
+  config.mem_voltage = request.config_spec.mem_voltage;
+  config.ecc = request.config_spec.ecc;
+  try {
+    config = dvfs::normalized(std::move(config));
+  } catch (const std::invalid_argument& e) {
+    error = std::string("bad config: ") + e.what();
+    return nullptr;
+  }
+  if (config.name != request.config) {
+    // The wire parser canonicalizes before submit, so this only fires on
+    // programmatic requests whose `config` and `config_spec` disagree.
+    error = "config name '" + request.config +
+            "' does not match its spec (canonical name '" + config.name +
+            "')";
+    return nullptr;
+  }
+  return &registered_configs_.emplace(config.name, std::move(config))
+              .first->second;
+}
+
 void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
   obs::Span span("dispatch", "serve");
   span.arg("requests", static_cast<std::uint64_t>(batch.size()));
@@ -501,12 +560,12 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
       fulfill(pending, std::move(response), &latency, now);
       continue;
     }
-    const sim::GpuConfig* config = nullptr;
-    try {
-      config = &sim::config_by_name(request.config);
-    } catch (const std::invalid_argument&) {
-      response.status = Status::kUnknownConfig;
-      response.error = "unknown config: " + request.config;
+    std::string config_error;
+    const sim::GpuConfig* config = resolve_config(request, config_error);
+    if (config == nullptr) {
+      response.status = request.has_config_spec ? Status::kInvalidRequest
+                                                : Status::kUnknownConfig;
+      response.error = std::move(config_error);
       fulfill(pending, std::move(response), &latency, now);
       continue;
     }
@@ -794,12 +853,12 @@ Service::AttributionResult Service::attribute(
                 std::to_string(request.input_index);
     return out;
   }
-  const sim::GpuConfig* config = nullptr;
-  try {
-    config = &sim::config_by_name(request.config);
-  } catch (const std::invalid_argument&) {
-    out.status = Status::kUnknownConfig;
-    out.error = "unknown config: " + request.config;
+  std::string config_error;
+  const sim::GpuConfig* config = resolve_config(request, config_error);
+  if (config == nullptr) {
+    out.status = request.has_config_spec ? Status::kInvalidRequest
+                                         : Status::kUnknownConfig;
+    out.error = std::move(config_error);
     return out;
   }
   out.key = core::experiment_key(request.program, request.input_index,
@@ -813,6 +872,144 @@ Service::AttributionResult Service::attribute(
   out.table = v1::detail::attribution_to_v1(table);
   if (obs::enabled()) {
     obs::Registry::instance().counter("serve.attribution.requests").add();
+  }
+  return out;
+}
+
+Service::SweepOutcome Service::sweep(const SweepRequest& request) {
+  obs::Span span("sweep", "serve");
+  SweepOutcome out;
+  const workloads::Workload* workload =
+      workloads::Registry::instance().find(request.program);
+  if (workload == nullptr) {
+    out.status = Status::kUnknownProgram;
+    out.error = "unknown program: " + request.program;
+    return out;
+  }
+  if (request.input_index >= workload->inputs().size()) {
+    out.status = Status::kInvalidRequest;
+    out.error = "input index out of range: " +
+                std::to_string(request.input_index);
+    return out;
+  }
+  const sample::SampleOptions sample_options =
+      to_internal(request.options.sampling);
+  const bool sampled =
+      request.options.sampling.mode != v1::SamplingMode::kExact;
+  const std::string key_prefix =
+      sampled ? cache_version_ + sample_namespace(request.options.sampling)
+              : cache_version_;
+  const fault::FaultPlan* plan = fault::active();
+  const int max_retries =
+      plan == nullptr ? 0 : std::max(options_.max_retries, 0);
+
+  // Measures one surviving grid point, per-point cache first. The key is
+  // exactly what a direct request for (program, input, config-name) uses,
+  // so sweeps warm the point cache and vice versa. Misses follow the
+  // sampled-dispatch fault semantics: measure_sampled has no abort site,
+  // sensor taint retries with deterministic backoff, and a degraded
+  // result is returned flagged but NEVER cached.
+  const auto measure_point = [&](const sim::GpuConfig& config,
+                                 dvfs::PointStatus& status) {
+    const std::string key = core::experiment_key(
+        request.program, request.input_index, config.name);
+    const std::string versioned_key = key_prefix + key;
+    v1::MeasurementResult cached;
+    if (cache_.lookup(versioned_key, cached)) {
+      g_cache_hit_counter.add();
+      status.cached = true;
+      return from_dto(cached);
+    }
+    g_cache_miss_counter.add();
+    for (int attempt = 0;; ++attempt) {
+      const std::uint64_t sensor_before =
+          plan == nullptr ? 0 : plan->applied(fault::Site::kSensor, key);
+      core::Study study{options_.study};
+      const sample::SampledResult result = sample::measure_sampled(
+          study, *workload, request.input_index, config, sample_options);
+      const bool tainted =
+          plan != nullptr &&
+          plan->applied(fault::Site::kSensor, key) > sensor_before;
+      if (tainted && attempt < max_retries) {
+        status.retries = attempt + 1;
+        g_retry_attempt_counter.add();
+        if (options_.retry_backoff_ms > 0.0) {
+          const double factor = static_cast<double>(1ULL << attempt);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  options_.retry_backoff_ms * factor));
+        }
+        continue;
+      }
+      if (!tainted) {
+        g_eviction_counter.add(cache_.insert(versioned_key, to_dto(result)));
+      }
+      status.degraded = tainted;
+      return result;
+    }
+  };
+
+  try {
+    // Fresh Study for the analytic projection pass, mirroring every other
+    // service-side computation; point measurements use their own fresh
+    // Study per attempt inside measure_point.
+    core::Study study{options_.study};
+    const dvfs::Sweep swept = dvfs::run_sweep(
+        study, *workload, request.input_index,
+        v1::detail::sweep_settings_to_internal(request.options),
+        measure_point);
+    out.sweep = v1::detail::sweep_to_v1(request.program, request.input_index,
+                                        swept);
+  } catch (const std::invalid_argument& e) {
+    out.status = Status::kInvalidRequest;
+    out.error = e.what();
+    return out;
+  }
+  for (const v1::SweepPoint& point : out.sweep.points) {
+    out.retries += point.retries;
+    if (point.degraded) {
+      out.degradation = Degradation::kDegraded;
+    } else if (point.retries > 0 &&
+               out.degradation == Degradation::kNone) {
+      out.degradation = Degradation::kRetried;
+    }
+  }
+  out.status = Status::kOk;
+  if (obs::enabled()) {
+    obs::Registry::instance().counter("serve.sweep.requests").add();
+  }
+  return out;
+}
+
+Service::RecommendOutcome Service::recommend(const RecommendRequest& request) {
+  RecommendOutcome out;
+  SweepRequest sweep_request;
+  sweep_request.id = request.id;
+  sweep_request.program = request.program;
+  sweep_request.input_index = request.input_index;
+  sweep_request.options = request.options;
+  SweepOutcome swept = sweep(sweep_request);
+  out.status = swept.status;
+  out.error = std::move(swept.error);
+  out.degradation = swept.degradation;
+  out.retries = swept.retries;
+  if (out.status != Status::kOk) return out;
+  try {
+    out.recommendation = v1::detail::recommend_over(
+        request.objective, request.perf_cap_rel, std::move(swept.sweep));
+  } catch (const std::invalid_argument& e) {
+    out.status = Status::kInvalidRequest;
+    out.error = e.what();
+    return out;
+  }
+  if (!out.recommendation.ok) {
+    // Swept fine but nothing qualified (e.g. every point unusable): a
+    // structured failure, not a malformed request.
+    out.status = Status::kFailed;
+    out.error = out.recommendation.error;
+  }
+  if (obs::enabled()) {
+    obs::Registry::instance().counter("serve.recommend.requests").add();
   }
   return out;
 }

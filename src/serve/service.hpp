@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +34,7 @@
 #include "repro/api.hpp"
 #include "serve/cache.hpp"
 #include "serve/wire.hpp"
+#include "sim/gpuconfig.hpp"
 
 namespace repro::serve {
 
@@ -144,6 +146,40 @@ class Service {
   /// independent of the dispatcher, queue and result cache.
   AttributionResult attribute(const v1::ExperimentRequest& request) const;
 
+  /// Outcome of one DVFS grid sweep (Service::sweep, DESIGN.md §15).
+  struct SweepOutcome {
+    Status status = Status::kOk;
+    std::string error;  // non-empty iff status != kOk
+    Degradation degradation = Degradation::kNone;  // worst measured point
+    int retries = 0;                               // summed over points
+    v1::SweepResult sweep;
+  };
+
+  /// Sweeps the requested (core, mem) grid for one program input: analytic
+  /// V^2 f projection over every point, margin-relaxed Pareto pruning, and
+  /// a measurement of each survivor. Synchronous (runs on the calling
+  /// thread, independent of the dispatcher queue) but NOT independent of
+  /// the result cache: each grid point's measurement uses the exact
+  /// versioned key a direct request for that (program, input, config)
+  /// would, so sweeps are warmed by earlier point requests and vice versa.
+  /// Per-point faults follow the sampled-dispatch semantics: sensor taint
+  /// retries with deterministic backoff and degrades (uncached) when the
+  /// budget runs out.
+  SweepOutcome sweep(const SweepRequest& request);
+
+  /// Outcome of one recommendation request (Service::recommend).
+  struct RecommendOutcome {
+    Status status = Status::kOk;
+    std::string error;
+    Degradation degradation = Degradation::kNone;
+    int retries = 0;
+    v1::Recommendation recommendation;
+  };
+
+  /// Runs the sweep, then the exact argmin of the requested objective over
+  /// its measured usable points. kFailed when no point qualifies.
+  RecommendOutcome recommend(const RecommendRequest& request);
+
   /// Version prefix of every cache key: derived from the study options and
   /// a fingerprint of the power model's energy table, so a model or seed
   /// change can never serve a stale cached result.
@@ -151,6 +187,15 @@ class Service {
 
  private:
   struct Miss;  // one cache miss scheduled in the current dispatch cycle
+
+  /// Resolves a request's operating point: paper names first, then points
+  /// interned by an earlier inline-spec request, then — when the request
+  /// carries an inline spec — validates and interns it. Returns nullptr
+  /// with `error` set when the name is unknown or the spec is invalid. The
+  /// returned pointer is node-stable for the service's lifetime (Miss
+  /// holds it across dispatch attempts).
+  const sim::GpuConfig* resolve_config(const v1::ExperimentRequest& request,
+                                       std::string& error) const;
 
   void dispatcher_loop();
   void dispatch(std::vector<std::shared_ptr<detail::Pending>> batch);
@@ -168,6 +213,12 @@ class Service {
   std::string cache_version_;
   ResultCache cache_;
   core::Scheduler scheduler_;
+
+  // Operating points interned from inline request specs, keyed by their
+  // canonical names. std::map for node stability: Miss::config and the
+  // sweep path point into it while new points are interned concurrently.
+  mutable std::mutex config_mutex_;
+  mutable std::map<std::string, sim::GpuConfig> registered_configs_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

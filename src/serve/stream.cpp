@@ -165,6 +165,40 @@ void serve_lines(Service& service,
         slot = format_attribution_error_line(Status::kInvalidRequest, "",
                                              error);
       }
+    } else if (is_sweep_request(line)) {
+      // Sweeps and recommendations run synchronously on the reader thread
+      // like attribution: they are analysis endpoints whose per-point
+      // measurements already flow through the service's result cache.
+      SweepRequest request;
+      std::string error;
+      if (parse_sweep_request(line, request, error)) {
+        if (request.id == 0) request.id = line_number;
+        const Service::SweepOutcome outcome = service.sweep(request);
+        slot = outcome.status == Status::kOk
+                   ? format_sweep_line(request.id, outcome.sweep,
+                                       outcome.degradation, outcome.retries)
+                   : format_sweep_error_line(request.id, outcome.status,
+                                             outcome.error);
+      } else {
+        slot = format_sweep_error_line(line_number, Status::kInvalidRequest,
+                                       error);
+      }
+    } else if (is_recommend_request(line)) {
+      RecommendRequest request;
+      std::string error;
+      if (parse_recommend_request(line, request, error)) {
+        if (request.id == 0) request.id = line_number;
+        const Service::RecommendOutcome outcome = service.recommend(request);
+        slot = outcome.status == Status::kOk
+                   ? format_recommend_line(request.id, outcome.recommendation,
+                                           outcome.degradation,
+                                           outcome.retries)
+                   : format_recommend_error_line(request.id, outcome.status,
+                                                 outcome.error);
+      } else {
+        slot = format_recommend_error_line(line_number,
+                                           Status::kInvalidRequest, error);
+      }
     } else {
       v1::ExperimentRequest request;
       std::string error;

@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <stdexcept>
 #include <string>
 
+#include "dvfs/dvfs.hpp"    // inline operating-point validation (§15)
 #include "obs/metrics.hpp"  // RegistrySnapshot for the metrics endpoint
 #include "obs/trace.hpp"    // append_json_escaped
 
@@ -242,6 +244,125 @@ bool parse_sampling_mode(std::string_view text, v1::SamplingMode& out) {
   return true;
 }
 
+// Parses the inline operating-point form "config":{...} — the single
+// permitted nesting on an inbound request line (wire.hpp header). The
+// parser position sits on the '{'. Validates and canonicalizes through
+// dvfs::normalized so `request.config` ends up holding the point's cache
+// identity; specs matching a paper operating point collapse to the plain
+// name form.
+bool parse_config_object(Parser& p, v1::ExperimentRequest& request,
+                         std::string& error) {
+  if (!p.consume('{')) {
+    error = p.error;
+    return false;
+  }
+  sim::GpuConfig config;
+  config.name.clear();
+  bool have_core = false, have_mem = false;
+  bool have_core_voltage = false, have_mem_voltage = false;
+  p.skip_ws();
+  if (p.i < p.s.size() && p.s[p.i] == '}') {
+    ++p.i;
+  } else {
+    for (;;) {
+      std::string key;
+      Parser::Value value;
+      if (!p.parse_string(key) || !p.consume(':') || !p.parse_value(value)) {
+        error = p.error;
+        return false;
+      }
+      if (key == "name") {
+        if (value.kind != Parser::Kind::kString) {
+          error = "config name must be a string";
+          return false;
+        }
+        config.name = std::move(value.text);
+      } else if (key == "core_mhz") {
+        if (!to_double(value, config.core_mhz)) {
+          error = "bad core_mhz";
+          return false;
+        }
+        have_core = true;
+      } else if (key == "mem_mhz") {
+        if (!to_double(value, config.mem_mhz)) {
+          error = "bad mem_mhz";
+          return false;
+        }
+        have_mem = true;
+      } else if (key == "core_voltage") {
+        if (!to_double(value, config.core_voltage)) {
+          error = "bad core_voltage";
+          return false;
+        }
+        have_core_voltage = true;
+      } else if (key == "mem_voltage") {
+        if (!to_double(value, config.mem_voltage)) {
+          error = "bad mem_voltage";
+          return false;
+        }
+        have_mem_voltage = true;
+      } else if (key == "ecc") {
+        if (value.kind != Parser::Kind::kBool) {
+          error = "config ecc must be a bool";
+          return false;
+        }
+        config.ecc = value.flag;
+      } else {
+        // Unlike top-level fields, an unknown *config* field is an error:
+        // ignoring a typo here would silently measure (and cache) a
+        // different operating point than the client asked for.
+        error = "unknown config field: " + key;
+        return false;
+      }
+      p.skip_ws();
+      if (p.i < p.s.size() && p.s[p.i] == ',') {
+        ++p.i;
+        continue;
+      }
+      if (!p.consume('}')) {
+        error = p.error;
+        return false;
+      }
+      break;
+    }
+  }
+  if (!have_core || !have_mem) {
+    error = "config object requires core_mhz and mem_mhz";
+    return false;
+  }
+  if (!have_core_voltage) {
+    config.core_voltage = dvfs::core_voltage_rule(config.core_mhz);
+  }
+  if (!have_mem_voltage) {
+    config.mem_voltage = dvfs::mem_voltage_rule(config.mem_mhz);
+  }
+  try {
+    const sim::GpuConfig normalized = dvfs::normalized(std::move(config));
+    request.config = normalized.name;
+    bool paper = false;
+    for (const sim::GpuConfig& standard : sim::standard_configs()) {
+      if (normalized.name == standard.name) paper = true;
+    }
+    if (paper) {
+      // Paper operating point: collapse to the name form so the request
+      // re-encodes byte-identically to pre-sweep traffic.
+      request.has_config_spec = false;
+    } else {
+      request.has_config_spec = true;
+      request.config_spec.name = normalized.name;
+      request.config_spec.core_mhz = normalized.core_mhz;
+      request.config_spec.mem_mhz = normalized.mem_mhz;
+      request.config_spec.core_voltage = normalized.core_voltage;
+      request.config_spec.mem_voltage = normalized.mem_voltage;
+      request.config_spec.ecc = normalized.ecc;
+    }
+  } catch (const std::invalid_argument& e) {
+    error = std::string("bad config: ") + e.what();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool parse_request_line(std::string_view line, v1::ExperimentRequest& out,
@@ -261,11 +382,20 @@ bool parse_request_line(std::string_view line, v1::ExperimentRequest& out,
     for (;;) {
       std::string key;
       Parser::Value value;
-      if (!p.parse_string(key) || !p.consume(':') || !p.parse_value(value)) {
+      if (!p.parse_string(key) || !p.consume(':')) {
         error = p.error;
         return false;
       }
-      if (key == "v") {
+      p.skip_ws();
+      const bool inline_config =
+          key == "config" && p.i < p.s.size() && p.s[p.i] == '{';
+      if (inline_config) {
+        if (!parse_config_object(p, request, error)) return false;
+        have_config = true;
+      } else if (!p.parse_value(value)) {
+        error = p.error;
+        return false;
+      } else if (key == "v") {
         std::size_t version = 0;
         if (!to_index(value, version) || version != v1::kApiVersion) {
           error = "unsupported wire version";
@@ -364,7 +494,25 @@ std::string format_request_line(const v1::ExperimentRequest& request) {
   line += ",\"input\":";
   line += std::to_string(request.input_index);
   line += ',';
-  append_string_field(line, "config", request.config);
+  if (request.has_config_spec) {
+    // Inline operating point (round-trip stable: an explicit name and
+    // explicit voltages re-normalize to themselves on parse).
+    line += "\"config\":{";
+    append_string_field(line, "name", request.config_spec.name);
+    line += ",\"core_mhz\":";
+    append_double(line, request.config_spec.core_mhz);
+    line += ",\"mem_mhz\":";
+    append_double(line, request.config_spec.mem_mhz);
+    line += ",\"core_voltage\":";
+    append_double(line, request.config_spec.core_voltage);
+    line += ",\"mem_voltage\":";
+    append_double(line, request.config_spec.mem_voltage);
+    line += ",\"ecc\":";
+    line += request.config_spec.ecc ? "true" : "false";
+    line += '}';
+  } else {
+    append_string_field(line, "config", request.config);
+  }
   line += ",\"deadline_ms\":";
   append_double(line, request.deadline_ms);
   // Sampling fields only appear on sampled requests, so exact request
@@ -602,11 +750,20 @@ bool parse_attribution_request(std::string_view line,
     for (;;) {
       std::string key;
       Parser::Value value;
-      if (!p.parse_string(key) || !p.consume(':') || !p.parse_value(value)) {
+      if (!p.parse_string(key) || !p.consume(':')) {
         error = p.error;
         return false;
       }
-      if (key == "v") {
+      p.skip_ws();
+      const bool inline_config =
+          key == "config" && p.i < p.s.size() && p.s[p.i] == '{';
+      if (inline_config) {
+        if (!parse_config_object(p, request, error)) return false;
+        have_config = true;
+      } else if (!p.parse_value(value)) {
+        error = p.error;
+        return false;
+      } else if (key == "v") {
         std::size_t version = 0;
         if (!to_index(value, version) || version != v1::kApiVersion) {
           error = "unsupported wire version";
@@ -799,6 +956,438 @@ std::string format_attribution_error_line(Status status, std::string_view key,
     append_string_field(line, "key", key);
   }
   line += ',';
+  append_string_field(line, "error", error);
+  line += '}';
+  return line;
+}
+
+namespace {
+
+// Scans `line` as a flat object and reports whether `name` is present
+// holding a string (request-detection contract of is_attribution_request:
+// responses carry `name`:true, so they never match).
+bool has_string_key(std::string_view line, std::string_view name) {
+  Parser p;
+  p.s = line;
+  if (!p.consume('{')) return false;
+  p.skip_ws();
+  if (p.i < p.s.size() && p.s[p.i] == '}') return false;
+  bool found = false;
+  for (;;) {
+    std::string key;
+    Parser::Value value;
+    if (!p.parse_string(key) || !p.consume(':') || !p.parse_value(value)) {
+      return false;
+    }
+    if (key == name) {
+      found = value.kind == Parser::Kind::kString;
+    }
+    p.skip_ws();
+    if (p.i < p.s.size() && p.s[p.i] == ',') {
+      ++p.i;
+      continue;
+    }
+    if (!p.consume('}')) return false;
+    break;
+  }
+  p.skip_ws();
+  return found && p.i == p.s.size();
+}
+
+// Shared field loop of the sweep and recommend request parsers: the grid,
+// pruning and sampling fields are identical; recommend additionally
+// accepts "objective" and "perf_cap_rel". `endpoint` names the key that
+// carries the program ("sweep" or "recommend").
+bool parse_grid_request_line(std::string_view line, std::string_view endpoint,
+                             bool recommend, std::uint64_t& id,
+                             std::string& program, std::size_t& input_index,
+                             v1::SweepOptions& options,
+                             v1::Objective& objective, double& perf_cap_rel,
+                             std::string& error) {
+  Parser p;
+  p.s = line;
+  bool have_program = false;
+  if (!p.consume('{')) {
+    error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.i < p.s.size() && p.s[p.i] == '}') {
+    ++p.i;
+  } else {
+    for (;;) {
+      std::string key;
+      Parser::Value value;
+      if (!p.parse_string(key) || !p.consume(':') || !p.parse_value(value)) {
+        error = p.error;
+        return false;
+      }
+      if (key == "v") {
+        std::size_t version = 0;
+        if (!to_index(value, version) || version != v1::kApiVersion) {
+          error = "unsupported wire version";
+          return false;
+        }
+      } else if (key == "id") {
+        std::size_t parsed = 0;
+        if (!to_index(value, parsed)) {
+          error = "bad id";
+          return false;
+        }
+        id = parsed;
+      } else if (key == endpoint) {
+        if (value.kind != Parser::Kind::kString) {
+          error = std::string(endpoint) + " must be a program name string";
+          return false;
+        }
+        program = std::move(value.text);
+        have_program = true;
+      } else if (key == "input") {
+        if (!to_index(value, input_index)) {
+          error = "bad input index";
+          return false;
+        }
+      } else if (key == "core_mhz_min") {
+        if (!to_double(value, options.core_mhz.min)) {
+          error = "bad core_mhz_min";
+          return false;
+        }
+      } else if (key == "core_mhz_max") {
+        if (!to_double(value, options.core_mhz.max)) {
+          error = "bad core_mhz_max";
+          return false;
+        }
+      } else if (key == "core_mhz_step") {
+        if (!to_double(value, options.core_mhz.step)) {
+          error = "bad core_mhz_step";
+          return false;
+        }
+      } else if (key == "mem_mhz_min") {
+        if (!to_double(value, options.mem_mhz.min)) {
+          error = "bad mem_mhz_min";
+          return false;
+        }
+      } else if (key == "mem_mhz_max") {
+        if (!to_double(value, options.mem_mhz.max)) {
+          error = "bad mem_mhz_max";
+          return false;
+        }
+      } else if (key == "mem_mhz_step") {
+        if (!to_double(value, options.mem_mhz.step)) {
+          error = "bad mem_mhz_step";
+          return false;
+        }
+      } else if (key == "ecc") {
+        if (value.kind != Parser::Kind::kBool) {
+          error = "ecc must be a bool";
+          return false;
+        }
+        options.ecc = value.flag;
+      } else if (key == "prune") {
+        if (value.kind != Parser::Kind::kBool) {
+          error = "prune must be a bool";
+          return false;
+        }
+        options.prune = value.flag;
+      } else if (key == "prune_margin") {
+        if (!to_double(value, options.prune_margin) ||
+            options.prune_margin < 0.0 || options.prune_margin >= 1.0) {
+          error = "bad prune_margin (must be in [0, 1))";
+          return false;
+        }
+      } else if (key == "sample_mode") {
+        if (value.kind != Parser::Kind::kString ||
+            !parse_sampling_mode(value.text, options.sampling.mode)) {
+          error = "bad sample_mode (exact|stratified|systematic)";
+          return false;
+        }
+      } else if (key == "sample_fraction") {
+        if (!to_double(value, options.sampling.fraction) ||
+            !(options.sampling.fraction > 0.0) ||
+            options.sampling.fraction > 1.0) {
+          error = "bad sample_fraction (must be in (0, 1])";
+          return false;
+        }
+      } else if (key == "sample_target_rel_err") {
+        if (!to_double(value, options.sampling.target_rel_error) ||
+            options.sampling.target_rel_error < 0.0 ||
+            options.sampling.target_rel_error >= 1.0) {
+          error = "bad sample_target_rel_err (must be in [0, 1))";
+          return false;
+        }
+      } else if (key == "sample_seed") {
+        std::size_t seed = 0;
+        if (!to_index(value, seed)) {
+          error = "bad sample_seed";
+          return false;
+        }
+        options.sampling.seed = seed;
+      } else if (recommend && key == "objective") {
+        if (value.kind != Parser::Kind::kString ||
+            !v1::parse_objective(value.text, objective)) {
+          error = "bad objective (min_energy|min_edp|min_ed2p|perf_cap)";
+          return false;
+        }
+      } else if (recommend && key == "perf_cap_rel") {
+        if (!to_double(value, perf_cap_rel) || !(perf_cap_rel >= 1.0)) {
+          error = "bad perf_cap_rel (must be >= 1)";
+          return false;
+        }
+      }  // unknown fields: ignored for forward compatibility
+      p.skip_ws();
+      if (p.i < p.s.size() && p.s[p.i] == ',') {
+        ++p.i;
+        continue;
+      }
+      if (!p.consume('}')) {
+        error = p.error;
+        return false;
+      }
+      break;
+    }
+  }
+  p.skip_ws();
+  if (p.i != p.s.size()) {
+    error = "trailing content after object";
+    return false;
+  }
+  if (!have_program) {
+    error = "missing required field: " + std::string(endpoint);
+    return false;
+  }
+  return true;
+}
+
+// Grid, pruning and sampling fields shared by the two canonical request
+// encodings. All fields are always emitted — these line shapes are new,
+// so there is no byte-compat constraint to elide defaults for.
+void append_grid_fields(std::string& line, const v1::SweepOptions& options) {
+  line += ",\"core_mhz_min\":";
+  append_double(line, options.core_mhz.min);
+  line += ",\"core_mhz_max\":";
+  append_double(line, options.core_mhz.max);
+  line += ",\"core_mhz_step\":";
+  append_double(line, options.core_mhz.step);
+  line += ",\"mem_mhz_min\":";
+  append_double(line, options.mem_mhz.min);
+  line += ",\"mem_mhz_max\":";
+  append_double(line, options.mem_mhz.max);
+  line += ",\"mem_mhz_step\":";
+  append_double(line, options.mem_mhz.step);
+  line += ",\"ecc\":";
+  line += options.ecc ? "true" : "false";
+  line += ",\"prune\":";
+  line += options.prune ? "true" : "false";
+  line += ",\"prune_margin\":";
+  append_double(line, options.prune_margin);
+  line += ",\"sample_mode\":\"";
+  line += sampling_mode_name(options.sampling.mode);
+  line += "\",\"sample_fraction\":";
+  append_double(line, options.sampling.fraction);
+  line += ",\"sample_target_rel_err\":";
+  append_double(line, options.sampling.target_rel_error);
+  line += ",\"sample_seed\":";
+  line += std::to_string(options.sampling.seed);
+}
+
+void append_config_fields(std::string& line, const v1::GpuConfigSpec& config) {
+  line += ",\"core_mhz\":";
+  append_double(line, config.core_mhz);
+  line += ",\"mem_mhz\":";
+  append_double(line, config.mem_mhz);
+  line += ",\"core_voltage\":";
+  append_double(line, config.core_voltage);
+  line += ",\"mem_voltage\":";
+  append_double(line, config.mem_voltage);
+  line += ",\"ecc\":";
+  line += config.ecc ? "true" : "false";
+}
+
+}  // namespace
+
+bool is_sweep_request(std::string_view line) {
+  return has_string_key(line, "sweep");
+}
+
+bool parse_sweep_request(std::string_view line, SweepRequest& out,
+                         std::string& error) {
+  SweepRequest request;
+  v1::Objective objective = v1::Objective::kMinEdp;
+  double perf_cap_rel = 1.10;
+  if (!parse_grid_request_line(line, "sweep", false, request.id,
+                               request.program, request.input_index,
+                               request.options, objective, perf_cap_rel,
+                               error)) {
+    return false;
+  }
+  out = std::move(request);
+  return true;
+}
+
+std::string format_sweep_request_line(const SweepRequest& request) {
+  std::string line = "{\"v\":1,\"id\":";
+  line += std::to_string(request.id);
+  line += ',';
+  append_string_field(line, "sweep", request.program);
+  line += ",\"input\":";
+  line += std::to_string(request.input_index);
+  append_grid_fields(line, request.options);
+  line += '}';
+  return line;
+}
+
+std::string format_sweep_line(std::uint64_t id, const v1::SweepResult& sweep,
+                              Degradation degradation, int retries) {
+  std::string line = "{\"v\":1,\"sweep\":true,\"id\":";
+  line += std::to_string(id);
+  line += ",\"status\":\"ok\",";
+  append_string_field(line, "program", sweep.program);
+  line += ",\"input\":";
+  line += std::to_string(sweep.input_index);
+  line += ",\"grid_points\":";
+  line += std::to_string(sweep.grid_points);
+  line += ",\"pruned\":";
+  line += std::to_string(sweep.pruned);
+  line += ",\"measured\":";
+  line += std::to_string(sweep.measured);
+  line += ",\"degradation\":\"";
+  line += to_string(degradation);
+  line += "\",\"retries\":";
+  line += std::to_string(retries);
+  line += ",\"points\":[";
+  bool first = true;
+  for (const v1::SweepPoint& point : sweep.points) {
+    if (!first) line += ',';
+    first = false;
+    line += '{';
+    append_string_field(line, "config", point.config.name);
+    append_config_fields(line, point.config);
+    line += ",\"analytic_time_s\":";
+    append_double(line, point.analytic_time_s);
+    line += ",\"analytic_energy_j\":";
+    append_double(line, point.analytic_energy_j);
+    line += ",\"analytic_power_w\":";
+    append_double(line, point.analytic_power_w);
+    line += ",\"pruned\":";
+    line += point.pruned ? "true" : "false";
+    line += ",\"measured\":";
+    line += point.measured ? "true" : "false";
+    if (point.measured) {
+      line += ",\"cached\":";
+      line += point.cached ? "true" : "false";
+      line += ",\"retries\":";
+      line += std::to_string(point.retries);
+      line += ",\"degraded\":";
+      line += point.degraded ? "true" : "false";
+      line += ",\"usable\":";
+      line += point.result.usable ? "true" : "false";
+      line += ",\"time_s\":";
+      append_double(line, point.result.time_s);
+      line += ",\"energy_j\":";
+      append_double(line, point.result.energy_j);
+      line += ",\"power_w\":";
+      append_double(line, point.result.power_w);
+      if (point.result.sampled) {
+        line += ",\"sampled\":true,\"sample_fraction\":";
+        append_double(line, point.result.sample_fraction);
+      }
+      line += ",\"pareto\":";
+      line += point.pareto ? "true" : "false";
+    }
+    line += '}';
+  }
+  line += "]}";
+  return line;
+}
+
+std::string format_sweep_error_line(std::uint64_t id, Status status,
+                                    std::string_view error) {
+  std::string line = "{\"v\":1,\"sweep\":true,\"id\":";
+  line += std::to_string(id);
+  line += ",\"status\":\"";
+  line += to_string(status);
+  line += "\",";
+  append_string_field(line, "error", error);
+  line += '}';
+  return line;
+}
+
+bool is_recommend_request(std::string_view line) {
+  return has_string_key(line, "recommend");
+}
+
+bool parse_recommend_request(std::string_view line, RecommendRequest& out,
+                             std::string& error) {
+  RecommendRequest request;
+  if (!parse_grid_request_line(line, "recommend", true, request.id,
+                               request.program, request.input_index,
+                               request.options, request.objective,
+                               request.perf_cap_rel, error)) {
+    return false;
+  }
+  out = std::move(request);
+  return true;
+}
+
+std::string format_recommend_request_line(const RecommendRequest& request) {
+  std::string line = "{\"v\":1,\"id\":";
+  line += std::to_string(request.id);
+  line += ',';
+  append_string_field(line, "recommend", request.program);
+  line += ",\"input\":";
+  line += std::to_string(request.input_index);
+  line += ",\"objective\":\"";
+  line += v1::to_string(request.objective);
+  line += "\",\"perf_cap_rel\":";
+  append_double(line, request.perf_cap_rel);
+  append_grid_fields(line, request.options);
+  line += '}';
+  return line;
+}
+
+std::string format_recommend_line(std::uint64_t id,
+                                  const v1::Recommendation& recommendation,
+                                  Degradation degradation, int retries) {
+  std::string line = "{\"v\":1,\"recommend\":true,\"id\":";
+  line += std::to_string(id);
+  line += ",\"status\":\"ok\",";
+  append_string_field(line, "program", recommendation.sweep.program);
+  line += ",\"input\":";
+  line += std::to_string(recommendation.sweep.input_index);
+  line += ",\"objective\":\"";
+  line += v1::to_string(recommendation.objective);
+  line += "\",\"objective_value\":";
+  append_double(line, recommendation.objective_value);
+  line += ',';
+  append_string_field(line, "config", recommendation.config.name);
+  append_config_fields(line, recommendation.config);
+  line += ",\"time_s\":";
+  append_double(line, recommendation.time_s);
+  line += ",\"energy_j\":";
+  append_double(line, recommendation.energy_j);
+  line += ",\"power_w\":";
+  append_double(line, recommendation.power_w);
+  line += ",\"grid_points\":";
+  line += std::to_string(recommendation.sweep.grid_points);
+  line += ",\"pruned\":";
+  line += std::to_string(recommendation.sweep.pruned);
+  line += ",\"measured\":";
+  line += std::to_string(recommendation.sweep.measured);
+  line += ",\"degradation\":\"";
+  line += to_string(degradation);
+  line += "\",\"retries\":";
+  line += std::to_string(retries);
+  line += '}';
+  return line;
+}
+
+std::string format_recommend_error_line(std::uint64_t id, Status status,
+                                        std::string_view error) {
+  std::string line = "{\"v\":1,\"recommend\":true,\"id\":";
+  line += std::to_string(id);
+  line += ",\"status\":\"";
+  line += to_string(status);
+  line += "\",";
   append_string_field(line, "error", error);
   line += '}';
   return line;

@@ -26,10 +26,25 @@
 // Attribution: {"v":1,"attribution":"NB","input":2,"config":"default"}
 //           ->  format_attribution_line(...) with per-kernel
 //               instruction-class energy columns.
+// Sweep:    {"v":1,"sweep":"BP","input":0,...grid/sampling fields...}
+//           ->  format_sweep_line(...) with a nested per-point array.
+// Recommend:{"v":1,"recommend":"BP","objective":"min_edp",...}
+//           ->  format_recommend_line(...), flat (the chosen point).
 //
-// Only *inbound* request lines are restricted to flat JSON; the metrics
-// and attribution response lines carry nested objects/arrays (clients of
-// those endpoints are monitoring tools, not the flat-wire request path).
+// Measurement and attribution requests may replace the "config" name
+// string with an inline operating point (DESIGN.md §15) — the single
+// permitted one-level nesting on an inbound line:
+//   "config":{"name":"cfg:614x2600","core_mhz":614,"mem_mhz":2600,
+//             "core_voltage":0.93,"mem_voltage":1,"ecc":false}
+// Only core_mhz/mem_mhz are required; absent voltages take the DVFS rule
+// values and an absent name takes the canonical auto-name. Specs matching
+// a paper operating point collapse to the plain name form, so paper-config
+// traffic stays byte-identical however it is spelled.
+//
+// Otherwise only *inbound* request lines are restricted to flat JSON; the
+// metrics, attribution and sweep response lines carry nested
+// objects/arrays (clients of those endpoints are monitoring tools, not
+// the flat-wire request path).
 //
 // Unknown request fields are ignored (forward compatibility); a "v" other
 // than 1 is rejected. `degradation` reports how the fault-injection layer
@@ -152,6 +167,66 @@ std::string format_attribution_line(std::string_view key,
 std::string format_attribution_error_line(Status status,
                                           std::string_view key,
                                           std::string_view error);
+
+/// One DVFS grid-sweep request (DESIGN.md §15):
+///   {"v":1,"id":21,"sweep":"BP","input":0,
+///    "core_mhz_min":324,"core_mhz_max":705,"core_mhz_step":50,
+///    "mem_mhz_min":2600,"mem_mhz_max":2600,"mem_mhz_step":0,
+///    "ecc":false,"prune":true,"prune_margin":0.1,
+///    "sample_mode":"stratified","sample_fraction":0.1,
+///    "sample_target_rel_err":0,"sample_seed":1}
+/// Every field except "sweep" (the program name) is optional and defaults
+/// to v1::SweepOptions; out-of-range values are structured parse errors.
+struct SweepRequest {
+  std::uint64_t id = 0;
+  std::string program;
+  std::size_t input_index = 0;
+  v1::SweepOptions options;
+};
+
+/// True when `line` is a sweep request: a flat JSON object whose "sweep"
+/// key holds a program name string (responses carry "sweep":true, so they
+/// never match). Same detection contract as is_attribution_request.
+bool is_sweep_request(std::string_view line);
+bool parse_sweep_request(std::string_view line, SweepRequest& out,
+                         std::string& error);
+/// Canonical encoding (all fields, default or not, in the order above).
+std::string format_sweep_request_line(const SweepRequest& request);
+
+/// Ok sweep response: flat header plus a nested "points" array (one object
+/// per grid point, grid order) — like the other monitoring-style payloads,
+/// only *inbound* request lines are restricted to flat JSON. `degradation`
+/// and `retries` aggregate over the measured points (worst degradation,
+/// summed retries).
+std::string format_sweep_line(std::uint64_t id, const v1::SweepResult& sweep,
+                              Degradation degradation, int retries);
+std::string format_sweep_error_line(std::uint64_t id, Status status,
+                                    std::string_view error);
+
+/// One recommendation request: a sweep request under the "recommend" key
+/// plus "objective" ("min_energy"|"min_edp"|"min_ed2p"|"perf_cap") and
+/// "perf_cap_rel" (>= 1, kPerfCap only).
+struct RecommendRequest {
+  std::uint64_t id = 0;
+  std::string program;
+  std::size_t input_index = 0;
+  v1::Objective objective = v1::Objective::kMinEdp;
+  double perf_cap_rel = 1.10;
+  v1::SweepOptions options;
+};
+
+bool is_recommend_request(std::string_view line);
+bool parse_recommend_request(std::string_view line, RecommendRequest& out,
+                             std::string& error);
+std::string format_recommend_request_line(const RecommendRequest& request);
+
+/// Ok recommendation response: flat, the chosen operating point's values
+/// plus the objective value and the sweep's grid counters.
+std::string format_recommend_line(std::uint64_t id,
+                                  const v1::Recommendation& recommendation,
+                                  Degradation degradation, int retries);
+std::string format_recommend_error_line(std::uint64_t id, Status status,
+                                        std::string_view error);
 
 /// One worker row of the shard router's hash ring (DESIGN.md §14).
 struct TopologyWorker {

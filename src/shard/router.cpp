@@ -56,7 +56,11 @@ struct Router::Worker {
 
 /// One classified client request bound for a worker.
 struct Router::RoutedRequest {
-  bool attribution = false;
+  /// What kind of line this is — picks the failure-response format and
+  /// gates hot-key tracking (only plain measurements are handoff
+  /// candidates: the other kinds are analysis endpoints).
+  enum Kind { kMeasure, kAttribution, kSweep, kRecommend };
+  Kind kind = kMeasure;
   std::uint64_t id = 0;
   std::string key;   // canonical experiment key (ring position)
   std::string line;  // canonical wire line forwarded to the owner
@@ -278,7 +282,8 @@ std::shared_ptr<Router::Call> Router::try_dispatch(
     routed_.fetch_add(1, std::memory_order_relaxed);
     worker->routed.fetch_add(1, std::memory_order_relaxed);
     bump("shard.routed");
-    if (!routed.attribution && options_.hot_key_threshold > 0) {
+    if (routed.kind == RoutedRequest::kMeasure &&
+        options_.hot_key_threshold > 0) {
       std::lock_guard lock(hot_mutex_);
       HotEntry& entry = hot_[routed.key];
       ++entry.count;
@@ -309,16 +314,24 @@ std::string Router::finish(const RoutedRequest& routed,
   }
   failed_.fetch_add(1, std::memory_order_relaxed);
   bump("shard.failed");
-  if (routed.attribution) {
-    return format_attribution_error_line(
-        serve::Status::kFailed, routed.key,
-        "shard worker lost; reroute budget exhausted");
+  const std::string_view lost = "shard worker lost; reroute budget exhausted";
+  switch (routed.kind) {
+    case RoutedRequest::kAttribution:
+      return format_attribution_error_line(serve::Status::kFailed, routed.key,
+                                           lost);
+    case RoutedRequest::kSweep:
+      return format_sweep_error_line(routed.id, serve::Status::kFailed, lost);
+    case RoutedRequest::kRecommend:
+      return format_recommend_error_line(routed.id, serve::Status::kFailed,
+                                         lost);
+    case RoutedRequest::kMeasure:
+      break;
   }
   serve::Response response;
   response.id = routed.id;
   response.status = serve::Status::kFailed;
   response.key = routed.key;
-  response.error = "shard worker lost; reroute budget exhausted";
+  response.error = std::string(lost);
   return format_response_line(response);
 }
 
@@ -345,11 +358,52 @@ bool Router::classify(std::string_view line, std::uint64_t line_number,
                                                 "", error);
       return false;
     }
-    routed.attribution = true;
+    routed.kind = RoutedRequest::kAttribution;
     routed.id = request.id;
     routed.key = core::experiment_key(request.program, request.input_index,
                                       request.config);
     routed.line = std::string(line);  // workers re-parse the original form
+    return true;
+  }
+  if (serve::is_sweep_request(line)) {
+    serve::SweepRequest request;
+    std::string error;
+    if (!serve::parse_sweep_request(line, request, error)) {
+      immediate = format_sweep_error_line(
+          line_number, serve::Status::kInvalidRequest, error);
+      return false;
+    }
+    if (request.id == 0) request.id = line_number;
+    routed.kind = RoutedRequest::kSweep;
+    routed.id = request.id;
+    // The whole grid routes as one unit: the ring key is derived from the
+    // (program, input) pair under a fixed "sweep" config slot, so a
+    // sweep's per-point cache entries all land on one worker and repeat
+    // sweeps of the same pair hit that worker's warm cache.
+    routed.key = core::experiment_key(request.program, request.input_index,
+                                      "sweep");
+    // Canonical re-encode (not the original bytes): sweep responses echo
+    // the id, so an id-less request must reach the worker carrying the id
+    // the router assigned, exactly like the measure path.
+    routed.line = serve::format_sweep_request_line(request);
+    return true;
+  }
+  if (serve::is_recommend_request(line)) {
+    serve::RecommendRequest request;
+    std::string error;
+    if (!serve::parse_recommend_request(line, request, error)) {
+      immediate = format_recommend_error_line(
+          line_number, serve::Status::kInvalidRequest, error);
+      return false;
+    }
+    if (request.id == 0) request.id = line_number;
+    routed.kind = RoutedRequest::kRecommend;
+    routed.id = request.id;
+    // Same ring slot as a sweep of the pair: recommendations re-use the
+    // sweep-warmed point cache of that worker.
+    routed.key = core::experiment_key(request.program, request.input_index,
+                                      "sweep");
+    routed.line = serve::format_recommend_request_line(request);
     return true;
   }
   v1::ExperimentRequest request;
@@ -362,7 +416,7 @@ bool Router::classify(std::string_view line, std::uint64_t line_number,
   // Mirror the single-worker serve loop: id-less requests take the client
   // stream's line number, so sharded response bytes match byte for byte.
   if (request.id == 0) request.id = line_number;
-  routed.attribution = false;
+  routed.kind = RoutedRequest::kMeasure;
   routed.id = request.id;
   routed.key = core::experiment_key(request.program, request.input_index,
                                     request.config);

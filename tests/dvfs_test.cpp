@@ -1,0 +1,411 @@
+// DVFS grid + sweet-spot recommender suite (DESIGN.md §15). The contracts
+// under test:
+//
+//   * Naming: canonical names are value-derived and injective; the four
+//     paper configurations map to their paper names byte-identically, and
+//     `normalized` rejects paper names with non-paper values.
+//   * Voltage rule: exact at the paper anchors (core 324/614/705, mem
+//     324/2600), so rule-voltage grid points through a paper frequency
+//     reproduce the paper operating point exactly.
+//   * Grid expansion: axis/grid validation is strict (descending, oversized
+//     and non-finite axes throw), expansion is core-major and always
+//     includes the axis max.
+//   * Selection: `pick` is the exact argmin of each objective over the
+//     usable points, with grid-order tie-breaking and the perf_cap time
+//     cap enforced as a feasibility constraint — and Session::recommend
+//     returns exactly that argmin over its own sweep.
+//   * Analytic honesty: the V^2 f projection tracks the detailed pipeline
+//     within 15% absolute and 12% across-configuration spread on time and
+//     energy at the four paper operating points (the spread is what
+//     dominance pruning rests on: a common per-program bias cancels out
+//     of every dominance comparison).
+//   * Determinism: sampled sweeps are bit-reproducible across fresh
+//     sessions with equal seeds.
+//   * Registration: register_config canonicalizes, auto-names, returns
+//     paper specs byte-identically, and rejects name collisions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "dvfs/dvfs.hpp"
+#include "repro/api.hpp"
+#include "sim/gpuconfig.hpp"
+#include "suites/factories.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro {
+namespace {
+
+// --- canonical naming + voltage rule ---------------------------------------
+
+TEST(DvfsNaming, PaperConfigsMapToPaperNames) {
+  for (const sim::GpuConfig& config : sim::standard_configs()) {
+    EXPECT_EQ(dvfs::canonical_name(config), config.name);
+  }
+}
+
+TEST(DvfsNaming, CustomPointsGetValueDerivedNames) {
+  sim::GpuConfig c;
+  c.core_mhz = 540.0;
+  c.mem_mhz = 2600.0;
+  c.core_voltage = dvfs::core_voltage_rule(540.0);
+  c.mem_voltage = dvfs::mem_voltage_rule(2600.0);
+  EXPECT_EQ(dvfs::canonical_name(c), "cfg:540x2600");
+
+  // Deviating from the rule voltage must show up in the name (the name is
+  // the cache identity, so distinct values may never alias).
+  sim::GpuConfig v = c;
+  v.core_voltage = 1.10;
+  const std::string name = dvfs::canonical_name(v);
+  EXPECT_NE(name, dvfs::canonical_name(c));
+  EXPECT_NE(name.find('@'), std::string::npos);
+
+  sim::GpuConfig e = c;
+  e.ecc = true;
+  EXPECT_EQ(dvfs::canonical_name(e), "cfg:540x2600+ecc");
+}
+
+TEST(DvfsNaming, VoltageRuleExactAtPaperAnchors) {
+  EXPECT_DOUBLE_EQ(dvfs::core_voltage_rule(324.0), 0.85);
+  EXPECT_DOUBLE_EQ(dvfs::core_voltage_rule(614.0), 0.93);
+  EXPECT_DOUBLE_EQ(dvfs::core_voltage_rule(705.0), 1.00);
+  EXPECT_DOUBLE_EQ(dvfs::mem_voltage_rule(324.0), 0.88);
+  EXPECT_DOUBLE_EQ(dvfs::mem_voltage_rule(2600.0), 1.00);
+  // Monotone between anchors, clamped to the validity range outside.
+  EXPECT_LT(dvfs::core_voltage_rule(400.0), dvfs::core_voltage_rule(600.0));
+  EXPECT_GE(dvfs::core_voltage_rule(100.0), dvfs::kMinVoltage);
+  EXPECT_LE(dvfs::core_voltage_rule(1500.0), dvfs::kMaxVoltage);
+}
+
+TEST(DvfsNaming, NormalizedValidatesAndAutoNames) {
+  sim::GpuConfig c;
+  c.name.clear();
+  c.core_mhz = 540.0;
+  c.mem_mhz = 2600.0;
+  c.core_voltage = dvfs::core_voltage_rule(540.0);
+  c.mem_voltage = dvfs::mem_voltage_rule(2600.0);
+  EXPECT_EQ(dvfs::normalized(c).name, "cfg:540x2600");
+
+  sim::GpuConfig bad = c;
+  bad.core_mhz = 50.0;  // below kMinCoreMhz
+  EXPECT_THROW(dvfs::normalized(bad), std::invalid_argument);
+  bad = c;
+  bad.core_voltage = 2.0;  // above kMaxVoltage
+  EXPECT_THROW(dvfs::normalized(bad), std::invalid_argument);
+
+  // A paper name is only accepted with exactly the paper values.
+  sim::GpuConfig imposter = c;
+  imposter.name = "default";
+  EXPECT_THROW(dvfs::normalized(imposter), std::invalid_argument);
+  const sim::GpuConfig& paper = sim::config_by_name("default");
+  const sim::GpuConfig roundtrip = dvfs::normalized(paper);
+  EXPECT_EQ(roundtrip.name, paper.name);
+  EXPECT_EQ(roundtrip.core_mhz, paper.core_mhz);
+  EXPECT_EQ(roundtrip.mem_mhz, paper.mem_mhz);
+  EXPECT_EQ(roundtrip.core_voltage, paper.core_voltage);
+  EXPECT_EQ(roundtrip.mem_voltage, paper.mem_voltage);
+  EXPECT_EQ(roundtrip.ecc, paper.ecc);
+}
+
+// --- axis + grid expansion --------------------------------------------------
+
+TEST(DvfsGrid, AxisExpansionIncludesMax) {
+  const std::vector<double> pts =
+      dvfs::axis_points({324.0, 705.0, 100.0}, "core");
+  ASSERT_EQ(pts.size(), 5u);  // 324, 424, 524, 624 + the max itself
+  EXPECT_DOUBLE_EQ(pts.front(), 324.0);
+  EXPECT_DOUBLE_EQ(pts.back(), 705.0);
+
+  const std::vector<double> single =
+      dvfs::axis_points({2600.0, 2600.0, 0.0}, "mem");
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single.front(), 2600.0);
+}
+
+TEST(DvfsGrid, AxisValidationIsStrict) {
+  EXPECT_THROW(dvfs::axis_points({705.0, 324.0, 50.0}, "core"),
+               std::invalid_argument);  // descending
+  EXPECT_THROW(dvfs::axis_points({324.0, 705.0, -50.0}, "core"),
+               std::invalid_argument);  // negative step
+  EXPECT_THROW(dvfs::axis_points({324.0, 705.0, 0.0}, "core"),
+               std::invalid_argument);  // zero step on a real range
+  EXPECT_THROW(dvfs::axis_points({100.0, 1500.0, 1.0}, "core"),
+               std::invalid_argument);  // > kMaxAxisPoints
+}
+
+TEST(DvfsGrid, MakeGridIsCoreMajorWithRuleVoltagesAndPaperNames) {
+  dvfs::GridSpec spec;
+  spec.core = {324.0, 705.0, 381.0};   // {324, 705}
+  spec.mem = {324.0, 2600.0, 2276.0};  // {324, 2600}
+  const std::vector<sim::GpuConfig> grid = dvfs::make_grid(spec);
+  ASSERT_EQ(grid.size(), 4u);
+  // Core-major: mem varies fastest within one core frequency.
+  EXPECT_EQ(grid[0].core_mhz, 324.0);
+  EXPECT_EQ(grid[0].mem_mhz, 324.0);
+  EXPECT_EQ(grid[1].core_mhz, 324.0);
+  EXPECT_EQ(grid[1].mem_mhz, 2600.0);
+  EXPECT_EQ(grid[3].core_mhz, 705.0);
+  EXPECT_EQ(grid[3].mem_mhz, 2600.0);
+  // Grid points through paper frequencies ARE the paper operating points.
+  EXPECT_EQ(grid[0].name, "324");
+  EXPECT_EQ(grid[3].name, "default");
+  for (const sim::GpuConfig& c : grid) {
+    EXPECT_EQ(c.core_voltage, dvfs::core_voltage_rule(c.core_mhz)) << c.name;
+    EXPECT_EQ(c.mem_voltage, dvfs::mem_voltage_rule(c.mem_mhz)) << c.name;
+  }
+
+  dvfs::GridSpec oversized;
+  oversized.core = {324.0, 705.0, 10.0};  // 39 points
+  oversized.mem = {324.0, 2600.0, 200.0};  // 12 points -> 468 > 256
+  EXPECT_THROW(dvfs::make_grid(oversized), std::invalid_argument);
+}
+
+// --- selection (synthetic, exactly checkable) -------------------------------
+
+TEST(DvfsPick, ExactArgminPerObjectiveWithCapAndTies) {
+  // time/energy chosen so each objective has a distinct argmin:
+  //   energy:  index 2 (E=4)
+  //   EDP:     index 1 (6*1.5=9 vs 10*1 and 4*4)
+  //   ED^2 P:  index 0 (10 vs 13.5 vs 64)
+  //   perf_cap(1.10): cap = 1.1s -> only index 0 qualifies.
+  std::vector<dvfs::MetricPoint> pts(4);
+  pts[0] = {true, 1.0, 10.0};
+  pts[1] = {true, 1.5, 6.0};
+  pts[2] = {true, 4.0, 4.0};
+  pts[3] = {false, 0.1, 0.1};  // unusable: never selectable
+
+  EXPECT_EQ(dvfs::pick(pts, dvfs::Objective::kMinEnergy, 1.10).index, 2);
+  EXPECT_EQ(dvfs::pick(pts, dvfs::Objective::kMinEdp, 1.10).index, 1);
+  EXPECT_EQ(dvfs::pick(pts, dvfs::Objective::kMinEd2p, 1.10).index, 0);
+  const dvfs::Choice cap = dvfs::pick(pts, dvfs::Objective::kPerfCap, 1.10);
+  EXPECT_EQ(cap.index, 0);
+  EXPECT_DOUBLE_EQ(cap.cap_time_s, 1.10);
+  // Widening the cap admits the lower-energy points again.
+  EXPECT_EQ(dvfs::pick(pts, dvfs::Objective::kPerfCap, 4.0).index, 2);
+
+  // Exact ties break toward grid order.
+  std::vector<dvfs::MetricPoint> tie(2);
+  tie[0] = {true, 2.0, 5.0};
+  tie[1] = {true, 2.0, 5.0};
+  EXPECT_EQ(dvfs::pick(tie, dvfs::Objective::kMinEdp, 1.10).index, 0);
+
+  EXPECT_EQ(dvfs::pick({}, dvfs::Objective::kMinEnergy, 1.10).index, -1);
+}
+
+TEST(DvfsPick, PruneMaskAndParetoMask) {
+  // Point 1 is ~20% worse than point 0 in both metrics: pruned at a 10%
+  // margin, kept at a 30% margin. Point 2 trades time for energy and is
+  // never pruned.
+  std::vector<dvfs::Analytic> an(3);
+  an[0] = {1.0, 10.0, 10.0};
+  an[1] = {1.2, 12.0, 10.0};
+  an[2] = {2.0, 5.0, 2.5};
+  const std::vector<char> tight = dvfs::prune_mask(an, 0.10);
+  EXPECT_EQ(tight[0], 0);
+  EXPECT_EQ(tight[1], 1);
+  EXPECT_EQ(tight[2], 0);
+  const std::vector<char> loose = dvfs::prune_mask(an, 0.30);
+  EXPECT_EQ(loose[1], 0);
+  EXPECT_THROW(dvfs::prune_mask(an, -0.1), std::invalid_argument);
+
+  std::vector<dvfs::MetricPoint> pts(3);
+  pts[0] = {true, 1.0, 10.0};
+  pts[1] = {true, 1.2, 12.0};  // dominated by 0
+  pts[2] = {true, 2.0, 5.0};
+  const std::vector<char> frontier = dvfs::pareto_mask(pts);
+  EXPECT_EQ(frontier[0], 1);
+  EXPECT_EQ(frontier[1], 0);
+  EXPECT_EQ(frontier[2], 1);
+}
+
+// --- end-to-end via the facade ----------------------------------------------
+
+v1::SweepOptions small_exact_sweep() {
+  v1::SweepOptions options;
+  options.core_mhz = {324.0, 705.0, 127.0};  // {324, 451, 578, 705}
+  options.mem_mhz = {2600.0, 2600.0, 0.0};
+  options.prune = false;  // measure everything: the argmin check is global
+  options.sampling.mode = v1::SamplingMode::kExact;
+  options.sampling.fraction = 1.0;
+  return options;
+}
+
+TEST(DvfsSession, RecommendIsTheExactArgminOfItsSweep) {
+  v1::Session session;
+  const v1::SweepOptions options = small_exact_sweep();
+  const v1::SweepResult sweep = session.sweep("SGEMM", 0, options);
+  ASSERT_EQ(sweep.points.size(), 4u);
+  for (const v1::SweepPoint& p : sweep.points) {
+    ASSERT_TRUE(p.measured && p.result.usable) << p.config.name;
+  }
+
+  const v1::Objective objectives[] = {
+      v1::Objective::kMinEnergy, v1::Objective::kMinEdp,
+      v1::Objective::kMinEd2p, v1::Objective::kPerfCap};
+  for (const v1::Objective objective : objectives) {
+    v1::RecommendOptions ropt;
+    ropt.objective = objective;
+    ropt.perf_cap_rel = 1.10;
+    ropt.sweep = options;
+    const v1::Recommendation rec = session.recommend("SGEMM", 0, ropt);
+    ASSERT_TRUE(rec.ok) << rec.error;
+
+    // Recompute the argmin by hand over the (bit-identical, cached) sweep.
+    double cap_s = 0.0;
+    if (objective == v1::Objective::kPerfCap) {
+      double fastest = sweep.points[0].result.time_s;
+      for (const v1::SweepPoint& p : sweep.points) {
+        fastest = std::min(fastest, p.result.time_s);
+      }
+      cap_s = ropt.perf_cap_rel * fastest;
+    }
+    const v1::SweepPoint* best = nullptr;
+    double best_value = 0.0;
+    for (const v1::SweepPoint& p : sweep.points) {
+      if (objective == v1::Objective::kPerfCap && p.result.time_s > cap_s) {
+        continue;
+      }
+      const double t = p.result.time_s, e = p.result.energy_j;
+      double value = e;
+      if (objective == v1::Objective::kMinEdp) value = e * t;
+      if (objective == v1::Objective::kMinEd2p) value = e * t * t;
+      if (best == nullptr || value < best_value) {
+        best = &p;
+        best_value = value;
+      }
+    }
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(rec.config.name, best->config.name)
+        << v1::to_string(objective);
+    EXPECT_EQ(rec.objective_value, best_value) << v1::to_string(objective);
+    EXPECT_EQ(rec.time_s, best->result.time_s);
+    EXPECT_EQ(rec.energy_j, best->result.energy_j);
+  }
+}
+
+TEST(DvfsSession, AnalyticProjectionTracksDetailedAtPaperPoints) {
+  // Two layered honesty claims at the four paper operating points:
+  // absolute agreement within 15% (the projection skips the sensor path,
+  // noise and repetition structure, so a constant offset per program is
+  // expected), and — the property dominance pruning actually rests on —
+  // cross-point consistency: the analytic/exact ratio varies by < 12%
+  // across configurations of one program, so a common multiplicative bias
+  // cancels out of every dominance comparison.
+  suites::register_all_workloads();
+  core::Study study;
+  for (const char* program : {"SGEMM", "LBM"}) {
+    const workloads::Workload* w =
+        workloads::Registry::instance().find(program);
+    ASSERT_NE(w, nullptr) << program;
+    double min_time_ratio = 0.0, max_time_ratio = 0.0;
+    double min_energy_ratio = 0.0, max_energy_ratio = 0.0;
+    bool first = true;
+    for (const sim::GpuConfig& config : sim::standard_configs()) {
+      const dvfs::Analytic analytic = dvfs::project(study, *w, 0, config);
+      const core::ExperimentResult exact = study.measure(*w, 0, config);
+      ASSERT_TRUE(exact.usable) << program << "/" << config.name;
+      const double time_ratio = analytic.time_s / exact.time_s;
+      const double energy_ratio = analytic.energy_j / exact.energy_j;
+      EXPECT_NEAR(time_ratio, 1.0, 0.15) << program << "/" << config.name;
+      EXPECT_NEAR(energy_ratio, 1.0, 0.15) << program << "/" << config.name;
+      if (first) {
+        min_time_ratio = max_time_ratio = time_ratio;
+        min_energy_ratio = max_energy_ratio = energy_ratio;
+        first = false;
+      } else {
+        min_time_ratio = std::min(min_time_ratio, time_ratio);
+        max_time_ratio = std::max(max_time_ratio, time_ratio);
+        min_energy_ratio = std::min(min_energy_ratio, energy_ratio);
+        max_energy_ratio = std::max(max_energy_ratio, energy_ratio);
+      }
+    }
+    EXPECT_LT(max_time_ratio / min_time_ratio, 1.12) << program;
+    EXPECT_LT(max_energy_ratio / min_energy_ratio, 1.12) << program;
+  }
+}
+
+TEST(DvfsSession, SampledSweepIsBitReproducibleAcrossSessions) {
+  v1::SweepOptions options;
+  options.core_mhz = {324.0, 705.0, 127.0};
+  options.prune = true;
+  options.sampling.mode = v1::SamplingMode::kStratified;
+  options.sampling.fraction = 0.10;
+  options.sampling.seed = 7;
+
+  v1::Session a, b;
+  const v1::SweepResult ra = a.sweep("BP", 0, options);
+  const v1::SweepResult rb = b.sweep("BP", 0, options);
+  ASSERT_EQ(ra.points.size(), rb.points.size());
+  EXPECT_EQ(ra.pruned, rb.pruned);
+  EXPECT_EQ(ra.measured, rb.measured);
+  for (std::size_t i = 0; i < ra.points.size(); ++i) {
+    const v1::SweepPoint& pa = ra.points[i];
+    const v1::SweepPoint& pb = rb.points[i];
+    EXPECT_EQ(pa.config.name, pb.config.name);
+    EXPECT_EQ(pa.pruned, pb.pruned);
+    EXPECT_EQ(pa.measured, pb.measured);
+    // EXPECT_EQ on doubles is exact comparison — that is the point.
+    EXPECT_EQ(pa.analytic_time_s, pb.analytic_time_s) << pa.config.name;
+    EXPECT_EQ(pa.analytic_energy_j, pb.analytic_energy_j) << pa.config.name;
+    if (pa.measured) {
+      EXPECT_EQ(pa.result.time_s, pb.result.time_s) << pa.config.name;
+      EXPECT_EQ(pa.result.energy_j, pb.result.energy_j) << pa.config.name;
+      EXPECT_EQ(pa.result.power_w, pb.result.power_w) << pa.config.name;
+    }
+  }
+}
+
+TEST(DvfsSession, RegisterConfigCanonicalizesAndRejectsCollisions) {
+  v1::Session session;
+
+  // Auto-naming: an empty name becomes the canonical grid name, and the
+  // registered name is usable everywhere a config name is.
+  v1::GpuConfigSpec custom;
+  custom.name.clear();
+  custom.core_mhz = 540.0;
+  custom.mem_mhz = 2600.0;
+  custom.core_voltage = dvfs::core_voltage_rule(540.0);
+  custom.mem_voltage = dvfs::mem_voltage_rule(2600.0);
+  const v1::GpuConfigSpec registered = session.register_config(custom);
+  EXPECT_EQ(registered.name, "cfg:540x2600");
+  const v1::MeasurementResult by_name =
+      session.measure("SGEMM", 0, "cfg:540x2600");
+  EXPECT_TRUE(by_name.usable);
+
+  // Re-registering identical values is idempotent; a different operating
+  // point under a taken name is a collision.
+  EXPECT_EQ(session.register_config(registered).name, "cfg:540x2600");
+  v1::GpuConfigSpec clash = registered;
+  clash.core_voltage = 1.05;
+  clash.name = "cfg:540x2600";
+  EXPECT_THROW(session.register_config(clash), std::invalid_argument);
+
+  // Paper configs register as themselves, byte-identically.
+  for (const v1::GpuConfigSpec& paper : v1::standard_configs()) {
+    const v1::GpuConfigSpec echoed = session.register_config(paper);
+    EXPECT_EQ(echoed.name, paper.name);
+    EXPECT_EQ(echoed.core_mhz, paper.core_mhz);
+    EXPECT_EQ(echoed.mem_mhz, paper.mem_mhz);
+    EXPECT_EQ(echoed.core_voltage, paper.core_voltage);
+    EXPECT_EQ(echoed.mem_voltage, paper.mem_voltage);
+    EXPECT_EQ(echoed.ecc, paper.ecc);
+  }
+  v1::GpuConfigSpec imposter = v1::standard_configs()[0];
+  imposter.core_mhz = 600.0;
+  EXPECT_THROW(session.register_config(imposter), std::invalid_argument);
+
+  // Validation is strict, not clamping.
+  v1::GpuConfigSpec out_of_range = custom;
+  out_of_range.name.clear();
+  out_of_range.core_mhz = 50.0;
+  EXPECT_THROW(session.register_config(out_of_range), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro

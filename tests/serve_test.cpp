@@ -782,6 +782,117 @@ TEST(ServeWireGolden, EncodingMatchesSnapshot) {
     actual += format_topology_line(topology);
     actual += '\n';
   }
+  // DVFS operating-point lines (DESIGN.md §15), appended after the shard
+  // block so every pre-existing line stays byte-identical: an inline
+  // "config":{...} experiment request, a sweep request/response pair, a
+  // recommend request/response pair, and the structured sweep/recommend
+  // errors. Dyadic values keep the %.17g rendering short and exact — this
+  // pins the encoding, not the recommender.
+  {
+    v1::ExperimentRequest inline_request;
+    inline_request.id = ++id;
+    inline_request.program = "SGEMM";
+    inline_request.input_index = 0;
+    inline_request.has_config_spec = true;
+    inline_request.config_spec.name = "cfg:540x2600@0.90625x1";
+    inline_request.config_spec.core_mhz = 540.0;
+    inline_request.config_spec.mem_mhz = 2600.0;
+    inline_request.config_spec.core_voltage = 0.90625;
+    inline_request.config_spec.mem_voltage = 1.0;
+    inline_request.config_spec.ecc = false;
+    inline_request.config = inline_request.config_spec.name;
+    actual += format_request_line(inline_request);
+    actual += '\n';
+
+    SweepRequest sweep_request;
+    sweep_request.id = ++id;
+    sweep_request.program = "BP";
+    sweep_request.input_index = 0;
+    sweep_request.options.core_mhz = {324.0, 705.0, 50.0};
+    sweep_request.options.mem_mhz = {2600.0, 2600.0, 0.0};
+    sweep_request.options.prune_margin = 0.125;
+    sweep_request.options.sampling.mode = v1::SamplingMode::kStratified;
+    sweep_request.options.sampling.fraction = 0.25;
+    sweep_request.options.sampling.seed = 9;
+    actual += format_sweep_request_line(sweep_request);
+    actual += '\n';
+
+    v1::SweepResult sweep;
+    sweep.program = "BP";
+    sweep.input_index = 0;
+    sweep.grid_points = 2;
+    sweep.pruned = 1;
+    sweep.measured = 1;
+    v1::SweepPoint pruned_point;
+    pruned_point.config.name = "cfg:324x2600";
+    pruned_point.config.core_mhz = 324.0;
+    pruned_point.config.mem_mhz = 2600.0;
+    pruned_point.config.core_voltage = 0.84375;
+    pruned_point.config.mem_voltage = 1.0;
+    pruned_point.analytic_time_s = 2.5;
+    pruned_point.analytic_energy_j = 312.5;
+    pruned_point.analytic_power_w = 125.0;
+    pruned_point.pruned = true;
+    sweep.points.push_back(pruned_point);
+    v1::SweepPoint measured_point;
+    measured_point.config.name = "default";
+    measured_point.config.core_mhz = 705.0;
+    measured_point.config.mem_mhz = 2600.0;
+    measured_point.analytic_time_s = 1.25;
+    measured_point.analytic_energy_j = 200.0;
+    measured_point.analytic_power_w = 160.0;
+    measured_point.measured = true;
+    measured_point.pareto = true;
+    measured_point.cached = true;
+    measured_point.retries = 1;
+    measured_point.result.usable = true;
+    measured_point.result.time_s = 1.21875;
+    measured_point.result.energy_j = 195.3125;
+    measured_point.result.power_w = 160.25641025641025;
+    measured_point.result.sampled = true;
+    measured_point.result.sample_fraction = 0.25;
+    measured_point.result.time_ci = {1.1875, 1.25};
+    measured_point.result.energy_ci = {190.625, 200.0};
+    measured_point.result.power_ci = {156.25, 164.0625};
+    sweep.points.push_back(measured_point);
+    actual += format_sweep_line(sweep_request.id, sweep,
+                                Degradation::kRetried, 1);
+    actual += '\n';
+
+    RecommendRequest recommend_request;
+    recommend_request.id = ++id;
+    recommend_request.program = "BP";
+    recommend_request.input_index = 0;
+    recommend_request.objective = v1::Objective::kPerfCap;
+    recommend_request.perf_cap_rel = 1.25;
+    recommend_request.options = sweep_request.options;
+    actual += format_recommend_request_line(recommend_request);
+    actual += '\n';
+
+    v1::Recommendation recommendation;
+    recommendation.ok = true;
+    recommendation.objective = v1::Objective::kPerfCap;
+    recommendation.config = measured_point.config;
+    recommendation.objective_value = 195.3125;
+    recommendation.time_s = 1.21875;
+    recommendation.energy_j = 195.3125;
+    recommendation.power_w = 160.25641025641025;
+    recommendation.sweep.program = "BP";
+    recommendation.sweep.input_index = 0;
+    recommendation.sweep.grid_points = 2;
+    recommendation.sweep.pruned = 1;
+    recommendation.sweep.measured = 1;
+    actual += format_recommend_line(recommend_request.id, recommendation,
+                                    Degradation::kNone, 0);
+    actual += '\n';
+
+    actual += format_sweep_error_line(++id, Status::kUnknownProgram,
+                                      "unknown program: XXL");
+    actual += '\n';
+    actual += format_recommend_error_line(
+        ++id, Status::kInvalidRequest, "perf_cap_rel 0.5 must be >= 1");
+    actual += '\n';
+  }
 
   const std::string path = std::string(REPRO_GOLDEN_DIR) + "/serve_wire.txt";
   if (repro::Options::global().update_golden) {
@@ -1037,6 +1148,174 @@ TEST(ServeWireMutation, MutatedResponseLinesNeverParseAsRequests) {
     v1::ExperimentRequest out;
     std::string error;
     EXPECT_FALSE(parse_request_line(deleted, out, error)) << deleted;
+  }
+}
+
+namespace {
+
+// Generic key-name ranges: every `"token":` in the line, nested objects
+// included (the DVFS request forms carry many more fields than the
+// hand-listed experiment canonical above). String VALUES never match —
+// they are followed by ',' or '}', not ':'.
+std::vector<std::pair<std::size_t, std::size_t>> json_key_ranges(
+    const std::string& line) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '"') continue;
+    const std::size_t close = line.find('"', i + 1);
+    if (close == std::string::npos) break;
+    if (close + 1 < line.size() && line[close + 1] == ':') {
+      ranges.emplace_back(i, close + 1);
+    }
+    i = close;
+  }
+  return ranges;
+}
+
+bool sweep_options_equal(const v1::SweepOptions& a, const v1::SweepOptions& b) {
+  return a.core_mhz.min == b.core_mhz.min && a.core_mhz.max == b.core_mhz.max &&
+         a.core_mhz.step == b.core_mhz.step && a.mem_mhz.min == b.mem_mhz.min &&
+         a.mem_mhz.max == b.mem_mhz.max && a.mem_mhz.step == b.mem_mhz.step &&
+         a.ecc == b.ecc && a.prune == b.prune &&
+         a.prune_margin == b.prune_margin &&
+         a.sampling.mode == b.sampling.mode &&
+         a.sampling.fraction == b.sampling.fraction &&
+         a.sampling.target_rel_error == b.sampling.target_rel_error &&
+         a.sampling.seed == b.sampling.seed;
+}
+
+// Canonical DVFS requests for mutation: values picked off their defaults
+// (and dyadic, so the %.17g rendering is exact), leaving the documented
+// key-name exemption as the only way a mutant can parse equal.
+SweepRequest sweep_mutation_canonical() {
+  SweepRequest request;
+  request.id = 21;
+  request.program = "NB";
+  request.input_index = 2;
+  request.options.core_mhz = {350.0, 700.0, 70.0};
+  request.options.mem_mhz = {324.0, 2600.0, 2276.0};
+  request.options.prune_margin = 0.125;
+  request.options.sampling.mode = v1::SamplingMode::kSystematic;
+  request.options.sampling.fraction = 0.25;
+  request.options.sampling.target_rel_error = 0.0625;
+  request.options.sampling.seed = 9;
+  return request;
+}
+
+}  // namespace
+
+TEST(ServeWireMutation, SweepRequestMutantsNeverParseSilentlyEqual) {
+  const SweepRequest canonical = sweep_mutation_canonical();
+  const std::string line = format_sweep_request_line(canonical);
+  const auto exempt = json_key_ranges(line);
+  std::size_t rejected = 0, changed = 0, exempt_equal = 0;
+  for (std::size_t pos = 0; pos < line.size(); ++pos) {
+    for (const unsigned char flip : {0x01, 0x20, 0x80, 0xff}) {
+      std::string mutated = line;
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^ flip);
+      SweepRequest out;
+      std::string error;
+      if (!parse_sweep_request(mutated, out, error)) {
+        EXPECT_FALSE(error.empty()) << "silent rejection of: " << mutated;
+        ++rejected;
+        continue;
+      }
+      if (out.id == canonical.id && out.program == canonical.program &&
+          out.input_index == canonical.input_index &&
+          sweep_options_equal(out.options, canonical.options)) {
+        EXPECT_TRUE(in_key_name(exempt, pos))
+            << "byte " << pos << " of " << line << " mutated to " << mutated
+            << " parsed silently equal outside a key-name token";
+        ++exempt_equal;
+      } else {
+        ++changed;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(changed, 0u);
+  EXPECT_GT(exempt_equal, 0u);
+  // Proper prefixes are always structured rejections.
+  for (std::size_t length = 0; length < line.size(); ++length) {
+    SweepRequest out;
+    std::string error;
+    EXPECT_FALSE(parse_sweep_request(line.substr(0, length), out, error))
+        << "proper prefix of length " << length << " parsed";
+  }
+}
+
+TEST(ServeWireMutation, RecommendRequestMutantsNeverParseSilentlyEqual) {
+  RecommendRequest canonical;
+  canonical.id = 22;
+  canonical.program = "LBM";
+  canonical.input_index = 3;
+  canonical.objective = v1::Objective::kPerfCap;
+  canonical.perf_cap_rel = 1.25;
+  canonical.options = sweep_mutation_canonical().options;
+  const std::string line = format_recommend_request_line(canonical);
+  const auto exempt = json_key_ranges(line);
+  std::size_t rejected = 0, changed = 0, exempt_equal = 0;
+  for (std::size_t pos = 0; pos < line.size(); ++pos) {
+    for (const unsigned char flip : {0x01, 0x20, 0x80, 0xff}) {
+      std::string mutated = line;
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^ flip);
+      RecommendRequest out;
+      std::string error;
+      if (!parse_recommend_request(mutated, out, error)) {
+        EXPECT_FALSE(error.empty()) << "silent rejection of: " << mutated;
+        ++rejected;
+        continue;
+      }
+      if (out.id == canonical.id && out.program == canonical.program &&
+          out.input_index == canonical.input_index &&
+          out.objective == canonical.objective &&
+          out.perf_cap_rel == canonical.perf_cap_rel &&
+          sweep_options_equal(out.options, canonical.options)) {
+        EXPECT_TRUE(in_key_name(exempt, pos))
+            << "byte " << pos << " of " << line << " mutated to " << mutated
+            << " parsed silently equal outside a key-name token";
+        ++exempt_equal;
+      } else {
+        ++changed;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(changed, 0u);
+  EXPECT_GT(exempt_equal, 0u);
+}
+
+TEST(ServeWireMutation, MutatedSweepResponsesNeverParseAsSweepRequests) {
+  // A sweep response says "sweep":true where a request says
+  // "sweep":"<program>" — no single-byte mutation can cross that gap, so
+  // echoed server output is always a structured rejection.
+  v1::SweepResult sweep;
+  sweep.program = "NB";
+  sweep.input_index = 2;
+  sweep.grid_points = 1;
+  sweep.measured = 1;
+  v1::SweepPoint point;
+  point.config.name = "default";
+  point.measured = true;
+  point.result.usable = true;
+  point.result.time_s = 1.5;
+  point.result.energy_j = 250.0;
+  point.result.power_w = 96.5;
+  sweep.points.push_back(point);
+  const std::string line =
+      format_sweep_line(9, sweep, Degradation::kNone, 0);
+  for (std::size_t pos = 0; pos < line.size(); ++pos) {
+    for (const unsigned char flip : {0x01, 0x20, 0xff}) {
+      std::string mutated = line;
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^ flip);
+      SweepRequest out;
+      std::string error;
+      EXPECT_FALSE(parse_sweep_request(mutated, out, error)) << mutated;
+      EXPECT_FALSE(error.empty()) << mutated;
+    }
   }
 }
 

@@ -3,8 +3,14 @@
 //
 //   load_gen [--workers N] [--baseline-workers N] [--clients K]
 //            [--requests M] [--alpha A] [--arrival closed|open] [--rate R]
-//            [--deadline-ms D] [--worker-threads T] [--miss] [--seed S]
-//            [--out FILE] [--gate]
+//            [--deadline-ms D] [--worker-threads T] [--miss]
+//            [--recommend-frac F] [--seed S] [--out FILE] [--gate]
+//
+// --recommend-frac F replaces a seeded fraction F of the traffic with
+// recommend requests (a two-point DVFS grid + argmin through the tier);
+// their latency percentiles are reported separately in BENCH_serve.json
+// (recommend_p50_s/p95_s/p99_s) since a sweep costs far more than a
+// point lookup.
 //
 // Drives the consistent-hash shard tier with a key popularity drawn from
 // Zipf(alpha) over the full registry matrix (every program x input x GPU
@@ -139,6 +145,12 @@ struct PhaseReport {
   double throughput_rps = 0.0;
   double p50_s = 0.0, p95_s = 0.0, p99_s = 0.0;
   std::uint64_t shed = 0, degraded = 0, failed = 0, deadline_missed = 0;
+  // Recommend traffic (--recommend-frac): its latency distribution is
+  // reported separately — a grid sweep costs orders of magnitude more
+  // than a point lookup, and folding it in would just move every measure
+  // percentile.
+  std::uint64_t recommends = 0;
+  double recommend_p50_s = 0.0, recommend_p95_s = 0.0, recommend_p99_s = 0.0;
 };
 
 struct RunConfig {
@@ -149,6 +161,7 @@ struct RunConfig {
   double rate = 50.0;  // open arrival, total req/s across clients
   double deadline_ms = 0.0;
   bool miss_traffic = false;
+  double recommend_frac = 0.0;  // fraction of requests sent as recommends
   std::uint64_t seed = 42;
 };
 
@@ -157,8 +170,10 @@ PhaseReport run_phase(repro::shard::Router& router, const RunConfig& config,
                       const std::vector<KeySpec>& matrix, int workers) {
   const ZipfSampler zipf(matrix.size(), config.alpha);
   repro::obs::Histogram latency;
+  repro::obs::Histogram recommend_latency;
   std::atomic<std::uint64_t> next_request{0};
   std::atomic<std::uint64_t> shed{0}, degraded{0}, failed{0}, missed{0};
+  std::atomic<std::uint64_t> recommends{0};
 
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> clients;
@@ -172,6 +187,7 @@ PhaseReport run_phase(repro::shard::Router& router, const RunConfig& config,
           config.rate / static_cast<double>(config.clients);
       double next_arrival_s = 0.0;
       repro::obs::Histogram::Batch batch;
+      repro::obs::Histogram::Batch recommend_batch;
       for (;;) {
         const std::uint64_t index =
             next_request.fetch_add(1, std::memory_order_relaxed);
@@ -186,25 +202,51 @@ PhaseReport run_phase(repro::shard::Router& router, const RunConfig& config,
           issue = scheduled;  // latency includes queueing behind schedule
         }
         const KeySpec& key = matrix[zipf.draw(rng)];
-        repro::v1::ExperimentRequest request;
-        request.program = key.program;
-        request.input_index = key.input;
-        request.config = key.config;
-        request.id = index + 1;
-        request.deadline_ms = config.deadline_ms;
-        if (config.miss_traffic) {
-          // A unique sample_seed gives every request a private cache key:
-          // guaranteed misses, full measurement cost, and the sampled
-          // pipeline exercised through the tier.
-          request.sampling.mode = repro::v1::SamplingMode::kStratified;
-          request.sampling.fraction = 0.5;
-          request.sampling.seed = config.seed * 1000000ULL + index;
+        // The extra uniform draw only happens when the recommend mix is
+        // on, so pure-measure runs keep the exact request sequence of
+        // earlier releases.
+        const bool recommend = config.recommend_frac > 0.0 &&
+                               rng.uniform() < config.recommend_frac;
+        std::string request_line;
+        std::uint64_t request_id = index + 1;
+        if (recommend) {
+          // A tiny two-point grid (614 and 705 core MHz at stock memory):
+          // a real sweep+argmin through the tier without turning every
+          // recommend into a full-plane measurement.
+          repro::serve::RecommendRequest request;
+          request.id = request_id;
+          request.program = key.program;
+          request.input_index = key.input;
+          request.options.core_mhz = {614.0, 705.0, 91.0};
+          request.options.mem_mhz = {2600.0, 2600.0, 0.0};
+          request_line = repro::serve::format_recommend_request_line(request);
+          recommends.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          repro::v1::ExperimentRequest request;
+          request.program = key.program;
+          request.input_index = key.input;
+          request.config = key.config;
+          request.id = request_id;
+          request.deadline_ms = config.deadline_ms;
+          if (config.miss_traffic) {
+            // A unique sample_seed gives every request a private cache key:
+            // guaranteed misses, full measurement cost, and the sampled
+            // pipeline exercised through the tier.
+            request.sampling.mode = repro::v1::SamplingMode::kStratified;
+            request.sampling.fraction = 0.5;
+            request.sampling.seed = config.seed * 1000000ULL + index;
+          }
+          request_line = repro::serve::format_request_line(request);
         }
-        const std::string response = router.route_line(
-            repro::serve::format_request_line(request), request.id);
+        const std::string response =
+            router.route_line(request_line, request_id);
         const double elapsed =
             std::chrono::duration<double>(Clock::now() - issue).count();
-        batch.observe(elapsed);
+        if (recommend) {
+          recommend_batch.observe(elapsed);
+        } else {
+          batch.observe(elapsed);
+        }
         std::string status;
         if (!json_field(response, "status", status)) status = "failed";
         if (status == "shed") {
@@ -224,6 +266,7 @@ PhaseReport run_phase(repro::shard::Router& router, const RunConfig& config,
         }
       }
       batch.flush(latency);
+      recommend_batch.flush(recommend_latency);
     });
   }
   for (std::thread& t : clients) t.join();
@@ -244,24 +287,36 @@ PhaseReport run_phase(repro::shard::Router& router, const RunConfig& config,
   report.degraded = degraded.load();
   report.failed = failed.load();
   report.deadline_missed = missed.load();
+  report.recommends = recommends.load();
+  if (report.recommends > 0) {
+    const repro::obs::HistogramSnapshot recommend_snapshot =
+        recommend_latency.snapshot();
+    report.recommend_p50_s = recommend_snapshot.percentile(0.50);
+    report.recommend_p95_s = recommend_snapshot.percentile(0.95);
+    report.recommend_p99_s = recommend_snapshot.percentile(0.99);
+  }
   return report;
 }
 
 void append_phase_json(std::string& out, const PhaseReport& r) {
-  char buffer[512];
+  char buffer[768];
   const double n = static_cast<double>(r.requests);
   std::snprintf(
       buffer, sizeof buffer,
       "{\"workers\":%d,\"requests\":%llu,\"wall_s\":%.6g,"
       "\"throughput_rps\":%.6g,\"p50_s\":%.6g,\"p95_s\":%.6g,"
       "\"p99_s\":%.6g,\"shed_rate\":%.6g,\"degraded_rate\":%.6g,"
-      "\"deadline_miss_rate\":%.6g,\"failed\":%llu}",
+      "\"deadline_miss_rate\":%.6g,\"failed\":%llu,"
+      "\"recommends\":%llu,\"recommend_p50_s\":%.6g,"
+      "\"recommend_p95_s\":%.6g,\"recommend_p99_s\":%.6g}",
       r.workers, static_cast<unsigned long long>(r.requests), r.wall_s,
       r.throughput_rps, r.p50_s, r.p95_s, r.p99_s,
       n > 0 ? static_cast<double>(r.shed) / n : 0.0,
       n > 0 ? static_cast<double>(r.degraded) / n : 0.0,
       n > 0 ? static_cast<double>(r.deadline_missed) / n : 0.0,
-      static_cast<unsigned long long>(r.failed));
+      static_cast<unsigned long long>(r.failed),
+      static_cast<unsigned long long>(r.recommends), r.recommend_p50_s,
+      r.recommend_p95_s, r.recommend_p99_s);
   out += buffer;
 }
 
@@ -301,6 +356,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) worker_threads = std::atoi(v);
     } else if (arg == "--miss") {
       config.miss_traffic = true;
+    } else if (arg == "--recommend-frac") {
+      if (const char* v = next()) config.recommend_frac = std::atof(v);
     } else if (arg == "--seed") {
       if (const char* v = next()) config.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--out") {
@@ -313,8 +370,8 @@ int main(int argc, char** argv) {
           "usage: load_gen [--workers N] [--baseline-workers N] "
           "[--clients K] [--requests M] [--alpha A] "
           "[--arrival closed|open] [--rate R] [--deadline-ms D] "
-          "[--worker-threads T] [--miss] [--seed S] [--out FILE] "
-          "[--gate]\n");
+          "[--worker-threads T] [--miss] [--recommend-frac F] [--seed S] "
+          "[--out FILE] [--gate]\n");
       return arg == "--help" ? 0 : 2;
     }
   }

@@ -15,6 +15,17 @@
 // installs the deterministic fault plan with that seed — chaos mode,
 // DESIGN.md §12.
 //
+// DVFS operating points are first-class (DESIGN.md §15): a measurement
+// request may carry an inline `"config":{"core_mhz":540,...}` object
+// instead of a name (validated, canonically named, cached under that
+// name); `{"v":1,"sweep":"BP","input":0,...}` sweeps the (core, mem)
+// grid — analytic V^2 f projection, dominance pruning, sampled
+// measurement of the survivors — and returns one response line with a
+// nested per-point array; `{"v":1,"recommend":"BP","objective":
+// "min_edp",...}` returns the energy-efficiency sweet spot of that grid
+// under the requested objective (min_energy | min_edp | min_ed2p |
+// perf_cap).
+//
 // `--router N` (DESIGN.md §14) forks N worker processes, each a private
 // Service on its own socketpair, and serves the same wire through the
 // consistent-hash shard router: responses are byte-identical to a single
