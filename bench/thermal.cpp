@@ -1,0 +1,259 @@
+// Thermal model gate (DESIGN.md §16). The lumped-RC network, leakage
+// feedback and throttling governor must stay cheap and behave physically
+// on real traces. Checked end to end and emitted as a flat JSON artifact
+// (REPRO_BENCH_JSON, scripts/ci.sh writes BENCH_thermal.json):
+//
+//   1. overhead — an exact characterization of the program slice across
+//      every standard config (trace construction + measurement, the cost
+//      a user actually pays) with the thermal scenario enabled (leakage
+//      feedback at the default k, so the fixed-point loop and the
+//      waveform rewrite both run) costs <= 5% more wall clock than the
+//      same characterization with the scenario off; the measurement
+//      stage alone is re-timed on trace-warm studies and reported as an
+//      informational field;
+//   2. throttling demo — a sustained 150 W trace under a 45 C ceiling
+//      clamps down the governor ladder (events recorded, `throttled`
+//      truthfully set, peak at or above the ceiling), while a short
+//      200 W burst under the same ceiling never reaches it and is
+//      truthfully reported unthrottled.
+//
+// White-box by design (drives core::Study and thermal::simulate
+// directly).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "repro/api.hpp"
+#include "sensor/waveform.hpp"
+#include "sim/gpuconfig.hpp"
+#include "suites/factories.hpp"
+#include "thermal/thermal.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct SliceEntry {
+  const char* program;
+  std::size_t input;
+};
+
+// Compute-bound, memory-bound, balanced and irregular representatives:
+// waveform shapes (and therefore thermal work) differ across the slice.
+constexpr SliceEntry kSlice[4] = {
+    {"SGEMM", 0}, {"LBM", 0}, {"BP", 0}, {"L-BFS", 2}};
+
+constexpr double kMaxOverhead = 0.05;
+constexpr int kTimingReps = 3;
+
+thermal::ThermalScenario feedback_scenario() {
+  thermal::ThermalScenario scenario;
+  scenario.enabled = true;  // defaults: k = 0.012, governor off
+  return scenario;
+}
+
+double time_characterization(core::Study& study,
+                             std::span<const sim::GpuConfig> configs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const SliceEntry& entry : kSlice) {
+    const workloads::Workload& w =
+        *workloads::Registry::instance().find(entry.program);
+    for (const sim::GpuConfig& config : configs) {
+      study.measure(w, entry.input, config);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  suites::register_all_workloads();
+  const std::span<const sim::GpuConfig> configs = sim::standard_configs();
+
+  if (workloads::Registry::instance().find(kSlice[0].program) == nullptr) {
+    std::printf("FAIL: unknown program %s\n", kSlice[0].program);
+    return 1;
+  }
+
+  // --- 1. overhead: thermal-on vs thermal-off exact characterization,
+  // end to end (trace construction + measurement, the cost a user pays).
+  // Both traces and results are cached per study, so every timed
+  // repetition gets its own cold study; the minimum over repetitions
+  // wins.
+  core::Study::Options thermal_options;
+  thermal_options.thermal = feedback_scenario();
+  const auto prewarm_traces = [&](core::Study& study) {
+    for (const SliceEntry& entry : kSlice) {
+      const workloads::Workload& w =
+          *workloads::Registry::instance().find(entry.program);
+      for (const sim::GpuConfig& config : configs) {
+        study.trace_result(w, entry.input, config);
+      }
+    }
+  };
+  // Each repetition times the two stages of one cold characterization
+  // separately: trace construction (identical in both arms) and the
+  // measurement stage (where the RC simulation actually runs). End to
+  // end is their sum; the minimum over repetitions wins per stage.
+  double base_trace_s = 0.0, base_stage_s = 0.0;
+  double thermal_trace_s = 0.0, thermal_stage_s = 0.0;
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    core::Study base_study;
+    core::Study thermal_study(thermal_options);
+    const auto t0 = std::chrono::steady_clock::now();
+    prewarm_traces(base_study);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double b_stage = time_characterization(base_study, configs);
+    const auto t2 = std::chrono::steady_clock::now();
+    prewarm_traces(thermal_study);
+    const auto t3 = std::chrono::steady_clock::now();
+    const double t_stage = time_characterization(thermal_study, configs);
+    const double b_trace = std::chrono::duration<double>(t1 - t0).count();
+    const double t_trace = std::chrono::duration<double>(t3 - t2).count();
+    if (rep == 0) {
+      base_trace_s = b_trace;
+      base_stage_s = b_stage;
+      thermal_trace_s = t_trace;
+      thermal_stage_s = t_stage;
+    } else {
+      base_trace_s = std::min(base_trace_s, b_trace);
+      base_stage_s = std::min(base_stage_s, b_stage);
+      thermal_trace_s = std::min(thermal_trace_s, t_trace);
+      thermal_stage_s = std::min(thermal_stage_s, t_stage);
+    }
+  }
+  const double base_s = base_trace_s + base_stage_s;
+  const double thermal_s = thermal_trace_s + thermal_stage_s;
+  const double overhead = base_s > 0.0 ? thermal_s / base_s - 1.0 : 0.0;
+  const double stage_overhead =
+      base_stage_s > 0.0 ? thermal_stage_s / base_stage_s - 1.0 : 0.0;
+  std::printf(
+      "thermal overhead: %zu programs x %zu configs end to end, base "
+      "%.1f ms, thermal %.1f ms: %+.2f%% (ceiling %.0f%%)\n"
+      "  measurement stage alone (trace-warm): %+.2f%% (informational)\n",
+      std::size(kSlice), configs.size(), 1e3 * base_s, 1e3 * thermal_s,
+      100.0 * overhead, 100.0 * kMaxOverhead, 100.0 * stage_overhead);
+
+  // Sanity: the thermal arm actually ran the feedback loop and reported
+  // telemetry on every measurement. Results are cached, so re-reading
+  // them here is free.
+  core::Study telemetry_study(thermal_options);
+  int telemetry_missing = 0;
+  for (const SliceEntry& entry : kSlice) {
+    const workloads::Workload& w =
+        *workloads::Registry::instance().find(entry.program);
+    for (const sim::GpuConfig& config : configs) {
+      const core::ExperimentResult& r =
+          telemetry_study.measure(w, entry.input, config);
+      if (!r.thermal || r.peak_temp_c <= thermal_options.thermal.ambient_c) {
+        ++telemetry_missing;
+      }
+    }
+  }
+
+  // --- 2. throttling demo: sustained load clamps, a burst does not.
+  thermal::ThermalScenario governed = feedback_scenario();
+  governed.governor.ceiling_c = 45.0;
+  governed.governor.hysteresis_c = 5.0;
+  governed.ladder = {{"614", 614.0, 0.93}, {"324", 324.0, 0.85}};
+  const sim::GpuConfig running = sim::config_by_name("default");
+  constexpr double kStaticW = 30.0;
+  constexpr double kLeakW = 12.0;
+
+  // Sustained: 150 W settles at 25 + 150 * 0.245 = 61.75 C, well above
+  // the ceiling, so the governor must clamp.
+  sensor::Waveform sustained({{0.0, 600.0, 150.0, 150.0}});
+  const thermal::ThermalResult hot =
+      thermal::simulate(sustained, governed, running, kStaticW, kLeakW);
+
+  // Burst: 200 W for 6 s barely warms the heatsink (tau ~ 80 s), so the
+  // die peaks around 41 C and the governor must stay out of the way.
+  sensor::Waveform burst({{0.0, 6.0, 200.0, 200.0}});
+  const thermal::ThermalResult cold =
+      thermal::simulate(burst, governed, running, kStaticW, kLeakW);
+
+  std::printf(
+      "  sustained 150 W / 600 s: peak %.2f C, %zu clamp(s), throttled=%s\n"
+      "  burst 200 W / 6 s:       peak %.2f C, %zu clamp(s), throttled=%s\n",
+      hot.peak_die_c, hot.events.size(), hot.throttled ? "true" : "false",
+      cold.peak_die_c, cold.events.size(), cold.throttled ? "true" : "false");
+
+  int violations = 0;
+  if (overhead > kMaxOverhead) {
+    std::printf("FAIL: thermal overhead %.2f%% above the %.0f%% ceiling\n",
+                100.0 * overhead, 100.0 * kMaxOverhead);
+    ++violations;
+  }
+  if (telemetry_missing > 0) {
+    std::printf("FAIL: %d measurement(s) missing thermal telemetry\n",
+                telemetry_missing);
+    ++violations;
+  }
+  if (!hot.throttled || hot.events.empty() ||
+      hot.peak_die_c < governed.governor.ceiling_c) {
+    std::printf("FAIL: sustained trace did not truthfully throttle\n");
+    ++violations;
+  }
+  if (cold.throttled || !cold.events.empty() ||
+      cold.peak_die_c >= governed.governor.ceiling_c) {
+    std::printf("FAIL: burst trace throttled (or reached the ceiling)\n");
+    ++violations;
+  }
+  if (hot.throttled != !hot.events.empty() ||
+      cold.throttled != !cold.events.empty()) {
+    std::printf("FAIL: throttled flag disagrees with the event log\n");
+    ++violations;
+  }
+
+  const std::string& json_path = Options::global().bench_json;
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"programs\": %zu,\n"
+                 "  \"configs\": %zu,\n"
+                 "  \"base_ms\": %.3f,\n"
+                 "  \"thermal_ms\": %.3f,\n"
+                 "  \"overhead\": %.5f,\n"
+                 "  \"overhead_ceiling\": %.5f,\n"
+                 "  \"measure_stage_overhead\": %.5f,\n"
+                 "  \"sustained_peak_c\": %.3f,\n"
+                 "  \"sustained_throttle_events\": %zu,\n"
+                 "  \"sustained_throttled\": %s,\n"
+                 "  \"burst_peak_c\": %.3f,\n"
+                 "  \"burst_throttle_events\": %zu,\n"
+                 "  \"burst_throttled\": %s,\n"
+                 "  \"violations\": %d\n"
+                 "}\n",
+                 std::size(kSlice), configs.size(), 1e3 * base_s,
+                 1e3 * thermal_s, overhead, kMaxOverhead, stage_overhead,
+                 hot.peak_die_c,
+                 hot.events.size(), hot.throttled ? "true" : "false",
+                 cold.peak_die_c, cold.events.size(),
+                 cold.throttled ? "true" : "false", violations);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (violations > 0) {
+    std::printf("FAIL: %d thermal gate violation(s)\n", violations);
+    return 1;
+  }
+  std::printf(
+      "PASS: thermal overhead %+.2f%% <= %.0f%%, governor truthful on "
+      "sustained and burst traces\n",
+      100.0 * overhead, 100.0 * kMaxOverhead);
+  return 0;
+}

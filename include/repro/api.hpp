@@ -92,6 +92,29 @@ struct SamplingOptions {
   std::uint64_t seed = 1;
 };
 
+/// Thermal scenario of one request (DESIGN.md §16): a lumped-RC die ->
+/// heatsink -> ambient network driven by the power trace, with
+/// temperature-dependent leakage fed back into the trace and an optional
+/// throttling governor. Off by default — with `enabled == false` every
+/// measurement is bit-identical to the pre-thermal pipeline. Thermal
+/// scenarios are exact-only: combining one with a sampled mode is
+/// rejected (the RC state is a whole-timeline integral).
+struct ThermalOptions {
+  bool enabled = false;
+  /// Ambient temperature in °C; steady state under constant power P is
+  /// ambient_c + P * R_total (the closed-form law tests pin).
+  double ambient_c = 25.0;
+  /// Governor ceiling in °C; 0 disables throttling. When the die crosses
+  /// it, the clock clamps to the next-lower registered operating point and
+  /// releases only after cooling below ceiling_c - hysteresis_c.
+  double ceiling_c = 0.0;
+  double hysteresis_c = 5.0;
+  /// Leakage law P_leak(T) = P_leak(T0) * exp(k (T - T0)); k = 0 keeps
+  /// the constant-leakage energy bit-exact.
+  double leak_k_per_c = 0.012;
+  double leak_t0_c = 45.0;
+};
+
 /// A GPU operating point. Mirrors the simulator's configuration; use
 /// `standard_configs()` for the paper's four, or construct custom points
 /// (DVFS sweeps). The `name` identifies the point in every cache — give
@@ -123,6 +146,7 @@ struct ExperimentRequest {
   double deadline_ms = 0.0;
   std::uint64_t id = 0;
   SamplingOptions sampling;  // default: exact (full-timing) measurement
+  ThermalOptions thermal;    // default: off (bit-identical pipeline)
   bool has_config_spec = false;
   GpuConfigSpec config_spec;
 };
@@ -149,6 +173,13 @@ struct MeasurementResult {
   bool sampled = false;         // estimate from the sampled pipeline
   double sample_fraction = 1.0; // achieved sampled fraction of kernel time
   ConfidenceInterval time_ci, energy_ci, power_ci;
+  /// Thermal telemetry; all defaults unless the request carried an enabled
+  /// ThermalOptions. `throttled` is true only when the governor actually
+  /// clamped during at least one repetition (a truthful flag).
+  bool thermal = false;
+  bool throttled = false;
+  double peak_temp_c = 0.0;
+  int throttle_events = 0;
 };
 
 /// Ratio of two results with usability propagation (unusable or degenerate
@@ -239,6 +270,10 @@ struct SweepOptions {
   bool prune = true;
   double prune_margin = 0.10;
   SamplingOptions sampling{SamplingMode::kStratified, 0.10, 0.0, 1};
+  /// When enabled, every grid point is measured under this thermal
+  /// scenario (exact-only: the sampling options are bypassed) and carries
+  /// the per-point `throttled`/`peak_temp_c` telemetry.
+  ThermalOptions thermal;
 };
 
 /// One grid point of a sweep. The analytic projection is always present;
@@ -274,6 +309,10 @@ struct RecommendOptions {
   /// kPerfCap only: admissible slowdown over the fastest measured point.
   double perf_cap_rel = 1.10;
   SweepOptions sweep;
+  /// Thermal constraint (meaningful with sweep.thermal.enabled): exclude
+  /// grid points whose governor clamped, so the sweet-spot is one the
+  /// operating point can sustain at this ambient.
+  bool exclude_throttled = false;
 };
 
 /// The exact argmin of the objective over the sweep's measured, usable

@@ -173,6 +173,14 @@ if [ "${REPRO_PERF:-0}" = "1" ]; then
   echo "=== [perf] dvfs sweep gate"
   cmake --build --preset release -j "$jobs" --target bench_dvfs_sweep
   REPRO_BENCH_JSON=BENCH_dvfs.json ./build-release/bench/bench_dvfs_sweep
+
+  # Thermal model gate (DESIGN.md §16): an exact characterization with
+  # the thermal scenario enabled stays within 5% of thermal-off, and the
+  # throttling governor fires truthfully on a sustained trace but not on
+  # a burst. Numbers land in BENCH_thermal.json via REPRO_BENCH_JSON.
+  echo "=== [perf] thermal model gate"
+  cmake --build --preset release -j "$jobs" --target bench_thermal
+  REPRO_BENCH_JSON=BENCH_thermal.json ./build-release/bench/bench_thermal
 fi
 
 echo "=== all presets passed: ${presets[*]}"

@@ -6,10 +6,12 @@
 // results are bit-identical to the internal values.
 #include "repro/api.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <sstream>
 #include <stdexcept>
@@ -70,6 +72,10 @@ MeasurementResult to_dto(const core::ExperimentResult& r) {
   out.true_active_s = r.true_active_s;
   out.time_spread = r.time_spread;
   out.energy_spread = r.energy_spread;
+  out.thermal = r.thermal;
+  out.throttled = r.throttled;
+  out.peak_temp_c = r.peak_temp_c;
+  out.throttle_events = r.throttle_events;
   return out;
 }
 
@@ -105,6 +111,10 @@ MeasurementResult to_dto(const sample::SampledResult& r) {
   out.time_ci = {r.time_ci.low, r.time_ci.high};
   out.energy_ci = {r.energy_ci.low, r.energy_ci.high};
   out.power_ci = {r.power_ci.low, r.power_ci.high};
+  out.thermal = r.base.thermal;
+  out.throttled = r.base.throttled;
+  out.peak_temp_c = r.base.peak_temp_c;
+  out.throttle_events = r.base.throttle_events;
   return out;
 }
 
@@ -266,25 +276,31 @@ SweepResult detail::sweep_to_v1(std::string_view program,
 
 Recommendation detail::recommend_over(Objective objective,
                                       double perf_cap_rel,
-                                      SweepResult sweep) {
+                                      SweepResult sweep,
+                                      bool exclude_throttled) {
   std::vector<dvfs::MetricPoint> metrics;
   metrics.reserve(sweep.points.size());
+  bool any_unthrottled = false;
   for (const SweepPoint& point : sweep.points) {
     dvfs::MetricPoint mp;
     mp.usable = point.measured && point.result.usable;
     mp.time_s = point.result.time_s;
     mp.energy_j = point.result.energy_j;
+    mp.throttled = point.result.throttled;
+    any_unthrottled = any_unthrottled || (mp.usable && !mp.throttled);
     metrics.push_back(mp);
   }
   const dvfs::Choice choice =
-      dvfs::pick(metrics, objective_to_internal(objective), perf_cap_rel);
+      dvfs::pick(metrics, objective_to_internal(objective), perf_cap_rel,
+                 exclude_throttled);
 
   Recommendation rec;
   rec.objective = objective;
   rec.sweep = std::move(sweep);
   if (choice.index < 0) {
-    rec.error = rec.sweep.measured == 0
-                    ? "no grid point was measured"
+    rec.error = rec.sweep.measured == 0 ? "no grid point was measured"
+                : exclude_throttled && !any_unthrottled
+                    ? "every usable grid point throttled"
                     : "no measured grid point is usable";
     return rec;
   }
@@ -297,6 +313,55 @@ Recommendation detail::recommend_over(Objective objective,
   rec.energy_j = best.result.energy_j;
   rec.power_w = best.result.power_w;
   return rec;
+}
+
+std::string detail::thermal_options_error(const ThermalOptions& thermal) {
+  if (!thermal.enabled) return {};
+  const auto bad = [](double v) { return !std::isfinite(v); };
+  if (bad(thermal.ambient_c) || thermal.ambient_c < -50.0 ||
+      thermal.ambient_c > 125.0) {
+    return "thermal_ambient_c must be within [-50, 125]";
+  }
+  if (bad(thermal.ceiling_c) ||
+      (thermal.ceiling_c != 0.0 && (thermal.ceiling_c <= thermal.ambient_c ||
+                                    thermal.ceiling_c > 150.0))) {
+    return "thermal_ceiling_c must be 0 (governor off) or within "
+           "(thermal_ambient_c, 150]";
+  }
+  if (bad(thermal.hysteresis_c) || thermal.hysteresis_c < 0.0 ||
+      thermal.hysteresis_c > 50.0) {
+    return "thermal_hysteresis_c must be within [0, 50]";
+  }
+  if (bad(thermal.leak_k_per_c) || thermal.leak_k_per_c < 0.0 ||
+      thermal.leak_k_per_c > 1.0) {
+    return "thermal_leak_k must be within [0, 1]";
+  }
+  if (bad(thermal.leak_t0_c) || thermal.leak_t0_c < -50.0 ||
+      thermal.leak_t0_c > 150.0) {
+    return "thermal_leak_t0_c must be within [-50, 150]";
+  }
+  return {};
+}
+
+thermal::ThermalScenario detail::thermal_to_internal(
+    const ThermalOptions& thermal,
+    const std::vector<sim::GpuConfig>& ladder_candidates) {
+  thermal::ThermalScenario scenario;
+  scenario.enabled = thermal.enabled;
+  scenario.ambient_c = thermal.ambient_c;
+  scenario.governor.ceiling_c = thermal.ceiling_c;
+  scenario.governor.hysteresis_c = thermal.hysteresis_c;
+  scenario.leakage.k_per_c = thermal.leak_k_per_c;
+  scenario.leakage.t0_c = thermal.leak_t0_c;
+  scenario.ladder.reserve(ladder_candidates.size());
+  for (const sim::GpuConfig& c : ladder_candidates) {
+    thermal::LadderConfig rung;
+    rung.name = c.name;
+    rung.core_mhz = c.core_mhz;
+    rung.core_voltage = c.core_voltage;
+    scenario.ladder.push_back(std::move(rung));
+  }
+  return scenario;
 }
 
 struct Session::Impl {
@@ -339,6 +404,30 @@ struct Session::Impl {
       if (it != registered.end()) return it->second;
     }
     throw std::invalid_argument("unknown GPU config: " + std::string(name));
+  }
+
+  /// Governor ladder candidates of a thermal scenario: the paper's four
+  /// operating points plus this session's registered ones (simulate()
+  /// keeps only candidates below each running config's core clock).
+  std::vector<sim::GpuConfig> ladder_candidates() const {
+    std::vector<sim::GpuConfig> out;
+    for (const sim::GpuConfig& config : sim::standard_configs()) {
+      out.push_back(config);
+    }
+    std::shared_lock lock(config_mutex);
+    for (const auto& [name, config] : registered) out.push_back(config);
+    return out;
+  }
+
+  /// Options of a fresh Study carrying this session's seeds plus one
+  /// thermal scenario. Thermal runs never share the session study: its
+  /// result cache is keyed by (workload, input, config) only, and thermal
+  /// results depend on the scenario too.
+  core::Study::Options thermal_study_options(
+      const ThermalOptions& thermal) const {
+    core::Study::Options opts = study.options();
+    opts.thermal = detail::thermal_to_internal(thermal, ladder_candidates());
+    return opts;
   }
 
   Options options;
@@ -394,6 +483,19 @@ MeasurementResult Session::measure(std::string_view program,
 }
 
 MeasurementResult Session::measure(const ExperimentRequest& request) {
+  if (request.thermal.enabled) {
+    const std::string error = detail::thermal_options_error(request.thermal);
+    if (!error.empty()) throw std::invalid_argument(error);
+    if (request.sampling.mode != SamplingMode::kExact) {
+      throw std::invalid_argument(
+          "thermal scenarios are exact-only; disable sampling");
+    }
+    const workloads::Workload& w = impl_->workload(request.program);
+    core::Study study{impl_->thermal_study_options(request.thermal)};
+    return to_dto(study.measure(w,
+                                impl_->checked_input(w, request.input_index),
+                                impl_->resolve_config(request.config)));
+  }
   if (request.sampling.mode == SamplingMode::kExact) {
     return measure(request.program, request.input_index, request.config);
   }
@@ -436,12 +538,22 @@ SweepResult Session::sweep(std::string_view program, std::size_t input_index,
                            const SweepOptions& options) {
   const workloads::Workload& w = impl_->workload(program);
   impl_->checked_input(w, input_index);
+  const std::string thermal_error =
+      detail::thermal_options_error(options.thermal);
+  if (!thermal_error.empty()) throw std::invalid_argument(thermal_error);
   const sample::SampleOptions sampling = to_internal(options.sampling);
+  // A thermal sweep runs against a scenario-carrying study; the sample
+  // layer's exact-only guard then turns every point into an honest exact
+  // measurement (sampled == false) regardless of the sampling options.
+  std::optional<core::Study> thermal_study;
+  if (options.thermal.enabled) {
+    thermal_study.emplace(impl_->thermal_study_options(options.thermal));
+  }
+  core::Study& study = thermal_study ? *thermal_study : impl_->study;
   const dvfs::Sweep swept = dvfs::run_sweep(
-      impl_->study, w, input_index,
-      detail::sweep_settings_to_internal(options),
+      study, w, input_index, detail::sweep_settings_to_internal(options),
       [&](const sim::GpuConfig& config, dvfs::PointStatus&) {
-        return sample::measure_sampled(impl_->study, w, input_index, config,
+        return sample::measure_sampled(study, w, input_index, config,
                                        sampling);
       });
   return detail::sweep_to_v1(program, input_index, swept);
@@ -451,7 +563,8 @@ Recommendation Session::recommend(std::string_view program,
                                   std::size_t input_index,
                                   const RecommendOptions& options) {
   return detail::recommend_over(options.objective, options.perf_cap_rel,
-                                sweep(program, input_index, options.sweep));
+                                sweep(program, input_index, options.sweep),
+                                options.exclude_throttled);
 }
 
 PowerProfile Session::profile(std::string_view program,

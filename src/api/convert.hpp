@@ -3,12 +3,15 @@
 // installed: consumers outside src/ only see include/repro/api.hpp.
 #pragma once
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "dvfs/dvfs.hpp"
 #include "obs/attribution.hpp"
 #include "repro/api.hpp"
 #include "sim/gpuconfig.hpp"
+#include "thermal/thermal.hpp"
 
 namespace repro::v1::detail {
 
@@ -31,8 +34,23 @@ SweepResult sweep_to_v1(std::string_view program, std::size_t input_index,
 /// Runs the argmin over an already-built v1 sweep and packages the
 /// choice. `ok == false` with a caller-facing error when no measured
 /// usable point qualifies. Throws std::invalid_argument for an invalid
-/// perf_cap_rel.
+/// perf_cap_rel. `exclude_throttled` drops points whose thermal governor
+/// clamped (the thermal constraint of DESIGN.md §16).
 Recommendation recommend_over(Objective objective, double perf_cap_rel,
-                              SweepResult sweep);
+                              SweepResult sweep,
+                              bool exclude_throttled = false);
+
+/// Validates the wire-exposed thermal knobs; returns a caller-facing
+/// error message, or an empty string when the options are valid (always
+/// valid while disabled).
+std::string thermal_options_error(const ThermalOptions& thermal);
+
+/// Builds the internal thermal scenario of one request: the v1 knobs plus
+/// a governor ladder assembled from `ladder_candidates` (paper standard
+/// configs + session-registered operating points); simulate() keeps only
+/// candidates below each running config's clock.
+thermal::ThermalScenario thermal_to_internal(
+    const ThermalOptions& thermal,
+    const std::vector<sim::GpuConfig>& ladder_candidates);
 
 }  // namespace repro::v1::detail

@@ -1,9 +1,11 @@
 #include "core/study.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <limits>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/variability.hpp"
 #include "fault/fault.hpp"
@@ -204,6 +206,20 @@ ExperimentResult Study::compute_measurement(const workloads::Workload& workload,
       perturbed = perturb(ground_truth, workload.regularity(), rep_rng);
     }
     sensor::synthesize_into(waveform, perturbed, memo);
+    // Thermal scenario (DESIGN.md §16): simulate the RC network over this
+    // repetition's waveform and, when leakage feedback or throttling
+    // changed the applied power, rewrite the trace before the sensor reads
+    // it. With the scenario off the waveform is byte-untouched.
+    if (options_.thermal.enabled) {
+      const thermal::ThermalResult th =
+          thermal::simulate(waveform, options_.thermal, config,
+                            memo.static_power_w(), memo.leakage_w());
+      result.thermal = true;
+      result.peak_temp_c = std::max(result.peak_temp_c, th.peak_die_c);
+      result.throttled = result.throttled || th.throttled;
+      result.throttle_events = std::max(result.throttle_events,
+                                        static_cast<int>(th.events.size()));
+    }
     sensor.record_into(waveform, rep_rng, samples);
     k20power::Measurement m = k20power::analyze(samples, analyze_options);
     result.repetitions.push_back(m);
@@ -260,9 +276,35 @@ obs::AttributionTable Study::attribution(const workloads::Workload& workload,
                                          const sim::GpuConfig& config) {
   const sim::TraceResult& trace = trace_result(workload, input_index, config);
   const ExperimentResult& result = measure(workload, input_index, config);
+  const double measured = result.usable ? result.energy_j : 0.0;
+  if (!options_.thermal.enabled) {
+    return obs::attribute(trace, config, power_model_,
+                          workload.ecc_power_adjustment(), measured);
+  }
+  // Thermal attribution (DESIGN.md §16): one deterministic thermal pass
+  // over the ground-truth waveform yields each phase's extra static energy
+  // (leakage delta + throttle delta) inside its timeline window; attribute
+  // adds it to the phase's static and model columns so the decomposition
+  // law keeps holding with temperature-dependent static power.
+  const double ecc_adjust =
+      config.ecc ? workload.ecc_power_adjustment() : 1.0;
+  sensor::Waveform waveform =
+      sensor::synthesize(trace, config, power_model_, ecc_adjust);
+  power::PhasePowerMemo memo{power_model_, config, ecc_adjust};
+  const thermal::ThermalResult th =
+      thermal::simulate(waveform, options_.thermal, config,
+                        memo.static_power_w(), memo.leakage_w());
+  const sensor::WaveformOptions wave_options{};
+  std::vector<double> extra_j(trace.phases.size(), 0.0);
+  double t = wave_options.lead_in_idle_s + wave_options.init_phase_s;
+  for (std::size_t i = 0; i < trace.phases.size(); ++i) {
+    const sim::Phase& phase = trace.phases[i];
+    t += phase.host_gap_before_s;
+    extra_j[i] = thermal::window_extra_j(th, t, t + phase.duration_s);
+    t += phase.duration_s;
+  }
   return obs::attribute(trace, config, power_model_,
-                        workload.ecc_power_adjustment(),
-                        result.usable ? result.energy_j : 0.0);
+                        workload.ecc_power_adjustment(), measured, &extra_j);
 }
 
 Study::CacheStats Study::cache_stats() const {

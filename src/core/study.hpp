@@ -34,6 +34,7 @@
 #include "power/model.hpp"
 #include "sim/engine.hpp"
 #include "sim/gpuconfig.hpp"
+#include "thermal/thermal.hpp"
 #include "workloads/registry.hpp"
 #include "workloads/workload.hpp"
 
@@ -51,6 +52,14 @@ struct ExperimentResult {
   /// Relative spreads across repetitions (Table 2).
   double time_spread = 0.0;
   double energy_spread = 0.0;
+
+  /// Thermal telemetry (DESIGN.md §16). All zero/false unless the study
+  /// ran with a thermal scenario enabled; `throttled` is true only when
+  /// the governor actually clamped during at least one repetition.
+  bool thermal = false;
+  bool throttled = false;
+  double peak_temp_c = 0.0;  // max die temperature across repetitions
+  int throttle_events = 0;   // max clamp count across repetitions
 };
 
 /// Canonical cache key of one experiment. The key doubles as the seed
@@ -89,6 +98,9 @@ class Study {
     int repetitions = 3;
     std::uint64_t measurement_seed = 0xC0FFEE;
     std::uint64_t structural_seed = 0x5eed;
+    /// Off by default: with `thermal.enabled == false` every measurement
+    /// is bit-identical to a study without the field (DESIGN.md §16).
+    thermal::ThermalScenario thermal;
   };
 
   /// Monotone counters over both caches; readable concurrently.

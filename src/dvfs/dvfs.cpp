@@ -300,7 +300,10 @@ double objective_value(Objective objective, double time_s, double energy_j) {
 }
 
 Choice pick(const std::vector<MetricPoint>& points, Objective objective,
-            double perf_cap_rel) {
+            double perf_cap_rel, bool exclude_throttled) {
+  const auto eligible = [&](const MetricPoint& p) {
+    return p.usable && (!exclude_throttled || !p.throttled);
+  };
   Choice choice;
   if (objective == Objective::kPerfCap) {
     if (!std::isfinite(perf_cap_rel) || perf_cap_rel < 1.0) {
@@ -308,14 +311,14 @@ Choice pick(const std::vector<MetricPoint>& points, Objective objective,
     }
     double fastest = std::numeric_limits<double>::infinity();
     for (const MetricPoint& p : points) {
-      if (p.usable) fastest = std::min(fastest, p.time_s);
+      if (eligible(p)) fastest = std::min(fastest, p.time_s);
     }
     if (!std::isfinite(fastest)) return choice;
     choice.cap_time_s = perf_cap_rel * fastest;
   }
   for (std::size_t i = 0; i < points.size(); ++i) {
     const MetricPoint& p = points[i];
-    if (!p.usable) continue;
+    if (!eligible(p)) continue;
     if (objective == Objective::kPerfCap && p.time_s > choice.cap_time_s)
       continue;
     const double value = objective_value(objective, p.time_s, p.energy_j);
@@ -335,6 +338,7 @@ std::vector<MetricPoint> metric_points(const Sweep& sweep) {
     mp.usable = point.measured && point.result.base.usable;
     mp.time_s = point.result.base.time_s;
     mp.energy_j = point.result.base.energy_j;
+    mp.throttled = point.result.base.throttled;
     points.push_back(mp);
   }
   return points;

@@ -139,6 +139,7 @@ struct MetricPoint {
   bool usable = false;
   double time_s = 0.0;
   double energy_j = 0.0;
+  bool throttled = false;  // thermal governor clamped during measurement
 };
 
 /// Time-energy Pareto frontier over the usable points (mask 1 = on the
@@ -153,6 +154,9 @@ double objective_value(Objective objective, double time_s, double energy_j);
 /// cap actually applied (kPerfCap only: perf_cap_rel * fastest usable
 /// time). index == -1 when no usable point qualifies. Ties break toward
 /// the lower index, so the choice is deterministic in grid order.
+/// `exclude_throttled` additionally drops points whose thermal governor
+/// clamped (DESIGN.md §16) — from both the argmin and the perf-cap
+/// fastest-point baseline, so the cap reflects sustainable points only.
 struct Choice {
   int index = -1;
   double value = 0.0;
@@ -160,7 +164,7 @@ struct Choice {
 };
 
 Choice pick(const std::vector<MetricPoint>& points, Objective objective,
-            double perf_cap_rel);
+            double perf_cap_rel, bool exclude_throttled = false);
 
 /// Per-point bookkeeping the measurement callback may fill (the serving
 /// layer's cache/retry/degradation semantics; plain sweeps leave it 0).

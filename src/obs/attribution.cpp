@@ -10,7 +10,8 @@ namespace repro::obs {
 AttributionTable attribute(const sim::TraceResult& trace,
                            const sim::GpuConfig& config,
                            const power::PowerModel& model, double ecc_adjust,
-                           double measured_energy_j) {
+                           double measured_energy_j,
+                           const std::vector<double>* phase_extra_static_j) {
   AttributionTable table;
   // Per-table memo: attribution evaluates every phase of the structural
   // trace, and iterative kernels repeat identical activity bundles many
@@ -19,15 +20,23 @@ AttributionTable attribute(const sim::TraceResult& trace,
   power::PhasePowerMemo memo{model, config, config.ecc ? ecc_adjust : 1.0};
 
   std::map<std::string, KernelAttribution> by_kernel;
-  for (const sim::Phase& phase : trace.phases) {
+  for (std::size_t idx = 0; idx < trace.phases.size(); ++idx) {
+    const sim::Phase& phase = trace.phases[idx];
     KernelAttribution& k = by_kernel[phase.kernel_name];
     if (k.kernel.empty()) k.kernel = phase.kernel_name;
     const power::PhasePower p =
         memo.phase_power(phase.activity, phase.duration_s);
     ++k.phases;
     k.time_s += phase.duration_s;
+    // Thermal extra static energy of this phase's window (leakage delta +
+    // throttle delta): lands in both the static column and the model
+    // energy, so the class/static decomposition still sums exactly.
+    const double extra_j =
+        phase_extra_static_j != nullptr && idx < phase_extra_static_j->size()
+            ? (*phase_extra_static_j)[idx]
+            : 0.0;
     const double phase_j = p.total_w * phase.duration_s;
-    k.model_energy_j += phase_j;
+    k.model_energy_j += phase_j + extra_j;
     // Class split of this phase's model energy. The raw split is the
     // instruction-class dynamic energies plus the static (tail-power)
     // energy; one common scale maps it onto phase_j, distributing the
@@ -41,7 +50,7 @@ AttributionTable attribute(const sim::TraceResult& trace,
       k.class_energy_j[static_cast<std::size_t>(c)] +=
           ce.j[static_cast<std::size_t>(c)] * scale;
     }
-    k.static_energy_j += static_raw_j * scale;
+    k.static_energy_j += static_raw_j * scale + extra_j;
   }
 
   table.kernels.reserve(by_kernel.size());

@@ -70,12 +70,17 @@ struct AttributionTable {
 /// Builds the per-kernel table for one trace under `config`. When
 /// `measured_energy_j > 0` (a usable ExperimentResult::energy_j), kernel
 /// energies are the model shares scaled to that total; otherwise they are
-/// the raw model energies.
-AttributionTable attribute(const sim::TraceResult& trace,
-                           const sim::GpuConfig& config,
-                           const power::PowerModel& model,
-                           double ecc_adjust = 1.0,
-                           double measured_energy_j = 0.0);
+/// the raw model energies. `phase_extra_static_j`, when given, holds one
+/// extra static energy per trace phase (thermal scenarios: the leakage
+/// delta + throttle delta inside the phase window, DESIGN.md §16); each
+/// value is added to the phase's static AND model energy, so the
+/// decomposition law keeps holding with temperature-dependent static
+/// power.
+AttributionTable attribute(
+    const sim::TraceResult& trace, const sim::GpuConfig& config,
+    const power::PowerModel& model, double ecc_adjust = 1.0,
+    double measured_energy_j = 0.0,
+    const std::vector<double>* phase_extra_static_j = nullptr);
 
 /// Renders the table: one row per kernel (time, energy, power, share),
 /// followed by the instruction-class energy block (model scale, joules).

@@ -97,6 +97,17 @@ double PowerModel::tail_power_w(const sim::GpuConfig& config) const {
   return static_power_w(config) + table_->tail_boost_w * clock_frac * v2;
 }
 
+double PowerModel::leakage_power_w(const sim::GpuConfig& config) const {
+  const EnergyTable& t = *table_;
+  return t.leakage_nominal_w *
+         std::pow(config.core_voltage, t.leakage_voltage_exp);
+}
+
+double PowerModel::leakage_power_w(const sim::GpuConfig& config, double temp_c,
+                                   double k_per_c, double t0_c) const {
+  return leakage_power_w(config) * std::exp(k_per_c * (temp_c - t0_c));
+}
+
 PhasePower PowerModel::phase_power(const sim::Activity& activity, double duration_s,
                                    const sim::GpuConfig& config,
                                    double ecc_adjust) const {

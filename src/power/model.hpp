@@ -108,6 +108,17 @@ class PowerModel {
   /// Fig. 1 "tail power"). Scales with the configured core clock/voltage.
   double tail_power_w(const sim::GpuConfig& config) const;
 
+  /// Leakage share of the static floor at the nominal (reference)
+  /// temperature — the temperature-independent value the rest of the
+  /// model uses.
+  double leakage_power_w(const sim::GpuConfig& config) const;
+
+  /// Temperature hook (DESIGN.md §16): the same leakage under the
+  /// exponential law P_leak(T) = P_leak(T0) * exp(k (T - T0)). With
+  /// k = 0 or T = t0_c this is exactly leakage_power_w(config).
+  double leakage_power_w(const sim::GpuConfig& config, double temp_c,
+                         double k_per_c, double t0_c) const;
+
   double tail_decay_s() const noexcept { return table_->tail_decay_s; }
 
   const EnergyTable& table() const noexcept { return *table_; }
@@ -153,6 +164,7 @@ class PhasePowerMemo {
 
   double static_power_w() const noexcept { return static_w_; }
   double tail_power_w() const noexcept { return tail_w_; }
+  double leakage_w() const noexcept { return leakage_w_; }
   double ecc_adjust() const noexcept { return ecc_adjust_; }
   const PowerModel& model() const noexcept { return *model_; }
   const sim::GpuConfig& config() const noexcept { return *config_; }

@@ -746,8 +746,12 @@ SampledResult measure_sampled(core::Study& study,
   obs::Span span("sampled-experiment", "experiment");
   span.arg("key", key);
 
+  // Thermal scenarios are exact-only (DESIGN.md §16): the RC state is a
+  // whole-timeline integral, so a mini trace would see different
+  // temperatures. The study measures through the full pipeline and the
+  // result honestly reports sampled == false.
   if (options.mode == Mode::kExact || options.fraction >= 1.0 ||
-      options.fraction <= 0.0) {
+      options.fraction <= 0.0 || study.options().thermal.enabled) {
     SampledResult r = passthrough(study, workload, input_index, config);
     record_obs(r);
     return r;

@@ -34,6 +34,10 @@ v1::MeasurementResult to_dto(const core::ExperimentResult& result) {
   dto.true_active_s = result.true_active_s;
   dto.time_spread = result.time_spread;
   dto.energy_spread = result.energy_spread;
+  dto.thermal = result.thermal;
+  dto.throttled = result.throttled;
+  dto.peak_temp_c = result.peak_temp_c;
+  dto.throttle_events = result.throttle_events;
   return dto;
 }
 
@@ -82,6 +86,10 @@ sample::SampledResult from_dto(const v1::MeasurementResult& dto) {
   result.time_ci = {dto.time_ci.low, dto.time_ci.high};
   result.energy_ci = {dto.energy_ci.low, dto.energy_ci.high};
   result.power_ci = {dto.power_ci.low, dto.power_ci.high};
+  result.base.thermal = dto.thermal;
+  result.base.throttled = dto.throttled;
+  result.base.peak_temp_c = dto.peak_temp_c;
+  result.base.throttle_events = dto.throttle_events;
   return result;
 }
 
@@ -104,6 +112,27 @@ std::string sample_namespace(const v1::SamplingOptions& sampling) {
   return buffer;
 }
 
+struct Fnv1a;  // forward declaration (defined below, shared by both users)
+
+std::uint64_t ladder_fingerprint(const std::vector<sim::GpuConfig>& ladder);
+
+// Cache namespace of thermal results (DESIGN.md §16), unreachable from any
+// exact key for the same '%' reason as sample_namespace. Keyed by every
+// wire-exposed thermal knob PLUS a fingerprint of the governor ladder:
+// registering a new operating point changes the clamp target a throttling
+// run would pick, so pre-registration entries must become unreachable
+// rather than stale.
+std::string thermal_namespace(const v1::ThermalOptions& thermal,
+                              const std::vector<sim::GpuConfig>& ladder) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof buffer,
+                "thermal%%:%.17g/%.17g/%.17g/%.17g/%.17g/%llx:",
+                thermal.ambient_c, thermal.ceiling_c, thermal.hysteresis_c,
+                thermal.leak_k_per_c, thermal.leak_t0_c,
+                static_cast<unsigned long long>(ladder_fingerprint(ladder)));
+  return buffer;
+}
+
 struct Fnv1a {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   void mix(std::uint64_t value) {
@@ -113,7 +142,23 @@ struct Fnv1a {
     }
   }
   void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+  void mix(std::string_view text) {
+    for (const char c : text) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+  }
 };
+
+std::uint64_t ladder_fingerprint(const std::vector<sim::GpuConfig>& ladder) {
+  Fnv1a fp;
+  for (const sim::GpuConfig& config : ladder) {
+    fp.mix(config.name);
+    fp.mix(config.core_mhz);
+    fp.mix(config.core_voltage);
+  }
+  return fp.h;
+}
 
 // The cache-version prefix: any change to the study options or to the
 // power model's calibrated energies yields a different prefix, so entries
@@ -474,10 +519,21 @@ struct Service::Miss {
   const workloads::Workload* workload = nullptr;
   const sim::GpuConfig* config = nullptr;
   std::string key;            // bare experiment key
-  std::string versioned_key;  // cache_version_ [+ sample namespace] + key
+  std::string versioned_key;  // cache_version_ [+ namespace] + key
   bool sampled = false;       // routed through the sampled pipeline
+  bool thermal = false;       // routed through the thermal pipeline
   int retries = 0;            // attempts beyond the first so far
 };
+
+std::vector<sim::GpuConfig> Service::ladder_candidates() const {
+  std::vector<sim::GpuConfig> out;
+  for (const sim::GpuConfig& config : sim::standard_configs()) {
+    out.push_back(config);
+  }
+  std::lock_guard lock(config_mutex_);
+  for (const auto& [name, config] : registered_configs_) out.push_back(config);
+  return out;
+}
 
 const sim::GpuConfig* Service::resolve_config(
     const v1::ExperimentRequest& request, std::string& error) const {
@@ -570,13 +626,32 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
       continue;
     }
 
+    const bool sampled = request.sampling.mode != v1::SamplingMode::kExact;
+    const bool thermal = request.thermal.enabled;
+    if (thermal) {
+      // The wire parser rejects these before submit; this guards
+      // programmatic submissions with the same contract.
+      std::string thermal_error =
+          v1::detail::thermal_options_error(request.thermal);
+      if (thermal_error.empty() && sampled) {
+        thermal_error = "thermal scenarios are exact-only; disable sampling";
+      }
+      if (!thermal_error.empty()) {
+        response.status = Status::kInvalidRequest;
+        response.error = std::move(thermal_error);
+        fulfill(pending, std::move(response), &latency, now);
+        continue;
+      }
+    }
     response.key = core::experiment_key(request.program, request.input_index,
                                         request.config);
-    const bool sampled = request.sampling.mode != v1::SamplingMode::kExact;
     std::string versioned_key =
-        sampled ? cache_version_ + sample_namespace(request.sampling) +
+        thermal ? cache_version_ +
+                      thermal_namespace(request.thermal, ladder_candidates()) +
                       response.key
-                : cache_version_ + response.key;
+        : sampled ? cache_version_ + sample_namespace(request.sampling) +
+                        response.key
+                  : cache_version_ + response.key;
     v1::MeasurementResult cached;
     if (cache_.lookup(versioned_key, cached)) {
       ++hits;
@@ -593,6 +668,7 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
     miss.key = response.key;
     miss.versioned_key = std::move(versioned_key);
     miss.sampled = sampled;
+    miss.thermal = thermal;
     misses.push_back(std::move(miss));
   }
   g_cache_hit_counter.add(hits);
@@ -610,6 +686,15 @@ void Service::dispatch(std::vector<std::shared_ptr<Pending>> batch) {
     return true;
   });
   if (!sampled_misses.empty()) dispatch_sampled(std::move(sampled_misses));
+  // Thermal misses likewise: each needs a Study carrying that request's
+  // scenario, so they run per-miss instead of in the shared batch.
+  std::vector<Miss> thermal_misses;
+  std::erase_if(misses, [&](Miss& miss) {
+    if (!miss.thermal) return false;
+    thermal_misses.push_back(std::move(miss));
+    return true;
+  });
+  if (!thermal_misses.empty()) dispatch_thermal(std::move(thermal_misses));
   if (misses.empty()) return;
 
   // Resilience loop (DESIGN.md §12). Each attempt runs the remaining
@@ -787,6 +872,73 @@ void Service::dispatch_sampled(std::vector<Miss> misses) {
   }
 }
 
+// Thermal misses (DESIGN.md §16). Each measurement runs against a FRESH
+// Study carrying that request's thermal scenario (scenarios differ per
+// request, so thermal misses never share the exact path's batch Study).
+// Fault semantics mirror dispatch_sampled: a sensor fault applied during
+// the attempt retries with deterministic backoff; exhausting the budget
+// returns the measured-but-degraded result flagged kDegraded and NEVER
+// cached. Study::measure has no abort site, so kFailed cannot happen here.
+void Service::dispatch_thermal(std::vector<Miss> misses) {
+  obs::Span span("dispatch-thermal", "serve");
+  span.arg("requests", static_cast<std::uint64_t>(misses.size()));
+  const fault::FaultPlan* plan = fault::active();
+  const int max_retries =
+      plan == nullptr ? 0 : std::max(options_.max_retries, 0);
+
+  for (Miss& miss : misses) {
+    const v1::ExperimentRequest& request = miss.pending->request;
+    core::Study::Options study_options = options_.study;
+    study_options.thermal =
+        v1::detail::thermal_to_internal(request.thermal, ladder_candidates());
+    for (int attempt = 0;; ++attempt) {
+      const std::uint64_t sensor_before =
+          plan == nullptr ? 0 : plan->applied(fault::Site::kSensor, miss.key);
+      core::Study study{study_options};
+      const core::ExperimentResult& result = study.measure(
+          *miss.workload, request.input_index, *miss.config);
+      const bool tainted =
+          plan != nullptr &&
+          plan->applied(fault::Site::kSensor, miss.key) > sensor_before;
+      const bool deadline_passed = miss.pending->has_deadline &&
+                                   Clock::now() > miss.pending->deadline;
+      if (tainted && !deadline_passed && attempt < max_retries) {
+        miss.retries = attempt + 1;
+        g_retry_attempt_counter.add();
+        if (options_.retry_backoff_ms > 0.0) {
+          const double factor = static_cast<double>(1ULL << attempt);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  options_.retry_backoff_ms * factor));
+        }
+        continue;
+      }
+
+      Response response;
+      response.id = request.id;
+      response.key = miss.key;
+      response.retries = miss.retries;
+      const v1::MeasurementResult dto = to_dto(result);
+      if (!tainted) {
+        g_eviction_counter.add(cache_.insert(miss.versioned_key, dto));
+      }
+      if (deadline_passed) {
+        response.status = Status::kDeadlineExpired;
+        response.error = "deadline expired during computation";
+      } else {
+        response.status = Status::kOk;
+        response.cached = false;
+        response.degradation = tainted ? Degradation::kDegraded
+                               : miss.retries > 0 ? Degradation::kRetried
+                                                  : Degradation::kNone;
+        response.result = dto;
+      }
+      fulfill(miss.pending, std::move(response));
+      break;
+    }
+  }
+}
+
 std::vector<Response> Service::run_batch(
     const std::vector<v1::ExperimentRequest>& requests) {
   std::vector<Ticket> tickets;
@@ -896,9 +1048,21 @@ Service::SweepOutcome Service::sweep(const SweepRequest& request) {
       to_internal(request.options.sampling);
   const bool sampled =
       request.options.sampling.mode != v1::SamplingMode::kExact;
+  const bool thermal = request.options.thermal.enabled;
+  // Every point of a thermal sweep measures against this scenario; the
+  // sample layer's exact-only guard turns a sampled mode into an honest
+  // exact passthrough, so the thermal namespace keys the cache regardless
+  // of the sampling fields (the results are identical either way).
+  core::Study::Options study_options = options_.study;
+  if (thermal) {
+    study_options.thermal = v1::detail::thermal_to_internal(
+        request.options.thermal, ladder_candidates());
+  }
   const std::string key_prefix =
-      sampled ? cache_version_ + sample_namespace(request.options.sampling)
-              : cache_version_;
+      thermal ? cache_version_ + thermal_namespace(request.options.thermal,
+                                                   ladder_candidates())
+      : sampled ? cache_version_ + sample_namespace(request.options.sampling)
+                : cache_version_;
   const fault::FaultPlan* plan = fault::active();
   const int max_retries =
       plan == nullptr ? 0 : std::max(options_.max_retries, 0);
@@ -924,7 +1088,7 @@ Service::SweepOutcome Service::sweep(const SweepRequest& request) {
     for (int attempt = 0;; ++attempt) {
       const std::uint64_t sensor_before =
           plan == nullptr ? 0 : plan->applied(fault::Site::kSensor, key);
-      core::Study study{options_.study};
+      core::Study study{study_options};
       const sample::SampledResult result = sample::measure_sampled(
           study, *workload, request.input_index, config, sample_options);
       const bool tainted =
@@ -953,7 +1117,7 @@ Service::SweepOutcome Service::sweep(const SweepRequest& request) {
     // Fresh Study for the analytic projection pass, mirroring every other
     // service-side computation; point measurements use their own fresh
     // Study per attempt inside measure_point.
-    core::Study study{options_.study};
+    core::Study study{study_options};
     const dvfs::Sweep swept = dvfs::run_sweep(
         study, *workload, request.input_index,
         v1::detail::sweep_settings_to_internal(request.options),
@@ -996,7 +1160,8 @@ Service::RecommendOutcome Service::recommend(const RecommendRequest& request) {
   if (out.status != Status::kOk) return out;
   try {
     out.recommendation = v1::detail::recommend_over(
-        request.objective, request.perf_cap_rel, std::move(swept.sweep));
+        request.objective, request.perf_cap_rel, std::move(swept.sweep),
+        request.exclude_throttled);
   } catch (const std::invalid_argument& e) {
     out.status = Status::kInvalidRequest;
     out.error = e.what();

@@ -200,6 +200,10 @@ class Service {
   void dispatcher_loop();
   void dispatch(std::vector<std::shared_ptr<detail::Pending>> batch);
   void dispatch_sampled(std::vector<Miss> misses);
+  void dispatch_thermal(std::vector<Miss> misses);
+  /// Governor ladder candidates of a thermal scenario: the paper's four
+  /// operating points plus every config interned so far (DESIGN.md §16).
+  std::vector<sim::GpuConfig> ladder_candidates() const;
   /// Resolves one request. When `latency` is set (the dispatcher's
   /// cache-hit cycle), the request's wall time is accumulated into that
   /// local batch against `cycle_now` — one clock read and one histogram

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "api/convert.hpp"  // thermal knob range validation (§16)
 #include "dvfs/dvfs.hpp"    // inline operating-point validation (§15)
 #include "obs/metrics.hpp"  // RegistrySnapshot for the metrics endpoint
 #include "obs/trace.hpp"    // append_json_escaped
@@ -460,6 +461,37 @@ bool parse_request_line(std::string_view line, v1::ExperimentRequest& out,
           return false;
         }
         request.sampling.seed = seed;
+      } else if (key == "thermal") {
+        if (value.kind != Parser::Kind::kBool) {
+          error = "thermal must be a bool";
+          return false;
+        }
+        request.thermal.enabled = value.flag;
+      } else if (key == "thermal_ambient_c") {
+        if (!to_double(value, request.thermal.ambient_c)) {
+          error = "bad thermal_ambient_c";
+          return false;
+        }
+      } else if (key == "thermal_ceiling_c") {
+        if (!to_double(value, request.thermal.ceiling_c)) {
+          error = "bad thermal_ceiling_c";
+          return false;
+        }
+      } else if (key == "thermal_hysteresis_c") {
+        if (!to_double(value, request.thermal.hysteresis_c)) {
+          error = "bad thermal_hysteresis_c";
+          return false;
+        }
+      } else if (key == "thermal_leak_k") {
+        if (!to_double(value, request.thermal.leak_k_per_c)) {
+          error = "bad thermal_leak_k";
+          return false;
+        }
+      } else if (key == "thermal_leak_t0_c") {
+        if (!to_double(value, request.thermal.leak_t0_c)) {
+          error = "bad thermal_leak_t0_c";
+          return false;
+        }
       }  // unknown fields: ignored for forward compatibility
       p.skip_ws();
       if (p.i < p.s.size() && p.s[p.i] == ',') {
@@ -481,6 +513,14 @@ bool parse_request_line(std::string_view line, v1::ExperimentRequest& out,
   if (!have_program || !have_config) {
     error = "missing required field: program and config";
     return false;
+  }
+  if (request.thermal.enabled) {
+    error = v1::detail::thermal_options_error(request.thermal);
+    if (!error.empty()) return false;
+    if (request.sampling.mode != v1::SamplingMode::kExact) {
+      error = "thermal scenarios are exact-only; drop sample_mode";
+      return false;
+    }
   }
   out = std::move(request);
   return true;
@@ -526,6 +566,20 @@ std::string format_request_line(const v1::ExperimentRequest& request) {
     append_double(line, request.sampling.target_rel_error);
     line += ",\"sample_seed\":";
     line += std::to_string(request.sampling.seed);
+  }
+  // Thermal fields only appear on thermal requests, so pre-thermal
+  // request lines stay byte-identical to the wire golden.
+  if (request.thermal.enabled) {
+    line += ",\"thermal\":true,\"thermal_ambient_c\":";
+    append_double(line, request.thermal.ambient_c);
+    line += ",\"thermal_ceiling_c\":";
+    append_double(line, request.thermal.ceiling_c);
+    line += ",\"thermal_hysteresis_c\":";
+    append_double(line, request.thermal.hysteresis_c);
+    line += ",\"thermal_leak_k\":";
+    append_double(line, request.thermal.leak_k_per_c);
+    line += ",\"thermal_leak_t0_c\":";
+    append_double(line, request.thermal.leak_t0_c);
   }
   line += '}';
   return line;
@@ -577,6 +631,16 @@ std::string format_response_line(const Response& response) {
       append_double(line, response.result.power_ci.low);
       line += ",\"power_ci_high\":";
       append_double(line, response.result.power_ci.high);
+    }
+    // Thermal telemetry only appears on thermal results, so pre-thermal
+    // response lines stay byte-identical to the wire golden.
+    if (response.result.thermal) {
+      line += ",\"thermal\":true,\"throttled\":";
+      line += response.result.throttled ? "true" : "false";
+      line += ",\"peak_temp_c\":";
+      append_double(line, response.result.peak_temp_c);
+      line += ",\"throttle_events\":";
+      line += std::to_string(response.result.throttle_events);
     }
   } else {
     if (!response.key.empty()) {
@@ -1003,7 +1067,7 @@ bool parse_grid_request_line(std::string_view line, std::string_view endpoint,
                              std::string& program, std::size_t& input_index,
                              v1::SweepOptions& options,
                              v1::Objective& objective, double& perf_cap_rel,
-                             std::string& error) {
+                             bool& exclude_throttled, std::string& error) {
   Parser p;
   p.s = line;
   bool have_program = false;
@@ -1133,6 +1197,43 @@ bool parse_grid_request_line(std::string_view line, std::string_view endpoint,
           error = "bad perf_cap_rel (must be >= 1)";
           return false;
         }
+      } else if (recommend && key == "exclude_throttled") {
+        if (value.kind != Parser::Kind::kBool) {
+          error = "exclude_throttled must be a bool";
+          return false;
+        }
+        exclude_throttled = value.flag;
+      } else if (key == "thermal") {
+        if (value.kind != Parser::Kind::kBool) {
+          error = "thermal must be a bool";
+          return false;
+        }
+        options.thermal.enabled = value.flag;
+      } else if (key == "thermal_ambient_c") {
+        if (!to_double(value, options.thermal.ambient_c)) {
+          error = "bad thermal_ambient_c";
+          return false;
+        }
+      } else if (key == "thermal_ceiling_c") {
+        if (!to_double(value, options.thermal.ceiling_c)) {
+          error = "bad thermal_ceiling_c";
+          return false;
+        }
+      } else if (key == "thermal_hysteresis_c") {
+        if (!to_double(value, options.thermal.hysteresis_c)) {
+          error = "bad thermal_hysteresis_c";
+          return false;
+        }
+      } else if (key == "thermal_leak_k") {
+        if (!to_double(value, options.thermal.leak_k_per_c)) {
+          error = "bad thermal_leak_k";
+          return false;
+        }
+      } else if (key == "thermal_leak_t0_c") {
+        if (!to_double(value, options.thermal.leak_t0_c)) {
+          error = "bad thermal_leak_t0_c";
+          return false;
+        }
       }  // unknown fields: ignored for forward compatibility
       p.skip_ws();
       if (p.i < p.s.size() && p.s[p.i] == ',') {
@@ -1154,6 +1255,10 @@ bool parse_grid_request_line(std::string_view line, std::string_view endpoint,
   if (!have_program) {
     error = "missing required field: " + std::string(endpoint);
     return false;
+  }
+  if (options.thermal.enabled) {
+    error = v1::detail::thermal_options_error(options.thermal);
+    if (!error.empty()) return false;
   }
   return true;
 }
@@ -1188,6 +1293,21 @@ void append_grid_fields(std::string& line, const v1::SweepOptions& options) {
   append_double(line, options.sampling.target_rel_error);
   line += ",\"sample_seed\":";
   line += std::to_string(options.sampling.seed);
+  // Unlike the always-emitted fields above, the thermal block is
+  // conditional: pre-thermal grid request lines must stay byte-identical
+  // to the wire golden.
+  if (options.thermal.enabled) {
+    line += ",\"thermal\":true,\"thermal_ambient_c\":";
+    append_double(line, options.thermal.ambient_c);
+    line += ",\"thermal_ceiling_c\":";
+    append_double(line, options.thermal.ceiling_c);
+    line += ",\"thermal_hysteresis_c\":";
+    append_double(line, options.thermal.hysteresis_c);
+    line += ",\"thermal_leak_k\":";
+    append_double(line, options.thermal.leak_k_per_c);
+    line += ",\"thermal_leak_t0_c\":";
+    append_double(line, options.thermal.leak_t0_c);
+  }
 }
 
 void append_config_fields(std::string& line, const v1::GpuConfigSpec& config) {
@@ -1214,10 +1334,11 @@ bool parse_sweep_request(std::string_view line, SweepRequest& out,
   SweepRequest request;
   v1::Objective objective = v1::Objective::kMinEdp;
   double perf_cap_rel = 1.10;
+  bool exclude_throttled = false;
   if (!parse_grid_request_line(line, "sweep", false, request.id,
                                request.program, request.input_index,
                                request.options, objective, perf_cap_rel,
-                               error)) {
+                               exclude_throttled, error)) {
     return false;
   }
   out = std::move(request);
@@ -1291,6 +1412,14 @@ std::string format_sweep_line(std::uint64_t id, const v1::SweepResult& sweep,
         line += ",\"sampled\":true,\"sample_fraction\":";
         append_double(line, point.result.sample_fraction);
       }
+      if (point.result.thermal) {
+        line += ",\"thermal\":true,\"throttled\":";
+        line += point.result.throttled ? "true" : "false";
+        line += ",\"peak_temp_c\":";
+        append_double(line, point.result.peak_temp_c);
+        line += ",\"throttle_events\":";
+        line += std::to_string(point.result.throttle_events);
+      }
       line += ",\"pareto\":";
       line += point.pareto ? "true" : "false";
     }
@@ -1322,7 +1451,8 @@ bool parse_recommend_request(std::string_view line, RecommendRequest& out,
   if (!parse_grid_request_line(line, "recommend", true, request.id,
                                request.program, request.input_index,
                                request.options, request.objective,
-                               request.perf_cap_rel, error)) {
+                               request.perf_cap_rel,
+                               request.exclude_throttled, error)) {
     return false;
   }
   out = std::move(request);
@@ -1340,6 +1470,9 @@ std::string format_recommend_request_line(const RecommendRequest& request) {
   line += v1::to_string(request.objective);
   line += "\",\"perf_cap_rel\":";
   append_double(line, request.perf_cap_rel);
+  // Emitted only when set: pre-thermal recommend request lines stay
+  // byte-identical to the wire golden.
+  if (request.exclude_throttled) line += ",\"exclude_throttled\":true";
   append_grid_fields(line, request.options);
   line += '}';
   return line;

@@ -20,6 +20,14 @@
 // bounds ("time_ci_low"/"time_ci_high", energy, power). Exact requests and
 // responses carry none of these fields, so pre-sampling wire lines are
 // byte-identical.
+//
+// Thermal requests (DESIGN.md §16) add "thermal":true plus
+// "thermal_ambient_c", "thermal_ceiling_c", "thermal_hysteresis_c",
+// "thermal_leak_k" and "thermal_leak_t0_c"; their ok responses append
+// "thermal":true, "throttled", "peak_temp_c" and "throttle_events".
+// Thermal scenarios are exact-only: a line carrying both thermal and a
+// sampled mode is a structured parse error. Non-thermal lines carry none
+// of these fields, so pre-thermal wire lines are byte-identical.
 // Error:    {"v":1,"id":8,"status":"shed","key":"...","error":"..."}
 // Health:   {"v":1,"health":true}  ->  format_health_line(...)
 // Metrics:  {"v":1,"metrics":true} ->  format_metrics_line(...)
@@ -204,14 +212,17 @@ std::string format_sweep_error_line(std::uint64_t id, Status status,
                                     std::string_view error);
 
 /// One recommendation request: a sweep request under the "recommend" key
-/// plus "objective" ("min_energy"|"min_edp"|"min_ed2p"|"perf_cap") and
-/// "perf_cap_rel" (>= 1, kPerfCap only).
+/// plus "objective" ("min_energy"|"min_edp"|"min_ed2p"|"perf_cap"),
+/// "perf_cap_rel" (>= 1, kPerfCap only) and "exclude_throttled" (the
+/// thermal constraint: drop grid points whose governor clamped; only
+/// meaningful together with the thermal fields).
 struct RecommendRequest {
   std::uint64_t id = 0;
   std::string program;
   std::size_t input_index = 0;
   v1::Objective objective = v1::Objective::kMinEdp;
   double perf_cap_rel = 1.10;
+  bool exclude_throttled = false;
   v1::SweepOptions options;
 };
 

@@ -1,0 +1,263 @@
+#include "thermal/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "sensor/waveform.hpp"
+
+namespace repro::thermal {
+
+namespace {
+
+// Same trapezoid arithmetic as sensor::Waveform::energy_j, so the mean
+// base power per Euler step integrates to exactly the waveform energy.
+double partial_energy(const sensor::Segment& s, double lo, double hi) {
+  const double span = s.t1 - s.t0;
+  const auto at = [&](double t) {
+    if (span <= 0.0) return s.w0;
+    return s.w0 + (t - s.t0) / span * (s.w1 - s.w0);
+  };
+  return 0.5 * (at(lo) + at(hi)) * (hi - lo);
+}
+
+/// Uniform Euler grid over [0, duration]; the final point is clipped to
+/// the exact duration so the last step is (0, dt] wide.
+std::vector<double> make_grid(double duration, double dt) {
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(duration / dt) + 2);
+  for (std::size_t i = 0;; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    if (t >= duration) {
+      grid.push_back(duration);
+      break;
+    }
+    grid.push_back(t);
+  }
+  return grid;
+}
+
+/// Mean base power over each grid step, one in-order sweep over the
+/// segments (O(steps + segments)).
+std::vector<double> step_mean_power(const sensor::Waveform& waveform,
+                                    const std::vector<double>& grid) {
+  const auto& segments = waveform.segments();
+  std::vector<double> mean(grid.size() - 1, 0.0);
+  std::size_t first = 0;
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    const double lo = grid[i];
+    const double hi = grid[i + 1];
+    while (first < segments.size() && segments[first].t1 <= lo) ++first;
+    double energy = 0.0;
+    for (std::size_t k = first; k < segments.size(); ++k) {
+      const sensor::Segment& s = segments[k];
+      if (s.t0 >= hi) break;
+      const double a = std::max(lo, s.t0);
+      const double b = std::min(hi, s.t1);
+      if (b > a) energy += partial_energy(s, a, b);
+    }
+    mean[i] = hi > lo ? energy / (hi - lo) : 0.0;
+  }
+  return mean;
+}
+
+/// Euler step chosen so the grid stays bounded on long traces (<= 200k
+/// steps, ~20k for typical runs) while respecting explicit-Euler
+/// stability of the fastest node (dt < RC/2).
+double effective_dt(const ThermalScenario& scenario, double duration) {
+  const RcParams& rc = scenario.rc;
+  double dt = scenario.dt_s > 0.0 ? scenario.dt_s : 0.02;
+  dt = std::max(dt, duration / 20000.0);
+  const double tau_die = rc.c_die_j_per_k * rc.r_die_heatsink_k_per_w;
+  const double tau_hs =
+      rc.c_heatsink_j_per_k /
+      (1.0 / rc.r_die_heatsink_k_per_w + 1.0 / rc.r_heatsink_ambient_k_per_w);
+  const double stable = 0.5 * std::min(tau_die, tau_hs);
+  if (stable > 0.0) dt = std::min(dt, stable);
+  dt = std::max(dt, duration / 200000.0);
+  return dt;
+}
+
+}  // namespace
+
+double total_resistance_k_per_w(const RcParams& rc) {
+  return rc.r_die_heatsink_k_per_w + rc.r_heatsink_ambient_k_per_w;
+}
+
+std::vector<LadderConfig> build_ladder(
+    const sim::GpuConfig& running, const std::vector<LadderConfig>& candidates) {
+  std::vector<LadderConfig> ladder;
+  for (const LadderConfig& c : candidates) {
+    if (!(c.core_mhz > 0.0) || !(c.core_voltage > 0.0)) continue;
+    if (!(c.core_mhz < running.core_mhz)) continue;
+    bool duplicate = false;
+    for (const LadderConfig& kept : ladder) {
+      if (kept.name == c.name ||
+          (kept.core_mhz == c.core_mhz && kept.core_voltage == c.core_voltage)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) ladder.push_back(c);
+  }
+  std::sort(ladder.begin(), ladder.end(),
+            [](const LadderConfig& a, const LadderConfig& b) {
+              if (a.core_mhz != b.core_mhz) return a.core_mhz > b.core_mhz;
+              return a.name < b.name;
+            });
+  return ladder;
+}
+
+ThermalResult simulate(sensor::Waveform& waveform,
+                       const ThermalScenario& scenario,
+                       const sim::GpuConfig& running, double static_w,
+                       double leakage_w) {
+  ThermalResult result;
+  result.enabled = scenario.enabled;
+  result.peak_die_c = scenario.ambient_c;
+  result.peak_heatsink_c = scenario.ambient_c;
+  const double duration = waveform.duration();
+  if (!scenario.enabled || duration <= 0.0) return result;
+
+  const RcParams& rc = scenario.rc;
+  const double dt = effective_dt(scenario, duration);
+  const std::vector<double> grid = make_grid(duration, dt);
+  const std::size_t n_steps = grid.size() - 1;
+  if (n_steps == 0) return result;
+  result.dt_s = dt;
+  result.duration_s = duration;
+
+  const std::vector<double> base = step_mean_power(waveform, grid);
+
+  // Governor ladder relative to the running operating point; each level
+  // scales the above-static power share by V'^2 f' / V^2 f.
+  const std::vector<LadderConfig> ladder =
+      build_ladder(running, scenario.ladder);
+  std::vector<double> scale(ladder.size() + 1, 1.0);
+  const double vf0 = running.core_voltage * running.core_voltage *
+                     running.core_mhz;
+  for (std::size_t l = 0; l < ladder.size(); ++l) {
+    scale[l + 1] = vf0 > 0.0 ? ladder[l].core_voltage *
+                                   ladder[l].core_voltage *
+                                   ladder[l].core_mhz / vf0
+                             : 1.0;
+  }
+  const double ceiling = scenario.governor.ceiling_c;
+  const double release =
+      ceiling - std::max(scenario.governor.hysteresis_c, 0.0);
+
+  const double k = scenario.leakage.k_per_c;
+  const double t0 = scenario.leakage.t0_c;
+  const double ambient = scenario.ambient_c;
+  const int max_passes = std::max(scenario.max_iterations, 1);
+
+  std::vector<double> t_prev(grid.size(), ambient);
+  std::vector<double> t_die(grid.size(), ambient);
+  std::vector<double> dleak(n_steps, 0.0);
+  std::vector<double> applied(n_steps, 0.0);
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    double td = ambient;
+    double th = ambient;
+    double peak_die = ambient;
+    double peak_hs = ambient;
+    double max_delta = 0.0;
+    std::size_t level = 0;
+    result.events.clear();
+    t_die[0] = td;
+    for (std::size_t i = 0; i < n_steps; ++i) {
+      // Leakage feedback reads the previous pass's trajectory: pass 0
+      // injects no delta, which makes k = 0 exact after a single pass.
+      dleak[i] =
+          pass == 0 ? 0.0 : leakage_w * std::expm1(k * (t_prev[i] - t0));
+      const double p =
+          static_w + (base[i] - static_w) * scale[level] + dleak[i];
+      applied[i] = p;
+      const double h = grid[i + 1] - grid[i];
+      const double q_dh = (td - th) / rc.r_die_heatsink_k_per_w;
+      td += h / rc.c_die_j_per_k * (p - q_dh);
+      th += h / rc.c_heatsink_j_per_k *
+            (q_dh - (th - ambient) / rc.r_heatsink_ambient_k_per_w);
+      t_die[i + 1] = td;
+      peak_die = std::max(peak_die, td);
+      peak_hs = std::max(peak_hs, th);
+      max_delta = std::max(max_delta, std::abs(td - t_prev[i + 1]));
+      if (ceiling > 0.0) {
+        if (td >= ceiling && level < ladder.size()) {
+          ++level;
+          ThrottleEvent event;
+          event.t_s = grid[i + 1];
+          event.temp_c = td;
+          event.config_name = ladder[level - 1].name;
+          result.events.push_back(std::move(event));
+        } else if (level > 0 && td <= release) {
+          --level;
+          for (auto it = result.events.rbegin(); it != result.events.rend();
+               ++it) {
+            if (it->release_t_s < 0.0) {
+              it->release_t_s = grid[i + 1];
+              break;
+            }
+          }
+        }
+      }
+    }
+    result.iterations = pass + 1;
+    result.peak_die_c = peak_die;
+    result.peak_heatsink_c = peak_hs;
+    std::swap(t_prev, t_die);
+    if (pass > 0 && max_delta <= scenario.tolerance_c) {
+      result.converged = true;
+      break;
+    }
+    if (pass == 0 && k == 0.0) {
+      // No feedback: the pass-0 trajectory already is the fixed point.
+      result.converged = true;
+      break;
+    }
+  }
+  result.die_temp_c = std::move(t_prev);  // final pass (swapped above)
+  result.throttled = !result.events.empty();
+
+  result.cum_extra_j.assign(grid.size(), 0.0);
+  for (std::size_t i = 0; i < n_steps; ++i) {
+    const double h = grid[i + 1] - grid[i];
+    result.cum_extra_j[i + 1] =
+        result.cum_extra_j[i] + (applied[i] - base[i]) * h;
+    result.leakage_extra_j += dleak[i] * h;
+  }
+
+  // Only rewrite the trace when the applied power can differ from the
+  // base: thermal-off, and k = 0 without a throttle event, leave the
+  // waveform byte-untouched (the bit-identity pins).
+  if (k != 0.0 || result.throttled) {
+    std::vector<sensor::Segment> segments;
+    segments.reserve(n_steps);
+    for (std::size_t i = 0; i < n_steps; ++i) {
+      segments.push_back({grid[i], grid[i + 1], applied[i], applied[i]});
+    }
+    waveform.assign(std::move(segments));
+  }
+  return result;
+}
+
+double window_extra_j(const ThermalResult& result, double a, double b) {
+  if (result.cum_extra_j.size() < 2 || result.dt_s <= 0.0) return 0.0;
+  const std::size_t n_steps = result.cum_extra_j.size() - 1;
+  const auto cum_at = [&](double t) {
+    t = std::clamp(t, 0.0, result.duration_s);
+    std::size_t i = std::min(
+        static_cast<std::size_t>(t / result.dt_s), n_steps - 1);
+    const double lo = static_cast<double>(i) * result.dt_s;
+    const double hi = i + 1 == n_steps ? result.duration_s
+                                       : lo + result.dt_s;
+    const double frac = hi > lo ? std::clamp((t - lo) / (hi - lo), 0.0, 1.0)
+                                : 0.0;
+    return result.cum_extra_j[i] +
+           frac * (result.cum_extra_j[i + 1] - result.cum_extra_j[i]);
+  };
+  if (b < a) std::swap(a, b);
+  return cum_at(b) - cum_at(a);
+}
+
+}  // namespace repro::thermal

@@ -1,0 +1,127 @@
+// Lumped-RC thermal model (DESIGN.md §16): die -> heatsink -> ambient
+// two-node network stepped with explicit Euler on the sensor waveform
+// timeline, temperature-dependent leakage fed back into the power trace
+// via fixed-point iteration, and a throttling governor that clamps the
+// clock to the next-lower ladder config when the die crosses a ceiling.
+//
+// The scenario is off by default; with it off (or with k = 0 and no
+// throttle event) the waveform is left byte-untouched, which is what
+// pins every pre-thermal golden.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/gpuconfig.hpp"
+
+namespace repro::sensor {
+class Waveform;
+}
+
+namespace repro::thermal {
+
+/// Thermal resistances (K/W) and capacitances (J/K) of the two-node
+/// network. Defaults approximate a K20-class board: a low-mass die
+/// tightly coupled to a large heatsink with a slow path to ambient.
+struct RcParams {
+  double r_die_heatsink_k_per_w = 0.065;
+  double c_die_j_per_k = 18.0;
+  double r_heatsink_ambient_k_per_w = 0.18;
+  double c_heatsink_j_per_k = 450.0;
+};
+
+/// Exponential leakage law: P_leak(T) = P_leak(T0) * exp(k * (T - T0)).
+/// Only the delta against the nominal (temperature-independent) leakage
+/// already inside the power model is injected into the trace.
+struct LeakageParams {
+  double k_per_c = 0.012;
+  double t0_c = 45.0;
+};
+
+/// Throttling governor. ceiling_c == 0 disables it. The governor clamps
+/// one ladder step down when the die reaches the ceiling and releases one
+/// step up only after cooling below ceiling_c - hysteresis_c.
+struct GovernorParams {
+  double ceiling_c = 0.0;
+  double hysteresis_c = 5.0;
+};
+
+/// One candidate operating point of the governor ladder. Candidates are
+/// absolute: simulate() keeps only those strictly below the running
+/// config's core clock and sorts them next-lower-first.
+struct LadderConfig {
+  std::string name;
+  double core_mhz = 0.0;
+  double core_voltage = 1.0;
+};
+
+/// A full thermal scenario. Off by default; every layer that carries one
+/// leaves measurements bit-identical while `enabled` is false.
+struct ThermalScenario {
+  bool enabled = false;
+  double ambient_c = 25.0;
+  RcParams rc;
+  LeakageParams leakage;
+  GovernorParams governor;
+  std::vector<LadderConfig> ladder;
+  double dt_s = 0.02;        // Euler step; widened for very long traces
+  double tolerance_c = 0.01; // fixed-point convergence on max |dT_die|
+  int max_iterations = 25;
+};
+
+/// One governor clamp: the moment the die hit the ceiling and the ladder
+/// config it dropped to. release_t_s < 0 means it never released.
+struct ThrottleEvent {
+  double t_s = 0.0;
+  double temp_c = 0.0;
+  double release_t_s = -1.0;
+  std::string config_name;
+};
+
+/// Result of one thermal simulation. Temperatures are sampled on a
+/// uniform grid t_i = i * dt_s (last point clipped to duration_s);
+/// cum_extra_j[i] is the integral of (applied - base) power over [0, t_i],
+/// so window deltas are O(1) lookups (see window_extra_j).
+struct ThermalResult {
+  bool enabled = false;
+  bool converged = false;
+  int iterations = 0;
+  double dt_s = 0.0;
+  double duration_s = 0.0;
+  double peak_die_c = 0.0;
+  double peak_heatsink_c = 0.0;
+  double leakage_extra_j = 0.0;  // integral of the leakage delta alone
+  bool throttled = false;
+  std::vector<ThrottleEvent> events;
+  std::vector<double> die_temp_c;
+  std::vector<double> cum_extra_j;
+};
+
+/// Steady-state die-to-ambient resistance: a constant power P settles at
+/// T_amb + P * total_resistance (the closed-form law the tests pin).
+double total_resistance_k_per_w(const RcParams& rc);
+
+/// Governor ladder for `running`: scenario candidates strictly below the
+/// running core clock, next-lower-first, deduplicated by name.
+std::vector<LadderConfig> build_ladder(const sim::GpuConfig& running,
+                                       const std::vector<LadderConfig>& candidates);
+
+/// Simulates the scenario over `waveform` (the base power trace) and,
+/// when leakage feedback or throttling changed the applied power,
+/// rewrites the waveform as a step trace on the Euler grid. `static_w`
+/// is the configured static floor and `leakage_w` the nominal leakage
+/// share at leakage.t0_c (both from the power model); the governor
+/// scales the above-static share by V'^2 f' / V^2 f relative to
+/// `running`. With k = 0 and no throttle event the waveform is left
+/// byte-untouched.
+ThermalResult simulate(sensor::Waveform& waveform,
+                       const ThermalScenario& scenario,
+                       const sim::GpuConfig& running, double static_w,
+                       double leakage_w);
+
+/// Integral of (applied - base) power over [a, b] on the result grid.
+/// Exact for the step trace simulate() produced; O(1).
+double window_extra_j(const ThermalResult& result, double a, double b);
+
+}  // namespace repro::thermal

@@ -345,6 +345,182 @@ TEST_P(ChaosSampledSweep, ZeroRetryBudgetDegradesTruthfully) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, ChaosSampledSweep, ::testing::Range(0, 10));
 
+// --- Thermal-scenario chaos (DESIGN.md §16) ---------------------------------
+
+v1::ThermalOptions chaos_thermal() {
+  v1::ThermalOptions thermal;
+  thermal.enabled = true;
+  // Slice runs are short against the ~20 s heatsink time constant, so the
+  // die only climbs a few degrees over ambient; a ceiling just above
+  // ambient is what makes the hot entries genuinely clamp.
+  thermal.ceiling_c = 31.0;
+  thermal.hysteresis_c = 2.0;
+  return thermal;
+}
+
+std::vector<v1::ExperimentRequest> thermal_chaos_batch() {
+  std::vector<v1::ExperimentRequest> batch = chaos_batch();
+  for (v1::ExperimentRequest& r : batch) r.thermal = chaos_thermal();
+  return batch;
+}
+
+// Fault-free thermal golden (same scenario as the batch), computed once
+// and strictly before any plan is active.
+const std::map<std::string, v1::MeasurementResult>& thermal_golden() {
+  static const std::map<std::string, v1::MeasurementResult> oracle = [] {
+    EXPECT_EQ(fault::active(), nullptr)
+        << "thermal golden oracle computed under an active fault plan";
+    std::map<std::string, v1::MeasurementResult> results;
+    v1::Session session;
+    for (const SliceEntry& e : kSlice) {
+      v1::ExperimentRequest request;
+      request.program = e.program;
+      request.input_index = e.input;
+      request.config = e.config;
+      request.thermal = chaos_thermal();
+      results[core::experiment_key(e.program, e.input, e.config)] =
+          session.measure(request);
+    }
+    return results;
+  }();
+  return oracle;
+}
+
+void expect_thermal_identical(const v1::MeasurementResult& a,
+                              const v1::MeasurementResult& b,
+                              const std::string& context) {
+  expect_bit_identical(a, b, context);
+  EXPECT_EQ(a.thermal, b.thermal) << context;
+  EXPECT_EQ(a.throttled, b.throttled) << context;
+  EXPECT_EQ(a.peak_temp_c, b.peak_temp_c) << context;
+  EXPECT_EQ(a.throttle_events, b.throttle_events) << context;
+}
+
+// The resilience contract for thermal requests. Like the sampled path,
+// thermal dispatch has no abort site, so every request terminates kOk.
+// Clean and retried responses are bit-identical to the fault-free thermal
+// golden INCLUDING the telemetry; the telemetry itself stays truthful
+// under faults: `throttled` iff clamp events were recorded, and a clamp
+// implies the die actually crossed the ceiling.
+void run_thermal_seed(std::uint64_t seed, int max_retries) {
+  const std::map<std::string, v1::MeasurementResult>& oracle = thermal_golden();
+  const std::vector<v1::ExperimentRequest> batch = thermal_chaos_batch();
+  const std::vector<std::string> keys = slice_keys();
+  const std::string context = "thermal seed " + std::to_string(seed);
+
+  fault::PlanOptions plan_options;
+  plan_options.seed = seed;
+  fault::FaultPlan plan{plan_options};
+  fault::ScopedPlan scope{&plan};
+
+  std::vector<Response> responses;
+  Service::Stats stats;
+  {
+    Service service{chaos_options(max_retries)};
+    responses = service.run_batch(batch);
+    stats = service.stats();
+  }
+
+  EXPECT_EQ(responses.size(), batch.size()) << context;
+  std::uint64_t ok = 0, retried = 0, degraded = 0;
+  bool any_throttled = false;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const Response& r = responses[i];
+    const std::string& key = keys[i % keys.size()];
+    const std::string where = context + ", request " + std::to_string(r.id) +
+                              " (" + key + ")";
+    EXPECT_EQ(r.id, batch[i].id) << where;
+    ASSERT_EQ(r.status, Status::kOk)
+        << where << ": thermal dispatch has no abort site, got "
+        << to_string(r.status) << " (" << r.error << ")";
+    ++ok;
+    // Truthful telemetry, even on degraded responses.
+    EXPECT_TRUE(r.result.thermal) << where;
+    EXPECT_EQ(r.result.throttled, r.result.throttle_events > 0) << where;
+    if (r.result.throttled) {
+      any_throttled = true;
+      EXPECT_GE(r.result.peak_temp_c, chaos_thermal().ceiling_c) << where;
+    }
+    switch (r.degradation) {
+      case Degradation::kDegraded:
+        ++degraded;
+        EXPECT_GT(plan.applied(fault::Site::kSensor, key), 0u) << where;
+        EXPECT_EQ(r.retries, max_retries) << where;
+        EXPECT_FALSE(r.cached)
+            << where << ": degraded results must never be served from cache";
+        break;
+      case Degradation::kRetried:
+        ++retried;
+        EXPECT_GT(r.retries, 0) << where;
+        expect_thermal_identical(r.result, oracle.at(key), where);
+        break;
+      case Degradation::kNone:
+        EXPECT_EQ(r.retries, 0) << where;
+        expect_thermal_identical(r.result, oracle.at(key), where);
+        break;
+    }
+    if (r.cached) {
+      EXPECT_EQ(r.degradation, Degradation::kNone) << where;
+      expect_thermal_identical(r.result, oracle.at(key), where);
+    }
+  }
+  // The ceiling is chosen so the hot slice entries genuinely clamp: the
+  // sweep exercises the governor, not just the RC integrator.
+  EXPECT_TRUE(any_throttled) << context;
+  EXPECT_EQ(stats.submitted, batch.size()) << context;
+  EXPECT_EQ(stats.completed, ok) << context;
+  EXPECT_EQ(stats.retried, retried) << context;
+  EXPECT_EQ(stats.degraded, degraded) << context;
+  EXPECT_EQ(stats.faulted, 0u) << context;
+}
+
+class ChaosThermalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosThermalSweep, ThermalRequestsTerminateTruthfullyAndNeverFail) {
+  const int shard = GetParam();
+  for (int n = 0; n < 2; ++n) {
+    // Seeds 1..10 across 5 shards, retry budget 2.
+    run_thermal_seed(static_cast<std::uint64_t>(shard * 2 + n + 1), 2);
+  }
+}
+
+TEST_P(ChaosThermalSweep, ZeroRetryBudgetDegradesTruthfully) {
+  const int shard = GetParam();
+  run_thermal_seed(static_cast<std::uint64_t>(shard * 2 + 1), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ChaosThermalSweep, ::testing::Range(0, 5));
+
+TEST(ChaosThermalReplay, SameSeedReproducesTheRunByteForByte) {
+  // Sequential replay of a thermal chaos run is a byte-identical wire
+  // transcript — the thermal telemetry fields included.
+  const auto transcript = [](std::uint64_t seed) {
+    fault::PlanOptions plan_options;
+    plan_options.seed = seed;
+    fault::FaultPlan plan{plan_options};
+    fault::ScopedPlan scope{&plan};
+
+    Service::Options options = chaos_options(2);
+    options.threads = 1;
+    Service service{options};
+    std::string text;
+    for (const v1::ExperimentRequest& request : thermal_chaos_batch()) {
+      const Service::Ticket ticket = service.submit(request);
+      text += format_response_line(ticket.wait());
+      text += '\n';
+    }
+    return text;
+  };
+  for (const std::uint64_t seed : {5ULL, 23ULL}) {
+    const std::string first = transcript(seed);
+    const std::string second = transcript(seed);
+    EXPECT_EQ(first, second) << "seed " << seed;
+    EXPECT_FALSE(first.empty());
+    // The transcript actually carries thermal telemetry bytes.
+    EXPECT_NE(first.find("\"thermal\":true"), std::string::npos);
+  }
+}
+
 // --- Replay determinism ----------------------------------------------------
 
 // The printed-seed contract: replaying a seed sequentially (threads=1, one

@@ -520,6 +520,199 @@ TEST(ServeWireSampled, ResponseCarriesCiFieldsOnlyWhenSampled) {
   }
 }
 
+// --- Thermal requests on the wire (DESIGN.md §16) ---------------------------
+
+TEST(ServeWireThermal, ThermalRequestRoundTripsAndDefaultOmitsFields) {
+  v1::ExperimentRequest request;
+  request.program = "SGEMM";
+  request.input_index = 0;
+  request.config = "default";
+  request.id = 11;
+  request.thermal.enabled = true;
+  request.thermal.ambient_c = 30.5;
+  request.thermal.ceiling_c = 42.25;
+  request.thermal.hysteresis_c = 3.5;
+  request.thermal.leak_k_per_c = 0.015625;
+  request.thermal.leak_t0_c = 40.0;
+  const std::string line = format_request_line(request);
+  EXPECT_NE(line.find("\"thermal\":true"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"thermal_ceiling_c\":42.25"), std::string::npos)
+      << line;
+
+  v1::ExperimentRequest decoded;
+  std::string error;
+  ASSERT_TRUE(parse_request_line(line, decoded, error)) << error;
+  EXPECT_TRUE(decoded.thermal.enabled);
+  EXPECT_EQ(decoded.thermal.ambient_c, 30.5);
+  EXPECT_EQ(decoded.thermal.ceiling_c, 42.25);
+  EXPECT_EQ(decoded.thermal.hysteresis_c, 3.5);
+  EXPECT_EQ(decoded.thermal.leak_k_per_c, 0.015625);
+  EXPECT_EQ(decoded.thermal.leak_t0_c, 40.0);
+  EXPECT_EQ(format_request_line(decoded), line) << "unstable re-encode";
+
+  // Non-thermal requests carry no thermal fields at all: the pre-thermal
+  // wire bytes are unchanged.
+  v1::ExperimentRequest plain;
+  plain.program = "NB";
+  plain.config = "default";
+  EXPECT_EQ(format_request_line(plain).find("thermal"), std::string::npos);
+}
+
+TEST(ServeWireThermal, ParserRejectsMalformedThermalFields) {
+  const std::vector<std::string> bad = {
+      // Type errors.
+      R"({"program":"NB","config":"default","thermal":1})",
+      R"({"program":"NB","config":"default","thermal":true,"thermal_ambient_c":"hot"})",
+      // Range errors (validated only when thermal is enabled).
+      R"({"program":"NB","config":"default","thermal":true,"thermal_ambient_c":200})",
+      R"({"program":"NB","config":"default","thermal":true,"thermal_ceiling_c":20})",
+      R"({"program":"NB","config":"default","thermal":true,"thermal_ceiling_c":160})",
+      R"({"program":"NB","config":"default","thermal":true,"thermal_hysteresis_c":-1})",
+      R"({"program":"NB","config":"default","thermal":true,"thermal_leak_k":2})",
+      R"({"program":"NB","config":"default","thermal":true,"thermal_leak_t0_c":-90})",
+      // Thermal scenarios are exact-only.
+      R"({"program":"NB","config":"default","thermal":true,"sample_mode":"stratified"})",
+  };
+  for (const std::string& line : bad) {
+    v1::ExperimentRequest out;
+    std::string error;
+    EXPECT_FALSE(parse_request_line(line, out, error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+  // The same knobs with thermal disabled parse fine (values are inert).
+  v1::ExperimentRequest out;
+  std::string error;
+  EXPECT_TRUE(parse_request_line(
+      R"({"program":"NB","config":"default","thermal_ambient_c":200})", out,
+      error))
+      << error;
+  EXPECT_FALSE(out.thermal.enabled);
+}
+
+TEST(ServeWireThermal, ResponseCarriesThermalFieldsOnlyWhenThermal) {
+  Response r;
+  r.id = 6;
+  r.status = Status::kOk;
+  r.key = "SGEMM/0/default";
+  r.result.usable = true;
+  r.result.time_s = 8.9;
+  EXPECT_EQ(format_response_line(r).find("thermal"), std::string::npos);
+  EXPECT_EQ(format_response_line(r).find("throttled"), std::string::npos);
+
+  r.result.thermal = true;
+  r.result.throttled = true;
+  r.result.peak_temp_c = 36.125;
+  r.result.throttle_events = 2;
+  const std::string line = format_response_line(r);
+  for (const char* field :
+       {"\"thermal\":true", "\"throttled\":true", "\"peak_temp_c\":36.125",
+        "\"throttle_events\":2"}) {
+    EXPECT_NE(line.find(field), std::string::npos) << field << " in " << line;
+  }
+}
+
+TEST(ServeWireThermal, GridRequestsRoundTripThermalAndExcludeThrottled) {
+  SweepRequest sweep_request;
+  sweep_request.id = 30;
+  sweep_request.program = "BP";
+  sweep_request.options.thermal.enabled = true;
+  sweep_request.options.thermal.ambient_c = 35.0;
+  sweep_request.options.thermal.ceiling_c = 50.5;
+  const std::string sweep_line = format_sweep_request_line(sweep_request);
+  EXPECT_NE(sweep_line.find("\"thermal\":true"), std::string::npos)
+      << sweep_line;
+  SweepRequest sweep_decoded;
+  std::string error;
+  ASSERT_TRUE(parse_sweep_request(sweep_line, sweep_decoded, error)) << error;
+  EXPECT_TRUE(sweep_decoded.options.thermal.enabled);
+  EXPECT_EQ(sweep_decoded.options.thermal.ambient_c, 35.0);
+  EXPECT_EQ(sweep_decoded.options.thermal.ceiling_c, 50.5);
+  EXPECT_EQ(format_sweep_request_line(sweep_decoded), sweep_line);
+  // Non-thermal sweep requests stay free of thermal bytes.
+  EXPECT_EQ(format_sweep_request_line(SweepRequest{}).find("thermal"),
+            std::string::npos);
+  // Grid-level range validation is a structured parse error.
+  SweepRequest rejected;
+  EXPECT_FALSE(parse_sweep_request(
+      R"({"sweep":"BP","thermal":true,"thermal_leak_k":2})", rejected, error));
+  EXPECT_FALSE(error.empty());
+
+  RecommendRequest recommend_request;
+  recommend_request.id = 31;
+  recommend_request.program = "BP";
+  recommend_request.exclude_throttled = true;
+  recommend_request.options.thermal.enabled = true;
+  const std::string rec_line =
+      format_recommend_request_line(recommend_request);
+  EXPECT_NE(rec_line.find("\"exclude_throttled\":true"), std::string::npos)
+      << rec_line;
+  RecommendRequest rec_decoded;
+  ASSERT_TRUE(parse_recommend_request(rec_line, rec_decoded, error)) << error;
+  EXPECT_TRUE(rec_decoded.exclude_throttled);
+  EXPECT_TRUE(rec_decoded.options.thermal.enabled);
+  EXPECT_EQ(format_recommend_request_line(rec_decoded), rec_line);
+  // The flag is emitted only when set.
+  EXPECT_EQ(
+      format_recommend_request_line(RecommendRequest{}).find("exclude_"),
+      std::string::npos);
+}
+
+TEST(ServeThermal, ServedThermalResultMatchesDirectSessionCall) {
+  v1::ExperimentRequest request;
+  request.id = 1;
+  request.program = "SGEMM";
+  request.input_index = 0;
+  request.config = "default";
+  request.thermal.enabled = true;
+  request.thermal.ceiling_c = 31.0;  // slice runs peak a few C over ambient
+  request.thermal.hysteresis_c = 2.0;
+
+  Service service;
+  const Response cold = service.run_batch({request})[0];
+  ASSERT_EQ(cold.status, Status::kOk) << cold.error;
+  ASSERT_TRUE(cold.result.thermal);
+
+  v1::Session session;
+  const v1::MeasurementResult direct = session.measure(request);
+  EXPECT_EQ(cold.result.time_s, direct.time_s);
+  EXPECT_EQ(cold.result.energy_j, direct.energy_j);
+  EXPECT_EQ(cold.result.power_w, direct.power_w);
+  EXPECT_EQ(cold.result.throttled, direct.throttled);
+  EXPECT_EQ(cold.result.peak_temp_c, direct.peak_temp_c);
+  EXPECT_EQ(cold.result.throttle_events, direct.throttle_events);
+
+  // A repeat hits the thermal cache namespace and serves the same bytes.
+  v1::ExperimentRequest again = request;
+  again.id = 2;
+  const Response warm = service.run_batch({again})[0];
+  ASSERT_EQ(warm.status, Status::kOk) << warm.error;
+  EXPECT_TRUE(warm.cached);
+  EXPECT_EQ(warm.result.energy_j, cold.result.energy_j);
+  EXPECT_EQ(warm.result.peak_temp_c, cold.result.peak_temp_c);
+
+  // Namespace isolation: the plain request for the same key is untouched
+  // by the cached thermal result — it measures and reports no telemetry.
+  v1::ExperimentRequest plain = request;
+  plain.id = 3;
+  plain.thermal = v1::ThermalOptions{};
+  const Response exact = service.run_batch({plain})[0];
+  ASSERT_EQ(exact.status, Status::kOk) << exact.error;
+  EXPECT_FALSE(exact.cached);
+  EXPECT_FALSE(exact.result.thermal);
+  const v1::MeasurementResult plain_direct =
+      session.measure("SGEMM", 0, "default");
+  EXPECT_EQ(exact.result.energy_j, plain_direct.energy_j);
+
+  // Programmatic thermal+sampled submissions get a structured rejection
+  // (the wire parser already refuses them upstream).
+  v1::ExperimentRequest invalid = request;
+  invalid.id = 4;
+  invalid.sampling.mode = v1::SamplingMode::kStratified;
+  const Response rejected = service.run_batch({invalid})[0];
+  EXPECT_EQ(rejected.status, Status::kInvalidRequest);
+  EXPECT_FALSE(rejected.error.empty());
+}
+
 // --- Sampled serving: cache-namespace isolation ----------------------------
 
 v1::ExperimentRequest sampled_request(std::uint64_t id, std::uint64_t seed) {
@@ -891,6 +1084,97 @@ TEST(ServeWireGolden, EncodingMatchesSnapshot) {
     actual += '\n';
     actual += format_recommend_error_line(
         ++id, Status::kInvalidRequest, "perf_cap_rel 0.5 must be >= 1");
+    actual += '\n';
+  }
+  // Thermal-scenario lines (DESIGN.md §16), appended after the DVFS block
+  // so every pre-thermal line stays byte-identical: a thermal experiment
+  // request/response pair (telemetry fields included), a thermal sweep
+  // request with one throttled measured point, and a recommend request
+  // carrying the exclude_throttled constraint. Dyadic values keep the
+  // %.17g rendering short and exact — this pins the encoding, not the
+  // thermal model.
+  {
+    v1::ThermalOptions scenario;
+    scenario.enabled = true;
+    scenario.ambient_c = 30.5;
+    scenario.ceiling_c = 42.25;
+    scenario.hysteresis_c = 3.5;
+    scenario.leak_k_per_c = 0.015625;
+    scenario.leak_t0_c = 40.0;
+
+    v1::ExperimentRequest thermal_request;
+    thermal_request.id = ++id;
+    thermal_request.program = "SGEMM";
+    thermal_request.input_index = 0;
+    thermal_request.config = "default";
+    thermal_request.thermal = scenario;
+    actual += format_request_line(thermal_request);
+    actual += '\n';
+
+    Response r;
+    r.id = id;
+    r.status = Status::kOk;
+    r.key = "SGEMM/0/default";
+    r.result.usable = true;
+    r.result.time_s = 8.875;
+    r.result.energy_j = 1150.25;
+    r.result.power_w = 129.605633802816901;
+    r.result.true_active_s = 8.75;
+    r.result.time_spread = 0.00390625;
+    r.result.energy_spread = 0.0078125;
+    r.result.thermal = true;
+    r.result.throttled = true;
+    r.result.peak_temp_c = 42.84375;
+    r.result.throttle_events = 2;
+    actual += format_response_line(r);
+    actual += '\n';
+
+    SweepRequest sweep_request;
+    sweep_request.id = ++id;
+    sweep_request.program = "SGEMM";
+    sweep_request.input_index = 0;
+    sweep_request.options.core_mhz = {324.0, 705.0, 381.0};
+    sweep_request.options.mem_mhz = {2600.0, 2600.0, 0.0};
+    sweep_request.options.prune = false;
+    sweep_request.options.thermal = scenario;
+    actual += format_sweep_request_line(sweep_request);
+    actual += '\n';
+
+    v1::SweepResult sweep;
+    sweep.program = "SGEMM";
+    sweep.input_index = 0;
+    sweep.grid_points = 1;
+    sweep.measured = 1;
+    v1::SweepPoint point;
+    point.config.name = "default";
+    point.config.core_mhz = 705.0;
+    point.config.mem_mhz = 2600.0;
+    point.analytic_time_s = 8.5;
+    point.analytic_energy_j = 1100.0;
+    point.analytic_power_w = 129.411764705882348;
+    point.measured = true;
+    point.pareto = true;
+    point.result.usable = true;
+    point.result.time_s = 8.875;
+    point.result.energy_j = 1150.25;
+    point.result.power_w = 129.605633802816901;
+    point.result.thermal = true;
+    point.result.throttled = true;
+    point.result.peak_temp_c = 42.84375;
+    point.result.throttle_events = 2;
+    sweep.points.push_back(point);
+    actual += format_sweep_line(sweep_request.id, sweep, Degradation::kNone, 0);
+    actual += '\n';
+
+    RecommendRequest recommend_request;
+    recommend_request.id = ++id;
+    recommend_request.program = "SGEMM";
+    recommend_request.input_index = 0;
+    recommend_request.objective = v1::Objective::kPerfCap;
+    recommend_request.perf_cap_rel = 1.25;
+    recommend_request.exclude_throttled = true;
+    recommend_request.options = sweep_request.options;
+    actual += format_recommend_request_line(recommend_request);
     actual += '\n';
   }
 

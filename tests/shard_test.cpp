@@ -296,6 +296,42 @@ TEST(ShardRouter, SampledRequestsRouteByteIdenticalWithCiFields) {
   EXPECT_GT(sampled_responses, 0u) << "no request actually sampled";
 }
 
+TEST(ShardRouter, ThermalRequestsRouteByteIdenticalWithTelemetry) {
+  // The router forwards thermal requests verbatim — routing is a pure
+  // function of the experiment key, so a 4-worker tier answers byte
+  // identically to a single worker, telemetry fields included.
+  TestTier single(1);
+  TestTier sharded(4);
+  std::size_t throttled_responses = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      v1::ExperimentRequest request;
+      const SliceEntry& e = kSlice[i];
+      request.program = e.program;
+      request.input_index = e.input;
+      request.config = e.config;
+      request.id = 200 + i;
+      request.thermal.enabled = true;
+      // Slice runs only climb a few degrees over ambient; a ceiling just
+      // above it makes the hot entries genuinely clamp on both tiers.
+      request.thermal.ceiling_c = 31.0;
+      request.thermal.hysteresis_c = 2.0;
+      const std::string line = serve::format_request_line(request);
+      const std::string expected = single.router().route_line(line, 200 + i);
+      const std::string actual = sharded.router().route_line(line, 200 + i);
+      EXPECT_EQ(actual, expected) << line;
+      EXPECT_NE(actual.find("\"thermal\":true"), std::string::npos) << actual;
+      EXPECT_NE(actual.find("\"peak_temp_c\":"), std::string::npos) << actual;
+      EXPECT_EQ(json_field(actual, "cached"), round == 0 ? "false" : "true")
+          << actual;
+      if (actual.find("\"throttled\":true") != std::string::npos) {
+        ++throttled_responses;
+      }
+    }
+  }
+  EXPECT_GT(throttled_responses, 0u) << "no request actually throttled";
+}
+
 TEST(ShardRouter, IdLessRequestsTakeTheClientLineNumber) {
   TestTier tier(2);
   v1::ExperimentRequest request;

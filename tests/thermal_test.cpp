@@ -1,0 +1,545 @@
+// Thermal model suite (DESIGN.md §16). The physics and contracts under
+// test:
+//
+//   * Closed form: under constant power P the lumped-RC die settles at
+//     exactly T_ambient + P * (R_die_heatsink + R_heatsink_ambient) — the
+//     discrete Euler fixed point IS the continuous one, so the check is
+//     tight, not approximate.
+//   * Monotonicity: peak die temperature is monotone in ambient and in
+//     dissipated power.
+//   * Cooling: after the power drops, the excess temperature decays
+//     monotonically and log-linearly (single dominant mode once the fast
+//     die node settles).
+//   * Leakage feedback: the fixed-point iteration converges within the
+//     pass budget and is bit-deterministic; k = 0 converges on pass 0 and
+//     leaves the waveform byte-untouched (the bit-identity pin).
+//   * Governor: the ladder is filtered/ordered/deduped; the throttle flag
+//     is truthful (set iff a clamp actually happened), clamp events carry
+//     the ceiling crossing, and hysteresis releases only after cooling
+//     below ceiling - hysteresis.
+//   * Study integration: thermal-off is bit-identical to a default study
+//     across the registry matrix; k = 0 without throttling reproduces the
+//     constant-leakage energy bit-exactly; attribution keeps the
+//     sum(class) + static == model law under temperature-dependent
+//     leakage.
+//   * Facade: v1::Session validates thermal knobs strictly, rejects
+//     thermal+sampled combinations, and recommend's exclude_throttled
+//     drops clamped points from both the argmin and the perf-cap
+//     baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "core/study.hpp"
+#include "dvfs/dvfs.hpp"
+#include "repro/api.hpp"
+#include "sensor/waveform.hpp"
+#include "sim/gpuconfig.hpp"
+#include "suites/factories.hpp"
+#include "thermal/thermal.hpp"
+#include "workloads/registry.hpp"
+
+namespace repro {
+namespace {
+
+sensor::Waveform constant_waveform(double watts, double duration_s) {
+  return sensor::Waveform({{0.0, duration_s, watts, watts}});
+}
+
+thermal::ThermalScenario enabled_scenario() {
+  thermal::ThermalScenario scenario;
+  scenario.enabled = true;
+  scenario.leakage.k_per_c = 0.0;  // tests opt into feedback explicitly
+  return scenario;
+}
+
+double die_temp_at(const thermal::ThermalResult& result, double t_s) {
+  const std::size_t index = static_cast<std::size_t>(
+      std::lround(t_s / result.dt_s));
+  EXPECT_LT(index, result.die_temp_c.size());
+  return result.die_temp_c[index];
+}
+
+// --- RC physics -------------------------------------------------------------
+
+TEST(ThermalRc, SteadyStateMatchesClosedForm) {
+  const thermal::ThermalScenario scenario = enabled_scenario();
+  const double power_w = 100.0;
+  sensor::Waveform waveform = constant_waveform(power_w, 3000.0);
+  const thermal::ThermalResult result = thermal::simulate(
+      waveform, scenario, sim::config_by_name("default"), 25.0, 8.0);
+
+  ASSERT_TRUE(result.enabled);
+  ASSERT_TRUE(result.converged);
+  ASSERT_GE(result.die_temp_c.size(), 2u);
+
+  // The Euler fixed point equals the continuous steady state, and 3000 s
+  // is > 100 slow time constants, so the check is tight.
+  const double steady_die =
+      scenario.ambient_c +
+      power_w * thermal::total_resistance_k_per_w(scenario.rc);
+  EXPECT_NEAR(result.die_temp_c.back(), steady_die, 1e-6);
+  EXPECT_NEAR(result.peak_die_c, steady_die, 1e-6);
+  // The heatsink node settles at ambient + P * R_heatsink_ambient.
+  EXPECT_NEAR(result.peak_heatsink_c,
+              scenario.ambient_c +
+                  power_w * scenario.rc.r_heatsink_ambient_k_per_w,
+              1e-6);
+
+  // Heating under constant power is monotone non-decreasing throughout.
+  for (std::size_t i = 1; i < result.die_temp_c.size(); ++i) {
+    ASSERT_GE(result.die_temp_c[i], result.die_temp_c[i - 1] - 1e-12) << i;
+  }
+  // No feedback, no governor: the trace itself is untouched.
+  EXPECT_EQ(result.leakage_extra_j, 0.0);
+  EXPECT_FALSE(result.throttled);
+}
+
+TEST(ThermalRc, PeakIsMonotoneInAmbientAndPower) {
+  const sim::GpuConfig& running = sim::config_by_name("default");
+  const auto peak = [&](double ambient_c, double power_w) {
+    thermal::ThermalScenario scenario = enabled_scenario();
+    scenario.ambient_c = ambient_c;
+    sensor::Waveform waveform = constant_waveform(power_w, 400.0);
+    return thermal::simulate(waveform, scenario, running, 20.0, 5.0)
+        .peak_die_c;
+  };
+  EXPECT_LT(peak(15.0, 120.0), peak(25.0, 120.0));
+  EXPECT_LT(peak(25.0, 120.0), peak(40.0, 120.0));
+  EXPECT_LT(peak(25.0, 60.0), peak(25.0, 120.0));
+  EXPECT_LT(peak(25.0, 120.0), peak(25.0, 180.0));
+}
+
+TEST(ThermalRc, CoolingDecaysMonotonicallyAndLogLinearly) {
+  const thermal::ThermalScenario scenario = enabled_scenario();
+  sensor::Waveform waveform{{
+      {0.0, 300.0, 200.0, 200.0},
+      {300.0, 600.0, 0.0, 0.0},
+  }};
+  const thermal::ThermalResult result = thermal::simulate(
+      waveform, scenario, sim::config_by_name("default"), 0.0, 0.0);
+  ASSERT_TRUE(result.converged);
+
+  // Monotone decay over the whole power-off stretch.
+  const std::size_t off = static_cast<std::size_t>(
+      std::lround(300.0 / result.dt_s));
+  for (std::size_t i = off + 1; i < result.die_temp_c.size(); ++i) {
+    ASSERT_LE(result.die_temp_c[i], result.die_temp_c[i - 1] + 1e-12) << i;
+  }
+
+  // Once the fast die node has settled (a few seconds), a single mode
+  // dominates: the excess over ambient decays log-linearly, i.e. equal
+  // time offsets shrink the excess by equal factors.
+  const double e1 = die_temp_at(result, 340.0) - scenario.ambient_c;
+  const double e2 = die_temp_at(result, 380.0) - scenario.ambient_c;
+  const double e3 = die_temp_at(result, 420.0) - scenario.ambient_c;
+  ASSERT_GT(e3, 0.0);
+  EXPECT_NEAR((e2 / e1) / (e3 / e2), 1.0, 0.02);
+}
+
+// --- leakage feedback -------------------------------------------------------
+
+TEST(ThermalLeakage, FixedPointConvergesAndIsDeterministic) {
+  thermal::ThermalScenario scenario = enabled_scenario();
+  scenario.leakage.k_per_c = 0.012;
+  scenario.leakage.t0_c = 45.0;
+  const sim::GpuConfig& running = sim::config_by_name("default");
+
+  const auto run = [&]() {
+    sensor::Waveform waveform = constant_waveform(150.0, 600.0);
+    return thermal::simulate(waveform, scenario, running, 25.0, 7.0);
+  };
+  const thermal::ThermalResult a = run();
+  ASSERT_TRUE(a.converged);
+  EXPECT_GE(a.iterations, 2);          // feedback needs at least one refit
+  EXPECT_LE(a.iterations, scenario.max_iterations);
+  EXPECT_NE(a.leakage_extra_j, 0.0);   // the delta actually entered
+
+  // Bit determinism: same inputs, same trajectory, to the last bit.
+  const thermal::ThermalResult b = run();
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.peak_die_c, b.peak_die_c);
+  EXPECT_EQ(a.leakage_extra_j, b.leakage_extra_j);
+  ASSERT_EQ(a.die_temp_c.size(), b.die_temp_c.size());
+  for (std::size_t i = 0; i < a.die_temp_c.size(); ++i) {
+    ASSERT_EQ(a.die_temp_c[i], b.die_temp_c[i]) << i;
+  }
+}
+
+TEST(ThermalLeakage, KZeroLeavesWaveformByteUntouched) {
+  const thermal::ThermalScenario scenario = enabled_scenario();  // k = 0
+  sensor::Waveform waveform{{
+      {0.0, 10.0, 25.0, 25.0},
+      {10.0, 40.0, 140.0, 140.0},
+      {40.0, 60.0, 25.0, 25.0},
+  }};
+  const std::vector<sensor::Segment> before = waveform.segments();
+  const thermal::ThermalResult result = thermal::simulate(
+      waveform, scenario, sim::config_by_name("default"), 25.0, 8.0);
+
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 1);  // pass 0 already is the fixed point
+  EXPECT_EQ(result.leakage_extra_j, 0.0);
+  EXPECT_FALSE(result.throttled);
+  ASSERT_EQ(waveform.segments().size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(waveform.segments()[i].t0, before[i].t0) << i;
+    EXPECT_EQ(waveform.segments()[i].t1, before[i].t1) << i;
+    EXPECT_EQ(waveform.segments()[i].w0, before[i].w0) << i;
+    EXPECT_EQ(waveform.segments()[i].w1, before[i].w1) << i;
+  }
+}
+
+TEST(ThermalLeakage, WindowExtraMatchesCumulativeIntegral) {
+  thermal::ThermalScenario scenario = enabled_scenario();
+  scenario.leakage.k_per_c = 0.012;
+  sensor::Waveform waveform = constant_waveform(150.0, 600.0);
+  const thermal::ThermalResult result = thermal::simulate(
+      waveform, scenario, sim::config_by_name("default"), 25.0, 7.0);
+  ASSERT_TRUE(result.converged);
+  ASSERT_GE(result.cum_extra_j.size(), 2u);
+
+  const double total = result.cum_extra_j.back();
+  const double scale = std::abs(total) + 1.0;
+  EXPECT_NEAR(thermal::window_extra_j(result, 0.0, 600.0), total,
+              1e-12 * scale);
+  // Additive over a partition of the window.
+  const double split = thermal::window_extra_j(result, 0.0, 123.4) +
+                       thermal::window_extra_j(result, 123.4, 456.7) +
+                       thermal::window_extra_j(result, 456.7, 600.0);
+  EXPECT_NEAR(split, total, 1e-9 * scale);
+  // Out-of-range queries clamp to the timeline, reversed bounds swap.
+  EXPECT_EQ(thermal::window_extra_j(result, -50.0, 700.0),
+            thermal::window_extra_j(result, 0.0, 600.0));
+  EXPECT_EQ(thermal::window_extra_j(result, 400.0, 100.0),
+            thermal::window_extra_j(result, 100.0, 400.0));
+}
+
+// --- governor ---------------------------------------------------------------
+
+std::vector<thermal::LadderConfig> paper_ladder_candidates() {
+  return {
+      {"614", 614.0, 0.93},
+      {"324", 324.0, 0.85},
+  };
+}
+
+TEST(ThermalGovernor, BuildLadderFiltersOrdersAndDedupes) {
+  const sim::GpuConfig& running = sim::config_by_name("default");  // 705 MHz
+  const std::vector<thermal::LadderConfig> candidates = {
+      {"324", 324.0, 0.85},
+      {"boost", 800.0, 1.05},     // above the running clock: filtered
+      {"614", 614.0, 0.93},
+      {"614-alias", 614.0, 0.93}, // same operating point: deduped
+      {"bad", 0.0, 1.0},          // non-positive clock: filtered
+      {"324", 324.0, 0.85},       // name duplicate: deduped
+  };
+  const std::vector<thermal::LadderConfig> ladder =
+      thermal::build_ladder(running, candidates);
+  ASSERT_EQ(ladder.size(), 2u);
+  EXPECT_EQ(ladder[0].name, "614");  // next-lower-first
+  EXPECT_EQ(ladder[1].name, "324");
+
+  // Nothing below the lowest paper clock: empty ladder, nothing to clamp.
+  EXPECT_TRUE(
+      thermal::build_ladder(sim::config_by_name("324"), candidates).empty());
+}
+
+TEST(ThermalGovernor, SustainedLoadClampsDownTheLadder) {
+  thermal::ThermalScenario scenario = enabled_scenario();
+  scenario.governor.ceiling_c = 45.0;
+  scenario.governor.hysteresis_c = 5.0;
+  scenario.ladder = paper_ladder_candidates();
+  const sim::GpuConfig& running = sim::config_by_name("default");
+
+  // Unthrottled steady state would be 25 + 150 * 0.245 = 61.75 C; even
+  // one step down (614 MHz) still settles above the ceiling, so the
+  // governor must walk to the bottom of the ladder and stay there.
+  sensor::Waveform waveform = constant_waveform(150.0, 600.0);
+  const double base_energy_j = waveform.energy_j(0.0, 600.0);
+  const thermal::ThermalResult result =
+      thermal::simulate(waveform, scenario, running, 30.0, 0.0);
+
+  ASSERT_TRUE(result.throttled);
+  ASSERT_EQ(result.events.size(), 2u);
+  EXPECT_EQ(result.events[0].config_name, "614");
+  EXPECT_EQ(result.events[1].config_name, "324");
+  EXPECT_GE(result.events[0].temp_c, scenario.governor.ceiling_c);
+  EXPECT_GT(result.events[1].t_s, result.events[0].t_s);
+  // The sustained load never cools below ceiling - hysteresis: no release.
+  EXPECT_LT(result.events[0].release_t_s, 0.0);
+  EXPECT_LT(result.events[1].release_t_s, 0.0);
+  // Bounded overshoot past the ceiling (one Euler step of headroom).
+  EXPECT_GE(result.peak_die_c, scenario.governor.ceiling_c);
+  EXPECT_LT(result.peak_die_c, scenario.governor.ceiling_c + 5.0);
+
+  // The clamp rewrote the trace: total energy dropped by exactly the
+  // cumulative (applied - base) integral, which is negative here.
+  EXPECT_LT(result.cum_extra_j.back(), 0.0);
+  EXPECT_NEAR(waveform.energy_j(0.0, 600.0),
+              base_energy_j + result.cum_extra_j.back(),
+              1e-9 * base_energy_j);
+}
+
+TEST(ThermalGovernor, BurstReleasesAfterHysteresis) {
+  thermal::ThermalScenario scenario = enabled_scenario();
+  scenario.governor.ceiling_c = 45.0;
+  scenario.governor.hysteresis_c = 5.0;
+  scenario.ladder = paper_ladder_candidates();
+
+  // A hot burst followed by a near-idle stretch: the governor clamps
+  // during the burst and must release every clamp once the die cools
+  // below ceiling - hysteresis.
+  sensor::Waveform waveform{{
+      {0.0, 60.0, 200.0, 200.0},
+      {60.0, 460.0, 35.0, 35.0},
+  }};
+  const thermal::ThermalResult result = thermal::simulate(
+      waveform, scenario, sim::config_by_name("default"), 30.0, 0.0);
+
+  ASSERT_TRUE(result.throttled);
+  ASSERT_FALSE(result.events.empty());
+  for (const thermal::ThrottleEvent& event : result.events) {
+    EXPECT_GE(event.release_t_s, 0.0) << event.config_name;
+    EXPECT_GT(event.release_t_s, event.t_s) << event.config_name;
+    // Release only fires below the hysteresis band.
+    EXPECT_LE(die_temp_at(result, event.release_t_s),
+              scenario.governor.ceiling_c - scenario.governor.hysteresis_c +
+                  1e-9)
+        << event.config_name;
+  }
+}
+
+TEST(ThermalGovernor, TruthfulFlagWhenCeilingNeverCrossed) {
+  thermal::ThermalScenario scenario = enabled_scenario();
+  scenario.governor.ceiling_c = 80.0;  // steady state is 61.75 C
+  scenario.ladder = paper_ladder_candidates();
+  sensor::Waveform waveform = constant_waveform(150.0, 600.0);
+  const std::vector<sensor::Segment> before = waveform.segments();
+  const thermal::ThermalResult result = thermal::simulate(
+      waveform, scenario, sim::config_by_name("default"), 30.0, 0.0);
+
+  EXPECT_FALSE(result.throttled);
+  EXPECT_TRUE(result.events.empty());
+  EXPECT_LT(result.peak_die_c, scenario.governor.ceiling_c);
+  // No clamp and k = 0: the trace stays byte-untouched.
+  ASSERT_EQ(waveform.segments().size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(waveform.segments()[i].w0, before[i].w0) << i;
+  }
+}
+
+// --- study integration ------------------------------------------------------
+
+void expect_same_measurement(const core::ExperimentResult& a,
+                             const core::ExperimentResult& b) {
+  EXPECT_EQ(a.usable, b.usable);
+  EXPECT_EQ(a.time_s, b.time_s);
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.power_w, b.power_w);
+  EXPECT_EQ(a.true_active_s, b.true_active_s);
+  EXPECT_EQ(a.time_spread, b.time_spread);
+  EXPECT_EQ(a.energy_spread, b.energy_spread);
+}
+
+TEST(ThermalStudy, DisabledScenarioIsBitIdenticalAcrossMatrix) {
+  suites::register_all_workloads();
+  core::Study plain;
+  core::Study::Options options;
+  options.thermal.ambient_c = 55.0;  // knobs set, but enabled stays false
+  options.thermal.governor.ceiling_c = 60.0;
+  options.thermal.leakage.k_per_c = 0.05;
+  core::Study disabled{options};
+
+  for (const char* program : {"SGEMM", "LBM"}) {
+    const workloads::Workload* w =
+        workloads::Registry::instance().find(program);
+    ASSERT_NE(w, nullptr) << program;
+    for (const sim::GpuConfig& config : sim::standard_configs()) {
+      const core::ExperimentResult& a = plain.measure(*w, 0, config);
+      const core::ExperimentResult& b = disabled.measure(*w, 0, config);
+      expect_same_measurement(a, b);
+      EXPECT_FALSE(b.thermal) << program << "/" << config.name;
+      EXPECT_FALSE(b.throttled) << program << "/" << config.name;
+    }
+  }
+}
+
+TEST(ThermalStudy, KZeroReproducesConstantLeakageEnergyExactly) {
+  suites::register_all_workloads();
+  core::Study plain;
+  core::Study::Options options;
+  options.thermal.enabled = true;
+  options.thermal.leakage.k_per_c = 0.0;  // no feedback, no governor
+  core::Study thermal_study{options};
+
+  const workloads::Workload* w = workloads::Registry::instance().find("SGEMM");
+  ASSERT_NE(w, nullptr);
+  const sim::GpuConfig& config = sim::config_by_name("default");
+  const core::ExperimentResult& a = plain.measure(*w, 0, config);
+  const core::ExperimentResult& b = thermal_study.measure(*w, 0, config);
+
+  expect_same_measurement(a, b);  // EXPECT_EQ on doubles: bit-exact
+  EXPECT_TRUE(b.thermal);
+  EXPECT_FALSE(b.throttled);
+  EXPECT_EQ(b.throttle_events, 0);
+  EXPECT_GT(b.peak_temp_c, options.thermal.ambient_c);
+}
+
+TEST(ThermalStudy, AttributionLawHoldsUnderLeakageFeedback) {
+  suites::register_all_workloads();
+  core::Study::Options options;
+  options.thermal.enabled = true;
+  options.thermal.leakage.k_per_c = 0.012;
+  core::Study study{options};
+
+  const workloads::Workload* w = workloads::Registry::instance().find("SGEMM");
+  ASSERT_NE(w, nullptr);
+  const obs::AttributionTable table =
+      study.attribution(*w, 0, sim::config_by_name("default"));
+  ASSERT_FALSE(table.kernels.empty());
+  ASSERT_GT(table.model_energy_j, 0.0);
+
+  double total = table.static_energy_j;
+  for (const double c : table.class_energy_j) total += c;
+  EXPECT_NEAR(total, table.model_energy_j, 1e-9 * table.model_energy_j);
+  for (const obs::KernelAttribution& k : table.kernels) {
+    double kernel_total = k.static_energy_j;
+    for (const double c : k.class_energy_j) kernel_total += c;
+    EXPECT_NEAR(kernel_total, k.model_energy_j,
+                1e-9 * std::abs(k.model_energy_j) + 1e-12)
+        << k.kernel;
+  }
+}
+
+// --- facade + recommender ---------------------------------------------------
+
+TEST(ThermalApi, MeasureValidatesAndReportsTelemetry) {
+  v1::Session session;
+  v1::ExperimentRequest request;
+  request.program = "SGEMM";
+  request.config = "default";
+  request.thermal.enabled = true;
+
+  const v1::MeasurementResult result = session.measure(request);
+  ASSERT_TRUE(result.usable);
+  EXPECT_TRUE(result.thermal);
+  EXPECT_GT(result.peak_temp_c, request.thermal.ambient_c);
+
+  // k = 0 thermal energy is bit-equal to the plain pipeline.
+  v1::ExperimentRequest k_zero = request;
+  k_zero.thermal.leak_k_per_c = 0.0;
+  const v1::MeasurementResult frozen = session.measure(k_zero);
+  const v1::MeasurementResult plain = session.measure("SGEMM", 0, "default");
+  EXPECT_EQ(frozen.time_s, plain.time_s);
+  EXPECT_EQ(frozen.energy_j, plain.energy_j);
+  EXPECT_EQ(frozen.power_w, plain.power_w);
+  EXPECT_TRUE(frozen.thermal);
+  EXPECT_FALSE(plain.thermal);
+
+  // Thermal scenarios are exact-only.
+  v1::ExperimentRequest sampled = request;
+  sampled.sampling.mode = v1::SamplingMode::kStratified;
+  EXPECT_THROW(session.measure(sampled), std::invalid_argument);
+
+  // Strict knob validation.
+  v1::ExperimentRequest bad = request;
+  bad.thermal.ambient_c = 200.0;
+  EXPECT_THROW(session.measure(bad), std::invalid_argument);
+  bad = request;
+  bad.thermal.ceiling_c = bad.thermal.ambient_c - 1.0;  // at or below ambient
+  EXPECT_THROW(session.measure(bad), std::invalid_argument);
+  bad = request;
+  bad.thermal.leak_k_per_c = 2.0;
+  EXPECT_THROW(session.measure(bad), std::invalid_argument);
+  bad = request;
+  bad.thermal.hysteresis_c = -1.0;
+  EXPECT_THROW(session.measure(bad), std::invalid_argument);
+}
+
+TEST(ThermalPick, ExcludeThrottledDropsClampedPoints) {
+  std::vector<dvfs::MetricPoint> pts(3);
+  pts[0] = {true, 1.0, 10.0, true};   // fastest, but throttled
+  pts[1] = {true, 1.5, 6.0, false};
+  pts[2] = {true, 4.0, 4.0, true};    // cheapest, but throttled
+
+  // Default: throttled points stay eligible (pre-thermal behaviour).
+  EXPECT_EQ(dvfs::pick(pts, dvfs::Objective::kMinEnergy, 1.10).index, 2);
+  EXPECT_EQ(dvfs::pick(pts, dvfs::Objective::kPerfCap, 1.10).index, 0);
+
+  // Excluding throttled points removes them from the argmin AND from the
+  // perf-cap fastest baseline (the cap must reflect sustainable points).
+  EXPECT_EQ(
+      dvfs::pick(pts, dvfs::Objective::kMinEnergy, 1.10, true).index, 1);
+  const dvfs::Choice cap =
+      dvfs::pick(pts, dvfs::Objective::kPerfCap, 1.10, true);
+  EXPECT_EQ(cap.index, 1);
+  EXPECT_DOUBLE_EQ(cap.cap_time_s, 1.10 * 1.5);
+
+  // Everything throttled: no eligible point.
+  std::vector<dvfs::MetricPoint> all(1);
+  all[0] = {true, 1.0, 1.0, true};
+  EXPECT_EQ(dvfs::pick(all, dvfs::Objective::kMinEnergy, 1.10, true).index,
+            -1);
+}
+
+TEST(ThermalApi, SweepCarriesTelemetryAndRecommendExcludesThrottled) {
+  v1::Session session;
+  v1::SweepOptions options;
+  options.core_mhz = {324.0, 705.0, 381.0};  // {324, 705}
+  options.mem_mhz = {2600.0, 2600.0, 0.0};
+  options.prune = false;
+  options.thermal.enabled = true;
+  options.thermal.leak_k_per_c = 0.0;
+
+  // Calibration pass without a ceiling: read each point's natural peak.
+  const v1::SweepResult open = session.sweep("SGEMM", 0, options);
+  ASSERT_EQ(open.points.size(), 2u);
+  double peak_low = 0.0, peak_high = 0.0;
+  for (const v1::SweepPoint& p : open.points) {
+    ASSERT_TRUE(p.measured && p.result.usable) << p.config.name;
+    EXPECT_TRUE(p.result.thermal) << p.config.name;
+    EXPECT_FALSE(p.result.sampled) << p.config.name;  // forced exact
+    EXPECT_FALSE(p.result.throttled) << p.config.name;
+    if (p.config.name == "cfg:324x2600") peak_low = p.result.peak_temp_c;
+    if (p.config.name == "default") peak_high = p.result.peak_temp_c;
+  }
+  ASSERT_GT(peak_low, options.thermal.ambient_c);
+  ASSERT_GT(peak_high, peak_low);  // more power at the higher clock
+
+  // A ceiling between the two peaks throttles only the high point (the
+  // low point has no lower ladder rung anyway, and never crosses).
+  options.thermal.ceiling_c = 0.5 * (peak_low + peak_high);
+  const v1::SweepResult capped = session.sweep("SGEMM", 0, options);
+  ASSERT_EQ(capped.points.size(), 2u);
+  for (const v1::SweepPoint& p : capped.points) {
+    ASSERT_TRUE(p.measured && p.result.usable) << p.config.name;
+    if (p.config.name == "default") {
+      EXPECT_TRUE(p.result.throttled);
+      EXPECT_GT(p.result.throttle_events, 0);
+    } else {
+      EXPECT_FALSE(p.result.throttled) << p.config.name;
+    }
+  }
+
+  // Under a tight perf cap the throttled fast point wins by default, but
+  // exclude_throttled re-bases the cap on sustainable points only.
+  v1::RecommendOptions ropt;
+  ropt.objective = v1::Objective::kPerfCap;
+  ropt.perf_cap_rel = 1.05;
+  ropt.sweep = options;
+  const v1::Recommendation lax = session.recommend("SGEMM", 0, ropt);
+  ASSERT_TRUE(lax.ok) << lax.error;
+  EXPECT_EQ(lax.config.name, "default");
+
+  ropt.exclude_throttled = true;
+  const v1::Recommendation strict = session.recommend("SGEMM", 0, ropt);
+  ASSERT_TRUE(strict.ok) << strict.error;
+  EXPECT_EQ(strict.config.name, "cfg:324x2600");
+}
+
+}  // namespace
+}  // namespace repro
